@@ -1,0 +1,197 @@
+// Microbenchmarks (google-benchmark) for the local kernels of Sec. IV-D:
+// every SpGEMM accumulator and both merge algorithms across compression
+// regimes, plus the serialization path. These are the numbers the cost
+// model's per-process rates come from, and the direct evidence for the
+// paper's claims that unsorted-hash beats hybrid by 30-50% and hash merge
+// beats heap merge by an order of magnitude.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "gen/er.hpp"
+#include "gen/protein.hpp"
+#include "gen/rmat.hpp"
+#include "kernels/merge.hpp"
+#include "kernels/spgemm.hpp"
+#include "kernels/symbolic.hpp"
+#include "sparse/dcsc_mat.hpp"
+#include "sparse/serialize.hpp"
+#include "sparse/stats.hpp"
+
+namespace casp {
+namespace {
+
+CscMat bench_matrix(int which) {
+  switch (which) {
+    case 0:  // low compression: ER, cf ~ 1-2
+      return generate_er_square(4096, 4.0, 11);
+    case 1: {  // high compression: protein families, cf >> 1
+      ProteinParams p;
+      p.n = 3000;
+      p.min_family = 8;
+      p.max_family = 128;
+      p.within_density = 0.3;
+      p.seed = 12;
+      return generate_protein_similarity(p).mat;
+    }
+    default: {  // skewed: R-MAT
+      RmatParams p;
+      p.scale = 12;
+      p.edge_factor = 6.0;
+      p.seed = 13;
+      return generate_rmat(p);
+    }
+  }
+}
+
+const char* matrix_name(int which) {
+  switch (which) {
+    case 0: return "ER(cf~2)";
+    case 1: return "protein(cf-high)";
+    default: return "rmat(skewed)";
+  }
+}
+
+void BM_LocalSpGemm(benchmark::State& state) {
+  const CscMat a = bench_matrix(static_cast<int>(state.range(1)));
+  const auto kind = static_cast<SpGemmKind>(state.range(0));
+  Index flops = multiply_flops(a, a);
+  for (auto _ : state) {
+    CscMat c = local_spgemm<PlusTimes>(a, a, kind);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * flops);
+  state.SetLabel(std::string(to_string(kind)) + " on " +
+                 matrix_name(static_cast<int>(state.range(1))));
+}
+BENCHMARK(BM_LocalSpGemm)
+    ->ArgsProduct({{static_cast<long>(SpGemmKind::kUnsortedHash),
+                    static_cast<long>(SpGemmKind::kSortedHash),
+                    static_cast<long>(SpGemmKind::kHeap),
+                    static_cast<long>(SpGemmKind::kHybrid),
+                    static_cast<long>(SpGemmKind::kSpa)},
+                   {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Merge(benchmark::State& state) {
+  const auto kind = static_cast<MergeKind>(state.range(0));
+  const int ways = static_cast<int>(state.range(1));
+  // Pieces shaped like per-stage SUMMA partials: same output block, random
+  // overlapping nonzeros.
+  std::vector<CscMat> pieces;
+  Index volume = 0;
+  for (int s = 0; s < ways; ++s) {
+    pieces.push_back(
+        generate_er_square(2048, 24.0, 100 + static_cast<std::uint64_t>(s)));
+    volume += pieces.back().nnz();
+  }
+  // The heap merge requires sorted inputs (generator output is sorted);
+  // the hash merge accepts either.
+  for (auto _ : state) {
+    CscMat merged = merge_matrices<PlusTimes>(pieces, kind);
+    benchmark::DoNotOptimize(merged.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * volume);
+  state.SetLabel(std::string(to_string(kind)) + " " + std::to_string(ways) +
+                 "-way");
+}
+BENCHMARK(BM_Merge)
+    ->ArgsProduct({{static_cast<long>(MergeKind::kUnsortedHash),
+                    static_cast<long>(MergeKind::kSortedHeap)},
+                   {2, 4, 16}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FinalColumnSort(benchmark::State& state) {
+  // The single post-Merge-Fiber sort the paper's pipeline performs once.
+  const CscMat a = generate_er_square(4096, 4.0, 14);
+  const CscMat unsorted =
+      local_spgemm<PlusTimes>(a, a, SpGemmKind::kUnsortedHash);
+  for (auto _ : state) {
+    CscMat copy = unsorted;
+    copy.sort_columns();
+    benchmark::DoNotOptimize(copy.columns_sorted());
+  }
+  state.SetItemsProcessed(state.iterations() * unsorted.nnz());
+}
+BENCHMARK(BM_FinalColumnSort)->Unit(benchmark::kMillisecond);
+
+void BM_SymbolicVsNumeric(benchmark::State& state) {
+  // LocalSymbolic must be much cheaper than Local-Multiply for the
+  // symbolic step to be worth its communication (Sec. IV-A).
+  const CscMat a = bench_matrix(1);
+  const bool symbolic = state.range(0) == 1;
+  for (auto _ : state) {
+    if (symbolic) {
+      benchmark::DoNotOptimize(symbolic_nnz(a, a));
+    } else {
+      CscMat c = local_spgemm<PlusTimes>(a, a, SpGemmKind::kUnsortedHash);
+      benchmark::DoNotOptimize(c.nnz());
+    }
+  }
+  state.SetLabel(symbolic ? "symbolic (count only)" : "numeric multiply");
+}
+BENCHMARK(BM_SymbolicVsNumeric)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_PackUnpackCsc(benchmark::State& state) {
+  // Serialization sits on every broadcast; it must be memcpy-bound.
+  const CscMat a = generate_er_square(8192, 8.0, 15);
+  for (auto _ : state) {
+    auto buf = pack_csc(a);
+    CscMat back = unpack_csc(buf);
+    benchmark::DoNotOptimize(back.nnz());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(packed_size(a)));
+}
+BENCHMARK(BM_PackUnpackCsc)->Unit(benchmark::kMillisecond);
+
+void BM_HypersparseMultiply(benchmark::State& state) {
+  // The Sec. V-D regime: with many layers both local operands are
+  // hypersparse (nnz << ncols). The CSC pipeline pays O(ncols) per
+  // multiply for colptr/output scaffolding; the fully-DCSC pipeline
+  // touches only nonempty columns.
+  const bool dcsc = state.range(0) == 1;
+  const Index dim = 1 << 18;  // 262,144-wide blocks, a few hundred nonzeros
+  Rng rng(21);
+  auto make_hypersparse = [&](std::uint64_t seed) {
+    Rng local(seed);
+    TripleMat t(dim, dim);
+    for (int k = 0; k < 160; ++k) {
+      const Index j = local.range(0, dim);
+      for (int e = 0; e < 4; ++e) t.push_back(local.range(0, dim), j, 1.0);
+    }
+    return CscMat::from_triples(std::move(t));
+  };
+  const CscMat a_csc = make_hypersparse(22);
+  // B's rows must hit A's nonempty columns occasionally: reuse A.
+  const CscMat b_csc = a_csc;
+  const DcscMat a_dcsc = DcscMat::from_csc(a_csc);
+  const DcscMat b_dcsc = DcscMat::from_csc(b_csc);
+  for (auto _ : state) {
+    if (dcsc) {
+      DcscMat c = hypersparse_spgemm_dcsc<PlusTimes>(a_dcsc, b_dcsc);
+      benchmark::DoNotOptimize(c.nnz());
+    } else {
+      CscMat c = local_spgemm<PlusTimes>(a_csc, b_csc,
+                                         SpGemmKind::kUnsortedHash);
+      benchmark::DoNotOptimize(c.nnz());
+    }
+  }
+  state.SetLabel(dcsc ? "DCSC in/out (no O(ncols) term)"
+                      : "CSC (O(ncols) scaffolding per multiply)");
+}
+BENCHMARK(BM_HypersparseMultiply)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_Transpose(benchmark::State& state) {
+  const CscMat a = generate_er_square(8192, 8.0, 16);
+  for (auto _ : state) {
+    CscMat t = a.transpose();
+    benchmark::DoNotOptimize(t.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_Transpose)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace casp
+
+BENCHMARK_MAIN();

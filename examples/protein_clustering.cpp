@@ -1,0 +1,76 @@
+// Protein clustering with HipMCL-on-BatchedSUMMA3D (the paper's flagship
+// application, Sec. V-C / Fig. 3).
+//
+//   ./protein_clustering [n] [ranks] [layers] [memory_kb_per_rank]
+//
+// Generates a synthetic protein-similarity network with planted families,
+// clusters it with distributed Markov clustering under the given memory
+// budget, and reports recovered-vs-planted quality plus the per-iteration
+// batch counts — the quantity Fig. 3 annotates.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "apps/mcl.hpp"
+#include "gen/protein.hpp"
+#include "sparse/stats.hpp"
+#include "vmpi/runtime.hpp"
+
+int main(int argc, char** argv) {
+  using namespace casp;
+  const Index n = argc > 1 ? std::atoll(argv[1]) : 600;
+  const int ranks = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int layers = argc > 3 ? std::atoi(argv[3]) : 1;
+  const Bytes mem_kb = argc > 4 ? static_cast<Bytes>(std::atoll(argv[4])) : 0;
+  if (!Grid3D::valid_shape(ranks, layers)) {
+    std::cerr << "invalid grid\n";
+    return 1;
+  }
+
+  ProteinParams gp;
+  gp.n = n;
+  gp.min_family = 8;
+  gp.max_family = 64;
+  gp.within_density = 0.75;
+  gp.cross_edges_per_node = 0.05;
+  gp.seed = 42;
+  const ProteinMatrix pm = generate_protein_similarity(gp);
+  std::cout << describe("similarity network", pm.mat) << "\n";
+  const MultiplyStats ms = multiply_stats(pm.mat, pm.mat);
+  std::cout << "squaring needs " << ms.flops << " flops, nnz(A^2)=" << ms.nnz_c
+            << " (cf=" << ms.compression_factor << ")\n\n";
+
+  MclParams params;
+  params.max_iterations = 40;
+  MclResult result;
+  vmpi::run(ranks, [&](vmpi::Comm& world) {
+    Grid3D grid(world, layers);
+    const Bytes budget = mem_kb * 1024 * static_cast<Bytes>(ranks);
+    MclResult r = mcl_cluster_distributed(grid, pm.mat, params, budget);
+    if (world.rank() == 0) result = std::move(r);
+  });
+
+  std::cout << "iter  batches  chaos        nnz\n";
+  for (std::size_t i = 0; i < result.per_iteration.size(); ++i) {
+    const auto& it = result.per_iteration[i];
+    std::cout << "  " << i + 1 << "     " << it.batches << "       "
+              << it.chaos << "   " << it.nnz_after << "\n";
+  }
+  std::cout << "\nconverged after " << result.iterations << " iterations; "
+            << result.num_clusters << " clusters found\n";
+
+  // Compare against the planted families: majority-label purity.
+  std::map<Index, std::map<Index, Index>> cluster_family_counts;
+  for (Index v = 0; v < n; ++v)
+    ++cluster_family_counts[result.cluster_of[static_cast<std::size_t>(v)]]
+                           [pm.family_of[static_cast<std::size_t>(v)]];
+  Index majority = 0;
+  for (const auto& [cluster, counts] : cluster_family_counts) {
+    Index best = 0;
+    for (const auto& [family, count] : counts) best = std::max(best, count);
+    majority += best;
+  }
+  std::cout << "purity vs planted families: "
+            << static_cast<double>(majority) / static_cast<double>(n) << "\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "apps/batch_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace casp {
+
+namespace {
+std::string part_path(const std::string& directory, int rank) {
+  std::ostringstream os;
+  os << directory << "/part-" << rank << ".txt";
+  return os.str();
+}
+}  // namespace
+
+BatchCallback make_disk_batch_writer(const std::string& directory, int rank) {
+  std::filesystem::create_directories(directory);
+  // Shared state survives across callback invocations (one per batch).
+  struct WriterState {
+    std::ofstream out;
+    bool header_written = false;
+  };
+  auto state = std::make_shared<WriterState>();
+  const std::string path = part_path(directory, rank);
+  return [state, path](CscMat&& piece, const BatchInfo& info) {
+    if (!state->header_written) {
+      state->out.open(path, std::ios::trunc);
+      CASP_CHECK_MSG(state->out.good(), "cannot open " << path);
+      // Global shape header (the pieces alone cannot size empty borders).
+      state->out << "casp-batch " << info.global_nrows << ' '
+                 << info.global_ncols << "\n";
+      state->header_written = true;
+    }
+    state->out.precision(17);
+    for (Index j = 0; j < piece.ncols(); ++j) {
+      const auto rows = piece.col_rowids(j);
+      const auto vals = piece.col_vals(j);
+      for (std::size_t k = 0; k < rows.size(); ++k) {
+        state->out << rows[k] + info.global_rows.start << ' '
+                   << j + info.global_cols.start << ' ' << vals[k] << '\n';
+      }
+    }
+    CASP_CHECK_MSG(state->out.good(), "write failed on " << path);
+  };
+}
+
+CscMat load_batch_directory(const std::string& directory) {
+  TripleMat triples(0, 0);
+  Index nrows = -1, ncols = -1;
+  bool found = false;
+  for (int rank = 0;; ++rank) {
+    const std::string path = part_path(directory, rank);
+    std::ifstream in(path);
+    if (!in) break;
+    found = true;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (line.rfind("casp-batch", 0) == 0) {
+        std::istringstream header(line.substr(10));
+        Index r = 0, c = 0;
+        if (!(header >> r >> c))
+          throw InvalidArgument("bad batch header in " + path);
+        if (nrows >= 0 && (nrows != r || ncols != c))
+          throw InvalidArgument("batch parts disagree on global shape in " +
+                                directory);
+        nrows = r;
+        ncols = c;
+        continue;
+      }
+      std::istringstream entry(line);
+      Index r = 0, c = 0;
+      Value v = 0;
+      if (!(entry >> r >> c >> v))
+        throw InvalidArgument("batch part corrupt: " + path);
+      triples.push_back(r, c, v);
+    }
+  }
+  if (!found || nrows < 0)
+    throw InvalidArgument("no batch parts found in " + directory);
+  TripleMat sized(nrows, ncols, std::move(triples.entries()));
+  return CscMat::from_triples(std::move(sized));
+}
+
+}  // namespace casp

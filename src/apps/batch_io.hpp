@@ -1,0 +1,29 @@
+// Streaming batched output to disk.
+//
+// The paper's applications either prune each batch (HipMCL) or persist it
+// (sequence-overlap candidate lists, hypergraph matching inputs): "the
+// output C[batch] from each batch is pruned or saved to disk by the
+// application" (Sec. IV-B). This component is the save-to-disk half: a
+// BatchCallback that appends every finished piece to a per-rank file with
+// global coordinates, plus a loader that reassembles the full product for
+// verification or downstream serial tooling.
+#pragma once
+
+#include <string>
+
+#include "summa/batched.hpp"
+
+namespace casp {
+
+/// Returns a callback for batched_summa3d that appends each piece (in
+/// global coordinates) to `directory/part-<rank>.txt`. The file is
+/// created/truncated on the first batch. One writer per rank; files are
+/// independent so no locking is needed.
+BatchCallback make_disk_batch_writer(const std::string& directory, int rank);
+
+/// Reassemble everything written into `directory` by any number of ranks
+/// and batches. Throws InvalidArgument if the directory holds no parts or
+/// headers disagree on the global shape.
+CscMat load_batch_directory(const std::string& directory);
+
+}  // namespace casp

@@ -1,0 +1,100 @@
+#include "apps/jaccard.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "grid/dist.hpp"
+#include "kernels/spgemm.hpp"
+#include "summa/batched.hpp"
+
+namespace casp {
+
+namespace {
+/// 0/1 copy of a matrix and its per-row nonzero counts.
+CscMat binarize(const CscMat& m, std::vector<Index>& row_degree) {
+  CscMat out = m;
+  for (Value& v : out.vals_mutable()) v = 1.0;
+  row_degree.assign(static_cast<std::size_t>(m.nrows()), 0);
+  for (Index r : m.rowids()) ++row_degree[static_cast<std::size_t>(r)];
+  return out;
+}
+
+double jaccard_from_intersection(double intersection, Index deg_a,
+                                 Index deg_b) {
+  const double uni =
+      static_cast<double>(deg_a) + static_cast<double>(deg_b) - intersection;
+  return uni <= 0.0 ? 0.0 : intersection / uni;
+}
+}  // namespace
+
+std::vector<JaccardPair> jaccard_pairs_serial(const CscMat& incidence,
+                                              double min_similarity) {
+  std::vector<Index> degree;
+  const CscMat a = binarize(incidence, degree);
+  const CscMat at = a.transpose();
+  const CscMat inter = local_spgemm<PlusTimes>(a, at, SpGemmKind::kSortedHash);
+  std::vector<JaccardPair> pairs;
+  for (Index j = 0; j < inter.ncols(); ++j) {
+    const auto rows = inter.col_rowids(j);
+    const auto vals = inter.col_vals(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (rows[k] >= j) continue;
+      const double sim = jaccard_from_intersection(
+          vals[k], degree[static_cast<std::size_t>(rows[k])],
+          degree[static_cast<std::size_t>(j)]);
+      if (sim >= min_similarity) pairs.push_back({rows[k], j, sim});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+std::vector<JaccardPair> jaccard_pairs_distributed(Grid3D& grid,
+                                                   const CscMat& incidence,
+                                                   double min_similarity,
+                                                   Bytes total_memory,
+                                                   const SummaOptions& opts) {
+  std::vector<Index> degree;  // replicated: O(rows), cheap
+  const CscMat a = binarize(incidence, degree);
+  const CscMat at = a.transpose();
+  const DistMat3D da = distribute_a_style(grid, a);
+  const DistMat3D db = distribute_b_style(grid, at);
+
+  std::vector<JaccardPair> mine;
+  batched_summa3d<PlusTimes>(
+      grid, da, db, total_memory, opts,
+      [&](CscMat&& piece, const BatchInfo& info) {
+        for (Index j = 0; j < piece.ncols(); ++j) {
+          const Index global_col = info.global_cols.start + j;
+          const auto rows = piece.col_rowids(j);
+          const auto vals = piece.col_vals(j);
+          for (std::size_t k = 0; k < rows.size(); ++k) {
+            const Index global_row = info.global_rows.start + rows[k];
+            if (global_row >= global_col) continue;
+            const double sim = jaccard_from_intersection(
+                vals[k], degree[static_cast<std::size_t>(global_row)],
+                degree[static_cast<std::size_t>(global_col)]);
+            if (sim >= min_similarity)
+              mine.push_back({global_row, global_col, sim});
+          }
+        }
+      },
+      /*keep_output=*/false);
+
+  std::vector<std::byte> raw(mine.size() * sizeof(JaccardPair));
+  if (!mine.empty()) std::memcpy(raw.data(), mine.data(), raw.size());
+  const auto all = grid.world().allgather_bytes(std::move(raw));
+  std::vector<JaccardPair> pairs;
+  for (const auto& buf : all) {
+    CASP_CHECK(buf.size() % sizeof(JaccardPair) == 0);
+    const std::size_t count = buf.size() / sizeof(JaccardPair);
+    const std::size_t base = pairs.size();
+    pairs.resize(base + count);
+    if (count > 0) std::memcpy(pairs.data() + base, buf.data(), buf.size());
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+}  // namespace casp

@@ -1,0 +1,41 @@
+// Jaccard similarity via SpGEMM (Sec. I: Besta et al. [14] formulate
+// dataset similarity as multiplication of a sparse matrix by its
+// transpose).
+//
+// Rows of A are items, columns are features (k-mers, attributes);
+// J(i, j) = |F_i ∩ F_j| / |F_i ∪ F_j|. A*A^T yields the intersection
+// sizes; row degrees give |F_i|, and |F_i ∪ F_j| = |F_i| + |F_j| - |∩|.
+// Like the overlap app, results stream batch by batch.
+#pragma once
+
+#include <vector>
+
+#include "apps/overlap.hpp"
+#include "grid/grid3d.hpp"
+#include "sparse/csc_mat.hpp"
+#include "summa/steps.hpp"
+
+namespace casp {
+
+struct JaccardPair {
+  Index item_a = 0;
+  Index item_b = 0;
+  double similarity = 0.0;
+
+  friend bool operator<(const JaccardPair& x, const JaccardPair& y) {
+    if (x.item_a != y.item_a) return x.item_a < y.item_a;
+    return x.item_b < y.item_b;
+  }
+};
+
+/// Serial reference: all pairs with Jaccard similarity >= min_similarity.
+/// Treats A as a 0/1 incidence matrix (values ignored, pattern used).
+std::vector<JaccardPair> jaccard_pairs_serial(const CscMat& incidence,
+                                              double min_similarity);
+
+/// Distributed version over BatchedSUMMA3D; identical result on all ranks.
+std::vector<JaccardPair> jaccard_pairs_distributed(
+    Grid3D& grid, const CscMat& incidence, double min_similarity,
+    Bytes total_memory = 0, const SummaOptions& opts = {});
+
+}  // namespace casp

@@ -1,0 +1,108 @@
+#include "apps/matching.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "apps/overlap.hpp"
+#include "common/error.hpp"
+#include "grid/dist.hpp"
+#include "summa/batched.hpp"
+
+namespace casp {
+
+namespace {
+
+struct Candidate {
+  Index u;
+  Index v;
+  double shared;
+};
+
+/// Heaviest-first greedy order; deterministic tie-breaking.
+bool heavier(const Candidate& a, const Candidate& b) {
+  if (a.shared != b.shared) return a.shared > b.shared;
+  if (a.u != b.u) return a.u < b.u;
+  return a.v < b.v;
+}
+
+/// Apply one greedy pass over sorted candidates against the shared state.
+void greedy_apply(const std::vector<Candidate>& sorted,
+                  MatchingResult& result) {
+  for (const Candidate& c : sorted) {
+    if (result.mate[static_cast<std::size_t>(c.u)] >= 0 ||
+        result.mate[static_cast<std::size_t>(c.v)] >= 0)
+      continue;
+    result.mate[static_cast<std::size_t>(c.u)] = c.v;
+    result.mate[static_cast<std::size_t>(c.v)] = c.u;
+    ++result.matched_pairs;
+    result.total_weight += c.shared;
+  }
+}
+
+}  // namespace
+
+MatchingResult heavy_connectivity_matching_serial(const CscMat& incidence,
+                                                  double min_shared) {
+  MatchingResult result;
+  result.mate.assign(static_cast<std::size_t>(incidence.nrows()), -1);
+  // Reuse the overlap app: (A*A^T)(u, v) >= min_shared candidates.
+  const auto pairs = find_overlaps_serial(incidence, min_shared);
+  std::vector<Candidate> candidates;
+  candidates.reserve(pairs.size());
+  for (const OverlapPair& p : pairs)
+    candidates.push_back({p.read_a, p.read_b, p.shared});
+  std::sort(candidates.begin(), candidates.end(), heavier);
+  greedy_apply(candidates, result);
+  return result;
+}
+
+MatchingResult heavy_connectivity_matching_distributed(
+    Grid3D& grid, const CscMat& incidence, double min_shared,
+    Bytes total_memory, const SummaOptions& opts) {
+  MatchingResult result;
+  result.mate.assign(static_cast<std::size_t>(incidence.nrows()), -1);
+
+  const CscMat at = incidence.transpose();
+  const DistMat3D da = distribute_a_style(grid, incidence);
+  const DistMat3D db = distribute_b_style(grid, at);
+
+  batched_summa3d<PlusTimes>(
+      grid, da, db, total_memory, opts,
+      [&](CscMat&& piece, const BatchInfo& info) {
+        // Local candidates of this batch piece.
+        std::vector<Candidate> mine;
+        for (Index j = 0; j < piece.ncols(); ++j) {
+          const Index global_col = info.global_cols.start + j;
+          const auto rows = piece.col_rowids(j);
+          const auto vals = piece.col_vals(j);
+          for (std::size_t k = 0; k < rows.size(); ++k) {
+            const Index global_row = info.global_rows.start + rows[k];
+            if (global_row < global_col && vals[k] >= min_shared &&
+                result.mate[static_cast<std::size_t>(global_row)] < 0 &&
+                result.mate[static_cast<std::size_t>(global_col)] < 0)
+              mine.push_back({global_row, global_col, vals[k]});
+          }
+        }
+        // Share this batch's candidates; every rank applies the identical
+        // greedy pass, keeping the matched set consistent without a
+        // coordinator. The candidates are then discarded.
+        std::vector<std::byte> raw(mine.size() * sizeof(Candidate));
+        if (!mine.empty()) std::memcpy(raw.data(), mine.data(), raw.size());
+        const auto all = grid.world().allgather_bytes(std::move(raw));
+        std::vector<Candidate> batch_candidates;
+        for (const auto& buf : all) {
+          CASP_CHECK(buf.size() % sizeof(Candidate) == 0);
+          const std::size_t count = buf.size() / sizeof(Candidate);
+          const std::size_t base = batch_candidates.size();
+          batch_candidates.resize(base + count);
+          if (count > 0)
+            std::memcpy(batch_candidates.data() + base, buf.data(), buf.size());
+        }
+        std::sort(batch_candidates.begin(), batch_candidates.end(), heavier);
+        greedy_apply(batch_candidates, result);
+      },
+      /*keep_output=*/false);
+  return result;
+}
+
+}  // namespace casp

@@ -1,0 +1,47 @@
+// Heavy-connectivity (inner-product) matching via batched A*A^T — the
+// hypergraph-coarsening use case of the paper's introduction: "one
+// typically finds the number of shared hyperedges between all pairs of
+// vertices in order to run a matching algorithm ... Due to memory
+// limitations and the higher density of the product, this SpGEMM is done
+// in batches in distributed-memory multi-level partitioners such as
+// Zoltan [18]."
+//
+// A is the vertex-by-hyperedge incidence matrix; (A*A^T)(u, v) counts the
+// hyperedges shared by u and v. Each batch of the product yields candidate
+// pairs that are greedily matched immediately and then discarded — the
+// full (dense-ish) connectivity matrix never exists.
+#pragma once
+
+#include <vector>
+
+#include "grid/grid3d.hpp"
+#include "sparse/csc_mat.hpp"
+#include "summa/steps.hpp"
+
+namespace casp {
+
+struct MatchingResult {
+  /// mate[v] = matched partner of v, or -1 if unmatched.
+  std::vector<Index> mate;
+  Index matched_pairs = 0;
+  /// Sum of shared-hyperedge counts over matched pairs (matching weight).
+  double total_weight = 0.0;
+};
+
+/// Serial reference: greedy matching over all pairs with at least
+/// `min_shared` common hyperedges, heaviest pairs first (ties broken by
+/// vertex ids). Greedy processing yields a maximal matching: afterwards no
+/// two unmatched vertices share >= min_shared hyperedges.
+MatchingResult heavy_connectivity_matching_serial(const CscMat& incidence,
+                                                  double min_shared);
+
+/// Distributed, memory-constrained version: A*A^T runs as BatchedSUMMA3D;
+/// after each batch the candidate pairs are allgathered and every rank
+/// applies the identical greedy pass, so the evolving matched set is
+/// consistent and each batch's candidates can be discarded. Greedy
+/// maximality holds for any batch order. Identical result on every rank.
+MatchingResult heavy_connectivity_matching_distributed(
+    Grid3D& grid, const CscMat& incidence, double min_shared,
+    Bytes total_memory = 0, const SummaOptions& opts = {});
+
+}  // namespace casp

@@ -1,0 +1,251 @@
+#include "apps/mcl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "grid/dist.hpp"
+#include "kernels/spgemm.hpp"
+#include "sparse/serialize.hpp"
+#include "summa/batched.hpp"
+
+namespace casp {
+
+void mcl_normalize_columns(CscMat& m) {
+  auto vals = m.vals_mutable();
+  for (Index j = 0; j < m.ncols(); ++j) {
+    const auto lo = static_cast<std::size_t>(m.colptr()[static_cast<std::size_t>(j)]);
+    const auto hi = static_cast<std::size_t>(m.colptr()[static_cast<std::size_t>(j) + 1]);
+    Value sum = 0;
+    for (std::size_t k = lo; k < hi; ++k) sum += vals[k];
+    if (sum > 0)
+      for (std::size_t k = lo; k < hi; ++k) vals[k] /= sum;
+  }
+}
+
+void mcl_inflate(CscMat& m, double exponent) {
+  for (Value& v : m.vals_mutable()) v = std::pow(v, exponent);
+  mcl_normalize_columns(m);
+}
+
+void mcl_prune(CscMat& m, double threshold, Index keep_per_col) {
+  // Threshold pass first.
+  m.prune([threshold](Index, Index, Value v) { return v >= threshold; });
+  if (keep_per_col <= 0) return;
+  // Top-k pass: for over-full columns keep the k largest values.
+  bool any_overfull = false;
+  for (Index j = 0; j < m.ncols(); ++j) {
+    if (m.col_nnz(j) > keep_per_col) {
+      any_overfull = true;
+      break;
+    }
+  }
+  if (!any_overfull) return;
+  std::vector<Value> cutoffs(static_cast<std::size_t>(m.ncols()), -1.0);
+  std::vector<Value> scratch;
+  for (Index j = 0; j < m.ncols(); ++j) {
+    if (m.col_nnz(j) <= keep_per_col) continue;
+    const auto vals = m.col_vals(j);
+    scratch.assign(vals.begin(), vals.end());
+    std::nth_element(scratch.begin(),
+                     scratch.begin() + static_cast<std::ptrdiff_t>(keep_per_col - 1),
+                     scratch.end(), std::greater<Value>());
+    cutoffs[static_cast<std::size_t>(j)] =
+        scratch[static_cast<std::size_t>(keep_per_col - 1)];
+  }
+  // Keep entries >= cutoff, breaking ties by keeping the first arrivals
+  // until the column is full.
+  std::vector<Index> kept(static_cast<std::size_t>(m.ncols()), 0);
+  m.prune([&](Index, Index col, Value v) {
+    const auto c = static_cast<std::size_t>(col);
+    if (cutoffs[c] < 0) return true;
+    if (v < cutoffs[c]) return false;
+    if (kept[c] >= keep_per_col && v <= cutoffs[c]) return false;
+    ++kept[c];
+    return true;
+  });
+}
+
+double mcl_chaos(const CscMat& m) {
+  double chaos = 0.0;
+  for (Index j = 0; j < m.ncols(); ++j) {
+    const auto vals = m.col_vals(j);
+    if (vals.empty()) continue;
+    Value mx = 0, sumsq = 0;
+    for (Value v : vals) {
+      mx = std::max(mx, v);
+      sumsq += v * v;
+    }
+    chaos = std::max(chaos, static_cast<double>(mx - sumsq));
+  }
+  return chaos;
+}
+
+namespace {
+/// Union-find for the cluster interpretation.
+class UnionFind {
+ public:
+  explicit UnionFind(Index n) : parent_(static_cast<std::size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), Index{0});
+  }
+  Index find(Index x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(Index a, Index b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[static_cast<std::size_t>(std::max(a, b))] = std::min(a, b);
+  }
+
+ private:
+  std::vector<Index> parent_;
+};
+}  // namespace
+
+MclResult mcl_interpret(const CscMat& m) {
+  CASP_CHECK_MSG(m.nrows() == m.ncols(), "mcl: iterate must be square");
+  const Index n = m.ncols();
+  // Each vertex joins its column's attractor (argmax row); vertices whose
+  // columns died join singleton clusters.
+  UnionFind uf(n);
+  for (Index j = 0; j < n; ++j) {
+    const auto rows = m.col_rowids(j);
+    const auto vals = m.col_vals(j);
+    if (rows.empty()) continue;
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < vals.size(); ++k)
+      if (vals[k] > vals[best]) best = k;
+    uf.unite(j, rows[best]);
+  }
+  MclResult result;
+  result.cluster_of.assign(static_cast<std::size_t>(n), -1);
+  std::vector<Index> id_of_root(static_cast<std::size_t>(n), -1);
+  Index next = 0;
+  for (Index v = 0; v < n; ++v) {
+    const Index root = uf.find(v);
+    if (id_of_root[static_cast<std::size_t>(root)] < 0)
+      id_of_root[static_cast<std::size_t>(root)] = next++;
+    result.cluster_of[static_cast<std::size_t>(v)] =
+        id_of_root[static_cast<std::size_t>(root)];
+  }
+  result.num_clusters = next;
+  return result;
+}
+
+namespace {
+/// One inflation + pruning pass applied to a column block (works the same
+/// on a local batch piece and on a full matrix — pruning is column-local).
+void inflate_and_prune(CscMat& m, const MclParams& params) {
+  mcl_inflate(m, params.inflation);
+  mcl_prune(m, params.prune_threshold, params.keep_per_col);
+  mcl_normalize_columns(m);
+}
+}  // namespace
+
+MclResult mcl_cluster_serial(const CscMat& similarity, const MclParams& params) {
+  CASP_CHECK(similarity.nrows() == similarity.ncols());
+  CscMat m = similarity;
+  mcl_normalize_columns(m);
+  MclResult result;
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    // Expansion: M <- M * M.
+    m = local_spgemm<PlusTimes>(m, m, SpGemmKind::kSortedHash);
+    inflate_and_prune(m, params);
+    MclIterationStats stats;
+    stats.batches = 1;
+    stats.chaos = mcl_chaos(m);
+    stats.nnz_after = m.nnz();
+    result.per_iteration.push_back(stats);
+    ++result.iterations;
+    if (stats.chaos < params.chaos_threshold) break;
+  }
+  const MclResult interpreted = mcl_interpret(m);
+  result.cluster_of = interpreted.cluster_of;
+  result.num_clusters = interpreted.num_clusters;
+  return result;
+}
+
+MclResult mcl_cluster_distributed(Grid3D& grid, const CscMat& similarity,
+                                  const MclParams& params, Bytes total_memory,
+                                  const SummaOptions& opts) {
+  CASP_CHECK(similarity.nrows() == similarity.ncols());
+  CscMat m = similarity;
+  mcl_normalize_columns(m);
+  MclResult result;
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    const DistMat3D da = distribute_a_style(grid, m);
+    const DistMat3D db = distribute_b_style(grid, m);
+    // Expansion with batch-wise pruning: each finished batch piece is
+    // inflated/pruned immediately, so the unpruned square never exists.
+    //
+    // Inflation and pruning are column-global, but a batch piece holds only
+    // this rank's *row slice* of each column (C is A-style distributed, so
+    // a global column spans the q ranks of the process column). HipMCL
+    // performs the column-wise reductions along process columns; here the
+    // batch piece is exchanged within col_comm so every member sees the
+    // full columns of the batch, prunes them, and keeps its own row slice.
+    // Memory stays bounded by the batch, never the whole square.
+    std::vector<CscMat> pruned_pieces;
+    Index batches = 1;
+    const Index nrows = m.nrows();
+    const Index q = grid.q();
+    batched_summa3d<PlusTimes>(
+        grid, da, db, total_memory, opts,
+        [&](CscMat&& piece, const BatchInfo& info) {
+          batches = info.num_batches;
+          // Assemble full columns across the process column.
+          vmpi::Comm& col_comm = grid.col_comm();
+          const auto buffers = col_comm.allgather_bytes(pack_csc(piece));
+          TripleMat full_triples(nrows, piece.ncols());
+          for (int src = 0; src < col_comm.size(); ++src) {
+            const CscMat part = unpack_csc(buffers[static_cast<std::size_t>(src)]);
+            const Index row_base = part_low(src, q, nrows);
+            for (Index j = 0; j < part.ncols(); ++j) {
+              const auto rows = part.col_rowids(j);
+              const auto vals = part.col_vals(j);
+              for (std::size_t k = 0; k < rows.size(); ++k)
+                full_triples.push_back(rows[k] + row_base, j, vals[k]);
+            }
+          }
+          CscMat full = CscMat::from_triples(std::move(full_triples));
+          inflate_and_prune(full, params);
+          // Keep my row slice of the pruned batch.
+          CscMat my_slice = extract_block(
+              full, info.global_rows.start,
+              info.global_rows.start + info.global_rows.count, 0, full.ncols());
+          pruned_pieces.push_back(std::move(my_slice));
+        },
+        /*keep_output=*/false);
+    DistMat3D pruned;
+    pruned.global_rows = m.nrows();
+    pruned.global_cols = m.ncols();
+    pruned.rows = a_style_row_range(grid, m.nrows());
+    pruned.cols = a_style_col_range(grid, m.ncols());
+    pruned.local = CscMat::concat_cols(pruned_pieces);
+    // Re-replicate for the next iteration (and to evaluate global chaos).
+    m = gather_dist(grid, pruned);
+    // Batch pieces were normalized per piece; the global iterate is
+    // column-stochastic already since pruning/normalization is column-local
+    // and every global column lives in exactly one piece.
+    MclIterationStats stats;
+    stats.batches = batches;
+    stats.chaos = mcl_chaos(m);
+    stats.nnz_after = m.nnz();
+    result.per_iteration.push_back(stats);
+    ++result.iterations;
+    if (stats.chaos < params.chaos_threshold) break;
+  }
+  const MclResult interpreted = mcl_interpret(m);
+  result.cluster_of = interpreted.cluster_of;
+  result.num_clusters = interpreted.num_clusters;
+  return result;
+}
+
+}  // namespace casp

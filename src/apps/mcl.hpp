@@ -1,0 +1,71 @@
+// HipMCL-style Markov clustering (Sec. V-C) on BatchedSUMMA3D.
+//
+// MCL iterates expansion (matrix squaring — the SpGEMM that overruns
+// memory at scale), inflation (elementwise power + column normalization),
+// and pruning (threshold + per-column top-k). HipMCL's crucial property is
+// that pruning is column-local, so each batch of the squared matrix can be
+// pruned the moment it is produced and the full dense-ish A^2 never exists
+// — exactly the BatchedSUMMA3D streaming contract.
+#pragma once
+
+#include <vector>
+
+#include "grid/grid3d.hpp"
+#include "sparse/csc_mat.hpp"
+#include "summa/steps.hpp"
+
+namespace casp {
+
+struct MclParams {
+  /// Inflation exponent (van Dongen's r; HipMCL default 2).
+  double inflation = 2.0;
+  /// Entries below this are dropped after inflation.
+  double prune_threshold = 1e-4;
+  /// Keep at most this many entries per column (HipMCL's top-k pruning).
+  Index keep_per_col = 64;
+  int max_iterations = 60;
+  /// Converged when the chaos measure (max over columns of
+  /// max(col) - sum(col^2) on column-stochastic M) drops below this.
+  double chaos_threshold = 1e-3;
+};
+
+struct MclIterationStats {
+  Index batches = 1;       ///< batch count the symbolic step chose
+  double chaos = 0.0;      ///< post-iteration chaos
+  Index nnz_after = 0;     ///< nnz of the pruned iterate
+};
+
+struct MclResult {
+  /// cluster_of[v] = cluster id of vertex v (ids are arbitrary but dense).
+  std::vector<Index> cluster_of;
+  Index num_clusters = 0;
+  int iterations = 0;
+  std::vector<MclIterationStats> per_iteration;
+};
+
+/// Serial reference implementation (for tests and as the spec).
+MclResult mcl_cluster_serial(const CscMat& similarity, const MclParams& params);
+
+/// Distributed implementation: every rank calls with the same replicated
+/// similarity matrix; expansion runs as BatchedSUMMA3D with batch-wise
+/// pruning under the given aggregate memory budget (0 = unlimited). The
+/// iterate is re-replicated between iterations (gather_dist) — acceptable
+/// at library-test scale and keeps the example honest about where
+/// communication happens. Returns identical results on every rank.
+MclResult mcl_cluster_distributed(Grid3D& grid, const CscMat& similarity,
+                                  const MclParams& params,
+                                  Bytes total_memory = 0,
+                                  const SummaOptions& opts = {});
+
+/// Column-stochastic normalization, in place. Exposed for tests.
+void mcl_normalize_columns(CscMat& m);
+/// Inflation: elementwise power then renormalize. Exposed for tests.
+void mcl_inflate(CscMat& m, double exponent);
+/// Threshold + top-k pruning. Exposed for tests.
+void mcl_prune(CscMat& m, double threshold, Index keep_per_col);
+/// Chaos of a column-stochastic matrix. Exposed for tests.
+double mcl_chaos(const CscMat& m);
+/// Interpret a converged iterate as clusters. Exposed for tests.
+MclResult mcl_interpret(const CscMat& m);
+
+}  // namespace casp

@@ -1,0 +1,76 @@
+#include "apps/overlap.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "grid/dist.hpp"
+#include "kernels/spgemm.hpp"
+#include "summa/batched.hpp"
+
+namespace casp {
+
+std::vector<OverlapPair> find_overlaps_serial(const CscMat& kmer_matrix,
+                                              double min_shared) {
+  const CscMat at = kmer_matrix.transpose();
+  const CscMat shared = local_spgemm<PlusTimes>(kmer_matrix, at,
+                                                SpGemmKind::kSortedHash);
+  std::vector<OverlapPair> pairs;
+  for (Index j = 0; j < shared.ncols(); ++j) {
+    const auto rows = shared.col_rowids(j);
+    const auto vals = shared.col_vals(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (rows[k] < j && vals[k] >= min_shared)
+        pairs.push_back({rows[k], j, vals[k]});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+std::vector<OverlapPair> find_overlaps_distributed(Grid3D& grid,
+                                                   const CscMat& kmer_matrix,
+                                                   double min_shared,
+                                                   Bytes total_memory,
+                                                   const SummaOptions& opts) {
+  const CscMat at = kmer_matrix.transpose();
+  const DistMat3D da = distribute_a_style(grid, kmer_matrix);
+  const DistMat3D db = distribute_b_style(grid, at);
+
+  // Filter each batch piece as it streams out; the full reads-by-reads
+  // similarity matrix is never assembled.
+  std::vector<OverlapPair> mine;
+  batched_summa3d<PlusTimes>(
+      grid, da, db, total_memory, opts,
+      [&](CscMat&& piece, const BatchInfo& info) {
+        for (Index j = 0; j < piece.ncols(); ++j) {
+          const Index global_col = info.global_cols.start + j;
+          const auto rows = piece.col_rowids(j);
+          const auto vals = piece.col_vals(j);
+          for (std::size_t k = 0; k < rows.size(); ++k) {
+            const Index global_row = info.global_rows.start + rows[k];
+            // Keep the strictly-lower half so each pair reports once.
+            if (global_row < global_col && vals[k] >= min_shared)
+              mine.push_back({global_row, global_col, vals[k]});
+          }
+        }
+      },
+      /*keep_output=*/false);
+
+  // Share candidates so every rank returns the full list.
+  std::vector<std::byte> raw(mine.size() * sizeof(OverlapPair));
+  if (!mine.empty()) std::memcpy(raw.data(), mine.data(), raw.size());
+  const auto all = grid.world().allgather_bytes(std::move(raw));
+  std::vector<OverlapPair> pairs;
+  for (const auto& buf : all) {
+    CASP_CHECK(buf.size() % sizeof(OverlapPair) == 0);
+    const std::size_t count = buf.size() / sizeof(OverlapPair);
+    const std::size_t base = pairs.size();
+    pairs.resize(base + count);
+    if (count > 0) std::memcpy(pairs.data() + base, buf.data(), buf.size());
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+}  // namespace casp

@@ -1,0 +1,48 @@
+// Sequence overlap detection via A*A^T (application (c) of Sec. V-B; the
+// BELLA [7] / PASTIS [15] pattern, evaluated in Figs. 10-11).
+//
+// A is reads x k-mers; (A*A^T)(i,j) counts the k-mers shared by reads i
+// and j — all-pairs overlap without quadratic cost, because only pairs
+// sharing at least one k-mer materialize. Candidates are filtered by a
+// minimum shared-k-mer threshold batch by batch, so the full (dense-ish)
+// similarity matrix never exists.
+#pragma once
+
+#include <vector>
+
+#include "grid/grid3d.hpp"
+#include "sparse/csc_mat.hpp"
+#include "summa/steps.hpp"
+
+namespace casp {
+
+struct OverlapPair {
+  Index read_a = 0;  ///< smaller read id
+  Index read_b = 0;  ///< larger read id
+  double shared = 0.0;  ///< number of shared k-mers
+
+  friend bool operator==(const OverlapPair& x, const OverlapPair& y) {
+    return x.read_a == y.read_a && x.read_b == y.read_b &&
+           x.shared == y.shared;
+  }
+  friend bool operator<(const OverlapPair& x, const OverlapPair& y) {
+    if (x.read_a != y.read_a) return x.read_a < y.read_a;
+    if (x.read_b != y.read_b) return x.read_b < y.read_b;
+    return x.shared < y.shared;
+  }
+};
+
+/// Serial reference: all pairs (i < j) with >= min_shared common k-mers,
+/// sorted by (read_a, read_b).
+std::vector<OverlapPair> find_overlaps_serial(const CscMat& kmer_matrix,
+                                              double min_shared);
+
+/// Distributed version: every rank calls with the same replicated k-mer
+/// matrix; A*A^T runs as BatchedSUMMA3D (0 memory = unlimited) and each
+/// batch is filtered on arrival. The merged candidate list is allgathered
+/// so every rank returns the identical sorted result.
+std::vector<OverlapPair> find_overlaps_distributed(
+    Grid3D& grid, const CscMat& kmer_matrix, double min_shared,
+    Bytes total_memory = 0, const SummaOptions& opts = {});
+
+}  // namespace casp

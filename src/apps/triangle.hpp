@@ -1,0 +1,27 @@
+// Triangle counting via SpGEMM (application (b) of Sec. V-B).
+//
+// For an undirected adjacency matrix A split into strictly-lower L and
+// strictly-upper U, (L*U)(i,j) with i > j counts the wedges i-k-j with
+// k < j < i; masking by the edges of L counts each triangle {k < j < i}
+// exactly once [Azad, Buluc, Gilbert 2015]. The mask is evaluated
+// rank-locally: C = L*U is distributed like L (A-style), so every rank owns
+// the L block matching its C block.
+#pragma once
+
+#include "grid/grid3d.hpp"
+#include "sparse/csc_mat.hpp"
+#include "summa/steps.hpp"
+
+namespace casp {
+
+/// Serial reference (exact).
+Index count_triangles_serial(const CscMat& adjacency);
+
+/// Distributed count using BatchedSUMMA3D for L*U; every rank calls with
+/// the same replicated adjacency and receives the same global count.
+/// total_memory as in batched_summa3d (0 = unlimited).
+Index count_triangles_distributed(Grid3D& grid, const CscMat& adjacency,
+                                  Bytes total_memory = 0,
+                                  const SummaOptions& opts = {});
+
+}  // namespace casp

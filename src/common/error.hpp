@@ -1,0 +1,54 @@
+// Error handling: checked preconditions that throw, and a dedicated
+// exception for memory-budget violations (the condition the batched
+// algorithm exists to avoid).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace casp {
+
+/// Thrown when an operation would exceed the configured memory budget,
+/// e.g. Symbolic3D discovering that even the inputs do not fit.
+class MemoryError : public std::runtime_error {
+ public:
+  explicit MemoryError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on malformed input (bad file, inconsistent dimensions, ...).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CASP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace casp
+
+/// Precondition check that stays enabled in release builds. Distributed
+/// algorithms are hard to debug post-hoc, so invariants fail loudly.
+#define CASP_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::casp::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define CASP_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream casp_os_;                                    \
+      casp_os_ << msg;                                                \
+      ::casp::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                   casp_os_.str());                   \
+    }                                                                 \
+  } while (0)

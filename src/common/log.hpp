@@ -1,0 +1,43 @@
+// Minimal leveled logging. Distributed runs interleave output from many
+// virtual ranks, so every line is emitted atomically under one mutex.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace casp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line (thread-safe, newline appended).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace casp
+
+#define CASP_LOG_DEBUG ::casp::detail::LogStream(::casp::LogLevel::kDebug)
+#define CASP_LOG_INFO ::casp::detail::LogStream(::casp::LogLevel::kInfo)
+#define CASP_LOG_WARN ::casp::detail::LogStream(::casp::LogLevel::kWarn)
+#define CASP_LOG_ERROR ::casp::detail::LogStream(::casp::LogLevel::kError)

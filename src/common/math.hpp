@@ -1,0 +1,69 @@
+// Small integer math helpers used by partitioning, grids and hash tables.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace casp {
+
+/// ceil(a / b) for non-negative a, positive b.
+constexpr Index ceil_div(Index a, Index b) { return (a + b - 1) / b; }
+
+/// True iff x is a power of two (x > 0).
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x (x >= 1). next_pow2(0) == 1.
+constexpr std::uint64_t next_pow2(std::uint64_t x) {
+  return x <= 1 ? 1 : std::bit_ceil(x);
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr int ilog2(std::uint64_t x) {
+  return 63 - std::countl_zero(x | 1);
+}
+
+/// ceil(log2(x)) for x >= 1; number of rounds in a binomial-tree broadcast.
+constexpr int ceil_log2(std::uint64_t x) {
+  return x <= 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+/// Exact integer square root check: returns s if p == s*s, else -1.
+constexpr Index exact_isqrt(Index p) {
+  if (p < 0) return -1;
+  Index s = 0;
+  while ((s + 1) * (s + 1) <= p) ++s;
+  return s * s == p ? s : -1;
+}
+
+/// Lower boundary of part i when dividing n items into `parts` balanced
+/// contiguous parts: part i covers [part_low(i), part_low(i+1)).
+/// This is the canonical partition used *everywhere* (2D blocks, layer
+/// slices, batch blocks) so nested partitions compose exactly:
+///   part_low(k*b, l*b, n) == part_low(k, l, n).
+constexpr Index part_low(Index i, Index parts, Index n) {
+  CASP_CHECK(parts > 0 && i >= 0 && i <= parts);
+  return (i * n) / parts;
+}
+
+/// Size of part i under the same partition.
+constexpr Index part_size(Index i, Index parts, Index n) {
+  return part_low(i + 1, parts, n) - part_low(i, parts, n);
+}
+
+/// Which part a global position g falls into under part_low partitioning.
+/// Inverse of part_low: part_of(part_low(i), parts, n) == i for nonempty
+/// parts.
+constexpr Index part_of(Index g, Index parts, Index n) {
+  CASP_CHECK(n > 0 && g >= 0 && g < n);
+  // candidate via proportional guess, then correct (floor partition means
+  // the guess can be off by at most one in either direction).
+  Index i = (g * parts) / n;
+  while (i + 1 <= parts && part_low(i + 1, parts, n) <= g) ++i;
+  while (i > 0 && part_low(i, parts, n) > g) --i;
+  return i;
+}
+
+}  // namespace casp

@@ -1,0 +1,29 @@
+#include "common/memory_tracker.hpp"
+
+#include <sstream>
+
+namespace casp {
+
+void MemoryTracker::allocate(Bytes bytes, const char* what) {
+  Bytes now = live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (budget_ != 0 && now > budget_) {
+    live_.fetch_sub(bytes, std::memory_order_relaxed);
+    std::ostringstream os;
+    os << "memory budget exceeded allocating " << bytes << " bytes for "
+       << what << ": live " << (now - bytes) << " + " << bytes << " > budget "
+       << budget_;
+    throw MemoryError(os.str());
+  }
+  // Lock-free peak update.
+  Bytes prev_peak = peak_.load(std::memory_order_relaxed);
+  while (now > prev_peak &&
+         !peak_.compare_exchange_weak(prev_peak, now,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::release(Bytes bytes) {
+  live_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace casp

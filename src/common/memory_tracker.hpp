@@ -1,0 +1,82 @@
+// Memory accounting for the memory-constrained execution mode.
+//
+// On Cori the constraint is physical: 112 GB per KNL node. Here the
+// constraint is configured: each virtual rank gets a byte budget, every
+// nonzero buffer the distributed algorithm materializes is charged against
+// it, and exceeding it throws MemoryError. Symbolic3D exists to pick the
+// batch count b so this never fires.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace casp {
+
+/// Tracks live and peak bytes against an optional budget. Thread-safe.
+class MemoryTracker {
+ public:
+  /// budget == 0 means unlimited.
+  explicit MemoryTracker(Bytes budget = 0) : budget_(budget) {}
+
+  /// Charge `bytes`; throws MemoryError if this would exceed the budget.
+  void allocate(Bytes bytes, const char* what = "buffer");
+
+  /// Release a previous charge.
+  void release(Bytes bytes);
+
+  Bytes live() const { return live_.load(std::memory_order_relaxed); }
+  Bytes peak() const { return peak_.load(std::memory_order_relaxed); }
+  Bytes budget() const { return budget_; }
+  void set_budget(Bytes budget) { budget_ = budget; }
+  void reset_peak() { peak_.store(live()); }
+
+ private:
+  Bytes budget_;
+  std::atomic<Bytes> live_{0};
+  std::atomic<Bytes> peak_{0};
+};
+
+/// RAII charge: holds `bytes` on a tracker for the scope's lifetime.
+class MemoryCharge {
+ public:
+  MemoryCharge() : tracker_(nullptr), bytes_(0) {}
+  MemoryCharge(MemoryTracker& tracker, Bytes bytes, const char* what = "buffer")
+      : tracker_(&tracker), bytes_(bytes) {
+    tracker_->allocate(bytes_, what);
+  }
+  ~MemoryCharge() { reset(); }
+  MemoryCharge(MemoryCharge&& other) noexcept
+      : tracker_(other.tracker_), bytes_(other.bytes_) {
+    other.tracker_ = nullptr;
+    other.bytes_ = 0;
+  }
+  MemoryCharge& operator=(MemoryCharge&& other) noexcept {
+    if (this != &other) {
+      reset();
+      tracker_ = other.tracker_;
+      bytes_ = other.bytes_;
+      other.tracker_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  MemoryCharge(const MemoryCharge&) = delete;
+  MemoryCharge& operator=(const MemoryCharge&) = delete;
+
+  void reset() {
+    if (tracker_ != nullptr) tracker_->release(bytes_);
+    tracker_ = nullptr;
+    bytes_ = 0;
+  }
+  Bytes bytes() const { return bytes_; }
+
+ private:
+  MemoryTracker* tracker_;
+  Bytes bytes_;
+};
+
+}  // namespace casp

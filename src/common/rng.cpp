@@ -1,0 +1,31 @@
+#include "common/rng.hpp"
+
+namespace casp {
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  if (n == 0) return 0;
+  // Lemire's nearly-divisionless bounded generation.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Mix the current state with the stream id through splitmix so sibling
+  // streams are decorrelated regardless of how much of the parent was used.
+  std::uint64_t mix = s_[0] ^ (s_[3] + 0x9e3779b97f4a7c15ULL * (stream_id + 1));
+  Rng child(0);
+  child.reseed(splitmix64(mix));
+  return child;
+}
+
+}  // namespace casp

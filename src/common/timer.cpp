@@ -1,0 +1,5 @@
+#include "common/timer.hpp"
+
+// Header-only in practice; this TU anchors the component in the library so
+// every module has a .cpp and link-time symbols stay in one place.
+namespace casp {}

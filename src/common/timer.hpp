@@ -1,0 +1,57 @@
+// Wall-clock timing for the per-step breakdowns the paper reports
+// (A-Bcast, B-Bcast, Local-Multiply, Merge-Layer, AllToAll-Fiber,
+// Merge-Fiber, Symbolic).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace casp {
+
+/// Simple monotonic stopwatch. seconds() reads elapsed time since the last
+/// reset without stopping the clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named durations; used per-rank to build step breakdowns.
+class TimeAccumulator {
+ public:
+  void add(const std::string& name, double seconds) { total_[name] += seconds; }
+  double get(const std::string& name) const {
+    auto it = total_.find(name);
+    return it == total_.end() ? 0.0 : it->second;
+  }
+  const std::map<std::string, double>& all() const { return total_; }
+  void clear() { total_.clear(); }
+
+ private:
+  std::map<std::string, double> total_;
+};
+
+/// RAII guard: adds the scope's duration to an accumulator entry.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimeAccumulator& acc, std::string name)
+      : acc_(acc), name_(std::move(name)) {}
+  ~ScopedTimer() { acc_.add(name_, watch_.seconds()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeAccumulator& acc_;
+  std::string name_;
+  Stopwatch watch_;
+};
+
+}  // namespace casp

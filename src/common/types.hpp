@@ -1,0 +1,29 @@
+// Core scalar types used throughout the library.
+//
+// Indices are 64-bit signed integers: the paper's matrices have up to 282M
+// rows and trillions of nonzeros, so 32-bit indices overflow even for the
+// nnz counters of modest instances. Signed types allow -1 sentinels in hash
+// tables and make subtraction in partition arithmetic safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace casp {
+
+/// Row/column index and nnz offset type.
+using Index = std::int64_t;
+
+/// Numeric value type stored in matrices. Semirings reinterpret the
+/// semantics of addition/multiplication but share this representation.
+using Value = double;
+
+/// Byte counts (memory accounting, message sizes).
+using Bytes = std::uint64_t;
+
+/// Number of bytes needed to store one nonzero in distributed triples form:
+/// 8-byte row index + 8-byte column index + 8-byte value. This matches the
+/// paper's r = 24 bytes/nonzero accounting (Sec. IV-A).
+inline constexpr Bytes kBytesPerNonzero = 24;
+
+}  // namespace casp

@@ -1,0 +1,40 @@
+#include "gen/er.hpp"
+
+#include "common/error.hpp"
+
+namespace casp {
+
+CscMat generate_er(const ErParams& params) {
+  CASP_CHECK(params.nrows >= 0 && params.ncols >= 0 && params.nnz_per_col >= 0);
+  TripleMat triples(params.nrows, params.ncols);
+  if (params.nrows == 0 || params.ncols == 0) {
+    return CscMat::from_triples(std::move(triples));
+  }
+  Rng root(params.seed);
+  triples.reserve(static_cast<Index>(params.nnz_per_col *
+                                     static_cast<double>(params.ncols)));
+  for (Index j = 0; j < params.ncols; ++j) {
+    Rng rng = root.fork(static_cast<std::uint64_t>(j));
+    // Integer part deterministic, fractional part Bernoulli, so expected
+    // column degree matches nnz_per_col exactly.
+    Index d = static_cast<Index>(params.nnz_per_col);
+    if (rng.uniform() < params.nnz_per_col - static_cast<double>(d)) ++d;
+    for (Index k = 0; k < d; ++k) {
+      const Index r = rng.range(0, params.nrows);
+      const Value v = params.random_values ? 1.0 - rng.uniform() : Value{1};
+      triples.push_back(r, j, v);
+    }
+  }
+  return CscMat::from_triples(std::move(triples));
+}
+
+CscMat generate_er_square(Index n, double d, std::uint64_t seed) {
+  ErParams p;
+  p.nrows = n;
+  p.ncols = n;
+  p.nnz_per_col = d;
+  p.seed = seed;
+  return generate_er(p);
+}
+
+}  // namespace casp

@@ -1,0 +1,31 @@
+// Erdős–Rényi–style random sparse matrices.
+//
+// The baseline workload for kernel correctness tests and microbenches; also
+// the model the communication-optimality literature analyzes (Ballard et
+// al. [37] study ER inputs).
+#pragma once
+
+#include "common/rng.hpp"
+#include "sparse/csc_mat.hpp"
+
+namespace casp {
+
+struct ErParams {
+  Index nrows = 0;
+  Index ncols = 0;
+  /// Expected nonzeros per column; each column draws this many positions
+  /// uniformly with replacement and duplicates are merged, so the realized
+  /// count is slightly lower at high density.
+  double nnz_per_col = 4.0;
+  /// Values are uniform in (0, 1] when true, else exactly 1.0.
+  bool random_values = true;
+  std::uint64_t seed = 1;
+};
+
+/// Generate an ER matrix as canonical CSC.
+CscMat generate_er(const ErParams& params);
+
+/// Convenience: square n x n ER matrix with d nonzeros/column.
+CscMat generate_er_square(Index n, double d, std::uint64_t seed = 1);
+
+}  // namespace casp

@@ -1,0 +1,45 @@
+#include "gen/kmer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace casp {
+
+Index KmerMatrix::true_overlap(Index i, Index j) const {
+  const Index si = read_start[static_cast<std::size_t>(i)];
+  const Index ei = si + read_len[static_cast<std::size_t>(i)];
+  const Index sj = read_start[static_cast<std::size_t>(j)];
+  const Index ej = sj + read_len[static_cast<std::size_t>(j)];
+  return std::max<Index>(0, std::min(ei, ej) - std::max(si, sj));
+}
+
+KmerMatrix generate_kmer_matrix(const KmerParams& params) {
+  CASP_CHECK(params.num_reads > 0 && params.genome_length > 0);
+  CASP_CHECK(params.min_read_len >= 1 &&
+             params.max_read_len >= params.min_read_len &&
+             params.max_read_len <= params.genome_length);
+  CASP_CHECK(params.kmer_keep_fraction > 0.0 &&
+             params.kmer_keep_fraction <= 1.0);
+
+  Rng rng(params.seed);
+  KmerMatrix out;
+  out.read_start.resize(static_cast<std::size_t>(params.num_reads));
+  out.read_len.resize(static_cast<std::size_t>(params.num_reads));
+
+  TripleMat triples(params.num_reads, params.genome_length);
+  for (Index i = 0; i < params.num_reads; ++i) {
+    const Index len = rng.range(params.min_read_len, params.max_read_len + 1);
+    const Index start = rng.range(0, params.genome_length - len + 1);
+    out.read_start[static_cast<std::size_t>(i)] = start;
+    out.read_len[static_cast<std::size_t>(i)] = len;
+    for (Index p = start; p < start + len; ++p) {
+      if (rng.uniform() < params.kmer_keep_fraction)
+        triples.push_back(i, p, 1.0);
+    }
+  }
+  out.mat = CscMat::from_triples(std::move(triples));
+  return out;
+}
+
+}  // namespace casp

@@ -1,0 +1,47 @@
+// Sequence-by-k-mer matrix generator (Rice-kmers / Metaclust20m analog).
+//
+// BELLA [7] and PASTIS [15] build a tall-thin matrix A whose rows are reads
+// (sequences) and whose columns are k-mers; A(i, j) != 0 iff read i contains
+// k-mer j. A·A^T then counts shared k-mers between every pair of reads
+// without quadratic all-pairs cost. We model reads as intervals over a
+// circular genome: read i covers genome positions [s_i, s_i + len_i) and
+// the k-mer ids are genome positions, so two reads share exactly
+// |interval intersection| k-mers — an exact, checkable ground truth for the
+// overlap application.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/csc_mat.hpp"
+
+namespace casp {
+
+struct KmerParams {
+  /// Number of reads (rows of A).
+  Index num_reads = 1 << 12;
+  /// Genome length (columns of A = distinct k-mers).
+  Index genome_length = 1 << 14;
+  /// Read length range (uniform).
+  Index min_read_len = 24;
+  Index max_read_len = 64;
+  /// Fraction of a read's k-mers retained (BELLA subsamples k-mers;
+  /// Rice-kmers keeps "a subset of the k-mers").
+  double kmer_keep_fraction = 0.5;
+  std::uint64_t seed = 1;
+};
+
+struct KmerMatrix {
+  /// num_reads x genome_length, A(i, p) = 1 if read i retained k-mer p.
+  CscMat mat;
+  /// Interval [start, start+len) covered by each read (ground truth).
+  std::vector<Index> read_start;
+  std::vector<Index> read_len;
+
+  /// Exact overlap length of reads i and j on the circular genome.
+  Index true_overlap(Index i, Index j) const;
+};
+
+KmerMatrix generate_kmer_matrix(const KmerParams& params);
+
+}  // namespace casp

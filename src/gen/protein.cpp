@@ -1,0 +1,122 @@
+#include "gen/protein.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace casp {
+
+namespace {
+/// Sample a family size from a truncated power law P(s) ~ s^-exponent via
+/// inverse transform on the continuous approximation.
+Index sample_family_size(Rng& rng, const ProteinParams& p) {
+  const double lo = static_cast<double>(p.min_family);
+  const double hi = static_cast<double>(p.max_family);
+  const double e = 1.0 - p.family_exponent;  // integral exponent
+  const double u = rng.uniform();
+  double s;
+  if (std::abs(e) < 1e-12) {
+    s = lo * std::pow(hi / lo, u);
+  } else {
+    const double lo_e = std::pow(lo, e);
+    const double hi_e = std::pow(hi, e);
+    s = std::pow(lo_e + u * (hi_e - lo_e), 1.0 / e);
+  }
+  return std::clamp(static_cast<Index>(s), p.min_family, p.max_family);
+}
+}  // namespace
+
+ProteinMatrix generate_protein_similarity(const ProteinParams& params) {
+  CASP_CHECK(params.n > 0 && params.min_family >= 1 &&
+             params.max_family >= params.min_family);
+  CASP_CHECK(params.within_density > 0.0 && params.within_density <= 1.0);
+
+  Rng rng(params.seed);
+  ProteinMatrix out;
+  out.family_of.assign(static_cast<std::size_t>(params.n), -1);
+
+  // Carve the vertex range into consecutive families of power-law size.
+  std::vector<std::pair<Index, Index>> families;  // [start, end)
+  Index v = 0;
+  Index family_id = 0;
+  while (v < params.n) {
+    const Index size = std::min(sample_family_size(rng, params), params.n - v);
+    families.emplace_back(v, v + size);
+    for (Index u = v; u < v + size; ++u)
+      out.family_of[static_cast<std::size_t>(u)] = family_id;
+    v += size;
+    ++family_id;
+  }
+
+  TripleMat triples(params.n, params.n);
+  // Within-family edges: geometric skipping over the pair sequence so the
+  // cost is proportional to the number of edges, not candidate pairs.
+  for (const auto& [start, end] : families) {
+    const Index size = end - start;
+    const double q = params.within_density;
+    if (size < 2) continue;
+    const double log1mq = std::log(1.0 - q);
+    const std::uint64_t npairs =
+        static_cast<std::uint64_t>(size) * static_cast<std::uint64_t>(size - 1) / 2;
+    std::uint64_t idx = 0;
+    if (q < 1.0) {
+      // First candidate pair index via geometric distribution.
+      idx = static_cast<std::uint64_t>(std::log(1.0 - rng.uniform()) / log1mq);
+    }
+    while (idx < npairs) {
+      // Decode pair index -> (i, j) with i < j within the family.
+      const double fi =
+          (2.0 * static_cast<double>(size) - 1.0 -
+           std::sqrt((2.0 * static_cast<double>(size) - 1.0) *
+                         (2.0 * static_cast<double>(size) - 1.0) -
+                     8.0 * static_cast<double>(idx))) /
+          2.0;
+      Index i = static_cast<Index>(fi);
+      // Guard against floating point rounding on the triangular decode.
+      auto row_base = [size](Index r) {
+        return static_cast<std::uint64_t>(r) *
+                   (2 * static_cast<std::uint64_t>(size) - static_cast<std::uint64_t>(r) - 1) / 2;
+      };
+      while (i > 0 && row_base(i) > idx) --i;
+      while (i + 1 < size && row_base(i + 1) <= idx) ++i;
+      const Index j = i + 1 + static_cast<Index>(idx - row_base(i));
+      const Index gi = start + i;
+      const Index gj = start + j;
+      // Similarity score in (0.3, 1]: families are "high similarity".
+      const Value s = 0.3 + 0.7 * (1.0 - rng.uniform());
+      triples.push_back(gi, gj, s);
+      triples.push_back(gj, gi, s);
+      if (q >= 1.0) {
+        ++idx;
+      } else {
+        idx += 1 + static_cast<std::uint64_t>(std::log(1.0 - rng.uniform()) / log1mq);
+      }
+    }
+  }
+
+  // Cross-family noise edges with low similarity scores.
+  const Index cross =
+      static_cast<Index>(params.cross_edges_per_node * static_cast<double>(params.n));
+  for (Index e = 0; e < cross; ++e) {
+    const Index a = rng.range(0, params.n);
+    const Index b = rng.range(0, params.n);
+    if (a == b) continue;
+    const Value s = 0.05 + 0.15 * (1.0 - rng.uniform());
+    triples.push_back(a, b, s);
+    triples.push_back(b, a, s);
+  }
+
+  if (params.diagonal) {
+    for (Index u = 0; u < params.n; ++u) triples.push_back(u, u, 1.0);
+  }
+
+  // canonicalize() sums duplicate pairs; clamp back into (0, 1] to keep the
+  // similarity interpretation.
+  CscMat mat = CscMat::from_triples(std::move(triples));
+  for (Value& val : mat.vals_mutable()) val = std::min(val, Value{1});
+  out.mat = std::move(mat);
+  return out;
+}
+
+}  // namespace casp

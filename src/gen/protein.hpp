@@ -1,0 +1,44 @@
+// Protein-similarity network generator.
+//
+// Synthetic analog of Eukarya / Isolates / Metaclust50 (Table V): proteins
+// form families; similarities are dense inside a family and rare across
+// families. Family sizes follow a truncated power law, giving the skewed
+// per-column work and the nnz(A^2) >> nnz(A) blow-up that forces batching:
+// squaring connects all second-hop pairs inside a family, so big families
+// quadratically inflate the output exactly like the paper's HipMCL inputs.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/csc_mat.hpp"
+
+namespace casp {
+
+struct ProteinParams {
+  /// Number of proteins (matrix is n x n, symmetric, unit diagonal).
+  Index n = 1 << 14;
+  /// Smallest / largest family size (power-law in between).
+  Index min_family = 4;
+  Index max_family = 512;
+  /// Power-law exponent for family sizes (larger -> fewer big families).
+  double family_exponent = 2.0;
+  /// Probability that a within-family pair is connected.
+  double within_density = 0.3;
+  /// Expected number of cross-family edges per protein (noise).
+  double cross_edges_per_node = 0.5;
+  /// Include the diagonal (self-similarity = 1), as HipMCL inputs do.
+  bool diagonal = true;
+  std::uint64_t seed = 1;
+};
+
+struct ProteinMatrix {
+  CscMat mat;
+  /// family_of[v] = planted family id of protein v; ground truth for the
+  /// Markov-clustering application tests.
+  std::vector<Index> family_of;
+};
+
+ProteinMatrix generate_protein_similarity(const ProteinParams& params);
+
+}  // namespace casp

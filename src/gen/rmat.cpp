@@ -1,0 +1,57 @@
+#include "gen/rmat.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace casp {
+
+CscMat generate_rmat(const RmatParams& params) {
+  CASP_CHECK(params.scale >= 0 && params.scale < 40);
+  CASP_CHECK(std::abs(params.a + params.b + params.c + params.d - 1.0) < 1e-9);
+  const Index n = Index{1} << params.scale;
+  const Index edges = static_cast<Index>(params.edge_factor *
+                                         static_cast<double>(n));
+  TripleMat triples(n, n);
+  triples.reserve(params.symmetric ? 2 * edges : edges);
+  Rng rng(params.seed);
+  for (Index e = 0; e < edges; ++e) {
+    Index row = 0, col = 0;
+    double pa = params.a, pb = params.b, pc = params.c;
+    for (int level = 0; level < params.scale; ++level) {
+      double qa = pa, qb = pb, qc = pc;
+      if (params.noise) {
+        // +-5% multiplicative noise per level, renormalized implicitly by
+        // comparing against the noisy cumulative boundaries.
+        qa *= 0.95 + 0.1 * rng.uniform();
+        qb *= 0.95 + 0.1 * rng.uniform();
+        qc *= 0.95 + 0.1 * rng.uniform();
+        const double qd = (1.0 - pa - pb - pc) * (0.95 + 0.1 * rng.uniform());
+        const double norm = qa + qb + qc + qd;
+        qa /= norm;
+        qb /= norm;
+        qc /= norm;
+      }
+      const double u = rng.uniform();
+      row <<= 1;
+      col <<= 1;
+      if (u < qa) {
+        // top-left quadrant: no bits set
+      } else if (u < qa + qb) {
+        col |= 1;
+      } else if (u < qa + qb + qc) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    if (params.remove_self_loops && row == col) continue;
+    const Value v = params.random_values ? 1.0 - rng.uniform() : Value{1};
+    triples.push_back(row, col, v);
+    if (params.symmetric) triples.push_back(col, row, v);
+  }
+  return CscMat::from_triples(std::move(triples));
+}
+
+}  // namespace casp

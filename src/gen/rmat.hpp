@@ -1,0 +1,35 @@
+// R-MAT / Kronecker power-law graph generator (Graph500 parameters).
+//
+// Stand-in for the Friendster social network: heavy-tailed degree
+// distribution, square, nnz(C) far larger than nnz(A) when squared — the
+// regime where batching matters (Table V: Friendster nnz(A)=3.6B,
+// nnz(A^2)=1T).
+#pragma once
+
+#include "common/rng.hpp"
+#include "sparse/csc_mat.hpp"
+
+namespace casp {
+
+struct RmatParams {
+  /// Matrix dimension is 2^scale.
+  int scale = 12;
+  /// Expected edges per vertex (Graph500 uses 16).
+  double edge_factor = 8.0;
+  /// Quadrant probabilities; Graph500 defaults. Must sum to ~1.
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+  /// Add noise to quadrant probabilities at each level ("smooth" R-MAT,
+  /// avoids exact self-similar artifacts).
+  bool noise = true;
+  /// Make the matrix pattern symmetric (undirected graph).
+  bool symmetric = true;
+  /// Drop self-loops.
+  bool remove_self_loops = true;
+  bool random_values = true;
+  std::uint64_t seed = 1;
+};
+
+/// Generate an R-MAT graph adjacency matrix as canonical CSC.
+CscMat generate_rmat(const RmatParams& params);
+
+}  // namespace casp

@@ -1,0 +1,113 @@
+#include "grid/dist.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace casp {
+
+LocalRange a_style_row_range(const Grid3D& grid, Index global_rows) {
+  const Index q = grid.q();
+  return {part_low(grid.row(), q, global_rows),
+          part_size(grid.row(), q, global_rows)};
+}
+
+LocalRange a_style_col_range(const Grid3D& grid, Index global_cols) {
+  const Index q = grid.q();
+  const Index l = grid.layers();
+  const Index part_start = part_low(grid.col(), q, global_cols);
+  const Index psize = part_size(grid.col(), q, global_cols);
+  return {part_start + part_low(grid.layer(), l, psize),
+          part_size(grid.layer(), l, psize)};
+}
+
+LocalRange b_style_row_range(const Grid3D& grid, Index global_rows) {
+  const Index q = grid.q();
+  const Index l = grid.layers();
+  const Index part_start = part_low(grid.row(), q, global_rows);
+  const Index psize = part_size(grid.row(), q, global_rows);
+  return {part_start + part_low(grid.layer(), l, psize),
+          part_size(grid.layer(), l, psize)};
+}
+
+LocalRange b_style_col_range(const Grid3D& grid, Index global_cols) {
+  const Index q = grid.q();
+  return {part_low(grid.col(), q, global_cols),
+          part_size(grid.col(), q, global_cols)};
+}
+
+CscMat extract_block(const CscMat& m, Index r0, Index r1, Index c0, Index c1) {
+  CASP_CHECK(0 <= r0 && r0 <= r1 && r1 <= m.nrows());
+  CASP_CHECK(0 <= c0 && c0 <= c1 && c1 <= m.ncols());
+  const Index ncols = c1 - c0;
+  std::vector<Index> colptr(static_cast<std::size_t>(ncols) + 1, 0);
+  std::vector<Index> rowids;
+  std::vector<Value> vals;
+  for (Index j = c0; j < c1; ++j) {
+    const auto rows = m.col_rowids(j);
+    const auto values = m.col_vals(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (rows[k] >= r0 && rows[k] < r1) {
+        rowids.push_back(rows[k] - r0);
+        vals.push_back(values[k]);
+      }
+    }
+    colptr[static_cast<std::size_t>(j - c0) + 1] =
+        static_cast<Index>(rowids.size());
+  }
+  return CscMat(r1 - r0, ncols, std::move(colptr), std::move(rowids),
+                std::move(vals));
+}
+
+DistMat3D distribute_a_style(const Grid3D& grid, const CscMat& global) {
+  DistMat3D d;
+  d.global_rows = global.nrows();
+  d.global_cols = global.ncols();
+  d.rows = a_style_row_range(grid, global.nrows());
+  d.cols = a_style_col_range(grid, global.ncols());
+  d.local = extract_block(global, d.rows.start, d.rows.start + d.rows.count,
+                          d.cols.start, d.cols.start + d.cols.count);
+  return d;
+}
+
+DistMat3D distribute_b_style(const Grid3D& grid, const CscMat& global) {
+  DistMat3D d;
+  d.global_rows = global.nrows();
+  d.global_cols = global.ncols();
+  d.rows = b_style_row_range(grid, global.nrows());
+  d.cols = b_style_col_range(grid, global.ncols());
+  d.local = extract_block(global, d.rows.start, d.rows.start + d.rows.count,
+                          d.cols.start, d.cols.start + d.cols.count);
+  return d;
+}
+
+CscMat gather_dist(Grid3D& grid, const DistMat3D& dist) {
+  // Ship local entries as (global row, global col, value) triples.
+  std::vector<Triple> mine;
+  mine.reserve(static_cast<std::size_t>(dist.local.nnz()));
+  for (Index j = 0; j < dist.local.ncols(); ++j) {
+    const auto rows = dist.local.col_rowids(j);
+    const auto values = dist.local.col_vals(j);
+    for (std::size_t k = 0; k < rows.size(); ++k)
+      mine.push_back(
+          {rows[k] + dist.rows.start, j + dist.cols.start, values[k]});
+  }
+  std::vector<std::byte> raw(mine.size() * sizeof(Triple));
+  if (!mine.empty()) std::memcpy(raw.data(), mine.data(), raw.size());
+
+  std::vector<std::vector<std::byte>> all =
+      grid.world().allgather_bytes(std::move(raw));
+
+  TripleMat global(dist.global_rows, dist.global_cols);
+  for (const auto& buf : all) {
+    CASP_CHECK(buf.size() % sizeof(Triple) == 0);
+    const std::size_t count = buf.size() / sizeof(Triple);
+    const std::size_t base = global.entries().size();
+    global.entries().resize(base + count);
+    if (count > 0)
+      std::memcpy(global.entries().data() + base, buf.data(), buf.size());
+  }
+  global.check_bounds();
+  return CscMat::from_triples(std::move(global));
+}
+
+}  // namespace casp

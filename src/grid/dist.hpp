@@ -1,0 +1,63 @@
+// Matrix distribution on the 3D grid (Fig. 1).
+//
+// A-style (used for A, C, and the per-layer D): rows are split into q
+// parts by grid row i; columns are split into q parts by grid column j and
+// each part further into l layer slices by k — so layer k holds an
+// n x (n/l) slice of A that respects the 2D block boundaries (Fig. 1c-e).
+//
+// B-style: the mirror image — rows get the (part j -> then -> layer slice)
+// treatment keyed by grid *row* i, columns are split into q parts by grid
+// column j (Fig. 1f-h). With these two layouts the stage-s broadcasts in
+// SUMMA2D align exactly: A's column slice (part s, sub k) meets B's row
+// slice (part s, sub k).
+//
+// All partition boundaries use part_low (floor) arithmetic, so nothing
+// requires divisibility; nested splits compose exactly (see common/math.hpp).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "grid/grid3d.hpp"
+#include "sparse/csc_mat.hpp"
+
+namespace casp {
+
+/// A contiguous global index range [start, start + count).
+struct LocalRange {
+  Index start = 0;
+  Index count = 0;
+};
+
+/// One rank's piece of a matrix distributed on the 3D grid, with the global
+/// coordinates it covers. Local indices are 0-based within the ranges.
+struct DistMat3D {
+  CscMat local;
+  Index global_rows = 0;
+  Index global_cols = 0;
+  LocalRange rows;
+  LocalRange cols;
+};
+
+// Global ranges owned by rank (i, j, k) of the grid:
+LocalRange a_style_row_range(const Grid3D& grid, Index global_rows);
+LocalRange a_style_col_range(const Grid3D& grid, Index global_cols);
+LocalRange b_style_row_range(const Grid3D& grid, Index global_rows);
+LocalRange b_style_col_range(const Grid3D& grid, Index global_cols);
+
+/// Extract the submatrix [r0, r1) x [c0, c1) with reindexed (local)
+/// coordinates. O(entries in the column range).
+CscMat extract_block(const CscMat& m, Index r0, Index r1, Index c0, Index c1);
+
+/// Each rank extracts its block from a replicated global matrix.
+/// (Real deployments would scatter from parallel I/O; for experiments the
+/// generator output is available everywhere and extraction is exact.)
+DistMat3D distribute_a_style(const Grid3D& grid, const CscMat& global);
+DistMat3D distribute_b_style(const Grid3D& grid, const CscMat& global);
+
+/// Collective: reassemble a distributed matrix onto every rank (for tests
+/// and result verification). Works for both styles since DistMat3D carries
+/// its global ranges.
+CscMat gather_dist(Grid3D& grid, const DistMat3D& dist);
+
+}  // namespace casp

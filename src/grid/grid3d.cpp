@@ -1,0 +1,52 @@
+#include "grid/grid3d.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace casp {
+
+bool Grid3D::valid_shape(int p, int layers) {
+  if (p < 1 || layers < 1 || p % layers != 0) return false;
+  return exact_isqrt(p / layers) > 0;
+}
+
+Grid3D::Grid3D(vmpi::Comm& world, int layers)
+    : q_(0),
+      layers_(layers),
+      row_(0),
+      col_(0),
+      layer_(0),
+      world_(world),
+      // Placeholders; rebuilt below once coordinates are known (Comm has no
+      // default constructor).
+      layer_comm_(world),
+      row_comm_(world),
+      col_comm_(world),
+      fiber_comm_(world) {
+  const int p = world.size();
+  CASP_CHECK_MSG(valid_shape(p, layers),
+                 "invalid 3D grid: p=" << p << " layers=" << layers
+                                       << " (need p % l == 0 and p/l square)");
+  const Index q = exact_isqrt(p / layers);
+  q_ = static_cast<int>(q);
+
+  // World rank -> (i, j, k): layers are contiguous rank blocks, row-major
+  // within a layer.
+  const int r = world.rank();
+  layer_ = r / (q_ * q_);
+  const int in_layer = r % (q_ * q_);
+  row_ = in_layer / q_;
+  col_ = in_layer % q_;
+
+  layer_comm_ = world_.split(/*color=*/layer_, /*key=*/in_layer);
+  row_comm_ = layer_comm_.split(/*color=*/row_, /*key=*/col_);
+  col_comm_ = layer_comm_.split(/*color=*/col_, /*key=*/row_);
+  fiber_comm_ = world_.split(/*color=*/in_layer, /*key=*/layer_);
+
+  CASP_CHECK(layer_comm_.size() == q_ * q_);
+  CASP_CHECK(row_comm_.size() == q_ && row_comm_.rank() == col_);
+  CASP_CHECK(col_comm_.size() == q_ && col_comm_.rank() == row_);
+  CASP_CHECK(fiber_comm_.size() == layers_ && fiber_comm_.rank() == layer_);
+}
+
+}  // namespace casp

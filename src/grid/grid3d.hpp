@@ -1,0 +1,58 @@
+// 3D process grid (Sec. III-B).
+//
+// p ranks arranged as sqrt(p/l) x sqrt(p/l) x l. Layer k is a 2D grid
+// P(:,:,k); fiber P(i,j,:) links the same 2D position across layers. The
+// constructor is collective: it splits the world communicator into the
+// row / column / fiber / layer communicators SUMMA needs. l = 1 recovers
+// the plain 2D algorithm.
+#pragma once
+
+#include "vmpi/comm.hpp"
+
+namespace casp {
+
+class Grid3D {
+ public:
+  /// Collective: every rank of `world` must call with the same `layers`.
+  /// Requires world.size() divisible by layers and p/layers a perfect
+  /// square.
+  Grid3D(vmpi::Comm& world, int layers);
+
+  /// Side of each square layer grid, q = sqrt(p/l). Also the number of
+  /// SUMMA stages.
+  int q() const { return q_; }
+  int layers() const { return layers_; }
+  int size() const { return world_.size(); }
+
+  int row() const { return row_; }      ///< i: 2D row coordinate
+  int col() const { return col_; }      ///< j: 2D column coordinate
+  int layer() const { return layer_; }  ///< k: layer coordinate
+
+  /// World communicator (all p ranks).
+  vmpi::Comm& world() { return world_; }
+  /// All q*q ranks in my layer, ordered row-major: rank = i*q + j.
+  vmpi::Comm& layer_comm() { return layer_comm_; }
+  /// Ranks P(i, :, k) sharing my row within my layer; local rank = j.
+  vmpi::Comm& row_comm() { return row_comm_; }
+  /// Ranks P(:, j, k) sharing my column within my layer; local rank = i.
+  vmpi::Comm& col_comm() { return col_comm_; }
+  /// Ranks P(i, j, :) sharing my 2D position; local rank = k.
+  vmpi::Comm& fiber_comm() { return fiber_comm_; }
+
+  /// Validate that (p, layers) form a legal grid without constructing one.
+  static bool valid_shape(int p, int layers);
+
+ private:
+  int q_;
+  int layers_;
+  int row_;
+  int col_;
+  int layer_;
+  vmpi::Comm world_;
+  vmpi::Comm layer_comm_;
+  vmpi::Comm row_comm_;
+  vmpi::Comm col_comm_;
+  vmpi::Comm fiber_comm_;
+};
+
+}  // namespace casp

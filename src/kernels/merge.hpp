@@ -1,0 +1,32 @@
+// Merging partial results — Merge-Layer and Merge-Fiber kernels.
+//
+// Merging adds entries with equal (row, column) across a collection of
+// same-shaped matrices. The paper replaces the prior sorted heap-merge [13]
+// with an *unsorted hash merge* that is an order of magnitude faster
+// (Table VII) because it neither requires nor produces sorted columns; the
+// single final sort happens once, after Merge-Fiber.
+#pragma once
+
+#include <span>
+
+#include "kernels/semiring.hpp"
+#include "sparse/csc_mat.hpp"
+
+namespace casp {
+
+enum class MergeKind {
+  kUnsortedHash,  ///< this paper: hash per column, unsorted in/out
+  kSortedHeap,    ///< prior work: k-way heap merge, sorted in/out
+};
+
+const char* to_string(MergeKind kind);
+
+/// Merge matrices of identical shape by summing duplicates (over SR::add).
+/// kSortedHeap requires every input to have sorted columns.
+/// `threads`: OpenMP threads over output columns.
+template <typename SR = PlusTimes>
+CscMat merge_matrices(std::span<const CscMat> pieces,
+                      MergeKind kind = MergeKind::kUnsortedHash,
+                      int threads = 1);
+
+}  // namespace casp

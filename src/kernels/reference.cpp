@@ -1,0 +1,79 @@
+#include "kernels/reference.hpp"
+
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace casp {
+
+template <typename SR>
+CscMat reference_multiply(const CscMat& a, const CscMat& b) {
+  CASP_CHECK(a.ncols() == b.nrows());
+  std::vector<Index> colptr(static_cast<std::size_t>(b.ncols()) + 1, 0);
+  std::vector<Index> rowids;
+  std::vector<Value> vals;
+  for (Index j = 0; j < b.ncols(); ++j) {
+    std::map<Index, Value> acc;
+    const auto brows = b.col_rowids(j);
+    const auto bvals = b.col_vals(j);
+    for (std::size_t t = 0; t < brows.size(); ++t) {
+      const Index i = brows[t];
+      const auto arows = a.col_rowids(i);
+      const auto avals = a.col_vals(i);
+      for (std::size_t k = 0; k < arows.size(); ++k) {
+        const Value contribution = SR::mul(avals[k], bvals[t]);
+        auto [it, inserted] = acc.emplace(arows[k], contribution);
+        if (!inserted) it->second = SR::add(it->second, contribution);
+      }
+    }
+    for (const auto& [row, v] : acc) {
+      rowids.push_back(row);
+      vals.push_back(v);
+    }
+    colptr[static_cast<std::size_t>(j) + 1] = static_cast<Index>(rowids.size());
+  }
+  return CscMat(a.nrows(), b.ncols(), std::move(colptr), std::move(rowids),
+                std::move(vals));
+}
+
+template <typename SR>
+CscMat reference_merge(std::span<const CscMat> pieces) {
+  CASP_CHECK(!pieces.empty());
+  const Index nrows = pieces.front().nrows();
+  const Index ncols = pieces.front().ncols();
+  std::vector<Index> colptr(static_cast<std::size_t>(ncols) + 1, 0);
+  std::vector<Index> rowids;
+  std::vector<Value> vals;
+  for (Index j = 0; j < ncols; ++j) {
+    std::map<Index, Value> acc;
+    for (const CscMat& m : pieces) {
+      CASP_CHECK(m.nrows() == nrows && m.ncols() == ncols);
+      const auto rows = m.col_rowids(j);
+      const auto mv = m.col_vals(j);
+      for (std::size_t k = 0; k < rows.size(); ++k) {
+        auto [it, inserted] = acc.emplace(rows[k], mv[k]);
+        if (!inserted) it->second = SR::add(it->second, mv[k]);
+      }
+    }
+    for (const auto& [row, v] : acc) {
+      rowids.push_back(row);
+      vals.push_back(v);
+    }
+    colptr[static_cast<std::size_t>(j) + 1] = static_cast<Index>(rowids.size());
+  }
+  return CscMat(nrows, ncols, std::move(colptr), std::move(rowids),
+                std::move(vals));
+}
+
+template CscMat reference_multiply<PlusTimes>(const CscMat&, const CscMat&);
+template CscMat reference_multiply<MinPlus>(const CscMat&, const CscMat&);
+template CscMat reference_multiply<MaxMin>(const CscMat&, const CscMat&);
+template CscMat reference_multiply<OrAnd>(const CscMat&, const CscMat&);
+
+template CscMat reference_merge<PlusTimes>(std::span<const CscMat>);
+template CscMat reference_merge<MinPlus>(std::span<const CscMat>);
+template CscMat reference_merge<MaxMin>(std::span<const CscMat>);
+template CscMat reference_merge<OrAnd>(std::span<const CscMat>);
+
+}  // namespace casp

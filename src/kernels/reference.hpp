@@ -1,0 +1,22 @@
+// Deliberately simple reference implementations for testing.
+//
+// Independent of the optimized kernels (std::map accumulation) so a shared
+// bug cannot hide: every fast path is validated against these on small
+// inputs.
+#pragma once
+
+#include "kernels/semiring.hpp"
+#include "sparse/csc_mat.hpp"
+
+namespace casp {
+
+/// C = A * B via per-column ordered-map accumulation. O(flops log n) — use
+/// on small matrices only.
+template <typename SR = PlusTimes>
+CscMat reference_multiply(const CscMat& a, const CscMat& b);
+
+/// Sum of same-shaped matrices via map accumulation.
+template <typename SR = PlusTimes>
+CscMat reference_merge(std::span<const CscMat> pieces);
+
+}  // namespace casp

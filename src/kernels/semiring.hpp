@@ -1,0 +1,45 @@
+// Semiring abstraction.
+//
+// The paper notes (Sec. II-A) that the algorithms work over an arbitrary
+// semiring because nothing Strassen-like is used. Kernels are templated on
+// a static semiring policy; the library explicitly instantiates the four
+// below (plus-times for numerics, min-plus for shortest paths, max-min for
+// bottleneck paths, or-and for boolean reachability).
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "common/types.hpp"
+
+namespace casp {
+
+/// Classic arithmetic: C(i,j) = sum_k A(i,k) * B(k,j).
+struct PlusTimes {
+  static constexpr Value zero() { return 0.0; }
+  static Value add(Value a, Value b) { return a + b; }
+  static Value mul(Value a, Value b) { return a * b; }
+};
+
+/// Tropical semiring: C(i,j) = min_k A(i,k) + B(k,j).
+struct MinPlus {
+  static constexpr Value zero() { return std::numeric_limits<Value>::infinity(); }
+  static Value add(Value a, Value b) { return std::min(a, b); }
+  static Value mul(Value a, Value b) { return a + b; }
+};
+
+/// Bottleneck semiring: C(i,j) = max_k min(A(i,k), B(k,j)).
+struct MaxMin {
+  static constexpr Value zero() { return -std::numeric_limits<Value>::infinity(); }
+  static Value add(Value a, Value b) { return std::max(a, b); }
+  static Value mul(Value a, Value b) { return std::min(a, b); }
+};
+
+/// Boolean reachability on {0.0, 1.0}.
+struct OrAnd {
+  static constexpr Value zero() { return 0.0; }
+  static Value add(Value a, Value b) { return (a != 0.0 || b != 0.0) ? 1.0 : 0.0; }
+  static Value mul(Value a, Value b) { return (a != 0.0 && b != 0.0) ? 1.0 : 0.0; }
+};
+
+}  // namespace casp

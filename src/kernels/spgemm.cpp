@@ -1,0 +1,418 @@
+#include "kernels/spgemm.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "sparse/stats.hpp"
+
+namespace casp {
+
+const char* to_string(SpGemmKind kind) {
+  switch (kind) {
+    case SpGemmKind::kUnsortedHash: return "unsorted-hash";
+    case SpGemmKind::kSortedHash: return "sorted-hash";
+    case SpGemmKind::kHeap: return "heap";
+    case SpGemmKind::kHybrid: return "hybrid";
+    case SpGemmKind::kSpa: return "spa";
+  }
+  return "?";
+}
+
+bool produces_sorted(SpGemmKind kind) {
+  return kind != SpGemmKind::kUnsortedHash;
+}
+
+namespace {
+
+/// Open-addressing hash accumulator keyed by row index. Reused across
+/// columns: `reset` clears only the slots the previous column touched.
+template <typename SR>
+class HashAccumulator {
+ public:
+  void require(Index min_capacity) {
+    std::uint64_t want = next_pow2(static_cast<std::uint64_t>(
+        std::max<Index>(16, 2 * min_capacity)));
+    if (want > keys_.size()) {
+      keys_.assign(want, kEmpty);
+      vals_.resize(want);
+      mask_ = want - 1;
+      used_.clear();
+    }
+  }
+
+  void reset() {
+    for (std::uint64_t slot : used_) keys_[slot] = kEmpty;
+    used_.clear();
+  }
+
+  void accumulate(Index row, Value contribution) {
+    std::uint64_t slot =
+        (static_cast<std::uint64_t>(row) * 0x9e3779b97f4a7c15ULL) & mask_;
+    while (true) {
+      if (keys_[slot] == kEmpty) {
+        keys_[slot] = row;
+        vals_[slot] = contribution;
+        used_.push_back(slot);
+        return;
+      }
+      if (keys_[slot] == row) {
+        vals_[slot] = SR::add(vals_[slot], contribution);
+        return;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  Index size() const { return static_cast<Index>(used_.size()); }
+
+  /// Emit accumulated entries in hash-table order (unsorted).
+  void emit(Index* rowids, Value* vals) const {
+    for (std::size_t k = 0; k < used_.size(); ++k) {
+      rowids[k] = keys_[used_[k]];
+      vals[k] = vals_[used_[k]];
+    }
+  }
+
+ private:
+  static constexpr Index kEmpty = -1;
+  std::vector<Index> keys_;
+  std::vector<Value> vals_;
+  std::vector<std::uint64_t> used_;
+  std::uint64_t mask_ = 0;
+};
+
+/// Dense sparse accumulator (Gilbert-Moler-Schreiber SPA).
+template <typename SR>
+class SpaAccumulator {
+ public:
+  explicit SpaAccumulator(Index nrows)
+      : stamp_(static_cast<std::size_t>(nrows), -1),
+        vals_(static_cast<std::size_t>(nrows)) {}
+
+  void begin_column(Index col) { col_ = col; touched_.clear(); }
+
+  void accumulate(Index row, Value contribution) {
+    const auto r = static_cast<std::size_t>(row);
+    if (stamp_[r] != col_) {
+      stamp_[r] = col_;
+      vals_[r] = contribution;
+      touched_.push_back(row);
+    } else {
+      vals_[r] = SR::add(vals_[r], contribution);
+    }
+  }
+
+  Index size() const { return static_cast<Index>(touched_.size()); }
+
+  /// Emit sorted by row.
+  void emit_sorted(Index* rowids, Value* vals) {
+    std::sort(touched_.begin(), touched_.end());
+    for (std::size_t k = 0; k < touched_.size(); ++k) {
+      rowids[k] = touched_[k];
+      vals[k] = vals_[static_cast<std::size_t>(touched_[k])];
+    }
+  }
+
+ private:
+  std::vector<Index> stamp_;
+  std::vector<Value> vals_;
+  std::vector<Index> touched_;
+  Index col_ = -1;
+};
+
+/// Shared output assembly: callers fill per-column slices of an
+/// upper-bound-sized buffer; compact() squeezes out the slack.
+struct OutputBuilder {
+  explicit OutputBuilder(const CscMat& a, const CscMat& b) {
+    const std::vector<Index> flops = column_flops(a, b);
+    ub_ptr.resize(flops.size() + 1, 0);
+    for (std::size_t j = 0; j < flops.size(); ++j)
+      ub_ptr[j + 1] = ub_ptr[j] + std::min(flops[j], a.nrows());
+    rowids.resize(static_cast<std::size_t>(ub_ptr.back()));
+    vals.resize(static_cast<std::size_t>(ub_ptr.back()));
+    counts.assign(flops.size(), 0);
+  }
+
+  CscMat compact(Index nrows, Index ncols) {
+    std::vector<Index> colptr(static_cast<std::size_t>(ncols) + 1, 0);
+    for (Index j = 0; j < ncols; ++j)
+      colptr[static_cast<std::size_t>(j) + 1] =
+          colptr[static_cast<std::size_t>(j)] + counts[static_cast<std::size_t>(j)];
+    std::vector<Index> out_rowids(static_cast<std::size_t>(colptr.back()));
+    std::vector<Value> out_vals(out_rowids.size());
+    for (Index j = 0; j < ncols; ++j) {
+      const auto src = static_cast<std::size_t>(ub_ptr[static_cast<std::size_t>(j)]);
+      const auto dst = static_cast<std::size_t>(colptr[static_cast<std::size_t>(j)]);
+      const auto cnt = static_cast<std::size_t>(counts[static_cast<std::size_t>(j)]);
+      std::copy_n(rowids.begin() + static_cast<std::ptrdiff_t>(src), cnt,
+                  out_rowids.begin() + static_cast<std::ptrdiff_t>(dst));
+      std::copy_n(vals.begin() + static_cast<std::ptrdiff_t>(src), cnt,
+                  out_vals.begin() + static_cast<std::ptrdiff_t>(dst));
+    }
+    return CscMat(nrows, ncols, std::move(colptr), std::move(out_rowids),
+                  std::move(out_vals));
+  }
+
+  Index* col_rowids(Index j) {
+    return rowids.data() + ub_ptr[static_cast<std::size_t>(j)];
+  }
+  Value* col_vals(Index j) {
+    return vals.data() + ub_ptr[static_cast<std::size_t>(j)];
+  }
+  Index col_capacity(Index j) const {
+    return ub_ptr[static_cast<std::size_t>(j) + 1] -
+           ub_ptr[static_cast<std::size_t>(j)];
+  }
+
+  std::vector<Index> ub_ptr;
+  std::vector<Index> rowids;
+  std::vector<Value> vals;
+  std::vector<Index> counts;
+};
+
+/// One output column via hash accumulation. Returns entry count.
+template <typename SR>
+Index hash_column(const CscMat& a, const CscMat& b, Index j,
+                  HashAccumulator<SR>& acc, Index capacity, Index* rowids,
+                  Value* vals, bool sort_output) {
+  acc.require(capacity);
+  acc.reset();
+  const auto brows = b.col_rowids(j);
+  const auto bvals = b.col_vals(j);
+  for (std::size_t t = 0; t < brows.size(); ++t) {
+    const Index i = brows[t];
+    const Value bv = bvals[t];
+    const auto arows = a.col_rowids(i);
+    const auto avals = a.col_vals(i);
+    for (std::size_t k = 0; k < arows.size(); ++k)
+      acc.accumulate(arows[k], SR::mul(avals[k], bv));
+  }
+  acc.emit(rowids, vals);
+  const Index cnt = acc.size();
+  if (sort_output && cnt > 1) {
+    // Sort the (row, val) pairs of this column.
+    std::vector<std::pair<Index, Value>> tmp(static_cast<std::size_t>(cnt));
+    for (Index k = 0; k < cnt; ++k) tmp[static_cast<std::size_t>(k)] = {rowids[k], vals[k]};
+    std::sort(tmp.begin(), tmp.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (Index k = 0; k < cnt; ++k) {
+      rowids[k] = tmp[static_cast<std::size_t>(k)].first;
+      vals[k] = tmp[static_cast<std::size_t>(k)].second;
+    }
+  }
+  return cnt;
+}
+
+/// One output column via multiway heap merge of sorted A columns.
+/// Requires sorted input columns; emits sorted output.
+template <typename SR>
+Index heap_column(const CscMat& a, const CscMat& b, Index j, Index* rowids,
+                  Value* vals) {
+  struct Run {
+    std::span<const Index> rows;
+    std::span<const Value> vals;
+    Value scale;
+    std::size_t pos;
+  };
+  const auto brows = b.col_rowids(j);
+  const auto bvals = b.col_vals(j);
+  std::vector<Run> runs;
+  runs.reserve(brows.size());
+  for (std::size_t t = 0; t < brows.size(); ++t) {
+    const Index i = brows[t];
+    if (a.col_nnz(i) == 0) continue;
+    runs.push_back({a.col_rowids(i), a.col_vals(i), bvals[t], 0});
+  }
+  using HeapItem = std::pair<Index, std::size_t>;  // (row, run index)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (std::size_t r = 0; r < runs.size(); ++r)
+    heap.emplace(runs[r].rows[0], r);
+  Index cnt = 0;
+  while (!heap.empty()) {
+    const auto [row, r] = heap.top();
+    heap.pop();
+    Run& run = runs[r];
+    const Value contribution = SR::mul(run.vals[run.pos], run.scale);
+    if (cnt > 0 && rowids[cnt - 1] == row) {
+      vals[cnt - 1] = SR::add(vals[cnt - 1], contribution);
+    } else {
+      rowids[cnt] = row;
+      vals[cnt] = contribution;
+      ++cnt;
+    }
+    if (++run.pos < run.rows.size()) heap.emplace(run.rows[run.pos], r);
+  }
+  return cnt;
+}
+
+enum class ColumnChoice { kHash, kSortedHash, kHeap, kSpa };
+
+template <typename SR>
+CscMat run_spgemm(const CscMat& a, const CscMat& b, SpGemmKind kind,
+                  int threads) {
+  CASP_CHECK_MSG(a.ncols() == b.nrows(),
+                 "local_spgemm: inner dimension mismatch " << a.ncols()
+                                                           << " vs " << b.nrows());
+  OutputBuilder out(a, b);
+  const Index ncols = b.ncols();
+
+  // Per-column flop counts for the hybrid heuristic (recomputed cheaply —
+  // OutputBuilder already has the sum as capacities).
+#if defined(CASP_HAVE_OPENMP)
+#pragma omp parallel num_threads(std::max(1, threads))
+#else
+  (void)threads;
+#endif
+  {
+    HashAccumulator<SR> hash_acc;
+    std::unique_ptr<SpaAccumulator<SR>> spa;
+    if (kind == SpGemmKind::kSpa)
+      spa = std::make_unique<SpaAccumulator<SR>>(a.nrows());
+
+#if defined(CASP_HAVE_OPENMP)
+#pragma omp for schedule(dynamic, 16)
+#endif
+    for (Index j = 0; j < ncols; ++j) {
+      const Index cap = out.col_capacity(j);
+      if (cap == 0) {
+        out.counts[static_cast<std::size_t>(j)] = 0;
+        continue;
+      }
+      Index cnt = 0;
+      switch (kind) {
+        case SpGemmKind::kUnsortedHash:
+          cnt = hash_column<SR>(a, b, j, hash_acc, cap, out.col_rowids(j),
+                                out.col_vals(j), /*sort_output=*/false);
+          break;
+        case SpGemmKind::kSortedHash:
+          cnt = hash_column<SR>(a, b, j, hash_acc, cap, out.col_rowids(j),
+                                out.col_vals(j), /*sort_output=*/true);
+          break;
+        case SpGemmKind::kHeap:
+          cnt = heap_column<SR>(a, b, j, out.col_rowids(j), out.col_vals(j));
+          break;
+        case SpGemmKind::kHybrid: {
+          // Nagasaka et al. [25]: heap wins when the column has few input
+          // runs and little compression; hash wins otherwise. Proxy: run
+          // heap for short columns.
+          const Index k_runs = b.col_nnz(j);
+          if (k_runs <= 8 && cap <= 256) {
+            cnt = heap_column<SR>(a, b, j, out.col_rowids(j), out.col_vals(j));
+          } else {
+            cnt = hash_column<SR>(a, b, j, hash_acc, cap, out.col_rowids(j),
+                                  out.col_vals(j), /*sort_output=*/true);
+          }
+          break;
+        }
+        case SpGemmKind::kSpa: {
+          spa->begin_column(j);
+          const auto brows = b.col_rowids(j);
+          const auto bvals = b.col_vals(j);
+          for (std::size_t t = 0; t < brows.size(); ++t) {
+            const Index i = brows[t];
+            const Value bv = bvals[t];
+            const auto arows = a.col_rowids(i);
+            const auto avals = a.col_vals(i);
+            for (std::size_t k = 0; k < arows.size(); ++k)
+              spa->accumulate(arows[k], SR::mul(avals[k], bv));
+          }
+          cnt = spa->size();
+          spa->emit_sorted(out.col_rowids(j), out.col_vals(j));
+          break;
+        }
+      }
+      out.counts[static_cast<std::size_t>(j)] = cnt;
+    }
+  }
+  return out.compact(a.nrows(), ncols);
+}
+
+}  // namespace
+
+template <typename SR>
+CscMat local_spgemm(const CscMat& a, const CscMat& b, SpGemmKind kind,
+                    int threads) {
+  return run_spgemm<SR>(a, b, kind, threads);
+}
+
+template <typename SR>
+CscMat local_spgemm_masked(const CscMat& a, const CscMat& b,
+                           const CscMat& mask) {
+  CASP_CHECK_MSG(a.ncols() == b.nrows(),
+                 "local_spgemm_masked: inner dimension mismatch");
+  CASP_CHECK_MSG(mask.nrows() == a.nrows() && mask.ncols() == b.ncols(),
+                 "local_spgemm_masked: mask shape mismatch");
+  // Dense accumulator restricted to the mask's positions: per column,
+  // stamp the allowed rows, accumulate only stamped ones, emit in mask
+  // order (so the output inherits the mask's sortedness).
+  std::vector<Index> stamp(static_cast<std::size_t>(a.nrows()), -1);
+  std::vector<Value> acc(static_cast<std::size_t>(a.nrows()));
+  std::vector<bool> touched(static_cast<std::size_t>(a.nrows()), false);
+
+  std::vector<Index> colptr(static_cast<std::size_t>(b.ncols()) + 1, 0);
+  std::vector<Index> rowids;
+  std::vector<Value> vals;
+  rowids.reserve(static_cast<std::size_t>(mask.nnz()));
+  vals.reserve(static_cast<std::size_t>(mask.nnz()));
+
+  for (Index j = 0; j < b.ncols(); ++j) {
+    const auto allowed = mask.col_rowids(j);
+    for (Index r : allowed) {
+      stamp[static_cast<std::size_t>(r)] = j;
+      touched[static_cast<std::size_t>(r)] = false;
+    }
+    const auto brows = b.col_rowids(j);
+    const auto bvals = b.col_vals(j);
+    for (std::size_t t = 0; t < brows.size(); ++t) {
+      const Index i = brows[t];
+      const Value bv = bvals[t];
+      const auto arows = a.col_rowids(i);
+      const auto avals = a.col_vals(i);
+      for (std::size_t k = 0; k < arows.size(); ++k) {
+        const auto r = static_cast<std::size_t>(arows[k]);
+        if (stamp[r] != j) continue;  // masked out
+        const Value contribution = SR::mul(avals[k], bv);
+        if (!touched[r]) {
+          touched[r] = true;
+          acc[r] = contribution;
+        } else {
+          acc[r] = SR::add(acc[r], contribution);
+        }
+      }
+    }
+    for (Index r : allowed) {
+      if (touched[static_cast<std::size_t>(r)]) {
+        rowids.push_back(r);
+        vals.push_back(acc[static_cast<std::size_t>(r)]);
+      }
+    }
+    colptr[static_cast<std::size_t>(j) + 1] = static_cast<Index>(rowids.size());
+  }
+  return CscMat(a.nrows(), b.ncols(), std::move(colptr), std::move(rowids),
+                std::move(vals));
+}
+
+template CscMat local_spgemm_masked<PlusTimes>(const CscMat&, const CscMat&,
+                                               const CscMat&);
+template CscMat local_spgemm_masked<MinPlus>(const CscMat&, const CscMat&,
+                                             const CscMat&);
+template CscMat local_spgemm_masked<MaxMin>(const CscMat&, const CscMat&,
+                                            const CscMat&);
+template CscMat local_spgemm_masked<OrAnd>(const CscMat&, const CscMat&,
+                                           const CscMat&);
+
+template CscMat local_spgemm<PlusTimes>(const CscMat&, const CscMat&,
+                                        SpGemmKind, int);
+template CscMat local_spgemm<MinPlus>(const CscMat&, const CscMat&,
+                                      SpGemmKind, int);
+template CscMat local_spgemm<MaxMin>(const CscMat&, const CscMat&,
+                                     SpGemmKind, int);
+template CscMat local_spgemm<OrAnd>(const CscMat&, const CscMat&, SpGemmKind,
+                                    int);
+
+}  // namespace casp

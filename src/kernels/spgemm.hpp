@@ -1,0 +1,49 @@
+// Local (in-process) SpGEMM kernels — Gustavson column algorithm with
+// pluggable accumulators (Sec. IV-D).
+//
+// The paper's optimization: Local-Multiply and Merge-Layer outputs do not
+// need sorted columns because only the final Merge-Fiber result is handed
+// to the application, so the *unsorted hash* kernel skips all intermediate
+// sorting. The heap and hybrid kernels reproduce the prior state of the art
+// ([13] and [25]) for the Fig. 15 / Table VII comparisons.
+#pragma once
+
+#include "kernels/semiring.hpp"
+#include "sparse/csc_mat.hpp"
+
+namespace casp {
+
+enum class SpGemmKind {
+  kUnsortedHash,  ///< this paper's Local-Multiply kernel: hash, no sorting
+  kSortedHash,    ///< hash accumulation + per-column sort
+  kHeap,          ///< multiway heap merge of scaled A-columns (sorted output)
+  kHybrid,        ///< per-column heap-or-hash by compression heuristic,
+                  ///< sorted output (prior state of the art, Nagasaka et al.)
+  kSpa,           ///< dense sparse-accumulator (sorted output)
+};
+
+const char* to_string(SpGemmKind kind);
+
+/// Whether a kernel's output has sorted columns.
+bool produces_sorted(SpGemmKind kind);
+
+/// C = A * B over semiring SR. Requires a.ncols() == b.nrows(). Input
+/// columns may be unsorted for the hash/spa kernels; the heap and hybrid
+/// kernels require sorted inputs (they merge sorted runs).
+/// `threads`: OpenMP threads to parallelize over output columns.
+template <typename SR = PlusTimes>
+CscMat local_spgemm(const CscMat& a, const CscMat& b,
+                    SpGemmKind kind = SpGemmKind::kUnsortedHash,
+                    int threads = 1);
+
+/// Masked SpGEMM: C = (A * B) .* pattern(mask). Only entries whose
+/// (row, col) position is nonzero in `mask` are accumulated, so the
+/// intermediate never exceeds nnz(mask) — the optimization masked
+/// triangle counting [3] relies on (the mask there is the adjacency
+/// itself). mask must have sorted columns and the shape of the product.
+/// Output columns are sorted in mask order.
+template <typename SR = PlusTimes>
+CscMat local_spgemm_masked(const CscMat& a, const CscMat& b,
+                           const CscMat& mask);
+
+}  // namespace casp

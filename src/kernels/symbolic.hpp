@@ -1,0 +1,22 @@
+// Symbolic local SpGEMM: count output nonzeros without computing values.
+//
+// LocalSymbolic in Algorithm 3. Much cheaper than Local-Multiply (no value
+// arithmetic, no output materialization); Symbolic3D calls it once per
+// SUMMA stage to compute the per-process unmerged-output nnz that drives
+// the batch count b (Eq. 2 / Alg. 3 line 12).
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc_mat.hpp"
+
+namespace casp {
+
+/// Number of nonzeros in each column of A*B after merging duplicates
+/// within the column. Hash-based; inputs may be unsorted.
+std::vector<Index> symbolic_column_nnz(const CscMat& a, const CscMat& b);
+
+/// Total nnz(A*B) (merged). Equals the sum of symbolic_column_nnz.
+Index symbolic_nnz(const CscMat& a, const CscMat& b);
+
+}  // namespace casp

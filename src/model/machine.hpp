@@ -1,0 +1,60 @@
+// Machine descriptions for the α–β performance model.
+//
+// The experiments ran on NERSC Cori (Table IV): Cray Aries network with
+// ~1-4 us MPI latency and ~8 GB/s effective per-process bandwidth. Exact
+// constants are unknowable without the testbed; these presets are chosen
+// to match the *published magnitudes* (e.g. Fig. 6's step times) and, more
+// importantly, every trend the model is used to reproduce depends only on
+// the scaling structure of Table II/III, not the constants. The calibrate
+// bench (bench_micro_kernels) measures this host's real kernel rates for
+// the measured-mode experiments.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace casp {
+
+struct Machine {
+  std::string name;
+
+  // -- Network (alpha-beta model) -----------------------------------------
+  /// Latency per message hop, seconds.
+  double alpha = 2.0e-6;
+  /// Seconds per byte transferred by one process (inverse bandwidth).
+  double beta = 1.0 / 8.0e9;
+
+  // -- Per-process compute rates -------------------------------------------
+  /// Local multiply throughput, scalar multiply-accumulates per second,
+  /// for the unsorted-hash kernel.
+  double multiply_rate = 2.0e8;
+  /// Hash-merge throughput, entries per second (linear in volume).
+  double hash_merge_rate = 4.0e8;
+  /// Heap-merge throughput constant: entries/s divided by lg(ways).
+  double heap_merge_rate = 1.2e8;
+  /// Symbolic counting throughput, flops/s (no values, cache friendlier).
+  double symbolic_rate = 6.0e8;
+
+  // -- Topology ------------------------------------------------------------
+  int cores_per_node = 68;
+  int threads_per_process = 16;
+
+  /// Per-process slice of node memory, bytes, for batch-count prediction.
+  Bytes memory_per_node = Bytes{112} * 1024 * 1024 * 1024;
+
+  int processes_per_node() const {
+    return std::max(1, cores_per_node / threads_per_process);
+  }
+};
+
+/// Cori-KNL preset (Intel Xeon Phi 7250, 68 cores, 112 GB, Aries).
+Machine cori_knl();
+/// Cori-Haswell preset: ~2.1x faster compute, ~1.4x faster effective
+/// communication on the same Aries network (Fig. 13's observation).
+Machine cori_haswell();
+/// Cori-KNL with 4-way hyperthreading: 4x the processes per node, slightly
+/// lower per-process compute efficiency, more NIC contention (Fig. 12).
+Machine cori_knl_hyperthreaded();
+
+}  // namespace casp

@@ -1,0 +1,122 @@
+#include "model/scaling.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "kernels/symbolic.hpp"
+
+namespace casp {
+
+Index layered_unmerged_nnz(const CscMat& a, const CscMat& b, Index layers,
+                           Index stages) {
+  CASP_CHECK(a.ncols() == b.nrows());
+  CASP_CHECK(layers >= 1 && stages >= 1);
+  const Index slices = layers * stages;
+  const Index inner = a.ncols();
+  // Row-slicing B is expensive in CSC; transpose once and slice columns.
+  const CscMat bt = b.transpose();
+  Index total = 0;
+  for (Index s = 0; s < slices; ++s) {
+    const Index lo = part_low(s, slices, inner);
+    const Index hi = part_low(s + 1, slices, inner);
+    if (lo == hi) continue;
+    const CscMat a_slice = a.slice_cols(lo, hi);
+    // rows lo..hi of B = columns lo..hi of B^T, transposed back.
+    const CscMat b_slice = bt.slice_cols(lo, hi).transpose();
+    total += symbolic_nnz(a_slice, b_slice);
+  }
+  return total;
+}
+
+std::vector<ScalingPoint> strong_scaling(const Machine& machine,
+                                         const ProblemStats& stats,
+                                         const std::vector<Index>& process_counts,
+                                         Index layers, Index force_b,
+                                         bool hash_kernels) {
+  return strong_scaling(
+      machine, [&stats](Index) { return stats; }, process_counts, layers,
+      force_b, hash_kernels);
+}
+
+std::vector<ScalingPoint> strong_scaling(
+    const Machine& machine,
+    const std::function<ProblemStats(Index p)>& stats_for,
+    const std::vector<Index>& process_counts, Index layers, Index force_b,
+    bool hash_kernels) {
+  std::vector<ScalingPoint> series;
+  for (Index p : process_counts) {
+    const ProblemStats stats = stats_for(p);
+    ScalingPoint point;
+    point.p = p;
+    point.l = layers;
+    if (force_b > 0) {
+      point.b = force_b;
+    } else {
+      const Index nodes =
+          ceil_div(p, static_cast<Index>(machine.processes_per_node()));
+      const Bytes memory = static_cast<Bytes>(nodes) * machine.memory_per_node;
+      point.b = predict_batches(stats, p, memory);
+    }
+    ModelConfig config{p, layers, point.b, hash_kernels};
+    point.steps = predict_steps(machine, stats, config);
+    point.total = total_seconds(point.steps);
+    series.push_back(std::move(point));
+  }
+  if (!series.empty()) {
+    const double t0 = series.front().total;
+    const double p0 = static_cast<double>(series.front().p);
+    for (ScalingPoint& point : series) {
+      point.speedup_vs_first = t0 / point.total;
+      point.efficiency =
+          (p0 / static_cast<double>(point.p)) * (t0 / point.total);
+    }
+  }
+  return series;
+}
+
+ScalingPoint choose_layers(const Machine& machine,
+                           const std::function<ProblemStats(Index l)>& stats_for,
+                           Index p, Bytes total_memory, Index max_layers,
+                           bool hash_kernels) {
+  ScalingPoint best;
+  bool found = false;
+  for (Index l = 1; l <= std::min(max_layers, p); l *= 2) {
+    if (p % l != 0) continue;
+    if (exact_isqrt(p / l) <= 0) continue;
+    const ProblemStats stats = stats_for(l);
+    ScalingPoint point;
+    point.p = p;
+    point.l = l;
+    point.b = total_memory == 0 ? 1 : predict_batches(stats, p, total_memory);
+    point.steps =
+        predict_steps(machine, stats, ModelConfig{p, l, point.b, hash_kernels});
+    point.total = total_seconds(point.steps);
+    if (!found || point.total < best.total) {
+      best = point;
+      found = true;
+    }
+  }
+  CASP_CHECK_MSG(found, "choose_layers: no valid layer count for p=" << p);
+  return best;
+}
+
+std::vector<ScalingPoint> layer_batch_sweep(const Machine& machine,
+                                            const ProblemStats& stats, Index p,
+                                            const std::vector<Index>& layers,
+                                            const std::vector<Index>& batches,
+                                            bool hash_kernels) {
+  std::vector<ScalingPoint> series;
+  for (Index l : layers) {
+    for (Index b : batches) {
+      ScalingPoint point;
+      point.p = p;
+      point.l = l;
+      point.b = b;
+      point.steps = predict_steps(machine, stats, ModelConfig{p, l, b, hash_kernels});
+      point.total = total_seconds(point.steps);
+      series.push_back(std::move(point));
+    }
+  }
+  return series;
+}
+
+}  // namespace casp

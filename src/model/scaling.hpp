@@ -1,0 +1,74 @@
+// Scaling studies over the cost model: the machinery behind the
+// strong-scaling (Figs. 6, 7), efficiency (Fig. 9), and layer/batch sweep
+// (Figs. 4, 5) experiments at paper scale.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "model/costs.hpp"
+
+namespace casp {
+
+/// The l-dependent intermediate volume: Sum over the l*stages inner-
+/// dimension slices of the merged product nnz of that slice. This is the
+/// tight Sum_k nnz(D^(k)) bound of Sec. IV-C — it grows with l (less
+/// within-slice compression), which is exactly why AllToAll-Fiber and
+/// Merge-Fiber grow with l (Table VI). Serial; use at bench scale.
+Index layered_unmerged_nnz(const CscMat& a, const CscMat& b, Index layers,
+                           Index stages = 1);
+
+/// One point of a scaling study.
+struct ScalingPoint {
+  Index p = 1;
+  Index l = 1;
+  Index b = 1;
+  StepSeconds steps;
+  double total = 0.0;
+  double speedup_vs_first = 1.0;
+  double efficiency = 1.0;  ///< (P1/P2) * T(P1)/T(P2) vs the first point
+};
+
+/// Evaluate the model at each process count. Batch counts follow Eq. 2
+/// from the machine's per-node memory (more nodes -> more aggregate memory
+/// -> fewer batches, the paper's super-linear-speedup mechanism); pass
+/// force_b > 0 to pin them instead.
+std::vector<ScalingPoint> strong_scaling(const Machine& machine,
+                                         const ProblemStats& stats,
+                                         const std::vector<Index>& process_counts,
+                                         Index layers, Index force_b = 0,
+                                         bool hash_kernels = true);
+
+/// Variant with p-dependent statistics: `stats_for(p)` supplies the
+/// problem statistics at each process count. This matters because the
+/// unmerged intermediate volume grows with the inner-dimension slice count
+/// l*sqrt(p/l): at higher concurrency each local multiply compresses less,
+/// so b shrinks *sub-linearly* in memory — the paper's observation that
+/// "the number of batches decreased by less than 3x even though the memory
+/// increases by 4x" (Sec. V-E).
+std::vector<ScalingPoint> strong_scaling(
+    const Machine& machine,
+    const std::function<ProblemStats(Index p)>& stats_for,
+    const std::vector<Index>& process_counts, Index layers, Index force_b = 0,
+    bool hash_kernels = true);
+
+/// Sweep (l, b) at fixed p: the Fig. 4 experiment.
+std::vector<ScalingPoint> layer_batch_sweep(const Machine& machine,
+                                            const ProblemStats& stats, Index p,
+                                            const std::vector<Index>& layers,
+                                            const std::vector<Index>& batches,
+                                            bool hash_kernels = true);
+
+/// Pick the layer count minimizing the modeled total time ("selecting the
+/// optimum number of layers is challenging as it depends on the tradeoff
+/// between broadcasts and fiber reduction/merge costs", Sec. V-D). Only
+/// candidates with p/l a perfect square are considered; the batch count at
+/// each candidate follows Eq. 2 against `total_memory` (0 = b stays 1).
+/// stats_for(l) supplies layer-dependent statistics (the intermediate
+/// volume grows with l). Returns the best evaluated point.
+ScalingPoint choose_layers(const Machine& machine,
+                           const std::function<ProblemStats(Index l)>& stats_for,
+                           Index p, Bytes total_memory = 0,
+                           Index max_layers = 64, bool hash_kernels = true);
+
+}  // namespace casp

@@ -1,0 +1,71 @@
+#include "sparse/csr_mat.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace casp {
+
+CsrMat::CsrMat(Index nrows, Index ncols)
+    : nrows_(nrows),
+      ncols_(ncols),
+      rowptr_(static_cast<std::size_t>(nrows) + 1, 0) {
+  CASP_CHECK(nrows >= 0 && ncols >= 0);
+}
+
+CsrMat::CsrMat(Index nrows, Index ncols, std::vector<Index> rowptr,
+               std::vector<Index> colids, std::vector<Value> vals)
+    : nrows_(nrows),
+      ncols_(ncols),
+      rowptr_(std::move(rowptr)),
+      colids_(std::move(colids)),
+      vals_(std::move(vals)) {
+  check_valid();
+}
+
+CsrMat CsrMat::from_csc(const CscMat& csc) {
+  // CSR(A) has the same arrays as CSC(A^T).
+  const CscMat t = csc.transpose();
+  CsrMat r(csc.nrows(), csc.ncols());
+  r.rowptr_.assign(t.colptr().begin(), t.colptr().end());
+  r.colids_.assign(t.rowids().begin(), t.rowids().end());
+  r.vals_.assign(t.vals().begin(), t.vals().end());
+  return r;
+}
+
+CscMat CsrMat::to_csc() const {
+  // CSC(A) == transpose of CSC(A^T); reuse CscMat::transpose.
+  CscMat as_csc_of_t(ncols_, nrows_,
+                     std::vector<Index>(rowptr_.begin(), rowptr_.end()),
+                     std::vector<Index>(colids_.begin(), colids_.end()),
+                     std::vector<Value>(vals_.begin(), vals_.end()));
+  return as_csc_of_t.transpose();
+}
+
+CsrMat CsrMat::from_triples(TripleMat triples) {
+  return from_csc(CscMat::from_triples(std::move(triples)));
+}
+
+void CsrMat::check_valid() const {
+  CASP_CHECK(rowptr_.size() == static_cast<std::size_t>(nrows_) + 1);
+  CASP_CHECK(rowptr_.front() == 0);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(nrows_); ++i)
+    CASP_CHECK(rowptr_[i] <= rowptr_[i + 1]);
+  CASP_CHECK(rowptr_.back() == static_cast<Index>(colids_.size()));
+  CASP_CHECK(colids_.size() == vals_.size());
+  for (Index c : colids_) CASP_CHECK(c >= 0 && c < ncols_);
+}
+
+CscMat lower_triangle(const CscMat& a) {
+  CscMat out = a;
+  out.prune([](Index row, Index col, Value) { return row > col; });
+  return out;
+}
+
+CscMat upper_triangle(const CscMat& a) {
+  CscMat out = a;
+  out.prune([](Index row, Index col, Value) { return row < col; });
+  return out;
+}
+
+}  // namespace casp

@@ -1,0 +1,75 @@
+// Compressed Sparse Row matrix.
+//
+// Row-oriented companion of CscMat. The SUMMA kernels are column-based, but
+// applications (triangle counting's L·U split, row-wise analyses) and tests
+// want a row view; CSR of A is exactly CSC of A^T, so most logic delegates.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csc_mat.hpp"
+
+namespace casp {
+
+class CsrMat {
+ public:
+  CsrMat() : nrows_(0), ncols_(0), rowptr_{0} {}
+  CsrMat(Index nrows, Index ncols);
+  CsrMat(Index nrows, Index ncols, std::vector<Index> rowptr,
+         std::vector<Index> colids, std::vector<Value> vals);
+
+  /// Build from CSC (sorted rows within each row of the result).
+  static CsrMat from_csc(const CscMat& csc);
+
+  /// Convert to CSC (sorted columns).
+  CscMat to_csc() const;
+
+  static CsrMat from_triples(TripleMat triples);
+
+  Index nrows() const { return nrows_; }
+  Index ncols() const { return ncols_; }
+  Index nnz() const { return rowptr_.back(); }
+
+  std::span<const Index> rowptr() const { return rowptr_; }
+  std::span<const Index> colids() const { return colids_; }
+  std::span<const Value> vals() const { return vals_; }
+
+  std::span<const Index> row_colids(Index i) const {
+    return std::span<const Index>(colids_).subspan(
+        static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(i)]),
+        static_cast<std::size_t>(row_nnz(i)));
+  }
+  std::span<const Value> row_vals(Index i) const {
+    return std::span<const Value>(vals_).subspan(
+        static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(i)]),
+        static_cast<std::size_t>(row_nnz(i)));
+  }
+  Index row_nnz(Index i) const {
+    return rowptr_[static_cast<std::size_t>(i) + 1] -
+           rowptr_[static_cast<std::size_t>(i)];
+  }
+
+  void check_valid() const;
+
+  friend bool operator==(const CsrMat& a, const CsrMat& b) {
+    return a.nrows_ == b.nrows_ && a.ncols_ == b.ncols_ &&
+           a.rowptr_ == b.rowptr_ && a.colids_ == b.colids_ &&
+           a.vals_ == b.vals_;
+  }
+
+ private:
+  Index nrows_;
+  Index ncols_;
+  std::vector<Index> rowptr_;
+  std::vector<Index> colids_;
+  std::vector<Value> vals_;
+};
+
+/// Strictly-lower-triangular part of a square matrix (CSC in, CSC out).
+CscMat lower_triangle(const CscMat& a);
+/// Strictly-upper-triangular part of a square matrix.
+CscMat upper_triangle(const CscMat& a);
+
+}  // namespace casp

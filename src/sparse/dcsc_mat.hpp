@@ -1,0 +1,106 @@
+// Doubly-Compressed Sparse Column (DCSC) — hypersparse storage.
+//
+// At high layer counts "the result of local multiplication becomes
+// hyper-sparse with many layers" (Sec. V-D): local blocks have nnz << ncols,
+// so CSC's O(ncols) colptr array dominates memory and traversal. DCSC
+// (Buluc & Gilbert, the format CombBLAS uses for exactly this situation)
+// stores only the nonempty columns: jc lists their ids, cp delimits their
+// entry ranges. Storage is O(nnz + nzc) instead of O(nnz + ncols).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "kernels/semiring.hpp"
+#include "sparse/csc_mat.hpp"
+
+namespace casp {
+
+class DcscMat {
+ public:
+  DcscMat() : nrows_(0), ncols_(0) { cp_.push_back(0); }
+
+  /// Build from raw DCSC arrays (validated).
+  DcscMat(Index nrows, Index ncols, std::vector<Index> jc,
+          std::vector<Index> cp, std::vector<Index> ir,
+          std::vector<Value> num)
+      : nrows_(nrows),
+        ncols_(ncols),
+        jc_(std::move(jc)),
+        cp_(std::move(cp)),
+        ir_(std::move(ir)),
+        num_(std::move(num)) {
+    check_valid();
+  }
+
+  /// Compress a CSC matrix (cheap: one pass over colptr).
+  static DcscMat from_csc(const CscMat& csc);
+  /// Expand back (exact inverse).
+  CscMat to_csc() const;
+
+  Index nrows() const { return nrows_; }
+  Index ncols() const { return ncols_; }
+  Index nnz() const { return cp_.back(); }
+  /// Number of nonempty columns ("nzc").
+  Index nonempty_cols() const { return static_cast<Index>(jc_.size()); }
+
+  /// Global ids of the nonempty columns, ascending.
+  std::span<const Index> col_ids() const { return jc_; }
+  /// Entry range of the k-th *nonempty* column.
+  std::span<const Index> nonempty_rowids(Index k) const {
+    return std::span<const Index>(ir_).subspan(
+        static_cast<std::size_t>(cp_[static_cast<std::size_t>(k)]),
+        static_cast<std::size_t>(cp_[static_cast<std::size_t>(k) + 1] -
+                                 cp_[static_cast<std::size_t>(k)]));
+  }
+  std::span<const Value> nonempty_vals(Index k) const {
+    return std::span<const Value>(num_).subspan(
+        static_cast<std::size_t>(cp_[static_cast<std::size_t>(k)]),
+        static_cast<std::size_t>(cp_[static_cast<std::size_t>(k) + 1] -
+                                 cp_[static_cast<std::size_t>(k)]));
+  }
+
+  /// Index of global column j among the nonempty columns, or -1 if empty.
+  /// O(log nzc) binary search — the hypersparse replacement for colptr[j].
+  Index find_col(Index j) const;
+
+  /// Actual storage bytes: O(nnz + nzc), vs CSC's O(nnz + ncols).
+  Bytes storage_bytes() const {
+    return static_cast<Bytes>(jc_.size()) * sizeof(Index) +
+           static_cast<Bytes>(cp_.size()) * sizeof(Index) +
+           static_cast<Bytes>(ir_.size()) * (sizeof(Index) + sizeof(Value));
+  }
+
+  void check_valid() const;
+
+  friend bool operator==(const DcscMat& a, const DcscMat& b) {
+    return a.nrows_ == b.nrows_ && a.ncols_ == b.ncols_ && a.jc_ == b.jc_ &&
+           a.cp_ == b.cp_ && a.ir_ == b.ir_ && a.num_ == b.num_;
+  }
+
+ private:
+  Index nrows_;
+  Index ncols_;
+  std::vector<Index> jc_;  ///< nonempty column ids, ascending
+  std::vector<Index> cp_;  ///< entry offsets per nonempty column (nzc+1)
+  std::vector<Index> ir_;  ///< row ids
+  std::vector<Value> num_; ///< values
+};
+
+/// Gustavson SpGEMM with a hypersparse (DCSC) left operand: C = A * B.
+/// A's columns are located via binary search over jc instead of colptr
+/// indexing, so cost is O(flops * log nzc + nnz(B)) with *no* O(ncols(A))
+/// term. Output is returned as ordinary CSC (callers merge it immediately).
+template <typename SR = PlusTimes>
+CscMat hypersparse_spgemm(const DcscMat& a, const CscMat& b);
+
+/// Fully hypersparse SpGEMM: both operands and the output in DCSC. The
+/// column loop visits only B's nonempty columns and the output stores only
+/// its nonempty columns, so the whole multiply is O(flops * log nzc(A) +
+/// nzc(B)) with no term proportional to any matrix *dimension* — the
+/// property that keeps many-layer (hypersparse) local multiplies viable
+/// where CSC would pay O(ncols) per stage just for colptr arrays.
+template <typename SR = PlusTimes>
+DcscMat hypersparse_spgemm_dcsc(const DcscMat& a, const DcscMat& b);
+
+}  // namespace casp

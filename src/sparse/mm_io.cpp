@@ -1,0 +1,95 @@
+#include "sparse/mm_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace casp {
+
+namespace {
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+}  // namespace
+
+TripleMat read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line))
+    throw InvalidArgument("matrix market: empty input");
+
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket")
+    throw InvalidArgument("matrix market: missing %%MatrixMarket banner");
+  object = lower(object);
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  if (object != "matrix" || format != "coordinate")
+    throw InvalidArgument("matrix market: only 'matrix coordinate' supported");
+  const bool pattern = field == "pattern";
+  if (field != "real" && field != "integer" && !pattern)
+    throw InvalidArgument("matrix market: unsupported field '" + field + "'");
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general")
+    throw InvalidArgument("matrix market: unsupported symmetry '" + symmetry +
+                          "'");
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  Index nrows = 0, ncols = 0, nnz = 0;
+  {
+    std::istringstream sizes(line);
+    if (!(sizes >> nrows >> ncols >> nnz))
+      throw InvalidArgument("matrix market: bad size line");
+  }
+
+  TripleMat mat(nrows, ncols);
+  mat.reserve(symmetric ? 2 * nnz : nnz);
+  for (Index k = 0; k < nnz; ++k) {
+    if (!std::getline(in, line))
+      throw InvalidArgument("matrix market: truncated entry list");
+    std::istringstream entry(line);
+    Index r = 0, c = 0;
+    Value v = 1.0;
+    if (!(entry >> r >> c))
+      throw InvalidArgument("matrix market: bad entry line");
+    if (!pattern && !(entry >> v))
+      throw InvalidArgument("matrix market: missing value");
+    --r;
+    --c;
+    CASP_CHECK_MSG(r >= 0 && r < nrows && c >= 0 && c < ncols,
+                   "matrix market: entry out of bounds");
+    mat.push_back(r, c, v);
+    if (symmetric && r != c) mat.push_back(c, r, v);
+  }
+  return mat;
+}
+
+TripleMat read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InvalidArgument("cannot open matrix market file: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const TripleMat& mat) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << mat.nrows() << " " << mat.ncols() << " " << mat.nnz() << "\n";
+  out.precision(17);
+  for (const Triple& t : mat.entries())
+    out << (t.row + 1) << " " << (t.col + 1) << " " << t.val << "\n";
+}
+
+void write_matrix_market_file(const std::string& path, const TripleMat& mat) {
+  std::ofstream out(path);
+  if (!out) throw InvalidArgument("cannot open file for writing: " + path);
+  write_matrix_market(out, mat);
+}
+
+}  // namespace casp

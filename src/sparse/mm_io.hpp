@@ -1,0 +1,25 @@
+// Matrix Market (coordinate) I/O.
+//
+// Supports the subset the paper's test matrices use: `matrix coordinate
+// real|integer|pattern general|symmetric`. Pattern entries read as 1.0;
+// symmetric inputs are expanded to general storage on read.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/triple_mat.hpp"
+
+namespace casp {
+
+/// Parse a Matrix Market stream into triples (1-based file indices are
+/// converted to 0-based). Throws InvalidArgument on malformed input.
+TripleMat read_matrix_market(std::istream& in);
+TripleMat read_matrix_market_file(const std::string& path);
+
+/// Write triples as `matrix coordinate real general` (0-based indices are
+/// converted to 1-based).
+void write_matrix_market(std::ostream& out, const TripleMat& mat);
+void write_matrix_market_file(const std::string& path, const TripleMat& mat);
+
+}  // namespace casp

@@ -1,0 +1,64 @@
+#include "sparse/serialize.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace casp {
+
+namespace {
+struct Header {
+  Index nrows;
+  Index ncols;
+  Index nnz;
+};
+
+template <typename T>
+void append(std::vector<std::byte>& buf, const T* data, std::size_t count) {
+  if (count == 0) return;
+  const auto* p = reinterpret_cast<const std::byte*>(data);
+  buf.insert(buf.end(), p, p + count * sizeof(T));
+}
+
+template <typename T>
+void read(const std::vector<std::byte>& buf, std::size_t& offset, T* data,
+          std::size_t count) {
+  CASP_CHECK(offset + count * sizeof(T) <= buf.size());
+  if (count != 0) std::memcpy(data, buf.data() + offset, count * sizeof(T));
+  offset += count * sizeof(T);
+}
+}  // namespace
+
+Bytes packed_size(const CscMat& mat) {
+  return sizeof(Header) +
+         (static_cast<Bytes>(mat.ncols()) + 1) * sizeof(Index) +
+         static_cast<Bytes>(mat.nnz()) * (sizeof(Index) + sizeof(Value));
+}
+
+std::vector<std::byte> pack_csc(const CscMat& mat) {
+  std::vector<std::byte> buf;
+  buf.reserve(packed_size(mat));
+  const Header h{mat.nrows(), mat.ncols(), mat.nnz()};
+  append(buf, &h, 1);
+  append(buf, mat.colptr().data(), mat.colptr().size());
+  append(buf, mat.rowids().data(), mat.rowids().size());
+  append(buf, mat.vals().data(), mat.vals().size());
+  return buf;
+}
+
+CscMat unpack_csc(const std::vector<std::byte>& buffer) {
+  std::size_t offset = 0;
+  Header h{};
+  read(buffer, offset, &h, 1);
+  std::vector<Index> colptr(static_cast<std::size_t>(h.ncols) + 1);
+  std::vector<Index> rowids(static_cast<std::size_t>(h.nnz));
+  std::vector<Value> vals(static_cast<std::size_t>(h.nnz));
+  read(buffer, offset, colptr.data(), colptr.size());
+  read(buffer, offset, rowids.data(), rowids.size());
+  read(buffer, offset, vals.data(), vals.size());
+  CASP_CHECK_MSG(offset == buffer.size(), "unpack_csc: trailing bytes");
+  return CscMat(h.nrows, h.ncols, std::move(colptr), std::move(rowids),
+                std::move(vals));
+}
+
+}  // namespace casp

@@ -1,0 +1,21 @@
+// Flat byte serialization of CscMat for message passing.
+//
+// One matrix = one message: header (nrows, ncols, nnz) followed by the
+// three CSC arrays. The on-wire size is what the traffic instrumentation
+// records, so serialized bytes are the "communication volume" of the
+// experiments.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc_mat.hpp"
+
+namespace casp {
+
+std::vector<std::byte> pack_csc(const CscMat& mat);
+CscMat unpack_csc(const std::vector<std::byte>& buffer);
+
+/// On-wire size without building the buffer.
+Bytes packed_size(const CscMat& mat);
+
+}  // namespace casp

@@ -1,0 +1,74 @@
+#include "sparse/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace casp {
+
+MatrixStats matrix_stats(const CscMat& a) {
+  MatrixStats s;
+  s.nrows = a.nrows();
+  s.ncols = a.ncols();
+  s.nnz = a.nnz();
+  s.avg_nnz_per_col =
+      a.ncols() == 0 ? 0.0
+                     : static_cast<double>(a.nnz()) / static_cast<double>(a.ncols());
+  for (Index j = 0; j < a.ncols(); ++j)
+    s.max_nnz_per_col = std::max(s.max_nnz_per_col, a.col_nnz(j));
+  return s;
+}
+
+Index multiply_flops(const CscMat& a, const CscMat& b) {
+  CASP_CHECK_MSG(a.ncols() == b.nrows(), "multiply_flops: inner dim mismatch");
+  Index flops = 0;
+  for (Index i : b.rowids()) flops += a.col_nnz(i);
+  return flops;
+}
+
+std::vector<Index> column_flops(const CscMat& a, const CscMat& b) {
+  CASP_CHECK_MSG(a.ncols() == b.nrows(), "column_flops: inner dim mismatch");
+  std::vector<Index> flops(static_cast<std::size_t>(b.ncols()), 0);
+  for (Index j = 0; j < b.ncols(); ++j) {
+    Index f = 0;
+    for (Index i : b.col_rowids(j)) f += a.col_nnz(i);
+    flops[static_cast<std::size_t>(j)] = f;
+  }
+  return flops;
+}
+
+MultiplyStats multiply_stats(const CscMat& a, const CscMat& b) {
+  MultiplyStats s;
+  s.flops = multiply_flops(a, b);
+  // Symbolic pass: count distinct output rows per column with a sparse
+  // "visited" marker array (SPA-style; reset lazily via a generation stamp).
+  std::vector<Index> stamp(static_cast<std::size_t>(a.nrows()), -1);
+  for (Index j = 0; j < b.ncols(); ++j) {
+    for (Index i : b.col_rowids(j)) {
+      for (Index r : a.col_rowids(i)) {
+        if (stamp[static_cast<std::size_t>(r)] != j) {
+          stamp[static_cast<std::size_t>(r)] = j;
+          ++s.nnz_c;
+        }
+      }
+    }
+  }
+  s.compression_factor =
+      s.nnz_c == 0 ? 0.0
+                   : static_cast<double>(s.flops) / static_cast<double>(s.nnz_c);
+  return s;
+}
+
+std::string describe(const std::string& name, const CscMat& a) {
+  const MatrixStats s = matrix_stats(a);
+  std::ostringstream os;
+  os << name << ": " << s.nrows << " x " << s.ncols << ", nnz=" << s.nnz
+     << ", avg nnz/col=" << s.avg_nnz_per_col
+     << ", max nnz/col=" << s.max_nnz_per_col;
+  return os.str();
+}
+
+}  // namespace casp

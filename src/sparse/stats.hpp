@@ -1,0 +1,44 @@
+// Matrix and multiplication statistics: the quantities Table V reports
+// (nnz(A), nnz(C), flops) plus the compression factor cf = flops / nnz(C)
+// that drives accumulator selection and the performance model.
+#pragma once
+
+#include <string>
+
+#include "sparse/csc_mat.hpp"
+
+namespace casp {
+
+struct MatrixStats {
+  Index nrows = 0;
+  Index ncols = 0;
+  Index nnz = 0;
+  double avg_nnz_per_col = 0.0;
+  Index max_nnz_per_col = 0;
+};
+
+MatrixStats matrix_stats(const CscMat& a);
+
+/// Number of scalar multiplications in A*B: sum over nonzeros B(i,j) of
+/// nnz(A(:,i)). O(nnz(B)) given CSC A. This is "flops" in the paper
+/// (they count multiplications, not multiply-adds).
+Index multiply_flops(const CscMat& a, const CscMat& b);
+
+/// flops for each column j of the product A*B(:,j); used by kernels to size
+/// hash tables and by the hybrid kernel to pick per-column accumulators.
+std::vector<Index> column_flops(const CscMat& a, const CscMat& b);
+
+struct MultiplyStats {
+  Index flops = 0;       ///< scalar multiplications
+  Index nnz_c = 0;       ///< nonzeros in the (merged) product
+  double compression_factor = 0.0;  ///< flops / nnz_c, >= 1
+};
+
+/// Full multiplication statistics; runs a symbolic pass to get nnz(C).
+MultiplyStats multiply_stats(const CscMat& a, const CscMat& b);
+
+/// One-line human-readable summary ("3Mx3M nnz=360M ..."), used by benches
+/// to print Table V rows.
+std::string describe(const std::string& name, const CscMat& a);
+
+}  // namespace casp

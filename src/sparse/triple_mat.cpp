@@ -1,0 +1,74 @@
+#include "sparse/triple_mat.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace casp {
+
+namespace {
+bool col_row_less(const Triple& a, const Triple& b) {
+  return a.col != b.col ? a.col < b.col : a.row < b.row;
+}
+}  // namespace
+
+TripleMat::TripleMat(Index nrows, Index ncols, std::vector<Triple> entries)
+    : nrows_(nrows), ncols_(ncols), entries_(std::move(entries)) {
+  check_bounds();
+}
+
+void TripleMat::sort() {
+  std::sort(entries_.begin(), entries_.end(), col_row_less);
+}
+
+void TripleMat::canonicalize(bool drop_zeros) {
+  sort();
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size();) {
+    Triple merged = entries_[i];
+    std::size_t j = i + 1;
+    while (j < entries_.size() && entries_[j].row == merged.row &&
+           entries_[j].col == merged.col) {
+      merged.val += entries_[j].val;
+      ++j;
+    }
+    if (!drop_zeros || merged.val != Value{0}) entries_[out++] = merged;
+    i = j;
+  }
+  entries_.resize(out);
+}
+
+bool TripleMat::is_canonical() const {
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const Triple& prev = entries_[i - 1];
+    const Triple& cur = entries_[i];
+    if (!col_row_less(prev, cur)) return false;
+  }
+  return true;
+}
+
+void TripleMat::check_bounds() const {
+  for (const Triple& t : entries_) {
+    CASP_CHECK_MSG(t.row >= 0 && t.row < nrows_ && t.col >= 0 && t.col < ncols_,
+                   "triple (" << t.row << "," << t.col << ") out of bounds "
+                              << nrows_ << "x" << ncols_);
+  }
+}
+
+double max_abs_diff(const TripleMat& a, const TripleMat& b) {
+  if (a.nrows() != b.nrows() || a.ncols() != b.ncols() || a.nnz() != b.nnz())
+    return std::numeric_limits<double>::infinity();
+  double diff = 0.0;
+  for (Index i = 0; i < a.nnz(); ++i) {
+    const Triple& ta = a.entries()[static_cast<std::size_t>(i)];
+    const Triple& tb = b.entries()[static_cast<std::size_t>(i)];
+    if (ta.row != tb.row || ta.col != tb.col)
+      return std::numeric_limits<double>::infinity();
+    diff = std::max(diff, std::abs(ta.val - tb.val));
+  }
+  return diff;
+}
+
+}  // namespace casp

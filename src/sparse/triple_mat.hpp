@@ -1,0 +1,72 @@
+// Coordinate (COO / "triples") sparse matrix.
+//
+// Triples are the interchange format: generators emit them, Matrix Market
+// I/O reads them, distributed scatter/gather ships them, and tests
+// canonicalize them for equality checks. Compute kernels use CscMat.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace casp {
+
+struct Triple {
+  Index row;
+  Index col;
+  Value val;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.row == b.row && a.col == b.col && a.val == b.val;
+  }
+};
+
+class TripleMat {
+ public:
+  TripleMat() : nrows_(0), ncols_(0) {}
+  TripleMat(Index nrows, Index ncols) : nrows_(nrows), ncols_(ncols) {}
+  TripleMat(Index nrows, Index ncols, std::vector<Triple> entries);
+
+  Index nrows() const { return nrows_; }
+  Index ncols() const { return ncols_; }
+  Index nnz() const { return static_cast<Index>(entries_.size()); }
+  bool empty() const { return entries_.empty(); }
+
+  const std::vector<Triple>& entries() const { return entries_; }
+  std::vector<Triple>& entries() { return entries_; }
+
+  void push_back(Index row, Index col, Value val) {
+    entries_.push_back({row, col, val});
+  }
+  void reserve(Index n) { entries_.reserve(static_cast<std::size_t>(n)); }
+
+  /// Sort by (col, row) — the order CSC construction expects.
+  void sort();
+
+  /// Sort and sum duplicate (row, col) entries; drops explicit zeros if
+  /// `drop_zeros`. After this the matrix is in canonical form and two
+  /// mathematically equal matrices compare equal with operator==.
+  void canonicalize(bool drop_zeros = false);
+
+  /// True if sorted by (col, row) with no duplicate coordinates.
+  bool is_canonical() const;
+
+  /// Validates all coordinates are within [0, nrows) x [0, ncols).
+  void check_bounds() const;
+
+  friend bool operator==(const TripleMat& a, const TripleMat& b) {
+    return a.nrows_ == b.nrows_ && a.ncols_ == b.ncols_ &&
+           a.entries_ == b.entries_;
+  }
+
+ private:
+  Index nrows_;
+  Index ncols_;
+  std::vector<Triple> entries_;
+};
+
+/// Max absolute elementwise difference between two canonical matrices with
+/// identical sparsity structure; infinity if structures differ.
+double max_abs_diff(const TripleMat& a, const TripleMat& b);
+
+}  // namespace casp

@@ -1,0 +1,235 @@
+#include "summa/batched.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "summa/summa3d.hpp"
+
+namespace casp {
+
+template <typename SR>
+BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
+                              const DistMat3D& b, Bytes total_memory,
+                              const SummaOptions& opts,
+                              const BatchCallback& on_batch,
+                              bool keep_output) {
+  CASP_CHECK_MSG(a.global_cols == b.global_rows,
+                 "batched_summa3d: inner dimension mismatch");
+
+  MemoryCharge input_charge;
+  if (opts.memory != nullptr)
+    input_charge = MemoryCharge(
+        *opts.memory,
+        static_cast<Bytes>(a.local.nnz() + b.local.nnz()) * kBytesPerNonzero,
+        "input matrices");
+
+  BatchedResult result;
+
+  // Line 2, Alg. 4: the symbolic step decides b (unless the experiment
+  // pins it to sweep the (l, b) space).
+  if (opts.force_batches > 0) {
+    result.batches = opts.force_batches;
+  } else {
+    result.symbolic = symbolic3d(grid, a.local, b.local, total_memory, opts);
+    result.batches = result.symbolic.batches;
+  }
+  result.batches = std::max<Index>(
+      1, std::min(result.batches, std::max<Index>(1, b.global_cols)));
+
+  const Index num_batches = result.batches;
+  const Index l = grid.layers();
+  const Index nblocks = l * num_batches;
+  const Index psize = b.cols.count;  // my B column part width
+
+  std::vector<CscMat> kept_pieces;
+  if (keep_output) kept_pieces.reserve(static_cast<std::size_t>(num_batches));
+
+  for (Index bi = 0; bi < num_batches; ++bi) {
+    // Line 4, Alg. 4 + Fig. 1(i): batch bi = blocks {bi + m*b : m < l} of
+    // the (l*b)-way block-cyclic column split of my local B part.
+    std::vector<std::pair<Index, Index>> ranges(static_cast<std::size_t>(l));
+    std::vector<Index> splits(static_cast<std::size_t>(l) + 1, 0);
+    for (Index m = 0; m < l; ++m) {
+      const Index t = bi + m * num_batches;
+      ranges[static_cast<std::size_t>(m)] = {part_low(t, nblocks, psize),
+                                             part_low(t + 1, nblocks, psize)};
+      splits[static_cast<std::size_t>(m) + 1] =
+          splits[static_cast<std::size_t>(m)] +
+          (ranges[static_cast<std::size_t>(m)].second -
+           ranges[static_cast<std::size_t>(m)].first);
+    }
+    CscMat local_b_batch = b.local.select_col_ranges(ranges);
+    MemoryCharge batch_charge;
+    if (opts.memory != nullptr)
+      batch_charge = MemoryCharge(
+          *opts.memory,
+          static_cast<Bytes>(local_b_batch.nnz()) * kBytesPerNonzero,
+          "B batch slice");
+
+    // Line 6, Alg. 4: one SUMMA3D per batch, with the batch's block
+    // boundaries as the fiber split points. My merged piece is block
+    // (bi + layer*b), a contiguous global column range.
+    CscMat c_piece = summa3d<SR>(grid, a.local, local_b_batch, opts, splits);
+
+    const Index my_block = bi + static_cast<Index>(grid.layer()) * num_batches;
+    BatchInfo info;
+    info.batch_index = bi;
+    info.num_batches = num_batches;
+    info.global_nrows = a.global_rows;
+    info.global_ncols = b.global_cols;
+    info.global_rows = a.rows;
+    info.global_cols = {b.cols.start + part_low(my_block, nblocks, psize),
+                        part_size(my_block, nblocks, psize)};
+    CASP_CHECK(c_piece.ncols() == info.global_cols.count);
+
+    if (keep_output) kept_pieces.push_back(c_piece);
+    if (on_batch) on_batch(std::move(c_piece), info);
+  }
+
+  if (keep_output) {
+    // Line 7, Alg. 4: batch pieces are blocks layer*b .. layer*b + b - 1 in
+    // ascending global order, so plain concatenation restores the A-style
+    // layer slice of C exactly (part_low nesting: see common/math.hpp).
+    result.c.global_rows = a.global_rows;
+    result.c.global_cols = b.global_cols;
+    result.c.rows = a.rows;
+    const Index k = grid.layer();
+    result.c.cols = {b.cols.start + part_low(k, l, psize),
+                     part_size(k, l, psize)};
+    result.c.local = CscMat::concat_cols(kept_pieces);
+    CASP_CHECK(result.c.local.ncols() == result.c.cols.count);
+    if (opts.memory != nullptr) {
+      // The kept output is a deliberate *extra* cost on top of the batched
+      // working set; charge it transiently to surface budget violations.
+      MemoryCharge output_charge(
+          *opts.memory,
+          static_cast<Bytes>(result.c.local.nnz()) * kBytesPerNonzero,
+          "concatenated output");
+    }
+  }
+  return result;
+}
+
+namespace {
+/// Vertical concatenation of row-batch pieces (ascending, disjoint rows).
+CscMat concat_rows(const std::vector<CscMat>& pieces, Index total_rows) {
+  CASP_CHECK(!pieces.empty());
+  const Index ncols = pieces.front().ncols();
+  Index nnz = 0;
+  for (const CscMat& m : pieces) {
+    CASP_CHECK(m.ncols() == ncols);
+    nnz += m.nnz();
+  }
+  TripleMat triples(total_rows, ncols);
+  triples.reserve(nnz);
+  Index row_base = 0;
+  for (const CscMat& m : pieces) {
+    for (Index j = 0; j < m.ncols(); ++j) {
+      const auto rows = m.col_rowids(j);
+      const auto vals = m.col_vals(j);
+      for (std::size_t k = 0; k < rows.size(); ++k)
+        triples.push_back(rows[k] + row_base, j, vals[k]);
+    }
+    row_base += m.nrows();
+  }
+  CASP_CHECK(row_base == total_rows);
+  return CscMat::from_triples(std::move(triples));
+}
+}  // namespace
+
+template <typename SR>
+BatchedResult batched_summa3d_rowwise(Grid3D& grid, const DistMat3D& a,
+                                      const DistMat3D& b, Bytes total_memory,
+                                      const SummaOptions& opts,
+                                      const BatchCallback& on_batch,
+                                      bool keep_output) {
+  CASP_CHECK_MSG(a.global_cols == b.global_rows,
+                 "batched_summa3d_rowwise: inner dimension mismatch");
+
+  BatchedResult result;
+  if (opts.force_batches > 0) {
+    result.batches = opts.force_batches;
+  } else {
+    // Eq. 2 is symmetric in how the output is sliced: the per-batch
+    // unmerged output shrinks ~1/b whether C is cut by rows or columns.
+    result.symbolic = symbolic3d(grid, a.local, b.local, total_memory, opts);
+    result.batches = result.symbolic.batches;
+  }
+  result.batches = std::max<Index>(
+      1, std::min(result.batches, std::max<Index>(1, a.global_rows)));
+  const Index num_batches = result.batches;
+
+  std::vector<CscMat> kept_pieces;
+  if (keep_output) kept_pieces.reserve(static_cast<std::size_t>(num_batches));
+
+  const Index my_rows = a.rows.count;
+  const LocalRange out_cols = a_style_col_range(grid, b.global_cols);
+  for (Index bi = 0; bi < num_batches; ++bi) {
+    const Index lo = part_low(bi, num_batches, my_rows);
+    const Index hi = part_low(bi + 1, num_batches, my_rows);
+    CscMat a_batch = a.local.slice_rows(lo, hi);
+    MemoryCharge batch_charge;
+    if (opts.memory != nullptr)
+      batch_charge = MemoryCharge(
+          *opts.memory, static_cast<Bytes>(a_batch.nnz()) * kBytesPerNonzero,
+          "A batch slice");
+
+    CscMat c_piece = summa3d<SR>(grid, a_batch, b.local, opts);
+
+    BatchInfo info;
+    info.batch_index = bi;
+    info.num_batches = num_batches;
+    info.global_nrows = a.global_rows;
+    info.global_ncols = b.global_cols;
+    info.global_rows = {a.rows.start + lo, hi - lo};
+    info.global_cols = out_cols;
+    CASP_CHECK(c_piece.nrows() == info.global_rows.count);
+    CASP_CHECK(c_piece.ncols() == info.global_cols.count);
+
+    if (keep_output) kept_pieces.push_back(c_piece);
+    if (on_batch) on_batch(std::move(c_piece), info);
+  }
+
+  if (keep_output) {
+    result.c.global_rows = a.global_rows;
+    result.c.global_cols = b.global_cols;
+    result.c.rows = a.rows;
+    result.c.cols = out_cols;
+    result.c.local = concat_rows(kept_pieces, my_rows);
+  }
+  return result;
+}
+
+template BatchedResult batched_summa3d_rowwise<PlusTimes>(
+    Grid3D&, const DistMat3D&, const DistMat3D&, Bytes, const SummaOptions&,
+    const BatchCallback&, bool);
+template BatchedResult batched_summa3d_rowwise<MinPlus>(
+    Grid3D&, const DistMat3D&, const DistMat3D&, Bytes, const SummaOptions&,
+    const BatchCallback&, bool);
+template BatchedResult batched_summa3d_rowwise<MaxMin>(
+    Grid3D&, const DistMat3D&, const DistMat3D&, Bytes, const SummaOptions&,
+    const BatchCallback&, bool);
+template BatchedResult batched_summa3d_rowwise<OrAnd>(
+    Grid3D&, const DistMat3D&, const DistMat3D&, Bytes, const SummaOptions&,
+    const BatchCallback&, bool);
+
+template BatchedResult batched_summa3d<PlusTimes>(Grid3D&, const DistMat3D&,
+                                                  const DistMat3D&, Bytes,
+                                                  const SummaOptions&,
+                                                  const BatchCallback&, bool);
+template BatchedResult batched_summa3d<MinPlus>(Grid3D&, const DistMat3D&,
+                                                const DistMat3D&, Bytes,
+                                                const SummaOptions&,
+                                                const BatchCallback&, bool);
+template BatchedResult batched_summa3d<MaxMin>(Grid3D&, const DistMat3D&,
+                                               const DistMat3D&, Bytes,
+                                               const SummaOptions&,
+                                               const BatchCallback&, bool);
+template BatchedResult batched_summa3d<OrAnd>(Grid3D&, const DistMat3D&,
+                                              const DistMat3D&, Bytes,
+                                              const SummaOptions&,
+                                              const BatchCallback&, bool);
+
+}  // namespace casp

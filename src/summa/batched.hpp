@@ -1,0 +1,74 @@
+// BatchedSUMMA3D (Algorithm 4) — the paper's primary contribution.
+//
+// When the unmerged output would not fit in memory, B (and hence C) is
+// processed in b column batches. The batch count comes from the symbolic
+// step; the batch columns are chosen *block-cyclically* with l blocks per
+// batch (Fig. 1(i)) so that after AllToAll-Fiber every layer merges an
+// equal share — a plain block split would leave Merge-Fiber imbalanced.
+// Each finished batch is handed to the application through a callback
+// (prune it, write it to disk, feed it to a matching pass, ...) and can be
+// discarded; keeping the concatenated C is optional and only sensible when
+// it fits.
+#pragma once
+
+#include <functional>
+
+#include "grid/dist.hpp"
+#include "grid/grid3d.hpp"
+#include "summa/symbolic3d.hpp"
+
+namespace casp {
+
+/// Where one rank's piece of a finished batch lives globally.
+struct BatchInfo {
+  Index batch_index = 0;
+  Index num_batches = 1;
+  /// Full dimensions of the product C.
+  Index global_nrows = 0;
+  Index global_ncols = 0;
+  /// Global rows covered by the local piece (same for all batches).
+  LocalRange global_rows;
+  /// Global columns covered by the local piece: contiguous, because a
+  /// rank's share of batch i is exactly block (i + layer*b) of the
+  /// (l*b)-way block-cyclic split of its B column part.
+  LocalRange global_cols;
+};
+
+/// Called on every rank once per batch with that rank's merged, sorted
+/// piece of C[batch]. The piece may be moved from.
+using BatchCallback = std::function<void(CscMat&& local_c, const BatchInfo&)>;
+
+struct BatchedResult {
+  /// Concatenated output (A-style distributed); empty if keep_output=false.
+  DistMat3D c;
+  /// What the symbolic step measured/decided.
+  SymbolicResult symbolic;
+  Index batches = 1;
+};
+
+/// Collective over the whole grid. `a` must be A-style distributed and `b`
+/// B-style distributed (see grid/dist.hpp); inner dimensions must agree.
+/// total_memory: aggregate byte budget M across all ranks (0 = unlimited).
+/// When opts.memory is set, per-rank allocations are enforced against it.
+template <typename SR = PlusTimes>
+BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
+                              const DistMat3D& b, Bytes total_memory,
+                              const SummaOptions& opts = {},
+                              const BatchCallback& on_batch = nullptr,
+                              bool keep_output = true);
+
+/// Row-wise batching variant (Sec. IV-B's remark): when nnz(A) >> nnz(B),
+/// column batching re-broadcasts the expensive A once per batch; batching
+/// C *by rows* slices A instead, so B is the operand re-communicated.
+/// A batch computes a contiguous block of C's rows (no block-cyclic
+/// interleaving needed — the fiber exchange splits columns, which row
+/// batching leaves untouched). Each callback piece covers
+/// (row block of this batch within my row part) x (A-style column range).
+template <typename SR = PlusTimes>
+BatchedResult batched_summa3d_rowwise(Grid3D& grid, const DistMat3D& a,
+                                      const DistMat3D& b, Bytes total_memory,
+                                      const SummaOptions& opts = {},
+                                      const BatchCallback& on_batch = nullptr,
+                                      bool keep_output = true);
+
+}  // namespace casp

@@ -1,0 +1,48 @@
+// Step names and options shared by the SUMMA family.
+//
+// The seven major steps of BatchedSUMMA3D (Sec. IV-B). Timing and traffic
+// are recorded under these exact labels, and every bench reports the same
+// breakdown the paper's figures use.
+#pragma once
+
+#include "common/memory_tracker.hpp"
+#include "common/types.hpp"
+#include "kernels/merge.hpp"
+#include "kernels/spgemm.hpp"
+
+namespace casp {
+
+namespace steps {
+inline constexpr const char* kSymbolic = "Symbolic";
+inline constexpr const char* kABcast = "A-Bcast";
+inline constexpr const char* kBBcast = "B-Bcast";
+inline constexpr const char* kLocalMultiply = "Local-Multiply";
+inline constexpr const char* kMergeLayer = "Merge-Layer";
+inline constexpr const char* kAllToAllFiber = "AllToAll-Fiber";
+inline constexpr const char* kMergeFiber = "Merge-Fiber";
+
+inline constexpr const char* kAll[] = {
+    kSymbolic,   kABcast,        kBBcast,     kLocalMultiply,
+    kMergeLayer, kAllToAllFiber, kMergeFiber,
+};
+}  // namespace steps
+
+/// Knobs for the SUMMA family. Defaults are this paper's configuration
+/// (unsorted hash kernels, one final sort); set local_kind/merge_kind to
+/// kHybrid / kSortedHeap to reproduce the prior-work pipeline of [13, 25]
+/// for the Fig. 15 / Table VII comparisons.
+struct SummaOptions {
+  SpGemmKind local_kind = SpGemmKind::kUnsortedHash;
+  MergeKind merge_kind = MergeKind::kUnsortedHash;
+  /// Sort the final output's columns (done once, after Merge-Fiber).
+  bool sort_final = true;
+  /// OpenMP threads for local kernels within each rank.
+  int threads = 1;
+  /// Optional per-rank memory budget enforcement. Not owned.
+  MemoryTracker* memory = nullptr;
+  /// Batched algorithm only: override the symbolic batch count (0 = let
+  /// Symbolic3D decide). Used by the (l, b) sweep experiments.
+  Index force_batches = 0;
+};
+
+}  // namespace casp

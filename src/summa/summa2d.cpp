@@ -1,0 +1,80 @@
+#include "summa/summa2d.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "sparse/serialize.hpp"
+
+namespace casp {
+
+template <typename SR>
+CscMat summa2d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
+               const SummaOptions& opts) {
+  vmpi::Comm& row_comm = grid.row_comm();
+  vmpi::Comm& col_comm = grid.col_comm();
+  const int stages = grid.q();
+
+  std::vector<CscMat> partials;
+  partials.reserve(static_cast<std::size_t>(stages));
+  std::vector<MemoryCharge> partial_charges;
+  partial_charges.reserve(static_cast<std::size_t>(stages));
+
+  for (int s = 0; s < stages; ++s) {
+    CscMat a_recv;
+    {
+      vmpi::ScopedPhase phase(row_comm.traffic(), steps::kABcast);
+      ScopedTimer timer(row_comm.times(), steps::kABcast);
+      // The stage-s owner in my process row serializes its block; everyone
+      // deserializes the broadcast copy (the owner round-trips through the
+      // same bytes so all ranks run identical code).
+      std::vector<std::byte> buf =
+          row_comm.rank() == s ? pack_csc(local_a) : std::vector<std::byte>{};
+      buf = row_comm.bcast_bytes(s, std::move(buf));
+      a_recv = unpack_csc(buf);
+    }
+    CscMat b_recv;
+    {
+      vmpi::ScopedPhase phase(col_comm.traffic(), steps::kBBcast);
+      ScopedTimer timer(col_comm.times(), steps::kBBcast);
+      std::vector<std::byte> buf =
+          col_comm.rank() == s ? pack_csc(local_b) : std::vector<std::byte>{};
+      buf = col_comm.bcast_bytes(s, std::move(buf));
+      b_recv = unpack_csc(buf);
+    }
+    CASP_CHECK_MSG(a_recv.ncols() == b_recv.nrows(),
+                   "summa2d stage " << s << ": inner dim mismatch "
+                                    << a_recv.ncols() << " vs "
+                                    << b_recv.nrows());
+    {
+      ScopedTimer timer(row_comm.times(), steps::kLocalMultiply);
+      partials.push_back(local_spgemm<SR>(a_recv, b_recv, opts.local_kind,
+                                          opts.threads));
+    }
+    if (opts.memory != nullptr) {
+      // Unmerged per-stage results are exactly the mem(C) term of Eq. 1:
+      // they stay live until Merge-Layer.
+      partial_charges.emplace_back(
+          *opts.memory,
+          static_cast<Bytes>(partials.back().nnz()) * kBytesPerNonzero,
+          "unmerged stage output");
+    }
+  }
+
+  CscMat merged;
+  {
+    ScopedTimer timer(row_comm.times(), steps::kMergeLayer);
+    merged = merge_matrices<SR>(partials, opts.merge_kind, opts.threads);
+  }
+  return merged;
+}
+
+template CscMat summa2d<PlusTimes>(Grid3D&, const CscMat&, const CscMat&,
+                                   const SummaOptions&);
+template CscMat summa2d<MinPlus>(Grid3D&, const CscMat&, const CscMat&,
+                                 const SummaOptions&);
+template CscMat summa2d<MaxMin>(Grid3D&, const CscMat&, const CscMat&,
+                                const SummaOptions&);
+template CscMat summa2d<OrAnd>(Grid3D&, const CscMat&, const CscMat&,
+                               const SummaOptions&);
+
+}  // namespace casp

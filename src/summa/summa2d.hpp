@@ -1,0 +1,25 @@
+// 2D Sparse SUMMA (Algorithm 1), run within one layer of the 3D grid.
+//
+// Executes q stages; at stage s the owners in grid column s broadcast
+// their A block along each process row and the owners in grid row s
+// broadcast their B block down each process column. Partial products are
+// kept per stage (merging incrementally is asymptotically worse [34]) and
+// merged once at the end (Merge-Layer).
+#pragma once
+
+#include "grid/grid3d.hpp"
+#include "sparse/csc_mat.hpp"
+#include "summa/steps.hpp"
+
+namespace casp {
+
+/// Collective over grid.layer_comm(). local_a is this rank's A-style block
+/// (rows part i x A-col slice), local_b its B-style block (B-row slice x
+/// cols part j) — or any column subset of it (batching). Returns the local
+/// block of D = A*B on this layer: rows part i x local_b.ncols(), merged
+/// across stages but *not* across layers.
+template <typename SR = PlusTimes>
+CscMat summa2d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
+               const SummaOptions& opts = {});
+
+}  // namespace casp

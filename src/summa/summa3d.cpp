@@ -1,0 +1,90 @@
+#include "summa/summa3d.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "sparse/serialize.hpp"
+#include "summa/summa2d.hpp"
+
+namespace casp {
+
+template <typename SR>
+CscMat summa3d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
+               const SummaOptions& opts, std::span<const Index> col_splits) {
+  const int l = grid.layers();
+
+  // Stage loop + Merge-Layer within my layer.
+  CscMat d = summa2d<SR>(grid, local_a, local_b, opts);
+  MemoryCharge d_charge;
+  if (opts.memory != nullptr)
+    d_charge = MemoryCharge(*opts.memory,
+                            static_cast<Bytes>(d.nnz()) * kBytesPerNonzero,
+                            "layer-merged D");
+
+  // ColSplit (line 4, Alg. 2).
+  std::vector<Index> splits;
+  if (col_splits.empty()) {
+    splits.resize(static_cast<std::size_t>(l) + 1);
+    for (int m = 0; m <= l; ++m)
+      splits[static_cast<std::size_t>(m)] = part_low(m, l, d.ncols());
+  } else {
+    CASP_CHECK_MSG(static_cast<int>(col_splits.size()) == l + 1,
+                   "summa3d: need l+1 column split boundaries");
+    splits.assign(col_splits.begin(), col_splits.end());
+    CASP_CHECK(splits.front() == 0 && splits.back() == d.ncols());
+  }
+
+  vmpi::Comm& fiber = grid.fiber_comm();
+
+  // AllToAll-Fiber (line 5): piece m of my D goes to layer m.
+  std::vector<std::vector<std::byte>> outgoing(static_cast<std::size_t>(l));
+  for (int m = 0; m < l; ++m) {
+    outgoing[static_cast<std::size_t>(m)] = pack_csc(d.slice_cols(
+        splits[static_cast<std::size_t>(m)], splits[static_cast<std::size_t>(m) + 1]));
+  }
+  d = CscMat();  // release D before holding l received pieces
+  d_charge.reset();
+
+  std::vector<std::vector<std::byte>> incoming;
+  {
+    vmpi::ScopedPhase phase(fiber.traffic(), steps::kAllToAllFiber);
+    ScopedTimer timer(fiber.times(), steps::kAllToAllFiber);
+    incoming = fiber.alltoall_bytes(std::move(outgoing));
+  }
+
+  std::vector<CscMat> pieces;
+  pieces.reserve(static_cast<std::size_t>(l));
+  std::vector<MemoryCharge> piece_charges;
+  for (auto& buf : incoming) {
+    pieces.push_back(unpack_csc(buf));
+    buf.clear();
+    buf.shrink_to_fit();
+    if (opts.memory != nullptr)
+      piece_charges.emplace_back(
+          *opts.memory,
+          static_cast<Bytes>(pieces.back().nnz()) * kBytesPerNonzero,
+          "fiber piece");
+  }
+
+  // Merge-Fiber (line 6) + the single final sort.
+  CscMat c;
+  {
+    ScopedTimer timer(fiber.times(), steps::kMergeFiber);
+    c = merge_matrices<SR>(pieces, opts.merge_kind, opts.threads);
+    if (opts.sort_final) c.sort_columns();
+  }
+  return c;
+}
+
+template CscMat summa3d<PlusTimes>(Grid3D&, const CscMat&, const CscMat&,
+                                   const SummaOptions&,
+                                   std::span<const Index>);
+template CscMat summa3d<MinPlus>(Grid3D&, const CscMat&, const CscMat&,
+                                 const SummaOptions&, std::span<const Index>);
+template CscMat summa3d<MaxMin>(Grid3D&, const CscMat&, const CscMat&,
+                                const SummaOptions&, std::span<const Index>);
+template CscMat summa3d<OrAnd>(Grid3D&, const CscMat&, const CscMat&,
+                               const SummaOptions&, std::span<const Index>);
+
+}  // namespace casp

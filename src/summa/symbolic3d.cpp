@@ -1,0 +1,76 @@
+#include "summa/symbolic3d.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "kernels/symbolic.hpp"
+#include "sparse/serialize.hpp"
+#include "sparse/stats.hpp"
+
+namespace casp {
+
+SymbolicResult symbolic3d(Grid3D& grid, const CscMat& local_a,
+                          const CscMat& local_b, Bytes total_memory,
+                          const SummaOptions& opts) {
+  (void)opts;
+  vmpi::Comm& row_comm = grid.row_comm();
+  vmpi::Comm& col_comm = grid.col_comm();
+  vmpi::Comm& world = grid.world();
+  const int stages = grid.q();
+
+  // Whole step is timed and its traffic recorded under "Symbolic": the
+  // experiments (Fig. 8) break the symbolic step out of the bcast steps.
+  vmpi::ScopedPhase world_phase(world.traffic(), steps::kSymbolic);
+  ScopedTimer world_timer(world.times(), steps::kSymbolic);
+
+  Index my_unmerged = 0;
+  Index my_flops = 0;
+  for (int s = 0; s < stages; ++s) {
+    vmpi::ScopedPhase row_phase(row_comm.traffic(), steps::kSymbolic);
+    vmpi::ScopedPhase col_phase(col_comm.traffic(), steps::kSymbolic);
+    std::vector<std::byte> abuf =
+        row_comm.rank() == s ? pack_csc(local_a) : std::vector<std::byte>{};
+    abuf = row_comm.bcast_bytes(s, std::move(abuf));
+    const CscMat a_recv = unpack_csc(abuf);
+
+    std::vector<std::byte> bbuf =
+        col_comm.rank() == s ? pack_csc(local_b) : std::vector<std::byte>{};
+    bbuf = col_comm.bcast_bytes(s, std::move(bbuf));
+    const CscMat b_recv = unpack_csc(bbuf);
+
+    my_unmerged += symbolic_nnz(a_recv, b_recv);
+    my_flops += multiply_flops(a_recv, b_recv);
+  }
+
+  SymbolicResult result;
+  result.max_nnz_c = world.allreduce_max<Index>(my_unmerged);
+  result.max_nnz_a = world.allreduce_max<Index>(local_a.nnz());
+  result.max_nnz_b = world.allreduce_max<Index>(local_b.nnz());
+  result.total_unmerged_nnz = world.allreduce_sum<Index>(my_unmerged);
+  result.total_flops = world.allreduce_sum<Index>(my_flops);
+
+  if (total_memory == 0) {
+    result.batches = 1;
+    return result;
+  }
+
+  // Alg. 3 line 12: b = r * maxnnzC / (M/p - r * (maxnnzA + maxnnzB)).
+  const double r = static_cast<double>(kBytesPerNonzero);
+  const double per_process_memory =
+      static_cast<double>(total_memory) / static_cast<double>(world.size());
+  const double input_bytes =
+      r * static_cast<double>(result.max_nnz_a + result.max_nnz_b);
+  const double denom = per_process_memory - input_bytes;
+  if (denom <= 0.0) {
+    throw MemoryError(
+        "symbolic3d: inputs alone exceed the per-process memory share; "
+        "batching cannot help (Eq. 2 denominator <= 0)");
+  }
+  const double b = r * static_cast<double>(result.max_nnz_c) / denom;
+  result.batches = std::max<Index>(1, static_cast<Index>(std::ceil(b)));
+  return result;
+}
+
+}  // namespace casp

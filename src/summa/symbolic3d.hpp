@@ -1,0 +1,40 @@
+// Distributed symbolic step (Algorithm 3).
+//
+// Runs the same stage loop as SUMMA2D per layer but with LocalSymbolic
+// (nonzero counting) instead of the numeric multiply, then AllReduceMax
+// over the whole grid to find the most loaded process. Its per-process
+// unmerged output count, the available memory M, and the r bytes/nonzero
+// constant give the batch count b (Alg. 3 line 12 / Eq. 2). Using the max
+// rather than the average makes the choice robust to load imbalance: no
+// process can exhaust its memory, at the cost of possibly more batches.
+#pragma once
+
+#include "grid/grid3d.hpp"
+#include "sparse/csc_mat.hpp"
+#include "summa/steps.hpp"
+
+namespace casp {
+
+struct SymbolicResult {
+  /// Batch count needed so the per-batch unmerged output of the most
+  /// loaded process fits in its memory share.
+  Index batches = 1;
+  /// Max over processes of the unmerged output nnz (sum over stages of the
+  /// per-stage merged product nnz) for the *whole* multiplication.
+  Index max_nnz_c = 0;
+  Index max_nnz_a = 0;
+  Index max_nnz_b = 0;
+  /// Global totals (AllReduce-sum), reported for the experiments.
+  Index total_unmerged_nnz = 0;
+  Index total_flops = 0;
+};
+
+/// Collective over the whole grid. total_memory is M, the aggregate memory
+/// in bytes across all p processes (0 = unlimited -> b = 1). Throws
+/// MemoryError when even the inputs do not fit (denominator of Eq. 2
+/// non-positive).
+SymbolicResult symbolic3d(Grid3D& grid, const CscMat& local_a,
+                          const CscMat& local_b, Bytes total_memory,
+                          const SummaOptions& opts = {});
+
+}  // namespace casp

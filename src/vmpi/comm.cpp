@@ -1,0 +1,222 @@
+#include "vmpi/comm.hpp"
+
+#include <algorithm>
+
+namespace casp::vmpi {
+
+namespace detail {
+
+void Mailbox::push(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop(std::uint64_t context, int src_world, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (aborted_) throw Aborted();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->context == context && it->src_world == src_world &&
+          it->tag == tag) {
+        Message msg = std::move(*it);
+        queue_.erase(it);
+        return msg;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+void Mailbox::abort_all() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace detail
+
+Comm::Comm(std::shared_ptr<detail::World> world, int world_rank, int size)
+    : world_(std::move(world)),
+      context_(0),
+      rank_(world_rank),
+      size_(size),
+      traffic_(std::make_shared<TrafficStats>()),
+      times_(std::make_shared<TimeAccumulator>()) {
+  members_.resize(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) members_[static_cast<std::size_t>(r)] = r;
+}
+
+Comm::Comm(std::shared_ptr<detail::World> world, std::uint64_t context,
+           std::vector<int> members, int my_pos)
+    : world_(std::move(world)),
+      context_(context),
+      members_(std::move(members)),
+      rank_(my_pos),
+      size_(static_cast<int>(members_.size())) {}
+
+void Comm::send_bytes(int dest, int tag, const std::byte* data,
+                      std::size_t size) {
+  CASP_CHECK_MSG(dest >= 0 && dest < size_, "send to invalid rank " << dest);
+  traffic_->record_send(static_cast<Bytes>(size));
+  detail::Message msg;
+  msg.context = context_;
+  msg.src_world = members_[static_cast<std::size_t>(rank_)];
+  msg.tag = tag;
+  msg.payload.assign(data, data + size);
+  world_->mailboxes[static_cast<std::size_t>(members_[static_cast<std::size_t>(dest)])]
+      .push(std::move(msg));
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+  CASP_CHECK_MSG(src >= 0 && src < size_, "recv from invalid rank " << src);
+  const int my_world = members_[static_cast<std::size_t>(rank_)];
+  detail::Message msg =
+      world_->mailboxes[static_cast<std::size_t>(my_world)].pop(
+          context_, members_[static_cast<std::size_t>(src)], tag);
+  return std::move(msg.payload);
+}
+
+void Comm::barrier() {
+  // Dissemination barrier: after round k every rank has (transitively)
+  // heard from 2^(k+1) predecessors; ceil(lg p) rounds total.
+  for (int k = 1; k < size_; k <<= 1) {
+    const int dest = (rank_ + k) % size_;
+    const int src = (rank_ - k % size_ + size_) % size_;
+    send_value<char>(dest, kBarrierTag, 0);
+    (void)recv_value<char>(src, kBarrierTag);
+  }
+}
+
+std::vector<std::byte> Comm::bcast_bytes(int root,
+                                         std::vector<std::byte> data) {
+  CASP_CHECK(root >= 0 && root < size_);
+  if (size_ == 1) return data;
+  const int relative = (rank_ - root + size_) % size_;
+  int mask = 1;
+  while (mask < size_) {
+    if ((relative & mask) != 0) {
+      const int src = (relative - mask + root) % size_;
+      data = recv_bytes(src, kBcastTag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < size_ && (relative & (mask - 1)) == 0 &&
+        (relative & mask) == 0) {
+      const int dest = (relative + mask + root) % size_;
+      send_bytes(dest, kBcastTag, data.data(), data.size());
+    }
+    mask >>= 1;
+  }
+  return data;
+}
+
+std::vector<std::vector<std::byte>> Comm::allgather_bytes(
+    std::vector<std::byte> mine) {
+  std::vector<std::vector<std::byte>> gathered(
+      static_cast<std::size_t>(size_));
+  if (rank_ == 0) {
+    gathered[0] = std::move(mine);
+    for (int r = 1; r < size_; ++r)
+      gathered[static_cast<std::size_t>(r)] = recv_bytes(r, kGatherTag);
+  } else {
+    send_bytes(0, kGatherTag, mine.data(), mine.size());
+  }
+  // Broadcast the concatenation with a length header.
+  std::vector<std::byte> packed;
+  if (rank_ == 0) {
+    std::size_t total = sizeof(std::uint64_t) * static_cast<std::size_t>(size_);
+    for (const auto& buf : gathered) total += buf.size();
+    packed.reserve(total);
+    for (const auto& buf : gathered) {
+      const std::uint64_t len = buf.size();
+      const auto* lenp = reinterpret_cast<const std::byte*>(&len);
+      packed.insert(packed.end(), lenp, lenp + sizeof(len));
+      packed.insert(packed.end(), buf.begin(), buf.end());
+    }
+  }
+  packed = bcast_bytes(0, std::move(packed));
+  if (rank_ != 0) {
+    std::size_t offset = 0;
+    for (int r = 0; r < size_; ++r) {
+      std::uint64_t len = 0;
+      std::memcpy(&len, packed.data() + offset, sizeof(len));
+      offset += sizeof(len);
+      gathered[static_cast<std::size_t>(r)].assign(
+          packed.begin() + static_cast<std::ptrdiff_t>(offset),
+          packed.begin() + static_cast<std::ptrdiff_t>(offset + len));
+      offset += len;
+    }
+  }
+  return gathered;
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoall_bytes(
+    std::vector<std::vector<std::byte>> buffers) {
+  CASP_CHECK_MSG(static_cast<int>(buffers.size()) == size_,
+                 "alltoall: need exactly one buffer per rank");
+  std::vector<std::vector<std::byte>> received(
+      static_cast<std::size_t>(size_));
+  received[static_cast<std::size_t>(rank_)] =
+      std::move(buffers[static_cast<std::size_t>(rank_)]);
+  // Pairwise exchange: p-1 rounds of shifted partners; sends are
+  // asynchronous (mailbox push) so the symmetric schedule cannot deadlock.
+  for (int shift = 1; shift < size_; ++shift) {
+    const int dest = (rank_ + shift) % size_;
+    const int src = (rank_ - shift + size_) % size_;
+    send_bytes(dest, kAlltoallTag,
+               buffers[static_cast<std::size_t>(dest)].data(),
+               buffers[static_cast<std::size_t>(dest)].size());
+    received[static_cast<std::size_t>(src)] = recv_bytes(src, kAlltoallTag);
+  }
+  return received;
+}
+
+Comm Comm::split(int color, int key) {
+  // Exchange (color, key, world_rank) over the parent communicator, then
+  // each member deterministically builds its child group.
+  struct Entry {
+    int color;
+    int key;
+    int parent_rank;
+  };
+  const Entry mine{color, key, rank_};
+  const std::vector<Entry> all = allgather_value(mine);
+
+  std::vector<Entry> group;
+  for (const Entry& e : all)
+    if (e.color == color) group.push_back(e);
+  std::stable_sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.parent_rank < b.parent_rank;
+  });
+
+  std::vector<int> members;
+  int my_pos = -1;
+  members.reserve(group.size());
+  for (const Entry& e : group) {
+    if (e.parent_rank == rank_) my_pos = static_cast<int>(members.size());
+    members.push_back(members_[static_cast<std::size_t>(e.parent_rank)]);
+  }
+  CASP_CHECK(my_pos >= 0);
+
+  // All members of the parent agree on split_counter_ (they all called
+  // split the same number of times), so the derived context matches.
+  ++split_counter_;
+  const std::uint64_t child_context =
+      context_ * 0x100000001b3ULL + split_counter_ * 0x9e3779b9ULL +
+      static_cast<std::uint64_t>(color) + 1;
+
+  Comm child(world_, child_context, std::move(members), my_pos);
+  child.traffic_ = traffic_;
+  child.times_ = times_;
+  return child;
+}
+
+}  // namespace casp::vmpi

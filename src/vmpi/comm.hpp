@@ -1,0 +1,250 @@
+// Virtual message-passing communicator — the library's MPI substitute.
+//
+// Ranks are threads inside one OS process, but the programming model is
+// pure distributed memory: every payload is deep-copied through a mailbox,
+// nothing is shared. Collectives are built over point-to-point with the
+// textbook algorithms (binomial-tree broadcast/reduce, dissemination
+// barrier, pairwise all-to-all), so message counts match the latency terms
+// in the paper's Table II. Communicator splitting mirrors MPI_Comm_split,
+// giving SUMMA its row / column / fiber / layer communicators.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "vmpi/traffic.hpp"
+
+namespace casp::vmpi {
+
+/// Thrown in every blocked rank when some rank aborts with an exception, so
+/// the whole virtual job tears down instead of deadlocking.
+class Aborted : public std::runtime_error {
+ public:
+  Aborted() : std::runtime_error("virtual MPI job aborted by another rank") {}
+};
+
+namespace detail {
+
+struct Message {
+  std::uint64_t context;
+  int src_world;  ///< sender's world rank
+  int tag;
+  std::vector<std::byte> payload;
+};
+
+/// One per world rank: MPSC mailbox with (context, src, tag) matching.
+class Mailbox {
+ public:
+  void push(Message msg);
+  /// Blocks until a matching message arrives or the job aborts.
+  Message pop(std::uint64_t context, int src_world, int tag);
+  void abort_all();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool aborted_ = false;
+};
+
+/// Shared state of a virtual job: p mailboxes + abort flag.
+struct World {
+  explicit World(int size) : mailboxes(static_cast<std::size_t>(size)) {}
+  std::vector<Mailbox> mailboxes;
+  void abort_all() {
+    for (Mailbox& m : mailboxes) m.abort_all();
+  }
+};
+
+}  // namespace detail
+
+/// Per-rank communicator handle. Not thread-safe; each rank owns its own.
+class Comm {
+ public:
+  /// World communicator for `rank` of `size` (constructed by Runtime).
+  Comm(std::shared_ptr<detail::World> world, int world_rank, int size);
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  // -- Point-to-point (ranks are communicator-local) ----------------------
+
+  void send_bytes(int dest, int tag, const std::byte* data, std::size_t size);
+  std::vector<std::byte> recv_bytes(int src, int tag);
+
+  template <typename T>
+  void send_vec(int dest, int tag, const std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, reinterpret_cast<const std::byte*>(data.data()),
+               data.size() * sizeof(T));
+  }
+
+  template <typename T>
+  std::vector<T> recv_vec(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> raw = recv_bytes(src, tag);
+    CASP_CHECK(raw.size() % sizeof(T) == 0);
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  template <typename T>
+  void send_value(int dest, int tag, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, reinterpret_cast<const std::byte*>(&v), sizeof(T));
+  }
+
+  template <typename T>
+  T recv_value(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> raw = recv_bytes(src, tag);
+    CASP_CHECK(raw.size() == sizeof(T));
+    T v;
+    std::memcpy(&v, raw.data(), sizeof(T));
+    return v;
+  }
+
+  // -- Collectives ---------------------------------------------------------
+
+  /// Dissemination barrier: ceil(lg p) rounds.
+  void barrier();
+
+  /// Binomial-tree broadcast of a byte buffer from `root`; every rank
+  /// returns the payload (the root returns its own input).
+  std::vector<std::byte> bcast_bytes(int root, std::vector<std::byte> data);
+
+  template <typename T>
+  std::vector<T> bcast_vec(int root, std::vector<T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> raw(data.size() * sizeof(T));
+    std::memcpy(raw.data(), data.data(), raw.size());
+    raw = bcast_bytes(root, std::move(raw));
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  template <typename T>
+  T bcast_value(int root, T v) {
+    auto out = bcast_vec<T>(root, {v});
+    return out.at(0);
+  }
+
+  /// Binomial-tree reduce to root followed by broadcast. `op` must be
+  /// associative and commutative; applied elementwise on equal-length
+  /// vectors.
+  template <typename T>
+  std::vector<T> allreduce(std::vector<T> data,
+                           const std::function<T(T, T)>& op) {
+    std::vector<T> reduced = reduce_to_root(std::move(data), op);
+    return bcast_vec<T>(0, std::move(reduced));
+  }
+
+  template <typename T>
+  T allreduce_sum(T v) {
+    auto out = allreduce<T>({v}, [](T a, T b) { return a + b; });
+    return out.at(0);
+  }
+  template <typename T>
+  T allreduce_max(T v) {
+    auto out = allreduce<T>({v}, [](T a, T b) { return a > b ? a : b; });
+    return out.at(0);
+  }
+  template <typename T>
+  T allreduce_min(T v) {
+    auto out = allreduce<T>({v}, [](T a, T b) { return a < b ? a : b; });
+    return out.at(0);
+  }
+
+  /// All-gather of one byte buffer per rank (binomial gather to rank 0 +
+  /// broadcast of the concatenation). Returns size() buffers.
+  std::vector<std::vector<std::byte>> allgather_bytes(
+      std::vector<std::byte> mine);
+
+  template <typename T>
+  std::vector<T> allgather_value(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> raw(sizeof(T));
+    std::memcpy(raw.data(), &v, sizeof(T));
+    auto all = allgather_bytes(std::move(raw));
+    std::vector<T> out(all.size());
+    for (std::size_t r = 0; r < all.size(); ++r)
+      std::memcpy(&out[r], all[r].data(), sizeof(T));
+    return out;
+  }
+
+  /// Personalized all-to-all (pairwise exchange, p-1 rounds). buffers[d] is
+  /// sent to rank d; returns one buffer per source rank.
+  std::vector<std::vector<std::byte>> alltoall_bytes(
+      std::vector<std::vector<std::byte>> buffers);
+
+  /// MPI_Comm_split: ranks with the same color form a child communicator,
+  /// ordered by (key, rank).
+  Comm split(int color, int key);
+
+  // -- Instrumentation ------------------------------------------------------
+
+  TrafficStats& traffic() { return *traffic_; }
+  TimeAccumulator& times() { return *times_; }
+
+  /// Set both the traffic phase and the timing context for a scope.
+  void set_phase(const std::string& phase) { traffic_->set_phase(phase); }
+
+ private:
+  template <typename T>
+  std::vector<T> reduce_to_root(std::vector<T> data,
+                                const std::function<T(T, T)>& op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    // Binomial tree: in round k, ranks with bit k set send to rank - 2^k.
+    const int p = size_;
+    int mask = 1;
+    while (mask < p) {
+      if ((rank_ & mask) != 0) {
+        send_vec<T>(rank_ - mask, kReduceTag, data);
+        return data;  // contribution absorbed; final value via bcast
+      }
+      if (rank_ + mask < p) {
+        std::vector<T> other = recv_vec<T>(rank_ + mask, kReduceTag);
+        CASP_CHECK_MSG(other.size() == data.size(),
+                       "allreduce: length mismatch across ranks");
+        for (std::size_t i = 0; i < data.size(); ++i)
+          data[i] = op(data[i], other[i]);
+      }
+      mask <<= 1;
+    }
+    return data;
+  }
+
+  Comm(std::shared_ptr<detail::World> world, std::uint64_t context,
+       std::vector<int> members, int my_pos);
+
+  static constexpr int kReduceTag = -101;
+  static constexpr int kBcastTag = -102;
+  static constexpr int kBarrierTag = -103;
+  static constexpr int kGatherTag = -104;
+  static constexpr int kAlltoallTag = -105;
+  static constexpr int kSplitTag = -106;
+
+  std::shared_ptr<detail::World> world_;
+  std::uint64_t context_;
+  std::vector<int> members_;  ///< communicator-local rank -> world rank
+  int rank_;
+  int size_;
+  std::uint64_t split_counter_ = 0;
+  // Shared across all Comm objects of this rank so phase labels and timings
+  // aggregate rank-wide (a split communicator inherits its parent's ledger).
+  std::shared_ptr<TrafficStats> traffic_;
+  std::shared_ptr<TimeAccumulator> times_;
+};
+
+}  // namespace casp::vmpi

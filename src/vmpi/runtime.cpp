@@ -1,0 +1,79 @@
+#include "vmpi/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace casp::vmpi {
+
+TrafficSummary RunResult::traffic_summary() const {
+  TrafficSummary summary;
+  for (const TrafficStats& stats : traffic) {
+    for (const auto& [phase, t] : stats.per_phase()) {
+      summary.total_per_phase[phase] += t;
+      PhaseTraffic& mx = summary.max_per_phase[phase];
+      mx.messages = std::max(mx.messages, t.messages);
+      mx.bytes = std::max(mx.bytes, t.bytes);
+    }
+  }
+  return summary;
+}
+
+double RunResult::max_time(const std::string& name) const {
+  double mx = 0.0;
+  for (const TimeAccumulator& acc : times) mx = std::max(mx, acc.get(name));
+  return mx;
+}
+
+std::vector<std::string> RunResult::time_names() const {
+  std::set<std::string> names;
+  for (const TimeAccumulator& acc : times)
+    for (const auto& [name, seconds] : acc.all()) names.insert(name);
+  return {names.begin(), names.end()};
+}
+
+RunResult run(int size, const std::function<void(Comm&)>& body) {
+  CASP_CHECK_MSG(size >= 1, "virtual job needs at least one rank");
+  auto world = std::make_shared<detail::World>(size);
+
+  RunResult result;
+  result.size = size;
+  result.traffic.resize(static_cast<std::size_t>(size));
+  result.times.resize(static_cast<std::size_t>(size));
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    threads.emplace_back([&, r]() {
+      Comm comm(world, r, size);
+      try {
+        body(comm);
+      } catch (const Aborted&) {
+        // Secondary casualty of another rank's failure; the primary
+        // exception is already recorded.
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        world->abort_all();
+      }
+      result.traffic[static_cast<std::size_t>(r)] = comm.traffic();
+      result.times[static_cast<std::size_t>(r)] = comm.times();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.wall_seconds = watch.seconds();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return result;
+}
+
+}  // namespace casp::vmpi

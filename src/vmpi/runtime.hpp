@@ -1,0 +1,37 @@
+// Virtual job launcher: runs an SPMD function on p thread-backed ranks.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/traffic.hpp"
+
+namespace casp::vmpi {
+
+/// Everything a finished virtual job reports back.
+struct RunResult {
+  int size = 0;
+  /// Wall time of the whole job (launch to last join), seconds.
+  double wall_seconds = 0.0;
+  /// Per-rank traffic ledgers, indexed by rank.
+  std::vector<TrafficStats> traffic;
+  /// Per-rank named timings, indexed by rank.
+  std::vector<TimeAccumulator> times;
+
+  TrafficSummary traffic_summary() const;
+  /// Max over ranks of a named timer (the critical-path step time).
+  double max_time(const std::string& name) const;
+  /// All timer names seen on any rank.
+  std::vector<std::string> time_names() const;
+};
+
+/// Run `body` on `size` ranks. Blocks until all ranks return. If any rank
+/// throws, all blocked ranks are woken with vmpi::Aborted and the first
+/// exception is rethrown here.
+RunResult run(int size, const std::function<void(Comm&)>& body);
+
+}  // namespace casp::vmpi

@@ -1,0 +1,4 @@
+#include "vmpi/traffic.hpp"
+
+// TrafficStats is header-only; this TU anchors the component.
+namespace casp::vmpi {}

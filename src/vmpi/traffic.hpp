@@ -1,0 +1,92 @@
+// Communication instrumentation.
+//
+// Every point-to-point message the runtime delivers is counted against the
+// sender's current *phase* (e.g. "A-Bcast", "AllToAll-Fiber"). Because the
+// collectives are implemented over point-to-point with the standard tree /
+// pairwise algorithms, the recorded message counts carry the same latency
+// structure (lg p broadcast rounds, l-1 all-to-all partners) the paper's
+// Table II analyzes — so the cost model can convert counts to modeled time
+// at any scale.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace casp::vmpi {
+
+struct PhaseTraffic {
+  std::uint64_t messages = 0;
+  Bytes bytes = 0;
+
+  PhaseTraffic& operator+=(const PhaseTraffic& other) {
+    messages += other.messages;
+    bytes += other.bytes;
+    return *this;
+  }
+};
+
+/// Per-rank traffic ledger. Not thread-safe: each rank owns one.
+class TrafficStats {
+ public:
+  void set_phase(std::string phase) { phase_ = std::move(phase); }
+  const std::string& phase() const { return phase_; }
+
+  void record_send(Bytes bytes) {
+    PhaseTraffic& t = per_phase_[phase_];
+    ++t.messages;
+    t.bytes += bytes;
+  }
+
+  const std::map<std::string, PhaseTraffic>& per_phase() const {
+    return per_phase_;
+  }
+  PhaseTraffic total() const {
+    PhaseTraffic sum;
+    for (const auto& [name, t] : per_phase_) sum += t;
+    return sum;
+  }
+  PhaseTraffic get(const std::string& phase) const {
+    auto it = per_phase_.find(phase);
+    return it == per_phase_.end() ? PhaseTraffic{} : it->second;
+  }
+  void clear() { per_phase_.clear(); }
+
+ private:
+  std::string phase_ = "default";
+  std::map<std::string, PhaseTraffic> per_phase_;
+};
+
+/// Merge of per-rank ledgers produced by Runtime::run.
+struct TrafficSummary {
+  /// Sum over ranks, per phase.
+  std::map<std::string, PhaseTraffic> total_per_phase;
+  /// Max over ranks, per phase (the critical-path view the paper plots).
+  std::map<std::string, PhaseTraffic> max_per_phase;
+
+  PhaseTraffic total() const {
+    PhaseTraffic sum;
+    for (const auto& [name, t] : total_per_phase) sum += t;
+    return sum;
+  }
+};
+
+/// RAII phase label for a TrafficStats ledger.
+class ScopedPhase {
+ public:
+  ScopedPhase(TrafficStats& stats, std::string phase)
+      : stats_(stats), saved_(stats.phase()) {
+    stats_.set_phase(std::move(phase));
+  }
+  ~ScopedPhase() { stats_.set_phase(saved_); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  TrafficStats& stats_;
+  std::string saved_;
+};
+
+}  // namespace casp::vmpi

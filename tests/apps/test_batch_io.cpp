@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "apps/batch_io.hpp"
+#include "grid/dist.hpp"
+#include "kernels/reference.hpp"
+#include "test_util.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace casp {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/casp_batch_io_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(BatchIo, StreamedBatchesReloadToTheExactProduct) {
+  const std::string dir = fresh_dir("roundtrip");
+  const Index n = 26;
+  const CscMat a = testing::random_matrix(n, n, 3.0, 140);
+  const CscMat expected = reference_multiply<PlusTimes>(a, a);
+
+  vmpi::run(8, [&](vmpi::Comm& world) {
+    Grid3D grid(world, 2);
+    const DistMat3D da = distribute_a_style(grid, a);
+    const DistMat3D db = distribute_b_style(grid, a);
+    SummaOptions opts;
+    opts.force_batches = 3;
+    batched_summa3d<PlusTimes>(grid, da, db, 0, opts,
+                               make_disk_batch_writer(dir, world.rank()),
+                               /*keep_output=*/false);
+  });
+
+  const CscMat loaded = load_batch_directory(dir);
+  testing::expect_mat_near(loaded, expected, 1e-9);
+}
+
+TEST(BatchIo, RowwiseBatchesAlsoRoundTrip) {
+  const std::string dir = fresh_dir("rowwise");
+  const Index n = 20;
+  const CscMat a = testing::random_matrix(n, n, 3.0, 141);
+  const CscMat expected = reference_multiply<PlusTimes>(a, a);
+  vmpi::run(4, [&](vmpi::Comm& world) {
+    Grid3D grid(world, 1);
+    const DistMat3D da = distribute_a_style(grid, a);
+    const DistMat3D db = distribute_b_style(grid, a);
+    SummaOptions opts;
+    opts.force_batches = 4;
+    batched_summa3d_rowwise<PlusTimes>(
+        grid, da, db, 0, opts, make_disk_batch_writer(dir, world.rank()),
+        /*keep_output=*/false);
+  });
+  testing::expect_mat_near(load_batch_directory(dir), expected, 1e-9);
+}
+
+TEST(BatchIo, PreservesEmptyBorderRowsAndCols) {
+  // The header carries the global shape even when the last rows/columns of
+  // the product are empty.
+  const std::string dir = fresh_dir("borders");
+  const Index n = 16;
+  TripleMat t(n, n);
+  t.push_back(0, 0, 2.0);  // product will live entirely in the top-left
+  const CscMat a = CscMat::from_triples(std::move(t));
+  vmpi::run(4, [&](vmpi::Comm& world) {
+    Grid3D grid(world, 1);
+    const DistMat3D da = distribute_a_style(grid, a);
+    const DistMat3D db = distribute_b_style(grid, a);
+    batched_summa3d<PlusTimes>(grid, da, db, 0, {},
+                               make_disk_batch_writer(dir, world.rank()),
+                               /*keep_output=*/false);
+  });
+  const CscMat loaded = load_batch_directory(dir);
+  EXPECT_EQ(loaded.nrows(), n);
+  EXPECT_EQ(loaded.ncols(), n);
+  EXPECT_EQ(loaded.nnz(), 1);
+  EXPECT_DOUBLE_EQ(loaded.col_vals(0)[0], 4.0);
+}
+
+TEST(BatchIo, MissingDirectoryThrows) {
+  EXPECT_THROW(load_batch_directory(::testing::TempDir() + "/casp_nonexistent"),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace casp

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/jaccard.hpp"
+#include "gen/kmer.hpp"
+#include "test_util.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace casp {
+namespace {
+
+/// Brute-force Jaccard over row feature sets.
+std::vector<JaccardPair> brute_force(const CscMat& incidence, double min_sim) {
+  const Index n = incidence.nrows();
+  std::vector<std::set<Index>> features(static_cast<std::size_t>(n));
+  for (Index j = 0; j < incidence.ncols(); ++j)
+    for (Index r : incidence.col_rowids(j))
+      features[static_cast<std::size_t>(r)].insert(j);
+  std::vector<JaccardPair> pairs;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i + 1; j < n; ++j) {
+      const auto& fi = features[static_cast<std::size_t>(i)];
+      const auto& fj = features[static_cast<std::size_t>(j)];
+      std::size_t inter = 0;
+      for (Index f : fi) inter += fj.count(f);
+      const std::size_t uni = fi.size() + fj.size() - inter;
+      if (uni == 0) continue;
+      const double sim =
+          static_cast<double>(inter) / static_cast<double>(uni);
+      if (inter > 0 && sim >= min_sim) pairs.push_back({i, j, sim});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+TEST(JaccardSerial, MatchesBruteForce) {
+  const CscMat m = testing::random_matrix(40, 60, 2.0, 90);
+  for (double threshold : {0.0, 0.1, 0.3}) {
+    const auto expected = brute_force(m, threshold);
+    const auto got = jaccard_pairs_serial(m, threshold);
+    ASSERT_EQ(got.size(), expected.size()) << "threshold " << threshold;
+    for (std::size_t k = 0; k < got.size(); ++k) {
+      EXPECT_EQ(got[k].item_a, expected[k].item_a);
+      EXPECT_EQ(got[k].item_b, expected[k].item_b);
+      EXPECT_NEAR(got[k].similarity, expected[k].similarity, 1e-12);
+    }
+  }
+}
+
+TEST(JaccardSerial, IgnoresNumericValues) {
+  // Jaccard is a set similarity: scaling the values must not change it.
+  CscMat m = testing::random_matrix(20, 30, 2.0, 91);
+  const auto base = jaccard_pairs_serial(m, 0.05);
+  for (Value& v : m.vals_mutable()) v *= 37.5;
+  const auto scaled = jaccard_pairs_serial(m, 0.05);
+  ASSERT_EQ(base.size(), scaled.size());
+  for (std::size_t k = 0; k < base.size(); ++k)
+    EXPECT_NEAR(base[k].similarity, scaled[k].similarity, 1e-12);
+}
+
+TEST(JaccardSerial, IdenticalRowsScoreOne) {
+  TripleMat t(2, 4);
+  for (Index f : {0, 2, 3}) {
+    t.push_back(0, f, 1.0);
+    t.push_back(1, f, 1.0);
+  }
+  const auto pairs = jaccard_pairs_serial(CscMat::from_triples(std::move(t)), 0.5);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 1.0);
+}
+
+TEST(JaccardDistributed, MatchesSerial) {
+  KmerParams kp;
+  kp.num_reads = 40;
+  kp.genome_length = 200;
+  kp.seed = 92;
+  const CscMat m = generate_kmer_matrix(kp).mat;
+  const auto expected = jaccard_pairs_serial(m, 0.2);
+  ASSERT_FALSE(expected.empty());
+  for (const auto& [p, l, b] : std::vector<std::tuple<int, int, Index>>{
+           {4, 1, 1}, {8, 2, 3}, {16, 4, 2}}) {
+    vmpi::run(p, [&, l = l, b = b](vmpi::Comm& world) {
+      Grid3D grid(world, l);
+      SummaOptions opts;
+      opts.force_batches = b;
+      const auto got = jaccard_pairs_distributed(grid, m, 0.2, 0, opts);
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t k = 0; k < got.size(); ++k) {
+        EXPECT_EQ(got[k].item_a, expected[k].item_a);
+        EXPECT_EQ(got[k].item_b, expected[k].item_b);
+        EXPECT_NEAR(got[k].similarity, expected[k].similarity, 1e-12);
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace casp

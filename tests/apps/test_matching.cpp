@@ -1,0 +1,147 @@
+// Heavy-connectivity matching: validity, greedy maximality (holds for any
+// batch order), and serial/distributed agreement at b = 1.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/matching.hpp"
+#include "gen/kmer.hpp"
+#include "kernels/reference.hpp"
+#include "test_util.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace casp {
+namespace {
+
+/// Brute-force shared-hyperedge counts between all vertex pairs.
+std::vector<std::vector<double>> shared_counts(const CscMat& incidence) {
+  const CscMat c =
+      reference_multiply<PlusTimes>(incidence, incidence.transpose());
+  std::vector<std::vector<double>> shared(
+      static_cast<std::size_t>(incidence.nrows()),
+      std::vector<double>(static_cast<std::size_t>(incidence.nrows()), 0.0));
+  for (Index j = 0; j < c.ncols(); ++j) {
+    const auto rows = c.col_rowids(j);
+    const auto vals = c.col_vals(j);
+    for (std::size_t k = 0; k < rows.size(); ++k)
+      shared[static_cast<std::size_t>(rows[k])][static_cast<std::size_t>(j)] =
+          vals[k];
+  }
+  return shared;
+}
+
+void expect_valid_and_maximal(const MatchingResult& r, const CscMat& incidence,
+                              double min_shared) {
+  const auto shared = shared_counts(incidence);
+  const Index n = incidence.nrows();
+  // Validity: involutive, irreflexive, and above threshold.
+  Index matched = 0;
+  for (Index v = 0; v < n; ++v) {
+    const Index m = r.mate[static_cast<std::size_t>(v)];
+    if (m < 0) continue;
+    ++matched;
+    EXPECT_NE(m, v);
+    EXPECT_EQ(r.mate[static_cast<std::size_t>(m)], v);
+    EXPECT_GE(shared[static_cast<std::size_t>(v)][static_cast<std::size_t>(m)],
+              min_shared);
+  }
+  EXPECT_EQ(matched, 2 * r.matched_pairs);
+  // Greedy maximality: no two *unmatched* vertices share >= min_shared.
+  for (Index u = 0; u < n; ++u) {
+    if (r.mate[static_cast<std::size_t>(u)] >= 0) continue;
+    for (Index v = u + 1; v < n; ++v) {
+      if (r.mate[static_cast<std::size_t>(v)] >= 0) continue;
+      EXPECT_LT(shared[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)],
+                min_shared)
+          << "unmatched pair (" << u << "," << v << ") still eligible";
+    }
+  }
+}
+
+CscMat sample_hypergraph(std::uint64_t seed) {
+  // Reads-over-genome doubles as a vertex x hyperedge incidence with
+  // clustered overlap structure.
+  KmerParams p;
+  p.num_reads = 60;
+  p.genome_length = 250;
+  p.min_read_len = 10;
+  p.max_read_len = 30;
+  p.seed = seed;
+  return generate_kmer_matrix(p).mat;
+}
+
+TEST(MatchingSerial, ValidAndMaximal) {
+  const CscMat h = sample_hypergraph(1);
+  for (double threshold : {1.0, 4.0, 8.0}) {
+    const MatchingResult r = heavy_connectivity_matching_serial(h, threshold);
+    expect_valid_and_maximal(r, h, threshold);
+  }
+}
+
+TEST(MatchingSerial, HeaviestPairWinsFirst) {
+  // Path u - v - w where (u, v) share more hyperedges than (v, w): greedy
+  // must take (u, v).
+  TripleMat t(3, 4);
+  t.push_back(0, 0, 1.0);  // u in e0, e1
+  t.push_back(0, 1, 1.0);
+  t.push_back(1, 0, 1.0);  // v in e0, e1, e2
+  t.push_back(1, 1, 1.0);
+  t.push_back(1, 2, 1.0);
+  t.push_back(2, 2, 1.0);  // w in e2, e3
+  t.push_back(2, 3, 1.0);
+  const MatchingResult r = heavy_connectivity_matching_serial(
+      CscMat::from_triples(std::move(t)), 1.0);
+  EXPECT_EQ(r.mate[0], 1);
+  EXPECT_EQ(r.mate[1], 0);
+  EXPECT_EQ(r.mate[2], -1);
+  EXPECT_EQ(r.matched_pairs, 1);
+  EXPECT_DOUBLE_EQ(r.total_weight, 2.0);
+}
+
+TEST(MatchingDistributed, SingleBatchMatchesSerialExactly) {
+  const CscMat h = sample_hypergraph(2);
+  const double threshold = 3.0;
+  const MatchingResult serial =
+      heavy_connectivity_matching_serial(h, threshold);
+  for (const auto& [p, l] : std::vector<std::pair<int, int>>{{4, 1}, {8, 2}}) {
+    vmpi::run(p, [&, l = l](vmpi::Comm& world) {
+      Grid3D grid(world, l);
+      const MatchingResult dist =
+          heavy_connectivity_matching_distributed(grid, h, threshold);
+      EXPECT_EQ(dist.mate, serial.mate) << "p=" << p << " l=" << l;
+      EXPECT_DOUBLE_EQ(dist.total_weight, serial.total_weight);
+    });
+  }
+}
+
+TEST(MatchingDistributed, BatchedStaysValidAndMaximal) {
+  const CscMat h = sample_hypergraph(3);
+  const double threshold = 2.0;
+  for (const Index b : {Index{2}, Index{5}}) {
+    vmpi::run(8, [&, b](vmpi::Comm& world) {
+      Grid3D grid(world, 2);
+      SummaOptions opts;
+      opts.force_batches = b;
+      const MatchingResult r = heavy_connectivity_matching_distributed(
+          grid, h, threshold, 0, opts);
+      if (world.rank() == 0) expect_valid_and_maximal(r, h, threshold);
+    });
+  }
+}
+
+TEST(MatchingDistributed, AllRanksAgree) {
+  const CscMat h = sample_hypergraph(4);
+  std::vector<std::vector<Index>> mates(8);
+  vmpi::run(8, [&](vmpi::Comm& world) {
+    Grid3D grid(world, 2);
+    SummaOptions opts;
+    opts.force_batches = 3;
+    const MatchingResult r =
+        heavy_connectivity_matching_distributed(grid, h, 2.0, 0, opts);
+    mates[static_cast<std::size_t>(world.rank())] = r.mate;
+  });
+  for (int r = 1; r < 8; ++r) EXPECT_EQ(mates[static_cast<std::size_t>(r)], mates[0]);
+}
+
+}  // namespace
+}  // namespace casp

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "apps/overlap.hpp"
+#include "gen/kmer.hpp"
+#include "test_util.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace casp {
+namespace {
+
+KmerMatrix sample_reads(std::uint64_t seed, double keep = 1.0) {
+  KmerParams p;
+  p.num_reads = 50;
+  p.genome_length = 300;
+  p.min_read_len = 15;
+  p.max_read_len = 40;
+  p.kmer_keep_fraction = keep;
+  p.seed = seed;
+  return generate_kmer_matrix(p);
+}
+
+TEST(OverlapSerial, MatchesIntervalGroundTruth) {
+  const KmerMatrix km = sample_reads(1);
+  const double min_shared = 5.0;
+  const auto pairs = find_overlaps_serial(km.mat, min_shared);
+  // Every reported pair must have exactly its interval overlap as the
+  // shared count (keep fraction 1.0).
+  for (const OverlapPair& pr : pairs) {
+    EXPECT_LT(pr.read_a, pr.read_b);
+    EXPECT_DOUBLE_EQ(pr.shared,
+                     static_cast<double>(km.true_overlap(pr.read_a, pr.read_b)));
+    EXPECT_GE(pr.shared, min_shared);
+  }
+  // And every qualifying pair must be reported.
+  Index expected = 0;
+  for (Index i = 0; i < 50; ++i)
+    for (Index j = i + 1; j < 50; ++j)
+      if (static_cast<double>(km.true_overlap(i, j)) >= min_shared) ++expected;
+  EXPECT_EQ(static_cast<Index>(pairs.size()), expected);
+}
+
+TEST(OverlapDistributed, MatchesSerialAcrossGridsAndBatches) {
+  const KmerMatrix km = sample_reads(2, 0.8);
+  const double min_shared = 3.0;
+  const auto expected = find_overlaps_serial(km.mat, min_shared);
+  ASSERT_FALSE(expected.empty());
+  for (const auto& [p, l, b] : std::vector<std::tuple<int, int, Index>>{
+           {1, 1, 1}, {4, 1, 2}, {4, 4, 1}, {8, 2, 3}, {16, 4, 4}}) {
+    vmpi::run(p, [&, l = l, b = b](vmpi::Comm& world) {
+      Grid3D grid(world, l);
+      SummaOptions opts;
+      opts.force_batches = b;
+      const auto got =
+          find_overlaps_distributed(grid, km.mat, min_shared, 0, opts);
+      ASSERT_EQ(got.size(), expected.size()) << "p=" << p << " l=" << l;
+      for (std::size_t k = 0; k < got.size(); ++k) {
+        EXPECT_EQ(got[k].read_a, expected[k].read_a);
+        EXPECT_EQ(got[k].read_b, expected[k].read_b);
+        EXPECT_DOUBLE_EQ(got[k].shared, expected[k].shared);
+      }
+    });
+  }
+}
+
+TEST(OverlapDistributed, ThresholdFiltersEverything) {
+  const KmerMatrix km = sample_reads(3);
+  vmpi::run(4, [&](vmpi::Comm& world) {
+    Grid3D grid(world, 1);
+    const auto got = find_overlaps_distributed(grid, km.mat, 1e9);
+    EXPECT_TRUE(got.empty());
+  });
+}
+
+TEST(OverlapSerial, SubsampledSharedCountsAreLowerBounds) {
+  // With k-mer subsampling the shared count can only undercount the true
+  // overlap (BELLA's sensitivity/specificity tradeoff).
+  const KmerMatrix km = sample_reads(4, 0.5);
+  const auto pairs = find_overlaps_serial(km.mat, 1.0);
+  for (const OverlapPair& pr : pairs)
+    EXPECT_LE(pr.shared,
+              static_cast<double>(km.true_overlap(pr.read_a, pr.read_b)));
+}
+
+}  // namespace
+}  // namespace casp

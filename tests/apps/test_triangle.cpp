@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "apps/triangle.hpp"
+#include "gen/rmat.hpp"
+#include "test_util.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace casp {
+namespace {
+
+/// O(n^3)-ish brute force over the adjacency pattern.
+Index brute_force_triangles(const CscMat& a) {
+  const Index n = a.nrows();
+  std::vector<std::vector<bool>> adj(
+      static_cast<std::size_t>(n),
+      std::vector<bool>(static_cast<std::size_t>(n), false));
+  for (Index j = 0; j < n; ++j)
+    for (Index r : a.col_rowids(j))
+      adj[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)] = true;
+  Index count = 0;
+  for (Index i = 0; i < n; ++i)
+    for (Index j = i + 1; j < n; ++j) {
+      if (!adj[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]) continue;
+      for (Index k = j + 1; k < n; ++k)
+        if (adj[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] &&
+            adj[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)])
+          ++count;
+    }
+  return count;
+}
+
+CscMat symmetrize(const CscMat& m) {
+  TripleMat t(m.nrows(), m.ncols());
+  for (Index j = 0; j < m.ncols(); ++j) {
+    for (Index r : m.col_rowids(j)) {
+      if (r == j) continue;
+      t.push_back(r, j, 1.0);
+      t.push_back(j, r, 1.0);
+    }
+  }
+  t.canonicalize();
+  for (Triple& e : t.entries()) e.val = 1.0;
+  return CscMat::from_triples(std::move(t));
+}
+
+TEST(TriangleSerial, KnownSmallGraphs) {
+  // Triangle graph: exactly 1.
+  TripleMat tri(3, 3);
+  for (Index i = 0; i < 3; ++i)
+    for (Index j = 0; j < 3; ++j)
+      if (i != j) tri.push_back(i, j, 1.0);
+  EXPECT_EQ(count_triangles_serial(CscMat::from_triples(std::move(tri))), 1);
+
+  // K5: C(5,3) = 10 triangles.
+  TripleMat k5(5, 5);
+  for (Index i = 0; i < 5; ++i)
+    for (Index j = 0; j < 5; ++j)
+      if (i != j) k5.push_back(i, j, 1.0);
+  EXPECT_EQ(count_triangles_serial(CscMat::from_triples(std::move(k5))), 10);
+
+  // Star graph: 0 triangles.
+  TripleMat star(6, 6);
+  for (Index i = 1; i < 6; ++i) {
+    star.push_back(0, i, 1.0);
+    star.push_back(i, 0, 1.0);
+  }
+  EXPECT_EQ(count_triangles_serial(CscMat::from_triples(std::move(star))), 0);
+}
+
+TEST(TriangleSerial, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const CscMat a = symmetrize(testing::random_matrix(40, 40, 4.0, seed));
+    EXPECT_EQ(count_triangles_serial(a), brute_force_triangles(a))
+        << "seed " << seed;
+  }
+}
+
+TEST(TriangleDistributed, MatchesSerialAcrossGrids) {
+  const CscMat a = symmetrize(testing::random_matrix(48, 48, 5.0, 7));
+  const Index expected = count_triangles_serial(a);
+  for (const auto& [p, l] : std::vector<std::pair<int, int>>{
+           {1, 1}, {4, 1}, {4, 4}, {8, 2}, {16, 4}}) {
+    vmpi::run(p, [&, l = l](vmpi::Comm& world) {
+      Grid3D grid(world, l);
+      EXPECT_EQ(count_triangles_distributed(grid, a), expected)
+          << "p=" << p << " l=" << l;
+    });
+  }
+}
+
+TEST(TriangleDistributed, BatchingDoesNotChangeTheCount) {
+  const CscMat a = symmetrize(testing::random_matrix(40, 40, 6.0, 8));
+  const Index expected = count_triangles_serial(a);
+  vmpi::run(8, [&](vmpi::Comm& world) {
+    Grid3D grid(world, 2);
+    SummaOptions opts;
+    opts.force_batches = 5;
+    EXPECT_EQ(count_triangles_distributed(grid, a, 0, opts), expected);
+  });
+}
+
+TEST(TriangleDistributed, PowerLawGraph) {
+  RmatParams p;
+  p.scale = 6;
+  p.edge_factor = 6.0;
+  p.seed = 9;
+  const CscMat a = symmetrize(generate_rmat(p));
+  const Index expected = brute_force_triangles(a);
+  vmpi::run(8, [&](vmpi::Comm& world) {
+    Grid3D grid(world, 2);
+    EXPECT_EQ(count_triangles_distributed(grid, a), expected);
+  });
+}
+
+}  // namespace
+}  // namespace casp

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "common/math.hpp"
+
+namespace casp {
+namespace {
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div(1, 3), 1);
+  EXPECT_EQ(ceil_div(3, 3), 1);
+  EXPECT_EQ(ceil_div(4, 3), 2);
+  EXPECT_EQ(ceil_div(1'000'000'007, 2), 500'000'004);
+}
+
+TEST(Pow2, Predicates) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Pow2, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(17), 32u);
+  EXPECT_EQ(next_pow2((1ull << 30) + 1), 1ull << 31);
+}
+
+TEST(Log2, FloorAndCeil) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(1024), 10);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(ExactIsqrt, PerfectAndImperfect) {
+  EXPECT_EQ(exact_isqrt(0), 0);
+  EXPECT_EQ(exact_isqrt(1), 1);
+  EXPECT_EQ(exact_isqrt(4), 2);
+  EXPECT_EQ(exact_isqrt(144), 12);
+  EXPECT_EQ(exact_isqrt(2), -1);
+  EXPECT_EQ(exact_isqrt(143), -1);
+  EXPECT_EQ(exact_isqrt(-4), -1);
+}
+
+class PartitionProperties
+    : public ::testing::TestWithParam<std::pair<Index, Index>> {};
+
+TEST_P(PartitionProperties, CoversExactlyOnceAndBalanced) {
+  const auto [parts, n] = GetParam();
+  Index covered = 0;
+  Index min_size = n + 1, max_size = -1;
+  for (Index i = 0; i < parts; ++i) {
+    const Index lo = part_low(i, parts, n);
+    const Index hi = part_low(i + 1, parts, n);
+    EXPECT_EQ(hi - lo, part_size(i, parts, n));
+    EXPECT_LE(lo, hi);
+    covered += hi - lo;
+    min_size = std::min(min_size, hi - lo);
+    max_size = std::max(max_size, hi - lo);
+  }
+  EXPECT_EQ(covered, n);
+  EXPECT_EQ(part_low(0, parts, n), 0);
+  EXPECT_EQ(part_low(parts, parts, n), n);
+  // Balanced: sizes differ by at most 1.
+  if (n >= parts) {
+    EXPECT_LE(max_size - min_size, 1);
+  }
+}
+
+TEST_P(PartitionProperties, PartOfInvertsPartLow) {
+  const auto [parts, n] = GetParam();
+  if (n == 0) return;
+  for (Index g = 0; g < n; ++g) {
+    const Index i = part_of(g, parts, n);
+    EXPECT_GE(g, part_low(i, parts, n));
+    EXPECT_LT(g, part_low(i + 1, parts, n));
+  }
+}
+
+TEST_P(PartitionProperties, NestedSplitsCompose) {
+  // The identity BatchedSUMMA3D relies on: splitting into l*b blocks and
+  // taking runs of b consecutive blocks equals splitting into l parts.
+  const auto [parts, n] = GetParam();
+  for (Index b : {Index{1}, Index{2}, Index{3}, Index{5}}) {
+    for (Index k = 0; k <= parts; ++k) {
+      EXPECT_EQ(part_low(k * b, parts * b, n), part_low(k, parts, n))
+          << "b=" << b << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionProperties,
+    ::testing::Values(std::pair<Index, Index>{1, 0},
+                      std::pair<Index, Index>{1, 7},
+                      std::pair<Index, Index>{3, 7},
+                      std::pair<Index, Index>{4, 4},
+                      std::pair<Index, Index>{7, 3},  // more parts than items
+                      std::pair<Index, Index>{5, 100},
+                      std::pair<Index, Index>{16, 1000},
+                      std::pair<Index, Index>{13, 997},
+                      std::pair<Index, Index>{64, 65}));
+
+}  // namespace
+}  // namespace casp

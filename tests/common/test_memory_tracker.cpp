@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/memory_tracker.hpp"
+
+namespace casp {
+namespace {
+
+TEST(MemoryTracker, TracksLiveAndPeak) {
+  MemoryTracker t(1000);
+  t.allocate(300);
+  EXPECT_EQ(t.live(), 300u);
+  EXPECT_EQ(t.peak(), 300u);
+  t.allocate(500);
+  EXPECT_EQ(t.live(), 800u);
+  t.release(300);
+  EXPECT_EQ(t.live(), 500u);
+  EXPECT_EQ(t.peak(), 800u);
+}
+
+TEST(MemoryTracker, ThrowsOnBudgetOverflowAndRollsBack) {
+  MemoryTracker t(100);
+  t.allocate(90);
+  EXPECT_THROW(t.allocate(20, "big buffer"), MemoryError);
+  EXPECT_EQ(t.live(), 90u) << "failed allocation must not leak a charge";
+  t.allocate(10);  // exactly at budget is fine
+  EXPECT_EQ(t.live(), 100u);
+}
+
+TEST(MemoryTracker, ZeroBudgetMeansUnlimited) {
+  MemoryTracker t(0);
+  t.allocate(1ull << 40);
+  EXPECT_EQ(t.live(), 1ull << 40);
+}
+
+TEST(MemoryTracker, ChargeRaiiReleasesOnScopeExit) {
+  MemoryTracker t(1000);
+  {
+    MemoryCharge charge(t, 400);
+    EXPECT_EQ(t.live(), 400u);
+  }
+  EXPECT_EQ(t.live(), 0u);
+  EXPECT_EQ(t.peak(), 400u);
+}
+
+TEST(MemoryTracker, ChargeMoveTransfersOwnership) {
+  MemoryTracker t(1000);
+  MemoryCharge a(t, 100);
+  MemoryCharge b = std::move(a);
+  EXPECT_EQ(t.live(), 100u);
+  a.reset();  // moved-from reset is a no-op
+  EXPECT_EQ(t.live(), 100u);
+  b.reset();
+  EXPECT_EQ(t.live(), 0u);
+}
+
+TEST(MemoryTracker, ConcurrentChargesAreExact) {
+  MemoryTracker t(0);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&t]() {
+      for (int k = 0; k < kIters; ++k) {
+        t.allocate(3);
+        t.release(3);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.live(), 0u);
+  EXPECT_GE(t.peak(), 3u);
+}
+
+TEST(MemoryTracker, ResetPeak) {
+  MemoryTracker t(0);
+  t.allocate(100);
+  t.release(100);
+  EXPECT_EQ(t.peak(), 100u);
+  t.reset_peak();
+  EXPECT_EQ(t.peak(), 0u);
+}
+
+}  // namespace
+}  // namespace casp

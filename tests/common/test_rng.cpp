@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace casp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(9);
+  for (std::uint64_t n : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.below(n), n);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> hist(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++hist[rng.below(10)];
+  for (int b = 0; b < 10; ++b)
+    EXPECT_NEAR(hist[static_cast<std::size_t>(b)], trials / 10, trials / 50);
+}
+
+TEST(Rng, RangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const Index v = rng.range(-5, 12);
+    ASSERT_GE(v, -5);
+    ASSERT_LT(v, 12);
+  }
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent(42);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  Rng c1_again = parent.fork(1);
+  // Same stream id -> same sequence.
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(c1(), c1_again());
+  // Different ids -> different sequences.
+  Rng c1_reset = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (c1_reset() == c2()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, Splitmix64KnownBehaviour) {
+  // Two consecutive outputs from the same state must differ and be
+  // reproducible.
+  std::uint64_t s1 = 0, s2 = 0;
+  const auto a1 = splitmix64(s1);
+  const auto a2 = splitmix64(s1);
+  EXPECT_NE(a1, a2);
+  EXPECT_EQ(a1, splitmix64(s2));
+}
+
+}  // namespace
+}  // namespace casp

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/er.hpp"
+#include "gen/kmer.hpp"
+#include "gen/protein.hpp"
+#include "gen/rmat.hpp"
+#include "kernels/reference.hpp"
+#include "sparse/stats.hpp"
+#include "test_util.hpp"
+
+namespace casp {
+namespace {
+
+TEST(ErGenerator, ShapeDensityAndDeterminism) {
+  ErParams p;
+  p.nrows = 500;
+  p.ncols = 400;
+  p.nnz_per_col = 5.0;
+  p.seed = 77;
+  const CscMat a = generate_er(p);
+  EXPECT_EQ(a.nrows(), 500);
+  EXPECT_EQ(a.ncols(), 400);
+  // Duplicates merge, so realized density is slightly below the target.
+  EXPECT_GT(a.nnz(), 400 * 4);
+  EXPECT_LE(a.nnz(), 400 * 5);
+  const CscMat b = generate_er(p);
+  EXPECT_EQ(a, b) << "same seed must generate identical matrices";
+  p.seed = 78;
+  const CscMat c = generate_er(p);
+  EXPECT_NE(a.nnz() == c.nnz() && a == c, true);
+}
+
+TEST(ErGenerator, EmptyAndDegenerate) {
+  EXPECT_EQ(generate_er({0, 0, 3.0, true, 1}).nnz(), 0);
+  EXPECT_EQ(generate_er({10, 10, 0.0, true, 1}).nnz(), 0);
+  const CscMat one = generate_er({1, 100, 1.0, true, 1});
+  for (Index r : one.rowids()) EXPECT_EQ(r, 0);
+}
+
+TEST(RmatGenerator, ShapeSymmetryAndSkew) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8.0;
+  p.seed = 5;
+  const CscMat a = generate_rmat(p);
+  EXPECT_EQ(a.nrows(), 1024);
+  EXPECT_EQ(a.ncols(), 1024);
+  EXPECT_GT(a.nnz(), 0);
+  // Symmetric: A == A^T up to summation order of duplicate edges.
+  testing::expect_mat_near(a, a.transpose(), 1e-9);
+  // Power-law: the max column degree should far exceed the average.
+  const MatrixStats s = matrix_stats(a);
+  EXPECT_GT(static_cast<double>(s.max_nnz_per_col), 4.0 * s.avg_nnz_per_col);
+  // No self loops.
+  for (Index j = 0; j < a.ncols(); ++j)
+    for (Index r : a.col_rowids(j)) EXPECT_NE(r, j);
+}
+
+TEST(RmatGenerator, Deterministic) {
+  RmatParams p;
+  p.scale = 8;
+  p.seed = 9;
+  EXPECT_EQ(generate_rmat(p), generate_rmat(p));
+}
+
+TEST(ProteinGenerator, FamiliesAreDenseAndSquaringBlowsUp) {
+  ProteinParams p;
+  p.n = 800;
+  p.min_family = 8;
+  p.max_family = 120;
+  p.within_density = 0.5;
+  p.cross_edges_per_node = 0.2;
+  p.seed = 3;
+  const ProteinMatrix pm = generate_protein_similarity(p);
+  const CscMat& a = pm.mat;
+  EXPECT_EQ(a.nrows(), 800);
+  EXPECT_EQ(static_cast<Index>(pm.family_of.size()), 800);
+  // Every vertex got a family.
+  for (Index f : pm.family_of) EXPECT_GE(f, 0);
+  // Symmetric with unit diagonal.
+  for (Index v = 0; v < a.ncols(); ++v) {
+    bool has_diag = false;
+    for (std::size_t k = 0; k < a.col_rowids(v).size(); ++k) {
+      if (a.col_rowids(v)[k] == v) {
+        has_diag = true;
+        EXPECT_DOUBLE_EQ(a.col_vals(v)[k], 1.0);
+      }
+    }
+    EXPECT_TRUE(has_diag);
+  }
+  // Values stay in (0, 1].
+  for (Value v : a.vals()) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // The memory-constrained regime: nnz(A^2) substantially exceeds nnz(A).
+  const MultiplyStats ms = multiply_stats(a, a);
+  EXPECT_GT(ms.nnz_c, 2 * a.nnz());
+  EXPECT_GT(ms.compression_factor, 1.5);
+}
+
+TEST(ProteinGenerator, Deterministic) {
+  ProteinParams p;
+  p.n = 300;
+  p.seed = 8;
+  const auto a = generate_protein_similarity(p);
+  const auto b = generate_protein_similarity(p);
+  EXPECT_EQ(a.mat, b.mat);
+  EXPECT_EQ(a.family_of, b.family_of);
+}
+
+TEST(KmerGenerator, SharedKmersEqualOverlapWhenKeepingAll) {
+  KmerParams p;
+  p.num_reads = 60;
+  p.genome_length = 400;
+  p.min_read_len = 20;
+  p.max_read_len = 40;
+  p.kmer_keep_fraction = 1.0;  // exact ground truth
+  p.seed = 4;
+  const KmerMatrix km = generate_kmer_matrix(p);
+  EXPECT_EQ(km.mat.nrows(), 60);
+  EXPECT_EQ(km.mat.ncols(), 400);
+  // A * A^T counts shared k-mers; with keep=1 that is the interval overlap.
+  const CscMat at = km.mat.transpose();
+  const CscMat c = reference_multiply<PlusTimes>(km.mat, at);
+  for (Index j = 0; j < c.ncols(); ++j) {
+    const auto rows = c.col_rowids(j);
+    const auto vals = c.col_vals(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      EXPECT_DOUBLE_EQ(vals[k],
+                       static_cast<double>(km.true_overlap(rows[k], j)))
+          << "pair (" << rows[k] << "," << j << ")";
+    }
+  }
+}
+
+TEST(KmerGenerator, SubsamplingReducesNnz) {
+  KmerParams p;
+  p.num_reads = 100;
+  p.genome_length = 500;
+  p.seed = 6;
+  p.kmer_keep_fraction = 1.0;
+  const Index full = generate_kmer_matrix(p).mat.nnz();
+  p.kmer_keep_fraction = 0.3;
+  const Index sampled = generate_kmer_matrix(p).mat.nnz();
+  EXPECT_LT(sampled, full / 2);
+  EXPECT_GT(sampled, 0);
+}
+
+TEST(KmerGenerator, TrueOverlapIsSymmetricAndBounded) {
+  KmerParams p;
+  p.num_reads = 40;
+  p.genome_length = 300;
+  p.seed = 12;
+  const KmerMatrix km = generate_kmer_matrix(p);
+  for (Index i = 0; i < 40; ++i) {
+    EXPECT_EQ(km.true_overlap(i, i), km.read_len[static_cast<std::size_t>(i)]);
+    for (Index j = 0; j < 40; ++j) {
+      EXPECT_EQ(km.true_overlap(i, j), km.true_overlap(j, i));
+      EXPECT_LE(km.true_overlap(i, j),
+                std::min(km.read_len[static_cast<std::size_t>(i)],
+                         km.read_len[static_cast<std::size_t>(j)]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace casp

@@ -1,0 +1,163 @@
+// Distribution round-trip and partition-coverage properties for the 3D
+// layouts of Fig. 1.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+
+#include "grid/dist.hpp"
+#include "test_util.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace casp {
+namespace {
+
+struct DistCase {
+  int p;
+  int l;
+  Index rows;
+  Index cols;
+};
+
+class DistRoundTrip : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistRoundTrip, AStyleGatherRestoresGlobal) {
+  const auto [p, l, rows, cols] = GetParam();
+  const CscMat global = testing::random_matrix(rows, cols, 3.0, 42);
+  vmpi::run(p, [&, l = l](vmpi::Comm& world) {
+    Grid3D grid(world, l);
+    DistMat3D dist = distribute_a_style(grid, global);
+    EXPECT_EQ(dist.local.nrows(), dist.rows.count);
+    EXPECT_EQ(dist.local.ncols(), dist.cols.count);
+    CscMat back = gather_dist(grid, dist);
+    testing::expect_mat_near(back, global);
+  });
+}
+
+TEST_P(DistRoundTrip, BStyleGatherRestoresGlobal) {
+  const auto [p, l, rows, cols] = GetParam();
+  const CscMat global = testing::random_matrix(rows, cols, 3.0, 43);
+  vmpi::run(p, [&, l = l](vmpi::Comm& world) {
+    Grid3D grid(world, l);
+    DistMat3D dist = distribute_b_style(grid, global);
+    CscMat back = gather_dist(grid, dist);
+    testing::expect_mat_near(back, global);
+  });
+}
+
+TEST_P(DistRoundTrip, LocalNnzSumsToGlobal) {
+  const auto [p, l, rows, cols] = GetParam();
+  const CscMat global = testing::random_matrix(rows, cols, 2.5, 44);
+  vmpi::run(p, [&, l = l](vmpi::Comm& world) {
+    Grid3D grid(world, l);
+    const DistMat3D da = distribute_a_style(grid, global);
+    const DistMat3D db = distribute_b_style(grid, global);
+    EXPECT_EQ(world.allreduce_sum<Index>(da.local.nnz()), global.nnz());
+    EXPECT_EQ(world.allreduce_sum<Index>(db.local.nnz()), global.nnz());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DistRoundTrip,
+    ::testing::Values(DistCase{1, 1, 10, 10}, DistCase{4, 1, 16, 16},
+                      DistCase{4, 4, 17, 23},  // odd sizes, deep layering
+                      DistCase{8, 2, 33, 19}, DistCase{16, 4, 40, 40},
+                      DistCase{18, 2, 29, 37}, DistCase{16, 16, 21, 13},
+                      DistCase{9, 1, 27, 31},
+                      // more ranks than columns: some blocks empty
+                      DistCase{16, 4, 5, 3}));
+
+TEST(DistRanges, AStyleRangesPartitionTheMatrix) {
+  // Across all ranks, the (rows x cols) rectangles must tile the matrix
+  // exactly: every global (row, col) owned by exactly one rank.
+  const int p = 8, l = 2;
+  const Index rows = 13, cols = 11;
+  std::vector<std::vector<int>> owners(
+      static_cast<std::size_t>(rows),
+      std::vector<int>(static_cast<std::size_t>(cols), 0));
+  std::mutex mutex;
+  vmpi::run(p, [&](vmpi::Comm& world) {
+    Grid3D grid(world, l);
+    const LocalRange rr = a_style_row_range(grid, rows);
+    const LocalRange cr = a_style_col_range(grid, cols);
+    std::lock_guard<std::mutex> lock(mutex);
+    for (Index r = rr.start; r < rr.start + rr.count; ++r)
+      for (Index c = cr.start; c < cr.start + cr.count; ++c)
+        ++owners[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+  });
+  for (Index r = 0; r < rows; ++r)
+    for (Index c = 0; c < cols; ++c)
+      EXPECT_EQ(owners[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)],
+                1)
+          << "cell (" << r << "," << c << ")";
+}
+
+TEST(DistRanges, BStyleRangesPartitionTheMatrix) {
+  const int p = 18, l = 2;  // q = 3: odd grid
+  const Index rows = 17, cols = 23;
+  std::vector<std::vector<int>> owners(
+      static_cast<std::size_t>(rows),
+      std::vector<int>(static_cast<std::size_t>(cols), 0));
+  std::mutex mutex;
+  vmpi::run(p, [&](vmpi::Comm& world) {
+    Grid3D grid(world, l);
+    const LocalRange rr = b_style_row_range(grid, rows);
+    const LocalRange cr = b_style_col_range(grid, cols);
+    std::lock_guard<std::mutex> lock(mutex);
+    for (Index r = rr.start; r < rr.start + rr.count; ++r)
+      for (Index c = cr.start; c < cr.start + cr.count; ++c)
+        ++owners[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+  });
+  // B-style: rows split q*l ways keyed by (i, k), columns q ways keyed by
+  // j — every cell owned exactly once.
+  for (Index r = 0; r < rows; ++r)
+    for (Index c = 0; c < cols; ++c)
+      EXPECT_EQ(owners[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)],
+                1)
+          << "cell (" << r << "," << c << ")";
+}
+
+TEST(DistRanges, InnerDimensionAlignmentAcrossStyles) {
+  // The stage-s broadcast alignment invariant: A's column slice owned by
+  // (i=anything, j=s, k) must equal B's row slice owned by (i=s,
+  // j=anything, k) for every layer k.
+  const int p = 8, l = 2;
+  const Index inner = 29;
+  std::mutex mutex;
+  // a_cols[s][k] and b_rows[s][k] collected from the ranks.
+  std::map<std::pair<int, int>, LocalRange> a_cols, b_rows;
+  vmpi::run(p, [&](vmpi::Comm& world) {
+    Grid3D grid(world, l);
+    std::lock_guard<std::mutex> lock(mutex);
+    a_cols[{grid.col(), grid.layer()}] = a_style_col_range(grid, inner);
+    b_rows[{grid.row(), grid.layer()}] = b_style_row_range(grid, inner);
+  });
+  for (const auto& [key, range] : a_cols) {
+    ASSERT_TRUE(b_rows.count(key));
+    EXPECT_EQ(range.start, b_rows[key].start) << key.first << "," << key.second;
+    EXPECT_EQ(range.count, b_rows[key].count);
+  }
+}
+
+TEST(ExtractBlock, ReindexesAndFilters) {
+  TripleMat t(6, 6);
+  t.push_back(0, 0, 1.0);
+  t.push_back(2, 1, 2.0);
+  t.push_back(3, 1, 3.0);
+  t.push_back(5, 5, 4.0);
+  t.push_back(2, 4, 5.0);
+  const CscMat m = CscMat::from_triples(std::move(t));
+  const CscMat block = extract_block(m, 2, 4, 1, 5);
+  EXPECT_EQ(block.nrows(), 2);
+  EXPECT_EQ(block.ncols(), 4);
+  EXPECT_EQ(block.nnz(), 3);  // (2,1), (3,1), (2,4)
+  TripleMat bt = block.to_triples();
+  ASSERT_EQ(bt.nnz(), 3);
+  EXPECT_EQ(bt.entries()[0].row, 0);  // global (2,1) -> local (0,0)
+  EXPECT_EQ(bt.entries()[0].col, 0);
+  EXPECT_EQ(bt.entries()[1].row, 1);  // global (3,1) -> local (1,0)
+  EXPECT_EQ(bt.entries()[2].col, 3);  // global (2,4) -> local (0,3)
+}
+
+}  // namespace
+}  // namespace casp

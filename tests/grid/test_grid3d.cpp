@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "grid/grid3d.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace casp {
+namespace {
+
+TEST(Grid3DShape, ValidShapes) {
+  EXPECT_TRUE(Grid3D::valid_shape(1, 1));
+  EXPECT_TRUE(Grid3D::valid_shape(4, 1));
+  EXPECT_TRUE(Grid3D::valid_shape(8, 2));
+  EXPECT_TRUE(Grid3D::valid_shape(16, 4));
+  EXPECT_TRUE(Grid3D::valid_shape(16, 16));
+  EXPECT_TRUE(Grid3D::valid_shape(18, 2));  // 9 per layer, q=3
+  EXPECT_FALSE(Grid3D::valid_shape(6, 2));  // 3 not square
+  EXPECT_FALSE(Grid3D::valid_shape(4, 3));  // not divisible
+  EXPECT_FALSE(Grid3D::valid_shape(0, 1));
+  EXPECT_FALSE(Grid3D::valid_shape(4, 0));
+}
+
+struct GridCase {
+  int p;
+  int l;
+};
+
+class Grid3DComms : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(Grid3DComms, CoordinatesAndCommunicatorShapes) {
+  const auto [p, l] = GetParam();
+  vmpi::run(p, [p, l](vmpi::Comm& world) {
+    Grid3D grid(world, l);
+    const int q = grid.q();
+    EXPECT_EQ(q * q * l, p);
+    EXPECT_EQ(grid.size(), p);
+    // Coordinates in range.
+    EXPECT_GE(grid.row(), 0);
+    EXPECT_LT(grid.row(), q);
+    EXPECT_GE(grid.col(), 0);
+    EXPECT_LT(grid.col(), q);
+    EXPECT_GE(grid.layer(), 0);
+    EXPECT_LT(grid.layer(), l);
+    // Rank decomposition is bijective.
+    EXPECT_EQ(world.rank(), grid.layer() * q * q + grid.row() * q + grid.col());
+  });
+}
+
+TEST_P(Grid3DComms, RowCommSeesWholeRow) {
+  const auto [p, l] = GetParam();
+  vmpi::run(p, [l = l](vmpi::Comm& world) {
+    Grid3D grid(world, l);
+    // Every member of my row communicator shares (row, layer): verify by
+    // allgathering coordinates.
+    struct Coord {
+      int row, col, layer;
+    };
+    const Coord mine{grid.row(), grid.col(), grid.layer()};
+    auto rows = grid.row_comm().allgather_value(mine);
+    ASSERT_EQ(static_cast<int>(rows.size()), grid.q());
+    for (int j = 0; j < grid.q(); ++j) {
+      EXPECT_EQ(rows[static_cast<std::size_t>(j)].row, grid.row());
+      EXPECT_EQ(rows[static_cast<std::size_t>(j)].col, j);
+      EXPECT_EQ(rows[static_cast<std::size_t>(j)].layer, grid.layer());
+    }
+    auto cols = grid.col_comm().allgather_value(mine);
+    for (int i = 0; i < grid.q(); ++i) {
+      EXPECT_EQ(cols[static_cast<std::size_t>(i)].row, i);
+      EXPECT_EQ(cols[static_cast<std::size_t>(i)].col, grid.col());
+    }
+    auto fiber = grid.fiber_comm().allgather_value(mine);
+    ASSERT_EQ(static_cast<int>(fiber.size()), grid.layers());
+    for (int k = 0; k < grid.layers(); ++k) {
+      EXPECT_EQ(fiber[static_cast<std::size_t>(k)].row, grid.row());
+      EXPECT_EQ(fiber[static_cast<std::size_t>(k)].col, grid.col());
+      EXPECT_EQ(fiber[static_cast<std::size_t>(k)].layer, k);
+    }
+  });
+}
+
+TEST(Grid3DComms, InvalidShapeThrows) {
+  EXPECT_THROW(vmpi::run(6, [](vmpi::Comm& world) { Grid3D grid(world, 2); }),
+               std::logic_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Grid3DComms,
+                         ::testing::Values(GridCase{1, 1}, GridCase{4, 1},
+                                           GridCase{4, 4}, GridCase{8, 2},
+                                           GridCase{16, 4}, GridCase{18, 2},
+                                           GridCase{12, 3}));
+
+}  // namespace
+}  // namespace casp

@@ -1,0 +1,87 @@
+// Masked SpGEMM: C = (A*B) .* pattern(mask).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kernels/reference.hpp"
+#include "kernels/spgemm.hpp"
+#include "test_util.hpp"
+
+namespace casp {
+namespace {
+
+/// Reference: full product filtered to the mask's pattern.
+CscMat masked_reference(const CscMat& a, const CscMat& b, const CscMat& mask) {
+  CscMat full = reference_multiply<PlusTimes>(a, b);
+  std::set<std::pair<Index, Index>> allowed;
+  for (Index j = 0; j < mask.ncols(); ++j)
+    for (Index r : mask.col_rowids(j)) allowed.insert({r, j});
+  full.prune([&](Index row, Index col, Value) {
+    return allowed.count({row, col}) > 0;
+  });
+  return full;
+}
+
+TEST(MaskedSpGemm, MatchesFilteredFullProduct) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const CscMat a = testing::random_matrix(40, 30, 3.0, 180 + seed);
+    const CscMat b = testing::random_matrix(30, 35, 3.0, 190 + seed);
+    const CscMat mask = testing::random_matrix(40, 35, 6.0, 200 + seed);
+    const CscMat expected = masked_reference(a, b, mask);
+    const CscMat got = local_spgemm_masked<PlusTimes>(a, b, mask);
+    testing::expect_mat_near(got, expected, 1e-9);
+    EXPECT_TRUE(got.columns_sorted());  // inherits mask order
+    EXPECT_LE(got.nnz(), mask.nnz());
+  }
+}
+
+TEST(MaskedSpGemm, SelfMaskIsTheTriangleCountingPattern) {
+  // mask = adjacency, product = L*U: the values at masked positions count
+  // the triangles through each edge.
+  const CscMat a = testing::random_matrix(30, 30, 4.0, 210);
+  const CscMat mask = a;
+  const CscMat got = local_spgemm_masked<PlusTimes>(a, a, mask);
+  const CscMat expected = masked_reference(a, a, mask);
+  testing::expect_mat_near(got, expected, 1e-9);
+}
+
+TEST(MaskedSpGemm, EmptyMaskYieldsEmptyOutput) {
+  const CscMat a = testing::random_matrix(20, 20, 3.0, 211);
+  const CscMat mask(20, 20);
+  EXPECT_EQ(local_spgemm_masked<PlusTimes>(a, a, mask).nnz(), 0);
+}
+
+TEST(MaskedSpGemm, FullMaskEqualsUnmaskedProduct) {
+  const Index n = 18;
+  TripleMat t(n, n);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < n; ++j) t.push_back(i, j, 1.0);
+  const CscMat mask = CscMat::from_triples(std::move(t));
+  const CscMat a = testing::random_matrix(n, n, 3.0, 212);
+  testing::expect_mat_near(local_spgemm_masked<PlusTimes>(a, a, mask),
+                           reference_multiply<PlusTimes>(a, a), 1e-9);
+}
+
+TEST(MaskedSpGemm, ShapeMismatchThrows) {
+  const CscMat a = testing::random_matrix(10, 10, 2.0, 213);
+  const CscMat bad_mask = testing::random_matrix(9, 10, 2.0, 214);
+  EXPECT_THROW(local_spgemm_masked<PlusTimes>(a, a, bad_mask),
+               std::logic_error);
+}
+
+TEST(MaskedSpGemm, MinPlusSemiring) {
+  const CscMat a = testing::random_matrix(25, 25, 3.0, 215);
+  const CscMat mask = testing::random_matrix(25, 25, 5.0, 216);
+  CscMat full = reference_multiply<MinPlus>(a, a);
+  std::set<std::pair<Index, Index>> allowed;
+  for (Index j = 0; j < mask.ncols(); ++j)
+    for (Index r : mask.col_rowids(j)) allowed.insert({r, j});
+  full.prune([&](Index row, Index col, Value) {
+    return allowed.count({row, col}) > 0;
+  });
+  testing::expect_mat_near(local_spgemm_masked<MinPlus>(a, a, mask), full,
+                           1e-12);
+}
+
+}  // namespace
+}  // namespace casp

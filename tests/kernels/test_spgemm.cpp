@@ -1,0 +1,167 @@
+// Local SpGEMM kernels vs the independent map-based reference, swept over
+// kernel kinds, shapes, densities, and semirings.
+#include <gtest/gtest.h>
+
+#include "gen/rmat.hpp"
+#include "kernels/reference.hpp"
+#include "kernels/spgemm.hpp"
+#include "test_util.hpp"
+
+namespace casp {
+namespace {
+
+const SpGemmKind kAllKinds[] = {SpGemmKind::kUnsortedHash,
+                                SpGemmKind::kSortedHash, SpGemmKind::kHeap,
+                                SpGemmKind::kHybrid, SpGemmKind::kSpa};
+
+struct SpGemmCase {
+  Index m, k, n;
+  double da, db;
+  std::uint64_t seed;
+};
+
+class SpGemmKinds
+    : public ::testing::TestWithParam<std::tuple<SpGemmKind, SpGemmCase>> {};
+
+TEST_P(SpGemmKinds, MatchesReference) {
+  const auto [kind, c] = GetParam();
+  const CscMat a = testing::random_matrix(c.m, c.k, c.da, c.seed);
+  const CscMat b = testing::random_matrix(c.k, c.n, c.db, c.seed + 1);
+  const CscMat expected = reference_multiply<PlusTimes>(a, b);
+  const CscMat got = local_spgemm<PlusTimes>(a, b, kind);
+  testing::expect_mat_near(got, expected, 1e-9);
+  if (produces_sorted(kind)) {
+    EXPECT_TRUE(got.columns_sorted());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsTimesShapes, SpGemmKinds,
+    ::testing::Combine(
+        ::testing::ValuesIn(kAllKinds),
+        ::testing::Values(SpGemmCase{20, 20, 20, 3.0, 3.0, 1},
+                          SpGemmCase{50, 30, 40, 4.0, 2.0, 2},
+                          SpGemmCase{1, 1, 1, 1.0, 1.0, 3},
+                          SpGemmCase{100, 100, 100, 5.0, 5.0, 4},
+                          // dense-ish: heavy accumulator collisions
+                          SpGemmCase{12, 12, 12, 8.0, 8.0, 5},
+                          // hyper-sparse: mostly empty columns
+                          SpGemmCase{200, 200, 200, 0.2, 0.2, 6},
+                          // wildly rectangular
+                          SpGemmCase{5, 150, 7, 2.0, 30.0, 7})));
+
+TEST(SpGemm, EmptyOperands) {
+  const CscMat a(10, 0);
+  const CscMat b(0, 5);
+  for (SpGemmKind kind : kAllKinds) {
+    const CscMat c = local_spgemm<PlusTimes>(a, b, kind);
+    EXPECT_EQ(c.nrows(), 10);
+    EXPECT_EQ(c.ncols(), 5);
+    EXPECT_EQ(c.nnz(), 0);
+  }
+}
+
+TEST(SpGemm, DimensionMismatchThrows) {
+  const CscMat a = testing::random_matrix(4, 5, 1.0, 8);
+  const CscMat b = testing::random_matrix(6, 4, 1.0, 9);
+  EXPECT_THROW(local_spgemm<PlusTimes>(a, b), std::logic_error);
+}
+
+TEST(SpGemm, UnsortedHashSortsToSameCanonicalForm) {
+  const CscMat a = testing::random_matrix(60, 60, 4.0, 10);
+  CscMat unsorted = local_spgemm<PlusTimes>(a, a, SpGemmKind::kUnsortedHash);
+  const CscMat sorted = local_spgemm<PlusTimes>(a, a, SpGemmKind::kSortedHash);
+  // The unsorted kernel's whole point: same math, no intermediate sorting.
+  unsorted.sort_columns();
+  testing::expect_mat_near(unsorted, sorted, 1e-12);
+}
+
+TEST(SpGemm, AcceptsUnsortedInputs) {
+  // Hash kernels must work when the inputs themselves are unsorted — that
+  // is what Merge-Layer receives mid-pipeline.
+  const CscMat a = testing::random_matrix(30, 30, 3.0, 11);
+  CscMat shuffled(
+      a.nrows(), a.ncols(),
+      std::vector<Index>(a.colptr().begin(), a.colptr().end()),
+      std::vector<Index>(a.rowids().begin(), a.rowids().end()),
+      std::vector<Value>(a.vals().begin(), a.vals().end()));
+  // Reverse each column's entry order.
+  {
+    std::vector<Index> rows(shuffled.rowids().begin(), shuffled.rowids().end());
+    std::vector<Value> vals(shuffled.vals().begin(), shuffled.vals().end());
+    for (Index j = 0; j < a.ncols(); ++j) {
+      const auto lo = static_cast<std::size_t>(a.colptr()[static_cast<std::size_t>(j)]);
+      const auto hi = static_cast<std::size_t>(a.colptr()[static_cast<std::size_t>(j) + 1]);
+      std::reverse(rows.begin() + static_cast<std::ptrdiff_t>(lo),
+                   rows.begin() + static_cast<std::ptrdiff_t>(hi));
+      std::reverse(vals.begin() + static_cast<std::ptrdiff_t>(lo),
+                   vals.begin() + static_cast<std::ptrdiff_t>(hi));
+    }
+    shuffled = CscMat(a.nrows(), a.ncols(),
+                      std::vector<Index>(a.colptr().begin(), a.colptr().end()),
+                      std::move(rows), std::move(vals));
+  }
+  const CscMat expected = reference_multiply<PlusTimes>(a, a);
+  testing::expect_mat_near(
+      local_spgemm<PlusTimes>(shuffled, shuffled, SpGemmKind::kUnsortedHash),
+      expected, 1e-9);
+  testing::expect_mat_near(
+      local_spgemm<PlusTimes>(shuffled, shuffled, SpGemmKind::kSpa), expected,
+      1e-9);
+}
+
+TEST(SpGemmSemirings, MinPlusMatchesReference) {
+  const CscMat a = testing::random_matrix(25, 25, 3.0, 12);
+  const CscMat expected = reference_multiply<MinPlus>(a, a);
+  for (SpGemmKind kind : kAllKinds)
+    testing::expect_mat_near(local_spgemm<MinPlus>(a, a, kind), expected,
+                             1e-12);
+}
+
+TEST(SpGemmSemirings, MaxMinMatchesReference) {
+  const CscMat a = testing::random_matrix(25, 25, 3.0, 13);
+  const CscMat expected = reference_multiply<MaxMin>(a, a);
+  for (SpGemmKind kind : kAllKinds)
+    testing::expect_mat_near(local_spgemm<MaxMin>(a, a, kind), expected,
+                             1e-12);
+}
+
+TEST(SpGemmSemirings, OrAndMatchesReference) {
+  CscMat a = testing::random_matrix(25, 25, 3.0, 14);
+  for (Value& v : a.vals_mutable()) v = 1.0;
+  const CscMat expected = reference_multiply<OrAnd>(a, a);
+  for (SpGemmKind kind : kAllKinds)
+    testing::expect_mat_near(local_spgemm<OrAnd>(a, a, kind), expected, 0.0);
+}
+
+TEST(SpGemm, PowerLawInputsAllKindsAgree) {
+  RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 6.0;
+  p.seed = 15;
+  const CscMat a = generate_rmat(p);
+  const CscMat expected =
+      local_spgemm<PlusTimes>(a, a, SpGemmKind::kSpa);  // SPA as anchor
+  for (SpGemmKind kind : kAllKinds)
+    testing::expect_mat_near(local_spgemm<PlusTimes>(a, a, kind), expected,
+                             1e-9);
+}
+
+TEST(SpGemm, MultithreadedMatchesSerial) {
+  const CscMat a = testing::random_matrix(120, 120, 5.0, 16);
+  const CscMat serial = local_spgemm<PlusTimes>(a, a, SpGemmKind::kUnsortedHash,
+                                                /*threads=*/1);
+  const CscMat parallel =
+      local_spgemm<PlusTimes>(a, a, SpGemmKind::kUnsortedHash, /*threads=*/4);
+  testing::expect_mat_near(parallel, serial, 1e-12);
+}
+
+TEST(SpGemm, KindNames) {
+  EXPECT_STREQ(to_string(SpGemmKind::kUnsortedHash), "unsorted-hash");
+  EXPECT_STREQ(to_string(SpGemmKind::kHybrid), "hybrid");
+  EXPECT_FALSE(produces_sorted(SpGemmKind::kUnsortedHash));
+  EXPECT_TRUE(produces_sorted(SpGemmKind::kHeap));
+}
+
+}  // namespace
+}  // namespace casp

@@ -1,0 +1,143 @@
+// Scaling-study machinery: strong_scaling invariants, the (l, b) sweep,
+// and the p-dependent statistics hook.
+#include <gtest/gtest.h>
+
+#include "common/math.hpp"
+#include "grid/grid3d.hpp"
+#include "kernels/symbolic.hpp"
+#include "model/scaling.hpp"
+#include "sparse/stats.hpp"
+#include "test_util.hpp"
+
+namespace casp {
+namespace {
+
+ProblemStats big_stats() {
+  ProblemStats s;
+  s.nnz_a = 10'000'000'000;
+  s.nnz_b = 10'000'000'000;
+  s.flops = 20'000'000'000'000;
+  s.nnz_c = 500'000'000'000;
+  return s;
+}
+
+TEST(StrongScaling, FirstPointIsTheBaseline) {
+  const auto series =
+      strong_scaling(cori_knl(), big_stats(), {256, 1024, 4096}, 16);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].speedup_vs_first, 1.0);
+  EXPECT_DOUBLE_EQ(series[0].efficiency, 1.0);
+  for (const ScalingPoint& pt : series) {
+    EXPECT_GT(pt.total, 0.0);
+    EXPECT_EQ(pt.l, 16);
+    EXPECT_GE(pt.b, 1);
+  }
+}
+
+TEST(StrongScaling, TotalsDecreaseWithMoreProcesses) {
+  const auto series =
+      strong_scaling(cori_knl(), big_stats(), {256, 1024, 4096, 16384}, 16);
+  for (std::size_t i = 1; i < series.size(); ++i)
+    EXPECT_LT(series[i].total, series[i - 1].total);
+}
+
+TEST(StrongScaling, ForcedBatchesPinB) {
+  const auto series =
+      strong_scaling(cori_knl(), big_stats(), {256, 1024}, 4, /*force_b=*/7);
+  for (const ScalingPoint& pt : series) EXPECT_EQ(pt.b, 7);
+}
+
+TEST(StrongScaling, PDependentStatsHookIsCalledPerPoint) {
+  // Growing the intermediate volume with p must inflate the fiber costs at
+  // higher p relative to the constant-stats series.
+  ProblemStats base = big_stats();
+  base.unmerged_nnz = base.nnz_c * 2;
+  const auto grow = [&base](Index p) {
+    ProblemStats s = base;
+    s.unmerged_nnz = s.nnz_c * 2 + static_cast<Index>(p) * 1'000'000'000;
+    return s;
+  };
+  const std::vector<Index> procs = {256, 4096};
+  const auto fixed = strong_scaling(cori_knl(), base, procs, 16, 1);
+  const auto growing = strong_scaling(cori_knl(), grow, procs, 16, 1);
+  // At the high end, the growing series carries more AllToAll-Fiber time.
+  EXPECT_GT(growing[1].steps.at(steps::kAllToAllFiber),
+            fixed[1].steps.at(steps::kAllToAllFiber));
+}
+
+TEST(LayerBatchSweep, CoversTheFullGridInOrder) {
+  const auto sweep = layer_batch_sweep(cori_knl(), big_stats(), 1024,
+                                       {1, 4, 16}, {1, 8});
+  ASSERT_EQ(sweep.size(), 6u);
+  EXPECT_EQ(sweep[0].l, 1);
+  EXPECT_EQ(sweep[0].b, 1);
+  EXPECT_EQ(sweep[1].b, 8);
+  EXPECT_EQ(sweep[5].l, 16);
+  EXPECT_EQ(sweep[5].b, 8);
+  // A-Bcast monotone in b within each l.
+  for (std::size_t i = 0; i + 1 < sweep.size(); i += 2)
+    EXPECT_LT(sweep[i].steps.at(steps::kABcast),
+              sweep[i + 1].steps.at(steps::kABcast));
+}
+
+TEST(LayeredUnmerged, StagesRefineTheVolume) {
+  const CscMat a = testing::random_matrix(200, 200, 5.0, 160);
+  const Index coarse = layered_unmerged_nnz(a, a, 4, 1);
+  const Index fine = layered_unmerged_nnz(a, a, 4, 8);
+  EXPECT_LE(coarse, fine);  // finer slices compress less
+  // Equivalent factorizations of the slice count agree up to partition
+  // boundary placement.
+  const Index v16a = layered_unmerged_nnz(a, a, 16, 1);
+  const Index v16b = layered_unmerged_nnz(a, a, 1, 16);
+  EXPECT_NEAR(static_cast<double>(v16a), static_cast<double>(v16b),
+              0.02 * static_cast<double>(v16a));
+}
+
+TEST(ChooseLayers, PicksAValidGridAndBeatsTheAlternatives) {
+  const ProblemStats stats = big_stats();
+  const auto stats_for = [&stats](Index) { return stats; };
+  const Index p = 4096;
+  const ScalingPoint best = choose_layers(cori_knl(), stats_for, p);
+  EXPECT_EQ(best.p, p);
+  EXPECT_TRUE(Grid3D::valid_shape(static_cast<int>(p),
+                                  static_cast<int>(best.l)));
+  // No evaluated candidate is strictly better.
+  for (Index l = 1; l <= 64; l *= 2) {
+    if (p % l != 0 || exact_isqrt(p / l) <= 0) continue;
+    const StepSeconds t = predict_steps(cori_knl(), stats, {p, l, 1, true});
+    EXPECT_GE(total_seconds(t) + 1e-12, best.total) << "l=" << l;
+  }
+}
+
+TEST(ChooseLayers, CommBoundProblemWantsLayersComputeBoundDoesNot) {
+  // A communication-dominated problem (huge inputs, tiny flops) should
+  // pick l > 1; a compute-dominated one gains little and may stay low.
+  ProblemStats comm_bound;
+  comm_bound.nnz_a = comm_bound.nnz_b = 50'000'000'000;
+  comm_bound.flops = 60'000'000'000;
+  comm_bound.nnz_c = 50'000'000'000;
+  const ScalingPoint comm_pick = choose_layers(
+      cori_knl(), [&](Index) { return comm_bound; }, 4096);
+  EXPECT_GT(comm_pick.l, 1);
+}
+
+TEST(ChooseLayers, RespectsMemoryBudget) {
+  const ProblemStats stats = big_stats();
+  const Index p = 1024;
+  const Bytes memory =
+      static_cast<Bytes>(stats.nnz_a + stats.nnz_b) * kBytesPerNonzero * 4;
+  const ScalingPoint best =
+      choose_layers(cori_knl(), [&](Index) { return stats; }, p, memory);
+  EXPECT_GE(best.b, 2);  // tight budget must force batching
+}
+
+TEST(LayeredUnmerged, RectangularOperands) {
+  const CscMat a = testing::random_matrix(50, 120, 3.0, 161);
+  const CscMat b = testing::random_matrix(120, 40, 3.0, 162);
+  const Index v = layered_unmerged_nnz(a, b, 6);
+  EXPECT_GE(v, symbolic_nnz(a, b));
+  EXPECT_LE(v, multiply_flops(a, b));
+}
+
+}  // namespace
+}  // namespace casp

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "sparse/csr_mat.hpp"
+#include "test_util.hpp"
+
+namespace casp {
+namespace {
+
+TEST(CsrMat, FromCscPreservesEntries) {
+  const CscMat csc = testing::random_matrix(23, 17, 3.0, 1);
+  const CsrMat csr = CsrMat::from_csc(csc);
+  EXPECT_EQ(csr.nrows(), csc.nrows());
+  EXPECT_EQ(csr.ncols(), csc.ncols());
+  EXPECT_EQ(csr.nnz(), csc.nnz());
+  // Row-wise view must contain exactly the CSC entries.
+  TripleMat from_csr(csr.nrows(), csr.ncols());
+  for (Index i = 0; i < csr.nrows(); ++i) {
+    const auto cols = csr.row_colids(i);
+    const auto vals = csr.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      from_csr.push_back(i, cols[k], vals[k]);
+  }
+  from_csr.canonicalize();
+  TripleMat from_csc_t = csc.to_triples();
+  from_csc_t.canonicalize();
+  EXPECT_EQ(from_csr, from_csc_t);
+}
+
+TEST(CsrMat, RoundTripThroughCsc) {
+  const CscMat csc = testing::random_matrix(31, 29, 4.0, 2);
+  const CsrMat csr = CsrMat::from_csc(csc);
+  testing::expect_mat_near(csr.to_csc(), csc);
+}
+
+TEST(CsrMat, FromTriples) {
+  TripleMat t(3, 3);
+  t.push_back(0, 1, 1.0);
+  t.push_back(0, 2, 2.0);
+  t.push_back(2, 0, 3.0);
+  const CsrMat csr = CsrMat::from_triples(std::move(t));
+  EXPECT_EQ(csr.row_nnz(0), 2);
+  EXPECT_EQ(csr.row_nnz(1), 0);
+  EXPECT_EQ(csr.row_nnz(2), 1);
+  EXPECT_EQ(csr.row_colids(0)[0], 1);
+  EXPECT_DOUBLE_EQ(csr.row_vals(2)[0], 3.0);
+}
+
+TEST(CsrMat, ValidationCatchesBadArrays) {
+  EXPECT_THROW(CsrMat(2, 2, {0, 2, 1}, {0, 1}, {1.0, 1.0}), std::logic_error);
+  EXPECT_THROW(CsrMat(2, 2, {0, 1, 2}, {0, 9}, {1.0, 1.0}), std::logic_error);
+}
+
+TEST(CsrMat, EmptyMatrix) {
+  const CsrMat m(4, 6);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_EQ(m.row_nnz(3), 0);
+  const CscMat csc = m.to_csc();
+  EXPECT_EQ(csc.nrows(), 4);
+  EXPECT_EQ(csc.ncols(), 6);
+}
+
+}  // namespace
+}  // namespace casp

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "kernels/reference.hpp"
+#include "sparse/dcsc_mat.hpp"
+#include "test_util.hpp"
+
+namespace casp {
+namespace {
+
+/// Hypersparse test matrix: n columns, only a few nonempty.
+CscMat hypersparse(Index nrows, Index ncols, Index nonempty, double d,
+                   std::uint64_t seed) {
+  Rng rng(seed);
+  TripleMat t(nrows, ncols);
+  for (Index k = 0; k < nonempty; ++k) {
+    const Index j = rng.range(0, ncols);
+    const Index cnt = 1 + rng.range(0, static_cast<Index>(d * 2) + 1);
+    for (Index e = 0; e < cnt; ++e)
+      t.push_back(rng.range(0, nrows), j, 1.0 - rng.uniform());
+  }
+  return CscMat::from_triples(std::move(t));
+}
+
+TEST(DcscMat, RoundTripIsExact) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const CscMat csc = hypersparse(500, 100000, 40, 4.0, seed);
+    const DcscMat d = DcscMat::from_csc(csc);
+    d.check_valid();
+    EXPECT_EQ(d.nnz(), csc.nnz());
+    EXPECT_LE(d.nonempty_cols(), 40);
+    EXPECT_EQ(d.to_csc(), csc);
+  }
+}
+
+TEST(DcscMat, DenseMatrixAlsoRoundTrips) {
+  const CscMat csc = testing::random_matrix(50, 60, 5.0, 9);
+  const DcscMat d = DcscMat::from_csc(csc);
+  EXPECT_EQ(d.to_csc(), csc);
+}
+
+TEST(DcscMat, EmptyMatrix) {
+  const CscMat csc(10, 100000);
+  const DcscMat d = DcscMat::from_csc(csc);
+  EXPECT_EQ(d.nnz(), 0);
+  EXPECT_EQ(d.nonempty_cols(), 0);
+  EXPECT_EQ(d.to_csc().ncols(), 100000);
+  EXPECT_LT(d.storage_bytes(), csc.storage_bytes() / 1000);
+}
+
+TEST(DcscMat, StorageBeatsCscWhenHypersparse) {
+  // nnz = ~200 entries in a 1M-column matrix: CSC pays 8 MB of colptr,
+  // DCSC pays O(nnz).
+  const CscMat csc = hypersparse(1000, 1 << 20, 50, 4.0, 11);
+  const DcscMat d = DcscMat::from_csc(csc);
+  EXPECT_LT(d.storage_bytes() * 100, csc.storage_bytes());
+}
+
+TEST(DcscMat, FindColBinarySearch) {
+  TripleMat t(4, 1000);
+  t.push_back(0, 10, 1.0);
+  t.push_back(1, 500, 2.0);
+  t.push_back(2, 999, 3.0);
+  const DcscMat d = DcscMat::from_csc(CscMat::from_triples(std::move(t)));
+  EXPECT_EQ(d.find_col(10), 0);
+  EXPECT_EQ(d.find_col(500), 1);
+  EXPECT_EQ(d.find_col(999), 2);
+  EXPECT_EQ(d.find_col(0), -1);
+  EXPECT_EQ(d.find_col(11), -1);
+  EXPECT_EQ(d.nonempty_rowids(1)[0], 1);
+  EXPECT_DOUBLE_EQ(d.nonempty_vals(2)[0], 3.0);
+}
+
+TEST(HypersparseSpGemm, MatchesReferenceOnHypersparseByDense) {
+  const CscMat a_csc = hypersparse(300, 4000, 60, 4.0, 12);
+  const CscMat b = testing::random_matrix(4000, 30, 2.0, 13);
+  const CscMat expected = reference_multiply<PlusTimes>(a_csc, b);
+  const CscMat got =
+      hypersparse_spgemm<PlusTimes>(DcscMat::from_csc(a_csc), b);
+  testing::expect_mat_near(got, expected, 1e-9);
+}
+
+TEST(HypersparseSpGemm, MatchesReferenceOnDenseInputs) {
+  const CscMat a = testing::random_matrix(40, 40, 4.0, 14);
+  const CscMat expected = reference_multiply<PlusTimes>(a, a);
+  testing::expect_mat_near(
+      hypersparse_spgemm<PlusTimes>(DcscMat::from_csc(a), a), expected, 1e-9);
+}
+
+TEST(HypersparseSpGemm, Semirings) {
+  const CscMat a = hypersparse(60, 600, 30, 3.0, 15);
+  const CscMat b = testing::random_matrix(600, 25, 2.0, 16);
+  testing::expect_mat_near(
+      hypersparse_spgemm<MinPlus>(DcscMat::from_csc(a), b),
+      reference_multiply<MinPlus>(a, b), 1e-12);
+  testing::expect_mat_near(
+      hypersparse_spgemm<MaxMin>(DcscMat::from_csc(a), b),
+      reference_multiply<MaxMin>(a, b), 1e-12);
+}
+
+TEST(HypersparseSpGemmDcsc, FullyHypersparsePipelineMatchesReference) {
+  const CscMat a = hypersparse(400, 5000, 50, 3.0, 18);
+  const CscMat b = hypersparse(5000, 5000, 60, 3.0, 19);
+  // Force some inner-dimension overlap so the product is nonempty.
+  const CscMat expected = reference_multiply<PlusTimes>(a, b);
+  const DcscMat got = hypersparse_spgemm_dcsc<PlusTimes>(
+      DcscMat::from_csc(a), DcscMat::from_csc(b));
+  got.check_valid();
+  testing::expect_mat_near(got.to_csc(), expected, 1e-9);
+}
+
+TEST(HypersparseSpGemmDcsc, SelfMultiplyOnOverlappingPattern) {
+  // A*A guarantees inner-dimension hits; checks nonempty-column pruning.
+  const CscMat a = hypersparse(3000, 3000, 80, 4.0, 20);
+  const CscMat expected = reference_multiply<PlusTimes>(a, a);
+  const DcscMat d = DcscMat::from_csc(a);
+  const DcscMat got = hypersparse_spgemm_dcsc<PlusTimes>(d, d);
+  testing::expect_mat_near(got.to_csc(), expected, 1e-9);
+  // Output stores only nonempty columns.
+  EXPECT_LE(got.nonempty_cols(), 80);
+}
+
+TEST(HypersparseSpGemmDcsc, DisjointPatternsProduceEmpty) {
+  TripleMat ta(10, 1000), tb(1000, 10);
+  ta.push_back(0, 5, 1.0);   // A's only nonempty column: 5
+  tb.push_back(700, 0, 1.0); // B's only nonzero row: 700 (never hits col 5)
+  const DcscMat got = hypersparse_spgemm_dcsc<PlusTimes>(
+      DcscMat::from_csc(CscMat::from_triples(std::move(ta))),
+      DcscMat::from_csc(CscMat::from_triples(std::move(tb))));
+  EXPECT_EQ(got.nnz(), 0);
+  EXPECT_EQ(got.nonempty_cols(), 0);
+}
+
+TEST(HypersparseSpGemm, EmptyOperands) {
+  const DcscMat a = DcscMat::from_csc(CscMat(10, 500));
+  const CscMat b = testing::random_matrix(500, 5, 2.0, 17);
+  const CscMat c = hypersparse_spgemm<PlusTimes>(a, b);
+  EXPECT_EQ(c.nnz(), 0);
+  EXPECT_EQ(c.nrows(), 10);
+  EXPECT_EQ(c.ncols(), 5);
+}
+
+}  // namespace
+}  // namespace casp

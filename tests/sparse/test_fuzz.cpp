@@ -1,0 +1,112 @@
+// Randomized property sweeps ("fuzz") over the sparse containers and the
+// algebraic identities the distributed algorithms rely on.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kernels/reference.hpp"
+#include "kernels/merge.hpp"
+#include "kernels/spgemm.hpp"
+#include "sparse/serialize.hpp"
+#include "test_util.hpp"
+
+namespace casp {
+namespace {
+
+TEST(SparseFuzz, RandomShapesRoundTripEverywhere) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Index rows = 1 + rng.range(0, 60);
+    const Index cols = 1 + rng.range(0, 60);
+    const double d = 0.5 + rng.uniform() * 6.0;
+    const CscMat m = testing::random_matrix(rows, cols, d, 3000 + trial);
+    // triples round trip
+    testing::expect_mat_near(CscMat::from_triples(m.to_triples()), m);
+    // wire round trip
+    EXPECT_EQ(unpack_csc(pack_csc(m)), m);
+    // double transpose
+    testing::expect_mat_near(m.transpose().transpose(), m);
+    // random column slice + complement reassemble
+    const Index cut = rng.range(0, cols + 1);
+    const CscMat parts[] = {m.slice_cols(0, cut), m.slice_cols(cut, cols)};
+    EXPECT_EQ(CscMat::concat_cols(parts), m);
+    // random row slice pair conserves nnz
+    const Index rcut = rng.range(0, rows + 1);
+    EXPECT_EQ(m.slice_rows(0, rcut).nnz() + m.slice_rows(rcut, rows).nnz(),
+              m.nnz());
+  }
+}
+
+TEST(SparseFuzz, TransposeOfProductIsProductOfTransposes) {
+  // (A*B)^T == B^T * A^T — exercised because A*A^T pipelines depend on it.
+  Rng rng(77);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Index m = 2 + rng.range(0, 25);
+    const Index k = 2 + rng.range(0, 25);
+    const Index n = 2 + rng.range(0, 25);
+    const CscMat a = testing::random_matrix(m, k, 3.0, 4000 + trial);
+    const CscMat b = testing::random_matrix(k, n, 3.0, 5000 + trial);
+    const CscMat ab_t = reference_multiply<PlusTimes>(a, b).transpose();
+    const CscMat bt_at =
+        reference_multiply<PlusTimes>(b.transpose(), a.transpose());
+    testing::expect_mat_near(ab_t, bt_at, 1e-9);
+  }
+}
+
+TEST(SparseFuzz, MultiplicationDistributesOverColumnSplit) {
+  // A * [B1 | B2] == [A*B1 | A*B2] — the algebra behind column batching.
+  Rng rng(88);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Index n = 6 + rng.range(0, 30);
+    const CscMat a = testing::random_matrix(n, n, 3.0, 6000 + trial);
+    const CscMat b = testing::random_matrix(n, n, 3.0, 7000 + trial);
+    const Index cut = rng.range(1, n);
+    const CscMat c1 =
+        local_spgemm<PlusTimes>(a, b.slice_cols(0, cut));
+    const CscMat c2 =
+        local_spgemm<PlusTimes>(a, b.slice_cols(cut, n));
+    const CscMat pieces[] = {c1, c2};
+    testing::expect_mat_near(CscMat::concat_cols(pieces),
+                             reference_multiply<PlusTimes>(a, b), 1e-9);
+  }
+}
+
+TEST(SparseFuzz, MultiplicationSplitsOverInnerDimension) {
+  // A*B == A(:,S1)*B(S1,:) + A(:,S2)*B(S2,:) — the algebra behind layering
+  // and SUMMA stages (what Merge-Layer/Merge-Fiber sum up).
+  Rng rng(99);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Index n = 6 + rng.range(0, 30);
+    const CscMat a = testing::random_matrix(n, n, 3.0, 8000 + trial);
+    const CscMat b = testing::random_matrix(n, n, 3.0, 9000 + trial);
+    const Index cut = rng.range(1, n);
+    const CscMat bt = b.transpose();
+    const CscMat b_top = bt.slice_cols(0, cut).transpose();
+    const CscMat b_bottom = bt.slice_cols(cut, n).transpose();
+    const CscMat d1 = local_spgemm<PlusTimes>(a.slice_cols(0, cut), b_top);
+    const CscMat d2 = local_spgemm<PlusTimes>(a.slice_cols(cut, n), b_bottom);
+    const CscMat pieces[] = {d1, d2};
+    testing::expect_mat_near(
+        merge_matrices<PlusTimes>(pieces, MergeKind::kUnsortedHash),
+        reference_multiply<PlusTimes>(a, b), 1e-9);
+  }
+}
+
+TEST(SparseFuzz, PruneThenSortEqualsSortThenPrune) {
+  Rng rng(111);
+  for (int trial = 0; trial < 10; ++trial) {
+    const CscMat base = testing::random_matrix(40, 40, 5.0, 10000 + trial);
+    auto pred = [](Index row, Index, Value v) {
+      return v > 0.3 && row % 3 != 0;
+    };
+    CscMat a = base;
+    a.prune(pred);
+    a.sort_columns();
+    CscMat b = base;
+    b.sort_columns();
+    b.prune(pred);
+    EXPECT_EQ(a, b);
+  }
+}
+
+}  // namespace
+}  // namespace casp

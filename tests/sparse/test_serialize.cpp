@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "sparse/serialize.hpp"
+#include "test_util.hpp"
+
+namespace casp {
+namespace {
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const CscMat m = testing::random_matrix(41, 23, 3.5, 10);
+  const auto buf = pack_csc(m);
+  EXPECT_EQ(buf.size(), packed_size(m));
+  const CscMat back = unpack_csc(buf);
+  EXPECT_EQ(back, m);  // bitwise array equality, not just math equality
+}
+
+TEST(Serialize, EmptyMatrix) {
+  const CscMat m(7, 5);
+  const CscMat back = unpack_csc(pack_csc(m));
+  EXPECT_EQ(back.nrows(), 7);
+  EXPECT_EQ(back.ncols(), 5);
+  EXPECT_EQ(back.nnz(), 0);
+}
+
+TEST(Serialize, ZeroDimensional) {
+  const CscMat m(0, 0);
+  const CscMat back = unpack_csc(pack_csc(m));
+  EXPECT_EQ(back.nrows(), 0);
+  EXPECT_EQ(back.ncols(), 0);
+}
+
+TEST(Serialize, PreservesUnsortedColumns) {
+  // The wire format must not canonicalize: unsorted intermediates travel
+  // between ranks during SUMMA.
+  CscMat m(4, 1, {0, 3}, {2, 0, 1}, {1.0, 2.0, 3.0});
+  EXPECT_FALSE(m.columns_sorted());
+  const CscMat back = unpack_csc(pack_csc(m));
+  EXPECT_EQ(back, m);
+  EXPECT_FALSE(back.columns_sorted());
+}
+
+TEST(Serialize, RejectsTruncatedBuffer) {
+  const CscMat m = testing::random_matrix(10, 10, 2.0, 11);
+  auto buf = pack_csc(m);
+  buf.resize(buf.size() - 1);
+  EXPECT_THROW(unpack_csc(buf), std::logic_error);
+}
+
+TEST(Serialize, RejectsTrailingBytes) {
+  const CscMat m = testing::random_matrix(10, 10, 2.0, 12);
+  auto buf = pack_csc(m);
+  buf.push_back(std::byte{0});
+  EXPECT_THROW(unpack_csc(buf), std::logic_error);
+}
+
+}  // namespace
+}  // namespace casp

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "kernels/reference.hpp"
+#include "sparse/stats.hpp"
+#include "test_util.hpp"
+
+namespace casp {
+namespace {
+
+TEST(Stats, MatrixStatsBasics) {
+  TripleMat t(4, 3);
+  t.push_back(0, 0, 1.0);
+  t.push_back(1, 0, 1.0);
+  t.push_back(2, 0, 1.0);
+  t.push_back(3, 2, 1.0);
+  const CscMat m = CscMat::from_triples(std::move(t));
+  const MatrixStats s = matrix_stats(m);
+  EXPECT_EQ(s.nnz, 4);
+  EXPECT_EQ(s.max_nnz_per_col, 3);
+  EXPECT_NEAR(s.avg_nnz_per_col, 4.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, FlopsCountsScalarMultiplies) {
+  // A = [1 1; 0 1] (csc), B = [1 0; 1 1]: flops = nnz(A(:,0)) per B(0,*)
+  TripleMat ta(2, 2), tb(2, 2);
+  ta.push_back(0, 0, 1.0);
+  ta.push_back(0, 1, 1.0);
+  ta.push_back(1, 1, 1.0);
+  tb.push_back(0, 0, 1.0);
+  tb.push_back(1, 0, 1.0);
+  tb.push_back(1, 1, 1.0);
+  const CscMat a = CscMat::from_triples(std::move(ta));
+  const CscMat b = CscMat::from_triples(std::move(tb));
+  // B(:,0) hits A columns 0 (1 nnz) and 1 (2 nnz) -> 3; B(:,1) hits A col 1
+  // -> 2. Total 5.
+  EXPECT_EQ(multiply_flops(a, b), 5);
+  const auto per_col = column_flops(a, b);
+  EXPECT_EQ(per_col[0], 3);
+  EXPECT_EQ(per_col[1], 2);
+}
+
+TEST(Stats, ColumnFlopsSumEqualsTotal) {
+  const CscMat a = testing::random_matrix(40, 40, 4.0, 20);
+  const CscMat b = testing::random_matrix(40, 40, 4.0, 21);
+  const auto per_col = column_flops(a, b);
+  EXPECT_EQ(std::accumulate(per_col.begin(), per_col.end(), Index{0}),
+            multiply_flops(a, b));
+}
+
+TEST(Stats, MultiplyStatsAgreeWithReference) {
+  const CscMat a = testing::random_matrix(30, 30, 3.0, 22);
+  const CscMat b = testing::random_matrix(30, 30, 3.0, 23);
+  const MultiplyStats s = multiply_stats(a, b);
+  const CscMat c = reference_multiply<PlusTimes>(a, b);
+  EXPECT_EQ(s.nnz_c, c.nnz());
+  EXPECT_GE(s.compression_factor, 1.0);  // cf >= 1 always (Sec. II-A)
+  EXPECT_NEAR(s.compression_factor,
+              static_cast<double>(s.flops) / static_cast<double>(s.nnz_c),
+              1e-12);
+}
+
+TEST(Stats, SquaringDenseClusterHasHighCompression) {
+  // A fully-connected block: squaring multiplies the same pairs many times
+  // over -> cf ~ block size.
+  const Index k = 12;
+  TripleMat t(k, k);
+  for (Index i = 0; i < k; ++i)
+    for (Index j = 0; j < k; ++j) t.push_back(i, j, 1.0);
+  const CscMat a = CscMat::from_triples(std::move(t));
+  const MultiplyStats s = multiply_stats(a, a);
+  EXPECT_NEAR(s.compression_factor, static_cast<double>(k), 1e-9);
+}
+
+TEST(Stats, DescribeMentionsShapeAndNnz) {
+  const CscMat m = testing::random_matrix(10, 20, 2.0, 24);
+  const std::string d = describe("testmat", m);
+  EXPECT_NE(d.find("testmat"), std::string::npos);
+  EXPECT_NE(d.find("10 x 20"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace casp

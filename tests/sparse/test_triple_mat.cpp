@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/triple_mat.hpp"
+
+namespace casp {
+namespace {
+
+TEST(TripleMat, CanonicalizeSortsAndMergesDuplicates) {
+  TripleMat m(4, 4);
+  m.push_back(2, 1, 1.0);
+  m.push_back(0, 0, 2.0);
+  m.push_back(2, 1, 3.0);
+  m.push_back(1, 1, 4.0);
+  m.canonicalize();
+  ASSERT_EQ(m.nnz(), 3);
+  EXPECT_TRUE(m.is_canonical());
+  EXPECT_EQ(m.entries()[0], (Triple{0, 0, 2.0}));
+  EXPECT_EQ(m.entries()[1], (Triple{1, 1, 4.0}));
+  EXPECT_EQ(m.entries()[2], (Triple{2, 1, 4.0}));  // 1.0 + 3.0
+}
+
+TEST(TripleMat, CanonicalizeDropZeros) {
+  TripleMat m(3, 3);
+  m.push_back(1, 1, 5.0);
+  m.push_back(1, 1, -5.0);
+  m.push_back(0, 2, 1.0);
+  m.canonicalize(/*drop_zeros=*/true);
+  ASSERT_EQ(m.nnz(), 1);
+  EXPECT_EQ(m.entries()[0].col, 2);
+}
+
+TEST(TripleMat, IsCanonicalDetectsDisorderAndDuplicates) {
+  TripleMat sorted(3, 3);
+  sorted.push_back(0, 0, 1.0);
+  sorted.push_back(1, 0, 1.0);
+  sorted.push_back(0, 1, 1.0);
+  EXPECT_TRUE(sorted.is_canonical());
+
+  TripleMat dup(3, 3);
+  dup.push_back(0, 0, 1.0);
+  dup.push_back(0, 0, 2.0);
+  EXPECT_FALSE(dup.is_canonical());
+
+  TripleMat unsorted(3, 3);
+  unsorted.push_back(0, 1, 1.0);
+  unsorted.push_back(0, 0, 1.0);
+  EXPECT_FALSE(unsorted.is_canonical());
+}
+
+TEST(TripleMat, BoundsCheckThrows) {
+  std::vector<Triple> bad = {{5, 0, 1.0}};
+  EXPECT_THROW(TripleMat(3, 3, std::move(bad)), std::logic_error);
+}
+
+TEST(TripleMat, MaxAbsDiff) {
+  TripleMat a(2, 2), b(2, 2), c(2, 2);
+  a.push_back(0, 0, 1.0);
+  a.push_back(1, 1, 2.0);
+  b.push_back(0, 0, 1.05);
+  b.push_back(1, 1, 2.0);
+  c.push_back(0, 1, 1.0);
+  c.push_back(1, 1, 2.0);
+  EXPECT_NEAR(max_abs_diff(a, b), 0.05, 1e-12);
+  EXPECT_TRUE(std::isinf(max_abs_diff(a, c)));  // structure differs
+  TripleMat shorter(2, 2);
+  shorter.push_back(0, 0, 1.0);
+  EXPECT_TRUE(std::isinf(max_abs_diff(a, shorter)));
+}
+
+TEST(TripleMat, EmptyMatrixIsCanonical) {
+  TripleMat m(0, 0);
+  EXPECT_TRUE(m.is_canonical());
+  m.canonicalize();
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+}  // namespace
+}  // namespace casp

@@ -1,0 +1,266 @@
+// BatchedSUMMA3D (Algorithm 4): correctness across (p, l, b), callback
+// streaming, block-cyclic column mapping, and memory-budget behaviour.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+
+#include "grid/dist.hpp"
+#include "kernels/reference.hpp"
+#include "summa/batched.hpp"
+#include "test_util.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace casp {
+namespace {
+
+struct BatchedCase {
+  int p;
+  int l;
+  Index batches;
+  Index n;
+  double density;
+};
+
+class BatchedCorrectness : public ::testing::TestWithParam<BatchedCase> {};
+
+TEST_P(BatchedCorrectness, ConcatenatedOutputMatchesReference) {
+  const auto [p, l, batches, n, density] = GetParam();
+  const CscMat a = testing::random_matrix(n, n, density, 31);
+  const CscMat b = testing::random_matrix(n, n, density, 32);
+  const CscMat expected = reference_multiply<PlusTimes>(a, b);
+
+  vmpi::run(p, [&, l = l, batches = batches](vmpi::Comm& world) {
+    Grid3D grid(world, l);
+    const DistMat3D da = distribute_a_style(grid, a);
+    const DistMat3D db = distribute_b_style(grid, b);
+    SummaOptions opts;
+    opts.force_batches = batches;
+    BatchedResult result =
+        batched_summa3d<PlusTimes>(grid, da, db, /*total_memory=*/0, opts);
+    EXPECT_EQ(result.batches, std::min(batches, std::max<Index>(1, n)));
+    // Output must be A-style distributed.
+    EXPECT_EQ(result.c.rows.start, a_style_row_range(grid, n).start);
+    EXPECT_EQ(result.c.cols.start, a_style_col_range(grid, n).start);
+    EXPECT_EQ(result.c.cols.count, a_style_col_range(grid, n).count);
+    testing::expect_mat_near(gather_dist(grid, result.c), expected, 1e-9);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BatchedCorrectness,
+    ::testing::Values(BatchedCase{1, 1, 3, 17, 3.0},
+                      BatchedCase{4, 1, 2, 20, 3.0},
+                      BatchedCase{4, 4, 3, 22, 3.0},
+                      BatchedCase{8, 2, 4, 26, 3.0},
+                      BatchedCase{16, 4, 5, 31, 3.0},
+                      BatchedCase{9, 1, 7, 23, 3.0},
+                      BatchedCase{16, 16, 2, 21, 2.0},
+                      // b larger than per-part columns: empty batches
+                      BatchedCase{8, 2, 16, 9, 2.0},
+                      BatchedCase{12, 3, 6, 29, 3.5}));
+
+TEST(BatchedCallback, StreamedPiecesTileTheOutputExactly) {
+  const int p = 8, l = 2;
+  const Index n = 24, batches = 3;
+  const CscMat a = testing::random_matrix(n, n, 3.0, 33);
+  const CscMat b = testing::random_matrix(n, n, 3.0, 34);
+  const CscMat expected = reference_multiply<PlusTimes>(a, b);
+
+  std::mutex mutex;
+  TripleMat assembled(n, n);
+  std::map<Index, int> batch_calls;  // batch index -> callback count
+
+  vmpi::run(p, [&](vmpi::Comm& world) {
+    Grid3D grid(world, l);
+    const DistMat3D da = distribute_a_style(grid, a);
+    const DistMat3D db = distribute_b_style(grid, b);
+    SummaOptions opts;
+    opts.force_batches = batches;
+    batched_summa3d<PlusTimes>(
+        grid, da, db, 0, opts,
+        [&](CscMat&& piece, const BatchInfo& info) {
+          EXPECT_EQ(info.num_batches, batches);
+          EXPECT_EQ(piece.ncols(), info.global_cols.count);
+          EXPECT_EQ(piece.nrows(), info.global_rows.count);
+          EXPECT_TRUE(piece.columns_sorted());
+          std::lock_guard<std::mutex> lock(mutex);
+          ++batch_calls[info.batch_index];
+          for (Index j = 0; j < piece.ncols(); ++j) {
+            const auto rows = piece.col_rowids(j);
+            const auto vals = piece.col_vals(j);
+            for (std::size_t k = 0; k < rows.size(); ++k)
+              assembled.push_back(rows[k] + info.global_rows.start,
+                                  j + info.global_cols.start, vals[k]);
+          }
+        },
+        /*keep_output=*/false);
+  });
+
+  // Every batch invoked on every rank.
+  ASSERT_EQ(batch_calls.size(), static_cast<std::size_t>(batches));
+  for (const auto& [bi, count] : batch_calls) EXPECT_EQ(count, p);
+
+  // Streamed pieces are disjoint (no duplicate coordinates) and assemble to
+  // the full product.
+  ASSERT_TRUE(assembled.nnz() == expected.nnz());
+  CscMat full = CscMat::from_triples(std::move(assembled));
+  EXPECT_EQ(full.nnz(), expected.nnz()) << "pieces overlapped";
+  testing::expect_mat_near(full, expected, 1e-9);
+}
+
+TEST(BatchedSymbolic, TightMemoryForcesMultipleBatches) {
+  const int p = 8, l = 2;
+  const Index n = 32;
+  const CscMat a = testing::random_matrix(n, n, 6.0, 35);
+  const CscMat expected = reference_multiply<PlusTimes>(a, a);
+
+  vmpi::run(p, [&](vmpi::Comm& world) {
+    Grid3D grid(world, l);
+    const DistMat3D da = distribute_a_style(grid, a);
+    const DistMat3D db = distribute_b_style(grid, a);
+
+    // First find the unconstrained memory need, then offer a fraction.
+    SymbolicResult unlimited = symbolic3d(grid, da.local, db.local, 0);
+    const Bytes inputs_per_rank =
+        static_cast<Bytes>(unlimited.max_nnz_a + unlimited.max_nnz_b) *
+        kBytesPerNonzero;
+    const Bytes output_per_rank =
+        static_cast<Bytes>(unlimited.max_nnz_c) * kBytesPerNonzero;
+    // Budget: inputs + a third of the unmerged output per rank -> needs >= 3
+    // batches.
+    const Bytes budget =
+        static_cast<Bytes>(world.size()) * (inputs_per_rank + output_per_rank / 3);
+
+    BatchedResult result = batched_summa3d<PlusTimes>(grid, da, db, budget);
+    EXPECT_GE(result.batches, 3);
+    testing::expect_mat_near(gather_dist(grid, result.c), expected, 1e-9);
+  });
+}
+
+TEST(BatchedSymbolic, ImpossibleBudgetThrowsMemoryError) {
+  const int p = 4;
+  const Index n = 24;
+  const CscMat a = testing::random_matrix(n, n, 4.0, 36);
+  EXPECT_THROW(vmpi::run(p,
+                         [&](vmpi::Comm& world) {
+                           Grid3D grid(world, 1);
+                           const DistMat3D da = distribute_a_style(grid, a);
+                           const DistMat3D db = distribute_b_style(grid, a);
+                           // 10 bytes per rank: inputs alone cannot fit.
+                           batched_summa3d<PlusTimes>(grid, da, db,
+                                                      /*total_memory=*/40);
+                         }),
+               MemoryError);
+}
+
+TEST(BatchedRectangular, AatViaExplicitTranspose) {
+  // The BELLA/PASTIS pattern: tall-thin A times its transpose.
+  const Index m = 18, k = 40;
+  const CscMat a = testing::random_matrix(m, k, 2.0, 37);
+  const CscMat at = a.transpose();
+  const CscMat expected = reference_multiply<PlusTimes>(a, at);
+  vmpi::run(8, [&](vmpi::Comm& world) {
+    Grid3D grid(world, 2);
+    const DistMat3D da = distribute_a_style(grid, a);
+    const DistMat3D db = distribute_b_style(grid, at);
+    SummaOptions opts;
+    opts.force_batches = 3;
+    BatchedResult result = batched_summa3d<PlusTimes>(grid, da, db, 0, opts);
+    testing::expect_mat_near(gather_dist(grid, result.c), expected, 1e-9);
+  });
+}
+
+class RowwiseBatched : public ::testing::TestWithParam<BatchedCase> {};
+
+TEST_P(RowwiseBatched, MatchesReference) {
+  const auto [p, l, batches, n, density] = GetParam();
+  const CscMat a = testing::random_matrix(n, n, density, 131);
+  const CscMat b = testing::random_matrix(n, n, density, 132);
+  const CscMat expected = reference_multiply<PlusTimes>(a, b);
+  vmpi::run(p, [&, l = l, batches = batches](vmpi::Comm& world) {
+    Grid3D grid(world, l);
+    const DistMat3D da = distribute_a_style(grid, a);
+    const DistMat3D db = distribute_b_style(grid, b);
+    SummaOptions opts;
+    opts.force_batches = batches;
+    BatchedResult result =
+        batched_summa3d_rowwise<PlusTimes>(grid, da, db, 0, opts);
+    EXPECT_EQ(result.c.rows.start, a_style_row_range(grid, n).start);
+    EXPECT_EQ(result.c.cols.count, a_style_col_range(grid, n).count);
+    testing::expect_mat_near(gather_dist(grid, result.c), expected, 1e-9);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RowwiseBatched,
+    ::testing::Values(BatchedCase{1, 1, 3, 17, 3.0},
+                      BatchedCase{4, 1, 2, 20, 3.0},
+                      BatchedCase{8, 2, 4, 26, 3.0},
+                      BatchedCase{16, 4, 5, 31, 3.0},
+                      BatchedCase{12, 3, 6, 29, 3.5},
+                      // more batches than per-part rows
+                      BatchedCase{8, 2, 16, 9, 2.0}));
+
+TEST(RowwiseBatched, CallbackPiecesAreRowBlocks) {
+  const int p = 8, l = 2;
+  const Index n = 24, batches = 3;
+  const CscMat a = testing::random_matrix(n, n, 3.0, 133);
+  const CscMat expected = reference_multiply<PlusTimes>(a, a);
+  std::mutex mutex;
+  TripleMat assembled(n, n);
+  vmpi::run(p, [&](vmpi::Comm& world) {
+    Grid3D grid(world, l);
+    const DistMat3D da = distribute_a_style(grid, a);
+    const DistMat3D db = distribute_b_style(grid, a);
+    SummaOptions opts;
+    opts.force_batches = batches;
+    batched_summa3d_rowwise<PlusTimes>(
+        grid, da, db, 0, opts,
+        [&](CscMat&& piece, const BatchInfo& info) {
+          EXPECT_EQ(piece.nrows(), info.global_rows.count);
+          std::lock_guard<std::mutex> lock(mutex);
+          for (Index j = 0; j < piece.ncols(); ++j) {
+            const auto rows = piece.col_rowids(j);
+            const auto vals = piece.col_vals(j);
+            for (std::size_t k = 0; k < rows.size(); ++k)
+              assembled.push_back(rows[k] + info.global_rows.start,
+                                  j + info.global_cols.start, vals[k]);
+          }
+        },
+        /*keep_output=*/false);
+  });
+  CscMat full = CscMat::from_triples(std::move(assembled));
+  EXPECT_EQ(full.nnz(), expected.nnz()) << "row pieces overlapped";
+  testing::expect_mat_near(full, expected, 1e-9);
+}
+
+TEST(BatchedMemoryTracking, PeakStaysWithinBudgetWhenStreaming) {
+  const int p = 8, l = 2;
+  const Index n = 40;
+  const CscMat a = testing::random_matrix(n, n, 5.0, 38);
+  vmpi::run(p, [&](vmpi::Comm& world) {
+    Grid3D grid(world, l);
+    const DistMat3D da = distribute_a_style(grid, a);
+    const DistMat3D db = distribute_b_style(grid, a);
+    SymbolicResult unlimited = symbolic3d(grid, da.local, db.local, 0);
+    const Bytes per_rank =
+        static_cast<Bytes>(unlimited.max_nnz_a + unlimited.max_nnz_b) *
+            kBytesPerNonzero +
+        static_cast<Bytes>(unlimited.max_nnz_c) * kBytesPerNonzero / 2;
+    const Bytes budget = static_cast<Bytes>(world.size()) * per_rank;
+
+    // Enforce the budget with a tracker; streaming mode (keep_output=false)
+    // must not exceed it.
+    MemoryTracker tracker(per_rank + per_rank / 2);  // slack for batch copies
+    SummaOptions opts;
+    opts.memory = &tracker;
+    batched_summa3d<PlusTimes>(
+        grid, da, db, budget, opts, [](CscMat&&, const BatchInfo&) {},
+        /*keep_output=*/false);
+    EXPECT_LE(tracker.peak(), tracker.budget());
+  });
+}
+
+}  // namespace
+}  // namespace casp

@@ -1,0 +1,40 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "gen/er.hpp"
+#include "sparse/csc_mat.hpp"
+#include "sparse/triple_mat.hpp"
+
+namespace casp::testing {
+
+/// Assert mathematical equality of two sparse matrices: same shape, same
+/// canonical structure, values within tol.
+inline void expect_mat_near(const CscMat& a, const CscMat& b,
+                            double tol = 1e-9) {
+  ASSERT_EQ(a.nrows(), b.nrows());
+  ASSERT_EQ(a.ncols(), b.ncols());
+  CscMat sa = a;
+  CscMat sb = b;
+  sa.sort_columns();
+  sb.sort_columns();
+  ASSERT_EQ(sa.nnz(), sb.nnz()) << "nonzero count mismatch";
+  TripleMat ta = sa.to_triples();
+  TripleMat tb = sb.to_triples();
+  const double diff = max_abs_diff(ta, tb);
+  EXPECT_LE(diff, tol) << "max elementwise difference " << diff;
+}
+
+/// Random rectangular test matrix with approximately d nnz per column.
+inline CscMat random_matrix(Index rows, Index cols, double d,
+                            std::uint64_t seed) {
+  ErParams p;
+  p.nrows = rows;
+  p.ncols = cols;
+  p.nnz_per_col = d;
+  p.seed = seed;
+  return generate_er(p);
+}
+
+}  // namespace casp::testing

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "vmpi/runtime.hpp"
+
+namespace casp::vmpi {
+namespace {
+
+TEST(Runtime, RunsEveryRankExactlyOnce) {
+  std::atomic<int> count{0};
+  std::atomic<std::uint64_t> rank_mask{0};
+  auto result = run(6, [&](Comm& comm) {
+    count.fetch_add(1);
+    rank_mask.fetch_or(std::uint64_t{1} << comm.rank());
+    EXPECT_EQ(comm.size(), 6);
+  });
+  EXPECT_EQ(count.load(), 6);
+  EXPECT_EQ(rank_mask.load(), 0b111111u);
+  EXPECT_EQ(result.size, 6);
+  EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST(Runtime, SingleRankWorks) {
+  auto result = run(1, [](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    comm.barrier();
+    EXPECT_EQ(comm.allreduce_sum<int>(41), 41);
+  });
+  EXPECT_EQ(result.size, 1);
+}
+
+TEST(Runtime, InvalidSizeThrows) {
+  EXPECT_THROW(run(0, [](Comm&) {}), std::logic_error);
+}
+
+TEST(Runtime, CollectsPerRankTimes) {
+  auto result = run(3, [](Comm& comm) {
+    comm.times().add("step-x", 0.5 + comm.rank());
+  });
+  EXPECT_DOUBLE_EQ(result.max_time("step-x"), 2.5);
+  const auto names = result.time_names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "step-x");
+}
+
+TEST(Runtime, TrafficSummaryMaxAndTotal) {
+  auto result = run(3, [](Comm& comm) {
+    comm.set_phase("p");
+    // Ranks 1, 2 send different volumes to rank 0.
+    if (comm.rank() == 0) {
+      (void)comm.recv_bytes(1, 1);
+      (void)comm.recv_bytes(2, 1);
+    } else {
+      std::vector<std::byte> payload(
+          static_cast<std::size_t>(comm.rank() * 100));
+      comm.send_bytes(0, 1, payload.data(), payload.size());
+    }
+  });
+  const auto summary = result.traffic_summary();
+  EXPECT_EQ(summary.total_per_phase.at("p").bytes, 300u);
+  EXPECT_EQ(summary.max_per_phase.at("p").bytes, 200u);
+  EXPECT_EQ(summary.total_per_phase.at("p").messages, 2u);
+}
+
+TEST(Runtime, ExceptionCarriesOriginalMessage) {
+  try {
+    run(2, [](Comm& comm) {
+      if (comm.rank() == 1) throw std::runtime_error("specific failure");
+      comm.barrier();
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "specific failure");
+  }
+}
+
+}  // namespace
+}  // namespace casp::vmpi

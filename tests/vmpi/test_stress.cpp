@@ -1,0 +1,140 @@
+// Stress and adversarial tests for the virtual runtime: interleaved
+// traffic, nested splits, large payloads, repeated collectives.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace casp::vmpi {
+namespace {
+
+TEST(VmpiStress, RandomizedPointToPointStorm) {
+  // Every rank sends a deterministic pseudo-random number of messages to
+  // every other rank, then receives exactly what it expects, in order.
+  const int p = 8;
+  const int max_msgs = 17;
+  run(p, [&](Comm& comm) {
+    auto count_for = [&](int src, int dest) {
+      Rng rng(static_cast<std::uint64_t>(src) * 1000 +
+              static_cast<std::uint64_t>(dest));
+      return 1 + static_cast<int>(rng.below(max_msgs));
+    };
+    // Send everything first (mailboxes are unbounded, sends don't block).
+    for (int dest = 0; dest < p; ++dest) {
+      if (dest == comm.rank()) continue;
+      const int n = count_for(comm.rank(), dest);
+      for (int m = 0; m < n; ++m)
+        comm.send_value<std::int64_t>(dest, 5, comm.rank() * 1000 + m);
+    }
+    // Receive from every source and verify content + order.
+    for (int src = 0; src < p; ++src) {
+      if (src == comm.rank()) continue;
+      const int n = count_for(src, comm.rank());
+      for (int m = 0; m < n; ++m)
+        EXPECT_EQ(comm.recv_value<std::int64_t>(src, 5), src * 1000 + m);
+    }
+  });
+}
+
+TEST(VmpiStress, InterleavedTagsDoNotCross) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      // Send on two tags interleaved; the receiver pulls tag 2 first.
+      comm.send_value<int>(1, 1, 100);
+      comm.send_value<int>(1, 2, 200);
+      comm.send_value<int>(1, 1, 101);
+      comm.send_value<int>(1, 2, 201);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 2), 200);
+      EXPECT_EQ(comm.recv_value<int>(0, 2), 201);
+      EXPECT_EQ(comm.recv_value<int>(0, 1), 100);
+      EXPECT_EQ(comm.recv_value<int>(0, 1), 101);
+    }
+  });
+}
+
+TEST(VmpiStress, NestedSplitsFormAGridWithIsolatedTraffic) {
+  // Build a 4x4 grid by nested splits and run simultaneous allreduces in
+  // all rows and all columns; sums must not bleed across communicators.
+  run(16, [](Comm& comm) {
+    const int row = comm.rank() / 4;
+    const int col = comm.rank() % 4;
+    Comm row_comm = comm.split(row, col);
+    Comm col_comm = comm.split(col, row);
+    const std::int64_t row_sum = row_comm.allreduce_sum<std::int64_t>(comm.rank());
+    const std::int64_t col_sum = col_comm.allreduce_sum<std::int64_t>(comm.rank());
+    // Row r holds ranks {4r..4r+3}; column c holds {c, c+4, c+8, c+12}.
+    EXPECT_EQ(row_sum, 4 * (4 * row) + 6);
+    EXPECT_EQ(col_sum, 4 * col + 24);
+    // Split of a split: pair up within the row.
+    Comm pair = row_comm.split(col / 2, col % 2);
+    EXPECT_EQ(pair.size(), 2);
+    const std::int64_t pair_sum = pair.allreduce_sum<std::int64_t>(1);
+    EXPECT_EQ(pair_sum, 2);
+  });
+}
+
+TEST(VmpiStress, LargePayloadRoundTrip) {
+  run(2, [](Comm& comm) {
+    const std::size_t n = 1 << 20;  // 8 MB of int64
+    if (comm.rank() == 0) {
+      std::vector<std::int64_t> data(n);
+      for (std::size_t i = 0; i < n; ++i)
+        data[i] = static_cast<std::int64_t>(i * 2654435761u);
+      comm.send_vec(1, 9, data);
+    } else {
+      const auto data = comm.recv_vec<std::int64_t>(0, 9);
+      ASSERT_EQ(data.size(), n);
+      EXPECT_EQ(data[0], 0);
+      EXPECT_EQ(data[n - 1],
+                static_cast<std::int64_t>((n - 1) * 2654435761u));
+    }
+  });
+}
+
+TEST(VmpiStress, ManyCollectiveRoundsStayConsistent) {
+  run(7, [](Comm& comm) {  // deliberately non-power-of-two
+    for (int round = 0; round < 50; ++round) {
+      const std::int64_t sum = comm.allreduce_sum<std::int64_t>(round);
+      EXPECT_EQ(sum, 7 * round);
+      auto data = comm.bcast_vec<int>(round % 7, comm.rank() == round % 7
+                                                     ? std::vector<int>{round}
+                                                     : std::vector<int>{});
+      ASSERT_EQ(data.size(), 1u);
+      EXPECT_EQ(data[0], round);
+    }
+  });
+}
+
+TEST(VmpiStress, AlltoallWithEmptyAndFatBuffers) {
+  const int p = 5;
+  run(p, [p](Comm& comm) {
+    std::vector<std::vector<std::byte>> buffers(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      // Rank r sends (r + d) % p bytes to rank d (some zero-length).
+      buffers[static_cast<std::size_t>(d)].assign(
+          static_cast<std::size_t>((comm.rank() + d) % p),
+          static_cast<std::byte>(comm.rank()));
+    }
+    const auto got = comm.alltoall_bytes(std::move(buffers));
+    for (int s = 0; s < p; ++s) {
+      EXPECT_EQ(got[static_cast<std::size_t>(s)].size(),
+                static_cast<std::size_t>((s + comm.rank()) % p));
+      for (std::byte v : got[static_cast<std::size_t>(s)])
+        EXPECT_EQ(v, static_cast<std::byte>(s));
+    }
+  });
+}
+
+TEST(VmpiStress, SequentialJobsAreIndependent) {
+  // Back-to-back jobs must not leak state (mailboxes, contexts).
+  for (int round = 0; round < 5; ++round) {
+    auto result = run(4, [round](Comm& comm) {
+      EXPECT_EQ(comm.allreduce_sum<int>(round), 4 * round);
+    });
+    EXPECT_EQ(result.size, 4);
+  }
+}
+
+}  // namespace
+}  // namespace casp::vmpi
