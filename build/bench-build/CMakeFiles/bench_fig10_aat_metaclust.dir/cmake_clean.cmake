@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_aat_metaclust"
+  "../bench/bench_fig10_aat_metaclust.pdb"
+  "CMakeFiles/bench_fig10_aat_metaclust.dir/bench_fig10_aat_metaclust.cpp.o"
+  "CMakeFiles/bench_fig10_aat_metaclust.dir/bench_fig10_aat_metaclust.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_aat_metaclust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

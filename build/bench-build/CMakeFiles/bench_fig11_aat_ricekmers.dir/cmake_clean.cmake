@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_aat_ricekmers"
+  "../bench/bench_fig11_aat_ricekmers.pdb"
+  "CMakeFiles/bench_fig11_aat_ricekmers.dir/bench_fig11_aat_ricekmers.cpp.o"
+  "CMakeFiles/bench_fig11_aat_ricekmers.dir/bench_fig11_aat_ricekmers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_aat_ricekmers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

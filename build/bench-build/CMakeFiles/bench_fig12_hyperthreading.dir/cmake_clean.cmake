@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_hyperthreading"
+  "../bench/bench_fig12_hyperthreading.pdb"
+  "CMakeFiles/bench_fig12_hyperthreading.dir/bench_fig12_hyperthreading.cpp.o"
+  "CMakeFiles/bench_fig12_hyperthreading.dir/bench_fig12_hyperthreading.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_hyperthreading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_knl_haswell"
+  "../bench/bench_fig13_knl_haswell.pdb"
+  "CMakeFiles/bench_fig13_knl_haswell.dir/bench_fig13_knl_haswell.cpp.o"
+  "CMakeFiles/bench_fig13_knl_haswell.dir/bench_fig13_knl_haswell.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_knl_haswell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_vs_previous"
+  "../bench/bench_fig15_vs_previous.pdb"
+  "CMakeFiles/bench_fig15_vs_previous.dir/bench_fig15_vs_previous.cpp.o"
+  "CMakeFiles/bench_fig15_vs_previous.dir/bench_fig15_vs_previous.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_vs_previous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_hipmcl"
+  "../bench/bench_fig3_hipmcl.pdb"
+  "CMakeFiles/bench_fig3_hipmcl.dir/bench_fig3_hipmcl.cpp.o"
+  "CMakeFiles/bench_fig3_hipmcl.dir/bench_fig3_hipmcl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_hipmcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

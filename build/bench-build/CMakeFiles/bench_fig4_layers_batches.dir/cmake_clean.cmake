@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_layers_batches"
+  "../bench/bench_fig4_layers_batches.pdb"
+  "CMakeFiles/bench_fig4_layers_batches.dir/bench_fig4_layers_batches.cpp.o"
+  "CMakeFiles/bench_fig4_layers_batches.dir/bench_fig4_layers_batches.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_layers_batches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

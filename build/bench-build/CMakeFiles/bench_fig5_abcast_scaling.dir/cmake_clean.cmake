@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_abcast_scaling"
+  "../bench/bench_fig5_abcast_scaling.pdb"
+  "CMakeFiles/bench_fig5_abcast_scaling.dir/bench_fig5_abcast_scaling.cpp.o"
+  "CMakeFiles/bench_fig5_abcast_scaling.dir/bench_fig5_abcast_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_abcast_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

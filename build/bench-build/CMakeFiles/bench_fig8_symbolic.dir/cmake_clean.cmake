@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_symbolic"
+  "../bench/bench_fig8_symbolic.pdb"
+  "CMakeFiles/bench_fig8_symbolic.dir/bench_fig8_symbolic.cpp.o"
+  "CMakeFiles/bench_fig8_symbolic.dir/bench_fig8_symbolic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_comp_complexity"
+  "../bench/bench_table3_comp_complexity.pdb"
+  "CMakeFiles/bench_table3_comp_complexity.dir/bench_table3_comp_complexity.cpp.o"
+  "CMakeFiles/bench_table3_comp_complexity.dir/bench_table3_comp_complexity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_comp_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_trends"
+  "../bench/bench_table6_trends.pdb"
+  "CMakeFiles/bench_table6_trends.dir/bench_table6_trends.cpp.o"
+  "CMakeFiles/bench_table6_trends.dir/bench_table6_trends.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_kernels"
+  "../bench/bench_table7_kernels.pdb"
+  "CMakeFiles/bench_table7_kernels.dir/bench_table7_kernels.cpp.o"
+  "CMakeFiles/bench_table7_kernels.dir/bench_table7_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casp_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/casp_bench_util.dir/bench_util.cpp.o.d"
+  "libcasp_bench_util.a"
+  "libcasp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcasp_bench_util.a"
+)

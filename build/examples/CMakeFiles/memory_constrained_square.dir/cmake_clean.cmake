@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_constrained_square.dir/memory_constrained_square.cpp.o"
+  "CMakeFiles/memory_constrained_square.dir/memory_constrained_square.cpp.o.d"
+  "memory_constrained_square"
+  "memory_constrained_square.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_constrained_square.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_clustering.dir/protein_clustering.cpp.o"
+  "CMakeFiles/protein_clustering.dir/protein_clustering.cpp.o.d"
+  "protein_clustering"
+  "protein_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

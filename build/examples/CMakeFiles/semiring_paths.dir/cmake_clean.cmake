@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semiring_paths.dir/semiring_paths.cpp.o"
+  "CMakeFiles/semiring_paths.dir/semiring_paths.cpp.o.d"
+  "semiring_paths"
+  "semiring_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semiring_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

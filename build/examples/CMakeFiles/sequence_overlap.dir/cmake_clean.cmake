@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_overlap.dir/sequence_overlap.cpp.o"
+  "CMakeFiles/sequence_overlap.dir/sequence_overlap.cpp.o.d"
+  "sequence_overlap"
+  "sequence_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "128" "4" "1")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_protein_clustering "/root/repo/build/examples/protein_clustering" "200" "4" "1")
+set_tests_properties(example_protein_clustering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_triangle_counting "/root/repo/build/examples/triangle_counting" "8" "4" "1")
+set_tests_properties(example_triangle_counting PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sequence_overlap "/root/repo/build/examples/sequence_overlap" "100" "800" "4" "1")
+set_tests_properties(example_sequence_overlap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_memory_constrained "/root/repo/build/examples/memory_constrained_square" "300" "4" "1")
+set_tests_properties(example_memory_constrained PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_semiring_paths "/root/repo/build/examples/semiring_paths" "150" "4" "1")
+set_tests_properties(example_semiring_paths PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/batch_io.cpp" "src/CMakeFiles/casp.dir/apps/batch_io.cpp.o" "gcc" "src/CMakeFiles/casp.dir/apps/batch_io.cpp.o.d"
+  "/root/repo/src/apps/jaccard.cpp" "src/CMakeFiles/casp.dir/apps/jaccard.cpp.o" "gcc" "src/CMakeFiles/casp.dir/apps/jaccard.cpp.o.d"
+  "/root/repo/src/apps/matching.cpp" "src/CMakeFiles/casp.dir/apps/matching.cpp.o" "gcc" "src/CMakeFiles/casp.dir/apps/matching.cpp.o.d"
+  "/root/repo/src/apps/mcl.cpp" "src/CMakeFiles/casp.dir/apps/mcl.cpp.o" "gcc" "src/CMakeFiles/casp.dir/apps/mcl.cpp.o.d"
+  "/root/repo/src/apps/overlap.cpp" "src/CMakeFiles/casp.dir/apps/overlap.cpp.o" "gcc" "src/CMakeFiles/casp.dir/apps/overlap.cpp.o.d"
+  "/root/repo/src/apps/triangle.cpp" "src/CMakeFiles/casp.dir/apps/triangle.cpp.o" "gcc" "src/CMakeFiles/casp.dir/apps/triangle.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/casp.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/casp.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/memory_tracker.cpp" "src/CMakeFiles/casp.dir/common/memory_tracker.cpp.o" "gcc" "src/CMakeFiles/casp.dir/common/memory_tracker.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/casp.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/casp.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/timer.cpp" "src/CMakeFiles/casp.dir/common/timer.cpp.o" "gcc" "src/CMakeFiles/casp.dir/common/timer.cpp.o.d"
+  "/root/repo/src/gen/er.cpp" "src/CMakeFiles/casp.dir/gen/er.cpp.o" "gcc" "src/CMakeFiles/casp.dir/gen/er.cpp.o.d"
+  "/root/repo/src/gen/kmer.cpp" "src/CMakeFiles/casp.dir/gen/kmer.cpp.o" "gcc" "src/CMakeFiles/casp.dir/gen/kmer.cpp.o.d"
+  "/root/repo/src/gen/protein.cpp" "src/CMakeFiles/casp.dir/gen/protein.cpp.o" "gcc" "src/CMakeFiles/casp.dir/gen/protein.cpp.o.d"
+  "/root/repo/src/gen/rmat.cpp" "src/CMakeFiles/casp.dir/gen/rmat.cpp.o" "gcc" "src/CMakeFiles/casp.dir/gen/rmat.cpp.o.d"
+  "/root/repo/src/grid/dist.cpp" "src/CMakeFiles/casp.dir/grid/dist.cpp.o" "gcc" "src/CMakeFiles/casp.dir/grid/dist.cpp.o.d"
+  "/root/repo/src/grid/grid3d.cpp" "src/CMakeFiles/casp.dir/grid/grid3d.cpp.o" "gcc" "src/CMakeFiles/casp.dir/grid/grid3d.cpp.o.d"
+  "/root/repo/src/kernels/merge.cpp" "src/CMakeFiles/casp.dir/kernels/merge.cpp.o" "gcc" "src/CMakeFiles/casp.dir/kernels/merge.cpp.o.d"
+  "/root/repo/src/kernels/reference.cpp" "src/CMakeFiles/casp.dir/kernels/reference.cpp.o" "gcc" "src/CMakeFiles/casp.dir/kernels/reference.cpp.o.d"
+  "/root/repo/src/kernels/spgemm.cpp" "src/CMakeFiles/casp.dir/kernels/spgemm.cpp.o" "gcc" "src/CMakeFiles/casp.dir/kernels/spgemm.cpp.o.d"
+  "/root/repo/src/kernels/symbolic.cpp" "src/CMakeFiles/casp.dir/kernels/symbolic.cpp.o" "gcc" "src/CMakeFiles/casp.dir/kernels/symbolic.cpp.o.d"
+  "/root/repo/src/model/costs.cpp" "src/CMakeFiles/casp.dir/model/costs.cpp.o" "gcc" "src/CMakeFiles/casp.dir/model/costs.cpp.o.d"
+  "/root/repo/src/model/machine.cpp" "src/CMakeFiles/casp.dir/model/machine.cpp.o" "gcc" "src/CMakeFiles/casp.dir/model/machine.cpp.o.d"
+  "/root/repo/src/model/scaling.cpp" "src/CMakeFiles/casp.dir/model/scaling.cpp.o" "gcc" "src/CMakeFiles/casp.dir/model/scaling.cpp.o.d"
+  "/root/repo/src/sparse/csc_mat.cpp" "src/CMakeFiles/casp.dir/sparse/csc_mat.cpp.o" "gcc" "src/CMakeFiles/casp.dir/sparse/csc_mat.cpp.o.d"
+  "/root/repo/src/sparse/csr_mat.cpp" "src/CMakeFiles/casp.dir/sparse/csr_mat.cpp.o" "gcc" "src/CMakeFiles/casp.dir/sparse/csr_mat.cpp.o.d"
+  "/root/repo/src/sparse/dcsc_mat.cpp" "src/CMakeFiles/casp.dir/sparse/dcsc_mat.cpp.o" "gcc" "src/CMakeFiles/casp.dir/sparse/dcsc_mat.cpp.o.d"
+  "/root/repo/src/sparse/mm_io.cpp" "src/CMakeFiles/casp.dir/sparse/mm_io.cpp.o" "gcc" "src/CMakeFiles/casp.dir/sparse/mm_io.cpp.o.d"
+  "/root/repo/src/sparse/serialize.cpp" "src/CMakeFiles/casp.dir/sparse/serialize.cpp.o" "gcc" "src/CMakeFiles/casp.dir/sparse/serialize.cpp.o.d"
+  "/root/repo/src/sparse/stats.cpp" "src/CMakeFiles/casp.dir/sparse/stats.cpp.o" "gcc" "src/CMakeFiles/casp.dir/sparse/stats.cpp.o.d"
+  "/root/repo/src/sparse/triple_mat.cpp" "src/CMakeFiles/casp.dir/sparse/triple_mat.cpp.o" "gcc" "src/CMakeFiles/casp.dir/sparse/triple_mat.cpp.o.d"
+  "/root/repo/src/summa/batched.cpp" "src/CMakeFiles/casp.dir/summa/batched.cpp.o" "gcc" "src/CMakeFiles/casp.dir/summa/batched.cpp.o.d"
+  "/root/repo/src/summa/summa2d.cpp" "src/CMakeFiles/casp.dir/summa/summa2d.cpp.o" "gcc" "src/CMakeFiles/casp.dir/summa/summa2d.cpp.o.d"
+  "/root/repo/src/summa/summa3d.cpp" "src/CMakeFiles/casp.dir/summa/summa3d.cpp.o" "gcc" "src/CMakeFiles/casp.dir/summa/summa3d.cpp.o.d"
+  "/root/repo/src/summa/symbolic3d.cpp" "src/CMakeFiles/casp.dir/summa/symbolic3d.cpp.o" "gcc" "src/CMakeFiles/casp.dir/summa/symbolic3d.cpp.o.d"
+  "/root/repo/src/vmpi/comm.cpp" "src/CMakeFiles/casp.dir/vmpi/comm.cpp.o" "gcc" "src/CMakeFiles/casp.dir/vmpi/comm.cpp.o.d"
+  "/root/repo/src/vmpi/runtime.cpp" "src/CMakeFiles/casp.dir/vmpi/runtime.cpp.o" "gcc" "src/CMakeFiles/casp.dir/vmpi/runtime.cpp.o.d"
+  "/root/repo/src/vmpi/traffic.cpp" "src/CMakeFiles/casp.dir/vmpi/traffic.cpp.o" "gcc" "src/CMakeFiles/casp.dir/vmpi/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for casp.
+# This may be replaced when dependencies are built.

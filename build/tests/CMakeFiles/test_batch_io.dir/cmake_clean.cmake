@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_io.dir/apps/test_batch_io.cpp.o"
+  "CMakeFiles/test_batch_io.dir/apps/test_batch_io.cpp.o.d"
+  "test_batch_io"
+  "test_batch_io.pdb"
+  "test_batch_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batched.dir/summa/test_batched.cpp.o"
+  "CMakeFiles/test_batched.dir/summa/test_batched.cpp.o.d"
+  "test_batched"
+  "test_batched.pdb"
+  "test_batched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

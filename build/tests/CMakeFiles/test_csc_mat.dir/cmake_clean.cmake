@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csc_mat.dir/sparse/test_csc_mat.cpp.o"
+  "CMakeFiles/test_csc_mat.dir/sparse/test_csc_mat.cpp.o.d"
+  "test_csc_mat"
+  "test_csc_mat.pdb"
+  "test_csc_mat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csc_mat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csr_mat.dir/sparse/test_csr_mat.cpp.o"
+  "CMakeFiles/test_csr_mat.dir/sparse/test_csr_mat.cpp.o.d"
+  "test_csr_mat"
+  "test_csr_mat.pdb"
+  "test_csr_mat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csr_mat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcsc_mat.dir/sparse/test_dcsc_mat.cpp.o"
+  "CMakeFiles/test_dcsc_mat.dir/sparse/test_dcsc_mat.cpp.o.d"
+  "test_dcsc_mat"
+  "test_dcsc_mat.pdb"
+  "test_dcsc_mat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcsc_mat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

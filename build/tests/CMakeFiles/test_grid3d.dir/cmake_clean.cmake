@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid3d.dir/grid/test_grid3d.cpp.o"
+  "CMakeFiles/test_grid3d.dir/grid/test_grid3d.cpp.o.d"
+  "test_grid3d"
+  "test_grid3d.pdb"
+  "test_grid3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

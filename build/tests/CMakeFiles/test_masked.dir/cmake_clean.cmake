@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_masked.dir/kernels/test_masked.cpp.o"
+  "CMakeFiles/test_masked.dir/kernels/test_masked.cpp.o.d"
+  "test_masked"
+  "test_masked.pdb"
+  "test_masked[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_masked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

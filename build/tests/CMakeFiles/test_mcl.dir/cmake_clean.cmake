@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcl.dir/apps/test_mcl.cpp.o"
+  "CMakeFiles/test_mcl.dir/apps/test_mcl.cpp.o.d"
+  "test_mcl"
+  "test_mcl.pdb"
+  "test_mcl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_options.dir/summa/test_pipeline_options.cpp.o"
+  "CMakeFiles/test_pipeline_options.dir/summa/test_pipeline_options.cpp.o.d"
+  "test_pipeline_options"
+  "test_pipeline_options.pdb"
+  "test_pipeline_options[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summa2d.dir/summa/test_summa2d.cpp.o"
+  "CMakeFiles/test_summa2d.dir/summa/test_summa2d.cpp.o.d"
+  "test_summa2d"
+  "test_summa2d.pdb"
+  "test_summa2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summa2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summa3d.dir/summa/test_summa3d.cpp.o"
+  "CMakeFiles/test_summa3d.dir/summa/test_summa3d.cpp.o.d"
+  "test_summa3d"
+  "test_summa3d.pdb"
+  "test_summa3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summa3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symbolic3d.dir/summa/test_symbolic3d.cpp.o"
+  "CMakeFiles/test_symbolic3d.dir/summa/test_symbolic3d.cpp.o.d"
+  "test_symbolic3d"
+  "test_symbolic3d.pdb"
+  "test_symbolic3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symbolic3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

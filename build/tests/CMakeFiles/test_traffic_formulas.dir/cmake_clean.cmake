@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic_formulas.dir/summa/test_traffic_formulas.cpp.o"
+  "CMakeFiles/test_traffic_formulas.dir/summa/test_traffic_formulas.cpp.o.d"
+  "test_traffic_formulas"
+  "test_traffic_formulas.pdb"
+  "test_traffic_formulas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic_formulas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triple_mat.dir/sparse/test_triple_mat.cpp.o"
+  "CMakeFiles/test_triple_mat.dir/sparse/test_triple_mat.cpp.o.d"
+  "test_triple_mat"
+  "test_triple_mat.pdb"
+  "test_triple_mat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triple_mat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcl.dir/mcl_cli.cpp.o"
+  "CMakeFiles/mcl.dir/mcl_cli.cpp.o.d"
+  "mcl"
+  "mcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
