@@ -1,11 +1,11 @@
 #include "bench_util.hpp"
 
 #include <algorithm>
-
-#include "common/error.hpp"
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+
+#include "common/error.hpp"
 
 namespace casp::bench {
 

@@ -1,0 +1,66 @@
+# Sanitizer build modes for the whole tree.
+#
+# CASP_SANITIZE is a comma- or semicolon-separated list of sanitizers:
+#   off        (default) no instrumentation
+#   thread     ThreadSanitizer — the mode that matters most here, since the
+#              vmpi runtime backs every "rank" with a std::thread
+#   address    AddressSanitizer (+ leak detection where supported)
+#   undefined  UndefinedBehaviorSanitizer, non-recovering so CTest sees
+#              failures as failures
+# address+undefined may be combined; thread is incompatible with address.
+# Flags are applied globally (add_compile_options/add_link_options) so every
+# target — library, tests, benches, examples — is instrumented consistently.
+#
+# Runtime suppressions for ThreadSanitizer live in tools/tsan.supp; the test
+# harness points TSAN_OPTIONS at it automatically (see tests/CMakeLists.txt).
+
+set(CASP_SANITIZE "off" CACHE STRING
+    "Sanitizer mode: off, thread, address, undefined (address,undefined combinable)")
+
+set(CASP_SANITIZE_ACTIVE FALSE)
+set(CASP_SANITIZE_THREAD FALSE)
+
+function(_casp_apply_sanitizers)
+  string(REPLACE "," ";" _modes "${CASP_SANITIZE}")
+  set(_flags "")
+  set(_has_thread FALSE)
+  set(_has_address FALSE)
+  foreach(_mode IN LISTS _modes)
+    string(STRIP "${_mode}" _mode)
+    if(_mode STREQUAL "" OR _mode STREQUAL "off" OR _mode STREQUAL "OFF")
+      continue()
+    elseif(_mode STREQUAL "thread")
+      list(APPEND _flags -fsanitize=thread)
+      set(_has_thread TRUE)
+    elseif(_mode STREQUAL "address")
+      list(APPEND _flags -fsanitize=address)
+      set(_has_address TRUE)
+    elseif(_mode STREQUAL "undefined")
+      list(APPEND _flags -fsanitize=undefined -fno-sanitize-recover=all)
+    else()
+      message(FATAL_ERROR
+        "CASP_SANITIZE: unknown mode '${_mode}' (expected off|thread|address|undefined)")
+    endif()
+  endforeach()
+
+  if(_has_thread AND _has_address)
+    message(FATAL_ERROR "CASP_SANITIZE: thread and address cannot be combined")
+  endif()
+  if(NOT _flags)
+    return()
+  endif()
+
+  list(REMOVE_DUPLICATES _flags)
+  # Frame pointers + debug info make sanitizer reports readable even in
+  # optimized builds.
+  list(APPEND _flags -fno-omit-frame-pointer -g)
+  add_compile_options(${_flags})
+  add_link_options(${_flags})
+  set(CASP_SANITIZE_ACTIVE TRUE PARENT_SCOPE)
+  if(_has_thread)
+    set(CASP_SANITIZE_THREAD TRUE PARENT_SCOPE)
+  endif()
+  message(STATUS "casp: sanitizers enabled (${CASP_SANITIZE})")
+endfunction()
+
+_casp_apply_sanitizers()

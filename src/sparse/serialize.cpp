@@ -15,6 +15,7 @@ struct Header {
 
 template <typename T>
 void append(std::vector<std::byte>& buf, const T* data, std::size_t count) {
+  static_assert(std::is_trivially_copyable_v<T>);
   if (count == 0) return;
   const auto* p = reinterpret_cast<const std::byte*>(data);
   buf.insert(buf.end(), p, p + count * sizeof(T));

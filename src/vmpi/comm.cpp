@@ -1,6 +1,7 @@
 #include "vmpi/comm.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 namespace casp::vmpi {
 
@@ -30,6 +31,15 @@ Message Mailbox::pop(std::uint64_t context, int src_world, int tag) {
   }
 }
 
+bool Mailbox::has_match(std::uint64_t context, int src_world, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Message& m : queue_) {
+    if (m.context == context && m.src_world == src_world && m.tag == tag)
+      return true;
+  }
+  return false;
+}
+
 void Mailbox::abort_all() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -38,7 +48,83 @@ void Mailbox::abort_all() {
   cv_.notify_all();
 }
 
+#ifdef CASP_VMPI_CHECK
+std::vector<LeftoverCollective> Mailbox::stamped_leftovers() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<LeftoverCollective> out;
+  for (const Message& m : queue_) {
+    if (m.stamp.op == CollectiveOp::kNone) continue;
+    LeftoverCollective l;
+    l.src_world = m.src_world;
+    l.tag = m.tag;
+    l.stamp = m.stamp;
+    out.push_back(l);
+  }
+  return out;
+}
+#endif
+
 }  // namespace detail
+
+#ifdef CASP_VMPI_CHECK
+CollectiveScope::CollectiveScope(Comm& comm, CollectiveOp op, int root,
+                                 std::uint64_t payload)
+    : comm_(comm), saved_(comm.current_collective_) {
+  CollectiveStamp stamp;
+  stamp.op = op;
+  stamp.seq = ++comm.collective_seq_;
+  stamp.root = root;
+  stamp.payload = payload;
+  comm.current_collective_ = stamp;
+  const int my_world =
+      comm.members_[static_cast<std::size_t>(comm.rank_)];
+  detail::RankStatus& st =
+      comm.world_->status[static_cast<std::size_t>(my_world)];
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.current = stamp;
+  st.history[st.history_count % st.history.size()] = stamp;
+  ++st.history_count;
+}
+
+CollectiveScope::~CollectiveScope() {
+  comm_.current_collective_ = saved_;
+  const int my_world =
+      comm_.members_[static_cast<std::size_t>(comm_.rank_)];
+  detail::RankStatus& st =
+      comm_.world_->status[static_cast<std::size_t>(my_world)];
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.current = saved_;
+}
+
+void Comm::verify_collective_stamp(const detail::Message& msg, int src) {
+  const CollectiveStamp& mine = current_collective_;
+  const CollectiveStamp& theirs = msg.stamp;
+  // Plain point-to-point traffic on either side is outside the checker's
+  // jurisdiction (tags already isolate it from collective traffic).
+  if (mine.op == CollectiveOp::kNone || theirs.op == CollectiveOp::kNone)
+    return;
+  const int my_world = members_[static_cast<std::size_t>(rank_)];
+  const int src_world = members_[static_cast<std::size_t>(src)];
+  if (theirs.op != mine.op || theirs.seq != mine.seq ||
+      theirs.root != mine.root) {
+    std::ostringstream os;
+    os << "vmpi collective mismatch on communicator 0x" << std::hex
+       << context_ << std::dec << ": rank " << my_world << " executing "
+       << describe_stamp(mine) << " received a message rank " << src_world
+       << " sent inside " << describe_stamp(theirs)
+       << " — ranks disagree on collective order";
+    throw CollectiveMismatch(os.str());
+  }
+  if (mine.op == CollectiveOp::kReduce && theirs.payload != mine.payload) {
+    std::ostringstream os;
+    os << "vmpi collective mismatch: allreduce length divergence in "
+       << describe_stamp(mine) << " — rank " << my_world << " contributed "
+       << mine.payload << " bytes but rank " << src_world << " contributed "
+       << theirs.payload << " bytes";
+    throw CollectiveMismatch(os.str());
+  }
+}
+#endif
 
 Comm::Comm(std::shared_ptr<detail::World> world, int world_rank, int size)
     : world_(std::move(world)),
@@ -68,20 +154,54 @@ void Comm::send_bytes(int dest, int tag, const std::byte* data,
   msg.src_world = members_[static_cast<std::size_t>(rank_)];
   msg.tag = tag;
   msg.payload.assign(data, data + size);
+#ifdef CASP_VMPI_CHECK
+  msg.stamp = current_collective_;
+#endif
   world_->mailboxes[static_cast<std::size_t>(members_[static_cast<std::size_t>(dest)])]
       .push(std::move(msg));
+  world_->progress.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   CASP_CHECK_MSG(src >= 0 && src < size_, "recv from invalid rank " << src);
   const int my_world = members_[static_cast<std::size_t>(rank_)];
-  detail::Message msg =
-      world_->mailboxes[static_cast<std::size_t>(my_world)].pop(
-          context_, members_[static_cast<std::size_t>(src)], tag);
+  const int src_world = members_[static_cast<std::size_t>(src)];
+  // Publish what we are about to block on so the deadlock watchdog can tell
+  // a stuck job from a busy one (and say who waits for whom).
+  detail::RankStatus& st =
+      world_->status[static_cast<std::size_t>(my_world)];
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    st.blocked = true;
+    st.wait_context = context_;
+    st.wait_src_world = src_world;
+    st.wait_tag = tag;
+  }
+  world_->blocked.fetch_add(1, std::memory_order_relaxed);
+  detail::Message msg;
+  try {
+    msg = world_->mailboxes[static_cast<std::size_t>(my_world)].pop(
+        context_, src_world, tag);
+  } catch (...) {
+    world_->blocked.fetch_sub(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(st.mutex);
+    st.blocked = false;
+    throw;
+  }
+  world_->blocked.fetch_sub(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    st.blocked = false;
+  }
+  world_->progress.fetch_add(1, std::memory_order_relaxed);
+#ifdef CASP_VMPI_CHECK
+  verify_collective_stamp(msg, src);
+#endif
   return std::move(msg.payload);
 }
 
 void Comm::barrier() {
+  CASP_VMPI_COLLECTIVE(CollectiveOp::kBarrier, -1, 0);
   // Dissemination barrier: after round k every rank has (transitively)
   // heard from 2^(k+1) predecessors; ceil(lg p) rounds total.
   for (int k = 1; k < size_; k <<= 1) {
@@ -96,6 +216,7 @@ std::vector<std::byte> Comm::bcast_bytes(int root,
                                          std::vector<std::byte> data) {
   CASP_CHECK(root >= 0 && root < size_);
   if (size_ == 1) return data;
+  CASP_VMPI_COLLECTIVE(CollectiveOp::kBcast, root, 0);
   const int relative = (rank_ - root + size_) % size_;
   int mask = 1;
   while (mask < size_) {
@@ -122,12 +243,15 @@ std::vector<std::vector<std::byte>> Comm::allgather_bytes(
     std::vector<std::byte> mine) {
   std::vector<std::vector<std::byte>> gathered(
       static_cast<std::size_t>(size_));
-  if (rank_ == 0) {
-    gathered[0] = std::move(mine);
-    for (int r = 1; r < size_; ++r)
-      gathered[static_cast<std::size_t>(r)] = recv_bytes(r, kGatherTag);
-  } else {
-    send_bytes(0, kGatherTag, mine.data(), mine.size());
+  {
+    CASP_VMPI_COLLECTIVE(CollectiveOp::kAllgather, 0, 0);
+    if (rank_ == 0) {
+      gathered[0] = std::move(mine);
+      for (int r = 1; r < size_; ++r)
+        gathered[static_cast<std::size_t>(r)] = recv_bytes(r, kGatherTag);
+    } else {
+      send_bytes(0, kGatherTag, mine.data(), mine.size());
+    }
   }
   // Broadcast the concatenation with a length header.
   std::vector<std::byte> packed;
@@ -137,6 +261,7 @@ std::vector<std::vector<std::byte>> Comm::allgather_bytes(
     packed.reserve(total);
     for (const auto& buf : gathered) {
       const std::uint64_t len = buf.size();
+      static_assert(std::is_trivially_copyable_v<std::uint64_t>);
       const auto* lenp = reinterpret_cast<const std::byte*>(&len);
       packed.insert(packed.end(), lenp, lenp + sizeof(len));
       packed.insert(packed.end(), buf.begin(), buf.end());
@@ -162,6 +287,7 @@ std::vector<std::vector<std::byte>> Comm::alltoall_bytes(
     std::vector<std::vector<std::byte>> buffers) {
   CASP_CHECK_MSG(static_cast<int>(buffers.size()) == size_,
                  "alltoall: need exactly one buffer per rank");
+  CASP_VMPI_COLLECTIVE(CollectiveOp::kAlltoall, -1, 0);
   std::vector<std::vector<std::byte>> received(
       static_cast<std::size_t>(size_));
   received[static_cast<std::size_t>(rank_)] =
@@ -188,7 +314,11 @@ Comm Comm::split(int color, int key) {
     int parent_rank;
   };
   const Entry mine{color, key, rank_};
-  const std::vector<Entry> all = allgather_value(mine);
+  std::vector<Entry> all;
+  {
+    CASP_VMPI_COLLECTIVE(CollectiveOp::kSplit, -1, 0);
+    all = allgather_value(mine);
+  }
 
   std::vector<Entry> group;
   for (const Entry& e : all)

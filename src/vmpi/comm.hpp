@@ -7,10 +7,19 @@
 // barrier, pairwise all-to-all), so message counts match the latency terms
 // in the paper's Table II. Communicator splitting mirrors MPI_Comm_split,
 // giving SUMMA its row / column / fiber / layer communicators.
+//
+// When compiled with CASP_VMPI_CHECK (the default; sanitizer builds force
+// it on), every collective stamps an (op, seq, root, payload) fingerprint
+// into the message header — see check.hpp — so mismatched collective order,
+// mismatched roots and divergent allreduce lengths abort the job with a
+// per-rank diagnostic instead of deadlocking or corrupting results.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
@@ -21,6 +30,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
+#include "vmpi/check.hpp"
 #include "vmpi/traffic.hpp"
 
 namespace casp::vmpi {
@@ -39,7 +49,23 @@ struct Message {
   int src_world;  ///< sender's world rank
   int tag;
   std::vector<std::byte> payload;
+#ifdef CASP_VMPI_CHECK
+  /// Fingerprint of the collective the sender was executing (op == kNone
+  /// for plain point-to-point traffic).
+  CollectiveStamp stamp;
+#endif
 };
+
+#ifdef CASP_VMPI_CHECK
+/// A stamped message still sitting in a mailbox at job end — evidence that
+/// ranks disagreed on a collective's shape (e.g. two ranks both believing
+/// they were the bcast root).
+struct LeftoverCollective {
+  int src_world = -1;
+  int tag = 0;
+  CollectiveStamp stamp;
+};
+#endif
 
 /// One per world rank: MPSC mailbox with (context, src, tag) matching.
 class Mailbox {
@@ -47,7 +73,14 @@ class Mailbox {
   void push(Message msg);
   /// Blocks until a matching message arrives or the job aborts.
   Message pop(std::uint64_t context, int src_world, int tag);
+  /// True if a queued message matches (context, src, tag). Used by the
+  /// deadlock watchdog to distinguish "blocked but about to wake" from
+  /// "blocked forever".
+  bool has_match(std::uint64_t context, int src_world, int tag);
   void abort_all();
+#ifdef CASP_VMPI_CHECK
+  std::vector<LeftoverCollective> stamped_leftovers();
+#endif
 
  private:
   std::mutex mutex_;
@@ -56,16 +89,69 @@ class Mailbox {
   bool aborted_ = false;
 };
 
-/// Shared state of a virtual job: p mailboxes + abort flag.
+/// Watchdog-visible status of one rank: whether it is blocked in a receive
+/// (and on what), whether its thread finished, and — under CASP_VMPI_CHECK —
+/// which collective it is inside plus a ring of recent collective entries
+/// (the per-rank "collective backtrace" dumped on deadlock).
+struct RankStatus {
+  std::mutex mutex;
+  bool blocked = false;
+  bool finished = false;
+  std::uint64_t wait_context = 0;
+  int wait_src_world = -1;
+  int wait_tag = 0;
+#ifdef CASP_VMPI_CHECK
+  CollectiveStamp current;
+  std::array<CollectiveStamp, 8> history{};
+  std::uint64_t history_count = 0;
+#endif
+};
+
+/// Shared state of a virtual job: p mailboxes + per-rank status + abort flag.
 struct World {
-  explicit World(int size) : mailboxes(static_cast<std::size_t>(size)) {}
+  explicit World(int size)
+      : mailboxes(static_cast<std::size_t>(size)),
+        status(static_cast<std::size_t>(size)) {}
   std::vector<Mailbox> mailboxes;
+  std::vector<RankStatus> status;
+  /// Bumped on every delivery (push or successful pop); the watchdog only
+  /// trusts an all-blocked sample when this is stable across samples.
+  std::atomic<std::uint64_t> progress{0};
+  std::atomic<int> blocked{0};
+  std::atomic<int> finished{0};
   void abort_all() {
     for (Mailbox& m : mailboxes) m.abort_all();
   }
 };
 
 }  // namespace detail
+
+#ifdef CASP_VMPI_CHECK
+/// RAII guard marking "this rank is inside collective X on this
+/// communicator". Every entry gets the next per-communicator sequence
+/// number; nested entries (the broadcast inside allreduce, the allgather
+/// inside split) save and restore the enclosing stamp so send/recv always
+/// see the innermost collective.
+class CollectiveScope {
+ public:
+  CollectiveScope(class Comm& comm, CollectiveOp op, int root,
+                  std::uint64_t payload);
+  ~CollectiveScope();
+  CollectiveScope(const CollectiveScope&) = delete;
+  CollectiveScope& operator=(const CollectiveScope&) = delete;
+
+ private:
+  class Comm& comm_;
+  CollectiveStamp saved_;
+};
+
+#define CASP_VMPI_COLLECTIVE(op, root, payload) \
+  ::casp::vmpi::CollectiveScope casp_collective_scope_ { *this, op, root, payload }
+#else
+#define CASP_VMPI_COLLECTIVE(op, root, payload) \
+  do {                                          \
+  } while (0)
+#endif
 
 /// Per-rank communicator handle. Not thread-safe; each rank owns its own.
 class Comm {
@@ -146,7 +232,13 @@ class Comm {
   template <typename T>
   std::vector<T> allreduce(std::vector<T> data,
                            const std::function<T(T, T)>& op) {
-    std::vector<T> reduced = reduce_to_root(std::move(data), op);
+    std::vector<T> reduced;
+    {
+      CASP_VMPI_COLLECTIVE(
+          CollectiveOp::kReduce, 0,
+          static_cast<std::uint64_t>(data.size() * sizeof(T)));
+      reduced = reduce_to_root(std::move(data), op);
+    }
     return bcast_vec<T>(0, std::move(reduced));
   }
 
@@ -228,6 +320,13 @@ class Comm {
   Comm(std::shared_ptr<detail::World> world, std::uint64_t context,
        std::vector<int> members, int my_pos);
 
+#ifdef CASP_VMPI_CHECK
+  friend class CollectiveScope;
+  /// Abort with a CollectiveMismatch if `msg` carries a collective stamp
+  /// that disagrees with the collective this rank is currently inside.
+  void verify_collective_stamp(const detail::Message& msg, int src);
+#endif
+
   static constexpr int kReduceTag = -101;
   static constexpr int kBcastTag = -102;
   static constexpr int kBarrierTag = -103;
@@ -241,6 +340,10 @@ class Comm {
   int rank_;
   int size_;
   std::uint64_t split_counter_ = 0;
+#ifdef CASP_VMPI_CHECK
+  CollectiveStamp current_collective_;
+  std::uint64_t collective_seq_ = 0;
+#endif
   // Shared across all Comm objects of this rank so phase labels and timings
   // aggregate rank-wide (a split communicator inherits its parent's ledger).
   std::shared_ptr<TrafficStats> traffic_;

@@ -1,8 +1,12 @@
 #include "vmpi/runtime.hpp"
 
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <thread>
 
 #include "common/error.hpp"
@@ -35,6 +39,63 @@ std::vector<std::string> RunResult::time_names() const {
   return {names.begin(), names.end()};
 }
 
+namespace {
+
+/// Watchdog sampling period. 0 disables the watchdog entirely; tests that
+/// provoke deadlocks on purpose dial it down to fail fast.
+int watchdog_interval_ms() {
+  if (const char* s = std::getenv("CASP_VMPI_WATCHDOG_MS")) {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    // Malformed or trailing-garbage values must not silently disable the
+    // watchdog (atoi("abc") == 0 would): fall through to the default.
+    if (end != s && *end == '\0' && v >= 0 && v <= 1000000) {
+      return static_cast<int>(v);
+    }
+  }
+  return 100;
+}
+
+/// Per-rank dump of who waits for whom (and, with the checker compiled in,
+/// which collective each rank is inside plus its recent collective history).
+std::string build_deadlock_report(detail::World& world, int size) {
+  std::ostringstream os;
+  os << "vmpi deadlock detected: every live rank is blocked and no queued "
+        "message matches any pending receive\n";
+  for (int r = 0; r < size; ++r) {
+    detail::RankStatus& st = world.status[static_cast<std::size_t>(r)];
+    std::lock_guard<std::mutex> lock(st.mutex);
+    os << "  rank " << r << ": ";
+    if (st.blocked) {
+      os << "waiting for a message from rank " << st.wait_src_world
+         << " (tag " << st.wait_tag << ", context 0x" << std::hex
+         << st.wait_context << std::dec << ")";
+#ifdef CASP_VMPI_CHECK
+      if (st.current.op != CollectiveOp::kNone)
+        os << " inside " << describe_stamp(st.current);
+#endif
+    } else {
+      os << (st.finished ? "finished" : "running");
+    }
+#ifdef CASP_VMPI_CHECK
+    if (st.history_count > 0) {
+      os << "; recent collectives (newest first):";
+      const std::uint64_t depth =
+          std::min<std::uint64_t>(st.history_count, st.history.size());
+      for (std::uint64_t i = 0; i < depth; ++i) {
+        const std::uint64_t idx =
+            (st.history_count - 1 - i) % st.history.size();
+        os << (i == 0 ? " " : " <- ") << describe_stamp(st.history[idx]);
+      }
+    }
+#endif
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
 RunResult run(int size, const std::function<void(Comm&)>& body) {
   CASP_CHECK_MSG(size >= 1, "virtual job needs at least one rank");
   auto world = std::make_shared<detail::World>(size);
@@ -65,14 +126,108 @@ RunResult run(int size, const std::function<void(Comm&)>& body) {
         }
         world->abort_all();
       }
+      world->finished.fetch_add(1, std::memory_order_relaxed);
+      {
+        detail::RankStatus& st = world->status[static_cast<std::size_t>(r)];
+        std::lock_guard<std::mutex> lock(st.mutex);
+        st.finished = true;
+      }
       result.traffic[static_cast<std::size_t>(r)] = comm.traffic();
       result.times[static_cast<std::size_t>(r)] = comm.times();
     });
   }
+
+  // Deadlock watchdog: a stalled virtual job has every live rank inside
+  // Mailbox::pop with no deliverable message — once true it stays true, so
+  // sampling is sound. Two consecutive quiet samples (no delivery between
+  // them) plus an exact queue scan rule out the in-flight wakeup race.
+  const int interval_ms = watchdog_interval_ms();
+  std::mutex wd_mutex;
+  std::condition_variable wd_cv;
+  bool wd_stop = false;
+  std::thread watchdog;
+  if (interval_ms > 0) {
+    watchdog = std::thread([&]() {
+      std::uint64_t last_progress = ~std::uint64_t{0};
+      int quiet_samples = 0;
+      std::unique_lock<std::mutex> lk(wd_mutex);
+      while (!wd_stop) {
+        wd_cv.wait_for(lk, std::chrono::milliseconds(interval_ms));
+        if (wd_stop) break;
+        const int blocked = world->blocked.load(std::memory_order_relaxed);
+        const int finished = world->finished.load(std::memory_order_relaxed);
+        const std::uint64_t progress =
+            world->progress.load(std::memory_order_relaxed);
+        if (blocked == 0 || blocked + finished != size ||
+            progress != last_progress) {
+          last_progress = progress;
+          quiet_samples = 0;
+          continue;
+        }
+        bool live = false;  // a match exists or a rank moved under us
+        for (int r = 0; r < size && !live; ++r) {
+          detail::RankStatus& st =
+              world->status[static_cast<std::size_t>(r)];
+          std::lock_guard<std::mutex> slock(st.mutex);
+          if (st.finished) continue;
+          if (!st.blocked) {
+            live = true;
+            break;
+          }
+          live = world->mailboxes[static_cast<std::size_t>(r)].has_match(
+              st.wait_context, st.wait_src_world, st.wait_tag);
+        }
+        if (live) {
+          quiet_samples = 0;
+          continue;
+        }
+        if (++quiet_samples < 2) continue;
+        const std::string report = build_deadlock_report(*world, size);
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error)
+            first_error = std::make_exception_ptr(DeadlockDetected(report));
+        }
+        world->abort_all();
+        break;
+      }
+    });
+  }
+
   for (std::thread& t : threads) t.join();
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wd_mutex);
+      wd_stop = true;
+    }
+    wd_cv.notify_all();
+    watchdog.join();
+  }
   result.wall_seconds = watch.seconds();
 
   if (first_error) std::rethrow_exception(first_error);
+
+#ifdef CASP_VMPI_CHECK
+  // A clean job must leave no collective traffic behind: a stamped message
+  // still queued means some rank sent inside a collective its peer never
+  // entered (e.g. two ranks both believing they were the bcast root) —
+  // silent divergence that produced no mismatch and no deadlock.
+  std::ostringstream leak;
+  bool leaked = false;
+  for (int r = 0; r < size; ++r) {
+    for (const detail::LeftoverCollective& l :
+         world->mailboxes[static_cast<std::size_t>(r)].stamped_leftovers()) {
+      leak << "  rank " << r << " never received " << describe_stamp(l.stamp)
+           << " sent by rank " << l.src_world << " (tag " << l.tag << ")\n";
+      leaked = true;
+    }
+  }
+  if (leaked)
+    throw CollectiveMismatch(
+        "vmpi collective traffic left unconsumed at job end — ranks "
+        "disagree on a collective's shape:\n" +
+        leak.str());
+#endif
   return result;
 }
 

@@ -3,8 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
-#include "kernels/reference.hpp"
 #include "kernels/merge.hpp"
+#include "kernels/reference.hpp"
 #include "kernels/spgemm.hpp"
 #include "sparse/serialize.hpp"
 #include "test_util.hpp"

@@ -1,0 +1,84 @@
+// Regression coverage for Comm::allreduce across communicator sizes 1–9:
+// the binomial reduce tree takes a different shape at every size (straggler
+// ranks above the largest power of two fold in at different rounds), so
+// sum/max/min and multi-element vectors are checked against a serially
+// computed reference at every size, not just powers of two.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "vmpi/runtime.hpp"
+
+namespace casp::vmpi {
+namespace {
+
+class AllreduceSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllreduceSizes, ScalarSumMaxMinMatchSerialReference) {
+  const int p = GetParam();
+  // Serial reference over the exact per-rank contributions.
+  std::int64_t ref_sum = 0, ref_max = INT64_MIN, ref_min = INT64_MAX;
+  for (int r = 0; r < p; ++r) {
+    const std::int64_t v = 7 * r - 3;  // negative and positive values
+    ref_sum += v;
+    ref_max = std::max(ref_max, v);
+    ref_min = std::min(ref_min, v);
+  }
+  run(p, [&](Comm& comm) {
+    const std::int64_t mine = 7 * comm.rank() - 3;
+    EXPECT_EQ(comm.allreduce_sum<std::int64_t>(mine), ref_sum);
+    EXPECT_EQ(comm.allreduce_max<std::int64_t>(mine), ref_max);
+    EXPECT_EQ(comm.allreduce_min<std::int64_t>(mine), ref_min);
+  });
+}
+
+TEST_P(AllreduceSizes, VectorLengthsAboveOneReduceElementwise) {
+  const int p = GetParam();
+  const std::size_t len = 5;
+  std::vector<std::int64_t> ref_sum(len, 0);
+  std::vector<std::int64_t> ref_min(len, INT64_MAX);
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::int64_t v =
+          static_cast<std::int64_t>(i + 1) * (r - 2);  // mixed signs
+      ref_sum[i] += v;
+      ref_min[i] = std::min(ref_min[i], v);
+    }
+  }
+  run(p, [&](Comm& comm) {
+    std::vector<std::int64_t> mine(len);
+    for (std::size_t i = 0; i < len; ++i)
+      mine[i] = static_cast<std::int64_t>(i + 1) * (comm.rank() - 2);
+    const auto sum = comm.allreduce<std::int64_t>(
+        std::vector<std::int64_t>(mine),
+        [](std::int64_t a, std::int64_t b) { return a + b; });
+    const auto mn = comm.allreduce<std::int64_t>(
+        std::vector<std::int64_t>(mine),
+        [](std::int64_t a, std::int64_t b) { return std::min(a, b); });
+    EXPECT_EQ(sum, ref_sum);
+    EXPECT_EQ(mn, ref_min);
+  });
+}
+
+TEST_P(AllreduceSizes, RepeatedRoundsStayConsistentOnSplitChildren) {
+  // The same tree shapes must hold on split communicators whose world
+  // ranks are non-contiguous (child rank != world rank).
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  run(p, [p](Comm& comm) {
+    Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    std::int64_t ref = 0;
+    for (int r = comm.rank() % 2; r < p; r += 2) ref += 100 + r;
+    for (int round = 0; round < 3; ++round) {
+      EXPECT_EQ(sub.allreduce_sum<std::int64_t>(100 + comm.rank()), ref);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(OneThroughNine, AllreduceSizes,
+                         ::testing::Range(1, 10));
+
+}  // namespace
+}  // namespace casp::vmpi

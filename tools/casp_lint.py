@@ -1,0 +1,309 @@
+#!/usr/bin/env python3
+"""casp_lint — static enforcement of repo-wide C++ invariants.
+
+The compiler cannot see these rules and clang-tidy is not guaranteed to be
+installed in the reference environment, so this gate runs as a tier-1 CTest
+test (see tests/CMakeLists.txt). Rules:
+
+  new-delete      No `new` / `delete` expressions anywhere. The codebase owns
+                  memory exclusively through containers and RAII; placement
+                  new (`new (addr) T`) is permitted for arena-style code.
+  threading       No std::thread / raw mutex / condition_variable outside
+                  src/vmpi/. All parallelism must flow through the virtual
+                  runtime so the CollectiveChecker and deadlock watchdog see
+                  every interaction. (Applies to src/; tests may coordinate
+                  with rank threads directly.)
+  cast-pairing    Every `reinterpret_cast` must be paired with a
+                  `static_assert(std::is_trivially_copyable_v<...>)` in the
+                  same scope (heuristic: within the preceding 40 lines) —
+                  byte-punning a non-trivially-copyable type through the
+                  mailbox is undefined behavior the sanitizers can miss.
+  pragma-once     Every header's first non-comment line is `#pragma once`.
+  include-order   Within a contiguous `#include` block, system includes
+                  (<...>) precede project includes ("..."), and each group
+                  is lexicographically sorted.
+
+Waivers (use sparingly, justify in a comment on the same line):
+  // casp-lint: allow(<rule>)        — waives <rule> on this or next line
+  // casp-lint: allow-file(<rule>)   — waives <rule> for the whole file
+                                       (must appear in the first 40 lines)
+
+Exit status is nonzero if any violation is found.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CXX_DIRS = ("src", "tools", "tests", "bench", "examples")
+CXX_EXTS = (".hpp", ".cpp")
+
+ALLOW_LINE_RE = re.compile(r"casp-lint:\s*allow\(([a-z-]+)\)")
+ALLOW_FILE_RE = re.compile(r"casp-lint:\s*allow-file\(([a-z-]+)\)")
+
+THREADING_TOKENS = re.compile(
+    r"std::(thread|jthread|mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"condition_variable|condition_variable_any|lock_guard|unique_lock|"
+    r"scoped_lock|shared_lock)\b"
+)
+
+# `new` expressions: allow placement new `new (addr) T`, flag the rest.
+NEW_RE = re.compile(r"\bnew\b(?!\s*\()")
+# `delete` expressions: `delete p` / `delete[] p`. Deleted functions
+# (`= delete`) and `operator delete` are filtered by context.
+DELETE_RE = re.compile(r"\bdelete\b")
+DELETE_OK_BEFORE = re.compile(r"(=\s*|operator\s*)$")
+
+REINTERPRET_RE = re.compile(r"\breinterpret_cast\b")
+TRIVIAL_RE = re.compile(r"is_trivially_copyable")
+CAST_SCOPE_LINES = 40
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"][^>"]+[>"])')
+
+
+def strip_code(text: str) -> str:
+    """Blank out comments, string and char literals, preserving line
+    structure, so token scans don't trip on prose or paths."""
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "R" and nxt == '"':
+                m = re.match(r'R"([^(\s]*)\(', text[i:])
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    mode = "raw"
+                    out.append(" " * m.end())
+                    i += m.end()
+                    continue
+            if c == '"':
+                mode = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif mode == "line_comment":
+            if c == "\n":
+                mode = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block_comment":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif mode == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                mode = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif mode == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                mode = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif mode == "raw":
+            if text.startswith(raw_delim, i):
+                mode = "code"
+                out.append(" " * len(raw_delim))
+                i += len(raw_delim)
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.errors = []
+
+    def error(self, path: Path, line_no: int, rule: str, msg: str):
+        rel = path.relative_to(self.root)
+        self.errors.append(f"{rel}:{line_no}: [{rule}] {msg}")
+
+    # -- per-file driver ----------------------------------------------------
+
+    def lint_file(self, path: Path):
+        text = path.read_text(encoding="utf-8", errors="replace")
+        raw_lines = text.splitlines()
+        code_lines = strip_code(text).splitlines()
+
+        file_waivers = set()
+        for line in raw_lines[:CAST_SCOPE_LINES]:
+            for m in ALLOW_FILE_RE.finditer(line):
+                file_waivers.add(m.group(1))
+
+        def waived(rule: str, idx: int) -> bool:
+            if rule in file_waivers:
+                return True
+            for probe in (idx, idx - 1):
+                if 0 <= probe < len(raw_lines):
+                    for m in ALLOW_LINE_RE.finditer(raw_lines[probe]):
+                        if m.group(1) == rule:
+                            return True
+            return False
+
+        rel = path.relative_to(self.root).as_posix()
+        in_src = rel.startswith("src/")
+        in_vmpi = rel.startswith("src/vmpi/")
+
+        self.check_new_delete(path, code_lines, waived)
+        if in_src and not in_vmpi:
+            self.check_threading(path, code_lines, waived)
+        self.check_cast_pairing(path, code_lines, waived)
+        if path.suffix == ".hpp":
+            self.check_pragma_once(path, code_lines, waived)
+        self.check_include_order(path, raw_lines, waived)
+
+    # -- rules --------------------------------------------------------------
+
+    def check_new_delete(self, path, code_lines, waived):
+        for idx, line in enumerate(code_lines):
+            if NEW_RE.search(line) and not waived("new-delete", idx):
+                self.error(path, idx + 1, "new-delete",
+                           "`new` expression — use containers/RAII "
+                           "(placement new is allowed: `new (addr) T`)")
+            for m in DELETE_RE.finditer(line):
+                if DELETE_OK_BEFORE.search(line[:m.start()]):
+                    continue  # `= delete` / `operator delete`
+                if not waived("new-delete", idx):
+                    self.error(path, idx + 1, "new-delete",
+                               "`delete` expression — use containers/RAII")
+
+    def check_threading(self, path, code_lines, waived):
+        for idx, line in enumerate(code_lines):
+            m = THREADING_TOKENS.search(line)
+            if m and not waived("threading", idx):
+                self.error(path, idx + 1, "threading",
+                           f"std::{m.group(1)} outside src/vmpi/ — all "
+                           "parallelism must go through the virtual runtime")
+
+    def check_cast_pairing(self, path, code_lines, waived):
+        for idx, line in enumerate(code_lines):
+            if not REINTERPRET_RE.search(line):
+                continue
+            lo = max(0, idx - CAST_SCOPE_LINES)
+            window = code_lines[lo:idx + 1]
+            if any(TRIVIAL_RE.search(w) for w in window):
+                continue
+            if not waived("cast-pairing", idx):
+                self.error(
+                    path, idx + 1, "cast-pairing",
+                    "reinterpret_cast without a nearby static_assert("
+                    "std::is_trivially_copyable_v<...>) in the same scope")
+
+    def check_pragma_once(self, path, code_lines, waived):
+        for idx, line in enumerate(code_lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped == "#pragma once":
+                return
+            if not waived("pragma-once", idx):
+                self.error(path, idx + 1, "pragma-once",
+                           "first directive in a header must be #pragma once")
+            return
+        self.error(path, 1, "pragma-once", "header lacks #pragma once")
+
+    def check_include_order(self, path, raw_lines, waived):
+        block = []  # list of (idx, token)
+        for idx in range(len(raw_lines) + 1):
+            m = INCLUDE_RE.match(raw_lines[idx]) if idx < len(raw_lines) else None
+            if m:
+                block.append((idx, m.group(1)))
+                continue
+            if len(block) > 1:
+                self._check_include_block(path, block, waived)
+            block = []
+
+    def _check_include_block(self, path, block, waived):
+        seen_quote = False
+        for idx, token in block:
+            if token.startswith('"'):
+                seen_quote = True
+            elif seen_quote and not waived("include-order", idx):
+                self.error(path, idx + 1, "include-order",
+                           f"system include {token} after a project include "
+                           "in the same block")
+        for style in ("<", '"'):
+            group = [(idx, t) for idx, t in block if t.startswith(style)]
+            for (idx_a, a), (idx_b, b) in zip(group, group[1:]):
+                if a > b and not waived("include-order", idx_b):
+                    self.error(path, idx_b + 1, "include-order",
+                               f"{b} breaks sort order (after {a})")
+
+    # -- entry --------------------------------------------------------------
+
+    def run(self) -> int:
+        files = []
+        for d in CXX_DIRS:
+            base = self.root / d
+            if not base.is_dir():
+                continue
+            files.extend(p for ext in CXX_EXTS for p in base.rglob(f"*{ext}"))
+        for path in sorted(files):
+            self.lint_file(path)
+        if self.errors:
+            for e in self.errors:
+                print(e)
+            print(f"casp_lint: {len(self.errors)} violation(s) in "
+                  f"{len(files)} files", file=sys.stderr)
+            return 1
+        print(f"casp_lint: OK ({len(files)} files clean)")
+        return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    args = parser.parse_args()
+    root = Path(args.root).resolve()
+    if not (root / "CMakeLists.txt").exists():
+        print(f"casp_lint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+    return Linter(root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Repo verification gate — run before merging. Exits nonzero on the first
+# failure. Stages:
+#   (a) static lint        tools/casp_lint.py (+ clang-tidy when installed)
+#   (b) release            configure + build + full ctest
+#   (c) thread sanitizer   configure + build + ctest -L tsan-safe
+#
+# Usage: tools/check.sh [--skip-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 2)
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "usage: tools/check.sh [--skip-tsan]" >&2; exit 2 ;;
+  esac
+done
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "(a) lint: tools/casp_lint.py"
+python3 tools/casp_lint.py --root .
+
+if command -v clang-tidy > /dev/null 2>&1; then
+  step "(a) lint: clang-tidy (src/, config in .clang-tidy)"
+  cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  find src -name '*.cpp' -print0 |
+    xargs -0 clang-tidy -p build/release --quiet
+else
+  echo "clang-tidy not installed — skipping (casp_lint covers the repo rules)"
+fi
+
+step "(b) release build + full test suite"
+cmake --preset release
+cmake --build --preset release -j "$JOBS"
+ctest --test-dir build/release --output-on-failure -j "$JOBS"
+
+if [ "$SKIP_TSAN" = 1 ]; then
+  echo "skipping ThreadSanitizer stage (--skip-tsan)"
+else
+  step "(c) ThreadSanitizer build + ctest -L tsan-safe"
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$JOBS"
+  ctest --test-dir build/tsan -L tsan-safe --output-on-failure -j "$JOBS"
+fi
+
+step "all gates passed"
