@@ -6,6 +6,11 @@
 // beats heap merge by an order of magnitude.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/payload.hpp"
 #include "common/rng.hpp"
 #include "gen/er.hpp"
 #include "gen/protein.hpp"
@@ -194,4 +199,56 @@ BENCHMARK(BM_Transpose)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace casp
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Normal console output, plus one {op, bytes, ns, copies} record per run
+/// into BENCH_kernels.json so future changes can diff kernel perf
+/// mechanically. `copies` is the global Payload deep-copy delta observed
+/// across the run's report group, per iteration (only the serialization
+/// benches move it today).
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    double group_iters = 0;
+    for (const Run& run : reports)
+      if (run.run_type == Run::RT_Iteration && !run.error_occurred)
+        group_iters += static_cast<double>(run.iterations);
+    const std::uint64_t copies_now = casp::Payload::deep_copies();
+    const double copies_per_iter =
+        group_iters > 0
+            ? static_cast<double>(copies_now - last_copies_) / group_iters
+            : 0.0;
+    last_copies_ = copies_now;
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      const double sec_per_op = run.real_accumulated_time / iters;
+      double bytes = 0;
+      const auto it = run.counters.find("bytes_per_second");
+      if (it != run.counters.end()) bytes = it->second.value * sec_per_op;
+      std::string op = run.benchmark_name();
+      if (!run.report_label.empty()) op += " [" + run.report_label + "]";
+      records_.add(op, bytes, sec_per_op * 1e9, copies_per_iter);
+    }
+  }
+
+  const casp::bench::JsonRecords& records() const { return records_; }
+
+ private:
+  casp::bench::JsonRecords records_;
+  std::uint64_t last_copies_ = casp::Payload::deep_copies();
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.records().write("BENCH_kernels.json");
+  benchmark::Shutdown();
+  return 0;
+}

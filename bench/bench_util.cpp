@@ -284,6 +284,40 @@ std::string fmt_bytes(double bytes) {
   return os.str();
 }
 
+void JsonRecords::add(const std::string& op, double bytes, double ns,
+                      double copies) {
+  records_.push_back({op, bytes, ns, copies});
+}
+
+bool JsonRecords::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("(could not write %s)\n", path.c_str());
+    return false;
+  }
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[i];
+    std::fprintf(f,
+                 "  {\"op\": \"%s\", \"bytes\": %.0f, \"ns\": %.1f, "
+                 "\"copies\": %.3f}%s\n",
+                 escape(r.op).c_str(), r.bytes, r.ns, r.copies,
+                 i + 1 < records_.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %zu records to %s\n", records_.size(), path.c_str());
+  return true;
+}
+
 void print_header(const std::string& title, const std::string& mode) {
   std::printf("\n==============================================================\n");
   std::printf("%s\n", title.c_str());

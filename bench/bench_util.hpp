@@ -153,4 +153,24 @@ std::string fmt_bytes(double bytes);
 
 void print_header(const std::string& title, const std::string& mode);
 
+/// Machine-readable perf records for cross-PR tracking: a JSON array of
+/// {"op", "bytes", "ns", "copies"} objects (BENCH_kernels.json /
+/// BENCH_abcast.json). `bytes` is the logical payload per operation, `ns`
+/// wall time per operation, `copies` Payload deep copies per operation.
+class JsonRecords {
+ public:
+  void add(const std::string& op, double bytes, double ns, double copies);
+  /// Writes the array to `path`; prints a note and returns false on error.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Record {
+    std::string op;
+    double bytes = 0;
+    double ns = 0;
+    double copies = 0;
+  };
+  std::vector<Record> records_;
+};
+
 }  // namespace casp::bench

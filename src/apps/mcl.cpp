@@ -200,12 +200,16 @@ MclResult mcl_cluster_distributed(Grid3D& grid, const CscMat& similarity,
         grid, da, db, total_memory, opts,
         [&](CscMat&& piece, const BatchInfo& info) {
           batches = info.num_batches;
-          // Assemble full columns across the process column.
+          // Assemble full columns across the process column. The gathered
+          // payloads are read in place (unpack_csc_view): every member of
+          // the process column shares one broadcast concatenation buffer.
           vmpi::Comm& col_comm = grid.col_comm();
-          const auto buffers = col_comm.allgather_bytes(pack_csc(piece));
+          const auto buffers =
+              col_comm.allgather_payload(pack_csc_payload(piece));
           TripleMat full_triples(nrows, piece.ncols());
           for (int src = 0; src < col_comm.size(); ++src) {
-            const CscMat part = unpack_csc(buffers[static_cast<std::size_t>(src)]);
+            const CscView part =
+                unpack_csc_view(buffers[static_cast<std::size_t>(src)]);
             const Index row_base = part_low(src, q, nrows);
             for (Index j = 0; j < part.ncols(); ++j) {
               const auto rows = part.col_rowids(j);

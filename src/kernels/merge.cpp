@@ -72,13 +72,12 @@ class MergeTable {
 
 }  // namespace
 
-template <typename SR>
-CscMat merge_matrices(std::span<const CscMat> pieces, MergeKind kind,
-                      int threads) {
+template <typename SR, typename Mat>
+CscMat run_merge(std::span<const Mat> pieces, MergeKind kind, int threads) {
   CASP_CHECK(!pieces.empty());
   const Index nrows = pieces.front().nrows();
   const Index ncols = pieces.front().ncols();
-  for (const CscMat& m : pieces)
+  for (const Mat& m : pieces)
     CASP_CHECK_MSG(m.nrows() == nrows && m.ncols() == ncols,
                    "merge: shape mismatch");
 
@@ -86,7 +85,7 @@ CscMat merge_matrices(std::span<const CscMat> pieces, MergeKind kind,
   std::vector<Index> ub_ptr(static_cast<std::size_t>(ncols) + 1, 0);
   for (Index j = 0; j < ncols; ++j) {
     Index ub = 0;
-    for (const CscMat& m : pieces) ub += m.col_nnz(j);
+    for (const Mat& m : pieces) ub += m.col_nnz(j);
     ub_ptr[static_cast<std::size_t>(j) + 1] = ub_ptr[static_cast<std::size_t>(j)] + ub;
   }
   std::vector<Index> rowids(static_cast<std::size_t>(ub_ptr.back()));
@@ -100,6 +99,11 @@ CscMat merge_matrices(std::span<const CscMat> pieces, MergeKind kind,
 #endif
   {
     MergeTable<SR> table;
+    // Per-thread scratch for the sorted-emit (heap) path, reused across all
+    // columns this thread processes instead of reallocated per column.
+    using HeapItem = std::pair<Index, std::size_t>;  // (row, piece index)
+    std::vector<HeapItem> heap;
+    std::vector<std::size_t> pos;
 #if defined(CASP_HAVE_OPENMP)
 #pragma omp for schedule(dynamic, 32)
 #endif
@@ -113,7 +117,7 @@ CscMat merge_matrices(std::span<const CscMat> pieces, MergeKind kind,
       if (kind == MergeKind::kUnsortedHash) {
         table.require(cap);
         table.reset();
-        for (const CscMat& m : pieces) {
+        for (const Mat& m : pieces) {
           const auto rows = m.col_rowids(j);
           const auto mv = m.col_vals(j);
           for (std::size_t k = 0; k < rows.size(); ++k)
@@ -122,18 +126,19 @@ CscMat merge_matrices(std::span<const CscMat> pieces, MergeKind kind,
         cnt = table.size();
         table.emit(out_rows, out_vals);
       } else {
-        // k-way heap merge over sorted input columns.
-        using HeapItem = std::pair<Index, std::size_t>;  // (row, piece index)
-        std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>
-            heap;
-        std::vector<std::size_t> pos(pieces.size(), 0);
+        // k-way heap merge over sorted input columns (min-heap maintained
+        // manually on the hoisted vector).
+        heap.clear();
+        pos.assign(pieces.size(), 0);
         for (std::size_t s = 0; s < pieces.size(); ++s) {
           if (pieces[s].col_nnz(j) > 0)
-            heap.emplace(pieces[s].col_rowids(j)[0], s);
+            heap.emplace_back(pieces[s].col_rowids(j)[0], s);
         }
+        std::make_heap(heap.begin(), heap.end(), std::greater<>{});
         while (!heap.empty()) {
-          const auto [row, s] = heap.top();
-          heap.pop();
+          std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+          const auto [row, s] = heap.back();
+          heap.pop_back();
           const Value v = pieces[s].col_vals(j)[pos[s]];
           if (cnt > 0 && out_rows[cnt - 1] == row) {
             out_vals[cnt - 1] = SR::add(out_vals[cnt - 1], v);
@@ -142,8 +147,10 @@ CscMat merge_matrices(std::span<const CscMat> pieces, MergeKind kind,
             out_vals[cnt] = v;
             ++cnt;
           }
-          if (++pos[s] < static_cast<std::size_t>(pieces[s].col_nnz(j)))
-            heap.emplace(pieces[s].col_rowids(j)[pos[s]], s);
+          if (++pos[s] < static_cast<std::size_t>(pieces[s].col_nnz(j))) {
+            heap.emplace_back(pieces[s].col_rowids(j)[pos[s]], s);
+            std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+          }
         }
       }
       counts[static_cast<std::size_t>(j)] = cnt;
@@ -170,6 +177,18 @@ CscMat merge_matrices(std::span<const CscMat> pieces, MergeKind kind,
                 std::move(out_vals));
 }
 
+template <typename SR>
+CscMat merge_matrices(std::span<const CscMat> pieces, MergeKind kind,
+                      int threads) {
+  return run_merge<SR, CscMat>(pieces, kind, threads);
+}
+
+template <typename SR>
+CscMat merge_matrices(std::span<const CscView> pieces, MergeKind kind,
+                      int threads) {
+  return run_merge<SR, CscView>(pieces, kind, threads);
+}
+
 template CscMat merge_matrices<PlusTimes>(std::span<const CscMat>, MergeKind,
                                           int);
 template CscMat merge_matrices<MinPlus>(std::span<const CscMat>, MergeKind,
@@ -177,5 +196,14 @@ template CscMat merge_matrices<MinPlus>(std::span<const CscMat>, MergeKind,
 template CscMat merge_matrices<MaxMin>(std::span<const CscMat>, MergeKind,
                                        int);
 template CscMat merge_matrices<OrAnd>(std::span<const CscMat>, MergeKind, int);
+
+template CscMat merge_matrices<PlusTimes>(std::span<const CscView>, MergeKind,
+                                          int);
+template CscMat merge_matrices<MinPlus>(std::span<const CscView>, MergeKind,
+                                        int);
+template CscMat merge_matrices<MaxMin>(std::span<const CscView>, MergeKind,
+                                       int);
+template CscMat merge_matrices<OrAnd>(std::span<const CscView>, MergeKind,
+                                      int);
 
 }  // namespace casp

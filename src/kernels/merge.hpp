@@ -11,6 +11,7 @@
 
 #include "kernels/semiring.hpp"
 #include "sparse/csc_mat.hpp"
+#include "sparse/csc_view.hpp"
 
 namespace casp {
 
@@ -26,6 +27,13 @@ const char* to_string(MergeKind kind);
 /// `threads`: OpenMP threads over output columns.
 template <typename SR = PlusTimes>
 CscMat merge_matrices(std::span<const CscMat> pieces,
+                      MergeKind kind = MergeKind::kUnsortedHash,
+                      int threads = 1);
+
+/// Zero-copy overload: pieces borrowed from received payloads (e.g. the
+/// fiber all-to-all buffers) are merged without deserializing them first.
+template <typename SR = PlusTimes>
+CscMat merge_matrices(std::span<const CscView> pieces,
                       MergeKind kind = MergeKind::kUnsortedHash,
                       int threads = 1);
 

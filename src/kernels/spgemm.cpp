@@ -128,7 +128,8 @@ class SpaAccumulator {
 /// Shared output assembly: callers fill per-column slices of an
 /// upper-bound-sized buffer; compact() squeezes out the slack.
 struct OutputBuilder {
-  explicit OutputBuilder(const CscMat& a, const CscMat& b) {
+  template <typename MatA, typename MatB>
+  explicit OutputBuilder(const MatA& a, const MatB& b) {
     const std::vector<Index> flops = column_flops(a, b);
     ub_ptr.resize(flops.size() + 1, 0);
     for (std::size_t j = 0; j < flops.size(); ++j)
@@ -175,11 +176,30 @@ struct OutputBuilder {
   std::vector<Index> counts;
 };
 
+/// Per-thread reusable buffer for the sorted-emit path: sorting a column's
+/// (row, val) pairs reuses one allocation across all columns a thread
+/// processes instead of allocating a fresh vector per column.
+using SortScratch = std::vector<std::pair<Index, Value>>;
+
+/// Sort `cnt` (row, val) pairs in place through `scratch`.
+inline void sort_column_pairs(Index* rowids, Value* vals, Index cnt,
+                              SortScratch& scratch) {
+  scratch.resize(static_cast<std::size_t>(cnt));
+  for (Index k = 0; k < cnt; ++k)
+    scratch[static_cast<std::size_t>(k)] = {rowids[k], vals[k]};
+  std::sort(scratch.begin(), scratch.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  for (Index k = 0; k < cnt; ++k) {
+    rowids[k] = scratch[static_cast<std::size_t>(k)].first;
+    vals[k] = scratch[static_cast<std::size_t>(k)].second;
+  }
+}
+
 /// One output column via hash accumulation. Returns entry count.
-template <typename SR>
-Index hash_column(const CscMat& a, const CscMat& b, Index j,
+template <typename SR, typename MatA, typename MatB>
+Index hash_column(const MatA& a, const MatB& b, Index j,
                   HashAccumulator<SR>& acc, Index capacity, Index* rowids,
-                  Value* vals, bool sort_output) {
+                  Value* vals, bool sort_output, SortScratch& sort_scratch) {
   acc.require(capacity);
   acc.reset();
   const auto brows = b.col_rowids(j);
@@ -194,24 +214,14 @@ Index hash_column(const CscMat& a, const CscMat& b, Index j,
   }
   acc.emit(rowids, vals);
   const Index cnt = acc.size();
-  if (sort_output && cnt > 1) {
-    // Sort the (row, val) pairs of this column.
-    std::vector<std::pair<Index, Value>> tmp(static_cast<std::size_t>(cnt));
-    for (Index k = 0; k < cnt; ++k) tmp[static_cast<std::size_t>(k)] = {rowids[k], vals[k]};
-    std::sort(tmp.begin(), tmp.end(),
-              [](const auto& x, const auto& y) { return x.first < y.first; });
-    for (Index k = 0; k < cnt; ++k) {
-      rowids[k] = tmp[static_cast<std::size_t>(k)].first;
-      vals[k] = tmp[static_cast<std::size_t>(k)].second;
-    }
-  }
+  if (sort_output && cnt > 1) sort_column_pairs(rowids, vals, cnt, sort_scratch);
   return cnt;
 }
 
 /// One output column via multiway heap merge of sorted A columns.
 /// Requires sorted input columns; emits sorted output.
-template <typename SR>
-Index heap_column(const CscMat& a, const CscMat& b, Index j, Index* rowids,
+template <typename SR, typename MatA, typename MatB>
+Index heap_column(const MatA& a, const MatB& b, Index j, Index* rowids,
                   Value* vals) {
   struct Run {
     std::span<const Index> rows;
@@ -252,8 +262,8 @@ Index heap_column(const CscMat& a, const CscMat& b, Index j, Index* rowids,
 
 enum class ColumnChoice { kHash, kSortedHash, kHeap, kSpa };
 
-template <typename SR>
-CscMat run_spgemm(const CscMat& a, const CscMat& b, SpGemmKind kind,
+template <typename SR, typename MatA, typename MatB>
+CscMat run_spgemm(const MatA& a, const MatB& b, SpGemmKind kind,
                   int threads) {
   CASP_CHECK_MSG(a.ncols() == b.nrows(),
                  "local_spgemm: inner dimension mismatch " << a.ncols()
@@ -270,6 +280,7 @@ CscMat run_spgemm(const CscMat& a, const CscMat& b, SpGemmKind kind,
 #endif
   {
     HashAccumulator<SR> hash_acc;
+    SortScratch sort_scratch;
     std::unique_ptr<SpaAccumulator<SR>> spa;
     if (kind == SpGemmKind::kSpa)
       spa = std::make_unique<SpaAccumulator<SR>>(a.nrows());
@@ -287,11 +298,13 @@ CscMat run_spgemm(const CscMat& a, const CscMat& b, SpGemmKind kind,
       switch (kind) {
         case SpGemmKind::kUnsortedHash:
           cnt = hash_column<SR>(a, b, j, hash_acc, cap, out.col_rowids(j),
-                                out.col_vals(j), /*sort_output=*/false);
+                                out.col_vals(j), /*sort_output=*/false,
+                                sort_scratch);
           break;
         case SpGemmKind::kSortedHash:
           cnt = hash_column<SR>(a, b, j, hash_acc, cap, out.col_rowids(j),
-                                out.col_vals(j), /*sort_output=*/true);
+                                out.col_vals(j), /*sort_output=*/true,
+                                sort_scratch);
           break;
         case SpGemmKind::kHeap:
           cnt = heap_column<SR>(a, b, j, out.col_rowids(j), out.col_vals(j));
@@ -305,7 +318,8 @@ CscMat run_spgemm(const CscMat& a, const CscMat& b, SpGemmKind kind,
             cnt = heap_column<SR>(a, b, j, out.col_rowids(j), out.col_vals(j));
           } else {
             cnt = hash_column<SR>(a, b, j, hash_acc, cap, out.col_rowids(j),
-                                  out.col_vals(j), /*sort_output=*/true);
+                                  out.col_vals(j), /*sort_output=*/true,
+                                  sort_scratch);
           }
           break;
         }
@@ -336,6 +350,12 @@ CscMat run_spgemm(const CscMat& a, const CscMat& b, SpGemmKind kind,
 
 template <typename SR>
 CscMat local_spgemm(const CscMat& a, const CscMat& b, SpGemmKind kind,
+                    int threads) {
+  return run_spgemm<SR>(a, b, kind, threads);
+}
+
+template <typename SR>
+CscMat local_spgemm(const CscView& a, const CscView& b, SpGemmKind kind,
                     int threads) {
   return run_spgemm<SR>(a, b, kind, threads);
 }
@@ -414,5 +434,14 @@ template CscMat local_spgemm<MaxMin>(const CscMat&, const CscMat&,
                                      SpGemmKind, int);
 template CscMat local_spgemm<OrAnd>(const CscMat&, const CscMat&, SpGemmKind,
                                     int);
+
+template CscMat local_spgemm<PlusTimes>(const CscView&, const CscView&,
+                                        SpGemmKind, int);
+template CscMat local_spgemm<MinPlus>(const CscView&, const CscView&,
+                                      SpGemmKind, int);
+template CscMat local_spgemm<MaxMin>(const CscView&, const CscView&,
+                                     SpGemmKind, int);
+template CscMat local_spgemm<OrAnd>(const CscView&, const CscView&,
+                                    SpGemmKind, int);
 
 }  // namespace casp

@@ -10,6 +10,7 @@
 
 #include "kernels/semiring.hpp"
 #include "sparse/csc_mat.hpp"
+#include "sparse/csc_view.hpp"
 
 namespace casp {
 
@@ -33,6 +34,13 @@ bool produces_sorted(SpGemmKind kind);
 /// `threads`: OpenMP threads to parallelize over output columns.
 template <typename SR = PlusTimes>
 CscMat local_spgemm(const CscMat& a, const CscMat& b,
+                    SpGemmKind kind = SpGemmKind::kUnsortedHash,
+                    int threads = 1);
+
+/// Zero-copy overload: operands borrowed from received payloads
+/// (sparse/csc_view.hpp); the kernels read the wire buffers in place.
+template <typename SR = PlusTimes>
+CscMat local_spgemm(const CscView& a, const CscView& b,
                     SpGemmKind kind = SpGemmKind::kUnsortedHash,
                     int threads = 1);
 

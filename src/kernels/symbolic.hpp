@@ -9,14 +9,18 @@
 #include <vector>
 
 #include "sparse/csc_mat.hpp"
+#include "sparse/csc_view.hpp"
 
 namespace casp {
 
 /// Number of nonzeros in each column of A*B after merging duplicates
-/// within the column. Hash-based; inputs may be unsorted.
-std::vector<Index> symbolic_column_nnz(const CscMat& a, const CscMat& b);
+/// within the column. Hash-based; inputs may be unsorted. Instantiated for
+/// CscMat and CscView operands (definitions in symbolic.cpp).
+template <typename MatA, typename MatB>
+std::vector<Index> symbolic_column_nnz(const MatA& a, const MatB& b);
 
 /// Total nnz(A*B) (merged). Equals the sum of symbolic_column_nnz.
-Index symbolic_nnz(const CscMat& a, const CscMat& b);
+template <typename MatA, typename MatB>
+Index symbolic_nnz(const MatA& a, const MatB& b);
 
 }  // namespace casp

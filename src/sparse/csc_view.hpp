@@ -1,0 +1,87 @@
+// Borrowed, read-only CSC matrix over a received Payload.
+//
+// unpack_csc_view (sparse/serialize.hpp) points the three CSC arrays
+// directly into the packed wire buffer — no deserialization copy — and the
+// view keeps the Payload alive for as long as it is in use. The wire format
+// guarantees 8-byte alignment of every array (24-byte header, 8-byte Index
+// and Value elements), which unpack_csc_view re-checks at runtime.
+//
+// A CscView is copy-on-write at the type level: it exposes only the const
+// read accessors the kernels need (mirroring CscMat), and a rank that wants
+// to mutate must materialize() its own private CscMat first. Several ranks
+// of a vmpi job can therefore read the same broadcast buffer concurrently
+// without any rank observing another's writes.
+#pragma once
+
+#include <span>
+
+#include "common/payload.hpp"
+#include "common/types.hpp"
+#include "sparse/csc_mat.hpp"
+
+namespace casp {
+
+class CscView {
+ public:
+  CscView() = default;
+
+  /// Borrow raw CSC arrays; `keepalive` owns (a share of) the allocation
+  /// the spans point into.
+  CscView(Index nrows, Index ncols, std::span<const Index> colptr,
+          std::span<const Index> rowids, std::span<const Value> vals,
+          Payload keepalive)
+      : nrows_(nrows),
+        ncols_(ncols),
+        colptr_(colptr),
+        rowids_(rowids),
+        vals_(vals),
+        keepalive_(std::move(keepalive)) {}
+
+  Index nrows() const { return nrows_; }
+  Index ncols() const { return ncols_; }
+  Index nnz() const {
+    return colptr_.empty() ? 0 : colptr_[static_cast<std::size_t>(ncols_)];
+  }
+  bool empty() const { return nnz() == 0; }
+
+  std::span<const Index> colptr() const { return colptr_; }
+  std::span<const Index> rowids() const { return rowids_; }
+  std::span<const Value> vals() const { return vals_; }
+
+  /// Row ids / values of column j (same contract as CscMat).
+  std::span<const Index> col_rowids(Index j) const {
+    return rowids_.subspan(
+        static_cast<std::size_t>(colptr_[static_cast<std::size_t>(j)]),
+        static_cast<std::size_t>(col_nnz(j)));
+  }
+  std::span<const Value> col_vals(Index j) const {
+    return vals_.subspan(
+        static_cast<std::size_t>(colptr_[static_cast<std::size_t>(j)]),
+        static_cast<std::size_t>(col_nnz(j)));
+  }
+  Index col_nnz(Index j) const {
+    return colptr_[static_cast<std::size_t>(j) + 1] -
+           colptr_[static_cast<std::size_t>(j)];
+  }
+
+  /// Deep-copy into an owned, mutable CscMat — the copy-on-write boundary.
+  CscMat materialize() const {
+    return CscMat(nrows_, ncols_, {colptr_.begin(), colptr_.end()},
+                  {rowids_.begin(), rowids_.end()},
+                  {vals_.begin(), vals_.end()});
+  }
+
+  /// The payload whose allocation the spans borrow (empty for views over
+  /// caller-owned arrays).
+  const Payload& keepalive() const { return keepalive_; }
+
+ private:
+  Index nrows_ = 0;
+  Index ncols_ = 0;
+  std::span<const Index> colptr_;
+  std::span<const Index> rowids_;
+  std::span<const Value> vals_;
+  Payload keepalive_;
+};
+
+}  // namespace casp

@@ -1,5 +1,6 @@
 #include "sparse/serialize.hpp"
 
+#include <cstdint>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -45,6 +46,38 @@ std::vector<std::byte> pack_csc(const CscMat& mat) {
   append(buf, mat.rowids().data(), mat.rowids().size());
   append(buf, mat.vals().data(), mat.vals().size());
   return buf;
+}
+
+Payload pack_csc_payload(const CscMat& mat) {
+  return Payload::wrap(pack_csc(mat));
+}
+
+CscView unpack_csc_view(const Payload& payload) {
+  CASP_CHECK_MSG(payload.size() >= sizeof(Header),
+                 "unpack_csc_view: payload shorter than header");
+  Header h{};
+  std::memcpy(&h, payload.data(), sizeof(Header));
+  const auto ncolptr = static_cast<std::size_t>(h.ncols) + 1;
+  const auto nnz = static_cast<std::size_t>(h.nnz);
+  CASP_CHECK_MSG(payload.size() == sizeof(Header) + ncolptr * sizeof(Index) +
+                                       nnz * (sizeof(Index) + sizeof(Value)),
+                 "unpack_csc_view: size does not match header");
+  const std::byte* base = payload.data();
+  static_assert(std::is_trivially_copyable_v<Index> &&
+                std::is_trivially_copyable_v<Value>);
+  // The arrays are read in place, so the wire layout must satisfy Index /
+  // Value alignment: 24-byte header then 8-byte elements keeps every array
+  // 8-aligned as long as the payload itself starts aligned.
+  CASP_CHECK_MSG(reinterpret_cast<std::uintptr_t>(base) % alignof(Value) == 0,
+                 "unpack_csc_view: payload is not 8-byte aligned");
+  const auto* colptr = reinterpret_cast<const Index*>(base + sizeof(Header));
+  const auto* rowids = colptr + ncolptr;
+  const auto* vals = reinterpret_cast<const Value*>(rowids + nnz);
+  CASP_CHECK_MSG(ncolptr > 0 && colptr[0] == 0 &&
+                     colptr[ncolptr - 1] == h.nnz,
+                 "unpack_csc_view: corrupt colptr");
+  return CscView(h.nrows, h.ncols, {colptr, ncolptr}, {rowids, nnz},
+                 {vals, nnz}, payload);
 }
 
 CscMat unpack_csc(const std::vector<std::byte>& buffer) {

@@ -8,12 +8,26 @@
 
 #include <vector>
 
+#include "common/payload.hpp"
 #include "sparse/csc_mat.hpp"
+#include "sparse/csc_view.hpp"
 
 namespace casp {
 
 std::vector<std::byte> pack_csc(const CscMat& mat);
 CscMat unpack_csc(const std::vector<std::byte>& buffer);
+
+/// Pack straight into a transport payload (one allocation, no intermediate
+/// buffer) for handle-forwarding sends.
+Payload pack_csc_payload(const CscMat& mat);
+
+/// Borrow the CSC arrays directly from a packed payload — the zero-copy
+/// receive path. The returned view shares ownership of the payload's
+/// allocation, so it stays valid for the view's lifetime. Requires the
+/// payload start to be 8-byte aligned (the wire format guarantees this for
+/// whole messages and for allgather subviews: 24-byte header, 8-byte
+/// elements, 8-byte length prefixes).
+CscView unpack_csc_view(const Payload& payload);
 
 /// On-wire size without building the buffer.
 Bytes packed_size(const CscMat& mat);

@@ -22,24 +22,6 @@ MatrixStats matrix_stats(const CscMat& a) {
   return s;
 }
 
-Index multiply_flops(const CscMat& a, const CscMat& b) {
-  CASP_CHECK_MSG(a.ncols() == b.nrows(), "multiply_flops: inner dim mismatch");
-  Index flops = 0;
-  for (Index i : b.rowids()) flops += a.col_nnz(i);
-  return flops;
-}
-
-std::vector<Index> column_flops(const CscMat& a, const CscMat& b) {
-  CASP_CHECK_MSG(a.ncols() == b.nrows(), "column_flops: inner dim mismatch");
-  std::vector<Index> flops(static_cast<std::size_t>(b.ncols()), 0);
-  for (Index j = 0; j < b.ncols(); ++j) {
-    Index f = 0;
-    for (Index i : b.col_rowids(j)) f += a.col_nnz(i);
-    flops[static_cast<std::size_t>(j)] = f;
-  }
-  return flops;
-}
-
 MultiplyStats multiply_stats(const CscMat& a, const CscMat& b) {
   MultiplyStats s;
   s.flops = multiply_flops(a, b);

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "common/error.hpp"
 #include "sparse/csc_mat.hpp"
 
 namespace casp {
@@ -21,12 +23,30 @@ MatrixStats matrix_stats(const CscMat& a);
 
 /// Number of scalar multiplications in A*B: sum over nonzeros B(i,j) of
 /// nnz(A(:,i)). O(nnz(B)) given CSC A. This is "flops" in the paper
-/// (they count multiplications, not multiply-adds).
-Index multiply_flops(const CscMat& a, const CscMat& b);
+/// (they count multiplications, not multiply-adds). Templated over the CSC
+/// read interface so owned matrices (CscMat) and borrowed payload views
+/// (CscView) both work.
+template <typename MatA, typename MatB>
+Index multiply_flops(const MatA& a, const MatB& b) {
+  CASP_CHECK_MSG(a.ncols() == b.nrows(), "multiply_flops: inner dim mismatch");
+  Index flops = 0;
+  for (Index i : b.rowids()) flops += a.col_nnz(i);
+  return flops;
+}
 
 /// flops for each column j of the product A*B(:,j); used by kernels to size
 /// hash tables and by the hybrid kernel to pick per-column accumulators.
-std::vector<Index> column_flops(const CscMat& a, const CscMat& b);
+template <typename MatA, typename MatB>
+std::vector<Index> column_flops(const MatA& a, const MatB& b) {
+  CASP_CHECK_MSG(a.ncols() == b.nrows(), "column_flops: inner dim mismatch");
+  std::vector<Index> flops(static_cast<std::size_t>(b.ncols()), 0);
+  for (Index j = 0; j < b.ncols(); ++j) {
+    Index f = 0;
+    for (Index i : b.col_rowids(j)) f += a.col_nnz(i);
+    flops[static_cast<std::size_t>(j)] = f;
+  }
+  return flops;
+}
 
 struct MultiplyStats {
   Index flops = 0;       ///< scalar multiplications

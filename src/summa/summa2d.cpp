@@ -1,11 +1,22 @@
 #include "summa/summa2d.hpp"
 
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "sparse/serialize.hpp"
 
 namespace casp {
+
+namespace {
+
+/// The two in-flight broadcasts of one SUMMA stage.
+struct StageBcasts {
+  vmpi::PendingBcast a;
+  vmpi::PendingBcast b;
+};
+
+}  // namespace
 
 template <typename SR>
 CscMat summa2d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
@@ -19,35 +30,58 @@ CscMat summa2d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
   std::vector<MemoryCharge> partial_charges;
   partial_charges.reserve(static_cast<std::size_t>(stages));
 
-  for (int s = 0; s < stages; ++s) {
-    CscMat a_recv;
+  // The stage-s owner serializes its block once into a payload; the
+  // broadcast forwards the handle, and receivers multiply straight out of
+  // the wire buffer (unpack_csc_view) — no per-hop or per-rank copies.
+  auto post_stage = [&](int s) {
+    StageBcasts pending;
     {
       vmpi::ScopedPhase phase(row_comm.traffic(), steps::kABcast);
       ScopedTimer timer(row_comm.times(), steps::kABcast);
-      // The stage-s owner in my process row serializes its block; everyone
-      // deserializes the broadcast copy (the owner round-trips through the
-      // same bytes so all ranks run identical code).
-      std::vector<std::byte> buf =
-          row_comm.rank() == s ? pack_csc(local_a) : std::vector<std::byte>{};
-      buf = row_comm.bcast_bytes(s, std::move(buf));
-      a_recv = unpack_csc(buf);
+      Payload buf =
+          row_comm.rank() == s ? pack_csc_payload(local_a) : Payload{};
+      pending.a = row_comm.ibcast_payload(s, std::move(buf));
     }
-    CscMat b_recv;
     {
       vmpi::ScopedPhase phase(col_comm.traffic(), steps::kBBcast);
       ScopedTimer timer(col_comm.times(), steps::kBBcast);
-      std::vector<std::byte> buf =
-          col_comm.rank() == s ? pack_csc(local_b) : std::vector<std::byte>{};
-      buf = col_comm.bcast_bytes(s, std::move(buf));
-      b_recv = unpack_csc(buf);
+      Payload buf =
+          col_comm.rank() == s ? pack_csc_payload(local_b) : Payload{};
+      pending.b = col_comm.ibcast_payload(s, std::move(buf));
     }
-    CASP_CHECK_MSG(a_recv.ncols() == b_recv.nrows(),
+    return pending;
+  };
+  auto wait_stage = [&](StageBcasts& pending) {
+    CscView a_view;
+    {
+      vmpi::ScopedPhase phase(row_comm.traffic(), steps::kABcast);
+      ScopedTimer timer(row_comm.times(), steps::kABcast);
+      a_view = unpack_csc_view(row_comm.bcast_wait(pending.a));
+    }
+    CscView b_view;
+    {
+      vmpi::ScopedPhase phase(col_comm.traffic(), steps::kBBcast);
+      ScopedTimer timer(col_comm.times(), steps::kBBcast);
+      b_view = unpack_csc_view(col_comm.bcast_wait(pending.b));
+    }
+    return std::pair<CscView, CscView>(std::move(a_view), std::move(b_view));
+  };
+
+  StageBcasts current = post_stage(0);
+  for (int s = 0; s < stages; ++s) {
+    auto [a_view, b_view] = wait_stage(current);
+    // Pipelined: stage s+1's broadcasts go into flight before stage s's
+    // multiply, overlapping communication with compute. Blocking: post only
+    // after the multiply finishes. Either way every stage posts then waits
+    // its own broadcasts in SPMD order, so the traffic is identical.
+    if (opts.pipeline && s + 1 < stages) current = post_stage(s + 1);
+    CASP_CHECK_MSG(a_view.ncols() == b_view.nrows(),
                    "summa2d stage " << s << ": inner dim mismatch "
-                                    << a_recv.ncols() << " vs "
-                                    << b_recv.nrows());
+                                    << a_view.ncols() << " vs "
+                                    << b_view.nrows());
     {
       ScopedTimer timer(row_comm.times(), steps::kLocalMultiply);
-      partials.push_back(local_spgemm<SR>(a_recv, b_recv, opts.local_kind,
+      partials.push_back(local_spgemm<SR>(a_view, b_view, opts.local_kind,
                                           opts.threads));
     }
     if (opts.memory != nullptr) {
@@ -58,6 +92,7 @@ CscMat summa2d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
           static_cast<Bytes>(partials.back().nnz()) * kBytesPerNonzero,
           "unmerged stage output");
     }
+    if (!opts.pipeline && s + 1 < stages) current = post_stage(s + 1);
   }
 
   CscMat merged;

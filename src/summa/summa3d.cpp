@@ -37,29 +37,30 @@ CscMat summa3d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
 
   vmpi::Comm& fiber = grid.fiber_comm();
 
-  // AllToAll-Fiber (line 5): piece m of my D goes to layer m.
-  std::vector<std::vector<std::byte>> outgoing(static_cast<std::size_t>(l));
+  // AllToAll-Fiber (line 5): piece m of my D goes to layer m, packed once
+  // into a payload whose handle the exchange forwards without copying.
+  std::vector<Payload> outgoing(static_cast<std::size_t>(l));
   for (int m = 0; m < l; ++m) {
-    outgoing[static_cast<std::size_t>(m)] = pack_csc(d.slice_cols(
+    outgoing[static_cast<std::size_t>(m)] = pack_csc_payload(d.slice_cols(
         splits[static_cast<std::size_t>(m)], splits[static_cast<std::size_t>(m) + 1]));
   }
   d = CscMat();  // release D before holding l received pieces
   d_charge.reset();
 
-  std::vector<std::vector<std::byte>> incoming;
+  std::vector<Payload> incoming;
   {
     vmpi::ScopedPhase phase(fiber.traffic(), steps::kAllToAllFiber);
     ScopedTimer timer(fiber.times(), steps::kAllToAllFiber);
-    incoming = fiber.alltoall_bytes(std::move(outgoing));
+    incoming = fiber.alltoall_payload(std::move(outgoing));
   }
 
-  std::vector<CscMat> pieces;
+  // Merge straight out of the received wire buffers — the views borrow the
+  // payload arrays, so the pieces are never deserialized into owned copies.
+  std::vector<CscView> pieces;
   pieces.reserve(static_cast<std::size_t>(l));
   std::vector<MemoryCharge> piece_charges;
-  for (auto& buf : incoming) {
-    pieces.push_back(unpack_csc(buf));
-    buf.clear();
-    buf.shrink_to_fit();
+  for (const Payload& buf : incoming) {
+    pieces.push_back(unpack_csc_view(buf));
     if (opts.memory != nullptr)
       piece_charges.emplace_back(
           *opts.memory,

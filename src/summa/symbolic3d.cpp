@@ -14,7 +14,6 @@ namespace casp {
 SymbolicResult symbolic3d(Grid3D& grid, const CscMat& local_a,
                           const CscMat& local_b, Bytes total_memory,
                           const SummaOptions& opts) {
-  (void)opts;
   vmpi::Comm& row_comm = grid.row_comm();
   vmpi::Comm& col_comm = grid.col_comm();
   vmpi::Comm& world = grid.world();
@@ -25,23 +24,40 @@ SymbolicResult symbolic3d(Grid3D& grid, const CscMat& local_a,
   vmpi::ScopedPhase world_phase(world.traffic(), steps::kSymbolic);
   ScopedTimer world_timer(world.times(), steps::kSymbolic);
 
-  Index my_unmerged = 0;
-  Index my_flops = 0;
-  for (int s = 0; s < stages; ++s) {
+  // Same broadcast schedule as summa2d: handle-forwarding ibcasts, with
+  // stage s+1 prefetched during stage s's symbolic pass when pipelining.
+  struct StageBcasts {
+    vmpi::PendingBcast a;
+    vmpi::PendingBcast b;
+  };
+  auto post_stage = [&](int s) {
     vmpi::ScopedPhase row_phase(row_comm.traffic(), steps::kSymbolic);
     vmpi::ScopedPhase col_phase(col_comm.traffic(), steps::kSymbolic);
-    std::vector<std::byte> abuf =
-        row_comm.rank() == s ? pack_csc(local_a) : std::vector<std::byte>{};
-    abuf = row_comm.bcast_bytes(s, std::move(abuf));
-    const CscMat a_recv = unpack_csc(abuf);
+    StageBcasts pending;
+    pending.a = row_comm.ibcast_payload(
+        s, row_comm.rank() == s ? pack_csc_payload(local_a) : Payload{});
+    pending.b = col_comm.ibcast_payload(
+        s, col_comm.rank() == s ? pack_csc_payload(local_b) : Payload{});
+    return pending;
+  };
 
-    std::vector<std::byte> bbuf =
-        col_comm.rank() == s ? pack_csc(local_b) : std::vector<std::byte>{};
-    bbuf = col_comm.bcast_bytes(s, std::move(bbuf));
-    const CscMat b_recv = unpack_csc(bbuf);
+  Index my_unmerged = 0;
+  Index my_flops = 0;
+  StageBcasts current = post_stage(0);
+  for (int s = 0; s < stages; ++s) {
+    CscView a_view;
+    CscView b_view;
+    {
+      vmpi::ScopedPhase row_phase(row_comm.traffic(), steps::kSymbolic);
+      vmpi::ScopedPhase col_phase(col_comm.traffic(), steps::kSymbolic);
+      a_view = unpack_csc_view(row_comm.bcast_wait(current.a));
+      b_view = unpack_csc_view(col_comm.bcast_wait(current.b));
+    }
+    if (opts.pipeline && s + 1 < stages) current = post_stage(s + 1);
 
-    my_unmerged += symbolic_nnz(a_recv, b_recv);
-    my_flops += multiply_flops(a_recv, b_recv);
+    my_unmerged += symbolic_nnz(a_view, b_view);
+    my_flops += multiply_flops(a_view, b_view);
+    if (!opts.pipeline && s + 1 < stages) current = post_stage(s + 1);
   }
 
   SymbolicResult result;

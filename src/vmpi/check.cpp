@@ -41,4 +41,6 @@ CollectiveMismatch::CollectiveMismatch(const std::string& what)
 DeadlockDetected::DeadlockDetected(const std::string& what)
     : std::runtime_error(what) {}
 
+MessageLeak::MessageLeak(const std::string& what) : std::logic_error(what) {}
+
 }  // namespace casp::vmpi

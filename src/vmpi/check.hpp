@@ -67,4 +67,12 @@ class DeadlockDetected : public std::runtime_error {
   explicit DeadlockDetected(const std::string& what);
 };
 
+/// Thrown out of vmpi::run when user-tag (tag >= 0) point-to-point messages
+/// are still unconsumed at job end and the sender did not mark them
+/// fire-and-forget — a send whose matching receive never ran.
+class MessageLeak : public std::logic_error {
+ public:
+  explicit MessageLeak(const std::string& what);
+};
+
 }  // namespace casp::vmpi

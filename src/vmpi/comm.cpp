@@ -62,6 +62,22 @@ std::vector<LeftoverCollective> Mailbox::stamped_leftovers() {
   }
   return out;
 }
+
+std::vector<LeftoverMessage> Mailbox::user_tag_leftovers() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<LeftoverMessage> out;
+  for (const Message& m : queue_) {
+    // Internal (negative) tags belong to the collective sweep; explicit
+    // fire-and-forget sends are exempt by contract.
+    if (m.tag < 0 || m.fire_and_forget) continue;
+    LeftoverMessage l;
+    l.src_world = m.src_world;
+    l.tag = m.tag;
+    l.bytes = m.payload.size();
+    out.push_back(l);
+  }
+  return out;
+}
 #endif
 
 }  // namespace detail
@@ -97,7 +113,12 @@ CollectiveScope::~CollectiveScope() {
 }
 
 void Comm::verify_collective_stamp(const detail::Message& msg, int src) {
-  const CollectiveStamp& mine = current_collective_;
+  verify_stamp_against(msg, src, current_collective_);
+}
+
+void Comm::verify_stamp_against(const detail::Message& msg, int src,
+                                const CollectiveStamp& expected) {
+  const CollectiveStamp& mine = expected;
   const CollectiveStamp& theirs = msg.stamp;
   // Plain point-to-point traffic on either side is outside the checker's
   // jurisdiction (tags already isolate it from collective traffic).
@@ -145,15 +166,18 @@ Comm::Comm(std::shared_ptr<detail::World> world, std::uint64_t context,
       rank_(my_pos),
       size_(static_cast<int>(members_.size())) {}
 
-void Comm::send_bytes(int dest, int tag, const std::byte* data,
-                      std::size_t size) {
+void Comm::post_message(int dest, int tag, Payload payload,
+                        bool fire_and_forget) {
   CASP_CHECK_MSG(dest >= 0 && dest < size_, "send to invalid rank " << dest);
-  traffic_->record_send(static_cast<Bytes>(size));
+  // Charge the full logical bytes regardless of how the handle is shared:
+  // Table II accounting must not see the zero-copy optimization.
+  traffic_->record_send(static_cast<Bytes>(payload.size()));
   detail::Message msg;
   msg.context = context_;
   msg.src_world = members_[static_cast<std::size_t>(rank_)];
   msg.tag = tag;
-  msg.payload.assign(data, data + size);
+  msg.payload = std::move(payload);
+  msg.fire_and_forget = fire_and_forget;
 #ifdef CASP_VMPI_CHECK
   msg.stamp = current_collective_;
 #endif
@@ -162,7 +186,7 @@ void Comm::send_bytes(int dest, int tag, const std::byte* data,
   world_->progress.fetch_add(1, std::memory_order_relaxed);
 }
 
-std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+detail::Message Comm::take_message(int src, int tag) {
   CASP_CHECK_MSG(src >= 0 && src < size_, "recv from invalid rank " << src);
   const int my_world = members_[static_cast<std::size_t>(rank_)];
   const int src_world = members_[static_cast<std::size_t>(src)];
@@ -194,10 +218,31 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
     st.blocked = false;
   }
   world_->progress.fetch_add(1, std::memory_order_relaxed);
+  return msg;
+}
+
+void Comm::send_payload(int dest, int tag, Payload payload,
+                        bool fire_and_forget) {
+  post_message(dest, tag, std::move(payload), fire_and_forget);
+}
+
+Payload Comm::recv_payload(int src, int tag) {
+  detail::Message msg = take_message(src, tag);
 #ifdef CASP_VMPI_CHECK
   verify_collective_stamp(msg, src);
 #endif
   return std::move(msg.payload);
+}
+
+void Comm::send_bytes(int dest, int tag, const std::byte* data,
+                      std::size_t size, bool fire_and_forget) {
+  post_message(dest, tag, Payload::copy_of(data, size), fire_and_forget);
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+  // release_or_copy keeps the legacy isolation guarantee: the returned
+  // vector is private even when the sender's handle is still shared.
+  return recv_payload(src, tag).release_or_copy();
 }
 
 void Comm::barrier() {
@@ -212,8 +257,7 @@ void Comm::barrier() {
   }
 }
 
-std::vector<std::byte> Comm::bcast_bytes(int root,
-                                         std::vector<std::byte> data) {
+Payload Comm::bcast_payload(int root, Payload data) {
   CASP_CHECK(root >= 0 && root < size_);
   if (size_ == 1) return data;
   CASP_VMPI_COLLECTIVE(CollectiveOp::kBcast, root, 0);
@@ -222,7 +266,7 @@ std::vector<std::byte> Comm::bcast_bytes(int root,
   while (mask < size_) {
     if ((relative & mask) != 0) {
       const int src = (relative - mask + root) % size_;
-      data = recv_bytes(src, kBcastTag);
+      data = recv_payload(src, kBcastTag);
       break;
     }
     mask <<= 1;
@@ -232,64 +276,182 @@ std::vector<std::byte> Comm::bcast_bytes(int root,
     if (relative + mask < size_ && (relative & (mask - 1)) == 0 &&
         (relative & mask) == 0) {
       const int dest = (relative + mask + root) % size_;
-      send_bytes(dest, kBcastTag, data.data(), data.size());
+      send_payload(dest, kBcastTag, data);  // handle copy, not a byte copy
     }
     mask >>= 1;
   }
   return data;
 }
 
-std::vector<std::vector<std::byte>> Comm::allgather_bytes(
-    std::vector<std::byte> mine) {
-  std::vector<std::vector<std::byte>> gathered(
-      static_cast<std::size_t>(size_));
+std::vector<std::byte> Comm::bcast_bytes(int root,
+                                         std::vector<std::byte> data) {
+  return bcast_payload(root, Payload::wrap(std::move(data)))
+      .release_or_copy();
+}
+
+PendingBcast Comm::ibcast_payload(int root, Payload data) {
+  CASP_CHECK(root >= 0 && root < size_);
+  PendingBcast pending;
+  pending.root_ = root;
+  if (size_ == 1) {
+    pending.data_ = std::move(data);
+    pending.done_ = true;
+    return pending;
+  }
+  // SPMD-consistent counter: every rank posts the same broadcasts in the
+  // same order, so all ranks derive the same per-call tag and sequence.
+  pending.tag_ = kIbcastTagBase -
+                 static_cast<int>(ibcast_counter_++ % kIbcastTagSlots);
+#ifdef CASP_VMPI_CHECK
+  {
+    CollectiveStamp stamp;
+    stamp.op = CollectiveOp::kBcast;
+    stamp.seq = ++collective_seq_;
+    stamp.root = root;
+    stamp.payload = 0;
+    pending.stamp_ = stamp;
+    const int my_world = members_[static_cast<std::size_t>(rank_)];
+    detail::RankStatus& st =
+        world_->status[static_cast<std::size_t>(my_world)];
+    std::lock_guard<std::mutex> lock(st.mutex);
+    st.history[st.history_count % st.history.size()] = stamp;
+    ++st.history_count;
+  }
+#endif
+  if (rank_ == root) {
+    pending.data_ = std::move(data);
+    // The root's whole binomial fan-out goes into the mailboxes now, so
+    // receivers can overlap compute and find the data already delivered
+    // when they reach their wait.
+#ifdef CASP_VMPI_CHECK
+    const CollectiveStamp saved = current_collective_;
+    current_collective_ = pending.stamp_;
+#endif
+    int mask = 1;
+    while (mask < size_) mask <<= 1;
+    mask >>= 1;
+    while (mask > 0) {
+      if (mask < size_) {
+        const int dest = (mask + root) % size_;
+        send_payload(dest, pending.tag_, pending.data_);
+      }
+      mask >>= 1;
+    }
+#ifdef CASP_VMPI_CHECK
+    current_collective_ = saved;
+#endif
+    pending.done_ = true;
+  }
+  return pending;
+}
+
+PendingBcast Comm::ibcast_bytes(int root, std::vector<std::byte> data) {
+  return ibcast_payload(root, Payload::wrap(std::move(data)));
+}
+
+Payload Comm::bcast_wait(PendingBcast& pending) {
+  CASP_CHECK_MSG(pending.valid(), "bcast_wait on an unposted PendingBcast");
+  if (pending.done_) return pending.data_;  // root, size-1, or repeat wait
+  const int root = pending.root_;
+  const int relative = (rank_ - root + size_) % size_;
+  int mask = 1;
+  while (mask < size_) {
+    if ((relative & mask) != 0) {
+      const int src = (relative - mask + root) % size_;
+      detail::Message msg = take_message(src, pending.tag_);
+#ifdef CASP_VMPI_CHECK
+      // current_collective_ is whatever this rank is doing *now*; the
+      // broadcast's identity lives in the stamp saved at post time.
+      verify_stamp_against(msg, src, pending.stamp_);
+#endif
+      pending.data_ = std::move(msg.payload);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+#ifdef CASP_VMPI_CHECK
+  const CollectiveStamp saved = current_collective_;
+  current_collective_ = pending.stamp_;
+#endif
+  while (mask > 0) {
+    if (relative + mask < size_ && (relative & (mask - 1)) == 0 &&
+        (relative & mask) == 0) {
+      const int dest = (relative + mask + root) % size_;
+      send_payload(dest, pending.tag_, pending.data_);
+    }
+    mask >>= 1;
+  }
+#ifdef CASP_VMPI_CHECK
+  current_collective_ = saved;
+#endif
+  pending.done_ = true;
+  return pending.data_;
+}
+
+std::vector<Payload> Comm::allgather_payload(Payload mine) {
+  std::vector<Payload> gathered(static_cast<std::size_t>(size_));
+  if (size_ == 1) {
+    gathered[0] = std::move(mine);
+    return gathered;
+  }
   {
     CASP_VMPI_COLLECTIVE(CollectiveOp::kAllgather, 0, 0);
     if (rank_ == 0) {
       gathered[0] = std::move(mine);
       for (int r = 1; r < size_; ++r)
-        gathered[static_cast<std::size_t>(r)] = recv_bytes(r, kGatherTag);
+        gathered[static_cast<std::size_t>(r)] = recv_payload(r, kGatherTag);
     } else {
-      send_bytes(0, kGatherTag, mine.data(), mine.size());
+      send_payload(0, kGatherTag, std::move(mine));
     }
   }
-  // Broadcast the concatenation with a length header.
-  std::vector<std::byte> packed;
+  // Rank 0 builds one packed concatenation (with per-rank length headers) —
+  // the only byte copy in the collective — then every rank, rank 0
+  // included, returns subviews into the shared broadcast buffer.
+  Payload packed;
   if (rank_ == 0) {
-    std::size_t total = sizeof(std::uint64_t) * static_cast<std::size_t>(size_);
-    for (const auto& buf : gathered) total += buf.size();
-    packed.reserve(total);
-    for (const auto& buf : gathered) {
-      const std::uint64_t len = buf.size();
+    std::size_t total =
+        sizeof(std::uint64_t) * static_cast<std::size_t>(size_);
+    for (const Payload& p : gathered) total += p.size();
+    std::vector<std::byte> buf;
+    buf.reserve(total);
+    for (const Payload& p : gathered) {
+      const std::uint64_t len = p.size();
       static_assert(std::is_trivially_copyable_v<std::uint64_t>);
       const auto* lenp = reinterpret_cast<const std::byte*>(&len);
-      packed.insert(packed.end(), lenp, lenp + sizeof(len));
-      packed.insert(packed.end(), buf.begin(), buf.end());
+      buf.insert(buf.end(), lenp, lenp + sizeof(len));
+      buf.insert(buf.end(), p.data(), p.data() + p.size());
     }
+    packed = Payload::wrap(std::move(buf));
   }
-  packed = bcast_bytes(0, std::move(packed));
-  if (rank_ != 0) {
-    std::size_t offset = 0;
-    for (int r = 0; r < size_; ++r) {
-      std::uint64_t len = 0;
-      std::memcpy(&len, packed.data() + offset, sizeof(len));
-      offset += sizeof(len);
-      gathered[static_cast<std::size_t>(r)].assign(
-          packed.begin() + static_cast<std::ptrdiff_t>(offset),
-          packed.begin() + static_cast<std::ptrdiff_t>(offset + len));
-      offset += len;
-    }
+  packed = bcast_payload(0, std::move(packed));
+  std::size_t offset = 0;
+  for (int r = 0; r < size_; ++r) {
+    std::uint64_t len = 0;
+    std::memcpy(&len, packed.data() + offset, sizeof(len));
+    offset += sizeof(len);
+    gathered[static_cast<std::size_t>(r)] =
+        packed.subview(offset, static_cast<std::size_t>(len));
+    offset += len;
   }
   return gathered;
 }
 
-std::vector<std::vector<std::byte>> Comm::alltoall_bytes(
-    std::vector<std::vector<std::byte>> buffers) {
+std::vector<std::vector<std::byte>> Comm::allgather_bytes(
+    std::vector<std::byte> mine) {
+  std::vector<Payload> all =
+      allgather_payload(Payload::wrap(std::move(mine)));
+  std::vector<std::vector<std::byte>> out(all.size());
+  for (std::size_t r = 0; r < all.size(); ++r)
+    out[r] = std::move(all[r]).release_or_copy();
+  return out;
+}
+
+std::vector<Payload> Comm::alltoall_payload(std::vector<Payload> buffers) {
   CASP_CHECK_MSG(static_cast<int>(buffers.size()) == size_,
                  "alltoall: need exactly one buffer per rank");
   CASP_VMPI_COLLECTIVE(CollectiveOp::kAlltoall, -1, 0);
-  std::vector<std::vector<std::byte>> received(
-      static_cast<std::size_t>(size_));
+  std::vector<Payload> received(static_cast<std::size_t>(size_));
   received[static_cast<std::size_t>(rank_)] =
       std::move(buffers[static_cast<std::size_t>(rank_)]);
   // Pairwise exchange: p-1 rounds of shifted partners; sends are
@@ -297,11 +459,22 @@ std::vector<std::vector<std::byte>> Comm::alltoall_bytes(
   for (int shift = 1; shift < size_; ++shift) {
     const int dest = (rank_ + shift) % size_;
     const int src = (rank_ - shift + size_) % size_;
-    send_bytes(dest, kAlltoallTag,
-               buffers[static_cast<std::size_t>(dest)].data(),
-               buffers[static_cast<std::size_t>(dest)].size());
-    received[static_cast<std::size_t>(src)] = recv_bytes(src, kAlltoallTag);
+    send_payload(dest, kAlltoallTag,
+                 std::move(buffers[static_cast<std::size_t>(dest)]));
+    received[static_cast<std::size_t>(src)] = recv_payload(src, kAlltoallTag);
   }
+  return received;
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoall_bytes(
+    std::vector<std::vector<std::byte>> buffers) {
+  std::vector<Payload> outgoing(buffers.size());
+  for (std::size_t d = 0; d < buffers.size(); ++d)
+    outgoing[d] = Payload::wrap(std::move(buffers[d]));
+  std::vector<Payload> incoming = alltoall_payload(std::move(outgoing));
+  std::vector<std::vector<std::byte>> received(incoming.size());
+  for (std::size_t s = 0; s < incoming.size(); ++s)
+    received[s] = std::move(incoming[s]).release_or_copy();
   return received;
 }
 

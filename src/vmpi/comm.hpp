@@ -1,12 +1,17 @@
 // Virtual message-passing communicator — the library's MPI substitute.
 //
 // Ranks are threads inside one OS process, but the programming model is
-// pure distributed memory: every payload is deep-copied through a mailbox,
-// nothing is shared. Collectives are built over point-to-point with the
-// textbook algorithms (binomial-tree broadcast/reduce, dissemination
-// barrier, pairwise all-to-all), so message counts match the latency terms
-// in the paper's Table II. Communicator splitting mirrors MPI_Comm_split,
-// giving SUMMA its row / column / fiber / layer communicators.
+// pure distributed memory: messages travel through per-rank mailboxes and
+// receivers can never observe a sender's later writes. Data is carried as
+// refcounted immutable Payload handles (common/payload.hpp): a send copies
+// the bytes once at the API boundary, and collectives forward the *handle*
+// through every tree hop instead of re-copying — while TrafficStats still
+// charges the full logical bytes per hop, so the message/byte counts match
+// the latency/bandwidth terms in the paper's Table II exactly. Collectives
+// are built over point-to-point with the textbook algorithms (binomial-tree
+// broadcast/reduce, dissemination barrier, pairwise all-to-all).
+// Communicator splitting mirrors MPI_Comm_split, giving SUMMA its row /
+// column / fiber / layer communicators.
 //
 // When compiled with CASP_VMPI_CHECK (the default; sanitizer builds force
 // it on), every collective stamps an (op, seq, root, payload) fingerprint
@@ -28,6 +33,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/payload.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "vmpi/check.hpp"
@@ -48,7 +54,12 @@ struct Message {
   std::uint64_t context;
   int src_world;  ///< sender's world rank
   int tag;
-  std::vector<std::byte> payload;
+  /// Immutable shared handle: tree collectives forward it hop-to-hop
+  /// without re-copying the bytes.
+  Payload payload;
+  /// Sender declared this message may legitimately go unreceived; exempts
+  /// it from the job-end tag-leak sweep.
+  bool fire_and_forget = false;
 #ifdef CASP_VMPI_CHECK
   /// Fingerprint of the collective the sender was executing (op == kNone
   /// for plain point-to-point traffic).
@@ -65,6 +76,14 @@ struct LeftoverCollective {
   int tag = 0;
   CollectiveStamp stamp;
 };
+
+/// A user-tag (tag >= 0) message still sitting in a mailbox at job end and
+/// not marked fire-and-forget — a send the matching receive never consumed.
+struct LeftoverMessage {
+  int src_world = -1;
+  int tag = 0;
+  std::size_t bytes = 0;
+};
 #endif
 
 /// One per world rank: MPSC mailbox with (context, src, tag) matching.
@@ -80,6 +99,7 @@ class Mailbox {
   void abort_all();
 #ifdef CASP_VMPI_CHECK
   std::vector<LeftoverCollective> stamped_leftovers();
+  std::vector<LeftoverMessage> user_tag_leftovers();
 #endif
 
  private:
@@ -153,6 +173,27 @@ class CollectiveScope {
   } while (0)
 #endif
 
+/// Handle for a nonblocking broadcast posted with Comm::ibcast_payload.
+/// The root's sends happen at post time; a non-root pulls its copy (and
+/// forwards to its binomial-tree children) when the posting rank calls
+/// Comm::bcast_wait. Each post draws a distinct tag so trees of adjacent
+/// pipeline stages can be in flight on the same communicator at once.
+class PendingBcast {
+ public:
+  PendingBcast() = default;
+  bool valid() const { return root_ >= 0; }
+
+ private:
+  friend class Comm;
+  int root_ = -1;
+  int tag_ = 0;
+  bool done_ = false;
+  Payload data_;  ///< root: the input; non-root: filled at wait
+#ifdef CASP_VMPI_CHECK
+  CollectiveStamp stamp_;  ///< created at post, verified/forwarded at wait
+#endif
+};
+
 /// Per-rank communicator handle. Not thread-safe; each rank owns its own.
 class Comm {
  public:
@@ -164,7 +205,17 @@ class Comm {
 
   // -- Point-to-point (ranks are communicator-local) ----------------------
 
-  void send_bytes(int dest, int tag, const std::byte* data, std::size_t size);
+  /// Hands an already-refcounted buffer to `dest` without copying the
+  /// bytes. `fire_and_forget` exempts the message from the job-end
+  /// tag-leak sweep (for sends the receiver may legitimately drop).
+  void send_payload(int dest, int tag, Payload payload,
+                    bool fire_and_forget = false);
+  Payload recv_payload(int src, int tag);
+
+  /// Legacy copying API: one deep copy at the send boundary, one private
+  /// buffer at the receive boundary.
+  void send_bytes(int dest, int tag, const std::byte* data, std::size_t size,
+                  bool fire_and_forget = false);
   std::vector<std::byte> recv_bytes(int src, int tag);
 
   template <typename T>
@@ -180,7 +231,7 @@ class Comm {
     std::vector<std::byte> raw = recv_bytes(src, tag);
     CASP_CHECK(raw.size() % sizeof(T) == 0);
     std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
     return out;
   }
 
@@ -205,18 +256,32 @@ class Comm {
   /// Dissemination barrier: ceil(lg p) rounds.
   void barrier();
 
+  /// Binomial-tree broadcast from `root`; every rank returns a handle to
+  /// the *same* allocation (the root's input) — no per-hop copies.
+  Payload bcast_payload(int root, Payload data);
+
   /// Binomial-tree broadcast of a byte buffer from `root`; every rank
   /// returns the payload (the root returns its own input).
   std::vector<std::byte> bcast_bytes(int root, std::vector<std::byte> data);
+
+  /// Nonblocking broadcast: the root publishes its sends immediately so
+  /// receivers can overlap compute with the in-flight data; every rank must
+  /// later call bcast_wait on the returned handle, in the same order on all
+  /// ranks. `data` is ignored on non-roots.
+  PendingBcast ibcast_payload(int root, Payload data);
+  PendingBcast ibcast_bytes(int root, std::vector<std::byte> data);
+  /// Completes a pending broadcast: non-roots receive and forward to their
+  /// tree children here. Returns the broadcast payload on every rank.
+  Payload bcast_wait(PendingBcast& pending);
 
   template <typename T>
   std::vector<T> bcast_vec(int root, std::vector<T> data) {
     static_assert(std::is_trivially_copyable_v<T>);
     std::vector<std::byte> raw(data.size() * sizeof(T));
-    std::memcpy(raw.data(), data.data(), raw.size());
+    if (!raw.empty()) std::memcpy(raw.data(), data.data(), raw.size());
     raw = bcast_bytes(root, std::move(raw));
     std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
     return out;
   }
 
@@ -258,6 +323,11 @@ class Comm {
     return out.at(0);
   }
 
+  /// All-gather of one payload per rank (binomial gather to rank 0 +
+  /// broadcast of the concatenation). Returns size() handles; on every rank
+  /// they are subviews of one shared concatenation buffer.
+  std::vector<Payload> allgather_payload(Payload mine);
+
   /// All-gather of one byte buffer per rank (binomial gather to rank 0 +
   /// broadcast of the concatenation). Returns size() buffers.
   std::vector<std::vector<std::byte>> allgather_bytes(
@@ -274,6 +344,11 @@ class Comm {
       std::memcpy(&out[r], all[r].data(), sizeof(T));
     return out;
   }
+
+  /// Personalized all-to-all (pairwise exchange, p-1 rounds). buffers[d] is
+  /// sent to rank d; returns one handle per source rank, shared with the
+  /// sender's allocation.
+  std::vector<Payload> alltoall_payload(std::vector<Payload> buffers);
 
   /// Personalized all-to-all (pairwise exchange, p-1 rounds). buffers[d] is
   /// sent to rank d; returns one buffer per source rank.
@@ -320,11 +395,23 @@ class Comm {
   Comm(std::shared_ptr<detail::World> world, std::uint64_t context,
        std::vector<int> members, int my_pos);
 
+  /// Enqueue a message for `dest`, recording the full logical bytes in
+  /// TrafficStats (handle forwarding never discounts a hop).
+  void post_message(int dest, int tag, Payload payload, bool fire_and_forget);
+  /// Blocking matched receive with watchdog bookkeeping; stamp verification
+  /// is the caller's job (recv paths check against the current collective,
+  /// bcast_wait against the stamp saved at post time).
+  detail::Message take_message(int src, int tag);
+
 #ifdef CASP_VMPI_CHECK
   friend class CollectiveScope;
   /// Abort with a CollectiveMismatch if `msg` carries a collective stamp
   /// that disagrees with the collective this rank is currently inside.
   void verify_collective_stamp(const detail::Message& msg, int src);
+  /// Abort if `msg`'s stamp disagrees with `expected` (the stamp a pending
+  /// ibcast saved at post time — current_collective_ is stale by wait time).
+  void verify_stamp_against(const detail::Message& msg, int src,
+                            const CollectiveStamp& expected);
 #endif
 
   static constexpr int kReduceTag = -101;
@@ -333,6 +420,10 @@ class Comm {
   static constexpr int kGatherTag = -104;
   static constexpr int kAlltoallTag = -105;
   static constexpr int kSplitTag = -106;
+  /// Nonblocking broadcasts draw from their own tag space so overlapping
+  /// trees (pipeline stage s and s+1) can never cross-match in the mailbox.
+  static constexpr int kIbcastTagBase = -200;
+  static constexpr int kIbcastTagSlots = 1024;
 
   std::shared_ptr<detail::World> world_;
   std::uint64_t context_;
@@ -340,6 +431,10 @@ class Comm {
   int rank_;
   int size_;
   std::uint64_t split_counter_ = 0;
+  /// SPMD-consistent count of ibcast posts on this communicator; derives
+  /// the per-call tag. Identical across ranks because every rank posts the
+  /// same broadcasts in the same order.
+  std::uint64_t ibcast_counter_ = 0;
 #ifdef CASP_VMPI_CHECK
   CollectiveStamp current_collective_;
   std::uint64_t collective_seq_ = 0;

@@ -227,6 +227,27 @@ RunResult run(int size, const std::function<void(Comm&)>& body) {
         "vmpi collective traffic left unconsumed at job end — ranks "
         "disagree on a collective's shape:\n" +
         leak.str());
+
+  // Same discipline for user-tag point-to-point traffic: a send whose
+  // matching receive never ran is a latent protocol bug (wrong tag, wrong
+  // destination, or a receive skipped on some branch). Senders that mean
+  // it opt out per message with fire_and_forget.
+  std::ostringstream tag_leak;
+  bool tag_leaked = false;
+  for (int r = 0; r < size; ++r) {
+    for (const detail::LeftoverMessage& l :
+         world->mailboxes[static_cast<std::size_t>(r)].user_tag_leftovers()) {
+      tag_leak << "  rank " << r << " never received tag " << l.tag << " ("
+               << l.bytes << " bytes) sent by rank " << l.src_world << "\n";
+      tag_leaked = true;
+    }
+  }
+  if (tag_leaked)
+    throw MessageLeak(
+        "vmpi point-to-point messages left unconsumed at job end (send "
+        "without a matching receive; mark intentional drops with "
+        "fire_and_forget):\n" +
+        tag_leak.str());
 #endif
   return result;
 }

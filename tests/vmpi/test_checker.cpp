@@ -116,6 +116,54 @@ TEST(CollectiveChecker, CompetingBcastRootsAreCaughtAsLeftoverTraffic) {
 #endif
 }
 
+TEST(MessageLeakSweep, UnconsumedSendTripsTheJobEndSweep) {
+#ifndef CASP_VMPI_CHECK
+  GTEST_SKIP() << "requires CASP_VMPI_CHECK";
+#else
+  // Rank 0 sends a user-tag message nobody ever receives; the job itself
+  // "succeeds", but the end-of-job sweep must name the dropped message.
+  const std::string what = capture_failure<MessageLeak>(2, [](Comm& comm) {
+    if (comm.rank() == 0) comm.send_value<int>(1, /*tag=*/42, 7);
+    comm.barrier();
+  });
+  EXPECT_NE(what.find("unconsumed"), std::string::npos) << what;
+  EXPECT_NE(what.find("tag 42"), std::string::npos) << what;
+  EXPECT_NE(what.find("rank 1"), std::string::npos) << what;   // receiver
+  EXPECT_NE(what.find("rank 0"), std::string::npos) << what;   // sender
+#endif
+}
+
+TEST(MessageLeakSweep, FireAndForgetSendsAreExempt) {
+  // The same dropped message, declared intentional: the job must complete
+  // cleanly (with or without the checker compiled in).
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int v = 7;
+      static_assert(std::is_trivially_copyable_v<int>);
+      comm.send_bytes(1, /*tag=*/42,
+                      reinterpret_cast<const std::byte*>(&v), sizeof(v),
+                      /*fire_and_forget=*/true);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(MessageLeakSweep, ConsumedTrafficDoesNotTrip) {
+  // Heavy but fully-matched point-to-point traffic must never false-alarm.
+  run(4, [](Comm& comm) {
+    for (int round = 0; round < 8; ++round) {
+      const int partner = comm.rank() ^ 1;
+      if (comm.rank() < partner) {
+        comm.send_value<int>(partner, round, comm.rank());
+        EXPECT_EQ(comm.recv_value<int>(partner, round), partner);
+      } else {
+        EXPECT_EQ(comm.recv_value<int>(partner, round), partner);
+        comm.send_value<int>(partner, round, comm.rank());
+      }
+    }
+  });
+}
+
 TEST(DeadlockWatchdog, CrossedPointToPointTagsAreReportedNotHung) {
   ScopedEnv fast_watchdog("CASP_VMPI_WATCHDOG_MS", "20");
   const std::string what =

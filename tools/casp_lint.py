@@ -18,6 +18,15 @@ test (see tests/CMakeLists.txt). Rules:
                   same scope (heuristic: within the preceding 40 lines) —
                   byte-punning a non-trivially-copyable type through the
                   mailbox is undefined behavior the sanitizers can miss.
+  payload-ownership
+                  In any file that handles shared `Payload` / `CscView` wire
+                  buffers, no `const_cast`. Received arrays are borrowed from
+                  a refcounted buffer that other ranks (and possibly the
+                  sender) still read, so casting away const is a cross-rank
+                  data race. Copy out first (CscView::materialize(),
+                  Payload::release_or_copy()). reinterpret_cast on those
+                  borrowed arrays additionally falls under cast-pairing: it
+                  must carry the trivially-copyable static_assert.
   pragma-once     Every header's first non-comment line is `#pragma once`.
   include-order   Within a contiguous `#include` block, system includes
                   (<...>) precede project includes ("..."), and each group
@@ -58,6 +67,9 @@ DELETE_OK_BEFORE = re.compile(r"(=\s*|operator\s*)$")
 REINTERPRET_RE = re.compile(r"\breinterpret_cast\b")
 TRIVIAL_RE = re.compile(r"is_trivially_copyable")
 CAST_SCOPE_LINES = 40
+
+CONST_CAST_RE = re.compile(r"\bconst_cast\b")
+PAYLOAD_TYPE_RE = re.compile(r"\b(Payload|CscView)\b")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"][^>"]+[>"])')
 
@@ -190,6 +202,7 @@ class Linter:
         if in_src and not in_vmpi:
             self.check_threading(path, code_lines, waived)
         self.check_cast_pairing(path, code_lines, waived)
+        self.check_payload_ownership(path, code_lines, waived)
         if path.suffix == ".hpp":
             self.check_pragma_once(path, code_lines, waived)
         self.check_include_order(path, raw_lines, waived)
@@ -230,6 +243,19 @@ class Linter:
                     path, idx + 1, "cast-pairing",
                     "reinterpret_cast without a nearby static_assert("
                     "std::is_trivially_copyable_v<...>) in the same scope")
+
+    def check_payload_ownership(self, path, code_lines, waived):
+        if not any(PAYLOAD_TYPE_RE.search(line) for line in code_lines):
+            return
+        for idx, line in enumerate(code_lines):
+            if CONST_CAST_RE.search(line) and not waived(
+                    "payload-ownership", idx):
+                self.error(
+                    path, idx + 1, "payload-ownership",
+                    "const_cast in a file handling shared Payload/CscView "
+                    "buffers — borrowed wire arrays are shared across ranks; "
+                    "copy out (materialize()/release_or_copy()) before "
+                    "mutating")
 
     def check_pragma_once(self, path, code_lines, waived):
         for idx, line in enumerate(code_lines):

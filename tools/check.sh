@@ -4,17 +4,20 @@
 #   (a) static lint        tools/casp_lint.py (+ clang-tidy when installed)
 #   (b) release            configure + build + full ctest
 #   (c) thread sanitizer   configure + build + ctest -L tsan-safe
+#   (d) address/UB san     configure + build + full ctest
 #
-# Usage: tools/check.sh [--skip-tsan]
+# Usage: tools/check.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 2)
 SKIP_TSAN=0
+SKIP_ASAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
-    *) echo "usage: tools/check.sh [--skip-tsan]" >&2; exit 2 ;;
+    --skip-asan) SKIP_ASAN=1 ;;
+    *) echo "usage: tools/check.sh [--skip-tsan] [--skip-asan]" >&2; exit 2 ;;
   esac
 done
 
@@ -44,6 +47,15 @@ else
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS"
   ctest --test-dir build/tsan -L tsan-safe --output-on-failure -j "$JOBS"
+fi
+
+if [ "$SKIP_ASAN" = 1 ]; then
+  echo "skipping Address/UBSanitizer stage (--skip-asan)"
+else
+  step "(d) Address+UBSanitizer build + full test suite"
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$JOBS"
+  ctest --test-dir build/asan-ubsan --output-on-failure -j "$JOBS"
 fi
 
 step "all gates passed"
