@@ -105,14 +105,15 @@ void ablate_merge_schedule() {
 
     Stopwatch deferred_watch;
     const CscMat deferred =
-        merge_matrices<PlusTimes>(partials, MergeKind::kUnsortedHash);
+        merge_matrices<PlusTimes>(csc_refs(partials), MergeKind::kUnsortedHash);
     const double deferred_t = deferred_watch.seconds();
 
     Stopwatch inc_watch;
     CscMat running = partials[0];
     for (Index s = 1; s < q; ++s) {
       const CscMat pair[] = {std::move(running), partials[static_cast<std::size_t>(s)]};
-      running = merge_matrices<PlusTimes>(pair, MergeKind::kUnsortedHash);
+      running =
+          merge_matrices<PlusTimes>(csc_refs(pair), MergeKind::kUnsortedHash);
     }
     const double incremental_t = inc_watch.seconds();
     if (running.nnz() != deferred.nnz()) std::abort();

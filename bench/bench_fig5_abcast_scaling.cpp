@@ -20,8 +20,9 @@ using namespace casp::bench;
 namespace {
 
 /// Pre-rework broadcast: the same binomial tree as Comm::bcast_payload but
-/// over the legacy std::vector API, so every tree hop deep-copies the
-/// bytes at the send boundary (the behavior the transport rework removed).
+/// with an explicit Payload::copy_of at every tree hop's send boundary,
+/// reproducing the per-hop deep copy the transport rework removed (so the
+/// p-1 sends still show up as p-1 copies in the ablation's counter delta).
 void legacy_bcast(vmpi::Comm& comm, int root, std::vector<std::byte>& data) {
   const int size = comm.size();
   const int relative = (comm.rank() - root + size) % size;
@@ -30,7 +31,7 @@ void legacy_bcast(vmpi::Comm& comm, int root, std::vector<std::byte>& data) {
   while (mask < size) {
     if ((relative & mask) != 0) {
       const int src = (relative - mask + root) % size;
-      data = comm.recv_bytes(src, kTag);
+      data = comm.recv_payload(src, kTag).release_or_copy();
       break;
     }
     mask <<= 1;
@@ -40,7 +41,8 @@ void legacy_bcast(vmpi::Comm& comm, int root, std::vector<std::byte>& data) {
     if (relative + mask < size && (relative & (mask - 1)) == 0 &&
         (relative & mask) == 0) {
       const int dest = (relative + mask + root) % size;
-      comm.send_bytes(dest, kTag, data.data(), data.size());
+      comm.send_payload(dest, kTag,
+                        Payload::copy_of(data.data(), data.size()));
     }
     mask >>= 1;
   }

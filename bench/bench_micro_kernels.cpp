@@ -92,7 +92,7 @@ void BM_Merge(benchmark::State& state) {
   // The heap merge requires sorted inputs (generator output is sorted);
   // the hash merge accepts either.
   for (auto _ : state) {
-    CscMat merged = merge_matrices<PlusTimes>(pieces, kind);
+    CscMat merged = merge_matrices<PlusTimes>(csc_refs(pieces), kind);
     benchmark::DoNotOptimize(merged.nnz());
   }
   state.SetItemsProcessed(state.iterations() * volume);

@@ -59,7 +59,8 @@ StepTimes run_pipeline(const CscMat& a, const CscMat& b, Index l, Index q,
       out.local_multiply += watch.seconds();
     }
     Stopwatch watch;
-    layer_results.push_back(merge_matrices<PlusTimes>(partials, merge_kind));
+    layer_results.push_back(
+        merge_matrices<PlusTimes>(csc_refs(partials), merge_kind));
     out.merge_layer += watch.seconds();
   }
 
@@ -71,7 +72,7 @@ StepTimes run_pipeline(const CscMat& a, const CscMat& b, Index l, Index q,
     for (const CscMat& d : layer_results)
       pieces.push_back(d.slice_cols(0, part_low(1, l, d.ncols())));
     Stopwatch watch;
-    CscMat merged = merge_matrices<PlusTimes>(pieces, merge_kind);
+    CscMat merged = merge_matrices<PlusTimes>(csc_refs(pieces), merge_kind);
     if (merge_kind == MergeKind::kUnsortedHash) merged.sort_columns();
     out.merge_fiber = watch.seconds() * static_cast<double>(l);  // all shares
   }
@@ -91,7 +92,7 @@ double merge_time(Index ways, MergeKind kind, std::uint64_t seed) {
   for (Index s = 0; s < ways; ++s)
     pieces.push_back(generate_er_square(2048, 24.0, seed + static_cast<std::uint64_t>(s)));
   Stopwatch watch;
-  CscMat merged = merge_matrices<PlusTimes>(pieces, kind);
+  CscMat merged = merge_matrices<PlusTimes>(csc_refs(pieces), kind);
   const double t = watch.seconds();
   if (merged.nnz() == 0) std::abort();  // keep the optimizer honest
   return t;

@@ -143,6 +143,8 @@ MeasuredRun run_measured(const Dataset& data, int p, int l, Index force_b,
   for (const std::string& name : result.time_names())
     out.step_seconds[name] = result.max_time(name);
   out.traffic = result.traffic_summary().total_per_phase;
+  out.report = obs::build_report(result);
+  out.report.counters["output_nnz"] = output_nnz;
   return out;
 }
 
@@ -290,29 +292,22 @@ void JsonRecords::add(const std::string& op, double bytes, double ns,
 }
 
 bool JsonRecords::write(const std::string& path) const {
+  obs::Json arr = obs::Json::array();
+  for (const Record& r : records_) {
+    obs::Json rec = obs::Json::object();
+    rec.set("op", obs::Json(r.op));
+    rec.set("bytes", obs::Json(r.bytes));
+    rec.set("ns", obs::Json(r.ns));
+    rec.set("copies", obs::Json(r.copies));
+    arr.push_back(std::move(rec));
+  }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::printf("(could not write %s)\n", path.c_str());
     return false;
   }
-  auto escape = [](const std::string& s) {
-    std::string out;
-    for (const char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    return out;
-  };
-  std::fprintf(f, "[\n");
-  for (std::size_t i = 0; i < records_.size(); ++i) {
-    const Record& r = records_[i];
-    std::fprintf(f,
-                 "  {\"op\": \"%s\", \"bytes\": %.0f, \"ns\": %.1f, "
-                 "\"copies\": %.3f}%s\n",
-                 escape(r.op).c_str(), r.bytes, r.ns, r.copies,
-                 i + 1 < records_.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
+  const std::string text = arr.dump_pretty();
+  std::fwrite(text.data(), 1, text.size(), f);
   std::fclose(f);
   std::printf("wrote %zu records to %s\n", records_.size(), path.c_str());
   return true;

@@ -22,6 +22,7 @@
 #include "model/costs.hpp"
 #include "model/machine.hpp"
 #include "model/scaling.hpp"
+#include "obs/report.hpp"
 #include "sparse/stats.hpp"
 #include "summa/batched.hpp"
 #include "vmpi/runtime.hpp"
@@ -75,6 +76,10 @@ struct MeasuredRun {
   double wall_seconds = 0.0;
   Index symbolic_batches = 1;  ///< what the symbolic step would choose
   Index output_nnz = 0;
+  /// The full observability aggregate of the run — the same document the
+  /// CLIs' --report flag writes. step_seconds/traffic above are convenience
+  /// views of its entries.
+  obs::RunReport report;
 };
 
 /// Run BatchedSUMMA3D on `p` virtual ranks and collect the breakdown.

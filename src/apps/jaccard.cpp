@@ -1,7 +1,6 @@
 #include "apps/jaccard.hpp"
 
 #include <algorithm>
-#include <cstring>
 
 #include "common/error.hpp"
 #include "grid/dist.hpp"
@@ -82,17 +81,8 @@ std::vector<JaccardPair> jaccard_pairs_distributed(Grid3D& grid,
       },
       /*keep_output=*/false);
 
-  std::vector<std::byte> raw(mine.size() * sizeof(JaccardPair));
-  if (!mine.empty()) std::memcpy(raw.data(), mine.data(), raw.size());
-  const auto all = grid.world().allgather_bytes(std::move(raw));
-  std::vector<JaccardPair> pairs;
-  for (const auto& buf : all) {
-    CASP_CHECK(buf.size() % sizeof(JaccardPair) == 0);
-    const std::size_t count = buf.size() / sizeof(JaccardPair);
-    const std::size_t base = pairs.size();
-    pairs.resize(base + count);
-    if (count > 0) std::memcpy(pairs.data() + base, buf.data(), buf.size());
-  }
+  std::vector<JaccardPair> pairs =
+      grid.world().allgather_vec<JaccardPair>(mine);
   std::sort(pairs.begin(), pairs.end());
   return pairs;
 }

@@ -1,7 +1,6 @@
 #include "apps/matching.hpp"
 
 #include <algorithm>
-#include <cstring>
 
 #include "apps/overlap.hpp"
 #include "common/error.hpp"
@@ -86,18 +85,8 @@ MatchingResult heavy_connectivity_matching_distributed(
         // Share this batch's candidates; every rank applies the identical
         // greedy pass, keeping the matched set consistent without a
         // coordinator. The candidates are then discarded.
-        std::vector<std::byte> raw(mine.size() * sizeof(Candidate));
-        if (!mine.empty()) std::memcpy(raw.data(), mine.data(), raw.size());
-        const auto all = grid.world().allgather_bytes(std::move(raw));
-        std::vector<Candidate> batch_candidates;
-        for (const auto& buf : all) {
-          CASP_CHECK(buf.size() % sizeof(Candidate) == 0);
-          const std::size_t count = buf.size() / sizeof(Candidate);
-          const std::size_t base = batch_candidates.size();
-          batch_candidates.resize(base + count);
-          if (count > 0)
-            std::memcpy(batch_candidates.data() + base, buf.data(), buf.size());
-        }
+        std::vector<Candidate> batch_candidates =
+            grid.world().allgather_vec<Candidate>(mine);
         std::sort(batch_candidates.begin(), batch_candidates.end(), heavier);
         greedy_apply(batch_candidates, result);
       },

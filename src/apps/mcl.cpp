@@ -8,6 +8,7 @@
 #include "common/math.hpp"
 #include "grid/dist.hpp"
 #include "kernels/spgemm.hpp"
+#include "obs/recorder.hpp"
 #include "sparse/serialize.hpp"
 #include "summa/batched.hpp"
 
@@ -178,8 +179,11 @@ MclResult mcl_cluster_distributed(Grid3D& grid, const CscMat& similarity,
   CASP_CHECK(similarity.nrows() == similarity.ncols());
   CscMat m = similarity;
   mcl_normalize_columns(m);
+  obs::Recorder& rec = grid.world().recorder();
   MclResult result;
   for (int iter = 0; iter < params.max_iterations; ++iter) {
+    obs::ScopedTag iter_tag(rec, obs::ScopedTag::Kind::kIteration, iter);
+    obs::Span iter_span(rec, "MCL-Iteration");
     const DistMat3D da = distribute_a_style(grid, m);
     const DistMat3D db = distribute_b_style(grid, m);
     // Expansion with batch-wise pruning: each finished batch piece is
@@ -244,11 +248,15 @@ MclResult mcl_cluster_distributed(Grid3D& grid, const CscMat& similarity,
     stats.nnz_after = m.nnz();
     result.per_iteration.push_back(stats);
     ++result.iterations;
+    rec.set_counter("mcl.iterations", result.iterations);
+    rec.set_counter("mcl.nnz_after", static_cast<std::int64_t>(stats.nnz_after));
+    rec.sample("mcl.nnz_after", static_cast<std::int64_t>(stats.nnz_after));
     if (stats.chaos < params.chaos_threshold) break;
   }
   const MclResult interpreted = mcl_interpret(m);
   result.cluster_of = interpreted.cluster_of;
   result.num_clusters = interpreted.num_clusters;
+  rec.set_counter("mcl.num_clusters", interpreted.num_clusters);
   return result;
 }
 

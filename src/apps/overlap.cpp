@@ -1,7 +1,6 @@
 #include "apps/overlap.hpp"
 
 #include <algorithm>
-#include <cstring>
 
 #include "common/error.hpp"
 #include "grid/dist.hpp"
@@ -58,17 +57,8 @@ std::vector<OverlapPair> find_overlaps_distributed(Grid3D& grid,
       /*keep_output=*/false);
 
   // Share candidates so every rank returns the full list.
-  std::vector<std::byte> raw(mine.size() * sizeof(OverlapPair));
-  if (!mine.empty()) std::memcpy(raw.data(), mine.data(), raw.size());
-  const auto all = grid.world().allgather_bytes(std::move(raw));
-  std::vector<OverlapPair> pairs;
-  for (const auto& buf : all) {
-    CASP_CHECK(buf.size() % sizeof(OverlapPair) == 0);
-    const std::size_t count = buf.size() / sizeof(OverlapPair);
-    const std::size_t base = pairs.size();
-    pairs.resize(base + count);
-    if (count > 0) std::memcpy(pairs.data() + base, buf.data(), buf.size());
-  }
+  std::vector<OverlapPair> pairs =
+      grid.world().allgather_vec<OverlapPair>(mine);
   std::sort(pairs.begin(), pairs.end());
   return pairs;
 }

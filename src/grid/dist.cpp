@@ -91,21 +91,8 @@ CscMat gather_dist(Grid3D& grid, const DistMat3D& dist) {
       mine.push_back(
           {rows[k] + dist.rows.start, j + dist.cols.start, values[k]});
   }
-  std::vector<std::byte> raw(mine.size() * sizeof(Triple));
-  if (!mine.empty()) std::memcpy(raw.data(), mine.data(), raw.size());
-
-  std::vector<std::vector<std::byte>> all =
-      grid.world().allgather_bytes(std::move(raw));
-
   TripleMat global(dist.global_rows, dist.global_cols);
-  for (const auto& buf : all) {
-    CASP_CHECK(buf.size() % sizeof(Triple) == 0);
-    const std::size_t count = buf.size() / sizeof(Triple);
-    const std::size_t base = global.entries().size();
-    global.entries().resize(base + count);
-    if (count > 0)
-      std::memcpy(global.entries().data() + base, buf.data(), buf.size());
-  }
+  global.entries() = grid.world().allgather_vec<Triple>(mine);
   global.check_bounds();
   return CscMat::from_triples(std::move(global));
 }

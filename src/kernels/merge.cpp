@@ -72,12 +72,13 @@ class MergeTable {
 
 }  // namespace
 
-template <typename SR, typename Mat>
-CscMat run_merge(std::span<const Mat> pieces, MergeKind kind, int threads) {
+template <typename SR>
+CscMat merge_matrices(std::span<const CscConstRef> pieces, MergeKind kind,
+                      int threads) {
   CASP_CHECK(!pieces.empty());
   const Index nrows = pieces.front().nrows();
   const Index ncols = pieces.front().ncols();
-  for (const Mat& m : pieces)
+  for (const CscConstRef& m : pieces)
     CASP_CHECK_MSG(m.nrows() == nrows && m.ncols() == ncols,
                    "merge: shape mismatch");
 
@@ -85,7 +86,7 @@ CscMat run_merge(std::span<const Mat> pieces, MergeKind kind, int threads) {
   std::vector<Index> ub_ptr(static_cast<std::size_t>(ncols) + 1, 0);
   for (Index j = 0; j < ncols; ++j) {
     Index ub = 0;
-    for (const Mat& m : pieces) ub += m.col_nnz(j);
+    for (const CscConstRef& m : pieces) ub += m.col_nnz(j);
     ub_ptr[static_cast<std::size_t>(j) + 1] = ub_ptr[static_cast<std::size_t>(j)] + ub;
   }
   std::vector<Index> rowids(static_cast<std::size_t>(ub_ptr.back()));
@@ -117,7 +118,7 @@ CscMat run_merge(std::span<const Mat> pieces, MergeKind kind, int threads) {
       if (kind == MergeKind::kUnsortedHash) {
         table.require(cap);
         table.reset();
-        for (const Mat& m : pieces) {
+        for (const CscConstRef& m : pieces) {
           const auto rows = m.col_rowids(j);
           const auto mv = m.col_vals(j);
           for (std::size_t k = 0; k < rows.size(); ++k)
@@ -177,33 +178,13 @@ CscMat run_merge(std::span<const Mat> pieces, MergeKind kind, int threads) {
                 std::move(out_vals));
 }
 
-template <typename SR>
-CscMat merge_matrices(std::span<const CscMat> pieces, MergeKind kind,
-                      int threads) {
-  return run_merge<SR, CscMat>(pieces, kind, threads);
-}
-
-template <typename SR>
-CscMat merge_matrices(std::span<const CscView> pieces, MergeKind kind,
-                      int threads) {
-  return run_merge<SR, CscView>(pieces, kind, threads);
-}
-
-template CscMat merge_matrices<PlusTimes>(std::span<const CscMat>, MergeKind,
-                                          int);
-template CscMat merge_matrices<MinPlus>(std::span<const CscMat>, MergeKind,
-                                        int);
-template CscMat merge_matrices<MaxMin>(std::span<const CscMat>, MergeKind,
-                                       int);
-template CscMat merge_matrices<OrAnd>(std::span<const CscMat>, MergeKind, int);
-
-template CscMat merge_matrices<PlusTimes>(std::span<const CscView>, MergeKind,
-                                          int);
-template CscMat merge_matrices<MinPlus>(std::span<const CscView>, MergeKind,
-                                        int);
-template CscMat merge_matrices<MaxMin>(std::span<const CscView>, MergeKind,
-                                       int);
-template CscMat merge_matrices<OrAnd>(std::span<const CscView>, MergeKind,
+template CscMat merge_matrices<PlusTimes>(std::span<const CscConstRef>,
+                                          MergeKind, int);
+template CscMat merge_matrices<MinPlus>(std::span<const CscConstRef>,
+                                        MergeKind, int);
+template CscMat merge_matrices<MaxMin>(std::span<const CscConstRef>,
+                                       MergeKind, int);
+template CscMat merge_matrices<OrAnd>(std::span<const CscConstRef>, MergeKind,
                                       int);
 
 }  // namespace casp

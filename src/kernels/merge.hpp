@@ -11,7 +11,7 @@
 
 #include "kernels/semiring.hpp"
 #include "sparse/csc_mat.hpp"
-#include "sparse/csc_view.hpp"
+#include "sparse/csc_ref.hpp"
 
 namespace casp {
 
@@ -25,15 +25,13 @@ const char* to_string(MergeKind kind);
 /// Merge matrices of identical shape by summing duplicates (over SR::add).
 /// kSortedHeap requires every input to have sorted columns.
 /// `threads`: OpenMP threads over output columns.
+///
+/// The single entry point takes non-owning refs; wrap an owned collection
+/// with csc_refs(...) — works identically for CscMat vectors and CscView
+/// vectors (e.g. the fiber all-to-all buffers, merged zero-copy without
+/// deserializing them first).
 template <typename SR = PlusTimes>
-CscMat merge_matrices(std::span<const CscMat> pieces,
-                      MergeKind kind = MergeKind::kUnsortedHash,
-                      int threads = 1);
-
-/// Zero-copy overload: pieces borrowed from received payloads (e.g. the
-/// fiber all-to-all buffers) are merged without deserializing them first.
-template <typename SR = PlusTimes>
-CscMat merge_matrices(std::span<const CscView> pieces,
+CscMat merge_matrices(std::span<const CscConstRef> pieces,
                       MergeKind kind = MergeKind::kUnsortedHash,
                       int threads = 1);
 

@@ -349,20 +349,14 @@ CscMat run_spgemm(const MatA& a, const MatB& b, SpGemmKind kind,
 }  // namespace
 
 template <typename SR>
-CscMat local_spgemm(const CscMat& a, const CscMat& b, SpGemmKind kind,
-                    int threads) {
+CscMat local_spgemm(const CscConstRef& a, const CscConstRef& b,
+                    SpGemmKind kind, int threads) {
   return run_spgemm<SR>(a, b, kind, threads);
 }
 
 template <typename SR>
-CscMat local_spgemm(const CscView& a, const CscView& b, SpGemmKind kind,
-                    int threads) {
-  return run_spgemm<SR>(a, b, kind, threads);
-}
-
-template <typename SR>
-CscMat local_spgemm_masked(const CscMat& a, const CscMat& b,
-                           const CscMat& mask) {
+CscMat local_spgemm_masked(const CscConstRef& a, const CscConstRef& b,
+                           const CscConstRef& mask) {
   CASP_CHECK_MSG(a.ncols() == b.nrows(),
                  "local_spgemm_masked: inner dimension mismatch");
   CASP_CHECK_MSG(mask.nrows() == a.nrows() && mask.ncols() == b.ncols(),
@@ -417,31 +411,26 @@ CscMat local_spgemm_masked(const CscMat& a, const CscMat& b,
                 std::move(vals));
 }
 
-template CscMat local_spgemm_masked<PlusTimes>(const CscMat&, const CscMat&,
-                                               const CscMat&);
-template CscMat local_spgemm_masked<MinPlus>(const CscMat&, const CscMat&,
-                                             const CscMat&);
-template CscMat local_spgemm_masked<MaxMin>(const CscMat&, const CscMat&,
-                                            const CscMat&);
-template CscMat local_spgemm_masked<OrAnd>(const CscMat&, const CscMat&,
-                                           const CscMat&);
+template CscMat local_spgemm_masked<PlusTimes>(const CscConstRef&,
+                                               const CscConstRef&,
+                                               const CscConstRef&);
+template CscMat local_spgemm_masked<MinPlus>(const CscConstRef&,
+                                             const CscConstRef&,
+                                             const CscConstRef&);
+template CscMat local_spgemm_masked<MaxMin>(const CscConstRef&,
+                                            const CscConstRef&,
+                                            const CscConstRef&);
+template CscMat local_spgemm_masked<OrAnd>(const CscConstRef&,
+                                           const CscConstRef&,
+                                           const CscConstRef&);
 
-template CscMat local_spgemm<PlusTimes>(const CscMat&, const CscMat&,
-                                        SpGemmKind, int);
-template CscMat local_spgemm<MinPlus>(const CscMat&, const CscMat&,
+template CscMat local_spgemm<PlusTimes>(const CscConstRef&,
+                                        const CscConstRef&, SpGemmKind, int);
+template CscMat local_spgemm<MinPlus>(const CscConstRef&, const CscConstRef&,
                                       SpGemmKind, int);
-template CscMat local_spgemm<MaxMin>(const CscMat&, const CscMat&,
+template CscMat local_spgemm<MaxMin>(const CscConstRef&, const CscConstRef&,
                                      SpGemmKind, int);
-template CscMat local_spgemm<OrAnd>(const CscMat&, const CscMat&, SpGemmKind,
-                                    int);
-
-template CscMat local_spgemm<PlusTimes>(const CscView&, const CscView&,
-                                        SpGemmKind, int);
-template CscMat local_spgemm<MinPlus>(const CscView&, const CscView&,
-                                      SpGemmKind, int);
-template CscMat local_spgemm<MaxMin>(const CscView&, const CscView&,
-                                     SpGemmKind, int);
-template CscMat local_spgemm<OrAnd>(const CscView&, const CscView&,
+template CscMat local_spgemm<OrAnd>(const CscConstRef&, const CscConstRef&,
                                     SpGemmKind, int);
 
 }  // namespace casp

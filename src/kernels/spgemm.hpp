@@ -10,7 +10,7 @@
 
 #include "kernels/semiring.hpp"
 #include "sparse/csc_mat.hpp"
-#include "sparse/csc_view.hpp"
+#include "sparse/csc_ref.hpp"
 
 namespace casp {
 
@@ -32,15 +32,12 @@ bool produces_sorted(SpGemmKind kind);
 /// columns may be unsorted for the hash/spa kernels; the heap and hybrid
 /// kernels require sorted inputs (they merge sorted runs).
 /// `threads`: OpenMP threads to parallelize over output columns.
+///
+/// Operands are non-owning refs, implicitly convertible from an owned
+/// CscMat or a payload-borrowing CscView — the one entry point serves both
+/// the owned and the zero-copy (wire buffers read in place) paths.
 template <typename SR = PlusTimes>
-CscMat local_spgemm(const CscMat& a, const CscMat& b,
-                    SpGemmKind kind = SpGemmKind::kUnsortedHash,
-                    int threads = 1);
-
-/// Zero-copy overload: operands borrowed from received payloads
-/// (sparse/csc_view.hpp); the kernels read the wire buffers in place.
-template <typename SR = PlusTimes>
-CscMat local_spgemm(const CscView& a, const CscView& b,
+CscMat local_spgemm(const CscConstRef& a, const CscConstRef& b,
                     SpGemmKind kind = SpGemmKind::kUnsortedHash,
                     int threads = 1);
 
@@ -51,7 +48,7 @@ CscMat local_spgemm(const CscView& a, const CscView& b,
 /// itself). mask must have sorted columns and the shape of the product.
 /// Output columns are sorted in mask order.
 template <typename SR = PlusTimes>
-CscMat local_spgemm_masked(const CscMat& a, const CscMat& b,
-                           const CscMat& mask);
+CscMat local_spgemm_masked(const CscConstRef& a, const CscConstRef& b,
+                           const CscConstRef& mask);
 
 }  // namespace casp

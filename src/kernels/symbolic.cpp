@@ -48,8 +48,8 @@ class RowSet {
 };
 }  // namespace
 
-template <typename MatA, typename MatB>
-std::vector<Index> symbolic_column_nnz(const MatA& a, const MatB& b) {
+std::vector<Index> symbolic_column_nnz(const CscConstRef& a,
+                                       const CscConstRef& b) {
   CASP_CHECK_MSG(a.ncols() == b.nrows(), "symbolic: inner dimension mismatch");
   const std::vector<Index> flops = column_flops(a, b);
   std::vector<Index> nnz(static_cast<std::size_t>(b.ncols()), 0);
@@ -70,17 +70,9 @@ std::vector<Index> symbolic_column_nnz(const MatA& a, const MatB& b) {
   return nnz;
 }
 
-template <typename MatA, typename MatB>
-Index symbolic_nnz(const MatA& a, const MatB& b) {
+Index symbolic_nnz(const CscConstRef& a, const CscConstRef& b) {
   const std::vector<Index> per_col = symbolic_column_nnz(a, b);
   return std::accumulate(per_col.begin(), per_col.end(), Index{0});
 }
-
-template std::vector<Index> symbolic_column_nnz<CscMat, CscMat>(const CscMat&,
-                                                                const CscMat&);
-template std::vector<Index> symbolic_column_nnz<CscView, CscView>(
-    const CscView&, const CscView&);
-template Index symbolic_nnz<CscMat, CscMat>(const CscMat&, const CscMat&);
-template Index symbolic_nnz<CscView, CscView>(const CscView&, const CscView&);
 
 }  // namespace casp

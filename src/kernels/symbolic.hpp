@@ -8,19 +8,17 @@
 
 #include <vector>
 
-#include "sparse/csc_mat.hpp"
-#include "sparse/csc_view.hpp"
+#include "sparse/csc_ref.hpp"
 
 namespace casp {
 
 /// Number of nonzeros in each column of A*B after merging duplicates
-/// within the column. Hash-based; inputs may be unsorted. Instantiated for
-/// CscMat and CscView operands (definitions in symbolic.cpp).
-template <typename MatA, typename MatB>
-std::vector<Index> symbolic_column_nnz(const MatA& a, const MatB& b);
+/// within the column. Hash-based; inputs may be unsorted. Operands are
+/// non-owning refs (implicitly convertible from CscMat or CscView).
+std::vector<Index> symbolic_column_nnz(const CscConstRef& a,
+                                       const CscConstRef& b);
 
 /// Total nnz(A*B) (merged). Equals the sum of symbolic_column_nnz.
-template <typename MatA, typename MatB>
-Index symbolic_nnz(const MatA& a, const MatB& b);
+Index symbolic_nnz(const CscConstRef& a, const CscConstRef& b);
 
 }  // namespace casp

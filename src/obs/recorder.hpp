@@ -1,0 +1,192 @@
+// Per-rank observability recorder — one structured event stream unifying
+// the three ledgers the benches used to re-aggregate by hand.
+//
+// A Recorder owns the rank's TrafficStats (per-phase totals + rank×rank
+// matrix), its TimeAccumulator (per-step breakdowns), a chronological
+// timeline of begin/end span events tagged with (SUMMA stage, batch, layer,
+// MCL iteration), named counters, and memory high-water samples taken from
+// a MemoryTracker. Spans are RAII and strictly nested per rank, so each
+// rank's timeline is a valid bracket sequence in nondecreasing time order —
+// the Chrome-trace export is well-formed by construction, no sorting or
+// repair pass needed.
+//
+// All ranks of a job share one epoch (a Stopwatch copied from the World at
+// communicator construction), so cross-rank timestamps are comparable.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/memory_tracker.hpp"
+#include "common/timer.hpp"
+#include "vmpi/traffic.hpp"
+
+namespace casp::obs {
+
+/// Structured context attached to every event recorded while it is active.
+/// -1 means "not inside one".
+struct Tags {
+  int stage = -1;      ///< SUMMA broadcast stage index
+  int batch = -1;      ///< batched-3D batch index
+  int layer = -1;      ///< 3D grid layer
+  int iteration = -1;  ///< MCL iteration
+};
+
+/// One timeline entry. kBegin/kEnd bracket a span; kCounter is a point
+/// sample (memory high-water, per-iteration stats).
+struct TimelineEvent {
+  enum class Kind : std::uint8_t { kBegin, kEnd, kCounter };
+  Kind kind = Kind::kBegin;
+  std::string name;
+  double t = 0.0;  ///< seconds since the job epoch
+  Tags tags;
+  std::int64_t value = 0;  ///< kCounter payload
+};
+
+/// Per-rank recorder. Not thread-safe: each rank owns one (split
+/// communicators share their parent's, exactly like TrafficStats did).
+class Recorder {
+ public:
+  vmpi::TrafficStats& traffic() { return traffic_; }
+  const vmpi::TrafficStats& traffic() const { return traffic_; }
+  TimeAccumulator& times() { return times_; }
+  const TimeAccumulator& times() const { return times_; }
+
+  /// Adopt the job-wide time base (all ranks copy the same Stopwatch).
+  void set_epoch(const Stopwatch& epoch) { epoch_ = epoch; }
+  double now() const { return epoch_.seconds(); }
+
+  Tags& tags() { return tags_; }
+  const Tags& tags() const { return tags_; }
+
+  /// Open a span: emits the kBegin event and returns its timestamp (the
+  /// Span guard passes it back to end_span for the duration).
+  double begin_span(const std::string& name) {
+    const double t = now();
+    events_.push_back({TimelineEvent::Kind::kBegin, name, t, tags_, 0});
+    return t;
+  }
+
+  /// Close a span opened at `t_begin`; charges the duration to the rank's
+  /// TimeAccumulator under the span name.
+  void end_span(const std::string& name, double t_begin) {
+    const double t = now();
+    events_.push_back({TimelineEvent::Kind::kEnd, name, t, tags_, 0});
+    times_.add(name, t - t_begin);
+  }
+
+  /// Point sample of a named quantity (renders as a Chrome-trace counter).
+  void sample(const std::string& name, std::int64_t value) {
+    events_.push_back({TimelineEvent::Kind::kCounter, name, now(), tags_, value});
+  }
+
+  /// Sample a MemoryTracker's live bytes and fold its peak into the rank's
+  /// high-water mark.
+  void sample_memory(const MemoryTracker& mem, const std::string& label) {
+    sample(label, static_cast<std::int64_t>(mem.live()));
+    peak_bytes_ = std::max(peak_bytes_, mem.peak());
+  }
+  Bytes peak_bytes() const { return peak_bytes_; }
+
+  /// Named scalar results (batch count, output nnz, MCL iterations…);
+  /// surfaced verbatim in the RunReport.
+  void set_counter(const std::string& name, std::int64_t value) {
+    counters_[name] = value;
+  }
+  void add_counter(const std::string& name, std::int64_t delta) {
+    counters_[name] += delta;
+  }
+  const std::map<std::string, std::int64_t>& counters() const {
+    return counters_;
+  }
+
+  const std::vector<TimelineEvent>& events() const { return events_; }
+
+  void clear() {
+    traffic_.clear();
+    times_.clear();
+    events_.clear();
+    counters_.clear();
+    peak_bytes_ = 0;
+    tags_ = Tags{};
+  }
+
+ private:
+  Stopwatch epoch_;
+  Tags tags_;
+  vmpi::TrafficStats traffic_;
+  TimeAccumulator times_;
+  std::vector<TimelineEvent> events_;
+  std::map<std::string, std::int64_t> counters_;
+  Bytes peak_bytes_ = 0;
+};
+
+/// RAII span: timeline B/E events + a TimeAccumulator entry under `name`.
+class Span {
+ public:
+  Span(Recorder& rec, std::string name)
+      : rec_(rec), name_(std::move(name)), t_begin_(rec_.begin_span(name_)) {}
+  ~Span() { rec_.end_span(name_, t_begin_); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Recorder& rec_;
+  std::string name_;
+  double t_begin_;
+};
+
+/// Span that also labels the rank's traffic phase for its extent — the
+/// one-liner replacing the ScopedPhase + ScopedTimer pairs. record_send
+/// sites are untouched, so Table II totals are bit-identical.
+class PhaseSpan {
+ public:
+  PhaseSpan(Recorder& rec, std::string name)
+      : phase_(rec.traffic(), name), span_(rec, std::move(name)) {}
+
+ private:
+  vmpi::ScopedPhase phase_;
+  Span span_;
+};
+
+/// RAII tag: sets one Tags field for the scope, restoring the old value on
+/// exit (nesting-safe).
+class ScopedTag {
+ public:
+  enum class Kind { kStage, kBatch, kLayer, kIteration };
+
+  ScopedTag(Recorder& rec, Kind kind, int value) : rec_(rec), kind_(kind) {
+    int& slot = field();
+    saved_ = slot;
+    slot = value;
+  }
+  ~ScopedTag() { field() = saved_; }
+  ScopedTag(const ScopedTag&) = delete;
+  ScopedTag& operator=(const ScopedTag&) = delete;
+
+ private:
+  int& field() {
+    Tags& t = rec_.tags();
+    switch (kind_) {
+      case Kind::kStage:
+        return t.stage;
+      case Kind::kBatch:
+        return t.batch;
+      case Kind::kLayer:
+        return t.layer;
+      case Kind::kIteration:
+      default:
+        return t.iteration;
+    }
+  }
+
+  Recorder& rec_;
+  Kind kind_;
+  int saved_ = -1;
+};
+
+}  // namespace casp::obs

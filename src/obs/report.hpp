@@ -1,0 +1,90 @@
+// RunReport: the machine-readable aggregation of a virtual job's recorders.
+//
+// build_report folds the per-rank Recorders of a vmpi::RunResult into one
+// document: per-phase message/byte totals and per-rank maxima (identical to
+// TrafficStats' Table II accounting — the report is a *view* of the same
+// ledger, never a re-count), per-phase rank×rank traffic matrices, step
+// timings, named counters, and memory high-water marks. Serialized as JSON
+// ("casp.run_report.v1"); the deterministic subset (counts, matrices,
+// counters — no timings) is byte-identical across repeated runs of the same
+// program, which is what the golden tests compare.
+//
+// chrome_trace_string renders all ranks' timeline spans as a Chrome
+// trace-event document (one tid per rank) loadable in chrome://tracing or
+// Perfetto. Span events are emitted per rank in recording order; RAII
+// spans guarantee paired B/E events and nondecreasing timestamps per tid.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/json.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace casp::obs {
+
+/// Aggregated per-phase entry: traffic is summed/maxed over ranks, timing
+/// over the ranks' accumulators for the same name (phase names and span
+/// names coincide for communication steps via PhaseSpan).
+struct PhaseEntry {
+  vmpi::PhaseTraffic total;  ///< sum over ranks (Table II totals)
+  vmpi::PhaseTraffic max;    ///< max over ranks (critical path)
+  double seconds_sum = 0.0;
+  double seconds_max = 0.0;
+};
+
+/// Dense rank×rank matrix for one phase, row-major: entry (src, dst) is the
+/// traffic rank `src` sent to rank `dst`. Row sums reproduce the per-rank
+/// phase totals exactly (charged by the same record_send call).
+struct TrafficMatrix {
+  int ranks = 0;
+  std::vector<std::uint64_t> messages;
+  std::vector<std::uint64_t> bytes;
+
+  std::uint64_t& msg_at(int src, int dst) {
+    return messages[static_cast<std::size_t>(src) *
+                        static_cast<std::size_t>(ranks) +
+                    static_cast<std::size_t>(dst)];
+  }
+  std::uint64_t& bytes_at(int src, int dst) {
+    return bytes[static_cast<std::size_t>(src) *
+                     static_cast<std::size_t>(ranks) +
+                 static_cast<std::size_t>(dst)];
+  }
+};
+
+struct RunReport {
+  int ranks = 0;
+  double wall_seconds = 0.0;
+  std::map<std::string, PhaseEntry> phases;
+  std::map<std::string, TrafficMatrix> matrices;
+  /// Merged named counters (rank 0 wins on conflicts; SPMD counters are
+  /// identical across ranks anyway).
+  std::map<std::string, std::int64_t> counters;
+  std::vector<Bytes> peak_bytes_per_rank;
+  Bytes peak_bytes_max = 0;
+
+  /// Full document, including timings and memory.
+  Json to_json() const;
+  /// Only the run-deterministic fields (phase counts, matrices, counters);
+  /// two runs of the same program serialize byte-identically.
+  Json deterministic_json() const;
+};
+
+RunReport build_report(const vmpi::RunResult& result);
+
+/// Pretty-printed report JSON to `path`; throws std::runtime_error on I/O
+/// failure.
+void write_report_json(const RunReport& report, const std::string& path);
+
+/// Chrome trace-event JSON ({"traceEvents": [...]}, ts in microseconds,
+/// pid 0, tid = rank) of every rank's spans, counter samples, and
+/// thread-name metadata.
+std::string chrome_trace_string(const vmpi::RunResult& result);
+void write_chrome_trace(const vmpi::RunResult& result,
+                        const std::string& path);
+
+}  // namespace casp::obs

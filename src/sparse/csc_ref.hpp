@@ -1,0 +1,92 @@
+// CscConstRef — the one non-owning matrix-argument type the kernels take.
+//
+// The local kernels (SpGEMM, merge, symbolic) read matrices through the
+// same accessor contract whether the storage is an owned CscMat or a
+// CscView borrowing a received payload. Instead of instantiating every
+// kernel for both types (2× the template instantiations for an identical
+// duck type), each kernel entry point takes CscConstRef: three spans plus
+// the shape, implicitly convertible from either source. A ref borrows —
+// the caller keeps the CscMat/CscView (and, for views, the payload it
+// keeps alive) alive for the ref's lifetime, exactly like std::string_view.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csc_mat.hpp"
+#include "sparse/csc_view.hpp"
+
+namespace casp {
+
+class CscConstRef {
+ public:
+  CscConstRef() = default;
+
+  // Implicit by design: kernel call sites pass CscMat/CscView unchanged.
+  CscConstRef(const CscMat& m)
+      : nrows_(m.nrows()),
+        ncols_(m.ncols()),
+        colptr_(m.colptr()),
+        rowids_(m.rowids()),
+        vals_(m.vals()) {}
+
+  CscConstRef(const CscView& v)
+      : nrows_(v.nrows()),
+        ncols_(v.ncols()),
+        colptr_(v.colptr()),
+        rowids_(v.rowids()),
+        vals_(v.vals()) {}
+
+  Index nrows() const { return nrows_; }
+  Index ncols() const { return ncols_; }
+  Index nnz() const {
+    return colptr_.empty() ? 0 : colptr_[static_cast<std::size_t>(ncols_)];
+  }
+  bool empty() const { return nnz() == 0; }
+
+  std::span<const Index> colptr() const { return colptr_; }
+  std::span<const Index> rowids() const { return rowids_; }
+  std::span<const Value> vals() const { return vals_; }
+
+  /// Row ids / values of column j (same contract as CscMat/CscView).
+  std::span<const Index> col_rowids(Index j) const {
+    return rowids_.subspan(
+        static_cast<std::size_t>(colptr_[static_cast<std::size_t>(j)]),
+        static_cast<std::size_t>(col_nnz(j)));
+  }
+  std::span<const Value> col_vals(Index j) const {
+    return vals_.subspan(
+        static_cast<std::size_t>(colptr_[static_cast<std::size_t>(j)]),
+        static_cast<std::size_t>(col_nnz(j)));
+  }
+  Index col_nnz(Index j) const {
+    return colptr_[static_cast<std::size_t>(j) + 1] -
+           colptr_[static_cast<std::size_t>(j)];
+  }
+
+  /// Deep-copy into an owned, mutable CscMat.
+  CscMat materialize() const {
+    return CscMat(nrows_, ncols_, {colptr_.begin(), colptr_.end()},
+                  {rowids_.begin(), rowids_.end()},
+                  {vals_.begin(), vals_.end()});
+  }
+
+ private:
+  Index nrows_ = 0;
+  Index ncols_ = 0;
+  std::span<const Index> colptr_;
+  std::span<const Index> rowids_;
+  std::span<const Value> vals_;
+};
+
+/// Borrow a whole collection at once (for the span-of-matrices merge entry
+/// point). The source container must outlive the returned refs.
+inline std::vector<CscConstRef> csc_refs(std::span<const CscMat> mats) {
+  return {mats.begin(), mats.end()};
+}
+inline std::vector<CscConstRef> csc_refs(std::span<const CscView> views) {
+  return {views.begin(), views.end()};
+}
+
+}  // namespace casp

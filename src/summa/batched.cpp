@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "obs/recorder.hpp"
 #include "summa/summa3d.hpp"
 
 namespace casp {
@@ -43,10 +44,15 @@ BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
   const Index nblocks = l * num_batches;
   const Index psize = b.cols.count;  // my B column part width
 
+  obs::Recorder& rec = grid.world().recorder();
+  rec.set_counter("batches", num_batches);
+
   std::vector<CscMat> kept_pieces;
   if (keep_output) kept_pieces.reserve(static_cast<std::size_t>(num_batches));
 
   for (Index bi = 0; bi < num_batches; ++bi) {
+    obs::ScopedTag batch_tag(rec, obs::ScopedTag::Kind::kBatch,
+                             static_cast<int>(bi));
     // Line 4, Alg. 4 + Fig. 1(i): batch bi = blocks {bi + m*b : m < l} of
     // the (l*b)-way block-cyclic column split of my local B part.
     std::vector<std::pair<Index, Index>> ranges(static_cast<std::size_t>(l));
@@ -72,6 +78,8 @@ BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
     // boundaries as the fiber split points. My merged piece is block
     // (bi + layer*b), a contiguous global column range.
     CscMat c_piece = summa3d<SR>(grid, a.local, local_b_batch, opts, splits);
+    if (opts.memory != nullptr)
+      rec.sample_memory(*opts.memory, "memory.live_bytes");
 
     const Index my_block = bi + static_cast<Index>(grid.layer()) * num_batches;
     BatchInfo info;
@@ -161,12 +169,17 @@ BatchedResult batched_summa3d_rowwise(Grid3D& grid, const DistMat3D& a,
       1, std::min(result.batches, std::max<Index>(1, a.global_rows)));
   const Index num_batches = result.batches;
 
+  obs::Recorder& rec = grid.world().recorder();
+  rec.set_counter("batches", num_batches);
+
   std::vector<CscMat> kept_pieces;
   if (keep_output) kept_pieces.reserve(static_cast<std::size_t>(num_batches));
 
   const Index my_rows = a.rows.count;
   const LocalRange out_cols = a_style_col_range(grid, b.global_cols);
   for (Index bi = 0; bi < num_batches; ++bi) {
+    obs::ScopedTag batch_tag(rec, obs::ScopedTag::Kind::kBatch,
+                             static_cast<int>(bi));
     const Index lo = part_low(bi, num_batches, my_rows);
     const Index hi = part_low(bi + 1, num_batches, my_rows);
     CscMat a_batch = a.local.slice_rows(lo, hi);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/recorder.hpp"
 #include "sparse/serialize.hpp"
 
 namespace casp {
@@ -23,6 +24,10 @@ CscMat summa2d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
                const SummaOptions& opts) {
   vmpi::Comm& row_comm = grid.row_comm();
   vmpi::Comm& col_comm = grid.col_comm();
+  // Split communicators share the world's recorder, so spans opened through
+  // either comm land on the same per-rank timeline.
+  obs::Recorder& rec = row_comm.recorder();
+  obs::ScopedTag layer_tag(rec, obs::ScopedTag::Kind::kLayer, grid.layer());
   const int stages = grid.q();
 
   std::vector<CscMat> partials;
@@ -36,15 +41,13 @@ CscMat summa2d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
   auto post_stage = [&](int s) {
     StageBcasts pending;
     {
-      vmpi::ScopedPhase phase(row_comm.traffic(), steps::kABcast);
-      ScopedTimer timer(row_comm.times(), steps::kABcast);
+      obs::PhaseSpan span(rec, steps::kABcast);
       Payload buf =
           row_comm.rank() == s ? pack_csc_payload(local_a) : Payload{};
       pending.a = row_comm.ibcast_payload(s, std::move(buf));
     }
     {
-      vmpi::ScopedPhase phase(col_comm.traffic(), steps::kBBcast);
-      ScopedTimer timer(col_comm.times(), steps::kBBcast);
+      obs::PhaseSpan span(rec, steps::kBBcast);
       Payload buf =
           col_comm.rank() == s ? pack_csc_payload(local_b) : Payload{};
       pending.b = col_comm.ibcast_payload(s, std::move(buf));
@@ -54,14 +57,12 @@ CscMat summa2d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
   auto wait_stage = [&](StageBcasts& pending) {
     CscView a_view;
     {
-      vmpi::ScopedPhase phase(row_comm.traffic(), steps::kABcast);
-      ScopedTimer timer(row_comm.times(), steps::kABcast);
+      obs::PhaseSpan span(rec, steps::kABcast);
       a_view = unpack_csc_view(row_comm.bcast_wait(pending.a));
     }
     CscView b_view;
     {
-      vmpi::ScopedPhase phase(col_comm.traffic(), steps::kBBcast);
-      ScopedTimer timer(col_comm.times(), steps::kBBcast);
+      obs::PhaseSpan span(rec, steps::kBBcast);
       b_view = unpack_csc_view(col_comm.bcast_wait(pending.b));
     }
     return std::pair<CscView, CscView>(std::move(a_view), std::move(b_view));
@@ -69,6 +70,7 @@ CscMat summa2d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
 
   StageBcasts current = post_stage(0);
   for (int s = 0; s < stages; ++s) {
+    obs::ScopedTag stage_tag(rec, obs::ScopedTag::Kind::kStage, s);
     auto [a_view, b_view] = wait_stage(current);
     // Pipelined: stage s+1's broadcasts go into flight before stage s's
     // multiply, overlapping communication with compute. Blocking: post only
@@ -80,7 +82,7 @@ CscMat summa2d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
                                     << a_view.ncols() << " vs "
                                     << b_view.nrows());
     {
-      ScopedTimer timer(row_comm.times(), steps::kLocalMultiply);
+      obs::Span span(rec, steps::kLocalMultiply);
       partials.push_back(local_spgemm<SR>(a_view, b_view, opts.local_kind,
                                           opts.threads));
     }
@@ -91,14 +93,16 @@ CscMat summa2d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
           *opts.memory,
           static_cast<Bytes>(partials.back().nnz()) * kBytesPerNonzero,
           "unmerged stage output");
+      rec.sample_memory(*opts.memory, "memory.live_bytes");
     }
     if (!opts.pipeline && s + 1 < stages) current = post_stage(s + 1);
   }
 
   CscMat merged;
   {
-    ScopedTimer timer(row_comm.times(), steps::kMergeLayer);
-    merged = merge_matrices<SR>(partials, opts.merge_kind, opts.threads);
+    obs::Span span(rec, steps::kMergeLayer);
+    merged =
+        merge_matrices<SR>(csc_refs(partials), opts.merge_kind, opts.threads);
   }
   return merged;
 }

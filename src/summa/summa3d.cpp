@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "obs/recorder.hpp"
 #include "sparse/serialize.hpp"
 #include "summa/summa2d.hpp"
 
@@ -36,6 +37,10 @@ CscMat summa3d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
   }
 
   vmpi::Comm& fiber = grid.fiber_comm();
+  obs::Recorder& rec = fiber.recorder();
+  obs::ScopedTag layer_tag(rec, obs::ScopedTag::Kind::kLayer, grid.layer());
+  if (opts.memory != nullptr)
+    rec.sample_memory(*opts.memory, "memory.live_bytes");
 
   // AllToAll-Fiber (line 5): piece m of my D goes to layer m, packed once
   // into a payload whose handle the exchange forwards without copying.
@@ -49,8 +54,7 @@ CscMat summa3d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
 
   std::vector<Payload> incoming;
   {
-    vmpi::ScopedPhase phase(fiber.traffic(), steps::kAllToAllFiber);
-    ScopedTimer timer(fiber.times(), steps::kAllToAllFiber);
+    obs::PhaseSpan span(rec, steps::kAllToAllFiber);
     incoming = fiber.alltoall_payload(std::move(outgoing));
   }
 
@@ -71,10 +75,12 @@ CscMat summa3d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
   // Merge-Fiber (line 6) + the single final sort.
   CscMat c;
   {
-    ScopedTimer timer(fiber.times(), steps::kMergeFiber);
-    c = merge_matrices<SR>(pieces, opts.merge_kind, opts.threads);
+    obs::Span span(rec, steps::kMergeFiber);
+    c = merge_matrices<SR>(csc_refs(pieces), opts.merge_kind, opts.threads);
     if (opts.sort_final) c.sort_columns();
   }
+  if (opts.memory != nullptr)
+    rec.sample_memory(*opts.memory, "memory.live_bytes");
   return c;
 }
 

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "kernels/symbolic.hpp"
+#include "obs/recorder.hpp"
 #include "sparse/serialize.hpp"
 #include "sparse/stats.hpp"
 
@@ -19,10 +20,12 @@ SymbolicResult symbolic3d(Grid3D& grid, const CscMat& local_a,
   vmpi::Comm& world = grid.world();
   const int stages = grid.q();
 
-  // Whole step is timed and its traffic recorded under "Symbolic": the
+  // Whole step is one span, its traffic recorded under "Symbolic": the
   // experiments (Fig. 8) break the symbolic step out of the bcast steps.
-  vmpi::ScopedPhase world_phase(world.traffic(), steps::kSymbolic);
-  ScopedTimer world_timer(world.times(), steps::kSymbolic);
+  // All comms here share the world's recorder, so the single top-level
+  // phase covers the row/column broadcasts too.
+  obs::Recorder& rec = world.recorder();
+  obs::PhaseSpan world_span(rec, steps::kSymbolic);
 
   // Same broadcast schedule as summa2d: handle-forwarding ibcasts, with
   // stage s+1 prefetched during stage s's symbolic pass when pipelining.
@@ -31,8 +34,6 @@ SymbolicResult symbolic3d(Grid3D& grid, const CscMat& local_a,
     vmpi::PendingBcast b;
   };
   auto post_stage = [&](int s) {
-    vmpi::ScopedPhase row_phase(row_comm.traffic(), steps::kSymbolic);
-    vmpi::ScopedPhase col_phase(col_comm.traffic(), steps::kSymbolic);
     StageBcasts pending;
     pending.a = row_comm.ibcast_payload(
         s, row_comm.rank() == s ? pack_csc_payload(local_a) : Payload{});
@@ -45,14 +46,9 @@ SymbolicResult symbolic3d(Grid3D& grid, const CscMat& local_a,
   Index my_flops = 0;
   StageBcasts current = post_stage(0);
   for (int s = 0; s < stages; ++s) {
-    CscView a_view;
-    CscView b_view;
-    {
-      vmpi::ScopedPhase row_phase(row_comm.traffic(), steps::kSymbolic);
-      vmpi::ScopedPhase col_phase(col_comm.traffic(), steps::kSymbolic);
-      a_view = unpack_csc_view(row_comm.bcast_wait(current.a));
-      b_view = unpack_csc_view(col_comm.bcast_wait(current.b));
-    }
+    obs::ScopedTag stage_tag(rec, obs::ScopedTag::Kind::kStage, s);
+    CscView a_view = unpack_csc_view(row_comm.bcast_wait(current.a));
+    CscView b_view = unpack_csc_view(col_comm.bcast_wait(current.b));
     if (opts.pipeline && s + 1 < stages) current = post_stage(s + 1);
 
     my_unmerged += symbolic_nnz(a_view, b_view);

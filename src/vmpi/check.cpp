@@ -43,4 +43,7 @@ DeadlockDetected::DeadlockDetected(const std::string& what)
 
 MessageLeak::MessageLeak(const std::string& what) : std::logic_error(what) {}
 
+CommunicatorOrderViolation::CommunicatorOrderViolation(const std::string& what)
+    : std::logic_error(what) {}
+
 }  // namespace casp::vmpi

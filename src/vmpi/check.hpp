@@ -75,4 +75,16 @@ class MessageLeak : public std::logic_error {
   explicit MessageLeak(const std::string& what);
 };
 
+/// Thrown out of vmpi::run when the watchdog finds the stall is not a
+/// generic deadlock but a communicator-lifetime bug: some ranks are blocked
+/// in a collective on a parent communicator while others are blocked in a
+/// collective on one of its split children — i.e. the ranks interleaved
+/// parent and child collectives in divergent program orders. A logic error
+/// (the program is wrong, not the environment), diagnosed by name instead
+/// of the raw deadlock dump.
+class CommunicatorOrderViolation : public std::logic_error {
+ public:
+  explicit CommunicatorOrderViolation(const std::string& what);
+};
+
 }  // namespace casp::vmpi

@@ -97,7 +97,9 @@ CollectiveScope::CollectiveScope(Comm& comm, CollectiveOp op, int root,
   detail::RankStatus& st =
       comm.world_->status[static_cast<std::size_t>(my_world)];
   std::lock_guard<std::mutex> lock(st.mutex);
+  saved_context_ = st.current_context;
   st.current = stamp;
+  st.current_context = comm.context_;
   st.history[st.history_count % st.history.size()] = stamp;
   ++st.history_count;
 }
@@ -110,6 +112,7 @@ CollectiveScope::~CollectiveScope() {
       comm_.world_->status[static_cast<std::size_t>(my_world)];
   std::lock_guard<std::mutex> lock(st.mutex);
   st.current = saved_;
+  st.current_context = saved_context_;
 }
 
 void Comm::verify_collective_stamp(const detail::Message& msg, int src) {
@@ -152,10 +155,11 @@ Comm::Comm(std::shared_ptr<detail::World> world, int world_rank, int size)
       context_(0),
       rank_(world_rank),
       size_(size),
-      traffic_(std::make_shared<TrafficStats>()),
-      times_(std::make_shared<TimeAccumulator>()) {
+      recorder_(std::make_shared<obs::Recorder>()) {
   members_.resize(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) members_[static_cast<std::size_t>(r)] = r;
+  // All ranks share the World's stopwatch so timeline timestamps line up.
+  recorder_->set_epoch(world_->epoch);
 }
 
 Comm::Comm(std::shared_ptr<detail::World> world, std::uint64_t context,
@@ -170,8 +174,11 @@ void Comm::post_message(int dest, int tag, Payload payload,
                         bool fire_and_forget) {
   CASP_CHECK_MSG(dest >= 0 && dest < size_, "send to invalid rank " << dest);
   // Charge the full logical bytes regardless of how the handle is shared:
-  // Table II accounting must not see the zero-copy optimization.
-  traffic_->record_send(static_cast<Bytes>(payload.size()));
+  // Table II accounting must not see the zero-copy optimization. The
+  // receiver's world rank feeds the per-phase rank×rank traffic matrix.
+  recorder_->traffic().record_send(
+      static_cast<Bytes>(payload.size()),
+      members_[static_cast<std::size_t>(dest)]);
   detail::Message msg;
   msg.context = context_;
   msg.src_world = members_[static_cast<std::size_t>(rank_)];
@@ -234,17 +241,6 @@ Payload Comm::recv_payload(int src, int tag) {
   return std::move(msg.payload);
 }
 
-void Comm::send_bytes(int dest, int tag, const std::byte* data,
-                      std::size_t size, bool fire_and_forget) {
-  post_message(dest, tag, Payload::copy_of(data, size), fire_and_forget);
-}
-
-std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
-  // release_or_copy keeps the legacy isolation guarantee: the returned
-  // vector is private even when the sender's handle is still shared.
-  return recv_payload(src, tag).release_or_copy();
-}
-
 void Comm::barrier() {
   CASP_VMPI_COLLECTIVE(CollectiveOp::kBarrier, -1, 0);
   // Dissemination barrier: after round k every rank has (transitively)
@@ -281,12 +277,6 @@ Payload Comm::bcast_payload(int root, Payload data) {
     mask >>= 1;
   }
   return data;
-}
-
-std::vector<std::byte> Comm::bcast_bytes(int root,
-                                         std::vector<std::byte> data) {
-  return bcast_payload(root, Payload::wrap(std::move(data)))
-      .release_or_copy();
 }
 
 PendingBcast Comm::ibcast_payload(int root, Payload data) {
@@ -343,10 +333,6 @@ PendingBcast Comm::ibcast_payload(int root, Payload data) {
     pending.done_ = true;
   }
   return pending;
-}
-
-PendingBcast Comm::ibcast_bytes(int root, std::vector<std::byte> data) {
-  return ibcast_payload(root, Payload::wrap(std::move(data)));
 }
 
 Payload Comm::bcast_wait(PendingBcast& pending) {
@@ -437,16 +423,6 @@ std::vector<Payload> Comm::allgather_payload(Payload mine) {
   return gathered;
 }
 
-std::vector<std::vector<std::byte>> Comm::allgather_bytes(
-    std::vector<std::byte> mine) {
-  std::vector<Payload> all =
-      allgather_payload(Payload::wrap(std::move(mine)));
-  std::vector<std::vector<std::byte>> out(all.size());
-  for (std::size_t r = 0; r < all.size(); ++r)
-    out[r] = std::move(all[r]).release_or_copy();
-  return out;
-}
-
 std::vector<Payload> Comm::alltoall_payload(std::vector<Payload> buffers) {
   CASP_CHECK_MSG(static_cast<int>(buffers.size()) == size_,
                  "alltoall: need exactly one buffer per rank");
@@ -463,18 +439,6 @@ std::vector<Payload> Comm::alltoall_payload(std::vector<Payload> buffers) {
                  std::move(buffers[static_cast<std::size_t>(dest)]));
     received[static_cast<std::size_t>(src)] = recv_payload(src, kAlltoallTag);
   }
-  return received;
-}
-
-std::vector<std::vector<std::byte>> Comm::alltoall_bytes(
-    std::vector<std::vector<std::byte>> buffers) {
-  std::vector<Payload> outgoing(buffers.size());
-  for (std::size_t d = 0; d < buffers.size(); ++d)
-    outgoing[d] = Payload::wrap(std::move(buffers[d]));
-  std::vector<Payload> incoming = alltoall_payload(std::move(outgoing));
-  std::vector<std::vector<std::byte>> received(incoming.size());
-  for (std::size_t s = 0; s < incoming.size(); ++s)
-    received[s] = std::move(incoming[s]).release_or_copy();
   return received;
 }
 
@@ -516,9 +480,18 @@ Comm Comm::split(int color, int key) {
       context_ * 0x100000001b3ULL + split_counter_ * 0x9e3779b9ULL +
       static_cast<std::uint64_t>(color) + 1;
 
+#ifdef CASP_VMPI_CHECK
+  // Register the split edge so the watchdog can recognize parent/child
+  // collective interleaving (idempotent: every member inserts the same
+  // edge, and colors sharing a parent register side by side).
+  {
+    std::lock_guard<std::mutex> lock(world_->comm_tree_mutex);
+    world_->comm_parent.emplace(child_context, context_);
+  }
+#endif
+
   Comm child(world_, child_context, std::move(members), my_pos);
-  child.traffic_ = traffic_;
-  child.times_ = times_;
+  child.recorder_ = recorder_;
   return child;
 }
 

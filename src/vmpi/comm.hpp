@@ -18,6 +18,12 @@
 // into the message header — see check.hpp — so mismatched collective order,
 // mismatched roots and divergent allreduce lengths abort the job with a
 // per-rank diagnostic instead of deadlocking or corrupting results.
+//
+// Payload handles are the primary surface; the typed helpers (send_vec,
+// allgather_vec, allreduce, …) are thin wrappers over them. The byte-vector
+// forms predating the Payload transport survive only as compat wrappers in
+// the clearly-marked section at the bottom of Comm — new non-test code
+// should not use them (casp_lint's comm-compat rule enforces this).
 #pragma once
 
 #include <array>
@@ -28,6 +34,7 @@
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -36,6 +43,7 @@
 #include "common/payload.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
+#include "obs/recorder.hpp"
 #include "vmpi/check.hpp"
 #include "vmpi/traffic.hpp"
 
@@ -122,6 +130,9 @@ struct RankStatus {
   int wait_tag = 0;
 #ifdef CASP_VMPI_CHECK
   CollectiveStamp current;
+  /// Context of the communicator `current` runs on; pairs with World's
+  /// split-ancestry map so the watchdog can name parent/child interleaving.
+  std::uint64_t current_context = 0;
   std::array<CollectiveStamp, 8> history{};
   std::uint64_t history_count = 0;
 #endif
@@ -134,11 +145,21 @@ struct World {
         status(static_cast<std::size_t>(size)) {}
   std::vector<Mailbox> mailboxes;
   std::vector<RankStatus> status;
+  /// Job-wide time base: every rank's Recorder copies this stopwatch so
+  /// cross-rank timeline timestamps are directly comparable.
+  Stopwatch epoch;
   /// Bumped on every delivery (push or successful pop); the watchdog only
   /// trusts an all-blocked sample when this is stable across samples.
   std::atomic<std::uint64_t> progress{0};
   std::atomic<int> blocked{0};
   std::atomic<int> finished{0};
+#ifdef CASP_VMPI_CHECK
+  /// Split ancestry (child context -> parent context; the world is context
+  /// 0 and has no entry). Lets the watchdog distinguish a generic deadlock
+  /// from parent/child collective interleaving in rank-divergent orders.
+  std::mutex comm_tree_mutex;
+  std::map<std::uint64_t, std::uint64_t> comm_parent;
+#endif
   void abort_all() {
     for (Mailbox& m : mailboxes) m.abort_all();
   }
@@ -163,6 +184,7 @@ class CollectiveScope {
  private:
   class Comm& comm_;
   CollectiveStamp saved_;
+  std::uint64_t saved_context_ = 0;
 };
 
 #define CASP_VMPI_COLLECTIVE(op, root, payload) \
@@ -212,42 +234,33 @@ class Comm {
                     bool fire_and_forget = false);
   Payload recv_payload(int src, int tag);
 
-  /// Legacy copying API: one deep copy at the send boundary, one private
-  /// buffer at the receive boundary.
-  void send_bytes(int dest, int tag, const std::byte* data, std::size_t size,
-                  bool fire_and_forget = false);
-  std::vector<std::byte> recv_bytes(int src, int tag);
-
+  /// Typed helpers over the payload primitives: one deep copy at the send
+  /// boundary, one private buffer at the receive boundary.
   template <typename T>
   void send_vec(int dest, int tag, const std::vector<T>& data) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    send_bytes(dest, tag, reinterpret_cast<const std::byte*>(data.data()),
-               data.size() * sizeof(T));
+    send_payload(dest, tag, pack_vec<T>(data));
   }
 
   template <typename T>
   std::vector<T> recv_vec(int src, int tag) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::byte> raw = recv_bytes(src, tag);
-    CASP_CHECK(raw.size() % sizeof(T) == 0);
-    std::vector<T> out(raw.size() / sizeof(T));
-    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
-    return out;
+    return unpack_vec<T>(recv_payload(src, tag));
   }
 
   template <typename T>
   void send_value(int dest, int tag, const T& v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    send_bytes(dest, tag, reinterpret_cast<const std::byte*>(&v), sizeof(T));
+    send_payload(dest, tag,
+                 Payload::copy_of(reinterpret_cast<const std::byte*>(&v),
+                                  sizeof(T)));
   }
 
   template <typename T>
   T recv_value(int src, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::byte> raw = recv_bytes(src, tag);
-    CASP_CHECK(raw.size() == sizeof(T));
+    Payload p = recv_payload(src, tag);
+    CASP_CHECK(p.size() == sizeof(T));
     T v;
-    std::memcpy(&v, raw.data(), sizeof(T));
+    std::memcpy(&v, p.data(), sizeof(T));
     return v;
   }
 
@@ -260,35 +273,26 @@ class Comm {
   /// the *same* allocation (the root's input) — no per-hop copies.
   Payload bcast_payload(int root, Payload data);
 
-  /// Binomial-tree broadcast of a byte buffer from `root`; every rank
-  /// returns the payload (the root returns its own input).
-  std::vector<std::byte> bcast_bytes(int root, std::vector<std::byte> data);
-
   /// Nonblocking broadcast: the root publishes its sends immediately so
   /// receivers can overlap compute with the in-flight data; every rank must
   /// later call bcast_wait on the returned handle, in the same order on all
   /// ranks. `data` is ignored on non-roots.
   PendingBcast ibcast_payload(int root, Payload data);
-  PendingBcast ibcast_bytes(int root, std::vector<std::byte> data);
   /// Completes a pending broadcast: non-roots receive and forward to their
   /// tree children here. Returns the broadcast payload on every rank.
   Payload bcast_wait(PendingBcast& pending);
 
   template <typename T>
-  std::vector<T> bcast_vec(int root, std::vector<T> data) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::byte> raw(data.size() * sizeof(T));
-    if (!raw.empty()) std::memcpy(raw.data(), data.data(), raw.size());
-    raw = bcast_bytes(root, std::move(raw));
-    std::vector<T> out(raw.size() / sizeof(T));
-    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
-    return out;
-  }
-
-  template <typename T>
   T bcast_value(int root, T v) {
-    auto out = bcast_vec<T>(root, {v});
-    return out.at(0);
+    static_assert(std::is_trivially_copyable_v<T>);
+    Payload p;
+    if (rank_ == root)
+      p = Payload::copy_of(reinterpret_cast<const std::byte*>(&v), sizeof(T));
+    p = bcast_payload(root, std::move(p));
+    CASP_CHECK(p.size() == sizeof(T));
+    T out;
+    std::memcpy(&out, p.data(), sizeof(T));
+    return out;
   }
 
   /// Binomial-tree reduce to root followed by broadcast. `op` must be
@@ -304,7 +308,9 @@ class Comm {
           static_cast<std::uint64_t>(data.size() * sizeof(T)));
       reduced = reduce_to_root(std::move(data), op);
     }
-    return bcast_vec<T>(0, std::move(reduced));
+    Payload p;
+    if (rank_ == 0) p = pack_vec<T>(reduced);
+    return unpack_vec<T>(bcast_payload(0, std::move(p)));
   }
 
   template <typename T>
@@ -328,20 +334,35 @@ class Comm {
   /// they are subviews of one shared concatenation buffer.
   std::vector<Payload> allgather_payload(Payload mine);
 
-  /// All-gather of one byte buffer per rank (binomial gather to rank 0 +
-  /// broadcast of the concatenation). Returns size() buffers.
-  std::vector<std::vector<std::byte>> allgather_bytes(
-      std::vector<std::byte> mine);
-
   template <typename T>
   std::vector<T> allgather_value(const T& v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::byte> raw(sizeof(T));
-    std::memcpy(raw.data(), &v, sizeof(T));
-    auto all = allgather_bytes(std::move(raw));
+    std::vector<Payload> all = allgather_payload(
+        Payload::copy_of(reinterpret_cast<const std::byte*>(&v), sizeof(T)));
     std::vector<T> out(all.size());
-    for (std::size_t r = 0; r < all.size(); ++r)
+    for (std::size_t r = 0; r < all.size(); ++r) {
+      CASP_CHECK(all[r].size() == sizeof(T));
       std::memcpy(&out[r], all[r].data(), sizeof(T));
+    }
+    return out;
+  }
+
+  /// All-gather of a variable-length typed vector per rank; returns the
+  /// rank-ordered concatenation of every rank's elements.
+  template <typename T>
+  std::vector<T> allgather_vec(const std::vector<T>& mine) {
+    std::vector<Payload> all = allgather_payload(pack_vec<T>(mine));
+    std::size_t total = 0;
+    for (const Payload& p : all) total += p.size();
+    CASP_CHECK(total % sizeof(T) == 0);
+    std::vector<T> out(total / sizeof(T));
+    auto* dst = reinterpret_cast<std::byte*>(out.data());
+    static_assert(std::is_trivially_copyable_v<T>);
+    for (const Payload& p : all) {
+      if (p.size() == 0) continue;
+      std::memcpy(dst, p.data(), p.size());
+      dst += p.size();
+    }
     return out;
   }
 
@@ -350,24 +371,95 @@ class Comm {
   /// sender's allocation.
   std::vector<Payload> alltoall_payload(std::vector<Payload> buffers);
 
-  /// Personalized all-to-all (pairwise exchange, p-1 rounds). buffers[d] is
-  /// sent to rank d; returns one buffer per source rank.
-  std::vector<std::vector<std::byte>> alltoall_bytes(
-      std::vector<std::vector<std::byte>> buffers);
-
   /// MPI_Comm_split: ranks with the same color form a child communicator,
   /// ordered by (key, rank).
   Comm split(int color, int key);
 
   // -- Instrumentation ------------------------------------------------------
 
-  TrafficStats& traffic() { return *traffic_; }
-  TimeAccumulator& times() { return *times_; }
+  /// The rank's unified observability recorder (timeline spans, tags,
+  /// counters, memory samples); split communicators share their parent's.
+  obs::Recorder& recorder() { return *recorder_; }
+
+  TrafficStats& traffic() { return recorder_->traffic(); }
+  TimeAccumulator& times() { return recorder_->times(); }
 
   /// Set both the traffic phase and the timing context for a scope.
-  void set_phase(const std::string& phase) { traffic_->set_phase(phase); }
+  void set_phase(const std::string& phase) { traffic().set_phase(phase); }
+
+  // -- Byte-vector compat wrappers ------------------------------------------
+  //
+  // Pre-Payload API kept for existing tests; everything below is a thin
+  // inline wrapper over the payload surface above. Do not use in new
+  // non-test code (casp_lint rule: comm-compat).
+
+  void send_bytes(int dest, int tag, const std::byte* data, std::size_t size,
+                  bool fire_and_forget = false) {
+    send_payload(dest, tag, Payload::copy_of(data, size), fire_and_forget);
+  }
+
+  std::vector<std::byte> recv_bytes(int src, int tag) {
+    return recv_payload(src, tag).release_or_copy();
+  }
+
+  std::vector<std::byte> bcast_bytes(int root, std::vector<std::byte> data) {
+    return bcast_payload(root, Payload::wrap(std::move(data)))
+        .release_or_copy();
+  }
+
+  PendingBcast ibcast_bytes(int root, std::vector<std::byte> data) {
+    return ibcast_payload(root, Payload::wrap(std::move(data)));
+  }
+
+  template <typename T>
+  std::vector<T> bcast_vec(int root, std::vector<T> data) {
+    Payload p;
+    if (rank_ == root) p = pack_vec<T>(data);
+    return unpack_vec<T>(bcast_payload(root, std::move(p)));
+  }
+
+  std::vector<std::vector<std::byte>> allgather_bytes(
+      std::vector<std::byte> mine) {
+    std::vector<Payload> all =
+        allgather_payload(Payload::wrap(std::move(mine)));
+    std::vector<std::vector<std::byte>> out(all.size());
+    for (std::size_t r = 0; r < all.size(); ++r)
+      out[r] = std::move(all[r]).release_or_copy();
+    return out;
+  }
+
+  std::vector<std::vector<std::byte>> alltoall_bytes(
+      std::vector<std::vector<std::byte>> buffers) {
+    std::vector<Payload> outgoing(buffers.size());
+    for (std::size_t d = 0; d < buffers.size(); ++d)
+      outgoing[d] = Payload::wrap(std::move(buffers[d]));
+    std::vector<Payload> incoming = alltoall_payload(std::move(outgoing));
+    std::vector<std::vector<std::byte>> received(incoming.size());
+    for (std::size_t s = 0; s < incoming.size(); ++s)
+      received[s] = std::move(incoming[s]).release_or_copy();
+    return received;
+  }
 
  private:
+  /// Pack a trivially-copyable vector into a fresh payload (the one deep
+  /// copy at the typed-API boundary).
+  template <typename T>
+  static Payload pack_vec(const std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return Payload::copy_of(reinterpret_cast<const std::byte*>(data.data()),
+                            data.size() * sizeof(T));
+  }
+
+  /// Unpack a payload into a private typed vector.
+  template <typename T>
+  static std::vector<T> unpack_vec(const Payload& p) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CASP_CHECK(p.size() % sizeof(T) == 0);
+    std::vector<T> out(p.size() / sizeof(T));
+    if (p.size() != 0) std::memcpy(out.data(), p.data(), p.size());
+    return out;
+  }
+
   template <typename T>
   std::vector<T> reduce_to_root(std::vector<T> data,
                                 const std::function<T(T, T)>& op) {
@@ -439,10 +531,10 @@ class Comm {
   CollectiveStamp current_collective_;
   std::uint64_t collective_seq_ = 0;
 #endif
-  // Shared across all Comm objects of this rank so phase labels and timings
-  // aggregate rank-wide (a split communicator inherits its parent's ledger).
-  std::shared_ptr<TrafficStats> traffic_;
-  std::shared_ptr<TimeAccumulator> times_;
+  // Shared across all Comm objects of this rank so phase labels, timings
+  // and timeline spans aggregate rank-wide (a split communicator inherits
+  // its parent's recorder).
+  std::shared_ptr<obs::Recorder> recorder_;
 };
 
 }  // namespace casp::vmpi

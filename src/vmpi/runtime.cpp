@@ -94,6 +94,63 @@ std::string build_deadlock_report(detail::World& world, int size) {
   return os.str();
 }
 
+#ifdef CASP_VMPI_CHECK
+/// True iff `ancestor` appears on `child`'s split-ancestry chain (the world
+/// communicator is context 0 and the root of every chain).
+bool context_is_ancestor(const std::map<std::uint64_t, std::uint64_t>& tree,
+                         std::uint64_t ancestor, std::uint64_t child) {
+  std::uint64_t cur = child;
+  // The tree is at most as deep as the number of splits; bound the walk
+  // anyway so a (theoretical) context-hash collision cannot loop.
+  for (std::size_t hops = 0; hops <= tree.size(); ++hops) {
+    const auto it = tree.find(cur);
+    if (it == tree.end()) return false;
+    cur = it->second;
+    if (cur == ancestor) return true;
+  }
+  return false;
+}
+
+/// When a deadlock involves one rank blocked in a collective on a parent
+/// communicator and another blocked in a collective on that communicator's
+/// split descendant, the stall is a communicator-lifetime ordering bug —
+/// name it precisely instead of handing back the generic deadlock dump.
+/// Returns "" when the pattern does not apply.
+std::string diagnose_comm_order(detail::World& world, int size) {
+  struct Blocked {
+    int rank;
+    std::uint64_t context;
+    CollectiveStamp stamp;
+  };
+  std::vector<Blocked> in_collective;
+  for (int r = 0; r < size; ++r) {
+    detail::RankStatus& st = world.status[static_cast<std::size_t>(r)];
+    std::lock_guard<std::mutex> lock(st.mutex);
+    if (!st.blocked || st.current.op == CollectiveOp::kNone) continue;
+    in_collective.push_back({r, st.current_context, st.current});
+  }
+  std::lock_guard<std::mutex> lock(world.comm_tree_mutex);
+  for (const Blocked& a : in_collective) {
+    for (const Blocked& b : in_collective) {
+      if (a.context == b.context) continue;
+      if (!context_is_ancestor(world.comm_parent, a.context, b.context))
+        continue;
+      std::ostringstream os;
+      os << "vmpi communicator-order violation: rank " << a.rank
+         << " is blocked in " << describe_stamp(a.stamp)
+         << " on communicator 0x" << std::hex << a.context << std::dec
+         << " while rank " << b.rank << " is blocked in "
+         << describe_stamp(b.stamp) << " on its split child 0x" << std::hex
+         << b.context << std::dec
+         << " — the ranks interleave parent and child collectives in "
+            "divergent program orders";
+      return os.str();
+    }
+  }
+  return "";
+}
+#endif
+
 }  // namespace
 
 RunResult run(int size, const std::function<void(Comm&)>& body) {
@@ -102,6 +159,7 @@ RunResult run(int size, const std::function<void(Comm&)>& body) {
 
   RunResult result;
   result.size = size;
+  result.recorders.resize(static_cast<std::size_t>(size));
   result.traffic.resize(static_cast<std::size_t>(size));
   result.times.resize(static_cast<std::size_t>(size));
 
@@ -132,6 +190,7 @@ RunResult run(int size, const std::function<void(Comm&)>& body) {
         std::lock_guard<std::mutex> lock(st.mutex);
         st.finished = true;
       }
+      result.recorders[static_cast<std::size_t>(r)] = comm.recorder();
       result.traffic[static_cast<std::size_t>(r)] = comm.traffic();
       result.times[static_cast<std::size_t>(r)] = comm.times();
     });
@@ -183,10 +242,18 @@ RunResult run(int size, const std::function<void(Comm&)>& body) {
         }
         if (++quiet_samples < 2) continue;
         const std::string report = build_deadlock_report(*world, size);
+        std::exception_ptr diagnosis;
+#ifdef CASP_VMPI_CHECK
+        const std::string order = diagnose_comm_order(*world, size);
+        if (!order.empty())
+          diagnosis = std::make_exception_ptr(
+              CommunicatorOrderViolation(order + "\n" + report));
+#endif
+        if (!diagnosis)
+          diagnosis = std::make_exception_ptr(DeadlockDetected(report));
         {
           std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error)
-            first_error = std::make_exception_ptr(DeadlockDetected(report));
+          if (!first_error) first_error = diagnosis;
         }
         world->abort_all();
         break;

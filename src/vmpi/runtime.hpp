@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/timer.hpp"
+#include "obs/recorder.hpp"
 #include "vmpi/comm.hpp"
 #include "vmpi/traffic.hpp"
 
@@ -17,6 +18,11 @@ struct RunResult {
   int size = 0;
   /// Wall time of the whole job (launch to last join), seconds.
   double wall_seconds = 0.0;
+  /// Per-rank observability recorders (timeline events, traffic ledger,
+  /// timings, counters, memory high-water), indexed by rank. The `traffic`
+  /// and `times` vectors below are convenience copies of the recorders'
+  /// ledgers, kept for existing callers.
+  std::vector<obs::Recorder> recorders;
   /// Per-rank traffic ledgers, indexed by rank.
   std::vector<TrafficStats> traffic;
   /// Per-rank named timings, indexed by rank.

@@ -29,19 +29,36 @@ struct PhaseTraffic {
 };
 
 /// Per-rank traffic ledger. Not thread-safe: each rank owns one.
+///
+/// Two views of the same sends: the per-phase totals (the Table II
+/// counters, unchanged semantics) and a per-phase destination breakdown
+/// keyed by the receiver's *world* rank — the rank×rank traffic matrix the
+/// run report renders. Both are charged in the same record_send call, so
+/// the matrix's row sums reproduce the phase totals exactly.
 class TrafficStats {
  public:
   void set_phase(std::string phase) { phase_ = std::move(phase); }
   const std::string& phase() const { return phase_; }
 
-  void record_send(Bytes bytes) {
+  /// `dest_world` is the receiver's world rank, or -1 when the caller has
+  /// no destination to attribute (never the case for real sends).
+  void record_send(Bytes bytes, int dest_world = -1) {
     PhaseTraffic& t = per_phase_[phase_];
     ++t.messages;
     t.bytes += bytes;
+    if (dest_world >= 0) {
+      PhaseTraffic& d = per_dest_[phase_][dest_world];
+      ++d.messages;
+      d.bytes += bytes;
+    }
   }
 
   const std::map<std::string, PhaseTraffic>& per_phase() const {
     return per_phase_;
+  }
+  /// phase -> (dest world rank -> traffic).
+  const std::map<std::string, std::map<int, PhaseTraffic>>& per_dest() const {
+    return per_dest_;
   }
   PhaseTraffic total() const {
     PhaseTraffic sum;
@@ -52,11 +69,15 @@ class TrafficStats {
     auto it = per_phase_.find(phase);
     return it == per_phase_.end() ? PhaseTraffic{} : it->second;
   }
-  void clear() { per_phase_.clear(); }
+  void clear() {
+    per_phase_.clear();
+    per_dest_.clear();
+  }
 
  private:
   std::string phase_ = "default";
   std::map<std::string, PhaseTraffic> per_phase_;
+  std::map<std::string, std::map<int, PhaseTraffic>> per_dest_;
 };
 
 /// Merge of per-rank ledgers produced by Runtime::run.

@@ -24,7 +24,7 @@ TEST_P(MergeBothKinds, MatchesReferenceAcrossPieceCounts) {
   for (int count : {1, 2, 3, 7, 16}) {
     const auto pieces = random_pieces(count, 30, 25, 3.0, 50);
     const CscMat expected = reference_merge<PlusTimes>(pieces);
-    const CscMat got = merge_matrices<PlusTimes>(pieces, kind);
+    const CscMat got = merge_matrices<PlusTimes>(csc_refs(pieces), kind);
     testing::expect_mat_near(got, expected, 1e-9);
     if (kind == MergeKind::kSortedHeap) {
       EXPECT_TRUE(got.columns_sorted());
@@ -37,7 +37,7 @@ TEST_P(MergeBothKinds, OverlappingEntriesAreSummed) {
   // All pieces identical: merged value = count * value.
   const CscMat base = testing::random_matrix(20, 20, 3.0, 51);
   const std::vector<CscMat> pieces(4, base);
-  const CscMat merged = merge_matrices<PlusTimes>(pieces, kind);
+  const CscMat merged = merge_matrices<PlusTimes>(csc_refs(pieces), kind);
   EXPECT_EQ(merged.nnz(), base.nnz());
   CscMat sorted_merged = merged;
   sorted_merged.sort_columns();
@@ -50,7 +50,7 @@ TEST_P(MergeBothKinds, OverlappingEntriesAreSummed) {
 TEST_P(MergeBothKinds, EmptyPieces) {
   const MergeKind kind = GetParam();
   const std::vector<CscMat> pieces(3, CscMat(10, 10));
-  const CscMat merged = merge_matrices<PlusTimes>(pieces, kind);
+  const CscMat merged = merge_matrices<PlusTimes>(csc_refs(pieces), kind);
   EXPECT_EQ(merged.nnz(), 0);
   EXPECT_EQ(merged.nrows(), 10);
 }
@@ -58,7 +58,7 @@ TEST_P(MergeBothKinds, EmptyPieces) {
 TEST_P(MergeBothKinds, MinPlusSemiring) {
   const MergeKind kind = GetParam();
   const auto pieces = random_pieces(3, 15, 15, 2.0, 52);
-  testing::expect_mat_near(merge_matrices<MinPlus>(pieces, kind),
+  testing::expect_mat_near(merge_matrices<MinPlus>(csc_refs(pieces), kind),
                            reference_merge<MinPlus>(pieces), 1e-12);
 }
 
@@ -70,7 +70,8 @@ TEST(Merge, ShapeMismatchThrows) {
   std::vector<CscMat> pieces;
   pieces.push_back(testing::random_matrix(5, 5, 1.0, 53));
   pieces.push_back(testing::random_matrix(5, 6, 1.0, 54));
-  EXPECT_THROW(merge_matrices<PlusTimes>(pieces, MergeKind::kUnsortedHash),
+  EXPECT_THROW(
+      merge_matrices<PlusTimes>(csc_refs(pieces), MergeKind::kUnsortedHash),
                std::logic_error);
 }
 
@@ -83,7 +84,7 @@ TEST(Merge, HashMergeAcceptsUnsortedInputs) {
   partials.push_back(local_spgemm<PlusTimes>(a, b, SpGemmKind::kUnsortedHash));
   partials.push_back(local_spgemm<PlusTimes>(b, a, SpGemmKind::kUnsortedHash));
   const CscMat merged =
-      merge_matrices<PlusTimes>(partials, MergeKind::kUnsortedHash);
+      merge_matrices<PlusTimes>(csc_refs(partials), MergeKind::kUnsortedHash);
   std::vector<CscMat> sorted_partials = partials;
   for (CscMat& m : sorted_partials) m.sort_columns();
   const CscMat expected = reference_merge<PlusTimes>(sorted_partials);
@@ -95,7 +96,8 @@ TEST(Merge, HashMergeOutputUnsortedIsAllowed) {
   // only the final sort fixes order. (Not a strict requirement that it be
   // unsorted — just that the merged values are right either way.)
   const auto pieces = random_pieces(4, 25, 25, 4.0, 57);
-  CscMat merged = merge_matrices<PlusTimes>(pieces, MergeKind::kUnsortedHash);
+  CscMat merged =
+      merge_matrices<PlusTimes>(csc_refs(pieces), MergeKind::kUnsortedHash);
   merged.sort_columns();
   testing::expect_mat_near(merged, reference_merge<PlusTimes>(pieces), 1e-9);
 }
@@ -103,9 +105,9 @@ TEST(Merge, HashMergeOutputUnsortedIsAllowed) {
 TEST(Merge, MultithreadedMatchesSerial) {
   const auto pieces = random_pieces(8, 60, 60, 4.0, 58);
   const CscMat serial =
-      merge_matrices<PlusTimes>(pieces, MergeKind::kUnsortedHash, 1);
+      merge_matrices<PlusTimes>(csc_refs(pieces), MergeKind::kUnsortedHash, 1);
   const CscMat parallel =
-      merge_matrices<PlusTimes>(pieces, MergeKind::kUnsortedHash, 4);
+      merge_matrices<PlusTimes>(csc_refs(pieces), MergeKind::kUnsortedHash, 4);
   testing::expect_mat_near(parallel, serial, 1e-12);
 }
 

@@ -86,7 +86,7 @@ TEST(SparseFuzz, MultiplicationSplitsOverInnerDimension) {
     const CscMat d2 = local_spgemm<PlusTimes>(a.slice_cols(cut, n), b_bottom);
     const CscMat pieces[] = {d1, d2};
     testing::expect_mat_near(
-        merge_matrices<PlusTimes>(pieces, MergeKind::kUnsortedHash),
+        merge_matrices<PlusTimes>(csc_refs(pieces), MergeKind::kUnsortedHash),
         reference_multiply<PlusTimes>(a, b), 1e-9);
   }
 }

@@ -200,6 +200,37 @@ TEST(DeadlockWatchdog, BarrierAgainstBcastIsReportedWithCollectiveNames) {
 #endif
 }
 
+TEST(DeadlockWatchdog, ParentChildInterleavingIsDiagnosedByName) {
+#ifndef CASP_VMPI_CHECK
+  GTEST_SKIP() << "requires CASP_VMPI_CHECK";
+#else
+  ScopedEnv fast_watchdog("CASP_VMPI_WATCHDOG_MS", "20");
+  // Communicator-lifetime bug: rank 0 runs child-barrier then
+  // world-barrier, its child peer (rank 1) runs them in the opposite
+  // order. Rank 0 waits inside the child collective for rank 1, who is
+  // stuck in the world collective waiting for rank 0 — a deadlock, but one
+  // the watchdog must diagnose as divergent parent/child collective
+  // ordering rather than dump as a generic stall.
+  const std::string what =
+      capture_failure<CommunicatorOrderViolation>(4, [](Comm& comm) {
+        Comm child = comm.split(comm.rank() / 2, comm.rank());
+        if (comm.rank() == 0) {
+          child.barrier();
+          comm.barrier();
+        } else {
+          comm.barrier();
+          child.barrier();
+        }
+      });
+  EXPECT_NE(what.find("communicator-order violation"), std::string::npos)
+      << what;
+  EXPECT_NE(what.find("split child"), std::string::npos) << what;
+  EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+  EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+  EXPECT_NE(what.find("barrier"), std::string::npos) << what;
+#endif
+}
+
 TEST(DeadlockWatchdog, PartialCompletionStillDetected) {
   ScopedEnv fast_watchdog("CASP_VMPI_WATCHDOG_MS", "20");
   // Rank 0 finishes immediately; ranks 1-2 wait for messages that can no

@@ -101,6 +101,23 @@ TEST_P(CommCollectives, AllgatherVariableSizes) {
   });
 }
 
+TEST_P(CommCollectives, AllgatherVecConcatenatesInRankOrder) {
+  const int p = GetParam();
+  run(p, [p](Comm& comm) {
+    // Rank r contributes r+1 typed elements with values 100*r + i.
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank()) + 1);
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      mine[i] = 100 * comm.rank() + static_cast<int>(i);
+    const std::vector<int> all = comm.allgather_vec<int>(mine);
+    ASSERT_EQ(all.size(),
+              static_cast<std::size_t>(p) * static_cast<std::size_t>(p + 1) /
+                  2);
+    std::size_t pos = 0;
+    for (int r = 0; r < p; ++r)
+      for (int i = 0; i <= r; ++i) EXPECT_EQ(all[pos++], 100 * r + i);
+  });
+}
+
 TEST_P(CommCollectives, AlltoallPersonalizedExchange) {
   const int p = GetParam();
   run(p, [p](Comm& comm) {

@@ -31,6 +31,14 @@ test (see tests/CMakeLists.txt). Rules:
   include-order   Within a contiguous `#include` block, system includes
                   (<...>) precede project includes ("..."), and each group
                   is lexicographically sorted.
+  comm-compat     The byte-vector Comm wrappers (send_bytes, recv_bytes,
+                  bcast_bytes, ibcast_bytes, bcast_vec, allgather_bytes,
+                  alltoall_bytes) are a compat shim for existing tests.
+                  New non-test code must use the payload-first surface
+                  (send_payload / Payload::copy_of, recv_payload,
+                  bcast_payload, allgather_vec, ...). Enforced in src/,
+                  tools/, bench/, examples/; tests/ is exempt, as is the
+                  wrapper section in src/vmpi/comm.hpp itself.
 
 Waivers (use sparingly, justify in a comment on the same line):
   // casp-lint: allow(<rule>)        — waives <rule> on this or next line
@@ -72,6 +80,11 @@ CONST_CAST_RE = re.compile(r"\bconst_cast\b")
 PAYLOAD_TYPE_RE = re.compile(r"\b(Payload|CscView)\b")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"][^>"]+[>"])')
+
+COMM_COMPAT_RE = re.compile(
+    r"\b(send_bytes|recv_bytes|bcast_bytes|ibcast_bytes|bcast_vec|"
+    r"allgather_bytes|alltoall_bytes)\s*[(<]"
+)
 
 
 def strip_code(text: str) -> str:
@@ -201,6 +214,8 @@ class Linter:
         self.check_new_delete(path, code_lines, waived)
         if in_src and not in_vmpi:
             self.check_threading(path, code_lines, waived)
+        if not rel.startswith("tests/") and rel != "src/vmpi/comm.hpp":
+            self.check_comm_compat(path, code_lines, waived)
         self.check_cast_pairing(path, code_lines, waived)
         self.check_payload_ownership(path, code_lines, waived)
         if path.suffix == ".hpp":
@@ -229,6 +244,17 @@ class Linter:
                 self.error(path, idx + 1, "threading",
                            f"std::{m.group(1)} outside src/vmpi/ — all "
                            "parallelism must go through the virtual runtime")
+
+    def check_comm_compat(self, path, code_lines, waived):
+        for idx, line in enumerate(code_lines):
+            m = COMM_COMPAT_RE.search(line)
+            if m and not waived("comm-compat", idx):
+                self.error(
+                    path, idx + 1, "comm-compat",
+                    f"{m.group(1)} is a byte-vector compat wrapper — "
+                    "non-test code must use the payload-first Comm API "
+                    "(send_payload/recv_payload/bcast_payload/"
+                    "allgather_vec/...)")
 
     def check_cast_pairing(self, path, code_lines, waived):
         for idx, line in enumerate(code_lines):

@@ -5,19 +5,24 @@
 #   (b) release            configure + build + full ctest
 #   (c) thread sanitizer   configure + build + ctest -L tsan-safe
 #   (d) address/UB san     configure + build + full ctest
+#   (e) perf diff          rerun perf benches, tools/perf_diff.py vs the
+#                          committed BENCH_*.json snapshots
 #
-# Usage: tools/check.sh [--skip-tsan] [--skip-asan]
+# Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-perf]
+# CASP_PERF_THRESHOLD tunes stage (e)'s allowed slowdown (default 0.25).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 2)
 SKIP_TSAN=0
 SKIP_ASAN=0
+SKIP_PERF=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
-    *) echo "usage: tools/check.sh [--skip-tsan] [--skip-asan]" >&2; exit 2 ;;
+    --skip-perf) SKIP_PERF=1 ;;
+    *) echo "usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-perf]" >&2; exit 2 ;;
   esac
 done
 
@@ -56,6 +61,22 @@ else
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan -j "$JOBS"
   ctest --test-dir build/asan-ubsan --output-on-failure -j "$JOBS"
+fi
+
+if [ "$SKIP_PERF" = 1 ]; then
+  echo "skipping perf-diff stage (--skip-perf)"
+else
+  step "(e) perf diff vs committed BENCH_*.json snapshots"
+  # The benches write their JSON into the cwd; run them in a scratch dir so
+  # a passing check never touches the committed snapshots.
+  PERF_DIR=$(mktemp -d)
+  trap 'rm -rf "$PERF_DIR"' EXIT
+  (cd "$PERF_DIR" && "$OLDPWD/build/release/bench/bench_micro_kernels" > bench_micro_kernels.log)
+  (cd "$PERF_DIR" && "$OLDPWD/build/release/bench/bench_fig5_abcast_scaling" > bench_fig5.log)
+  python3 tools/perf_diff.py --base BENCH_kernels.json \
+    --fresh "$PERF_DIR/BENCH_kernels.json"
+  python3 tools/perf_diff.py --base BENCH_abcast.json \
+    --fresh "$PERF_DIR/BENCH_abcast.json"
 fi
 
 step "all gates passed"

@@ -4,21 +4,24 @@
 // Usage:
 //   mcl network.mtx [--ranks N] [--layers L] [--memory-mb M]
 //       [--inflation R] [--prune T] [--keep K] [--max-iters I]
-//       [--out clusters.txt]
+//       [--out clusters.txt] [--report report.json] [--trace trace.json]
 //
-// Output: one line per vertex, "<vertex> <cluster-id>".
+// Output: one line per vertex, "<vertex> <cluster-id>". --report writes the
+// RunReport JSON (per-phase traffic, timings, counters, memory); --trace
+// writes a Chrome trace-event timeline loadable in Perfetto.
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "apps/mcl.hpp"
+#include "obs/report.hpp"
 #include "sparse/mm_io.hpp"
 #include "sparse/stats.hpp"
 #include "vmpi/runtime.hpp"
 
 int main(int argc, char** argv) {
   using namespace casp;
-  std::string in_path, out_path;
+  std::string in_path, out_path, report_path, trace_path;
   int ranks = 4, layers = 1;
   Bytes memory_mb = 0;
   MclParams params;
@@ -48,10 +51,15 @@ int main(int argc, char** argv) {
       params.max_iterations = std::stoi(next("--max-iters"));
     } else if (arg == "--out") {
       out_path = next("--out");
+    } else if (arg == "--report") {
+      report_path = next("--report");
+    } else if (arg == "--trace") {
+      trace_path = next("--trace");
     } else if (arg == "--help" || arg == "-h") {
       std::cerr << "usage: mcl network.mtx [--ranks N] [--layers L] "
                    "[--memory-mb M]\n           [--inflation R] [--prune T] "
-                   "[--keep K] [--max-iters I] [--out F]\n";
+                   "[--keep K] [--max-iters I] [--out F]\n           "
+                   "[--report report.json] [--trace trace.json]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option " << arg << "\n";
@@ -82,12 +90,20 @@ int main(int argc, char** argv) {
     std::cout << describe("network", network) << "\n";
 
     MclResult result;
-    vmpi::run(ranks, [&](vmpi::Comm& world) {
+    const vmpi::RunResult job = vmpi::run(ranks, [&](vmpi::Comm& world) {
       Grid3D grid(world, layers);
       MclResult r = mcl_cluster_distributed(grid, network, params,
                                             memory_mb * 1024 * 1024);
       if (world.rank() == 0) result = std::move(r);
     });
+    if (!report_path.empty()) {
+      obs::write_report_json(obs::build_report(job), report_path);
+      std::cout << "wrote " << report_path << "\n";
+    }
+    if (!trace_path.empty()) {
+      obs::write_chrome_trace(job, trace_path);
+      std::cout << "wrote " << trace_path << "\n";
+    }
 
     std::cout << "converged after " << result.iterations << " iterations; "
               << result.num_clusters << " clusters\n";

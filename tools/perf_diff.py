@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench run against a committed perf snapshot.
+
+Usage:
+  tools/perf_diff.py --base BENCH_kernels.json --fresh /tmp/BENCH_kernels.json
+                     [--threshold 0.25] [--min-ns 1e5]
+
+Both files are JSON arrays of {"op", "bytes", "ns", "copies"} records (the
+format bench::JsonRecords writes). The comparison is *median-normalized*:
+the snapshot may come from a different machine or load level, so a uniform
+slowdown across every op is calibration, not regression. For each op we
+compute ratio = fresh_ns / base_ns, take the median ratio over all
+comparable ops, and flag an op only when its ratio exceeds
+median * (1 + threshold) — i.e. it got slower *relative to its peers*.
+
+Payload deep-copy counts are deterministic (no normalization): any increase
+of more than 0.5 copies/op is flagged — that is the zero-copy transport
+regressing, not noise.
+
+Ops below --min-ns in the snapshot are ignored for time comparisons (too
+noisy); missing/extra ops produce warnings, not failures, so benches can
+gain cases without invalidating old snapshots.
+
+Exit status: 0 clean, 1 regression(s), 2 usage/IO error.
+Environment: CASP_PERF_THRESHOLD overrides the default threshold (0.25).
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+
+def load_records(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(data, list):
+        print(f"perf_diff: {path}: expected a JSON array", file=sys.stderr)
+        sys.exit(2)
+    records = {}
+    for rec in data:
+        if not isinstance(rec, dict) or "op" not in rec:
+            print(f"perf_diff: {path}: malformed record {rec!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        records[rec["op"]] = rec
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff a fresh bench run against a perf snapshot")
+    parser.add_argument("--base", required=True,
+                        help="committed snapshot JSON")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly generated JSON from the same bench")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("CASP_PERF_THRESHOLD", "0.25")),
+        help="allowed slowdown over the median ratio (default 0.25, "
+        "or $CASP_PERF_THRESHOLD)")
+    parser.add_argument("--min-ns", type=float, default=1e5,
+                        help="ignore ops faster than this in the snapshot "
+                        "(default 1e5 ns)")
+    args = parser.parse_args()
+
+    base = load_records(args.base)
+    fresh = load_records(args.fresh)
+
+    for op in sorted(base.keys() - fresh.keys()):
+        print(f"  warning: op disappeared from fresh run: {op}")
+    for op in sorted(fresh.keys() - base.keys()):
+        print(f"  warning: new op not in snapshot: {op}")
+
+    common = sorted(base.keys() & fresh.keys())
+    if not common:
+        print("perf_diff: no common ops to compare", file=sys.stderr)
+        sys.exit(2)
+
+    ratios = {}
+    for op in common:
+        b, f = base[op], fresh[op]
+        if b.get("ns", 0) >= args.min_ns and f.get("ns", 0) > 0:
+            ratios[op] = f["ns"] / b["ns"]
+
+    failures = []
+    if ratios:
+        median = statistics.median(ratios.values())
+        limit = median * (1.0 + args.threshold)
+        print(f"  {len(ratios)} timed ops, median fresh/base ratio "
+              f"{median:.3f}, per-op limit {limit:.3f}")
+        for op, ratio in sorted(ratios.items(), key=lambda kv: -kv[1]):
+            if ratio > limit:
+                failures.append(
+                    f"SLOWER  {op}: {base[op]['ns']:.0f} ns -> "
+                    f"{fresh[op]['ns']:.0f} ns ({ratio:.2f}x, "
+                    f"limit {limit:.2f}x)")
+    else:
+        print("  no ops above --min-ns; time comparison skipped")
+
+    for op in common:
+        b_copies = base[op].get("copies", 0.0)
+        f_copies = fresh[op].get("copies", 0.0)
+        if f_copies > b_copies + 0.5:
+            failures.append(
+                f"COPIES  {op}: {b_copies:.3f} -> {f_copies:.3f} "
+                "payload deep copies/op")
+
+    if failures:
+        print(f"perf_diff: {len(failures)} regression(s) vs {args.base}:")
+        for line in failures:
+            print(f"  {line}")
+        sys.exit(1)
+    print(f"  ok: no regressions vs {args.base}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,8 @@
 //     --out C.mtx                   write the product
 //     --batch-dir DIR               stream batches to DIR instead of RAM
 //     --stats                       print flops / nnz / cf before running
+//     --report report.json          write the RunReport (traffic/timings)
+//     --trace trace.json            write a Chrome trace-event timeline
 //
 // Exit status 0 on success; a short per-step breakdown is always printed.
 #include <cstring>
@@ -18,6 +20,7 @@
 
 #include "apps/batch_io.hpp"
 #include "grid/dist.hpp"
+#include "obs/report.hpp"
 #include "sparse/mm_io.hpp"
 #include "sparse/stats.hpp"
 #include "summa/batched.hpp"
@@ -28,13 +31,14 @@ void usage() {
   std::cerr
       << "usage: spgemm A.mtx [B.mtx] [--aat] [--ranks N] [--layers L]\n"
          "              [--memory-mb M] [--batches B] [--kernel hash|hybrid]\n"
-         "              [--out C.mtx] [--batch-dir DIR] [--stats]\n";
+         "              [--out C.mtx] [--batch-dir DIR] [--stats]\n"
+         "              [--report report.json] [--trace trace.json]\n";
 }
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace casp;
-  std::string a_path, b_path, out_path, batch_dir;
+  std::string a_path, b_path, out_path, batch_dir, report_path, trace_path;
   bool aat = false, stats = false;
   int ranks = 16, layers = 4;
   Bytes memory_mb = 0;
@@ -78,6 +82,10 @@ int main(int argc, char** argv) {
       out_path = next("--out");
     } else if (arg == "--batch-dir") {
       batch_dir = next("--batch-dir");
+    } else if (arg == "--report") {
+      report_path = next("--report");
+    } else if (arg == "--trace") {
+      trace_path = next("--trace");
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -145,6 +153,15 @@ int main(int argc, char** argv) {
       }
       if (world.rank() == 0) chosen_b = r.batches;
     });
+
+    if (!report_path.empty()) {
+      obs::write_report_json(obs::build_report(result), report_path);
+      std::cout << "wrote " << report_path << "\n";
+    }
+    if (!trace_path.empty()) {
+      obs::write_chrome_trace(result, trace_path);
+      std::cout << "wrote " << trace_path << "\n";
+    }
 
     std::cout << "ran on " << ranks << " virtual ranks, " << layers
               << " layer(s), " << chosen_b << " batch(es)\n";
