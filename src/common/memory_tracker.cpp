@@ -5,15 +5,35 @@
 namespace casp {
 
 void MemoryTracker::allocate(Bytes bytes, const char* what) {
-  Bytes now = live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
-  if (budget_ != 0 && now > budget_) {
-    live_.fetch_sub(bytes, std::memory_order_relaxed);
-    std::ostringstream os;
-    os << "memory budget exceeded allocating " << bytes << " bytes for "
-       << what << ": live " << (now - bytes) << " + " << bytes << " > budget "
-       << budget_;
-    throw MemoryError(os.str());
+  const bool injected =
+      failure_hook_ != nullptr && failure_hook_(bytes, what);
+  // CAS loop: the budget comparison and the charge commit are one atomic
+  // step on live_, so concurrent allocations cannot jointly exceed the
+  // budget, and a rejected allocation never shows up in live_ at all (the
+  // old fetch_add/rollback scheme transiently inflated it, failing
+  // innocent bystanders).
+  Bytes cur = live_.load(std::memory_order_relaxed);
+  Bytes now = 0;
+  bool over = false;
+  while (true) {
+    now = cur + bytes;
+    over = injected || (budget_ != 0 && now > budget_);
+    if (over && !probing()) {
+      std::ostringstream os;
+      if (injected) {
+        os << "injected allocation failure: " << bytes << " bytes for "
+           << what << " (live " << cur << ", budget " << budget_ << ")";
+      } else {
+        os << "memory budget exceeded allocating " << bytes << " bytes for "
+           << what << ": live " << cur << " + " << bytes << " > budget "
+           << budget_;
+      }
+      throw MemoryError(os.str());
+    }
+    if (live_.compare_exchange_weak(cur, now, std::memory_order_relaxed))
+      break;
   }
+  if (over) overrun_.store(true, std::memory_order_relaxed);
   // Lock-free peak update.
   Bytes prev_peak = peak_.load(std::memory_order_relaxed);
   while (now > prev_peak &&

@@ -109,6 +109,7 @@ RunReport build_report(const vmpi::RunResult& result) {
     report.peak_bytes_per_rank.push_back(rec.peak_bytes());
     report.peak_bytes_max = std::max(report.peak_bytes_max, rec.peak_bytes());
   }
+  report.failure = result.failure;
   return report;
 }
 
@@ -127,6 +128,14 @@ Json RunReport::to_json() const {
   mem.set("peak_bytes_per_rank", std::move(per_rank));
   doc.set("memory", std::move(mem));
   doc.set("traffic_matrix", matrices_json(*this));
+  if (failure.has_value()) {
+    Json f = Json::object();
+    f.set("kind", failure->kind);
+    f.set("rank", failure->rank);
+    f.set("phase", failure->phase);
+    f.set("what", failure->what);
+    doc.set("failure", std::move(f));
+  }
   return doc;
 }
 

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,10 @@ struct RunReport {
   std::map<std::string, std::int64_t> counters;
   std::vector<Bytes> peak_bytes_per_rank;
   Bytes peak_bytes_max = 0;
+  /// Present when the job failed and vmpi::run captured the failure
+  /// (RunOptions::capture_failure). Serialized in to_json() only — failures
+  /// carry free-text and are not part of the deterministic subset.
+  std::optional<vmpi::FailureReport> failure;
 
   /// Full document, including timings and memory.
   Json to_json() const;

@@ -1,5 +1,6 @@
 #include "summa/batched.hpp"
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -7,6 +8,7 @@
 #include "common/math.hpp"
 #include "obs/recorder.hpp"
 #include "summa/summa3d.hpp"
+#include "vmpi/traffic.hpp"
 
 namespace casp {
 
@@ -41,7 +43,6 @@ BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
 
   const Index num_batches = result.batches;
   const Index l = grid.layers();
-  const Index nblocks = l * num_batches;
   const Index psize = b.cols.count;  // my B column part width
 
   obs::Recorder& rec = grid.world().recorder();
@@ -50,15 +51,27 @@ BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
   std::vector<CscMat> kept_pieces;
   if (keep_output) kept_pieces.reserve(static_cast<std::size_t>(num_batches));
 
-  for (Index bi = 0; bi < num_batches; ++bi) {
+  // Adaptive re-batch state. eff_batches is the current granularity and bi
+  // the next batch at that granularity; when a batch overruns the budget,
+  // both double (part_low nesting: batch bi of b == batches 2bi, 2bi+1 of
+  // 2b, so completed coarser batches and the refined remainder still tile
+  // my layer's column slice in ascending order). Empty blocks past
+  // max_batches cannot shrink further, so a failure there is final.
+  const bool adaptive = opts.adaptive_rebatch && opts.memory != nullptr;
+  const Index max_batches = std::max<Index>(1, b.global_cols);
+  Index eff_batches = num_batches;
+  Index bi = 0;
+
+  while (bi < eff_batches) {
     obs::ScopedTag batch_tag(rec, obs::ScopedTag::Kind::kBatch,
                              static_cast<int>(bi));
+    const Index nblocks = l * eff_batches;
     // Line 4, Alg. 4 + Fig. 1(i): batch bi = blocks {bi + m*b : m < l} of
     // the (l*b)-way block-cyclic column split of my local B part.
     std::vector<std::pair<Index, Index>> ranges(static_cast<std::size_t>(l));
     std::vector<Index> splits(static_cast<std::size_t>(l) + 1, 0);
     for (Index m = 0; m < l; ++m) {
-      const Index t = bi + m * num_batches;
+      const Index t = bi + m * eff_batches;
       ranges[static_cast<std::size_t>(m)] = {part_low(t, nblocks, psize),
                                              part_low(t + 1, nblocks, psize)};
       splits[static_cast<std::size_t>(m) + 1] =
@@ -66,6 +79,7 @@ BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
           (ranges[static_cast<std::size_t>(m)].second -
            ranges[static_cast<std::size_t>(m)].first);
     }
+    if (adaptive) opts.memory->begin_probe();
     CscMat local_b_batch = b.local.select_col_ranges(ranges);
     MemoryCharge batch_charge;
     if (opts.memory != nullptr)
@@ -81,10 +95,46 @@ BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
     if (opts.memory != nullptr)
       rec.sample_memory(*opts.memory, "memory.live_bytes");
 
-    const Index my_block = bi + static_cast<Index>(grid.layer()) * num_batches;
+    if (adaptive) {
+      // Batch-boundary consensus: inside the probe window no rank throws,
+      // so every rank reaches this allreduce; the job-wide max of the
+      // overrun flags is the SPMD-consistent verdict every rank acts on.
+      const int my_overrun = opts.memory->end_probe() ? 1 : 0;
+      int any_overrun = 0;
+      {
+        vmpi::ScopedPhase consensus_phase(grid.world().traffic(),
+                                          steps::kRebatchConsensus);
+        any_overrun = grid.world().allreduce_max<int>(my_overrun);
+      }
+      if (any_overrun != 0) {
+        // Release the failed batch's partial state, then refine: the
+        // remaining batches bi..eff-1 become 2bi..2eff-1 at the doubled
+        // granularity. When even single-column blocks overrun, splitting
+        // cannot help — give up with the classified budget error.
+        c_piece = CscMat();
+        local_b_batch = CscMat();
+        batch_charge.reset();
+        if (eff_batches >= max_batches) {
+          // Single-column blocks still overrun: no granularity can fit.
+          // eff_batches is SPMD-consistent, so every rank throws here
+          // together; vmpi::run classifies this as "memory_budget".
+          throw MemoryError(
+              "adaptive re-batching exhausted: batch overruns the memory "
+              "budget even at one column per block (" +
+              std::to_string(eff_batches) + " batches)");
+        }
+        ++result.rebatch_events;
+        rec.add_counter("summa.rebatch_events", 1);
+        bi *= 2;
+        eff_batches *= 2;
+        continue;
+      }
+    }
+
+    const Index my_block = bi + static_cast<Index>(grid.layer()) * eff_batches;
     BatchInfo info;
     info.batch_index = bi;
-    info.num_batches = num_batches;
+    info.num_batches = eff_batches;
     info.global_nrows = a.global_rows;
     info.global_ncols = b.global_cols;
     info.global_rows = a.rows;
@@ -94,7 +144,10 @@ BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
 
     if (keep_output) kept_pieces.push_back(c_piece);
     if (on_batch) on_batch(std::move(c_piece), info);
+    ++bi;
   }
+  result.final_batches = eff_batches;
+  rec.set_counter("summa.final_batches", eff_batches);
 
   if (keep_output) {
     // Line 7, Alg. 4: batch pieces are blocks layer*b .. layer*b + b - 1 in
@@ -212,6 +265,7 @@ BatchedResult batched_summa3d_rowwise(Grid3D& grid, const DistMat3D& a,
     result.c.cols = out_cols;
     result.c.local = concat_rows(kept_pieces, my_rows);
   }
+  result.final_batches = num_batches;
   return result;
 }
 

@@ -9,6 +9,15 @@
 // (prune it, write it to disk, feed it to a matching pass, ...) and can be
 // discarded; keeping the concatenated C is optional and only sensible when
 // it fits.
+//
+// Eq. 2 picks b from *estimates*; when a batch still overruns the enforced
+// budget (opts.memory), the adaptive re-batch protocol recovers instead of
+// aborting: the batch runs inside a MemoryTracker probe window, ranks
+// allreduce an overrun flag at the batch boundary, and on consensus the
+// failed batch's partial state is released and the remaining work re-runs
+// at double the batch count. part_low's nesting property (block t of l*b
+// == blocks 2t, 2t+1 of 2*l*b) makes the recovered output bit-identical
+// to the unconstrained run no matter where splits happen.
 #pragma once
 
 #include <functional>
@@ -20,6 +29,10 @@
 namespace casp {
 
 /// Where one rank's piece of a finished batch lives globally.
+/// Under adaptive re-batching both fields describe the *effective*
+/// granularity at emission time: indices stay unique and strictly
+/// ascending across splits (a failed batch bi at granularity g re-emerges
+/// as batches 2*bi, 2*bi+1 at granularity 2g).
 struct BatchInfo {
   Index batch_index = 0;
   Index num_batches = 1;
@@ -43,7 +56,14 @@ struct BatchedResult {
   DistMat3D c;
   /// What the symbolic step measured/decided.
   SymbolicResult symbolic;
+  /// Initial batch count (Eq. 2's answer, or force_batches).
   Index batches = 1;
+  /// Effective batch count the run finished at — larger than `batches`
+  /// when adaptive re-batching had to split (each split doubles it).
+  Index final_batches = 1;
+  /// Number of overrun-consensus events that forced a split. Mirrored in
+  /// the run report as the `summa.rebatch_events` counter.
+  Index rebatch_events = 0;
 };
 
 /// Collective over the whole grid. `a` must be A-style distributed and `b`

@@ -25,6 +25,11 @@ inline constexpr const char* kAll[] = {
     kSymbolic,   kABcast,        kBBcast,     kLocalMultiply,
     kMergeLayer, kAllToAllFiber, kMergeFiber,
 };
+
+/// Not one of the paper's seven steps (hence not in kAll): the per-batch
+/// overrun-consensus allreduce of the adaptive re-batch protocol. Only
+/// present when a memory tracker enforces the budget.
+inline constexpr const char* kRebatchConsensus = "Rebatch-Consensus";
 }  // namespace steps
 
 /// Knobs for the SUMMA family. Defaults are this paper's configuration
@@ -49,6 +54,12 @@ struct SummaOptions {
   /// Batched algorithm only: override the symbolic batch count (0 = let
   /// Symbolic3D decide). Used by the (l, b) sweep experiments.
   Index force_batches = 0;
+  /// Batched algorithm only, and only with opts.memory set: when a batch
+  /// overruns the budget, reach consensus at the batch boundary and re-run
+  /// the remaining work at double the batch count instead of failing the
+  /// job. part_low's nesting property keeps the recovered output
+  /// bit-identical to the unconstrained run (see batched.cpp).
+  bool adaptive_rebatch = true;
 };
 
 }  // namespace casp

@@ -173,12 +173,37 @@ Comm::Comm(std::shared_ptr<detail::World> world, std::uint64_t context,
 void Comm::post_message(int dest, int tag, Payload payload,
                         bool fire_and_forget) {
   CASP_CHECK_MSG(dest >= 0 && dest < size_, "send to invalid rank " << dest);
-  // Charge the full logical bytes regardless of how the handle is shared:
-  // Table II accounting must not see the zero-copy optimization. The
-  // receiver's world rank feeds the per-phase rank×rank traffic matrix.
-  recorder_->traffic().record_send(
-      static_cast<Bytes>(payload.size()),
-      members_[static_cast<std::size_t>(dest)]);
+  const int my_world = members_[static_cast<std::size_t>(rank_)];
+  const int dest_world = members_[static_cast<std::size_t>(dest)];
+  detail::FaultState* faults = world_->faults.get();
+  std::uint64_t op = 0;
+  if (faults != nullptr) op = faults->enter_op(my_world, *recorder_);
+  // Transient-fault retry loop. Every attempt — including ones the fault
+  // plan fails — charges the full logical bytes: a failed attempt already
+  // put its bytes on the wire, so Table II accounting must count the
+  // retransmission too. The no-fault path runs the loop body exactly once
+  // and charges exactly once, as before. The receiver's world rank feeds
+  // the per-phase rank×rank traffic matrix.
+  for (int attempt = 0;; ++attempt) {
+    recorder_->traffic().record_send(static_cast<Bytes>(payload.size()),
+                                     dest_world);
+    if (faults == nullptr) break;
+    try {
+      faults->check_send(my_world, op, attempt, *recorder_);
+      break;
+    } catch (const TransientCommError& e) {
+      if (attempt + 1 >= faults->plan().retry.max_attempts) {
+        std::ostringstream os;
+        os << "send retry budget exhausted after "
+           << faults->plan().retry.max_attempts << " attempts (rank "
+           << my_world << " -> rank " << dest_world << ", tag " << tag
+           << "): " << e.what();
+        throw RetryExhausted(os.str());
+      }
+      recorder_->add_counter("vmpi.retries", 1);
+      faults->backoff(attempt);
+    }
+  }
   detail::Message msg;
   msg.context = context_;
   msg.src_world = members_[static_cast<std::size_t>(rank_)];
@@ -197,6 +222,10 @@ detail::Message Comm::take_message(int src, int tag) {
   CASP_CHECK_MSG(src >= 0 && src < size_, "recv from invalid rank " << src);
   const int my_world = members_[static_cast<std::size_t>(rank_)];
   const int src_world = members_[static_cast<std::size_t>(src)];
+  // Receives count as vmpi ops for the fault plan (delays and crash-at-op
+  // schedules see the rank's full transport activity, not just its sends).
+  if (world_->faults != nullptr)
+    world_->faults->enter_op(my_world, *recorder_);
   // Publish what we are about to block on so the deadlock watchdog can tell
   // a stuck job from a busy one (and say who waits for whom).
   detail::RankStatus& st =

@@ -45,6 +45,7 @@
 #include "common/types.hpp"
 #include "obs/recorder.hpp"
 #include "vmpi/check.hpp"
+#include "vmpi/faults.hpp"
 #include "vmpi/traffic.hpp"
 
 namespace casp::vmpi {
@@ -153,6 +154,10 @@ struct World {
   std::atomic<std::uint64_t> progress{0};
   std::atomic<int> blocked{0};
   std::atomic<int> finished{0};
+  /// Deterministic fault-injection state (vmpi/faults.hpp); null when the
+  /// job runs without faults — the common case costs one pointer check per
+  /// transport op.
+  std::shared_ptr<FaultState> faults;
 #ifdef CASP_VMPI_CHECK
   /// Split ancestry (child context -> parent context; the world is context
   /// 0 and has no entry). Lets the watchdog distinguish a generic deadlock
@@ -386,6 +391,16 @@ class Comm {
 
   /// Set both the traffic phase and the timing context for a scope.
   void set_phase(const std::string& phase) { traffic().set_phase(phase); }
+
+  /// My world rank (the communicator-local rank mapped through members_);
+  /// what failure reports and the fault plan key decisions on.
+  int world_rank() const {
+    return members_[static_cast<std::size_t>(rank_)];
+  }
+
+  /// The job's fault-injection state, or null when faults are disabled.
+  /// Used by arm_alloc_faults to hook a MemoryTracker into the plan.
+  detail::FaultState* fault_state() const { return world_->faults.get(); }
 
   // -- Byte-vector compat wrappers ------------------------------------------
   //

@@ -1,0 +1,225 @@
+#include "vmpi/faults.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "vmpi/comm.hpp"
+
+namespace casp::vmpi {
+
+namespace {
+
+/// splitmix64 finalizer: the standard cheap 64-bit mixer. Decisions hash
+/// (seed, rank, op, attempt, salt) through it, so they are independent
+/// draws yet exactly reproducible.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform draw in [0, 1) from the decision stream.
+double uniform(std::uint64_t seed, std::uint64_t salt, int rank,
+               std::uint64_t index, int attempt) {
+  std::uint64_t h = mix(seed ^ salt);
+  h = mix(h ^ (static_cast<std::uint64_t>(static_cast<unsigned>(rank)) + 1));
+  h = mix(h ^ index);
+  h = mix(h ^ static_cast<std::uint64_t>(static_cast<unsigned>(attempt)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kSendSalt = 0x73656e64ULL;    // "send"
+constexpr std::uint64_t kAllocSalt = 0x616c6c6fULL;   // "allo"
+
+[[noreturn]] void bad_spec(const std::string& detail) {
+  throw InvalidArgument("CASP_VMPI_FAULTS: " + detail);
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || pos == 0)
+    bad_spec("bad value '" + value + "' for " + key);
+  return v;
+}
+
+std::int64_t parse_int(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || pos == 0)
+    bad_spec("bad value '" + value + "' for " + key);
+  return v;
+}
+
+}  // namespace
+
+int RetryPolicy::backoff_us(int attempt) const {
+  // min(base << attempt, cap) without shift overflow.
+  long long us = base_delay_us;
+  for (int i = 0; i < attempt && us < cap_delay_us; ++i) us *= 2;
+  if (us > cap_delay_us) us = cap_delay_us;
+  return static_cast<int>(us);
+}
+
+bool FaultPlan::enabled() const {
+  return send_fail > 0.0 || alloc_fail > 0.0 || crash_rank >= 0 ||
+         (delay_us > 0 && delay_every > 0);
+}
+
+bool FaultPlan::send_attempt_fails(int rank, std::uint64_t op,
+                                   int attempt) const {
+  if (send_fail <= 0.0) return false;
+  return uniform(seed, kSendSalt, rank, op, attempt) < send_fail;
+}
+
+bool FaultPlan::alloc_fails(int rank, std::uint64_t alloc_index) const {
+  if (alloc_fail <= 0.0) return false;
+  return uniform(seed, kAllocSalt, rank, alloc_index, 0) < alloc_fail;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find_first_of(";,", start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      bad_spec("expected key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_int(key, value));
+    } else if (key == "send_fail") {
+      plan.send_fail = parse_double(key, value);
+    } else if (key == "alloc_fail") {
+      plan.alloc_fail = parse_double(key, value);
+    } else if (key == "delay_us") {
+      plan.delay_us = static_cast<int>(parse_int(key, value));
+    } else if (key == "delay_every") {
+      plan.delay_every = static_cast<int>(parse_int(key, value));
+    } else if (key == "delay_rank") {
+      plan.delay_rank = static_cast<int>(parse_int(key, value));
+    } else if (key == "crash_rank") {
+      plan.crash_rank = static_cast<int>(parse_int(key, value));
+    } else if (key == "crash_op") {
+      plan.crash_op = static_cast<std::uint64_t>(parse_int(key, value));
+    } else if (key == "retry_max") {
+      plan.retry.max_attempts = static_cast<int>(parse_int(key, value));
+    } else if (key == "retry_base_us") {
+      plan.retry.base_delay_us = static_cast<int>(parse_int(key, value));
+    } else if (key == "retry_cap_us") {
+      plan.retry.cap_delay_us = static_cast<int>(parse_int(key, value));
+    } else {
+      bad_spec("unknown key '" + key + "'");
+    }
+  }
+  if (plan.send_fail < 0.0 || plan.send_fail > 1.0 || plan.alloc_fail < 0.0 ||
+      plan.alloc_fail > 1.0)
+    bad_spec("probabilities must be in [0, 1]");
+  if (plan.retry.max_attempts < 1) bad_spec("retry_max must be >= 1");
+  if (plan.crash_op < 1) bad_spec("crash_op is 1-based");
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* spec = std::getenv("CASP_VMPI_FAULTS");
+  if (spec == nullptr || *spec == '\0') return FaultPlan{};
+  return parse(spec);
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  if (send_fail > 0.0) os << ";send_fail=" << send_fail;
+  if (alloc_fail > 0.0) os << ";alloc_fail=" << alloc_fail;
+  if (delay_us > 0 && delay_every > 0) {
+    os << ";delay_us=" << delay_us << ";delay_every=" << delay_every;
+    if (delay_rank >= 0) os << ";delay_rank=" << delay_rank;
+  }
+  if (crash_rank >= 0)
+    os << ";crash_rank=" << crash_rank << ";crash_op=" << crash_op;
+  os << ";retry_max=" << retry.max_attempts
+     << ";retry_base_us=" << retry.base_delay_us
+     << ";retry_cap_us=" << retry.cap_delay_us;
+  return os.str();
+}
+
+namespace detail {
+
+FaultState::FaultState(FaultPlan plan, int size)
+    : plan_(plan), per_rank_(static_cast<std::size_t>(size)) {}
+
+std::uint64_t FaultState::enter_op(int rank, obs::Recorder& rec) {
+  const std::uint64_t op =
+      per_rank_[static_cast<std::size_t>(rank)].ops.fetch_add(
+          1, std::memory_order_relaxed) +
+      1;
+  if (plan_.delays_at(rank, op)) {
+    rec.add_counter("vmpi.faults_injected", 1);
+    std::this_thread::sleep_for(std::chrono::microseconds(plan_.delay_us));
+  }
+  if (plan_.crashes_at(rank, op)) {
+    rec.add_counter("vmpi.faults_injected", 1);
+    std::ostringstream os;
+    os << "injected crash: rank " << rank << " killed at vmpi op " << op
+       << " (fault plan " << plan_.describe() << ")";
+    throw InjectedRankCrash(os.str());
+  }
+  return op;
+}
+
+void FaultState::check_send(int rank, std::uint64_t op, int attempt,
+                            obs::Recorder& rec) {
+  if (!plan_.send_attempt_fails(rank, op, attempt)) return;
+  rec.add_counter("vmpi.faults_injected", 1);
+  std::ostringstream os;
+  os << "injected transient send failure: rank " << rank << ", vmpi op "
+     << op << ", attempt " << (attempt + 1);
+  throw TransientCommError(os.str());
+}
+
+std::uint64_t FaultState::next_alloc(int rank) {
+  return per_rank_[static_cast<std::size_t>(rank)].allocs.fetch_add(
+             1, std::memory_order_relaxed) +
+         1;
+}
+
+void FaultState::backoff(int attempt) const {
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(plan_.retry.backoff_us(attempt)));
+}
+
+}  // namespace detail
+
+void arm_alloc_faults(Comm& comm, MemoryTracker& tracker) {
+  detail::FaultState* faults = comm.fault_state();
+  if (faults == nullptr || faults->plan().alloc_fail <= 0.0) return;
+  const int rank = comm.world_rank();
+  obs::Recorder* rec = &comm.recorder();
+  tracker.set_failure_hook([faults, rank, rec](Bytes, const char*) {
+    const std::uint64_t index = faults->next_alloc(rank);
+    if (!faults->plan().alloc_fails(rank, index)) return false;
+    rec->add_counter("vmpi.faults_injected", 1);
+    return true;
+  });
+}
+
+}  // namespace casp::vmpi

@@ -39,7 +39,59 @@ std::vector<std::string> RunResult::time_names() const {
   return {names.begin(), names.end()};
 }
 
+std::string FailureReport::describe() const {
+  std::ostringstream os;
+  os << "job failed: " << kind;
+  if (rank >= 0) os << " on rank " << rank;
+  if (!phase.empty()) os << " during phase \"" << phase << "\"";
+  os << " — " << what;
+  return os.str();
+}
+
 namespace {
+
+/// Map the first exception to the FailureReport taxonomy. Order matters:
+/// the specific fault classes come before their std bases.
+FailureReport classify_failure(const std::exception_ptr& error, int rank,
+                               std::string phase) {
+  FailureReport report;
+  report.rank = rank;
+  report.phase = std::move(phase);
+  try {
+    std::rethrow_exception(error);
+  } catch (const InjectedRankCrash& e) {
+    report.kind = "rank_crash";
+    report.what = e.what();
+  } catch (const RetryExhausted& e) {
+    report.kind = "retry_exhausted";
+    report.what = e.what();
+  } catch (const DeadlockDetected& e) {
+    report.kind = "deadlock";
+    report.what = e.what();
+  } catch (const CommunicatorOrderViolation& e) {
+    report.kind = "communicator_order_violation";
+    report.what = e.what();
+  } catch (const CollectiveMismatch& e) {
+    report.kind = "collective_mismatch";
+    report.what = e.what();
+  } catch (const MessageLeak& e) {
+    report.kind = "message_leak";
+    report.what = e.what();
+  } catch (const MemoryError& e) {
+    report.kind = "memory_budget";
+    report.what = e.what();
+  } catch (const InvalidArgument& e) {
+    report.kind = "invalid_argument";
+    report.what = e.what();
+  } catch (const std::exception& e) {
+    report.kind = "exception";
+    report.what = e.what();
+  } catch (...) {
+    report.kind = "exception";
+    report.what = "unknown non-std exception";
+  }
+  return report;
+}
 
 /// Watchdog sampling period. 0 disables the watchdog entirely; tests that
 /// provoke deadlocks on purpose dial it down to fail fast.
@@ -153,9 +205,14 @@ std::string diagnose_comm_order(detail::World& world, int size) {
 
 }  // namespace
 
-RunResult run(int size, const std::function<void(Comm&)>& body) {
+RunResult run(int size, const std::function<void(Comm&)>& body,
+              const RunOptions& options) {
   CASP_CHECK_MSG(size >= 1, "virtual job needs at least one rank");
   auto world = std::make_shared<detail::World>(size);
+  const FaultPlan plan =
+      options.faults.has_value() ? *options.faults : FaultPlan::from_env();
+  if (plan.enabled())
+    world->faults = std::make_shared<detail::FaultState>(plan, size);
 
   RunResult result;
   result.size = size;
@@ -165,6 +222,8 @@ RunResult run(int size, const std::function<void(Comm&)>& body) {
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
+  int failed_rank = -1;
+  std::string failed_phase;
 
   Stopwatch watch;
   std::vector<std::thread> threads;
@@ -180,7 +239,13 @@ RunResult run(int size, const std::function<void(Comm&)>& body) {
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          if (!first_error) {
+            first_error = std::current_exception();
+            // The failure report names the *first* casualty and the phase
+            // its traffic ledger was in when it died.
+            failed_rank = r;
+            failed_phase = comm.traffic().phase();
+          }
         }
         world->abort_all();
       }
@@ -272,7 +337,16 @@ RunResult run(int size, const std::function<void(Comm&)>& body) {
   }
   result.wall_seconds = watch.seconds();
 
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error) {
+    if (options.capture_failure) {
+      // The leftover-traffic sweeps below are skipped on purpose: an
+      // aborted job legitimately strands queued messages.
+      result.failure =
+          classify_failure(first_error, failed_rank, failed_phase);
+      return result;
+    }
+    std::rethrow_exception(first_error);
+  }
 
 #ifdef CASP_VMPI_CHECK
   // A clean job must leave no collective traffic behind: a stamped message
@@ -317,6 +391,10 @@ RunResult run(int size, const std::function<void(Comm&)>& body) {
         tag_leak.str());
 #endif
   return result;
+}
+
+RunResult run(int size, const std::function<void(Comm&)>& body) {
+  return run(size, body, RunOptions{});
 }
 
 }  // namespace casp::vmpi

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -72,6 +73,75 @@ TEST(MemoryTracker, ConcurrentChargesAreExact) {
   for (auto& th : threads) th.join();
   EXPECT_EQ(t.live(), 0u);
   EXPECT_GE(t.peak(), 3u);
+}
+
+TEST(MemoryTracker, EnforcementIsExactUnderContention) {
+  // The budget check and the charge commit are one CAS: with a budget of
+  // 100 units and racing 10-unit charges, the sum of successful charges
+  // can never exceed the budget, no matter the interleaving. (Under TSan
+  // this also proves the check-then-act race is gone.)
+  constexpr Bytes kBudget = 100;
+  constexpr Bytes kChunk = 10;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  MemoryTracker t(kBudget);
+  std::vector<std::thread> threads;
+  std::atomic<bool> violated{false};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&]() {
+      for (int k = 0; k < kIters; ++k) {
+        try {
+          t.allocate(kChunk);
+        } catch (const MemoryError&) {
+          continue;  // full right now — that is the point
+        }
+        if (t.live() > kBudget) violated.store(true);
+        t.release(kChunk);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violated.load()) << "charges jointly slipped past the budget";
+  EXPECT_EQ(t.live(), 0u);
+  EXPECT_LE(t.peak(), kBudget);
+}
+
+TEST(MemoryTracker, ProbeWindowDefersOverrunToTheBoundary) {
+  MemoryTracker t(100);
+  t.allocate(90);
+  t.begin_probe();
+  // Over budget inside the window: charged, flagged, but no throw — the
+  // rank must reach the batch boundary instead of stranding its peers.
+  EXPECT_NO_THROW(t.allocate(50, "batch working set"));
+  EXPECT_EQ(t.live(), 140u);
+  EXPECT_EQ(t.peak(), 140u) << "transient over-budget peak reported honestly";
+  t.release(50);
+  EXPECT_TRUE(t.end_probe());
+  // Outside the window the hard contract is back.
+  EXPECT_THROW(t.allocate(50), MemoryError);
+  // A clean window reports no overrun.
+  t.begin_probe();
+  t.allocate(10);
+  t.release(10);
+  EXPECT_FALSE(t.end_probe());
+}
+
+TEST(MemoryTracker, FailureHookInjectsAllocationFaults) {
+  MemoryTracker t(0);  // unlimited: only the hook can fail allocations
+  int calls = 0;
+  t.set_failure_hook([&calls](Bytes bytes, const char*) {
+    ++calls;
+    return bytes == 13;  // fail exactly the marked allocation
+  });
+  EXPECT_NO_THROW(t.allocate(7));
+  EXPECT_THROW(t.allocate(13, "doomed"), MemoryError);
+  EXPECT_EQ(t.live(), 7u) << "injected failure must not leak a charge";
+  EXPECT_EQ(calls, 2);
+  // Inside a probe window an injected failure marks the overrun instead.
+  t.begin_probe();
+  EXPECT_NO_THROW(t.allocate(13));
+  EXPECT_TRUE(t.end_probe());
+  t.release(13);
 }
 
 TEST(MemoryTracker, ResetPeak) {

@@ -235,6 +235,147 @@ TEST(RowwiseBatched, CallbackPiecesAreRowBlocks) {
   testing::expect_mat_near(full, expected, 1e-9);
 }
 
+// Adaptive re-batching (the graceful-degradation protocol): when the
+// enforced budget is below what Eq. 2's estimate assumed, the run must
+// split batches at the overrun consensus and still produce output
+// bit-identical to an unconstrained run (part_low nesting).
+TEST(AdaptiveRebatch, SplitsAndMatchesUnconstrainedBitExact) {
+  const int p = 8, l = 2;
+  const Index n = 32, batches = 2;
+  const CscMat a = testing::random_matrix(n, n, 5.0, 39);
+  const CscMat b = testing::random_matrix(n, n, 5.0, 40);
+  const CscMat expected = reference_multiply<PlusTimes>(a, b);
+
+  // Pass 1 (unconstrained): record each rank's actual peak and the exact
+  // streamed output at the forced granularity.
+  std::vector<Bytes> peak(static_cast<std::size_t>(p), 0);
+  std::vector<Bytes> inputs(static_cast<std::size_t>(p), 0);
+  std::mutex mutex;
+  TripleMat base_triples(n, n);
+  auto assemble = [&](TripleMat& into) {
+    return [&](CscMat&& piece, const BatchInfo& info) {
+      std::lock_guard<std::mutex> lock(mutex);
+      for (Index j = 0; j < piece.ncols(); ++j) {
+        const auto rows = piece.col_rowids(j);
+        const auto vals = piece.col_vals(j);
+        for (std::size_t k = 0; k < rows.size(); ++k)
+          into.push_back(rows[k] + info.global_rows.start,
+                         j + info.global_cols.start, vals[k]);
+      }
+    };
+  };
+  vmpi::run(p, [&](vmpi::Comm& world) {
+    Grid3D grid(world, l);
+    const DistMat3D da = distribute_a_style(grid, a);
+    const DistMat3D db = distribute_b_style(grid, b);
+    MemoryTracker tracker(0);  // unlimited: just measure
+    SummaOptions opts;
+    opts.force_batches = batches;
+    opts.memory = &tracker;
+    BatchedResult r =
+        batched_summa3d<PlusTimes>(grid, da, db, 0, opts,
+                                   assemble(base_triples),
+                                   /*keep_output=*/false);
+    EXPECT_EQ(r.rebatch_events, 0);
+    EXPECT_EQ(r.final_batches, batches);
+    const auto rank = static_cast<std::size_t>(world.rank());
+    peak[rank] = tracker.peak();
+    inputs[rank] =
+        static_cast<Bytes>(da.local.nnz() + db.local.nnz()) * kBytesPerNonzero;
+  });
+  const CscMat base = CscMat::from_triples(std::move(base_triples));
+  testing::expect_mat_near(base, expected, 1e-9);
+
+  // Pass 2: give each rank a budget strictly between its steady-state
+  // (inputs) and its unconstrained peak, so the forced granularity
+  // overruns but a finer one fits. The run must recover by splitting.
+  TripleMat adaptive_triples(n, n);
+  Index rebatch_events = -1, final_batches = -1;
+  auto result = vmpi::run(p, [&](vmpi::Comm& world) {
+    Grid3D grid(world, l);
+    const DistMat3D da = distribute_a_style(grid, a);
+    const DistMat3D db = distribute_b_style(grid, b);
+    const auto rank = static_cast<std::size_t>(world.rank());
+    MemoryTracker tracker(inputs[rank] +
+                          (peak[rank] - inputs[rank]) * 3 / 5);
+    SummaOptions opts;
+    opts.force_batches = batches;
+    opts.memory = &tracker;
+    BatchedResult r =
+        batched_summa3d<PlusTimes>(grid, da, db, 0, opts,
+                                   assemble(adaptive_triples),
+                                   /*keep_output=*/false);
+    if (world.rank() == 0) {
+      rebatch_events = r.rebatch_events;
+      final_batches = r.final_batches;
+    }
+  });
+  EXPECT_GE(rebatch_events, 1);
+  EXPECT_GT(final_batches, batches);
+  EXPECT_GE(result.recorders.at(0).counters().at("summa.rebatch_events"), 1);
+
+  // Bit-identical to the unconstrained run: identical structure AND values
+  // (tolerance 0) — the per-column summation order never changed.
+  const CscMat adaptive = CscMat::from_triples(std::move(adaptive_triples));
+  testing::expect_mat_near(adaptive, base, 0.0);
+}
+
+TEST(AdaptiveRebatch, ExhaustionIsClassifiedAsMemoryBudget) {
+  // A budget that admits the inputs but nothing else: every granularity
+  // down to one column per block overruns, so the protocol must give up
+  // with a MemoryError — classified, never a hang.
+  const int p = 4, l = 1;
+  const Index n = 16;
+  const CscMat a = testing::random_matrix(n, n, 4.0, 41);
+  vmpi::RunOptions run_opts;
+  run_opts.capture_failure = true;
+  auto result = vmpi::run(
+      p,
+      [&](vmpi::Comm& world) {
+        Grid3D grid(world, l);
+        const DistMat3D da = distribute_a_style(grid, a);
+        const DistMat3D db = distribute_b_style(grid, a);
+        MemoryTracker tracker(
+            static_cast<Bytes>(da.local.nnz() + db.local.nnz()) *
+                kBytesPerNonzero +
+            1);
+        SummaOptions opts;
+        opts.force_batches = 1;
+        opts.memory = &tracker;
+        batched_summa3d<PlusTimes>(grid, da, db, 0, opts, nullptr,
+                                   /*keep_output=*/false);
+      },
+      run_opts);
+  ASSERT_TRUE(result.failed());
+  EXPECT_EQ(result.failure->kind, "memory_budget");
+}
+
+TEST(AdaptiveRebatch, OptOutThrowsOnFirstOverrun) {
+  // adaptive_rebatch=false restores the old contract: the first over-budget
+  // allocation throws MemoryError immediately.
+  const int p = 4, l = 1;
+  const Index n = 16;
+  const CscMat a = testing::random_matrix(n, n, 4.0, 42);
+  EXPECT_THROW(
+      vmpi::run(p,
+                [&](vmpi::Comm& world) {
+                  Grid3D grid(world, l);
+                  const DistMat3D da = distribute_a_style(grid, a);
+                  const DistMat3D db = distribute_b_style(grid, a);
+                  MemoryTracker tracker(
+                      static_cast<Bytes>(da.local.nnz() + db.local.nnz()) *
+                          kBytesPerNonzero +
+                      1);
+                  SummaOptions opts;
+                  opts.force_batches = 1;
+                  opts.memory = &tracker;
+                  opts.adaptive_rebatch = false;
+                  batched_summa3d<PlusTimes>(grid, da, db, 0, opts, nullptr,
+                                             /*keep_output=*/false);
+                }),
+      MemoryError);
+}
+
 TEST(BatchedMemoryTracking, PeakStaysWithinBudgetWhenStreaming) {
   const int p = 8, l = 2;
   const Index n = 40;

@@ -2,8 +2,10 @@
 // land A-style distributed and equal the serial product.
 #include <gtest/gtest.h>
 
+#include "common/math.hpp"
 #include "grid/dist.hpp"
 #include "kernels/reference.hpp"
+#include "sparse/serialize.hpp"
 #include "summa/summa3d.hpp"
 #include "test_util.hpp"
 #include "vmpi/runtime.hpp"
@@ -81,6 +83,51 @@ TEST(Summa3DSemiring, OrAndReachability) {
                  a_style_col_range(grid, n)};
     testing::expect_mat_near(gather_dist(grid, dc), expected);
   });
+}
+
+TEST(Summa3DZeroCopy, FiberExchangeAndMergeNeverDeepCopy) {
+  // The ROADMAP claim behind the refcounted-payload transport: the fiber
+  // stage — pack (wrap), AllToAll-Fiber (forwarded handles), Merge-Fiber
+  // (CscViews borrowing the wire buffers) — performs zero Payload deep
+  // copies. The job below runs *only* that stage (matrices generated
+  // locally, no barriers or scalar collectives, whose 1–8 byte transport
+  // copies are by design), so Payload::deep_copies() must not move at all.
+  // Any regression — a copy_of on the exchange path, a release_or_copy
+  // deserializing a received piece — fails this test.
+  const int p = 4;
+  const Index n = 32;
+
+  const std::uint64_t before = Payload::deep_copies();
+  vmpi::run(p, [&](vmpi::Comm& world) {
+    // My slice of an unmerged D: p column blocks, one per destination.
+    const CscMat d = testing::random_matrix(
+        n, n, 3.0, 50 + static_cast<std::uint64_t>(world.rank()));
+
+    std::vector<Payload> outgoing(static_cast<std::size_t>(p));
+    for (int m = 0; m < p; ++m) {
+      const Index lo = part_low(m, p, d.ncols());
+      const Index hi = part_low(m + 1, p, d.ncols());
+      outgoing[static_cast<std::size_t>(m)] =
+          pack_csc_payload(d.slice_cols(lo, hi));
+    }
+    std::vector<Payload> incoming =
+        world.alltoall_payload(std::move(outgoing));
+
+    std::vector<CscView> pieces;
+    pieces.reserve(incoming.size());
+    for (const Payload& buf : incoming) pieces.push_back(unpack_csc_view(buf));
+    const CscMat merged =
+        merge_matrices<PlusTimes>(csc_refs(pieces), MergeKind::kUnsortedHash, 1);
+
+    // Sanity: the merge really consumed every rank's piece.
+    Index total = 0;
+    for (const CscView& v : pieces) total += v.nnz();
+    EXPECT_GT(total, 0);
+    EXPECT_LE(merged.nnz(), total);
+    EXPECT_GT(merged.nnz(), 0);
+  });
+  EXPECT_EQ(Payload::deep_copies(), before)
+      << "the fiber exchange / Merge-Fiber path deep-copied a payload";
 }
 
 TEST(Summa3DTraffic, FiberTrafficOnlyWhenLayered) {

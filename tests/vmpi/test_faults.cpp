@@ -1,0 +1,380 @@
+// Deterministic fault injection (vmpi/faults.hpp): plan parsing, pure
+// per-(rank, op) decisions, transport retries with honest traffic
+// accounting, and structured FailureReports for unrecoverable faults.
+//
+// The FaultMatrix suite is the body of tools/check.sh stage (f): it reads
+// CASP_FAULT_SEED from the environment (default 1) so the same binaries
+// sweep several seeds. Every previously-fatal path here must terminate
+// with a classified FailureReport — never a hang (CTest timeouts bound
+// the blast radius) and never a bare abort.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace casp::vmpi {
+namespace {
+
+std::uint64_t sweep_seed() {
+  const char* env = std::getenv("CASP_FAULT_SEED");
+  if (env == nullptr || *env == '\0') return 1;
+  return std::strtoull(env, nullptr, 10);
+}
+
+std::int64_t counter_sum(const RunResult& result, const std::string& name) {
+  std::int64_t sum = 0;
+  for (const auto& rec : result.recorders) {
+    const auto it = rec.counters().find(name);
+    if (it != rec.counters().end()) sum += it->second;
+  }
+  return sum;
+}
+
+// A small SPMD workload that exercises point-to-point and collective
+// traffic: a tagged ring exchange per round plus an allreduce checksum.
+// Returns the checksum so callers can compare faulty vs fault-free runs.
+int ring_workload(Comm& comm, int rounds) {
+  comm.set_phase("Ring");
+  int checksum = 0;
+  const int next = (comm.rank() + 1) % comm.size();
+  const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+  static_assert(std::is_trivially_copyable_v<int>);
+  for (int r = 0; r < rounds; ++r) {
+    const int payload = comm.rank() * 1000 + r;
+    comm.send_bytes(next, /*tag=*/7,
+                    reinterpret_cast<const std::byte*>(&payload),
+                    sizeof(payload));
+    const std::vector<std::byte> bytes = comm.recv_bytes(prev, /*tag=*/7);
+    int received = 0;
+    std::memcpy(&received, bytes.data(), sizeof(received));
+    EXPECT_EQ(received, prev * 1000 + r);
+    checksum += comm.allreduce_sum<int>(received);
+  }
+  return checksum;
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan: spec grammar and pure decision functions.
+
+TEST(FaultPlan, ParseRoundTripsThroughDescribe) {
+  const FaultPlan plan = FaultPlan::parse(
+      "seed=42;send_fail=0.25;alloc_fail=0.5;delay_us=10;delay_every=3;"
+      "delay_rank=2;crash_rank=1;crash_op=9;retry_max=6;retry_base_us=20;"
+      "retry_cap_us=100");
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_DOUBLE_EQ(plan.send_fail, 0.25);
+  EXPECT_DOUBLE_EQ(plan.alloc_fail, 0.5);
+  EXPECT_EQ(plan.delay_us, 10);
+  EXPECT_EQ(plan.delay_every, 3);
+  EXPECT_EQ(plan.delay_rank, 2);
+  EXPECT_EQ(plan.crash_rank, 1);
+  EXPECT_EQ(plan.crash_op, 9u);
+  EXPECT_EQ(plan.retry.max_attempts, 6);
+  EXPECT_EQ(plan.retry.base_delay_us, 20);
+  EXPECT_EQ(plan.retry.cap_delay_us, 100);
+  EXPECT_TRUE(plan.enabled());
+
+  const FaultPlan again = FaultPlan::parse(plan.describe());
+  EXPECT_EQ(again.seed, plan.seed);
+  EXPECT_DOUBLE_EQ(again.send_fail, plan.send_fail);
+  EXPECT_EQ(again.crash_rank, plan.crash_rank);
+  EXPECT_EQ(again.crash_op, plan.crash_op);
+  EXPECT_EQ(again.retry.max_attempts, plan.retry.max_attempts);
+}
+
+TEST(FaultPlan, EmptySpecIsDisabled) {
+  EXPECT_FALSE(FaultPlan::parse("").enabled());
+  EXPECT_FALSE(FaultPlan{}.enabled());
+}
+
+TEST(FaultPlan, BadSpecsThrow) {
+  EXPECT_THROW(FaultPlan::parse("send_fail=1.5"), InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse("send_fail=-0.1"), InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse("retry_max=0"), InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse("crash_op=0"), InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse("no_such_key=1"), InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse("seed"), InvalidArgument);
+}
+
+TEST(FaultPlan, DecisionsArePureFunctionsOfSeedRankOpAttempt) {
+  FaultPlan plan;
+  plan.seed = sweep_seed();
+  plan.send_fail = 0.3;
+  int fails = 0;
+  const int trials = 2000;
+  for (int op = 1; op <= trials; ++op) {
+    const bool f = plan.send_attempt_fails(3, static_cast<std::uint64_t>(op),
+                                           /*attempt=*/0);
+    // Re-evaluating the same coordinates gives the same answer.
+    EXPECT_EQ(f, plan.send_attempt_fails(3, static_cast<std::uint64_t>(op), 0));
+    if (f) ++fails;
+  }
+  // ~30% failure rate, generous tolerance (deterministic per seed anyway).
+  EXPECT_GT(fails, trials / 10);
+  EXPECT_LT(fails, trials / 2);
+
+  // Different rank / op / attempt / seed draw different streams.
+  FaultPlan other = plan;
+  other.seed = plan.seed + 1;
+  int diff = 0;
+  for (int op = 1; op <= 256; ++op) {
+    const auto u = static_cast<std::uint64_t>(op);
+    if (plan.send_attempt_fails(0, u, 0) != other.send_attempt_fails(0, u, 0))
+      ++diff;
+    if (plan.send_attempt_fails(0, u, 0) != plan.send_attempt_fails(1, u, 0))
+      ++diff;
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(FaultPlan, RetryBackoffIsBoundedExponential) {
+  RetryPolicy retry;
+  retry.base_delay_us = 50;
+  retry.cap_delay_us = 300;
+  EXPECT_EQ(retry.backoff_us(0), 50);
+  EXPECT_EQ(retry.backoff_us(1), 100);
+  EXPECT_EQ(retry.backoff_us(2), 200);
+  EXPECT_EQ(retry.backoff_us(3), 300);   // capped
+  EXPECT_EQ(retry.backoff_us(40), 300);  // no overflow at large attempts
+}
+
+// ---------------------------------------------------------------------------
+// FaultMatrix: whole-job behaviour, swept over CASP_FAULT_SEED by
+// tools/check.sh stage (f).
+
+TEST(FaultMatrix, TransientSendFaultsRetryToCompletion) {
+  const int p = 4, rounds = 20;
+
+  // Fault-free baseline: checksum and bytes actually sent.
+  int base_checksum = 0;
+  auto base = run(p, [&](Comm& comm) {
+    const int c = ring_workload(comm, rounds);
+    if (comm.rank() == 0) base_checksum = c;
+  });
+  const auto base_bytes = base.traffic_summary().total_per_phase.at("Ring");
+
+  RunOptions opts;
+  FaultPlan plan;
+  plan.seed = sweep_seed();
+  plan.send_fail = 0.1;
+  plan.retry.base_delay_us = 1;  // keep the test fast
+  plan.retry.cap_delay_us = 4;
+  opts.faults = plan;
+
+  int faulty_checksum = 0;
+  auto result = run(
+      p,
+      [&](Comm& comm) {
+        const int c = ring_workload(comm, rounds);
+        if (comm.rank() == 0) faulty_checksum = c;
+      },
+      opts);
+
+  // The job completed with the right answer despite injected failures...
+  EXPECT_EQ(faulty_checksum, base_checksum);
+  EXPECT_GT(counter_sum(result, "vmpi.retries"), 0);
+  EXPECT_GT(counter_sum(result, "vmpi.faults_injected"), 0);
+  // ...and every retransmission was charged to the phase ledger, so the
+  // faulty run reports strictly more traffic than the clean one (Table II
+  // accounting stays honest under faults).
+  const auto faulty_bytes = result.traffic_summary().total_per_phase.at("Ring");
+  EXPECT_GT(faulty_bytes.bytes, base_bytes.bytes);
+  EXPECT_GT(faulty_bytes.messages, base_bytes.messages);
+}
+
+TEST(FaultMatrix, RetryExhaustionIsClassified) {
+  RunOptions opts;
+  FaultPlan plan;
+  plan.seed = sweep_seed();
+  plan.send_fail = 1.0;  // every attempt fails: retries must run out
+  plan.retry.max_attempts = 3;
+  plan.retry.base_delay_us = 1;
+  plan.retry.cap_delay_us = 2;
+  opts.faults = plan;
+  opts.capture_failure = true;
+
+  auto result = run(
+      2, [&](Comm& comm) { ring_workload(comm, 2); }, opts);
+  ASSERT_TRUE(result.failed());
+  EXPECT_EQ(result.failure->kind, "retry_exhausted");
+  EXPECT_EQ(result.failure->phase, "Ring");
+  EXPECT_GE(result.failure->rank, 0);
+  EXPECT_NE(result.failure->what.find("exhausted"), std::string::npos);
+}
+
+TEST(FaultMatrix, RankCrashIsClassifiedAndNamesTheRank) {
+  RunOptions opts;
+  FaultPlan plan;
+  plan.seed = sweep_seed();
+  plan.crash_rank = 2;
+  plan.crash_op = 5;
+  opts.faults = plan;
+  opts.capture_failure = true;
+
+  auto result = run(
+      4, [&](Comm& comm) { ring_workload(comm, 10); }, opts);
+  ASSERT_TRUE(result.failed());
+  EXPECT_EQ(result.failure->kind, "rank_crash");
+  EXPECT_EQ(result.failure->rank, 2);
+  EXPECT_EQ(result.failure->phase, "Ring");
+  EXPECT_NE(result.failure->what.find("rank 2"), std::string::npos);
+  // The report names the plan that produced it, for replay.
+  EXPECT_NE(result.failure->what.find("crash_rank=2"), std::string::npos);
+}
+
+TEST(FaultMatrix, RecvOnCrashedPeerAbortsCleanly) {
+  // Rank 1 dies at its very first vmpi op; rank 0 is blocked receiving
+  // from it. The job must terminate (abort wakes the receiver) and the
+  // report must blame the crash, not the innocent blocked rank.
+  RunOptions opts;
+  FaultPlan plan;
+  plan.seed = sweep_seed();
+  plan.crash_rank = 1;
+  plan.crash_op = 1;
+  opts.faults = plan;
+  opts.capture_failure = true;
+
+  auto result = run(
+      2,
+      [&](Comm& comm) {
+        comm.set_phase("Handshake");
+        if (comm.rank() == 0) {
+          (void)comm.recv_bytes(1, /*tag=*/3);
+        } else {
+          static_assert(std::is_trivially_copyable_v<int>);
+          const int v = 99;
+          comm.send_bytes(0, /*tag=*/3,
+                          reinterpret_cast<const std::byte*>(&v), sizeof(v));
+        }
+      },
+      opts);
+  ASSERT_TRUE(result.failed());
+  EXPECT_EQ(result.failure->kind, "rank_crash");
+  EXPECT_EQ(result.failure->rank, 1);
+  EXPECT_EQ(result.failure->phase, "Handshake");
+}
+
+TEST(FaultMatrix, CrashReportIsDeterministicAcrossRuns) {
+  // Same plan, same program => byte-identical failure classification,
+  // independent of thread scheduling. This is the property that makes a
+  // fault report replayable from its seed.
+  RunOptions opts;
+  FaultPlan plan;
+  plan.seed = sweep_seed();
+  plan.crash_rank = 3;
+  plan.crash_op = 7;
+  opts.faults = plan;
+  opts.capture_failure = true;
+
+  auto once = [&]() {
+    return run(
+        4, [&](Comm& comm) { ring_workload(comm, 8); }, opts);
+  };
+  const auto first = once();
+  const auto second = once();
+  ASSERT_TRUE(first.failed());
+  ASSERT_TRUE(second.failed());
+  EXPECT_EQ(first.failure->kind, second.failure->kind);
+  EXPECT_EQ(first.failure->rank, second.failure->rank);
+  EXPECT_EQ(first.failure->phase, second.failure->phase);
+  EXPECT_EQ(first.failure->what, second.failure->what);
+}
+
+TEST(FaultMatrix, InjectedAllocationFailureIsClassified) {
+  RunOptions opts;
+  FaultPlan plan;
+  plan.seed = sweep_seed();
+  plan.alloc_fail = 1.0;  // first tracked allocation dies
+  opts.faults = plan;
+  opts.capture_failure = true;
+
+  auto result = run(
+      2,
+      [&](Comm& comm) {
+        comm.set_phase("Alloc");
+        MemoryTracker tracker(1 << 20);
+        arm_alloc_faults(comm, tracker);
+        tracker.allocate(64, "doomed buffer");
+      },
+      opts);
+  ASSERT_TRUE(result.failed());
+  EXPECT_EQ(result.failure->kind, "memory_budget");
+  EXPECT_EQ(result.failure->phase, "Alloc");
+  EXPECT_NE(result.failure->what.find("injected"), std::string::npos);
+  EXPECT_GT(counter_sum(result, "vmpi.faults_injected"), 0);
+}
+
+TEST(FaultMatrix, DelaysPerturbTimingNotResults) {
+  RunOptions opts;
+  FaultPlan plan;
+  plan.seed = sweep_seed();
+  plan.delay_us = 100;
+  plan.delay_every = 3;
+  plan.delay_rank = 1;
+  opts.faults = plan;
+
+  int checksum = -1;
+  auto result = run(
+      4,
+      [&](Comm& comm) {
+        const int c = ring_workload(comm, 6);
+        if (comm.rank() == 0) checksum = c;
+      },
+      opts);
+  int base_checksum = -2;
+  run(4, [&](Comm& comm) {
+    const int c = ring_workload(comm, 6);
+    if (comm.rank() == 0) base_checksum = c;
+  });
+  EXPECT_EQ(checksum, base_checksum);
+  EXPECT_GT(counter_sum(result, "vmpi.faults_injected"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Report embedding: --report JSON names the failure.
+
+TEST(FailureReportJson, EmbeddedInRunReport) {
+  RunOptions opts;
+  FaultPlan plan;
+  plan.seed = sweep_seed();
+  plan.crash_rank = 0;
+  plan.crash_op = 2;
+  opts.faults = plan;
+  opts.capture_failure = true;
+
+  auto result = run(
+      2, [&](Comm& comm) { ring_workload(comm, 4); }, opts);
+  ASSERT_TRUE(result.failed());
+  const obs::RunReport report = obs::build_report(result);
+  ASSERT_TRUE(report.failure.has_value());
+  const std::string json = report.to_json().dump();
+  EXPECT_NE(json.find("\"failure\""), std::string::npos);
+  EXPECT_NE(json.find("\"rank_crash\""), std::string::npos);
+  // The deterministic subset stays failure-free (free-text would break
+  // byte-identical golden comparisons).
+  const std::string det = report.deterministic_json().dump();
+  EXPECT_EQ(det.find("\"failure\""), std::string::npos);
+
+  // describe() is the CLI's one-liner: names kind, rank, and phase.
+  const std::string line = result.failure->describe();
+  EXPECT_NE(line.find("rank_crash"), std::string::npos);
+  EXPECT_NE(line.find("rank 0"), std::string::npos);
+  EXPECT_NE(line.find("Ring"), std::string::npos);
+}
+
+TEST(FailureReportJson, SuccessfulJobHasNoFailure) {
+  auto result = run(2, [&](Comm& comm) { ring_workload(comm, 2); });
+  EXPECT_FALSE(result.failed());
+  const obs::RunReport report = obs::build_report(result);
+  EXPECT_FALSE(report.failure.has_value());
+  EXPECT_EQ(report.to_json().dump().find("\"failure\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace casp::vmpi

@@ -31,6 +31,12 @@ test (see tests/CMakeLists.txt). Rules:
   include-order   Within a contiguous `#include` block, system includes
                   (<...>) precede project includes ("..."), and each group
                   is lexicographically sorted.
+  empty-catch     No empty `catch` body for MemoryError or
+                  TransientCommError. Both exceptions carry recovery
+                  obligations — re-batching / retry / classification — so
+                  silently swallowing one hides a budget overrun or a
+                  dropped message. Handle it (retry, re-batch, rethrow,
+                  record) or let it propagate to vmpi::run's classifier.
   comm-compat     The byte-vector Comm wrappers (send_bytes, recv_bytes,
                   bcast_bytes, ibcast_bytes, bcast_vec, allgather_bytes,
                   alltoall_bytes) are a compat shim for existing tests.
@@ -80,6 +86,14 @@ CONST_CAST_RE = re.compile(r"\bconst_cast\b")
 PAYLOAD_TYPE_RE = re.compile(r"\b(Payload|CscView)\b")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"][^>"]+[>"])')
+
+# catch (const MemoryError& e) { <whitespace only> } — after strip_code()
+# a comment-only body is whitespace too, which is intended: a comment is
+# not a recovery action.
+EMPTY_CATCH_RE = re.compile(
+    r"\bcatch\s*\(\s*(?:const\s+)?[\w:]*\b"
+    r"(MemoryError|TransientCommError)\s*[&\s]*\w*\s*\)\s*\{\s*\}"
+)
 
 COMM_COMPAT_RE = re.compile(
     r"\b(send_bytes|recv_bytes|bcast_bytes|ibcast_bytes|bcast_vec|"
@@ -190,7 +204,8 @@ class Linter:
     def lint_file(self, path: Path):
         text = path.read_text(encoding="utf-8", errors="replace")
         raw_lines = text.splitlines()
-        code_lines = strip_code(text).splitlines()
+        code_text = strip_code(text)
+        code_lines = code_text.splitlines()
 
         file_waivers = set()
         for line in raw_lines[:CAST_SCOPE_LINES]:
@@ -217,6 +232,7 @@ class Linter:
         if not rel.startswith("tests/") and rel != "src/vmpi/comm.hpp":
             self.check_comm_compat(path, code_lines, waived)
         self.check_cast_pairing(path, code_lines, waived)
+        self.check_empty_catch(path, code_text, waived)
         self.check_payload_ownership(path, code_lines, waived)
         if path.suffix == ".hpp":
             self.check_pragma_once(path, code_lines, waived)
@@ -269,6 +285,18 @@ class Linter:
                     path, idx + 1, "cast-pairing",
                     "reinterpret_cast without a nearby static_assert("
                     "std::is_trivially_copyable_v<...>) in the same scope")
+
+    def check_empty_catch(self, path, code_text, waived):
+        # Multiline scan: `catch` clauses wrap freely, so match on the
+        # whole stripped text and map the offset back to a line number.
+        for m in EMPTY_CATCH_RE.finditer(code_text):
+            idx = code_text.count("\n", 0, m.start())
+            if not waived("empty-catch", idx):
+                self.error(
+                    path, idx + 1, "empty-catch",
+                    f"empty catch body for {m.group(1)} — this exception "
+                    "carries a recovery obligation (retry / re-batch / "
+                    "classify); handle it or let vmpi::run classify it")
 
     def check_payload_ownership(self, path, code_lines, waived):
         if not any(PAYLOAD_TYPE_RE.search(line) for line in code_lines):

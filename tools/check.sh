@@ -7,8 +7,10 @@
 #   (d) address/UB san     configure + build + full ctest
 #   (e) perf diff          rerun perf benches, tools/perf_diff.py vs the
 #                          committed BENCH_*.json snapshots
+#   (f) fault matrix       the Fault* suites under several CASP_FAULT_SEED
+#                          values (deterministic fault-injection sweep)
 #
-# Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-perf]
+# Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-perf] [--skip-faults]
 # CASP_PERF_THRESHOLD tunes stage (e)'s allowed slowdown (default 0.25).
 set -euo pipefail
 
@@ -17,12 +19,14 @@ JOBS=$(nproc 2>/dev/null || echo 2)
 SKIP_TSAN=0
 SKIP_ASAN=0
 SKIP_PERF=0
+SKIP_FAULTS=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
     --skip-perf) SKIP_PERF=1 ;;
-    *) echo "usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-perf]" >&2; exit 2 ;;
+    --skip-faults) SKIP_FAULTS=1 ;;
+    *) echo "usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-perf] [--skip-faults]" >&2; exit 2 ;;
   esac
 done
 
@@ -77,6 +81,19 @@ else
     --fresh "$PERF_DIR/BENCH_kernels.json"
   python3 tools/perf_diff.py --base BENCH_abcast.json \
     --fresh "$PERF_DIR/BENCH_abcast.json"
+fi
+
+if [ "$SKIP_FAULTS" = 1 ]; then
+  echo "skipping fault-matrix stage (--skip-faults)"
+else
+  step "(f) fault matrix: Fault* suites across seeds"
+  # Same binaries, different deterministic fault schedules. Every seed must
+  # classify each injected fault (never hang — CTest timeouts bound it).
+  for seed in 1 2 3; do
+    echo "-- CASP_FAULT_SEED=$seed"
+    CASP_FAULT_SEED=$seed ctest --test-dir build/release -R '^Fault' \
+      --output-on-failure -j "$JOBS"
+  done
 fi
 
 step "all gates passed"

@@ -90,12 +90,19 @@ int main(int argc, char** argv) {
     std::cout << describe("network", network) << "\n";
 
     MclResult result;
-    const vmpi::RunResult job = vmpi::run(ranks, [&](vmpi::Comm& world) {
-      Grid3D grid(world, layers);
-      MclResult r = mcl_cluster_distributed(grid, network, params,
-                                            memory_mb * 1024 * 1024);
-      if (world.rank() == 0) result = std::move(r);
-    });
+    // Capture failures (injected faults, budget exhaustion) as a structured
+    // FailureReport in the run report instead of a bare abort.
+    vmpi::RunOptions run_opts;
+    run_opts.capture_failure = true;
+    const vmpi::RunResult job = vmpi::run(
+        ranks,
+        [&](vmpi::Comm& world) {
+          Grid3D grid(world, layers);
+          MclResult r = mcl_cluster_distributed(grid, network, params,
+                                                memory_mb * 1024 * 1024);
+          if (world.rank() == 0) result = std::move(r);
+        },
+        run_opts);
     if (!report_path.empty()) {
       obs::write_report_json(obs::build_report(job), report_path);
       std::cout << "wrote " << report_path << "\n";
@@ -103,6 +110,10 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) {
       obs::write_chrome_trace(job, trace_path);
       std::cout << "wrote " << trace_path << "\n";
+    }
+    if (job.failed()) {
+      std::cerr << job.failure->describe() << "\n";
+      return 1;
     }
 
     std::cout << "converged after " << result.iterations << " iterations; "

@@ -14,6 +14,7 @@
 //     --trace trace.json            write a Chrome trace-event timeline
 //
 // Exit status 0 on success; a short per-step breakdown is always printed.
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -134,25 +135,44 @@ int main(int argc, char** argv) {
     const Bytes total_memory = memory_mb * 1024 * 1024;
     CscMat product;
     Index chosen_b = 1;
-    auto result = vmpi::run(ranks, [&](vmpi::Comm& world) {
-      Grid3D grid(world, layers);
-      const DistMat3D da = distribute_a_style(grid, a);
-      const DistMat3D db = distribute_b_style(grid, b);
-      const bool stream = !batch_dir.empty();
-      BatchedResult r = batched_summa3d<PlusTimes>(
-          grid, da, db, total_memory, opts,
-          stream ? make_disk_batch_writer(batch_dir, world.rank())
-                 : BatchCallback{},
-          /*keep_output=*/!stream);
-      if (!stream && world.rank() == 0 && (!out_path.empty() || stats)) {
-        // Gathering is only needed when a single output file is requested.
-      }
-      if (!stream) {
-        CscMat full = gather_dist(grid, r.c);
-        if (world.rank() == 0) product = std::move(full);
-      }
-      if (world.rank() == 0) chosen_b = r.batches;
-    });
+    Index final_b = 1;
+    // Capture failures instead of letting them propagate as a bare abort:
+    // injected faults (CASP_VMPI_FAULTS) and budget exhaustion surface as a
+    // structured FailureReport in the run report and on stderr.
+    vmpi::RunOptions run_opts;
+    run_opts.capture_failure = true;
+    auto result = vmpi::run(
+        ranks,
+        [&](vmpi::Comm& world) {
+          // With an aggregate budget, enforce each rank's share exactly
+          // (Symbolic3D only *estimates*; adaptive re-batching recovers
+          // when the estimate is wrong).
+          MemoryTracker tracker(total_memory == 0
+                                    ? 0
+                                    : std::max<Bytes>(1, total_memory /
+                                                             world.size()));
+          vmpi::arm_alloc_faults(world, tracker);
+          SummaOptions my_opts = opts;
+          if (total_memory != 0) my_opts.memory = &tracker;
+          Grid3D grid(world, layers);
+          const DistMat3D da = distribute_a_style(grid, a);
+          const DistMat3D db = distribute_b_style(grid, b);
+          const bool stream = !batch_dir.empty();
+          BatchedResult r = batched_summa3d<PlusTimes>(
+              grid, da, db, total_memory, my_opts,
+              stream ? make_disk_batch_writer(batch_dir, world.rank())
+                     : BatchCallback{},
+              /*keep_output=*/!stream);
+          if (!stream) {
+            CscMat full = gather_dist(grid, r.c);
+            if (world.rank() == 0) product = std::move(full);
+          }
+          if (world.rank() == 0) {
+            chosen_b = r.batches;
+            final_b = r.final_batches;
+          }
+        },
+        run_opts);
 
     if (!report_path.empty()) {
       obs::write_report_json(obs::build_report(result), report_path);
@@ -162,9 +182,16 @@ int main(int argc, char** argv) {
       obs::write_chrome_trace(result, trace_path);
       std::cout << "wrote " << trace_path << "\n";
     }
+    if (result.failed()) {
+      std::cerr << result.failure->describe() << "\n";
+      return 1;
+    }
 
     std::cout << "ran on " << ranks << " virtual ranks, " << layers
-              << " layer(s), " << chosen_b << " batch(es)\n";
+              << " layer(s), " << chosen_b << " batch(es)";
+    if (final_b != chosen_b)
+      std::cout << " (re-batched to " << final_b << ")";
+    std::cout << "\n";
     for (const std::string& name : result.time_names())
       std::cout << "  " << name << ": " << result.max_time(name) * 1e3
                 << " ms\n";
