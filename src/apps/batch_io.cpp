@@ -1,5 +1,7 @@
 #include "apps/batch_io.hpp"
 
+#include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -14,6 +16,19 @@ std::string part_path(const std::string& directory, int rank) {
   std::ostringstream os;
   os << directory << "/part-" << rank << ".txt";
   return os.str();
+}
+
+/// Dimension cap for ingested headers. Far above any real workload, far
+/// below the point where nrows*ncols-style arithmetic (or a hostile
+/// header's implied allocation) can overflow Index: 2^48 rows times
+/// kBytesPerNonzero still fits in 63 bits with room to spare.
+constexpr Index kMaxBatchDim = Index{1} << 48;
+
+[[noreturn]] void bad_input(const std::string& path, std::size_t line_no,
+                            const std::string& detail) {
+  std::ostringstream os;
+  os << "batch input " << path << ":" << line_no << ": " << detail;
+  throw InputError(os.str());
 }
 }  // namespace
 
@@ -57,31 +72,68 @@ CscMat load_batch_directory(const std::string& directory) {
     std::ifstream in(path);
     if (!in) break;
     found = true;
+    // The writer puts the shape header first in every part; entries before
+    // it (or a part that is all entries) mean the file is truncated at the
+    // front or not a batch part at all.
+    bool file_has_header = false;
     std::string line;
+    std::string extra;
+    std::size_t line_no = 0;
     while (std::getline(in, line)) {
+      ++line_no;
       if (line.empty()) continue;
       if (line.rfind("casp-batch", 0) == 0) {
         std::istringstream header(line.substr(10));
         Index r = 0, c = 0;
         if (!(header >> r >> c))
-          throw InvalidArgument("bad batch header in " + path);
+          bad_input(path, line_no, "unparsable shape header '" + line + "'");
+        if (header >> extra)
+          bad_input(path, line_no,
+                    "trailing token '" + extra + "' after shape header");
+        if (r < 0 || c < 0)
+          bad_input(path, line_no, "negative dimension in shape header");
+        if (r > kMaxBatchDim || c > kMaxBatchDim)
+          bad_input(path, line_no,
+                    "oversized dimension in shape header (cap 2^48)");
         if (nrows >= 0 && (nrows != r || ncols != c))
-          throw InvalidArgument("batch parts disagree on global shape in " +
-                                directory);
+          bad_input(path, line_no,
+                    "parts disagree on global shape in " + directory);
         nrows = r;
         ncols = c;
+        file_has_header = true;
         continue;
       }
+      if (!file_has_header)
+        bad_input(path, line_no,
+                  "entry before shape header (truncated or foreign file)");
       std::istringstream entry(line);
       Index r = 0, c = 0;
-      Value v = 0;
-      if (!(entry >> r >> c >> v))
-        throw InvalidArgument("batch part corrupt: " + path);
+      std::string vtok;
+      if (!(entry >> r >> c >> vtok))
+        bad_input(path, line_no, "corrupt entry '" + line + "'");
+      if (entry >> extra)
+        bad_input(path, line_no,
+                  "trailing token '" + extra + "' after entry");
+      // strtod instead of istream for the value: istream's num_get refuses
+      // "nan"/"inf" outright, which would misreport a non-finite value as
+      // a generic parse failure.
+      char* vend = nullptr;
+      const Value v = std::strtod(vtok.c_str(), &vend);
+      if (vend == vtok.c_str() || *vend != '\0')
+        bad_input(path, line_no, "corrupt entry '" + line + "'");
+      if (r < 0 || r >= nrows || c < 0 || c >= ncols) {
+        std::ostringstream os;
+        os << "entry (" << r << ", " << c << ") outside the declared "
+           << nrows << "x" << ncols << " shape";
+        bad_input(path, line_no, os.str());
+      }
+      if (!std::isfinite(v))
+        bad_input(path, line_no, "non-finite value '" + line + "'");
       triples.push_back(r, c, v);
     }
   }
   if (!found || nrows < 0)
-    throw InvalidArgument("no batch parts found in " + directory);
+    throw InputError("no batch parts found in " + directory);
   TripleMat sized(nrows, ncols, std::move(triples.entries()));
   return CscMat::from_triples(std::move(sized));
 }

@@ -22,8 +22,11 @@ namespace casp {
 BatchCallback make_disk_batch_writer(const std::string& directory, int rank);
 
 /// Reassemble everything written into `directory` by any number of ranks
-/// and batches. Throws InvalidArgument if the directory holds no parts or
-/// headers disagree on the global shape.
+/// and batches. Strict about its input: a missing directory, truncated or
+/// corrupt entries, trailing tokens, out-of-range coordinates, non-finite
+/// values, and negative or oversized header dimensions (cap 2^48 —
+/// overflow-safe index arithmetic) all throw InputError naming the file and
+/// line, which vmpi::run classifies as FailureReport kind "input_error".
 CscMat load_batch_directory(const std::string& directory);
 
 }  // namespace casp

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
+#include <sstream>
+#include <type_traits>
 
+#include "ckpt/checkpoint.hpp"
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "grid/dist.hpp"
@@ -11,6 +15,7 @@
 #include "obs/recorder.hpp"
 #include "sparse/serialize.hpp"
 #include "summa/batched.hpp"
+#include "vmpi/traffic.hpp"
 
 namespace casp {
 
@@ -148,6 +153,57 @@ void inflate_and_prune(CscMat& m, const MclParams& params) {
   mcl_prune(m, params.prune_threshold, params.keep_per_col);
   mcl_normalize_columns(m);
 }
+
+constexpr const char* kMclScope = "mcl";
+static_assert(std::is_trivially_copyable_v<MclIterationStats>);
+
+/// Iteration-boundary MCL checkpoint: the re-replicated iterate after
+/// `next_iter`-1 iterations, the per-iteration stats so far, and whether
+/// the chaos test already converged. Everything else (prune thresholds,
+/// inflation) is part of the job identity, not the state.
+ckpt::Snapshot make_mcl_snapshot(int next_iter, bool converged,
+                                 const CscMat& m, const MclResult& result) {
+  ckpt::Snapshot snap;
+  snap.set_u64("next_iter", static_cast<std::uint64_t>(next_iter));
+  snap.set_u64("converged", converged ? 1 : 0);
+  snap.set_matrix("m", m);
+  snap.set_array("stats", result.per_iteration);
+  return snap;
+}
+
+/// Resume consensus across ranks. A crash is not a barrier, so ranks may
+/// hold different newest generations; unlike the SUMMA batch snapshots, an
+/// MCL snapshot is not prefix-truncatable (only the latest iterate is
+/// kept), so the agreed point must be an iteration *every* rank has. Each
+/// rank publishes the next_iter of its (at most two) valid generations plus
+/// the always-available cold start 0; the verdict is the largest value
+/// present in every rank's window — deterministic from the gathered array,
+/// so every rank computes the same answer. Runs in phase "Ckpt-Resume".
+std::int64_t mcl_resume_consensus(
+    vmpi::Comm& world, const std::vector<ckpt::LoadedSnapshot>& loaded) {
+  constexpr std::size_t kWindow = 3;
+  std::vector<std::int64_t> mine(kWindow, -1);
+  for (std::size_t i = 0; i < loaded.size() && i < kWindow - 1; ++i)
+    mine[i] = static_cast<std::int64_t>(loaded[i].snap.u64("next_iter"));
+  mine[kWindow - 1] = 0;
+  vmpi::ScopedPhase resume_phase(world.traffic(), steps::kCkptResume);
+  const std::vector<std::int64_t> all = world.allgather_vec<std::int64_t>(mine);
+  CASP_CHECK(all.size() == kWindow * static_cast<std::size_t>(world.size()));
+  std::int64_t best = 0;
+  for (const std::int64_t cand : mine) {
+    if (cand <= best) continue;
+    bool everywhere = true;
+    for (int r = 0; r < world.size() && everywhere; ++r) {
+      bool found = false;
+      for (std::size_t s = 0; s < kWindow; ++s)
+        found = found ||
+                all[static_cast<std::size_t>(r) * kWindow + s] == cand;
+      everywhere = found;
+    }
+    if (everywhere) best = cand;
+  }
+  return best;
+}
 }  // namespace
 
 MclResult mcl_cluster_serial(const CscMat& similarity, const MclParams& params) {
@@ -181,9 +237,60 @@ MclResult mcl_cluster_distributed(Grid3D& grid, const CscMat& similarity,
   mcl_normalize_columns(m);
   obs::Recorder& rec = grid.world().recorder();
   MclResult result;
-  for (int iter = 0; iter < params.max_iterations; ++iter) {
+
+  // Iteration-boundary checkpointing (opts.ckpt): resume from the newest
+  // iteration every rank holds, replaying nothing — the snapshot carries
+  // the full re-replicated iterate, and all later state is deterministic.
+  ckpt::Checkpointer* ck = opts.ckpt;
+  const bool ckpt_on = ck != nullptr && ck->enabled();
+  std::string ckpt_job;
+  int start_iter = 0;
+  bool restored_converged = false;
+  if (ckpt_on) {
+    std::ostringstream id;
+    id << "mcl|n=" << similarity.ncols() << "|nnz0=" << similarity.nnz()
+       << "|inflation=" << params.inflation
+       << "|prune=" << params.prune_threshold
+       << "|keep=" << params.keep_per_col
+       << "|maxiter=" << params.max_iterations
+       << "|chaos=" << params.chaos_threshold
+       << "|tag=" << opts.ckpt_job_tag;
+    ckpt_job = id.str();
+    const auto loaded = ck->load_all(kMclScope, ckpt_job);
+    const std::int64_t agreed = mcl_resume_consensus(grid.world(), loaded);
+    if (agreed > 0) {
+      const ckpt::LoadedSnapshot* chosen = nullptr;
+      for (const ckpt::LoadedSnapshot& cand : loaded) {
+        if (static_cast<std::int64_t>(cand.snap.u64("next_iter")) == agreed) {
+          chosen = &cand;
+          break;
+        }
+      }
+      CASP_CHECK_MSG(chosen != nullptr,
+                     "mcl resume consensus chose an iteration this rank "
+                     "does not hold");
+      m = chosen->snap.matrix("m");
+      result.per_iteration =
+          chosen->snap.array<MclIterationStats>("stats");
+      result.iterations = static_cast<int>(agreed);
+      start_iter = static_cast<int>(agreed);
+      restored_converged = chosen->snap.u64("converged") != 0;
+      rec.set_counter("mcl.iterations", result.iterations);
+      ck->note_resume(chosen->generation);
+    }
+  }
+
+  for (int iter = start_iter;
+       iter < params.max_iterations && !restored_converged; ++iter) {
     obs::ScopedTag iter_tag(rec, obs::ScopedTag::Kind::kIteration, iter);
     obs::Span iter_span(rec, "MCL-Iteration");
+    // Nested SUMMA-level checkpoints are scoped to this iteration via the
+    // job tag, so a crash mid-expansion resumes at the batch boundary and
+    // a snapshot from a different iteration can never leak in.
+    SummaOptions iter_opts = opts;
+    if (ckpt_on)
+      iter_opts.ckpt_job_tag =
+          opts.ckpt_job_tag + "|mcl-iter-" + std::to_string(iter);
     const DistMat3D da = distribute_a_style(grid, m);
     const DistMat3D db = distribute_b_style(grid, m);
     // Expansion with batch-wise pruning: each finished batch piece is
@@ -201,7 +308,7 @@ MclResult mcl_cluster_distributed(Grid3D& grid, const CscMat& similarity,
     const Index nrows = m.nrows();
     const Index q = grid.q();
     batched_summa3d<PlusTimes>(
-        grid, da, db, total_memory, opts,
+        grid, da, db, total_memory, iter_opts,
         [&](CscMat&& piece, const BatchInfo& info) {
           batches = info.num_batches;
           // Assemble full columns across the process column. The gathered
@@ -251,7 +358,11 @@ MclResult mcl_cluster_distributed(Grid3D& grid, const CscMat& similarity,
     rec.set_counter("mcl.iterations", result.iterations);
     rec.set_counter("mcl.nnz_after", static_cast<std::int64_t>(stats.nnz_after));
     rec.sample("mcl.nnz_after", static_cast<std::int64_t>(stats.nnz_after));
-    if (stats.chaos < params.chaos_threshold) break;
+    const bool converged = stats.chaos < params.chaos_threshold;
+    if (ckpt_on && (ck->due(static_cast<std::uint64_t>(iter) + 1) || converged))
+      ck->save(kMclScope, ckpt_job,
+               make_mcl_snapshot(iter + 1, converged, m, result));
+    if (converged) break;
   }
   const MclResult interpreted = mcl_interpret(m);
   result.cluster_of = interpreted.cluster_of;

@@ -1,0 +1,155 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace casp::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kCkptExtension = ".ckpt";
+constexpr const char* kJobSection = "__job";
+
+/// Write `bytes` atomically: everything goes to the kTmpSuffix sibling and
+/// only a successful flush promotes it (rename) over `final_path`. A crash
+/// mid-write leaves at worst a stale tmp file, never a torn final file.
+void atomic_write_file(const fs::path& final_path,
+                       const std::vector<std::byte>& bytes) {
+  const fs::path tmp = final_path.string() + kTmpSuffix;
+  {
+    std::ofstream out(final_path.string() + kTmpSuffix,
+                      std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw CkptError("cannot open checkpoint tmp file " + tmp.string());
+    static_assert(std::is_trivially_copyable_v<std::byte> &&
+                  sizeof(char) == sizeof(std::byte));
+    if (!bytes.empty())
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good())
+      throw CkptError("short write to checkpoint tmp file " + tmp.string());
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec)
+    throw CkptError("cannot promote checkpoint " + final_path.string() +
+                    ": " + ec.message());
+}
+
+std::vector<std::byte> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw CkptError("cannot open checkpoint " + path.string());
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  static_assert(std::is_trivially_copyable_v<std::byte> &&
+                sizeof(char) == sizeof(std::byte));
+  if (!bytes.empty())
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in.good())
+    throw CkptError("short read from checkpoint " + path.string());
+  return bytes;
+}
+
+/// Generations present for one prefix, newest first.
+std::vector<std::pair<std::int64_t, fs::path>> list_generations(
+    const fs::path& dir, const std::string& prefix) {
+  std::vector<std::pair<std::int64_t, fs::path>> found;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.size() <= prefix.size() + std::strlen(kCkptExtension)) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    const std::size_t ext_at = name.size() - std::strlen(kCkptExtension);
+    if (name.compare(ext_at, std::string::npos, kCkptExtension) != 0) continue;
+    std::int64_t gen = -1;
+    const char* first = name.data() + prefix.size();
+    const char* last = name.data() + ext_at;
+    auto [ptr, parse_ec] = std::from_chars(first, last, gen);
+    if (parse_ec != std::errc{} || ptr != last || gen < 0) continue;
+    found.emplace_back(gen, it->path());
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return found;
+}
+
+}  // namespace
+
+Checkpointer::Checkpointer(std::string dir, int rank, std::uint64_t every,
+                           obs::Recorder* recorder)
+    : dir_(std::move(dir)),
+      rank_(rank),
+      every_(every == 0 ? 1 : every),
+      recorder_(recorder) {
+  CASP_CHECK_MSG(!dir_.empty(), "checkpoint directory must be non-empty");
+}
+
+std::string Checkpointer::file_prefix(const std::string& scope) const {
+  return scope + "-r" + std::to_string(rank_) + "-g";
+}
+
+void Checkpointer::save(const std::string& scope, const std::string& job_id,
+                        Snapshot snap) {
+  CASP_CHECK_MSG(enabled(), "save() on a disabled Checkpointer");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  const std::string prefix = file_prefix(scope);
+  auto existing = list_generations(dir_, prefix);
+  const std::int64_t gen = existing.empty() ? 1 : existing.front().first + 1;
+
+  snap.set_string(kJobSection, job_id);
+  const fs::path final_path =
+      fs::path(dir_) / (prefix + std::to_string(gen) + kCkptExtension);
+  atomic_write_file(final_path, snap.serialize());
+
+  // The freshly written generation validated (the write flushed and the
+  // rename landed); everything older than gen-1 is now dead weight.
+  for (const auto& [old_gen, path] : existing) {
+    if (old_gen < gen - 1) fs::remove(path, ec);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->add_counter("ckpt.saves", 1);
+    recorder_->set_counter("ckpt.generation", gen);
+  }
+}
+
+std::vector<LoadedSnapshot> Checkpointer::load_all(const std::string& scope,
+                                                   const std::string& job_id) {
+  CASP_CHECK_MSG(enabled(), "load_all() on a disabled Checkpointer");
+  std::vector<LoadedSnapshot> out;
+  for (const auto& [gen, path] : list_generations(dir_, file_prefix(scope))) {
+    try {
+      Snapshot snap = Snapshot::deserialize(read_file(path));
+      if (snap.string(kJobSection) != job_id) continue;
+      out.push_back(LoadedSnapshot{std::move(snap), gen});
+    } catch (const CkptError&) {
+      // Torn or corrupted generation: skip it and keep scanning older
+      // ones — this is the fallback path, not an error.
+      continue;
+    }
+  }
+  return out;
+}
+
+void Checkpointer::note_resume(std::int64_t generation) {
+  if (recorder_ == nullptr) return;
+  recorder_->add_counter("ckpt.resumes", 1);
+  std::int64_t prev = 0;
+  auto it = recorder_->counters().find("ckpt.resumed_generation");
+  if (it != recorder_->counters().end()) prev = it->second;
+  recorder_->set_counter("ckpt.resumed_generation",
+                         std::max(prev, generation));
+}
+
+}  // namespace casp::ckpt

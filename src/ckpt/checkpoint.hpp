@@ -1,0 +1,83 @@
+// Generation-numbered checkpoint store + save-cadence policy.
+//
+// Each rank owns its own files: `<dir>/<scope>-r<rank>-g<gen>.ckpt`, where
+// `scope` separates coexisting save points ("summa" batch boundaries vs
+// "mcl" iteration boundaries) and `gen` increases by one per save. Writes
+// are atomic — bytes go to `<final><kTmpSuffix>` and are renamed over the
+// final path only after a successful flush — and the previous generation
+// is retained until the new one exists, so a torn or corrupted newest
+// generation (detected by the Snapshot checksum on load) falls back to
+// generation N−1 instead of losing the job.
+//
+// A snapshot is only resumable for the job that wrote it: save() stamps a
+// caller-supplied job id (shapes, nnz, parameters, nesting tag) into the
+// reserved "__job" section and load_all() filters on it, so stale
+// checkpoints from a different job or iteration in the same directory are
+// ignored rather than mis-restored.
+//
+// SPMD contract: whether checkpointing is enabled (and its cadence) must be
+// uniform across ranks — consumers run resume-consensus collectives only
+// when a Checkpointer is present.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/snapshot.hpp"
+#include "obs/recorder.hpp"
+
+namespace casp::ckpt {
+
+/// Suffix for in-flight checkpoint writes. The `ckpt-atomic-write` lint
+/// rule keys on this: every file-open in src/ckpt/ must target a
+/// `kTmpSuffix` path, never a final checkpoint path.
+inline constexpr const char* kTmpSuffix = ".tmp";
+
+struct LoadedSnapshot {
+  Snapshot snap;
+  std::int64_t generation = -1;
+};
+
+class Checkpointer {
+ public:
+  /// Default-constructed checkpointer is disabled: due() is always false
+  /// and save()/load_all() must not be called.
+  Checkpointer() = default;
+  Checkpointer(std::string dir, int rank, std::uint64_t every = 1,
+               obs::Recorder* recorder = nullptr);
+
+  bool enabled() const { return !dir_.empty(); }
+  /// True when a save is due after `completed` units of progress
+  /// (batches emitted, iterations finished).
+  bool due(std::uint64_t completed) const {
+    return enabled() && completed > 0 && completed % every_ == 0;
+  }
+
+  /// Stamp `job_id`, serialize, and atomically write `snap` as the next
+  /// generation of `scope`; generations older than the immediately
+  /// previous one are pruned afterwards. Throws CkptError on I/O failure.
+  void save(const std::string& scope, const std::string& job_id,
+            Snapshot snap);
+
+  /// All generations of `scope` that deserialize cleanly (checksum intact)
+  /// and carry `job_id`, newest first. Torn, corrupted, or mismatched
+  /// files are skipped, which is exactly the generation-fallback path.
+  std::vector<LoadedSnapshot> load_all(const std::string& scope,
+                                       const std::string& job_id);
+
+  /// Record that this rank resumed from `generation` (counters
+  /// `ckpt.resumes` / `ckpt.resumed_generation`).
+  void note_resume(std::int64_t generation);
+
+ private:
+  std::string file_prefix(const std::string& scope) const;
+
+  std::string dir_;
+  int rank_ = 0;
+  std::uint64_t every_ = 1;
+  obs::Recorder* recorder_ = nullptr;
+};
+
+}  // namespace casp::ckpt

@@ -23,6 +23,16 @@ class InvalidArgument : public std::invalid_argument {
       : std::invalid_argument(what) {}
 };
 
+/// Thrown when external input data (a batch file, a matrix file) is
+/// truncated, oversized, or corrupt. Derives from InvalidArgument so
+/// existing catch sites keep working, but vmpi::run classifies it as its
+/// own FailureReport kind ("input_error") — bad data names itself instead
+/// of masquerading as a caller bug.
+class InputError : public InvalidArgument {
+ public:
+  explicit InputError(const std::string& what) : InvalidArgument(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {

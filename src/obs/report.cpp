@@ -113,6 +113,23 @@ RunReport build_report(const vmpi::RunResult& result) {
   return report;
 }
 
+RunReport build_report(const vmpi::SupervisedResult& supervised) {
+  RunReport report = build_report(supervised.result);
+  RecoveryReport rec;
+  rec.restarts = supervised.restarts;
+  rec.max_restarts = supervised.max_restarts;
+  for (const vmpi::FailureReport& f : supervised.recovered_failures)
+    rec.failure_kinds.push_back(f.kind);
+  rec.wasted_seconds = supervised.wasted_seconds;
+  for (const obs::Recorder& r : supervised.result.recorders) {
+    const auto it = r.counters().find("ckpt.resumed_generation");
+    if (it != r.counters().end())
+      rec.resumed_generation = std::max(rec.resumed_generation, it->second);
+  }
+  report.recovery = rec;
+  return report;
+}
+
 Json RunReport::to_json() const {
   Json doc = Json::object();
   doc.set("schema", kSchema);
@@ -135,6 +152,18 @@ Json RunReport::to_json() const {
     f.set("phase", failure->phase);
     f.set("what", failure->what);
     doc.set("failure", std::move(f));
+  }
+  if (recovery.has_value()) {
+    Json r = Json::object();
+    r.set("restarts", recovery->restarts);
+    r.set("max_restarts", recovery->max_restarts);
+    Json kinds = Json::array();
+    for (const std::string& k : recovery->failure_kinds) kinds.push_back(k);
+    r.set("failure_kinds", std::move(kinds));
+    r.set("resumed_generation",
+          static_cast<std::int64_t>(recovery->resumed_generation));
+    r.set("wasted_seconds", recovery->wasted_seconds);
+    doc.set("recovery", std::move(r));
   }
   return doc;
 }

@@ -57,6 +57,22 @@ struct TrafficMatrix {
   }
 };
 
+/// Recovery history of a supervised run (vmpi::run_supervised): how many
+/// relaunches happened, what killed each failed attempt, which checkpoint
+/// generation the job fast-forwarded from, and the wall-clock cost of the
+/// failed attempts. Serialized under the "recovery" key in to_json() only —
+/// wasted_seconds is timing and the failure kinds carry free text, so the
+/// deterministic subset excludes it.
+struct RecoveryReport {
+  int restarts = 0;
+  int max_restarts = 0;
+  std::vector<std::string> failure_kinds;  ///< one per relaunched attempt
+  /// Max over ranks of the checkpoint generation resumed on the final
+  /// attempt; -1 when the job restarted cold (no valid snapshot).
+  std::int64_t resumed_generation = -1;
+  double wasted_seconds = 0.0;
+};
+
 struct RunReport {
   int ranks = 0;
   double wall_seconds = 0.0;
@@ -71,6 +87,9 @@ struct RunReport {
   /// (RunOptions::capture_failure). Serialized in to_json() only — failures
   /// carry free-text and are not part of the deterministic subset.
   std::optional<vmpi::FailureReport> failure;
+  /// Present when the job ran under vmpi::run_supervised (see
+  /// build_report(SupervisedResult)). to_json() only, like `failure`.
+  std::optional<RecoveryReport> recovery;
 
   /// Full document, including timings and memory.
   Json to_json() const;
@@ -80,6 +99,12 @@ struct RunReport {
 };
 
 RunReport build_report(const vmpi::RunResult& result);
+
+/// Report for a supervised run: the final attempt's report plus a
+/// RecoveryReport under `recovery` (restart count, per-attempt failure
+/// kinds, the resumed checkpoint generation read from the ranks'
+/// `ckpt.resumed_generation` counters, wasted seconds).
+RunReport build_report(const vmpi::SupervisedResult& supervised);
 
 /// Pretty-printed report JSON to `path`; throws std::runtime_error on I/O
 /// failure.

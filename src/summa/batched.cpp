@@ -1,9 +1,13 @@
 #include "summa/batched.hpp"
 
+#include <cstdint>
+#include <sstream>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "obs/recorder.hpp"
@@ -11,6 +15,23 @@
 #include "vmpi/traffic.hpp"
 
 namespace casp {
+
+namespace {
+
+constexpr const char* kSummaScope = "summa";
+
+/// Per-emitted-batch coordinates stored in the "summa" snapshot alongside
+/// the piece matrix: enough to rebuild the BatchInfo and the loop state
+/// (next batch = batch_index+1 at num_batches granularity) at any prefix
+/// of the emission sequence.
+struct PieceMeta {
+  Index batch_index;
+  Index num_batches;
+  Index rebatch_events;  ///< cumulative re-batch count at emission time
+};
+static_assert(std::is_trivially_copyable_v<PieceMeta>);
+
+}  // namespace
 
 template <typename SR>
 BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
@@ -61,6 +82,79 @@ BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
   const Index max_batches = std::max<Index>(1, b.global_cols);
   Index eff_batches = num_batches;
   Index bi = 0;
+
+  // Batch-boundary checkpointing. Every emitted piece (plus its PieceMeta
+  // coordinates) is retained and snapshotted at the save cadence; a
+  // relaunched job replays the restored prefix through the callback — the
+  // uniform contract whether the consumer streams to disk (the writer
+  // re-truncates, so recovered streamed output is byte-identical) or
+  // gathers pieces in memory — then continues the loop from the next batch.
+  ckpt::Checkpointer* ck = opts.ckpt;
+  const bool ckpt_on = ck != nullptr && ck->enabled();
+  std::vector<PieceMeta> emitted_meta;
+  std::vector<CscMat> emitted_mats;
+  std::string ckpt_job;
+  if (ckpt_on) {
+    // Job identity: per-rank deterministic, so a snapshot can only resume
+    // the run (and, via ckpt_job_tag, the outer-loop iteration) that wrote
+    // it. Stale snapshots in the same directory are skipped by load_all.
+    std::ostringstream id;
+    id << "batched_summa3d|" << a.global_rows << 'x' << a.global_cols << 'x'
+       << b.global_cols << "|nnzA=" << a.local.nnz()
+       << "|nnzB=" << b.local.nnz() << "|l=" << l << "|b0=" << num_batches
+       << "|tag=" << opts.ckpt_job_tag;
+    ckpt_job = id.str();
+    auto loaded = ck->load_all(kSummaScope, ckpt_job);
+    const std::int64_t mine =
+        loaded.empty() ? 0
+                       : static_cast<std::int64_t>(
+                             loaded.front().snap.u64("pieces"));
+    // Resume consensus: a crash is not a barrier, so ranks may hold
+    // snapshots a save apart. Every rank's pieces are a prefix of the same
+    // deterministic emission sequence, so the job-wide minimum available
+    // progress is a state every rank can reconstruct (ranks that saved
+    // further truncate their prefix).
+    std::int64_t agreed = 0;
+    {
+      vmpi::ScopedPhase resume_phase(grid.world().traffic(),
+                                     steps::kCkptResume);
+      agreed = grid.world().allreduce_min<std::int64_t>(mine);
+    }
+    if (agreed > 0) {
+      const ckpt::Snapshot& snap = loaded.front().snap;
+      const std::vector<PieceMeta> metas = snap.array<PieceMeta>("piece_meta");
+      CASP_CHECK(static_cast<std::int64_t>(metas.size()) >= agreed);
+      for (std::int64_t k = 0; k < agreed; ++k) {
+        const PieceMeta& pm = metas[static_cast<std::size_t>(k)];
+        obs::ScopedTag replay_tag(rec, obs::ScopedTag::Kind::kBatch,
+                                  static_cast<int>(pm.batch_index));
+        CscMat piece = snap.matrix("piece" + std::to_string(k));
+        const Index pblocks = l * pm.num_batches;
+        const Index pblock = pm.batch_index +
+                             static_cast<Index>(grid.layer()) * pm.num_batches;
+        BatchInfo info;
+        info.batch_index = pm.batch_index;
+        info.num_batches = pm.num_batches;
+        info.global_nrows = a.global_rows;
+        info.global_ncols = b.global_cols;
+        info.global_rows = a.rows;
+        info.global_cols = {b.cols.start + part_low(pblock, pblocks, psize),
+                            part_size(pblock, pblocks, psize)};
+        CASP_CHECK(piece.ncols() == info.global_cols.count);
+        emitted_meta.push_back(pm);
+        emitted_mats.push_back(piece);
+        if (keep_output) kept_pieces.push_back(piece);
+        if (on_batch) on_batch(std::move(piece), info);
+      }
+      const PieceMeta& last = emitted_meta.back();
+      bi = last.batch_index + 1;
+      eff_batches = last.num_batches;
+      result.rebatch_events = last.rebatch_events;
+      if (result.rebatch_events > 0)
+        rec.add_counter("summa.rebatch_events", result.rebatch_events);
+      ck->note_resume(loaded.front().generation);
+    }
+  }
 
   while (bi < eff_batches) {
     obs::ScopedTag batch_tag(rec, obs::ScopedTag::Kind::kBatch,
@@ -143,8 +237,20 @@ BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
     CASP_CHECK(c_piece.ncols() == info.global_cols.count);
 
     if (keep_output) kept_pieces.push_back(c_piece);
+    if (ckpt_on) {
+      emitted_meta.push_back(PieceMeta{bi, eff_batches, result.rebatch_events});
+      emitted_mats.push_back(c_piece);
+    }
     if (on_batch) on_batch(std::move(c_piece), info);
     ++bi;
+    if (ckpt_on && ck->due(emitted_meta.size())) {
+      ckpt::Snapshot snap;
+      snap.set_u64("pieces", emitted_meta.size());
+      snap.set_array("piece_meta", emitted_meta);
+      for (std::size_t k = 0; k < emitted_mats.size(); ++k)
+        snap.set_matrix("piece" + std::to_string(k), emitted_mats[k]);
+      ck->save(kSummaScope, ckpt_job, std::move(snap));
+    }
   }
   result.final_batches = eff_batches;
   rec.set_counter("summa.final_batches", eff_batches);

@@ -5,12 +5,18 @@
 // breakdown the paper's figures use.
 #pragma once
 
+#include <string>
+
 #include "common/memory_tracker.hpp"
 #include "common/types.hpp"
 #include "kernels/merge.hpp"
 #include "kernels/spgemm.hpp"
 
 namespace casp {
+
+namespace ckpt {
+class Checkpointer;
+}  // namespace ckpt
 
 namespace steps {
 inline constexpr const char* kSymbolic = "Symbolic";
@@ -30,6 +36,12 @@ inline constexpr const char* kAll[] = {
 /// overrun-consensus allreduce of the adaptive re-batch protocol. Only
 /// present when a memory tracker enforces the budget.
 inline constexpr const char* kRebatchConsensus = "Rebatch-Consensus";
+
+/// Also outside the paper's seven steps: the resume-consensus collective
+/// run once at job start when checkpointing is enabled, where ranks agree
+/// on the common restore point (ranks may hold generations one save apart,
+/// since a crash is not a barrier).
+inline constexpr const char* kCkptResume = "Ckpt-Resume";
 }  // namespace steps
 
 /// Knobs for the SUMMA family. Defaults are this paper's configuration
@@ -60,6 +72,16 @@ struct SummaOptions {
   /// job. part_low's nesting property keeps the recovered output
   /// bit-identical to the unconstrained run (see batched.cpp).
   bool adaptive_rebatch = true;
+  /// Batch-boundary checkpointing (batched_summa3d only). Not owned; null
+  /// or a disabled Checkpointer turns the feature off with zero hot-path
+  /// cost. Must be configured uniformly across ranks (enabled-ness and
+  /// cadence), because resuming runs a consensus collective.
+  ckpt::Checkpointer* ckpt = nullptr;
+  /// Extra disambiguator mixed into the checkpoint job identity — callers
+  /// nesting batched SUMMA inside an outer loop (MCL sets
+  /// "mcl-iter-<k>") use it so a stale snapshot from another iteration
+  /// can never be resumed.
+  std::string ckpt_job_tag;
 };
 
 }  // namespace casp

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -93,6 +94,7 @@ bool FaultPlan::alloc_fails(int rank, std::uint64_t alloc_index) const {
 
 FaultPlan FaultPlan::parse(const std::string& spec) {
   FaultPlan plan;
+  std::set<std::string> seen;
   std::size_t start = 0;
   while (start <= spec.size()) {
     std::size_t end = spec.find_first_of(";,", start);
@@ -105,6 +107,9 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       bad_spec("expected key=value, got '" + item + "'");
     const std::string key = item.substr(0, eq);
     const std::string value = item.substr(eq + 1);
+    if (key.empty()) bad_spec("empty key in '" + item + "'");
+    if (!seen.insert(key).second)
+      bad_spec("duplicate key '" + key + "' (each key may appear once)");
     if (key == "seed") {
       plan.seed = static_cast<std::uint64_t>(parse_int(key, value));
     } else if (key == "send_fail") {
@@ -131,11 +136,32 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       bad_spec("unknown key '" + key + "'");
     }
   }
-  if (plan.send_fail < 0.0 || plan.send_fail > 1.0 || plan.alloc_fail < 0.0 ||
-      plan.alloc_fail > 1.0)
-    bad_spec("probabilities must be in [0, 1]");
+  if (plan.send_fail < 0.0 || plan.send_fail > 1.0)
+    bad_spec("send_fail must be in [0, 1]");
+  if (plan.alloc_fail < 0.0 || plan.alloc_fail > 1.0)
+    bad_spec("alloc_fail must be in [0, 1]");
+  if (plan.delay_us < 0) bad_spec("delay_us must be >= 0");
+  if (plan.delay_every < 0) bad_spec("delay_every must be >= 0");
+  if (plan.delay_rank < -1) bad_spec("delay_rank must be >= -1");
+  if (plan.crash_rank < -1) bad_spec("crash_rank must be >= -1");
   if (plan.retry.max_attempts < 1) bad_spec("retry_max must be >= 1");
+  if (plan.retry.base_delay_us < 0) bad_spec("retry_base_us must be >= 0");
+  if (plan.retry.cap_delay_us < plan.retry.base_delay_us)
+    bad_spec("retry_cap_us must be >= retry_base_us");
   if (plan.crash_op < 1) bad_spec("crash_op is 1-based");
+  return plan;
+}
+
+FaultPlan FaultPlan::disarmed(const std::string& failure_kind) const {
+  FaultPlan plan = *this;
+  if (failure_kind == "rank_crash" || failure_kind == "deadlock") {
+    // The crash already fired (a deadlock verdict here means the crashed
+    // rank's peers were left blocked); the relaunched attempt runs without
+    // it, exactly like a failed node replaced by a spare.
+    plan.crash_rank = -1;
+  } else if (failure_kind == "retry_exhausted") {
+    plan.send_fail = 0.0;
+  }
   return plan;
 }
 

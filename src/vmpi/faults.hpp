@@ -103,8 +103,17 @@ struct FaultPlan {
   /// Parse the CASP_VMPI_FAULTS environment spec; disabled plan when the
   /// variable is unset or empty. Throws InvalidArgument on a bad spec.
   static FaultPlan from_env();
-  /// Parse a spec string (see header comment for the grammar).
+  /// Parse a spec string (see header comment for the grammar). Strict:
+  /// unknown, duplicate, or malformed keys and out-of-range values throw
+  /// InvalidArgument naming the offending key — a typoed spec must never
+  /// silently run fault-free.
   static FaultPlan parse(const std::string& spec);
+  /// Copy of this plan with the fault behind an already-fired failure
+  /// removed: "rank_crash"/"deadlock" clear crash_rank, "retry_exhausted"
+  /// clears send_fail. The supervisor (vmpi::run_supervised) applies this
+  /// between attempts so the same deterministic fault does not kill every
+  /// relaunch.
+  FaultPlan disarmed(const std::string& failure_kind) const;
   /// Canonical spec string (round-trips through parse); used in failure
   /// reports so a crash names the plan that produced it.
   std::string describe() const;

@@ -80,6 +80,9 @@ FailureReport classify_failure(const std::exception_ptr& error, int rank,
   } catch (const MemoryError& e) {
     report.kind = "memory_budget";
     report.what = e.what();
+  } catch (const InputError& e) {
+    report.kind = "input_error";
+    report.what = e.what();
   } catch (const InvalidArgument& e) {
     report.kind = "invalid_argument";
     report.what = e.what();
@@ -395,6 +398,43 @@ RunResult run(int size, const std::function<void(Comm&)>& body,
 
 RunResult run(int size, const std::function<void(Comm&)>& body) {
   return run(size, body, RunOptions{});
+}
+
+bool recoverable_failure(const FailureReport& report) {
+  return report.kind == "rank_crash" || report.kind == "retry_exhausted" ||
+         report.kind == "deadlock";
+}
+
+SupervisedResult run_supervised(int size,
+                                const std::function<void(Comm&)>& body,
+                                const SupervisorOptions& options) {
+  FaultPlan plan =
+      options.faults.has_value() ? *options.faults : FaultPlan::from_env();
+  SupervisedResult sup;
+  sup.max_restarts = options.max_restarts;
+  for (;;) {
+    RunOptions attempt_opts;
+    attempt_opts.faults = plan;
+    attempt_opts.capture_failure = true;
+    RunResult attempt = run(size, body, attempt_opts);
+    if (!attempt.failed() || !recoverable_failure(*attempt.failure) ||
+        sup.restarts >= options.max_restarts) {
+      sup.result = std::move(attempt);
+      return sup;
+    }
+    sup.wasted_seconds += attempt.wall_seconds;
+    // Disarm the fault that just fired so the deterministic plan does not
+    // kill the relaunch at the same op; every other configured fault stays
+    // live, mirroring "replace the dead node, keep the flaky network".
+    plan = plan.disarmed(attempt.failure->kind);
+    sup.recovered_failures.push_back(*std::move(attempt.failure));
+    ++sup.restarts;
+  }
+}
+
+SupervisedResult run_supervised(int size,
+                                const std::function<void(Comm&)>& body) {
+  return run_supervised(size, body, SupervisorOptions{});
 }
 
 }  // namespace casp::vmpi

@@ -24,7 +24,7 @@ namespace casp::vmpi {
 struct FailureReport {
   /// Machine-readable class: "rank_crash", "retry_exhausted", "deadlock",
   /// "communicator_order_violation", "collective_mismatch", "message_leak",
-  /// "memory_budget", "invalid_argument", or "exception".
+  /// "memory_budget", "input_error", "invalid_argument", or "exception".
   std::string kind;
   /// First failing world rank; -1 for job-level failures (watchdog
   /// deadlock verdicts have no single culprit rank).
@@ -85,5 +85,50 @@ struct RunResult {
 RunResult run(int size, const std::function<void(Comm&)>& body,
               const RunOptions& options);
 RunResult run(int size, const std::function<void(Comm&)>& body);
+
+/// True iff the failure is one a relaunch can survive: the fault is
+/// external to the program logic — a crashed rank ("rank_crash"), a link
+/// that swallowed every retry ("retry_exhausted"), or the deadlock a
+/// crashed peer leaves behind ("deadlock") — rather than a deterministic
+/// bug (collective mismatch, bad input, budget exhaustion on all ranks)
+/// that would recur identically on every attempt.
+bool recoverable_failure(const FailureReport& report);
+
+/// Knobs for the supervised restart loop.
+struct SupervisorOptions {
+  /// Fault plan for the first attempt. Unset = CASP_VMPI_FAULTS.
+  std::optional<FaultPlan> faults;
+  /// Upper bound on relaunches (not counting the first attempt).
+  int max_restarts = 3;
+};
+
+/// Outcome of run_supervised: the final attempt's RunResult plus the
+/// recovery history. The job body is responsible for fast-forwarding from
+/// its newest checkpoint generation (see ckpt::Checkpointer) — the
+/// supervisor only relaunches and disarms fired faults.
+struct SupervisedResult {
+  RunResult result;  ///< final attempt (successful or the one that gave up)
+  int restarts = 0;  ///< relaunches actually performed
+  int max_restarts = 0;  ///< the bound the supervisor ran under
+  /// FailureReports of the attempts that were relaunched, in order.
+  std::vector<FailureReport> recovered_failures;
+  /// Wall-clock seconds burned by failed attempts (recovery overhead).
+  double wasted_seconds = 0.0;
+
+  bool recovered() const { return restarts > 0 && !result.failed(); }
+};
+
+/// Run `body` under a supervisor: each attempt runs with capture_failure;
+/// when the captured FailureReport is recoverable_failure() and the restart
+/// budget allows, the already-fired fault is disarmed from the plan
+/// (FaultPlan::disarmed) and the job relaunches — bodies that checkpoint
+/// resume from their newest valid generation instead of recomputing.
+/// Unrecoverable failures and budget exhaustion return the failed attempt
+/// as-is (RunResult::failure set, never rethrown).
+SupervisedResult run_supervised(int size,
+                                const std::function<void(Comm&)>& body,
+                                const SupervisorOptions& options);
+SupervisedResult run_supervised(int size,
+                                const std::function<void(Comm&)>& body);
 
 }  // namespace casp::vmpi

@@ -1,0 +1,236 @@
+// Checkpoint subsystem unit tests: the casp.ckpt.v1 snapshot container
+// (strict serialize/deserialize, checksum, torn-tail detection) and the
+// generation-numbered store (atomic writes, pruning, job-identity
+// filtering, fallback to generation N−1).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/snapshot.hpp"
+#include "test_util.hpp"
+
+namespace casp::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/casp_ckpt_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<fs::path> files_in(const std::string& dir) {
+  std::vector<fs::path> out;
+  if (!fs::is_directory(dir)) return out;
+  for (const auto& e : fs::directory_iterator(dir)) out.push_back(e.path());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot container.
+
+TEST(Snapshot, RoundTripsTypedSections) {
+  Snapshot snap;
+  snap.set_u64("pieces", 7);
+  snap.set_string("note", "batch boundary");
+  snap.set_array<std::int64_t>("meta", {3, -1, 42});
+
+  const Snapshot back = Snapshot::deserialize(snap.serialize());
+  EXPECT_EQ(back.u64("pieces"), 7u);
+  EXPECT_EQ(back.string("note"), "batch boundary");
+  EXPECT_EQ(back.array<std::int64_t>("meta"),
+            (std::vector<std::int64_t>{3, -1, 42}));
+  EXPECT_TRUE(back.has("pieces"));
+  EXPECT_FALSE(back.has("absent"));
+  EXPECT_THROW(back.u64("absent"), CkptError);
+}
+
+TEST(Snapshot, MatrixSectionIsBitExact) {
+  const CscMat m = testing::random_matrix(23, 17, 4.0, 99);
+  Snapshot snap;
+  snap.set_matrix("m", m);
+  const CscMat back =
+      Snapshot::deserialize(snap.serialize()).matrix("m");
+  // Recovery correctness demands bit-exactness (tolerance 0.0), not
+  // closeness: the resumed run must be byte-identical to the unbroken one.
+  testing::expect_mat_near(back, m, 0.0);
+}
+
+TEST(Snapshot, SerializeIsDeterministic) {
+  auto make = [] {
+    Snapshot s;
+    s.set_u64("iter", 5);
+    s.set_string("tag", "x");
+    return s.serialize();
+  };
+  EXPECT_EQ(make(), make());
+}
+
+TEST(Snapshot, ChecksumFlipIsDetected) {
+  Snapshot snap;
+  snap.set_u64("iter", 3);
+  snap.set_array<double>("vals", {1.0, 2.0, 3.0});
+  std::vector<std::byte> buf = snap.serialize();
+  // Flip one bit in every byte position in turn: no single-bit corruption
+  // anywhere in the file may deserialize cleanly.
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    std::vector<std::byte> corrupt = buf;
+    corrupt[i] ^= std::byte{0x10};
+    EXPECT_THROW(Snapshot::deserialize(corrupt), CkptError)
+        << "bit flip at byte " << i << " went undetected";
+  }
+}
+
+TEST(Snapshot, TornTailsAndGarbageAreRejected) {
+  Snapshot snap;
+  snap.set_u64("iter", 3);
+  snap.set_string("tag", "torn-write-probe");
+  const std::vector<std::byte> buf = snap.serialize();
+  // Every proper prefix is a torn write; none may load.
+  for (std::size_t keep = 0; keep < buf.size(); ++keep) {
+    std::vector<std::byte> torn(buf.begin(),
+                                buf.begin() + static_cast<long>(keep));
+    EXPECT_THROW(Snapshot::deserialize(torn), CkptError)
+        << "prefix of " << keep << " bytes went undetected";
+  }
+  // Trailing garbage after a valid snapshot is also rejected.
+  std::vector<std::byte> padded = buf;
+  padded.push_back(std::byte{0});
+  EXPECT_THROW(Snapshot::deserialize(padded), CkptError);
+  // So is a buffer that is plausible-length but not a snapshot at all.
+  std::vector<std::byte> noise(64, std::byte{0x5a});
+  EXPECT_THROW(Snapshot::deserialize(noise), CkptError);
+}
+
+// ---------------------------------------------------------------------------
+// Generation store.
+
+TEST(CheckpointStore, GenerationsIncreaseAndOldOnesArePruned) {
+  const std::string dir = fresh_dir("generations");
+  Checkpointer ck(dir, /*rank=*/0);
+  ASSERT_TRUE(ck.enabled());
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    Snapshot snap;
+    snap.set_u64("iter", i);
+    ck.save("mcl", "job-a", std::move(snap));
+  }
+  const auto loaded = ck.load_all("mcl", "job-a");
+  // Newest first; only the newest and its predecessor are retained.
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].generation, 4);
+  EXPECT_EQ(loaded[0].snap.u64("iter"), 4u);
+  EXPECT_EQ(loaded[1].generation, 3);
+  EXPECT_EQ(loaded[1].snap.u64("iter"), 3u);
+  // Atomicity leaves no stray tmp files behind.
+  for (const fs::path& p : files_in(dir))
+    EXPECT_EQ(p.extension(), ".ckpt") << p;
+}
+
+TEST(CheckpointStore, DisabledCheckpointerIsInert) {
+  const Checkpointer ck;
+  EXPECT_FALSE(ck.enabled());
+  EXPECT_FALSE(ck.due(1));
+  EXPECT_FALSE(ck.due(100));
+}
+
+TEST(CheckpointStore, DueFollowsTheCadence) {
+  const std::string dir = fresh_dir("cadence");
+  Checkpointer every3(dir, /*rank=*/0, /*every=*/3);
+  EXPECT_FALSE(every3.due(0));
+  EXPECT_FALSE(every3.due(1));
+  EXPECT_FALSE(every3.due(2));
+  EXPECT_TRUE(every3.due(3));
+  EXPECT_FALSE(every3.due(4));
+  EXPECT_TRUE(every3.due(6));
+}
+
+TEST(CheckpointStore, TornNewestGenerationFallsBackToPrevious) {
+  const std::string dir = fresh_dir("torn");
+  Checkpointer ck(dir, /*rank=*/2);
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    Snapshot snap;
+    snap.set_u64("iter", i);
+    snap.set_array<double>("payload", std::vector<double>(256, double(i)));
+    ck.save("mcl", "job-t", std::move(snap));
+  }
+  // Tear the newest generation mid-write: truncate it to half its size,
+  // as if the machine died during the write (the atomic rename makes this
+  // scenario require a torn *filesystem*, but the store must still treat
+  // a short file as invalid rather than trusting the name).
+  const std::string newest = dir + "/mcl-r2-g3.ckpt";
+  ASSERT_TRUE(fs::exists(newest));
+  const auto size = fs::file_size(newest);
+  fs::resize_file(newest, size / 2);
+
+  const auto loaded = ck.load_all("mcl", "job-t");
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].generation, 2);
+  EXPECT_EQ(loaded[0].snap.u64("iter"), 2u);
+}
+
+TEST(CheckpointStore, CorruptedNewestGenerationIsNeverLoaded) {
+  const std::string dir = fresh_dir("corrupt");
+  Checkpointer ck(dir, /*rank=*/0);
+  for (std::uint64_t i = 1; i <= 2; ++i) {
+    Snapshot snap;
+    snap.set_u64("iter", i);
+    ck.save("summa", "job-c", std::move(snap));
+  }
+  // Flip one byte in the middle of the newest file: the checksum must
+  // catch it and load_all must serve generation 1 instead.
+  const std::string newest = dir + "/summa-r0-g2.ckpt";
+  std::fstream f(newest, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekp(static_cast<std::streamoff>(fs::file_size(newest) / 2));
+  f.put('\x7f');
+  f.close();
+
+  const auto loaded = ck.load_all("summa", "job-c");
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].generation, 1);
+  EXPECT_EQ(loaded[0].snap.u64("iter"), 1u);
+}
+
+TEST(CheckpointStore, ForeignJobSnapshotsAreIgnored) {
+  const std::string dir = fresh_dir("jobid");
+  Checkpointer ck(dir, /*rank=*/0);
+  Snapshot snap;
+  snap.set_u64("iter", 9);
+  ck.save("mcl", "job-old|n=100", std::move(snap));
+  // A run with different parameters (different job id) must not resume
+  // from the stale snapshot, even though scope and rank match.
+  EXPECT_TRUE(ck.load_all("mcl", "job-new|n=200").empty());
+  ASSERT_EQ(ck.load_all("mcl", "job-old|n=100").size(), 1u);
+}
+
+TEST(CheckpointStore, ScopesAndRanksAreIsolated) {
+  const std::string dir = fresh_dir("scopes");
+  Checkpointer r0(dir, /*rank=*/0);
+  Checkpointer r1(dir, /*rank=*/1);
+  Snapshot a;
+  a.set_u64("iter", 1);
+  r0.save("summa", "job", std::move(a));
+  Snapshot b;
+  b.set_u64("iter", 2);
+  r1.save("summa", "job", std::move(b));
+  Snapshot c;
+  c.set_u64("iter", 3);
+  r0.save("mcl", "job", std::move(c));
+
+  ASSERT_EQ(r0.load_all("summa", "job").size(), 1u);
+  EXPECT_EQ(r0.load_all("summa", "job")[0].snap.u64("iter"), 1u);
+  ASSERT_EQ(r1.load_all("summa", "job").size(), 1u);
+  EXPECT_EQ(r1.load_all("summa", "job")[0].snap.u64("iter"), 2u);
+  ASSERT_EQ(r0.load_all("mcl", "job").size(), 1u);
+  EXPECT_EQ(r0.load_all("mcl", "job")[0].snap.u64("iter"), 3u);
+}
+
+}  // namespace
+}  // namespace casp::ckpt

@@ -102,6 +102,96 @@ TEST(FaultPlan, BadSpecsThrow) {
   EXPECT_THROW(FaultPlan::parse("seed"), InvalidArgument);
 }
 
+// The message of the thrown InvalidArgument for `spec` — parsing is strict,
+// so every rejection must say exactly which key (or item) is at fault.
+std::string parse_error(const std::string& spec) {
+  try {
+    FaultPlan::parse(spec);
+  } catch (const InvalidArgument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "spec '" << spec << "' parsed without error";
+  return {};
+}
+
+TEST(FaultPlan, RejectionsNameTheBadKey) {
+  EXPECT_NE(parse_error("no_such_key=1").find("unknown key 'no_such_key'"),
+            std::string::npos);
+  EXPECT_NE(parse_error("seed=1;sed=2").find("unknown key 'sed'"),
+            std::string::npos);
+  EXPECT_NE(parse_error("send_fail=0.5x").find("bad value '0.5x' for "
+                                               "send_fail"),
+            std::string::npos);
+  EXPECT_NE(parse_error("crash_op=abc").find("bad value 'abc' for crash_op"),
+            std::string::npos);
+  EXPECT_NE(parse_error("delay_us=").find("bad value '' for delay_us"),
+            std::string::npos);
+  EXPECT_NE(parse_error("seed").find("expected key=value, got 'seed'"),
+            std::string::npos);
+}
+
+TEST(FaultPlan, RejectsDuplicateAndEmptyKeys) {
+  EXPECT_NE(parse_error("seed=1;seed=2").find("duplicate key 'seed'"),
+            std::string::npos);
+  EXPECT_NE(
+      parse_error("send_fail=0.1;send_fail=0.1").find("duplicate key "
+                                                      "'send_fail'"),
+      std::string::npos);
+  EXPECT_NE(parse_error("=1").find("empty key in '=1'"), std::string::npos);
+}
+
+TEST(FaultPlan, RejectsOutOfRangeValuesNamingTheKey) {
+  EXPECT_NE(parse_error("send_fail=1.5").find("send_fail must be in [0, 1]"),
+            std::string::npos);
+  EXPECT_NE(parse_error("alloc_fail=-0.5").find("alloc_fail must be in "
+                                                "[0, 1]"),
+            std::string::npos);
+  EXPECT_NE(parse_error("delay_us=-1").find("delay_us must be >= 0"),
+            std::string::npos);
+  EXPECT_NE(parse_error("delay_every=-2").find("delay_every must be >= 0"),
+            std::string::npos);
+  EXPECT_NE(parse_error("delay_rank=-2").find("delay_rank must be >= -1"),
+            std::string::npos);
+  EXPECT_NE(parse_error("crash_rank=-2").find("crash_rank must be >= -1"),
+            std::string::npos);
+  EXPECT_NE(parse_error("retry_max=0").find("retry_max must be >= 1"),
+            std::string::npos);
+  EXPECT_NE(parse_error("retry_base_us=-1").find("retry_base_us must be "
+                                                 ">= 0"),
+            std::string::npos);
+  EXPECT_NE(
+      parse_error("retry_base_us=10;retry_cap_us=5").find("retry_cap_us must "
+                                                          "be >= "
+                                                          "retry_base_us"),
+      std::string::npos);
+  EXPECT_NE(parse_error("crash_op=0").find("crash_op is 1-based"),
+            std::string::npos);
+}
+
+TEST(FaultPlan, DisarmedRemovesOnlyTheFiredFaultClass) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.send_fail = 0.2;
+  plan.crash_rank = 1;
+  plan.crash_op = 12;
+
+  const FaultPlan after_crash = plan.disarmed("rank_crash");
+  EXPECT_EQ(after_crash.crash_rank, -1);          // dead node replaced
+  EXPECT_DOUBLE_EQ(after_crash.send_fail, 0.2);   // network still flaky
+
+  const FaultPlan after_deadlock = plan.disarmed("deadlock");
+  EXPECT_EQ(after_deadlock.crash_rank, -1);
+
+  const FaultPlan after_retries = plan.disarmed("retry_exhausted");
+  EXPECT_DOUBLE_EQ(after_retries.send_fail, 0.0);  // link replaced
+  EXPECT_EQ(after_retries.crash_rank, 1);          // crash schedule stays
+
+  // Unrelated kinds leave the plan untouched.
+  const FaultPlan after_other = plan.disarmed("memory_budget");
+  EXPECT_EQ(after_other.crash_rank, 1);
+  EXPECT_DOUBLE_EQ(after_other.send_fail, 0.2);
+}
+
 TEST(FaultPlan, DecisionsArePureFunctionsOfSeedRankOpAttempt) {
   FaultPlan plan;
   plan.seed = sweep_seed();

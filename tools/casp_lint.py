@@ -45,6 +45,15 @@ test (see tests/CMakeLists.txt). Rules:
                   bcast_payload, allgather_vec, ...). Enforced in src/,
                   tools/, bench/, examples/; tests/ is exempt, as is the
                   wrapper section in src/vmpi/comm.hpp itself.
+  ckpt-atomic-write
+                  In src/ckpt/, every file-writing open (std::ofstream,
+                  std::fstream, fopen) must write to the kTmpSuffix temp
+                  path — the atomic-write protocol is tmp + flush +
+                  rename, so a reader can never observe a torn final
+                  checkpoint file. Opening a final path directly defeats
+                  the crash-safety the subsystem exists to provide. The
+                  open expression must mention kTmpSuffix on the same
+                  line (route writes through atomic_write_file).
 
 Waivers (use sparingly, justify in a comment on the same line):
   // casp-lint: allow(<rule>)        — waives <rule> on this or next line
@@ -99,6 +108,13 @@ COMM_COMPAT_RE = re.compile(
     r"\b(send_bytes|recv_bytes|bcast_bytes|ibcast_bytes|bcast_vec|"
     r"allgather_bytes|alltoall_bytes)\s*[(<]"
 )
+
+# File-writing opens in src/ckpt/: an ofstream/fstream construction or
+# .open(...), or a C fopen. Plain `std::ifstream` reads are fine.
+CKPT_WRITE_OPEN_RE = re.compile(
+    r"\bstd::(?:ofstream|fstream)\b|\bfopen\s*\("
+)
+CKPT_TMP_TOKEN_RE = re.compile(r"\bkTmpSuffix\b")
 
 
 def strip_code(text: str) -> str:
@@ -231,6 +247,8 @@ class Linter:
             self.check_threading(path, code_lines, waived)
         if not rel.startswith("tests/") and rel != "src/vmpi/comm.hpp":
             self.check_comm_compat(path, code_lines, waived)
+        if rel.startswith("src/ckpt/"):
+            self.check_ckpt_atomic_write(path, code_lines, waived)
         self.check_cast_pairing(path, code_lines, waived)
         self.check_empty_catch(path, code_text, waived)
         self.check_payload_ownership(path, code_lines, waived)
@@ -271,6 +289,20 @@ class Linter:
                     "non-test code must use the payload-first Comm API "
                     "(send_payload/recv_payload/bcast_payload/"
                     "allgather_vec/...)")
+
+    def check_ckpt_atomic_write(self, path, code_lines, waived):
+        for idx, line in enumerate(code_lines):
+            if not CKPT_WRITE_OPEN_RE.search(line):
+                continue
+            if CKPT_TMP_TOKEN_RE.search(line):
+                continue
+            if not waived("ckpt-atomic-write", idx):
+                self.error(
+                    path, idx + 1, "ckpt-atomic-write",
+                    "file-writing open in src/ckpt/ that does not target "
+                    "the kTmpSuffix temp path — checkpoint files must be "
+                    "written atomically (tmp + flush + rename); route "
+                    "writes through atomic_write_file")
 
     def check_cast_pairing(self, path, code_lines, waived):
         for idx, line in enumerate(code_lines):

@@ -5,15 +5,21 @@
 //   mcl network.mtx [--ranks N] [--layers L] [--memory-mb M]
 //       [--inflation R] [--prune T] [--keep K] [--max-iters I]
 //       [--out clusters.txt] [--report report.json] [--trace trace.json]
+//       [--ckpt-dir DIR] [--ckpt-every N] [--max-restarts R]
 //
 // Output: one line per vertex, "<vertex> <cluster-id>". --report writes the
 // RunReport JSON (per-phase traffic, timings, counters, memory); --trace
-// writes a Chrome trace-event timeline loadable in Perfetto.
+// writes a Chrome trace-event timeline loadable in Perfetto. --ckpt-dir
+// checkpoints the iterate at iteration boundaries; with --max-restarts the
+// job is supervised and relaunches (resuming from the newest valid
+// generation) after recoverable injected failures.
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "apps/mcl.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "obs/report.hpp"
 #include "sparse/mm_io.hpp"
 #include "sparse/stats.hpp"
@@ -21,9 +27,11 @@
 
 int main(int argc, char** argv) {
   using namespace casp;
-  std::string in_path, out_path, report_path, trace_path;
+  std::string in_path, out_path, report_path, trace_path, ckpt_dir;
   int ranks = 4, layers = 1;
   Bytes memory_mb = 0;
+  std::uint64_t ckpt_every = 1;
+  int max_restarts = -1;  // -1: unsupervised single attempt
   MclParams params;
 
   for (int i = 1; i < argc; ++i) {
@@ -55,11 +63,26 @@ int main(int argc, char** argv) {
       report_path = next("--report");
     } else if (arg == "--trace") {
       trace_path = next("--trace");
+    } else if (arg == "--ckpt-dir") {
+      ckpt_dir = next("--ckpt-dir");
+    } else if (arg == "--ckpt-every") {
+      ckpt_every = std::stoull(next("--ckpt-every"));
+      if (ckpt_every == 0) {
+        std::cerr << "--ckpt-every must be >= 1\n";
+        return 2;
+      }
+    } else if (arg == "--max-restarts") {
+      max_restarts = std::stoi(next("--max-restarts"));
+      if (max_restarts < 0) {
+        std::cerr << "--max-restarts must be >= 0\n";
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::cerr << "usage: mcl network.mtx [--ranks N] [--layers L] "
                    "[--memory-mb M]\n           [--inflation R] [--prune T] "
                    "[--keep K] [--max-iters I] [--out F]\n           "
-                   "[--report report.json] [--trace trace.json]\n";
+                   "[--report report.json] [--trace trace.json]\n           "
+                   "[--ckpt-dir DIR] [--ckpt-every N] [--max-restarts R]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option " << arg << "\n";
@@ -92,19 +115,45 @@ int main(int argc, char** argv) {
     MclResult result;
     // Capture failures (injected faults, budget exhaustion) as a structured
     // FailureReport in the run report instead of a bare abort.
-    vmpi::RunOptions run_opts;
-    run_opts.capture_failure = true;
-    const vmpi::RunResult job = vmpi::run(
-        ranks,
-        [&](vmpi::Comm& world) {
-          Grid3D grid(world, layers);
-          MclResult r = mcl_cluster_distributed(grid, network, params,
-                                                memory_mb * 1024 * 1024);
-          if (world.rank() == 0) result = std::move(r);
-        },
-        run_opts);
+    auto body = [&](vmpi::Comm& world) {
+      ckpt::Checkpointer ck;
+      SummaOptions summa_opts;
+      if (!ckpt_dir.empty()) {
+        ck = ckpt::Checkpointer(ckpt_dir, world.rank(), ckpt_every,
+                                &world.recorder());
+        summa_opts.ckpt = &ck;
+      }
+      Grid3D grid(world, layers);
+      MclResult r = mcl_cluster_distributed(
+          grid, network, params, memory_mb * 1024 * 1024, summa_opts);
+      if (world.rank() == 0) result = std::move(r);
+    };
+
+    // --ckpt-dir / --max-restarts turn on supervision: recoverable
+    // failures relaunch the job, which fast-forwards from the newest valid
+    // checkpoint generation (iteration-boundary snapshots).
+    const bool supervise = !ckpt_dir.empty() || max_restarts >= 0;
+    vmpi::RunResult job;
+    obs::RunReport report;
+    if (supervise) {
+      vmpi::SupervisorOptions sup_opts;
+      if (max_restarts >= 0) sup_opts.max_restarts = max_restarts;
+      vmpi::SupervisedResult sup = vmpi::run_supervised(ranks, body, sup_opts);
+      report = obs::build_report(sup);
+      if (sup.restarts > 0) {
+        std::cout << "supervisor: " << sup.restarts << " restart(s)";
+        if (sup.recovered()) std::cout << ", recovered";
+        std::cout << "\n";
+      }
+      job = std::move(sup.result);
+    } else {
+      vmpi::RunOptions run_opts;
+      run_opts.capture_failure = true;
+      job = vmpi::run(ranks, body, run_opts);
+      report = obs::build_report(job);
+    }
     if (!report_path.empty()) {
-      obs::write_report_json(obs::build_report(job), report_path);
+      obs::write_report_json(report, report_path);
       std::cout << "wrote " << report_path << "\n";
     }
     if (!trace_path.empty()) {

@@ -13,6 +13,13 @@ compute ratio = fresh_ns / base_ns, take the median ratio over all
 comparable ops, and flag an op only when its ratio exceeds
 median * (1 + threshold) — i.e. it got slower *relative to its peers*.
 
+Snapshot records may carry an optional "ns_max": the op's slowest time
+observed across the runs that produced the snapshot. When present, the
+op's limit is scaled by ns_max/ns, granting ops with measured run-to-run
+noise exactly the headroom they demonstrated — an op fails only when it
+is `threshold` slower (relative to peers) than anything seen while
+snapshotting. Ops without "ns_max" keep the plain median band.
+
 Payload deep-copy counts are deterministic (no normalization): any increase
 of more than 0.5 copies/op is flagged — that is the zero-copy transport
 regressing, not noise.
@@ -84,23 +91,27 @@ def main():
         sys.exit(2)
 
     ratios = {}
+    noise = {}
     for op in common:
         b, f = base[op], fresh[op]
         if b.get("ns", 0) >= args.min_ns and f.get("ns", 0) > 0:
             ratios[op] = f["ns"] / b["ns"]
+            noise[op] = max(1.0, b.get("ns_max", 0.0) / b["ns"])
 
     failures = []
     if ratios:
         median = statistics.median(ratios.values())
         limit = median * (1.0 + args.threshold)
         print(f"  {len(ratios)} timed ops, median fresh/base ratio "
-              f"{median:.3f}, per-op limit {limit:.3f}")
+              f"{median:.3f}, per-op limit {limit:.3f} "
+              f"(x measured noise ceiling where recorded)")
         for op, ratio in sorted(ratios.items(), key=lambda kv: -kv[1]):
-            if ratio > limit:
+            op_limit = limit * noise[op]
+            if ratio > op_limit:
                 failures.append(
                     f"SLOWER  {op}: {base[op]['ns']:.0f} ns -> "
                     f"{fresh[op]['ns']:.0f} ns ({ratio:.2f}x, "
-                    f"limit {limit:.2f}x)")
+                    f"limit {op_limit:.2f}x)")
     else:
         print("  no ops above --min-ns; time comparison skipped")
 

@@ -12,14 +12,21 @@
 //     --stats                       print flops / nnz / cf before running
 //     --report report.json          write the RunReport (traffic/timings)
 //     --trace trace.json            write a Chrome trace-event timeline
+//     --ckpt-dir DIR                checkpoint batches to DIR (enables
+//                                   restart from the newest valid snapshot)
+//     --ckpt-every N (1)            save every N finished batches
+//     --max-restarts R (3)          supervise the job: relaunch up to R
+//                                   times after recoverable failures
 //
 // Exit status 0 on success; a short per-step breakdown is always printed.
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <iostream>
 #include <string>
 
 #include "apps/batch_io.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "grid/dist.hpp"
 #include "obs/report.hpp"
 #include "sparse/mm_io.hpp"
@@ -33,17 +40,22 @@ void usage() {
       << "usage: spgemm A.mtx [B.mtx] [--aat] [--ranks N] [--layers L]\n"
          "              [--memory-mb M] [--batches B] [--kernel hash|hybrid]\n"
          "              [--out C.mtx] [--batch-dir DIR] [--stats]\n"
-         "              [--report report.json] [--trace trace.json]\n";
+         "              [--report report.json] [--trace trace.json]\n"
+         "              [--ckpt-dir DIR] [--ckpt-every N] "
+         "[--max-restarts R]\n";
 }
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace casp;
   std::string a_path, b_path, out_path, batch_dir, report_path, trace_path;
+  std::string ckpt_dir;
   bool aat = false, stats = false;
   int ranks = 16, layers = 4;
   Bytes memory_mb = 0;
   Index batches = 0;
+  std::uint64_t ckpt_every = 1;
+  int max_restarts = -1;  // -1: unsupervised single attempt
   SummaOptions opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -87,6 +99,20 @@ int main(int argc, char** argv) {
       report_path = next("--report");
     } else if (arg == "--trace") {
       trace_path = next("--trace");
+    } else if (arg == "--ckpt-dir") {
+      ckpt_dir = next("--ckpt-dir");
+    } else if (arg == "--ckpt-every") {
+      ckpt_every = std::stoull(next("--ckpt-every"));
+      if (ckpt_every == 0) {
+        std::cerr << "--ckpt-every must be >= 1\n";
+        return 2;
+      }
+    } else if (arg == "--max-restarts") {
+      max_restarts = std::stoi(next("--max-restarts"));
+      if (max_restarts < 0) {
+        std::cerr << "--max-restarts must be >= 0\n";
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -139,43 +165,69 @@ int main(int argc, char** argv) {
     // Capture failures instead of letting them propagate as a bare abort:
     // injected faults (CASP_VMPI_FAULTS) and budget exhaustion surface as a
     // structured FailureReport in the run report and on stderr.
-    vmpi::RunOptions run_opts;
-    run_opts.capture_failure = true;
-    auto result = vmpi::run(
-        ranks,
-        [&](vmpi::Comm& world) {
-          // With an aggregate budget, enforce each rank's share exactly
-          // (Symbolic3D only *estimates*; adaptive re-batching recovers
-          // when the estimate is wrong).
-          MemoryTracker tracker(total_memory == 0
-                                    ? 0
-                                    : std::max<Bytes>(1, total_memory /
-                                                             world.size()));
-          vmpi::arm_alloc_faults(world, tracker);
-          SummaOptions my_opts = opts;
-          if (total_memory != 0) my_opts.memory = &tracker;
-          Grid3D grid(world, layers);
-          const DistMat3D da = distribute_a_style(grid, a);
-          const DistMat3D db = distribute_b_style(grid, b);
-          const bool stream = !batch_dir.empty();
-          BatchedResult r = batched_summa3d<PlusTimes>(
-              grid, da, db, total_memory, my_opts,
-              stream ? make_disk_batch_writer(batch_dir, world.rank())
-                     : BatchCallback{},
-              /*keep_output=*/!stream);
-          if (!stream) {
-            CscMat full = gather_dist(grid, r.c);
-            if (world.rank() == 0) product = std::move(full);
-          }
-          if (world.rank() == 0) {
-            chosen_b = r.batches;
-            final_b = r.final_batches;
-          }
-        },
-        run_opts);
+    auto body = [&](vmpi::Comm& world) {
+      // With an aggregate budget, enforce each rank's share exactly
+      // (Symbolic3D only *estimates*; adaptive re-batching recovers
+      // when the estimate is wrong).
+      MemoryTracker tracker(total_memory == 0
+                                ? 0
+                                : std::max<Bytes>(1, total_memory /
+                                                         world.size()));
+      vmpi::arm_alloc_faults(world, tracker);
+      SummaOptions my_opts = opts;
+      if (total_memory != 0) my_opts.memory = &tracker;
+      ckpt::Checkpointer ck;
+      if (!ckpt_dir.empty()) {
+        ck = ckpt::Checkpointer(ckpt_dir, world.rank(), ckpt_every,
+                                &world.recorder());
+        my_opts.ckpt = &ck;
+      }
+      Grid3D grid(world, layers);
+      const DistMat3D da = distribute_a_style(grid, a);
+      const DistMat3D db = distribute_b_style(grid, b);
+      const bool stream = !batch_dir.empty();
+      BatchedResult r = batched_summa3d<PlusTimes>(
+          grid, da, db, total_memory, my_opts,
+          stream ? make_disk_batch_writer(batch_dir, world.rank())
+                 : BatchCallback{},
+          /*keep_output=*/!stream);
+      if (!stream) {
+        CscMat full = gather_dist(grid, r.c);
+        if (world.rank() == 0) product = std::move(full);
+      }
+      if (world.rank() == 0) {
+        chosen_b = r.batches;
+        final_b = r.final_batches;
+      }
+    };
+
+    // --ckpt-dir / --max-restarts turn on supervision: recoverable
+    // failures (rank crash, retry exhaustion, deadlock) relaunch the job,
+    // which fast-forwards from the newest valid checkpoint generation.
+    const bool supervise = !ckpt_dir.empty() || max_restarts >= 0;
+    vmpi::RunResult result;
+    obs::RunReport report;
+    if (supervise) {
+      vmpi::SupervisorOptions sup_opts;
+      if (max_restarts >= 0) sup_opts.max_restarts = max_restarts;
+      vmpi::SupervisedResult sup =
+          vmpi::run_supervised(ranks, body, sup_opts);
+      report = obs::build_report(sup);
+      if (sup.restarts > 0) {
+        std::cout << "supervisor: " << sup.restarts << " restart(s)";
+        if (sup.recovered()) std::cout << ", recovered";
+        std::cout << "\n";
+      }
+      result = std::move(sup.result);
+    } else {
+      vmpi::RunOptions run_opts;
+      run_opts.capture_failure = true;
+      result = vmpi::run(ranks, body, run_opts);
+      report = obs::build_report(result);
+    }
 
     if (!report_path.empty()) {
-      obs::write_report_json(obs::build_report(result), report_path);
+      obs::write_report_json(report, report_path);
       std::cout << "wrote " << report_path << "\n";
     }
     if (!trace_path.empty()) {
