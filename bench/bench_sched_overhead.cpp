@@ -1,0 +1,235 @@
+// Hook-site overhead microbench — the zero-cost assertion for casp-verify.
+//
+// Every payload-*/tracker-*/p2p-* op hammers a code path carrying
+// CASP_SCHED_EVENT hook sites (refcount transitions, subview, the
+// release_or_copy steal, MemoryTracker budget commits, the p2p transport).
+// In the release preset CASP_VMPI_SCHED is OFF and the macro expands to
+// nothing, so these ops must run exactly as fast as the pre-hook code;
+// tools/perf_diff.py gates that against the committed
+// BENCH_sched_overhead.json snapshot (check.sh stage (e)).
+//
+// The anchor-* ops contain no hook sites at all. perf_diff normalizes by
+// the median fresh/base ratio, so a slowdown spread uniformly over every
+// op would read as machine calibration — the anchors pin the median to
+// hook-free code, making hook overhead that leaks back into release
+// codegen show up as the hook-laden ops slowing *relative to their peers*.
+//
+// Each record is a whole-batch timing (comfortably above perf_diff's
+// --min-ns floor, where single-op nanoseconds would be noise). "copies" is
+// the exact Payload deep-copy count per batch: the steal and transport
+// ops must stay at zero — that is the zero-copy contract itself, and
+// perf_diff compares it without any normalization.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/memory_tracker.hpp"
+#include "common/payload.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace {
+
+using namespace casp;
+
+// Defeats dead-code elimination without perturbing the measured loops.
+volatile std::uint64_t g_sink = 0;
+
+double timed_ns(const std::function<void()>& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count();
+}
+
+/// Best-of-reps batch time plus the deep-copy delta per batch (exact: the
+/// copy counter is deterministic, so delta/reps is an integer per batch).
+struct Measured {
+  double ns = 0;
+  double copies = 0;
+};
+
+Measured measure(int reps, const std::function<void()>& batch) {
+  batch();  // warmup — page in buffers, spin up caches
+  const std::uint64_t copies_before = Payload::deep_copies();
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) best = std::min(best, timed_ns(batch));
+  const std::uint64_t copies_after = Payload::deep_copies();
+  Measured m;
+  m.ns = best;
+  m.copies =
+      static_cast<double>(copies_after - copies_before) / (reps + 1);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("casp-verify hook-site overhead", "MEASURED");
+#ifdef CASP_VMPI_SCHED
+  std::printf("hook sites: compiled IN (inactive — no scheduler attached)\n");
+  std::printf("note: the committed snapshot is from the release preset,\n");
+  std::printf("      where CASP_VMPI_SCHED is OFF and hooks compile out.\n");
+#else
+  std::printf("hook sites: compiled OUT (CASP_VMPI_SCHED off)\n");
+#endif
+
+  constexpr int kReps = 5;
+  constexpr std::size_t kBytes = 4096;
+
+  bench::JsonRecords json;
+  bench::Table table({"op", "batch", "ns/iter", "copies/batch"});
+  bool copies_ok = true;
+  auto record = [&](const std::string& op, double iters, Measured m,
+                    double expected_copies) {
+    json.add(op, static_cast<double>(kBytes), m.ns, m.copies);
+    table.add_row({op, bench::fmt_int(static_cast<Index>(iters)),
+                   bench::fmt(m.ns / iters, 2), bench::fmt(m.copies, 0)});
+    if (m.copies > expected_copies + 0.5) {
+      std::fprintf(stderr, "FAIL %s: %.0f deep copies/batch (expected %.0f)\n",
+                   op.c_str(), m.copies, expected_copies);
+      copies_ok = false;
+    }
+  };
+
+  // -- anchors: zero hook sites, pin the perf_diff median ------------------
+  {
+    constexpr int kIters = 1'000'000;
+    Measured m = measure(kReps, [&] {
+      std::uint64_t x = 0x9e3779b97f4a7c15ULL, acc = 0;
+      for (int i = 0; i < kIters; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc += x;
+      }
+      g_sink = acc;
+    });
+    record("anchor-xorshift", kIters, m, 0);
+  }
+  {
+    constexpr int kIters = 16'384;
+    std::vector<std::byte> a(kBytes, std::byte{1});
+    std::vector<std::byte> b(kBytes, std::byte{2});
+    Measured m = measure(kReps, [&] {
+      for (int i = 0; i < kIters; ++i) {
+        std::memcpy((i & 1) ? a.data() : b.data(),
+                    (i & 1) ? b.data() : a.data(), kBytes);
+      }
+      g_sink = static_cast<std::uint64_t>(a[0]);
+    });
+    record("anchor-memcpy", kIters, m, 0);
+  }
+
+  // -- payload hot paths: one to four hook sites per iteration -------------
+  {
+    // kAccess per call; the baseline is a branch + pointer add, so this op
+    // is the most sensitive to any hook code reappearing.
+    constexpr int kIters = 1'000'000;
+    Payload p = Payload::wrap(std::vector<std::byte>(kBytes, std::byte{3}));
+    Measured m = measure(kReps, [&] {
+      std::uint64_t acc = 0;
+      for (int i = 0; i < kIters; ++i)
+        acc += std::to_integer<std::uint64_t>(p.data()[i & (kBytes - 1)]);
+      g_sink = acc;
+    });
+    record("payload-data-access", kIters, m, 0);
+  }
+  {
+    // kHandleAcquire + kHandleRelease per iteration (copy ctor + drop).
+    constexpr int kIters = 200'000;
+    Payload p = Payload::wrap(std::vector<std::byte>(kBytes, std::byte{4}));
+    Measured m = measure(kReps, [&] {
+      std::uint64_t acc = 0;
+      for (int i = 0; i < kIters; ++i) {
+        Payload copy = p;  // NOLINT(performance-unnecessary-copy-initialization)
+        acc += copy.size();
+      }
+      g_sink = acc;
+    });
+    record("payload-handle-churn", kIters, m, 0);
+  }
+  {
+    // Bounds checks + kHandleAcquire on creation, kHandleRelease on drop.
+    constexpr int kIters = 200'000;
+    Payload p = Payload::wrap(std::vector<std::byte>(kBytes, std::byte{5}));
+    Measured m = measure(kReps, [&] {
+      std::uint64_t acc = 0;
+      for (int i = 0; i < kIters; ++i) {
+        Payload s = p.subview(static_cast<std::size_t>(i & 15) * 64, 64);
+        acc += s.size();
+      }
+      g_sink = acc;
+    });
+    record("payload-subview", kIters, m, 0);
+  }
+  {
+    // kBufferCreate + kObserveSoleAcquire + kSteal + kHandleRelease per
+    // iteration, and the batch must be copy-free: every round steals the
+    // allocation back as the sole owner.
+    constexpr int kIters = 100'000;
+    std::vector<std::byte> bytes(kBytes, std::byte{6});
+    Measured m = measure(kReps, [&] {
+      for (int i = 0; i < kIters; ++i) {
+        Payload p = Payload::wrap(std::move(bytes));
+        bytes = std::move(p).release_or_copy();
+      }
+      g_sink = bytes.size();
+    });
+    record("payload-steal-roundtrip", kIters, m, 0);
+  }
+
+  // -- MemoryTracker commit point: kAllocCommit per allocate ---------------
+  {
+    constexpr int kIters = 200'000;
+    MemoryTracker tracker;  // unlimited budget: the commit still runs
+    Measured m = measure(kReps, [&] {
+      for (int i = 0; i < kIters; ++i) {
+        tracker.allocate(kBytes, "bench");
+        tracker.release(kBytes);
+      }
+      g_sink = tracker.peak();
+    });
+    record("tracker-commit", kIters, m, 0);
+  }
+
+  // -- transport: post/take hook sites on every hop, zero-copy ping-pong ---
+  {
+    constexpr int kRoundtrips = 4096;
+    Measured m = measure(kReps, [&] {
+      vmpi::run(2, [&](vmpi::Comm& c) {
+        if (c.rank() == 0) {
+          Payload ball =
+              Payload::wrap(std::vector<std::byte>(kBytes, std::byte{7}));
+          for (int i = 0; i < kRoundtrips; ++i) {
+            c.send_payload(1, 0, std::move(ball));
+            ball = c.recv_payload(1, 0);
+          }
+          g_sink = ball.size();
+        } else {
+          for (int i = 0; i < kRoundtrips; ++i) {
+            Payload ball = c.recv_payload(0, 0);
+            c.send_payload(0, 0, std::move(ball));
+          }
+        }
+      });
+    });
+    record("p2p-roundtrip", kRoundtrips, m, 0);
+  }
+
+  table.print();
+  json.write("BENCH_sched_overhead.json");
+
+  if (!copies_ok) {
+    std::fprintf(stderr,
+                 "bench_sched_overhead: zero-copy contract violated\n");
+    return 1;
+  }
+  return 0;
+}

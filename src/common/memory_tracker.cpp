@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/schedhook.hpp"
+
 namespace casp {
 
 void MemoryTracker::allocate(Bytes bytes, const char* what) {
@@ -34,6 +36,9 @@ void MemoryTracker::allocate(Bytes bytes, const char* what) {
       break;
   }
   if (over) overrun_.store(true, std::memory_order_relaxed);
+  // Budget-charge commit: a schedule point, so the explorer can interleave
+  // ranks right where concurrent charges contend for the same budget.
+  CASP_SCHED_EVENT(kAllocCommit, this, static_cast<long>(bytes));
   // Lock-free peak update.
   Bytes prev_peak = peak_.load(std::memory_order_relaxed);
   while (now > prev_peak &&

@@ -21,8 +21,11 @@
 #include <cstring>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <utility>
 #include <vector>
+
+#include "common/schedhook.hpp"
 
 namespace casp {
 
@@ -33,7 +36,11 @@ class Payload {
 
   Payload(const Payload& other)
       : owner_(other.owner_), offset_(other.offset_), size_(other.size_) {
-    if (owner_) owner_->handles.fetch_add(1, std::memory_order_relaxed);
+    if (owner_) {
+      const long n =
+          owner_->handles.fetch_add(1, std::memory_order_relaxed) + 1;
+      CASP_SCHED_EVENT(kHandleAcquire, owner_.get(), n);
+    }
   }
 
   Payload(Payload&& other) noexcept
@@ -46,8 +53,11 @@ class Payload {
 
   Payload& operator=(const Payload& other) {
     if (this == &other) return *this;
-    if (other.owner_)
-      other.owner_->handles.fetch_add(1, std::memory_order_relaxed);
+    if (other.owner_) {
+      const long n =
+          other.owner_->handles.fetch_add(1, std::memory_order_relaxed) + 1;
+      CASP_SCHED_EVENT(kHandleAcquire, other.owner_.get(), n);
+    }
     drop();
     owner_ = other.owner_;
     offset_ = other.offset_;
@@ -76,6 +86,7 @@ class Payload {
       p.owner_ = std::make_shared<Buffer>(
           std::vector<std::byte>(data, data + size));
       p.size_ = size;
+      CASP_SCHED_EVENT(kBufferCreate, p.owner_.get(), 1);
     }
     return p;
   }
@@ -86,11 +97,14 @@ class Payload {
     if (!bytes.empty()) {
       p.size_ = bytes.size();
       p.owner_ = std::make_shared<Buffer>(std::move(bytes));
+      CASP_SCHED_EVENT(kBufferCreate, p.owner_.get(), 1);
     }
     return p;
   }
 
   const std::byte* data() const {
+    if (owner_)
+      CASP_SCHED_EVENT(kAccess, owner_.get(), static_cast<long>(size_));
     return owner_ ? owner_->bytes.data() + offset_ : nullptr;
   }
   std::size_t size() const { return size_; }
@@ -98,11 +112,23 @@ class Payload {
   std::span<const std::byte> view() const { return {data(), size_}; }
 
   /// Sub-range sharing the same allocation (used to slice one broadcast
-  /// concatenation into per-rank payloads without copying).
+  /// concatenation into per-rank payloads without copying). A range that
+  /// escapes this handle's window throws: silently returning an empty (or
+  /// aliased) view would let a corrupted length header read as valid data.
+  /// The two comparisons are overflow-safe (offset + length never computed).
   Payload subview(std::size_t offset, std::size_t length) const {
+    if (offset > size_ || length > size_ - offset)
+      throw std::out_of_range("Payload::subview: range [" +
+                              std::to_string(offset) + ", " +
+                              std::to_string(offset) + " + " +
+                              std::to_string(length) +
+                              ") escapes a payload of " +
+                              std::to_string(size_) + " bytes");
     Payload p;
-    if (length > 0 && offset + length <= size_) {
-      if (owner_) owner_->handles.fetch_add(1, std::memory_order_relaxed);
+    if (length > 0) {
+      const long n =
+          owner_->handles.fetch_add(1, std::memory_order_relaxed) + 1;
+      CASP_SCHED_EVENT(kHandleAcquire, owner_.get(), n);
       p.owner_ = owner_;
       p.offset_ = offset_ + offset;
       p.size_ = length;
@@ -125,17 +151,61 @@ class Payload {
   /// ordering — this is why Buffer carries its own handle count).
   std::vector<std::byte> release_or_copy() && {
     if (!owner_) return {};
-    if (offset_ == 0 && size_ == owner_->bytes.size() &&
-        owner_->handles.load(std::memory_order_acquire) == 1) {
-      std::vector<std::byte> out = std::move(owner_->bytes);
-      drop();
-      return out;
+    if (offset_ == 0 && size_ == owner_->bytes.size()) {
+      const long observed =
+          owner_->handles.load(std::memory_order_acquire);
+      CASP_SCHED_EVENT(kObserveSoleAcquire, owner_.get(), observed);
+      if (observed == 1) {
+        CASP_SCHED_EVENT(kSteal, owner_.get(), observed);
+        std::vector<std::byte> out = std::move(owner_->bytes);
+        drop();
+        return out;
+      }
     }
     count_copy(size_);
     std::vector<std::byte> out(data(), data() + size_);
     drop();
     return out;
   }
+
+#ifdef CASP_VMPI_SCHED
+  /// Known-bug corpus instrument (scheduled builds only): release_or_copy
+  /// with the PR-2 *relaxed* sole-owner check reintroduced. An observed
+  /// count of 1 synchronizes with nothing, so another rank's reads through
+  /// a just-dropped handle can race the move — exactly what the
+  /// happens-before analyzer must rediscover. Never call outside tests.
+  std::vector<std::byte> release_or_copy_relaxed() && {
+    if (!owner_) return {};
+    if (offset_ == 0 && size_ == owner_->bytes.size()) {
+      const long observed =
+          owner_->handles.load(std::memory_order_relaxed);
+      CASP_SCHED_EVENT(kObserveSoleRelaxed, owner_.get(), observed);
+      if (observed == 1) {
+        CASP_SCHED_EVENT(kSteal, owner_.get(), observed);
+        std::vector<std::byte> out = std::move(owner_->bytes);
+        drop();
+        return out;
+      }
+    }
+    count_copy(size_);
+    std::vector<std::byte> out(data(), data() + size_);
+    drop();
+    return out;
+  }
+
+  /// Known-bug corpus instrument (scheduled builds only): mutate the bytes
+  /// in place through a shared handle, violating the immutability contract
+  /// on purpose so the analyzer can flag mutation-after-send.
+  std::byte* unsafe_mutable_data() {
+    if (!owner_) return nullptr;
+    CASP_SCHED_EVENT(kMutate, owner_.get(), static_cast<long>(size_));
+    return owner_->bytes.data() + offset_;
+  }
+
+  /// Stable identity of the owning allocation for the happens-before
+  /// analyzer (null for empty payloads).
+  const void* buffer_id() const { return owner_.get(); }
+#endif
 
   /// Global count of deep copies performed through Payload (bench/test
   /// instrumentation for the "copies per broadcast" claims).
@@ -156,7 +226,9 @@ class Payload {
 
   void drop() noexcept {
     if (owner_) {
-      owner_->handles.fetch_sub(1, std::memory_order_release);
+      const long n =
+          owner_->handles.fetch_sub(1, std::memory_order_release) - 1;
+      CASP_SCHED_EVENT(kHandleRelease, owner_.get(), n);
       owner_.reset();
     }
     offset_ = 0;

@@ -1,0 +1,99 @@
+// Schedule-point hook surface for the casp-verify analysis plane.
+//
+// Layers below vmpi (Payload, MemoryTracker) cannot depend on the virtual
+// runtime, yet their refcount transitions and budget commits are exactly
+// the events a schedule explorer must interleave and a happens-before
+// analyzer must see. This header is the one-way bridge: when compiled with
+// CASP_VMPI_SCHED, the low-level code reports events through a process-wide
+// callback that src/vmpi/sched.cpp installs for the duration of a scheduled
+// run; without the macro every call site compiles to nothing — release
+// builds carry zero hook code (asserted by the perf_diff gate over the
+// release-preset benches, where CASP_VMPI_SCHED is OFF).
+//
+// Events are identified by the buffer/tracker address plus an event kind.
+// The callback runs on the emitting rank thread; under the cooperative
+// scheduler only one rank thread runs at a time, so the handler needs no
+// locking of its own beyond the scheduler's.
+#pragma once
+
+#ifdef CASP_VMPI_SCHED
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace casp::schedhook {
+
+/// What just happened to a refcounted buffer or a tracker. The numeric
+/// values are stable (they appear in diagnostics).
+enum class Event : int {
+  /// A fresh Buffer came into existence (Payload::wrap / copy_of).
+  kBufferCreate = 0,
+  /// A handle on an existing buffer was acquired (copy ctor / subview).
+  kHandleAcquire = 1,
+  /// A handle was dropped (Payload::drop) — a release-ordered decrement.
+  kHandleRelease = 2,
+  /// The bytes of a buffer were read through a handle (Payload::data).
+  kAccess = 3,
+  /// release_or_copy observed the handle count with *acquire* ordering —
+  /// an observed count of 1 synchronizes with every prior release.
+  kObserveSoleAcquire = 4,
+  /// The known-bug variant: the sole-owner check ran with relaxed
+  /// ordering, so it synchronizes with nothing (PR-2 race, reintroduced
+  /// for the casp-verify known-bug corpus).
+  kObserveSoleRelaxed = 5,
+  /// release_or_copy stole the allocation for mutation (sole-owner move).
+  kSteal = 6,
+  /// The bytes were mutated in place through unsafe_mutable_data — the
+  /// instrument for injecting mutation-after-send bugs.
+  kMutate = 7,
+  /// A MemoryTracker budget check + charge committed (the CAS point).
+  kAllocCommit = 8,
+};
+
+/// Handler signature: (event, buffer/tracker address, observed count or
+/// byte amount — meaning depends on the event).
+using Handler = void (*)(Event event, const void* object, long value);
+
+/// The installed handler; null when no scheduled run is active. The
+/// double-checked `active` flag keeps the inactive path to one relaxed
+/// atomic load.
+inline std::atomic<Handler>& handler() {
+  static std::atomic<Handler> h{nullptr};
+  return h;
+}
+inline std::atomic<bool>& active() {
+  static std::atomic<bool> a{false};
+  return a;
+}
+
+/// Emit an event. No-op unless a handler is installed.
+inline void emit(Event event, const void* object, long value) {
+  if (!active().load(std::memory_order_relaxed)) return;
+  Handler h = handler().load(std::memory_order_acquire);
+  if (h != nullptr) h(event, object, value);
+}
+
+/// Install/remove the process-wide handler (sched.cpp only).
+inline void install(Handler h) {
+  handler().store(h, std::memory_order_release);
+  active().store(h != nullptr, std::memory_order_release);
+}
+
+}  // namespace casp::schedhook
+
+/// Call-site macro: compiles away entirely without CASP_VMPI_SCHED.
+#define CASP_SCHED_EVENT(event, object, value) \
+  ::casp::schedhook::emit(::casp::schedhook::Event::event, object, value)
+
+#else
+
+// sizeof keeps the operands unevaluated (no codegen, no side effects) while
+// still marking locals computed only for the hook as used.
+#define CASP_SCHED_EVENT(event, object, value) \
+  do {                                         \
+    (void)sizeof(object);                      \
+    (void)sizeof(value);                       \
+  } while (0)
+
+#endif  // CASP_VMPI_SCHED

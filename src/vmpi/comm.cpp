@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "vmpi/sched.hpp"
+
 namespace casp::vmpi {
 
 namespace detail {
@@ -36,6 +38,21 @@ bool Mailbox::has_match(std::uint64_t context, int src_world, int tag) {
   for (const Message& m : queue_) {
     if (m.context == context && m.src_world == src_world && m.tag == tag)
       return true;
+  }
+  return false;
+}
+
+bool Mailbox::try_pop(std::uint64_t context, int src_world, int tag,
+                      Message& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (aborted_) throw Aborted();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->context == context && it->src_world == src_world &&
+        it->tag == tag) {
+      out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
   }
   return false;
 }
@@ -79,6 +96,15 @@ std::vector<LeftoverMessage> Mailbox::user_tag_leftovers() {
   return out;
 }
 #endif
+
+void World::abort_all() {
+#ifdef CASP_VMPI_SCHED
+  // Release the scheduler first: rank threads parked on the token must be
+  // free-running before mailbox aborts can reach them.
+  if (sched != nullptr) sched->scheduler().abort_all();
+#endif
+  for (Mailbox& m : mailboxes) m.abort_all();
+}
 
 }  // namespace detail
 
@@ -213,9 +239,30 @@ void Comm::post_message(int dest, int tag, Payload payload,
 #ifdef CASP_VMPI_CHECK
   msg.stamp = current_collective_;
 #endif
+#ifdef CASP_VMPI_SCHED
+  SchedState* sched = world_->sched.get();
+  if (sched != nullptr) {
+    // Decision point before the delivery becomes visible, then a message
+    // edge for the happens-before analyzer (the id travels in the header).
+    sched->scheduler().yield(my_world);
+    if (!sched->scheduler().aborted()) {
+      msg.hb_id = sched->analyzer().on_send(my_world, context_, dest_world,
+                                            tag, msg.payload.buffer_id(),
+                                            msg.payload.size());
+    }
+  }
+#endif
   world_->mailboxes[static_cast<std::size_t>(members_[static_cast<std::size_t>(dest)])]
       .push(std::move(msg));
   world_->progress.fetch_add(1, std::memory_order_relaxed);
+#ifdef CASP_VMPI_SCHED
+  if (sched != nullptr) {
+    // Re-arm a receiver parked on exactly this (context, src, tag), then
+    // take another decision point so it can preempt the sender right here.
+    sched->scheduler().notify_delivery(dest_world, context_, my_world, tag);
+    sched->scheduler().yield(my_world);
+  }
+#endif
 }
 
 detail::Message Comm::take_message(int src, int tag) {
@@ -240,8 +287,29 @@ detail::Message Comm::take_message(int src, int tag) {
   world_->blocked.fetch_add(1, std::memory_order_relaxed);
   detail::Message msg;
   try {
+#ifdef CASP_VMPI_SCHED
+    SchedState* sched = world_->sched.get();
+    if (sched != nullptr) {
+      // Scheduled receive: re-check the mailbox while holding the token,
+      // and only park in the scheduler when nothing matches. Because just
+      // one rank runs at a time, a delivery can never slip in between the
+      // check and the park — an empty runnable set is an exact deadlock.
+      Scheduler& s = sched->scheduler();
+      s.yield(my_world);
+      detail::Mailbox& box =
+          world_->mailboxes[static_cast<std::size_t>(my_world)];
+      while (!box.try_pop(context_, src_world, tag, msg)) {
+        s.block_recv(my_world, context_, src_world, tag);
+      }
+      if (!s.aborted()) sched->analyzer().on_recv(my_world, msg.hb_id);
+    } else {
+      msg = world_->mailboxes[static_cast<std::size_t>(my_world)].pop(
+          context_, src_world, tag);
+    }
+#else
     msg = world_->mailboxes[static_cast<std::size_t>(my_world)].pop(
         context_, src_world, tag);
+#endif
   } catch (...) {
     world_->blocked.fetch_sub(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(st.mutex);

@@ -57,6 +57,10 @@ class Aborted : public std::runtime_error {
   Aborted() : std::runtime_error("virtual MPI job aborted by another rank") {}
 };
 
+#ifdef CASP_VMPI_SCHED
+class SchedState;  // vmpi/sched.hpp — casp-verify scheduled-run state
+#endif
+
 namespace detail {
 
 struct Message {
@@ -73,6 +77,11 @@ struct Message {
   /// Fingerprint of the collective the sender was executing (op == kNone
   /// for plain point-to-point traffic).
   CollectiveStamp stamp;
+#endif
+#ifdef CASP_VMPI_SCHED
+  /// Happens-before analyzer message id (0 outside scheduled runs): the
+  /// receiver joins the sender's vector-clock snapshot through this edge.
+  std::uint64_t hb_id = 0;
 #endif
 };
 
@@ -105,6 +114,11 @@ class Mailbox {
   /// deadlock watchdog to distinguish "blocked but about to wake" from
   /// "blocked forever".
   bool has_match(std::uint64_t context, int src_world, int tag);
+  /// Non-blocking matched pop: true and fills `out` when a message matches.
+  /// Scheduled runs re-check the mailbox through this before parking in the
+  /// scheduler, which (with single-token execution) makes lost wakeups
+  /// structurally impossible. Throws Aborted after abort_all.
+  bool try_pop(std::uint64_t context, int src_world, int tag, Message& out);
   void abort_all();
 #ifdef CASP_VMPI_CHECK
   std::vector<LeftoverCollective> stamped_leftovers();
@@ -158,6 +172,12 @@ struct World {
   /// job runs without faults — the common case costs one pointer check per
   /// transport op.
   std::shared_ptr<FaultState> faults;
+#ifdef CASP_VMPI_SCHED
+  /// casp-verify scheduled-run state (scheduler + happens-before analyzer);
+  /// null outside scheduled runs — the common case costs one pointer check
+  /// per transport op, mirroring `faults`.
+  std::shared_ptr<SchedState> sched;
+#endif
 #ifdef CASP_VMPI_CHECK
   /// Split ancestry (child context -> parent context; the world is context
   /// 0 and has no entry). Lets the watchdog distinguish a generic deadlock
@@ -165,9 +185,10 @@ struct World {
   std::mutex comm_tree_mutex;
   std::map<std::uint64_t, std::uint64_t> comm_parent;
 #endif
-  void abort_all() {
-    for (Mailbox& m : mailboxes) m.abort_all();
-  }
+  /// Wake every blocked rank with Aborted (and, in a scheduled run, release
+  /// the scheduler token so all threads can tear down). Out of line because
+  /// SchedState is incomplete here.
+  void abort_all();
 };
 
 }  // namespace detail

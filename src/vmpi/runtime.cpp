@@ -77,6 +77,11 @@ FailureReport classify_failure(const std::exception_ptr& error, int rank,
   } catch (const MessageLeak& e) {
     report.kind = "message_leak";
     report.what = e.what();
+#ifdef CASP_VMPI_SCHED
+  } catch (const ScheduleViolation& e) {
+    report.kind = "schedule_violation";
+    report.what = e.what();
+#endif
   } catch (const MemoryError& e) {
     report.kind = "memory_budget";
     report.what = e.what();
@@ -217,6 +222,19 @@ RunResult run(int size, const std::function<void(Comm&)>& body,
   if (plan.enabled())
     world->faults = std::make_shared<detail::FaultState>(plan, size);
 
+#ifdef CASP_VMPI_SCHED
+  const std::optional<SchedPlan> sched_plan =
+      options.sched.has_value() ? options.sched : SchedPlan::from_env();
+  if (sched_plan.has_value() && sched_plan->enabled()) {
+    world->sched = std::make_shared<SchedState>(*sched_plan, size);
+    // Scheduler deadlock verdicts reuse the watchdog's per-rank formatter
+    // (collective backtraces included) before appending their own
+    // happens-before annotations and the replay line.
+    world->sched->scheduler().set_report_builder(
+        [world, size]() { return build_deadlock_report(*world, size); });
+  }
+#endif
+
   RunResult result;
   result.size = size;
   result.recorders.resize(static_cast<std::size_t>(size));
@@ -234,6 +252,11 @@ RunResult run(int size, const std::function<void(Comm&)>& body,
   for (int r = 0; r < size; ++r) {
     threads.emplace_back([&, r]() {
       Comm comm(world, r, size);
+#ifdef CASP_VMPI_SCHED
+      // Bind the thread-local rank id and wait for the scheduler token
+      // before any hook can fire on this thread.
+      if (world->sched != nullptr) world->sched->attach_thread(r);
+#endif
       try {
         body(comm);
       } catch (const Aborted&) {
@@ -252,6 +275,9 @@ RunResult run(int size, const std::function<void(Comm&)>& body,
         }
         world->abort_all();
       }
+#ifdef CASP_VMPI_SCHED
+      if (world->sched != nullptr) world->sched->detach_thread(r);
+#endif
       world->finished.fetch_add(1, std::memory_order_relaxed);
       {
         detail::RankStatus& st = world->status[static_cast<std::size_t>(r)];
@@ -268,7 +294,12 @@ RunResult run(int size, const std::function<void(Comm&)>& body,
   // Mailbox::pop with no deliverable message — once true it stays true, so
   // sampling is sound. Two consecutive quiet samples (no delivery between
   // them) plus an exact queue scan rule out the in-flight wakeup race.
-  const int interval_ms = watchdog_interval_ms();
+  int interval_ms = watchdog_interval_ms();
+#ifdef CASP_VMPI_SCHED
+  // A scheduled run detects deadlocks exactly (empty runnable set); the
+  // sampling watchdog would misread token-parked threads as a stall.
+  if (world->sched != nullptr) interval_ms = 0;
+#endif
   std::mutex wd_mutex;
   std::condition_variable wd_cv;
   bool wd_stop = false;
@@ -339,6 +370,27 @@ RunResult run(int size, const std::function<void(Comm&)>& body,
     watchdog.join();
   }
   result.wall_seconds = watch.seconds();
+
+#ifdef CASP_VMPI_SCHED
+  if (world->sched != nullptr) {
+    // All rank threads joined: stop reacting to stray hook events (e.g.
+    // launcher-thread payload teardown) and collect the run's verdicts.
+    world->sched->deactivate();
+    result.sched = world->sched->summary();
+    if (!result.sched->findings.empty() && !first_error) {
+      std::ostringstream os;
+      os << "casp-verify schedule violation: " << result.sched->findings.size()
+         << " happens-before finding(s):\n";
+      for (const SchedFinding& f : result.sched->findings)
+        os << "  [" << f.kind << "] " << f.detail << "\n";
+      os << "  schedule: " << result.sched->schedule << "\n"
+         << "  replay: CASP_VMPI_SCHED=\"replay=" << result.sched->schedule
+         << "\"";
+      first_error = std::make_exception_ptr(ScheduleViolation(os.str()));
+      failed_rank = result.sched->findings.front().rank;
+    }
+  }
+#endif
 
   if (first_error) {
     if (options.capture_failure) {

@@ -11,6 +11,7 @@
 #include "obs/recorder.hpp"
 #include "vmpi/comm.hpp"
 #include "vmpi/faults.hpp"
+#include "vmpi/sched.hpp"
 #include "vmpi/traffic.hpp"
 
 namespace casp::vmpi {
@@ -24,7 +25,9 @@ namespace casp::vmpi {
 struct FailureReport {
   /// Machine-readable class: "rank_crash", "retry_exhausted", "deadlock",
   /// "communicator_order_violation", "collective_mismatch", "message_leak",
-  /// "memory_budget", "input_error", "invalid_argument", or "exception".
+  /// "memory_budget", "input_error", "invalid_argument",
+  /// "schedule_violation" (casp-verify happens-before findings), or
+  /// "exception".
   std::string kind;
   /// First failing world rank; -1 for job-level failures (watchdog
   /// deadlock verdicts have no single culprit rank).
@@ -50,6 +53,12 @@ struct RunOptions {
   /// exception is rethrown as before, so callers' catch sites keep
   /// working.
   bool capture_failure = false;
+#ifdef CASP_VMPI_SCHED
+  /// casp-verify schedule plan. Unset = parse the CASP_VMPI_SCHED
+  /// environment variable ("seed=<n>" or "replay=<schedule>"; absent means
+  /// an ordinary free-running job). A disabled plan also runs free.
+  std::optional<SchedPlan> sched;
+#endif
 };
 
 /// Everything a finished virtual job reports back.
@@ -70,6 +79,14 @@ struct RunResult {
   /// Set iff the job failed and RunOptions::capture_failure was true.
   std::optional<FailureReport> failure;
   bool failed() const { return failure.has_value(); }
+
+#ifdef CASP_VMPI_SCHED
+  /// Set iff the job ran under a casp-verify schedule plan: the replayable
+  /// schedule string, the full decision trace (for systematic exploration)
+  /// and the happens-before findings. Findings also surface as a
+  /// "schedule_violation" failure unless an earlier error won.
+  std::optional<SchedSummary> sched;
+#endif
 
   TrafficSummary traffic_summary() const;
   /// Max over ranks of a named timer (the critical-path step time).

@@ -1,0 +1,440 @@
+#ifdef CASP_VMPI_SCHED
+
+#include "vmpi/sched.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "vmpi/check.hpp"
+#include "vmpi/comm.hpp"
+
+namespace casp::vmpi {
+
+namespace {
+
+constexpr char kSchedPrefix[] = "casp-sched.v1:p";
+constexpr char kDigits[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+
+/// Same mixer the fault plane uses: decisions depend only on (seed,
+/// decision ordinal), never on wall-clock or pointer values.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+int digit_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'z') return 10 + (c - 'a');
+  return -1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SchedPlan
+
+SchedPlan SchedPlan::seeded(std::uint64_t seed) {
+  SchedPlan plan;
+  plan.mode = Mode::kSeeded;
+  plan.seed = seed;
+  return plan;
+}
+
+SchedPlan SchedPlan::replay(const std::string& schedule) {
+  const std::string prefix = kSchedPrefix;
+  if (schedule.compare(0, prefix.size(), prefix) != 0)
+    throw std::invalid_argument("bad schedule string (want \"" + prefix +
+                                "<size>:<choices>\"): " + schedule);
+  std::size_t i = prefix.size();
+  int size = 0;
+  bool any = false;
+  while (i < schedule.size() && schedule[i] >= '0' && schedule[i] <= '9') {
+    size = size * 10 + (schedule[i] - '0');
+    ++i;
+    any = true;
+  }
+  if (!any || i >= schedule.size() || schedule[i] != ':')
+    throw std::invalid_argument("bad schedule string (missing size): " +
+                                schedule);
+  if (size < 1)
+    throw std::invalid_argument("bad schedule string (size must be >= 1): " +
+                                schedule);
+  ++i;
+  SchedPlan plan;
+  plan.mode = Mode::kReplay;
+  plan.replay_size = size;
+  for (; i < schedule.size(); ++i) {
+    const int v = digit_value(schedule[i]);
+    if (v < 0)
+      throw std::invalid_argument(
+          std::string("bad schedule string (choice digit '") + schedule[i] +
+          "'): " + schedule);
+    plan.choices.push_back(v);
+  }
+  return plan;
+}
+
+SchedPlan SchedPlan::parse(const std::string& spec) {
+  if (spec.compare(0, 5, "seed=") == 0) {
+    const std::string num = spec.substr(5);
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(num.c_str(), &end, 10);
+    if (num.empty() || end == nullptr || *end != '\0')
+      throw std::invalid_argument("bad CASP_VMPI_SCHED seed: " + spec);
+    return seeded(static_cast<std::uint64_t>(v));
+  }
+  if (spec.compare(0, 7, "replay=") == 0) return replay(spec.substr(7));
+  if (spec.compare(0, sizeof(kSchedPrefix) - 1, kSchedPrefix) == 0)
+    return replay(spec);
+  throw std::invalid_argument(
+      "bad CASP_VMPI_SCHED spec (want seed=<n> or replay=<schedule>): " +
+      spec);
+}
+
+std::optional<SchedPlan> SchedPlan::from_env() {
+  const char* s = std::getenv("CASP_VMPI_SCHED");
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  const std::string spec(s);
+  if (spec == "off" || spec == "0" || spec == "none") return std::nullopt;
+  return parse(spec);
+}
+
+std::string SchedPlan::describe() const {
+  std::ostringstream os;
+  switch (mode) {
+    case Mode::kOff:
+      os << "off";
+      break;
+    case Mode::kSeeded:
+      os << "seeded(seed=" << seed << ")";
+      break;
+    case Mode::kReplay:
+      os << "replay(p=" << replay_size << ", " << choices.size()
+         << " recorded choice(s))";
+      break;
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// SchedTrace
+
+bool SchedDecision::preemption() const {
+  if (prev < 0 || chosen == prev) return false;
+  return std::find(runnable.begin(), runnable.end(), prev) != runnable.end();
+}
+
+int SchedTrace::preemptions() const {
+  int n = 0;
+  for (const SchedDecision& d : decisions) n += d.preemption() ? 1 : 0;
+  return n;
+}
+
+std::string SchedTrace::to_string() const {
+  std::ostringstream os;
+  os << kSchedPrefix << size << ":";
+  for (const SchedDecision& d : decisions) {
+    const auto it =
+        std::find(d.runnable.begin(), d.runnable.end(), d.chosen);
+    std::size_t idx = static_cast<std::size_t>(it - d.runnable.begin());
+    if (idx >= sizeof(kDigits) - 1) idx = sizeof(kDigits) - 2;  // p > 36
+    os << kDigits[idx];
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+Scheduler::Scheduler(const SchedPlan& plan, int size)
+    : plan_(plan), size_(size) {
+  states_.assign(static_cast<std::size_t>(size), RankState::kUnstarted);
+  waits_.assign(static_cast<std::size_t>(size), Wait{});
+  trace_.size = size;
+}
+
+std::vector<int> Scheduler::runnable_locked() const {
+  std::vector<int> out;
+  for (int r = 0; r < size_; ++r) {
+    if (states_[static_cast<std::size_t>(r)] == RankState::kRunnable)
+      out.push_back(r);
+  }
+  return out;
+}
+
+void Scheduler::choose_locked(const std::vector<int>& runnable, int prev) {
+  int chosen;
+  if (runnable.size() == 1) {
+    // Forced move: not a decision, not recorded, consumes no replay choice.
+    chosen = runnable[0];
+  } else {
+    const std::size_t ordinal = trace_.decisions.size();
+    std::size_t pick = 0;
+    if (plan_.mode == SchedPlan::Mode::kSeeded) {
+      pick = static_cast<std::size_t>(
+                 splitmix64(plan_.seed ^
+                            (0x9e3779b97f4a7c15ULL *
+                             static_cast<std::uint64_t>(ordinal + 1)))) %
+             runnable.size();
+    } else {  // kReplay
+      if (ordinal < plan_.choices.size()) {
+        pick = static_cast<std::size_t>(plan_.choices[ordinal]) %
+               runnable.size();
+      } else {
+        // Past the recorded prefix: non-preemptive default — keep the
+        // previous rank while it stays runnable, else lowest index.
+        const auto it = std::find(runnable.begin(), runnable.end(), prev);
+        pick = (it == runnable.end())
+                   ? 0
+                   : static_cast<std::size_t>(it - runnable.begin());
+      }
+    }
+    chosen = runnable[pick];
+    SchedDecision d;
+    d.runnable = runnable;
+    d.chosen = chosen;
+    d.prev = prev;
+    trace_.decisions.push_back(std::move(d));
+  }
+  current_ = chosen;
+}
+
+bool Scheduler::wait_for_token_locked(std::unique_lock<std::mutex>& lock,
+                                      int rank) {
+  cv_.wait(lock, [&] {
+    return abort_reason_ != AbortReason::kNone || current_ == rank;
+  });
+  return abort_reason_ == AbortReason::kNone && current_ == rank;
+}
+
+void Scheduler::attach(int rank) {
+  std::unique_lock<std::mutex> lock(mu_);
+  states_[static_cast<std::size_t>(rank)] = RankState::kRunnable;
+  if (++attached_ == size_) {
+    choose_locked(runnable_locked(), /*prev=*/-1);
+    cv_.notify_all();
+  }
+  wait_for_token_locked(lock, rank);
+}
+
+void Scheduler::detach(int rank) noexcept {
+  std::unique_lock<std::mutex> lock(mu_);
+  states_[static_cast<std::size_t>(rank)] = RankState::kFinished;
+  if (current_ != rank || abort_reason_ != AbortReason::kNone) return;
+  const std::vector<int> runnable = runnable_locked();
+  if (!runnable.empty()) {
+    choose_locked(runnable, rank);
+    cv_.notify_all();
+    return;
+  }
+  bool anyone_blocked = false;
+  for (const RankState st : states_) {
+    anyone_blocked = anyone_blocked || st == RankState::kBlocked;
+  }
+  if (anyone_blocked) {
+    // The last runnable rank finished while others still wait: exact
+    // deadlock. detach cannot throw, so record the report and wake the
+    // blocked ranks — they throw DeadlockDetected from block_recv.
+    abort_reason_ = AbortReason::kDeadlock;
+    deadlock_report_ = deadlock_report_locked(rank);
+    cv_.notify_all();
+    return;
+  }
+  current_ = -1;  // everyone finished
+}
+
+void Scheduler::yield(int rank) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (abort_reason_ != AbortReason::kNone) return;
+  if (current_ != rank) return;  // free-running teardown; no scheduling
+  choose_locked(runnable_locked(), rank);
+  if (current_ != rank) {
+    cv_.notify_all();
+    wait_for_token_locked(lock, rank);
+  }
+}
+
+void Scheduler::block_recv(int rank, std::uint64_t context, int src_world,
+                           int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (abort_reason_ == AbortReason::kError) throw Aborted();
+  if (abort_reason_ == AbortReason::kDeadlock)
+    throw DeadlockDetected(deadlock_report_);
+  const std::size_t r = static_cast<std::size_t>(rank);
+  states_[r] = RankState::kBlocked;
+  waits_[r] = Wait{context, src_world, tag};
+  const std::vector<int> runnable = runnable_locked();
+  if (runnable.empty()) {
+    abort_reason_ = AbortReason::kDeadlock;
+    deadlock_report_ = deadlock_report_locked(rank);
+    cv_.notify_all();
+    throw DeadlockDetected(deadlock_report_);
+  }
+  choose_locked(runnable, rank);
+  cv_.notify_all();
+  cv_.wait(lock, [&] {
+    return abort_reason_ != AbortReason::kNone ||
+           (states_[r] == RankState::kRunnable && current_ == rank);
+  });
+  if (abort_reason_ == AbortReason::kError) throw Aborted();
+  if (abort_reason_ == AbortReason::kDeadlock)
+    throw DeadlockDetected(deadlock_report_);
+}
+
+void Scheduler::notify_delivery(int dest_rank, std::uint64_t context,
+                                int src_world, int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t d = static_cast<std::size_t>(dest_rank);
+  if (states_[d] != RankState::kBlocked) return;
+  const Wait& w = waits_[d];
+  if (w.context != context || w.tag != tag) return;
+  if (w.src_world >= 0 && w.src_world != src_world) return;
+  // Re-armed: the receiver joins the runnable set and competes for the
+  // token at the sender's next decision point. No wakeup is needed yet —
+  // the sender still holds the token.
+  states_[d] = RankState::kRunnable;
+}
+
+void Scheduler::abort_all() noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (abort_reason_ == AbortReason::kNone)
+    abort_reason_ = AbortReason::kError;
+  cv_.notify_all();
+}
+
+bool Scheduler::aborted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return abort_reason_ != AbortReason::kNone;
+}
+
+void Scheduler::set_report_builder(std::function<std::string()> builder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  report_builder_ = std::move(builder);
+}
+
+std::string Scheduler::schedule_string() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_.to_string();
+}
+
+SchedTrace Scheduler::trace_copy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_;
+}
+
+std::string Scheduler::deadlock_report_locked(int rank) const {
+  std::ostringstream os;
+  if (report_builder_) {
+    os << report_builder_();
+  } else {
+    os << "vmpi deadlock detected: every live rank is blocked and no "
+          "queued message matches any pending receive\n";
+    for (int r = 0; r < size_; ++r) {
+      const std::size_t i = static_cast<std::size_t>(r);
+      os << "  rank " << r << ": ";
+      if (states_[i] == RankState::kBlocked) {
+        os << "waiting for a message from rank " << waits_[i].src_world
+           << " (tag " << waits_[i].tag << ", context 0x" << std::hex
+           << waits_[i].context << std::dec << ")";
+      } else {
+        os << (states_[i] == RankState::kFinished ? "finished" : "running");
+      }
+      os << "\n";
+    }
+  }
+  (void)rank;
+  if (analyzer_ != nullptr) {
+    os << "  schedule analysis:\n";
+    for (int r = 0; r < size_; ++r) {
+      const std::size_t i = static_cast<std::size_t>(r);
+      if (states_[i] != RankState::kBlocked) continue;
+      os << "    rank " << r << ": "
+         << analyzer_->describe_wait(waits_[i].context, waits_[i].src_world,
+                                     r, waits_[i].tag)
+         << "\n";
+    }
+  }
+  const std::string schedule = trace_.to_string();
+  os << "  schedule: " << schedule << "\n"
+     << "  replay: CASP_VMPI_SCHED=\"replay=" << schedule << "\"";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// SchedState
+
+namespace {
+std::atomic<SchedState*>& active_state() {
+  static std::atomic<SchedState*> s{nullptr};
+  return s;
+}
+thread_local int tls_sched_rank = -1;
+}  // namespace
+
+SchedState::SchedState(const SchedPlan& plan, int size)
+    : sched_(plan, size), hb_(size) {
+  SchedState* expected = nullptr;
+  if (!active_state().compare_exchange_strong(expected, this))
+    throw std::logic_error(
+        "casp-verify: a scheduled vmpi run is already active in this "
+        "process; scheduled runs cannot nest");
+  sched_.set_analyzer(&hb_);
+  schedhook::install(&SchedState::hook_trampoline);
+  installed_ = true;
+}
+
+SchedState::~SchedState() { deactivate(); }
+
+void SchedState::deactivate() noexcept {
+  if (installed_) {
+    schedhook::install(nullptr);
+    installed_ = false;
+  }
+  SchedState* expected = this;
+  active_state().compare_exchange_strong(expected, nullptr);
+}
+
+void SchedState::attach_thread(int rank) {
+  tls_sched_rank = rank;
+  sched_.attach(rank);
+}
+
+void SchedState::detach_thread(int rank) noexcept {
+  sched_.detach(rank);
+  tls_sched_rank = -1;
+}
+
+void SchedState::hook_trampoline(schedhook::Event event, const void* object,
+                                 long value) {
+  SchedState* state = active_state().load(std::memory_order_acquire);
+  if (state != nullptr) state->on_hook(event, object, value);
+}
+
+void SchedState::on_hook(schedhook::Event event, const void* object,
+                         long value) {
+  const int rank = tls_sched_rank;
+  if (rank < 0) return;  // launcher / supervisor thread: not scheduled
+  // Record BEFORE yielding: the emitting rank still holds the token here,
+  // so the analyzer stays single-threaded — and the recorded order matches
+  // the order the underlying atomic ops actually happened. Recording after
+  // the yield would let another rank observe a refcount transition (the
+  // fetch_sub is already done) before the release edge exists in the
+  // analyzer, manufacturing false sole-owner races.
+  if (!sched_.aborted()) hb_.on_event(rank, event, object, value);
+  sched_.yield(rank);
+}
+
+SchedSummary SchedState::summary() const {
+  SchedSummary out;
+  out.trace = sched_.trace_copy();
+  out.schedule = out.trace.to_string();
+  out.findings = hb_.findings();
+  return out;
+}
+
+}  // namespace casp::vmpi
+
+#endif  // CASP_VMPI_SCHED

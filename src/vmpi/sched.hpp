@@ -1,0 +1,227 @@
+// Deterministic cooperative scheduler for the casp-verify plane.
+//
+// Under CASP_VMPI_SCHED + an enabled SchedPlan, the rank threads of a vmpi
+// job stop free-running: a single token is passed between them and only the
+// holder executes. Every transport operation (send, receive, collective tree
+// hop), payload refcount transition, and memory-budget commit is a decision
+// point where the scheduler may hand the token to a different runnable rank.
+// The sequence of decisions is the *schedule*; it is recorded as a compact
+// string
+//
+//   casp-sched.v1:p<size>:<base36 digit per decision>
+//
+// where each digit is the index of the chosen rank within the sorted
+// runnable set at that decision (decisions with a single runnable rank are
+// forced and not recorded). Replaying the string reproduces the exact
+// interleaving, byte for byte.
+//
+// Two policies drive fresh runs:
+//   seeded  — splitmix64(seed ^ decision counter) picks among runnables;
+//             32 seeds cover a broad sample of interleavings cheaply.
+//   replay  — consume a recorded choice prefix, then fall back to a
+//             non-preemptive default (keep running the previous rank while
+//             it stays runnable). The systematic explorer (sched_explore)
+//             drives CHESS-style bounded search by extending prefixes taken
+//             from recorded traces, pruned at preemption bound <= 2.
+//
+// Because exactly one rank runs at a time, wakeups cannot be lost at the
+// scheduler level: a receiver re-checks its mailbox (try_pop) before
+// blocking, and only the token-holding sender can deliver in between. An
+// empty runnable set is therefore an *exact* deadlock — no sampling
+// watchdog involved — and is reported in the PR-1 watchdog format with
+// happens-before annotations and the replay string appended.
+#pragma once
+
+#ifdef CASP_VMPI_SCHED
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "vmpi/hb.hpp"
+
+namespace casp::vmpi {
+
+/// Thrown by vmpi::run when a scheduled run completes but the
+/// happens-before analyzer produced findings (and no rank failed first).
+class ScheduleViolation : public std::logic_error {
+ public:
+  explicit ScheduleViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+/// How to drive the scheduler for one run.
+struct SchedPlan {
+  enum class Mode { kOff, kSeeded, kReplay };
+
+  Mode mode = Mode::kOff;
+  std::uint64_t seed = 1;      ///< kSeeded
+  int replay_size = 0;         ///< kReplay: world size baked into the string
+  std::vector<int> choices;    ///< kReplay: recorded decision prefix
+
+  bool enabled() const { return mode != Mode::kOff; }
+
+  static SchedPlan seeded(std::uint64_t seed);
+  /// Parse a "casp-sched.v1:p<size>:<digits>" string (as printed in
+  /// diagnostics and RunResult::sched). Throws std::invalid_argument on a
+  /// malformed string.
+  static SchedPlan replay(const std::string& schedule);
+  /// Parse an env-style spec: "seed=<n>" or "replay=<schedule string>"
+  /// (also accepts a bare schedule string). Throws std::invalid_argument.
+  static SchedPlan parse(const std::string& spec);
+  /// Read CASP_VMPI_SCHED from the environment; nullopt when unset/empty.
+  static std::optional<SchedPlan> from_env();
+
+  std::string describe() const;
+};
+
+/// One recorded decision: which ranks could run, which was picked, and who
+/// held the token before (prev != chosen while prev is still runnable is a
+/// preemption — the quantity the systematic explorer bounds).
+struct SchedDecision {
+  std::vector<int> runnable;
+  int chosen = -1;
+  int prev = -1;
+  bool preemption() const;
+};
+
+struct SchedTrace {
+  int size = 0;
+  std::vector<SchedDecision> decisions;
+  int preemptions() const;
+  std::string to_string() const;
+};
+
+/// What a scheduled run leaves behind in RunResult::sched.
+struct SchedSummary {
+  std::string schedule;                 ///< replayable string for this run
+  SchedTrace trace;                     ///< full decision log (exploration)
+  std::vector<SchedFinding> findings;   ///< happens-before verdicts
+};
+
+/// The token-passing scheduler. All methods are called from rank threads;
+/// one instance serves one vmpi::run invocation.
+class Scheduler {
+ public:
+  Scheduler(const SchedPlan& plan, int size);
+
+  /// First call made by each rank thread; blocks until every rank has
+  /// attached and this rank is scheduled to run.
+  void attach(int rank);
+  /// Rank is done (normally or via exception); hands the token on. Never
+  /// throws — it runs after catch blocks in the runtime thread body.
+  void detach(int rank) noexcept;
+
+  /// Decision point. May pass the token to another rank and block until it
+  /// comes back. Returns silently (without rescheduling) once the run is
+  /// aborted, so it is safe on noexcept paths such as Payload::drop.
+  void yield(int rank);
+
+  /// The rank found no matching message and blocks. Returns when a matching
+  /// delivery re-armed it and the token came back; throws DeadlockDetected
+  /// when blocking would leave no runnable rank (or the run aborted on a
+  /// deadlock), and Aborted when the run aborted on an error.
+  void block_recv(int rank, std::uint64_t context, int src_world, int tag);
+
+  /// Token-holding sender delivered a message: re-arm a blocked receiver
+  /// whose (context, src, tag) matches. src_world < 0 in the wait entry
+  /// matches any source (not used today but mirrors Mailbox matching).
+  void notify_delivery(int dest_rank, std::uint64_t context, int src_world,
+                       int tag);
+
+  /// Error teardown (mirrors World::abort_all): wake everyone; blocked
+  /// receivers throw Aborted, yielders return and free-run.
+  void abort_all() noexcept;
+
+  bool aborted() const;
+
+  void set_analyzer(hb::Analyzer* analyzer) { analyzer_ = analyzer; }
+  /// Optional richer deadlock-report body (runtime.cpp wires the PR-1
+  /// watchdog formatter, which adds per-rank collective backtraces). The
+  /// scheduler appends its happens-before annotations and the replay line.
+  void set_report_builder(std::function<std::string()> builder);
+
+  std::string schedule_string() const;
+  SchedTrace trace_copy() const;
+
+ private:
+  enum class RankState { kUnstarted, kRunnable, kBlocked, kFinished };
+  enum class AbortReason { kNone, kDeadlock, kError };
+
+  struct Wait {
+    std::uint64_t context = 0;
+    int src_world = -1;
+    int tag = 0;
+  };
+
+  std::vector<int> runnable_locked() const;
+  /// Pick the next rank among `runnable` (non-empty), record the decision
+  /// when it was a real choice, and update current_.
+  void choose_locked(const std::vector<int>& runnable, int prev);
+  /// Block the calling rank thread until it holds the token or the run
+  /// aborted. Returns true when scheduled, false on abort.
+  bool wait_for_token_locked(std::unique_lock<std::mutex>& lock, int rank);
+  std::string deadlock_report_locked(int rank) const;
+
+  const SchedPlan plan_;
+  const int size_;
+  hb::Analyzer* analyzer_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<RankState> states_;
+  std::vector<Wait> waits_;
+  int attached_ = 0;
+  int current_ = -1;
+  std::size_t decision_index_ = 0;  ///< consumed replay choices
+  SchedTrace trace_;
+  AbortReason abort_reason_ = AbortReason::kNone;
+  std::string deadlock_report_;
+  std::function<std::string()> report_builder_;
+};
+
+/// Glue object owned by vmpi::run for the duration of a scheduled run:
+/// scheduler + analyzer + the process-global schedhook handler and the
+/// thread-local rank identity it needs. Only one SchedState can be active
+/// in a process at a time (enforced — vmpi jobs never nest).
+class SchedState {
+ public:
+  SchedState(const SchedPlan& plan, int size);
+  ~SchedState();
+
+  SchedState(const SchedState&) = delete;
+  SchedState& operator=(const SchedState&) = delete;
+
+  Scheduler& scheduler() { return sched_; }
+  hb::Analyzer& analyzer() { return hb_; }
+
+  /// Rank-thread bookends: bind/unbind the thread-local rank id and
+  /// attach/detach from the scheduler.
+  void attach_thread(int rank);
+  void detach_thread(int rank) noexcept;
+
+  /// Stop reacting to schedhook events (after the last rank thread joined,
+  /// before results are read off the analyzer).
+  void deactivate() noexcept;
+
+  SchedSummary summary() const;
+
+ private:
+  static void hook_trampoline(schedhook::Event event, const void* object,
+                              long value);
+  void on_hook(schedhook::Event event, const void* object, long value);
+
+  Scheduler sched_;
+  hb::Analyzer hb_;
+  bool installed_ = false;
+};
+
+}  // namespace casp::vmpi
+
+#endif  // CASP_VMPI_SCHED

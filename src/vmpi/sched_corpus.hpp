@@ -1,0 +1,53 @@
+// SPMD corpus for the casp-verify exploration driver.
+//
+// Small, self-contained vmpi programs in two families:
+//
+//   good  — patterns the library actually runs (bcast trees, pipelined
+//           ibcast stages as in SUMMA, checkpoint-resume consensus, rebatch
+//           consensus). Exploration across schedules and fault seeds must
+//           keep these clean — any flag is an analyzer false positive.
+//
+//   buggy — the known-bug corpus. Each reintroduces a concurrency bug this
+//           codebase has actually had (or a canonical variant): the PR-1
+//           crossed-tag deadlock, the PR-2 release_or_copy relaxed
+//           sole-owner race, mutation-after-send, racing same-(dest, tag)
+//           sends, and zero-copy ownership leaking around the transport.
+//           Exploration must flag every one with a replayable schedule.
+//
+// Bodies must be schedule-pure: decisions depend only on rank and received
+// data, never on timing — so replaying a schedule string reproduces the run
+// bit for bit.
+#pragma once
+
+#ifdef CASP_VMPI_SCHED
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vmpi/comm.hpp"
+
+namespace casp::vmpi::corpus {
+
+struct Program {
+  std::string name;
+  int size = 2;
+  /// True for known-bug programs: exploration is expected to flag them
+  /// (findings or a deadlock) on at least one schedule.
+  bool buggy = false;
+  /// What the analyzer should report, for the harness to assert on:
+  /// a finding kind ("sole_owner_race", …) or "deadlock". Empty for good
+  /// programs.
+  std::string expected;
+  std::function<void(Comm&)> body;
+};
+
+/// The full corpus (good + buggy), stable order and names.
+std::vector<Program> programs();
+
+/// Lookup by name; throws std::invalid_argument listing valid names.
+Program find(const std::string& name);
+
+}  // namespace casp::vmpi::corpus
+
+#endif  // CASP_VMPI_SCHED

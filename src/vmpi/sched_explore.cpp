@@ -1,0 +1,162 @@
+#ifdef CASP_VMPI_SCHED
+
+#include "vmpi/sched_explore.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace casp::vmpi {
+
+namespace {
+
+constexpr char kDigits[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+
+std::string encode_prefix(const std::vector<int>& choices) {
+  std::string out;
+  out.reserve(choices.size());
+  for (const int c : choices) {
+    const std::size_t i = std::min<std::size_t>(
+        static_cast<std::size_t>(c), sizeof(kDigits) - 2);
+    out.push_back(kDigits[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ScheduleOutcome::flagged() const {
+  if (!findings.empty()) return true;
+  if (failure_kind.empty()) return false;
+  // Deaths of intentionally injected faults are sweep noise, not verdicts;
+  // everything else (deadlock, schedule_violation, checker aborts, user
+  // assertions) is a flag.
+  return failure_kind != "rank_crash" && failure_kind != "retry_exhausted" &&
+         failure_kind != "memory_budget";
+}
+
+const ScheduleOutcome* ExploreResult::first_with(
+    const std::string& kind) const {
+  for (const ScheduleOutcome& o : flagged) {
+    if (o.failure_kind == kind) return &o;
+    for (const SchedFinding& f : o.findings) {
+      if (f.kind == kind) return &o;
+    }
+  }
+  return nullptr;
+}
+
+ScheduleOutcome run_schedule(int size,
+                             const std::function<void(Comm&)>& body,
+                             const SchedPlan& plan,
+                             const std::optional<FaultPlan>& faults,
+                             std::uint64_t fault_seed) {
+  RunOptions options;
+  options.capture_failure = true;
+  options.sched = plan;
+  if (faults.has_value()) {
+    FaultPlan fp = *faults;
+    if (fault_seed != 0) fp.seed = fault_seed;
+    options.faults = fp;
+  } else {
+    // Explicitly fault-free: the sweep must not inherit CASP_VMPI_FAULTS
+    // from the environment, or schedules would stop being reproducible.
+    options.faults = FaultPlan{};
+  }
+  const RunResult rr = run(size, body, options);
+  ScheduleOutcome out;
+  out.fault_seed = fault_seed;
+  if (rr.sched.has_value()) {
+    out.schedule = rr.sched->schedule;
+    out.trace = rr.sched->trace;
+    out.findings = rr.sched->findings;
+  }
+  if (rr.failure.has_value()) {
+    out.failure_kind = rr.failure->kind;
+    out.failure_what = rr.failure->what;
+  }
+  return out;
+}
+
+ExploreResult explore(const std::function<void(Comm&)>& body,
+                      const ExploreOptions& options) {
+  ExploreResult result;
+  const auto record = [&result](ScheduleOutcome outcome) {
+    ++result.schedules_run;
+    if (outcome.flagged()) result.flagged.push_back(std::move(outcome));
+  };
+  const auto budget_left = [&result, &options]() {
+    return result.schedules_run < options.max_schedules;
+  };
+
+  // Random sweep: every seeded schedule × every fault seed.
+  std::vector<std::uint64_t> fault_seeds = options.fault_seeds;
+  if (fault_seeds.empty()) fault_seeds.push_back(0);
+  for (const std::uint64_t fs : fault_seeds) {
+    for (int i = 0; i < options.random_schedules && budget_left(); ++i) {
+      record(run_schedule(
+          options.size, body,
+          SchedPlan::seeded(options.base_seed + static_cast<std::uint64_t>(i)),
+          options.faults, fs));
+    }
+  }
+
+  if (!options.systematic) return result;
+
+  // Systematic mode (fault-free so traces depend only on the prefix): DFS
+  // over replay prefixes. Each run's recorded trace yields the digit string
+  // actually taken; branching on decision i with an untried alternative
+  // produces the prefix digits[0..i) + [alt]. A branch is pruned when its
+  // preemption count would exceed the bound — the CHESS insight that real
+  // bugs need very few preemptions keeps this exhaustive-in-practice.
+  std::set<std::string> tried;
+  std::vector<std::vector<int>> stack;
+  stack.push_back({});  // the non-preemptive baseline schedule
+  tried.insert("");
+  while (!stack.empty() && budget_left()) {
+    const std::vector<int> prefix = std::move(stack.back());
+    stack.pop_back();
+    SchedPlan plan;
+    plan.mode = SchedPlan::Mode::kReplay;
+    plan.replay_size = options.size;
+    plan.choices = prefix;
+    ScheduleOutcome outcome =
+        run_schedule(options.size, body, plan, std::nullopt, 0);
+    const std::vector<SchedDecision>& ds = outcome.trace.decisions;
+    std::vector<int> digits(ds.size(), 0);
+    std::vector<int> preemptions_before(ds.size() + 1, 0);
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      const auto it =
+          std::find(ds[i].runnable.begin(), ds[i].runnable.end(),
+                    ds[i].chosen);
+      digits[i] = static_cast<int>(it - ds[i].runnable.begin());
+      preemptions_before[i + 1] =
+          preemptions_before[i] + (ds[i].preemption() ? 1 : 0);
+    }
+    for (std::size_t i = prefix.size(); i < ds.size(); ++i) {
+      for (int alt = 0; alt < static_cast<int>(ds[i].runnable.size());
+           ++alt) {
+        if (alt == digits[i]) continue;
+        const bool alt_preempts =
+            ds[i].prev >= 0 &&
+            ds[i].runnable[static_cast<std::size_t>(alt)] != ds[i].prev &&
+            std::find(ds[i].runnable.begin(), ds[i].runnable.end(),
+                      ds[i].prev) != ds[i].runnable.end();
+        if (preemptions_before[i] + (alt_preempts ? 1 : 0) >
+            options.preemption_bound)
+          continue;
+        std::vector<int> next(digits.begin(),
+                              digits.begin() + static_cast<std::ptrdiff_t>(i));
+        next.push_back(alt);
+        if (tried.insert(encode_prefix(next)).second)
+          stack.push_back(std::move(next));
+      }
+    }
+    record(std::move(outcome));
+  }
+  return result;
+}
+
+}  // namespace casp::vmpi
+
+#endif  // CASP_VMPI_SCHED

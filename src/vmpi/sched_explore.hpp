@@ -1,0 +1,88 @@
+// Schedule-space exploration driver for casp-verify.
+//
+// Runs one SPMD body many times under the deterministic scheduler:
+//
+//   random mode      N seeded schedules (seed, seed+1, …) — cheap broad
+//                    sampling; the stage-(h) sweep uses 32.
+//   systematic mode  CHESS-style bounded DFS: take a recorded trace, branch
+//                    on every decision with every untried alternative, and
+//                    prune branches whose preemption count would exceed the
+//                    bound (default 2). Musuvathi & Qadeer's observation —
+//                    most real concurrency bugs need very few preemptions —
+//                    is what makes this tractable.
+//
+// Both modes can additionally sweep fault seeds, so fault-path interleavings
+// (retry loops, crash teardown) get explored too. Every outcome carries the
+// replayable schedule string; a flagged outcome's string reproduces the
+// exact diagnostic via CASP_VMPI_SCHED="replay=<string>".
+#pragma once
+
+#ifdef CASP_VMPI_SCHED
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vmpi/runtime.hpp"
+
+namespace casp::vmpi {
+
+struct ExploreOptions {
+  int size = 2;
+  /// Random mode: how many seeded schedules to run (seeds base_seed …
+  /// base_seed + random_schedules - 1).
+  int random_schedules = 32;
+  std::uint64_t base_seed = 1;
+  /// Systematic mode on top of the random sweep: DFS over replay prefixes,
+  /// bounded by preemption_bound, capped at max_schedules total runs.
+  bool systematic = false;
+  int preemption_bound = 2;
+  int max_schedules = 64;
+  /// Fault plan swept alongside schedules. Unset = fault-free runs. Each
+  /// entry of fault_seeds reruns every schedule with plan.seed = that seed;
+  /// empty fault_seeds runs the plan as given (or fault-free when unset).
+  std::optional<FaultPlan> faults;
+  std::vector<std::uint64_t> fault_seeds;
+};
+
+/// One explored schedule and what it produced.
+struct ScheduleOutcome {
+  std::string schedule;     ///< replayable string
+  std::uint64_t fault_seed = 0;  ///< 0 = fault-free
+  std::string failure_kind;  ///< FailureReport::kind, empty for clean runs
+  std::string failure_what;
+  std::vector<SchedFinding> findings;
+  SchedTrace trace;
+
+  /// True when the run surfaced a correctness verdict (analyzer findings,
+  /// a deadlock, a checker abort) as opposed to running clean or dying of
+  /// an intentionally injected fault.
+  bool flagged() const;
+};
+
+struct ExploreResult {
+  int schedules_run = 0;
+  std::vector<ScheduleOutcome> flagged;
+  bool clean() const { return flagged.empty(); }
+  /// First flagged outcome whose failure kind or finding kinds include
+  /// `kind`; nullptr when none does.
+  const ScheduleOutcome* first_with(const std::string& kind) const;
+};
+
+/// Run one body under one explicit plan (building block and replay entry
+/// point — `casp_verify --replay` is this with a parsed schedule string).
+ScheduleOutcome run_schedule(int size, const std::function<void(Comm&)>& body,
+                             const SchedPlan& plan,
+                             const std::optional<FaultPlan>& faults,
+                             std::uint64_t fault_seed);
+
+/// Full sweep per ExploreOptions. Stops early when the schedule budget is
+/// exhausted; never throws on flagged runs (they land in `flagged`).
+ExploreResult explore(const std::function<void(Comm&)>& body,
+                      const ExploreOptions& options);
+
+}  // namespace casp::vmpi
+
+#endif  // CASP_VMPI_SCHED

@@ -53,8 +53,25 @@ TEST(Payload, SubviewSharesTheAllocation) {
   // Nested subview offsets compose.
   const Payload subsub = sub.subview(4, 8);
   EXPECT_EQ(subsub.data(), p.data() + 20);
-  // Out-of-range requests yield an empty payload, never a bad span.
-  EXPECT_TRUE(p.subview(90, 20).empty());
+}
+
+TEST(Payload, SubviewValidatesItsRangeInEveryBuildMode) {
+  // Out-of-range requests used to degrade to an empty payload silently —
+  // and an offset + length that overflowed size_t passed the old check
+  // entirely, yielding a window into bytes the payload does not own. The
+  // validation is a plain branch (no assert), so release builds throw too.
+  const Payload p = Payload::wrap(make_bytes(100));
+  EXPECT_THROW((void)p.subview(90, 20), std::out_of_range);
+  EXPECT_THROW((void)p.subview(101, 0), std::out_of_range);
+  EXPECT_THROW((void)p.subview(1, SIZE_MAX), std::out_of_range);
+  EXPECT_THROW((void)p.subview(SIZE_MAX, 2), std::out_of_range);
+  // Boundary cases remain legal: an empty window at the very end, and the
+  // full range.
+  EXPECT_TRUE(p.subview(100, 0).empty());
+  EXPECT_EQ(p.subview(0, 100).size(), 100u);
+  const Payload empty;
+  EXPECT_TRUE(empty.subview(0, 0).empty());
+  EXPECT_THROW((void)empty.subview(0, 1), std::out_of_range);
 }
 
 TEST(Payload, ReleaseOrCopyMovesWhenUniqueOwner) {

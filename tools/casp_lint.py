@@ -54,6 +54,16 @@ test (see tests/CMakeLists.txt). Rules:
                   the crash-safety the subsystem exists to provide. The
                   open expression must mention kTmpSuffix on the same
                   line (route writes through atomic_write_file).
+  rank-divergent-collective
+                  In src/, no collective call (barrier, bcast*/ibcast*,
+                  allreduce*, allgather*, alltoall*, reduce_to_root,
+                  split, bcast_wait) lexically inside an `if` whose
+                  condition mentions a rank — a collective only some
+                  ranks enter is the canonical SPMD deadlock (every rank
+                  must participate). Intentional sub-communicator use is
+                  allowlisted with `// lint: collective-ok` on the same
+                  or preceding line. The `else` branch of a rank guard
+                  counts too: it is equally rank-divergent.
 
 Waivers (use sparingly, justify in a comment on the same line):
   // casp-lint: allow(<rule>)        — waives <rule> on this or next line
@@ -115,6 +125,17 @@ CKPT_WRITE_OPEN_RE = re.compile(
     r"\bstd::(?:ofstream|fstream)\b|\bfopen\s*\("
 )
 CKPT_TMP_TOKEN_RE = re.compile(r"\bkTmpSuffix\b")
+
+# A collective call on a Comm (or sub-Comm): receiver-dotted so plain
+# helper functions named e.g. `barrier_us` don't trip the rule.
+COLLECTIVE_CALL_RE = re.compile(
+    r"[.>]\s*(barrier|bcast_\w+|ibcast_\w+|bcast_wait|allreduce(?:_\w+)?|"
+    r"allgather_\w+|alltoall_\w+|reduce_to_root|split)\s*\("
+)
+# An `if` condition that branches on a rank: the identifier `rank`, any
+# *_rank/rank_* variable, or a .rank()/->rank() accessor.
+RANK_COND_RE = re.compile(r"\b\w*rank\w*\b|[.>]\s*rank\s*\(")
+COLLECTIVE_OK_RE = re.compile(r"lint:\s*collective-ok")
 
 
 def strip_code(text: str) -> str:
@@ -211,14 +232,20 @@ class Linter:
         self.root = root
         self.errors = []
 
-    def error(self, path: Path, line_no: int, rule: str, msg: str):
-        rel = path.relative_to(self.root)
+    def error(self, rel: str, line_no: int, rule: str, msg: str):
         self.errors.append(f"{rel}:{line_no}: [{rule}] {msg}")
 
     # -- per-file driver ----------------------------------------------------
 
     def lint_file(self, path: Path):
         text = path.read_text(encoding="utf-8", errors="replace")
+        self.lint_text(path.relative_to(self.root).as_posix(), text)
+
+    def lint_text(self, rel: str, text: str):
+        """Run every rule on `text` as if it lived at repo-relative `rel`.
+        Split out from lint_file so the --self-test fixtures (which must NOT
+        be real .cpp files, or the main gate would scan them) lint under a
+        pretend path."""
         raw_lines = text.splitlines()
         code_text = strip_code(text)
         code_lines = code_text.splitlines()
@@ -238,59 +265,61 @@ class Linter:
                             return True
             return False
 
-        rel = path.relative_to(self.root).as_posix()
         in_src = rel.startswith("src/")
         in_vmpi = rel.startswith("src/vmpi/")
 
-        self.check_new_delete(path, code_lines, waived)
+        self.check_new_delete(rel, code_lines, waived)
         if in_src and not in_vmpi:
-            self.check_threading(path, code_lines, waived)
+            self.check_threading(rel, code_lines, waived)
         if not rel.startswith("tests/") and rel != "src/vmpi/comm.hpp":
-            self.check_comm_compat(path, code_lines, waived)
+            self.check_comm_compat(rel, code_lines, waived)
         if rel.startswith("src/ckpt/"):
-            self.check_ckpt_atomic_write(path, code_lines, waived)
-        self.check_cast_pairing(path, code_lines, waived)
-        self.check_empty_catch(path, code_text, waived)
-        self.check_payload_ownership(path, code_lines, waived)
-        if path.suffix == ".hpp":
-            self.check_pragma_once(path, code_lines, waived)
-        self.check_include_order(path, raw_lines, waived)
+            self.check_ckpt_atomic_write(rel, code_lines, waived)
+        if in_src:
+            self.check_rank_divergent_collective(rel, code_text, raw_lines,
+                                                 waived)
+        self.check_cast_pairing(rel, code_lines, waived)
+        self.check_empty_catch(rel, code_text, waived)
+        self.check_payload_ownership(rel, code_lines, waived)
+        if rel.endswith(".hpp"):
+            self.check_pragma_once(rel, code_lines, waived)
+        self.check_include_order(rel, raw_lines, waived)
 
     # -- rules --------------------------------------------------------------
 
-    def check_new_delete(self, path, code_lines, waived):
+    def check_new_delete(self, rel, code_lines, waived):
         for idx, line in enumerate(code_lines):
             if NEW_RE.search(line) and not waived("new-delete", idx):
-                self.error(path, idx + 1, "new-delete",
+                self.error(rel, idx + 1, "new-delete",
                            "`new` expression — use containers/RAII "
                            "(placement new is allowed: `new (addr) T`)")
             for m in DELETE_RE.finditer(line):
                 if DELETE_OK_BEFORE.search(line[:m.start()]):
                     continue  # `= delete` / `operator delete`
                 if not waived("new-delete", idx):
-                    self.error(path, idx + 1, "new-delete",
+                    self.error(rel, idx + 1, "new-delete",
                                "`delete` expression — use containers/RAII")
 
-    def check_threading(self, path, code_lines, waived):
+    def check_threading(self, rel, code_lines, waived):
         for idx, line in enumerate(code_lines):
             m = THREADING_TOKENS.search(line)
             if m and not waived("threading", idx):
-                self.error(path, idx + 1, "threading",
+                self.error(rel, idx + 1, "threading",
                            f"std::{m.group(1)} outside src/vmpi/ — all "
                            "parallelism must go through the virtual runtime")
 
-    def check_comm_compat(self, path, code_lines, waived):
+    def check_comm_compat(self, rel, code_lines, waived):
         for idx, line in enumerate(code_lines):
             m = COMM_COMPAT_RE.search(line)
             if m and not waived("comm-compat", idx):
                 self.error(
-                    path, idx + 1, "comm-compat",
+                    rel, idx + 1, "comm-compat",
                     f"{m.group(1)} is a byte-vector compat wrapper — "
                     "non-test code must use the payload-first Comm API "
                     "(send_payload/recv_payload/bcast_payload/"
                     "allgather_vec/...)")
 
-    def check_ckpt_atomic_write(self, path, code_lines, waived):
+    def check_ckpt_atomic_write(self, rel, code_lines, waived):
         for idx, line in enumerate(code_lines):
             if not CKPT_WRITE_OPEN_RE.search(line):
                 continue
@@ -298,13 +327,81 @@ class Linter:
                 continue
             if not waived("ckpt-atomic-write", idx):
                 self.error(
-                    path, idx + 1, "ckpt-atomic-write",
+                    rel, idx + 1, "ckpt-atomic-write",
                     "file-writing open in src/ckpt/ that does not target "
                     "the kTmpSuffix temp path — checkpoint files must be "
                     "written atomically (tmp + flush + rename); route "
                     "writes through atomic_write_file")
 
-    def check_cast_pairing(self, path, code_lines, waived):
+    def check_rank_divergent_collective(self, rel, code_text, raw_lines,
+                                        waived):
+        regions = self._rank_guarded_regions(code_text)
+        if not regions:
+            return
+        for m in COLLECTIVE_CALL_RE.finditer(code_text):
+            if not any(lo <= m.start() < hi for lo, hi in regions):
+                continue
+            idx = code_text.count("\n", 0, m.start())
+            ok = False
+            for probe in (idx, idx - 1):
+                if 0 <= probe < len(raw_lines) and COLLECTIVE_OK_RE.search(
+                        raw_lines[probe]):
+                    ok = True
+            if ok or waived("rank-divergent-collective", idx):
+                continue
+            self.error(
+                rel, idx + 1, "rank-divergent-collective",
+                f"collective {m.group(1)}() inside a rank-guarded `if` — "
+                "every rank must enter a collective, or only some ranks "
+                "wait forever; hoist it out of the branch, or mark "
+                "intentional sub-communicator use with "
+                "`// lint: collective-ok`")
+
+    @staticmethod
+    def _rank_guarded_regions(code_text):
+        """[start, end) character ranges of code lexically inside an
+        `if (...rank...)` block, its brace-less statement, or the attached
+        `else` block."""
+
+        def matching(open_ch, close_ch, start):
+            depth = 0
+            for j in range(start, len(code_text)):
+                if code_text[j] == open_ch:
+                    depth += 1
+                elif code_text[j] == close_ch:
+                    depth -= 1
+                    if depth == 0:
+                        return j
+            return len(code_text)
+
+        def skip_ws(j):
+            while j < len(code_text) and code_text[j] in " \t\n":
+                j += 1
+            return j
+
+        regions = []
+        for m in re.finditer(r"\bif\s*\(", code_text):
+            paren_open = m.end() - 1
+            paren_close = matching("(", ")", paren_open)
+            if not RANK_COND_RE.search(code_text[paren_open:paren_close]):
+                continue
+            body = skip_ws(paren_close + 1)
+            if body < len(code_text) and code_text[body] == "{":
+                end = matching("{", "}", body)
+                regions.append((body, end))
+                after = skip_ws(end + 1)
+                if code_text.startswith("else", after):
+                    tail = skip_ws(after + 4)
+                    if tail < len(code_text) and code_text[tail] == "{":
+                        regions.append((tail, matching("{", "}", tail)))
+                    # `else if (...)` is re-examined by its own `if` match.
+            else:
+                semi = code_text.find(";", body)
+                regions.append(
+                    (body, semi if semi != -1 else len(code_text)))
+        return regions
+
+    def check_cast_pairing(self, rel, code_lines, waived):
         for idx, line in enumerate(code_lines):
             if not REINTERPRET_RE.search(line):
                 continue
@@ -314,36 +411,36 @@ class Linter:
                 continue
             if not waived("cast-pairing", idx):
                 self.error(
-                    path, idx + 1, "cast-pairing",
+                    rel, idx + 1, "cast-pairing",
                     "reinterpret_cast without a nearby static_assert("
                     "std::is_trivially_copyable_v<...>) in the same scope")
 
-    def check_empty_catch(self, path, code_text, waived):
+    def check_empty_catch(self, rel, code_text, waived):
         # Multiline scan: `catch` clauses wrap freely, so match on the
         # whole stripped text and map the offset back to a line number.
         for m in EMPTY_CATCH_RE.finditer(code_text):
             idx = code_text.count("\n", 0, m.start())
             if not waived("empty-catch", idx):
                 self.error(
-                    path, idx + 1, "empty-catch",
+                    rel, idx + 1, "empty-catch",
                     f"empty catch body for {m.group(1)} — this exception "
                     "carries a recovery obligation (retry / re-batch / "
                     "classify); handle it or let vmpi::run classify it")
 
-    def check_payload_ownership(self, path, code_lines, waived):
+    def check_payload_ownership(self, rel, code_lines, waived):
         if not any(PAYLOAD_TYPE_RE.search(line) for line in code_lines):
             return
         for idx, line in enumerate(code_lines):
             if CONST_CAST_RE.search(line) and not waived(
                     "payload-ownership", idx):
                 self.error(
-                    path, idx + 1, "payload-ownership",
+                    rel, idx + 1, "payload-ownership",
                     "const_cast in a file handling shared Payload/CscView "
                     "buffers — borrowed wire arrays are shared across ranks; "
                     "copy out (materialize()/release_or_copy()) before "
                     "mutating")
 
-    def check_pragma_once(self, path, code_lines, waived):
+    def check_pragma_once(self, rel, code_lines, waived):
         for idx, line in enumerate(code_lines):
             stripped = line.strip()
             if not stripped:
@@ -351,12 +448,12 @@ class Linter:
             if stripped == "#pragma once":
                 return
             if not waived("pragma-once", idx):
-                self.error(path, idx + 1, "pragma-once",
+                self.error(rel, idx + 1, "pragma-once",
                            "first directive in a header must be #pragma once")
             return
-        self.error(path, 1, "pragma-once", "header lacks #pragma once")
+        self.error(rel, 1, "pragma-once", "header lacks #pragma once")
 
-    def check_include_order(self, path, raw_lines, waived):
+    def check_include_order(self, rel, raw_lines, waived):
         block = []  # list of (idx, token)
         for idx in range(len(raw_lines) + 1):
             m = INCLUDE_RE.match(raw_lines[idx]) if idx < len(raw_lines) else None
@@ -364,23 +461,23 @@ class Linter:
                 block.append((idx, m.group(1)))
                 continue
             if len(block) > 1:
-                self._check_include_block(path, block, waived)
+                self._check_include_block(rel, block, waived)
             block = []
 
-    def _check_include_block(self, path, block, waived):
+    def _check_include_block(self, rel, block, waived):
         seen_quote = False
         for idx, token in block:
             if token.startswith('"'):
                 seen_quote = True
             elif seen_quote and not waived("include-order", idx):
-                self.error(path, idx + 1, "include-order",
+                self.error(rel, idx + 1, "include-order",
                            f"system include {token} after a project include "
                            "in the same block")
         for style in ("<", '"'):
             group = [(idx, t) for idx, t in block if t.startswith(style)]
             for (idx_a, a), (idx_b, b) in zip(group, group[1:]):
                 if a > b and not waived("include-order", idx_b):
-                    self.error(path, idx_b + 1, "include-order",
+                    self.error(rel, idx_b + 1, "include-order",
                                f"{b} breaks sort order (after {a})")
 
     # -- entry --------------------------------------------------------------
@@ -404,16 +501,62 @@ class Linter:
         return 0
 
 
+def self_test(root: Path) -> int:
+    """Lint the fixture corpus (tests/lint/fixtures/*.cpp.txt) under a
+    pretend src/ path and compare against the `// expect-violation` line
+    markers. Positive fixtures prove the rule fires where it must; negative
+    fixtures prove the allowlist and the non-rank branches stay silent."""
+    fixtures = sorted((root / "tests" / "lint" / "fixtures").glob("*.cpp.txt"))
+    if not fixtures:
+        print("casp_lint --self-test: no fixtures found", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in fixtures:
+        text = path.read_text(encoding="utf-8")
+        expected = {
+            idx + 1
+            for idx, line in enumerate(text.splitlines())
+            if "expect-violation" in line
+        }
+        linter = Linter(root)
+        linter.lint_text(f"src/{path.stem}", text)
+        got = {
+            int(e.split(":")[1])
+            for e in linter.errors
+            if "[rank-divergent-collective]" in e
+        }
+        if got == expected:
+            print(f"self-test PASS {path.name} "
+                  f"({len(expected)} expected violation(s))")
+            continue
+        failures += 1
+        print(f"self-test FAIL {path.name}: expected lines "
+              f"{sorted(expected)}, got {sorted(got)}")
+        for e in linter.errors:
+            print(f"  {e}")
+    if failures:
+        print(f"casp_lint --self-test: {failures} fixture(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"casp_lint --self-test: OK ({len(fixtures)} fixtures)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=".",
                         help="repository root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="lint the fixture corpus instead of the repo "
+                             "and verify expected violations")
     args = parser.parse_args()
     root = Path(args.root).resolve()
     if not (root / "CMakeLists.txt").exists():
         print(f"casp_lint: {root} does not look like the repo root",
               file=sys.stderr)
         return 2
+    if args.self_test:
+        return self_test(root)
     return Linter(root).run()
 
 

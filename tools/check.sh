@@ -12,9 +12,13 @@
 #   (g) crash recovery     the Recovery* suites under several
 #                          CASP_FAULT_SEED values (checkpoint/restart:
 #                          crashed jobs must recover bit-identically)
+#   (h) schedule sweep     casp-verify: the SPMD corpus across 32 seeded
+#                          schedules plus fault seeds 1-3 — known bugs must
+#                          be rediscovered with a replayable schedule, good
+#                          programs must stay clean on every schedule
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-perf]
-#                       [--skip-faults] [--skip-recovery]
+#                       [--skip-faults] [--skip-recovery] [--skip-sched]
 # CASP_PERF_THRESHOLD tunes stage (e)'s allowed slowdown (default 0.25).
 set -euo pipefail
 
@@ -25,6 +29,7 @@ SKIP_ASAN=0
 SKIP_PERF=0
 SKIP_FAULTS=0
 SKIP_RECOVERY=0
+SKIP_SCHED=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
@@ -32,7 +37,8 @@ for arg in "$@"; do
     --skip-perf) SKIP_PERF=1 ;;
     --skip-faults) SKIP_FAULTS=1 ;;
     --skip-recovery) SKIP_RECOVERY=1 ;;
-    *) echo "usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-perf] [--skip-faults] [--skip-recovery]" >&2; exit 2 ;;
+    --skip-sched) SKIP_SCHED=1 ;;
+    *) echo "usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-perf] [--skip-faults] [--skip-recovery] [--skip-sched]" >&2; exit 2 ;;
   esac
 done
 
@@ -109,6 +115,12 @@ else
   # stays exact regardless of the threshold.
   perf_bench bench_fig5_abcast_scaling BENCH_abcast.json \
     --threshold "${CASP_ABCAST_THRESHOLD:-1.0}"
+  # Hook-site overhead: release builds must carry zero CASP_SCHED_EVENT
+  # code. The bench's anchor-* ops have no hook sites and pin the
+  # median-normalized ratio, so hook code leaking back into release
+  # codegen fails the hook-laden ops here; deep-copy counts (the steal
+  # and transport ops must stay copy-free) are compared exactly.
+  perf_bench bench_sched_overhead BENCH_sched_overhead.json
 fi
 
 if [ "$SKIP_FAULTS" = 1 ]; then
@@ -136,6 +148,28 @@ else
     CASP_FAULT_SEED=$seed ctest --test-dir build/release -R '^Recovery' \
       --output-on-failure -j "$JOBS"
   done
+fi
+
+if [ "$SKIP_SCHED" = 1 ]; then
+  echo "skipping schedule-exploration stage (--skip-sched)"
+else
+  step "(h) schedule sweep: casp-verify corpus, 32 schedules x fault seeds 1-3"
+  cmake --preset sched
+  cmake --build --preset sched -j "$JOBS" --target casp_verify test_sched
+  # Acceptance tests first (replay determinism, known-bug rediscovery with
+  # exact replay), then the full sweep: 32 seeded schedules per program,
+  # fault-free, plus a transient-send-failure plan swept over seeds 1-3 so
+  # retry-loop interleavings get explored too.
+  ctest --test-dir build/sched -R '^Sched' --output-on-failure -j "$JOBS"
+  ./build/sched/tools/casp_verify --schedules=32 --systematic
+  # The good programs additionally sweep a transient-send-failure plan:
+  # retry-loop interleavings must stay clean too. (The buggy programs'
+  # expectations are proven fault-free above — injected faults would only
+  # add noise to what they're expected to find.)
+  ./build/sched/tools/casp_verify --schedules=8 \
+    --faults="send_fail=0.05" --fault-seeds=1,2,3 \
+    bcast_tree pipeline_ibcast ckpt_consensus rebatch_consensus \
+    sole_owner_handoff
 fi
 
 step "all gates passed"
