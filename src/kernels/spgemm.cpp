@@ -58,6 +58,10 @@ class HashAccumulator {
         keys_[slot] = row;
         vals_[slot] = contribution;
         used_.push_back(slot);
+        // Guard against an under-sized initial table (a too-small symbolic
+        // hint): rehash at 50% load. Emit order is used_'s insertion order,
+        // not slot order, so growing never changes the output.
+        if (2 * used_.size() > keys_.size()) grow();
         return;
       }
       if (keys_[slot] == row) {
@@ -79,6 +83,27 @@ class HashAccumulator {
   }
 
  private:
+  void grow() {
+    std::vector<Index> old_keys = std::move(keys_);
+    std::vector<Value> old_vals = std::move(vals_);
+    std::vector<std::uint64_t> old_used = std::move(used_);
+    const std::uint64_t want = 2 * old_keys.size();
+    keys_.assign(want, kEmpty);
+    vals_.resize(want);
+    used_.clear();
+    used_.reserve(old_used.size());
+    mask_ = want - 1;
+    for (std::uint64_t old_slot : old_used) {
+      const Index row = old_keys[old_slot];
+      std::uint64_t slot =
+          (static_cast<std::uint64_t>(row) * 0x9e3779b97f4a7c15ULL) & mask_;
+      while (keys_[slot] != kEmpty) slot = (slot + 1) & mask_;
+      keys_[slot] = row;
+      vals_[slot] = old_vals[old_slot];
+      used_.push_back(slot);
+    }
+  }
+
   static constexpr Index kEmpty = -1;
   std::vector<Index> keys_;
   std::vector<Value> vals_;
@@ -263,11 +288,16 @@ Index heap_column(const MatA& a, const MatB& b, Index j, Index* rowids,
 enum class ColumnChoice { kHash, kSortedHash, kHeap, kSpa };
 
 template <typename SR, typename MatA, typename MatB>
-CscMat run_spgemm(const MatA& a, const MatB& b, SpGemmKind kind,
-                  int threads) {
+CscMat run_spgemm(const MatA& a, const MatB& b, SpGemmKind kind, int threads,
+                  std::span<const Index> col_nnz_hints) {
   CASP_CHECK_MSG(a.ncols() == b.nrows(),
                  "local_spgemm: inner dimension mismatch " << a.ncols()
                                                            << " vs " << b.nrows());
+  CASP_CHECK_MSG(col_nnz_hints.empty() ||
+                     static_cast<Index>(col_nnz_hints.size()) == b.ncols(),
+                 "local_spgemm: col_nnz_hints has " << col_nnz_hints.size()
+                                                    << " entries for "
+                                                    << b.ncols() << " columns");
   OutputBuilder out(a, b);
   const Index ncols = b.ncols();
 
@@ -295,14 +325,25 @@ CscMat run_spgemm(const MatA& a, const MatB& b, SpGemmKind kind,
         continue;
       }
       Index cnt = 0;
+      // The symbolic hint bounds the merged column's nnz across all stages,
+      // so it also bounds this stage's contribution — size the hash table
+      // from it when it beats the flops bound (clamped to >= 1 so a column
+      // with flops but a zero hint still gets a table; CASP checks would
+      // have caught a genuinely wrong symbolic count upstream).
+      const Index hash_cap =
+          col_nnz_hints.empty()
+              ? cap
+              : std::min(cap, std::max<Index>(
+                                  col_nnz_hints[static_cast<std::size_t>(j)],
+                                  Index{1}));
       switch (kind) {
         case SpGemmKind::kUnsortedHash:
-          cnt = hash_column<SR>(a, b, j, hash_acc, cap, out.col_rowids(j),
+          cnt = hash_column<SR>(a, b, j, hash_acc, hash_cap, out.col_rowids(j),
                                 out.col_vals(j), /*sort_output=*/false,
                                 sort_scratch);
           break;
         case SpGemmKind::kSortedHash:
-          cnt = hash_column<SR>(a, b, j, hash_acc, cap, out.col_rowids(j),
+          cnt = hash_column<SR>(a, b, j, hash_acc, hash_cap, out.col_rowids(j),
                                 out.col_vals(j), /*sort_output=*/true,
                                 sort_scratch);
           break;
@@ -317,9 +358,9 @@ CscMat run_spgemm(const MatA& a, const MatB& b, SpGemmKind kind,
           if (k_runs <= 8 && cap <= 256) {
             cnt = heap_column<SR>(a, b, j, out.col_rowids(j), out.col_vals(j));
           } else {
-            cnt = hash_column<SR>(a, b, j, hash_acc, cap, out.col_rowids(j),
-                                  out.col_vals(j), /*sort_output=*/true,
-                                  sort_scratch);
+            cnt = hash_column<SR>(a, b, j, hash_acc, hash_cap,
+                                  out.col_rowids(j), out.col_vals(j),
+                                  /*sort_output=*/true, sort_scratch);
           }
           break;
         }
@@ -350,8 +391,9 @@ CscMat run_spgemm(const MatA& a, const MatB& b, SpGemmKind kind,
 
 template <typename SR>
 CscMat local_spgemm(const CscConstRef& a, const CscConstRef& b,
-                    SpGemmKind kind, int threads) {
-  return run_spgemm<SR>(a, b, kind, threads);
+                    SpGemmKind kind, int threads,
+                    std::span<const Index> col_nnz_hints) {
+  return run_spgemm<SR>(a, b, kind, threads, col_nnz_hints);
 }
 
 template <typename SR>
@@ -425,12 +467,13 @@ template CscMat local_spgemm_masked<OrAnd>(const CscConstRef&,
                                            const CscConstRef&);
 
 template CscMat local_spgemm<PlusTimes>(const CscConstRef&,
-                                        const CscConstRef&, SpGemmKind, int);
+                                        const CscConstRef&, SpGemmKind, int,
+                                        std::span<const Index>);
 template CscMat local_spgemm<MinPlus>(const CscConstRef&, const CscConstRef&,
-                                      SpGemmKind, int);
+                                      SpGemmKind, int, std::span<const Index>);
 template CscMat local_spgemm<MaxMin>(const CscConstRef&, const CscConstRef&,
-                                     SpGemmKind, int);
+                                     SpGemmKind, int, std::span<const Index>);
 template CscMat local_spgemm<OrAnd>(const CscConstRef&, const CscConstRef&,
-                                    SpGemmKind, int);
+                                    SpGemmKind, int, std::span<const Index>);
 
 }  // namespace casp

@@ -8,6 +8,8 @@
 // ([13] and [25]) for the Fig. 15 / Table VII comparisons.
 #pragma once
 
+#include <span>
+
 #include "kernels/semiring.hpp"
 #include "sparse/csc_mat.hpp"
 #include "sparse/csc_ref.hpp"
@@ -36,10 +38,18 @@ bool produces_sorted(SpGemmKind kind);
 /// Operands are non-owning refs, implicitly convertible from an owned
 /// CscMat or a payload-borrowing CscView — the one entry point serves both
 /// the owned and the zero-copy (wire buffers read in place) paths.
+///
+/// `col_nnz_hints`, when non-empty (length b.ncols()), gives per-output-
+/// column nnz upper bounds from a prior symbolic pass
+/// (SymbolicResult::col_nnz): the hash accumulators size their tables from
+/// min(flops bound, hint) up front instead of growing from the flops upper
+/// bound — the hint is a sum over stages, so it always covers one stage's
+/// column. Ignored by the heap/spa accumulators.
 template <typename SR = PlusTimes>
 CscMat local_spgemm(const CscConstRef& a, const CscConstRef& b,
                     SpGemmKind kind = SpGemmKind::kUnsortedHash,
-                    int threads = 1);
+                    int threads = 1,
+                    std::span<const Index> col_nnz_hints = {});
 
 /// Masked SpGEMM: C = (A * B) .* pattern(mask). Only entries whose
 /// (row, col) position is nonzero in `mask` are accumulated, so the

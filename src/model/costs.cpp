@@ -40,8 +40,17 @@ StepSeconds predict_steps(const Machine& machine, const ProblemStats& stats,
   StepSeconds t;
 
   // A-Bcast: b*q tree broadcasts of an nnzA/p block along each process row.
-  t[steps::kABcast] = machine.alpha * b * q * lg(q) +
-                      machine.beta * r * b * nnz_a * q / p;
+  // With sparse_comm, each stage is a request+reply round instead of a
+  // tree: 2 messages per peer replace the lg(q) broadcast hops, and only
+  // a_need_fraction of the block's bytes travel.
+  if (config.sparse_comm) {
+    t[steps::kABcast] =
+        machine.alpha * b * 2.0 * q +
+        machine.beta * r * b * nnz_a * (q / p) * stats.a_need_fraction;
+  } else {
+    t[steps::kABcast] = machine.alpha * b * q * lg(q) +
+                        machine.beta * r * b * nnz_a * q / p;
+  }
 
   // B-Bcast: same schedule but each batch carries nnzB/(b p), so the
   // bandwidth term is independent of b (Table II) while latency grows.
@@ -91,6 +100,16 @@ StepSeconds predict_steps(const Machine& machine, const ProblemStats& stats,
     t[steps::kMergeFiber] = 0.0;
   }
   return t;
+}
+
+bool sparse_exchange_pays_off(const Machine& machine, Bytes dense_bytes,
+                              Bytes sparse_bytes,
+                              std::uint64_t extra_messages) {
+  if (sparse_bytes >= dense_bytes) return false;
+  const double saved =
+      machine.beta * static_cast<double>(dense_bytes - sparse_bytes);
+  const double added = machine.alpha * static_cast<double>(extra_messages);
+  return saved > added;
 }
 
 double total_seconds(const StepSeconds& steps) {

@@ -41,6 +41,10 @@ struct ProblemStats {
   /// Load imbalance factor: max-per-process / average-per-process for the
   /// unmerged output (1.0 = perfectly balanced). Scales the batch count.
   double imbalance = 1.0;
+  /// Fraction of A-block bytes the sparse exchange actually ships
+  /// (shipped / logical from the traffic ledger, or an estimate). Only read
+  /// when ModelConfig::sparse_comm is set; 1.0 = no savings.
+  double a_need_fraction = 1.0;
 
   Index effective_unmerged() const {
     return unmerged_nnz > 0 ? unmerged_nnz : flops;
@@ -58,6 +62,11 @@ struct ModelConfig {
   Index l = 1;   ///< layers
   Index b = 1;   ///< batches
   bool hash_kernels = true;  ///< this paper's kernels vs prior heap kernels
+  /// Model the sparsity-aware A exchange (summa/sparse_comm.hpp) instead of
+  /// the dense A-Bcast: the tree broadcast's lg(q) latency becomes the
+  /// request+reply round's 2 messages per peer, and the bandwidth term is
+  /// scaled by ProblemStats::a_need_fraction.
+  bool sparse_comm = false;
 };
 
 /// Per-step predicted seconds, keyed by the steps:: names.
@@ -70,6 +79,16 @@ StepSeconds predict_steps(const Machine& machine, const ProblemStats& stats,
 
 /// Sum of all step times.
 double total_seconds(const StepSeconds& steps);
+
+/// Fallback predicate for the sparse exchange (DESIGN.md Sec. 5h): shipping
+/// `sparse_bytes` in `extra_messages` additional messages beats shipping
+/// `dense_bytes` in one only when the bandwidth saved exceeds the latency
+/// added. The runtime packer consults this when given a Machine; with no
+/// Machine it falls back on the pure byte comparison (the in-process
+/// transport has no per-message latency).
+bool sparse_exchange_pays_off(const Machine& machine, Bytes dense_bytes,
+                              Bytes sparse_bytes,
+                              std::uint64_t extra_messages);
 
 /// Eq. 2 / Alg. 3 line 12: predicted batch count for aggregate memory M
 /// (bytes) on p processes with l layers. Mirrors Symbolic3D but uses the

@@ -19,6 +19,7 @@ TrafficMatrix& ensure_matrix(std::map<std::string, TrafficMatrix>& matrices,
         static_cast<std::size_t>(ranks) * static_cast<std::size_t>(ranks);
     m.messages.assign(n, 0);
     m.bytes.assign(n, 0);
+    m.shipped.assign(n, 0);
   }
   return m;
 }
@@ -42,8 +43,10 @@ Json phases_json(const RunReport& report, bool with_times) {
     Json p = Json::object();
     p.set("messages", e.total.messages);
     p.set("bytes", static_cast<std::uint64_t>(e.total.bytes));
+    p.set("shipped_bytes", static_cast<std::uint64_t>(e.total.shipped));
     p.set("max_messages", e.max.messages);
     p.set("max_bytes", static_cast<std::uint64_t>(e.max.bytes));
+    p.set("max_shipped_bytes", static_cast<std::uint64_t>(e.max.shipped));
     if (with_times) {
       p.set("seconds_sum", e.seconds_sum);
       p.set("seconds_max", e.seconds_max);
@@ -60,6 +63,7 @@ Json matrices_json(const RunReport& report) {
     entry.set("ranks", m.ranks);
     entry.set("messages", matrix_rows(m.messages, m.ranks));
     entry.set("bytes", matrix_rows(m.bytes, m.ranks));
+    entry.set("shipped_bytes", matrix_rows(m.shipped, m.ranks));
     out.set(name, std::move(entry));
   }
   return out;
@@ -84,6 +88,7 @@ RunReport build_report(const vmpi::RunResult& result) {
       e.total += t;
       e.max.messages = std::max(e.max.messages, t.messages);
       e.max.bytes = std::max(e.max.bytes, t.bytes);
+      e.max.shipped = std::max(e.max.shipped, t.shipped);
     }
   }
   for (const TimeAccumulator& acc : result.times) {
@@ -100,6 +105,8 @@ RunReport build_report(const vmpi::RunResult& result) {
         m.msg_at(static_cast<int>(r), dst) += t.messages;
         m.bytes_at(static_cast<int>(r), dst) +=
             static_cast<std::uint64_t>(t.bytes);
+        m.shipped_at(static_cast<int>(r), dst) +=
+            static_cast<std::uint64_t>(t.shipped);
       }
     }
   }

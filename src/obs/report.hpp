@@ -43,7 +43,9 @@ struct PhaseEntry {
 struct TrafficMatrix {
   int ranks = 0;
   std::vector<std::uint64_t> messages;
-  std::vector<std::uint64_t> bytes;
+  std::vector<std::uint64_t> bytes;    ///< logical (Table II) bytes
+  std::vector<std::uint64_t> shipped;  ///< wire bytes; == bytes unless the
+                                       ///< sparse exchange elided some
 
   std::uint64_t& msg_at(int src, int dst) {
     return messages[static_cast<std::size_t>(src) *
@@ -54,6 +56,11 @@ struct TrafficMatrix {
     return bytes[static_cast<std::size_t>(src) *
                      static_cast<std::size_t>(ranks) +
                  static_cast<std::size_t>(dst)];
+  }
+  std::uint64_t& shipped_at(int src, int dst) {
+    return shipped[static_cast<std::size_t>(src) *
+                       static_cast<std::size_t>(ranks) +
+                   static_cast<std::size_t>(dst)];
   }
 };
 

@@ -182,10 +182,27 @@ BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
           static_cast<Bytes>(local_b_batch.nnz()) * kBytesPerNonzero,
           "B batch slice");
 
+    // The symbolic per-column counts index my full local B part; the
+    // batch's hint slice is the same range concatenation as its column
+    // selection above, so hint j lines up with batch output column j.
+    SummaOptions batch_opts = opts;
+    std::vector<Index> batch_hints;
+    const std::vector<Index>& sym_cols = result.symbolic.col_nnz;
+    if (!sym_cols.empty() &&
+        static_cast<Index>(sym_cols.size()) == psize) {
+      batch_hints.reserve(static_cast<std::size_t>(local_b_batch.ncols()));
+      for (const auto& [lo, hi] : ranges)
+        batch_hints.insert(batch_hints.end(),
+                           sym_cols.begin() + static_cast<std::ptrdiff_t>(lo),
+                           sym_cols.begin() + static_cast<std::ptrdiff_t>(hi));
+      batch_opts.symbolic_col_nnz = batch_hints;
+    }
+
     // Line 6, Alg. 4: one SUMMA3D per batch, with the batch's block
     // boundaries as the fiber split points. My merged piece is block
     // (bi + layer*b), a contiguous global column range.
-    CscMat c_piece = summa3d<SR>(grid, a.local, local_b_batch, opts, splits);
+    CscMat c_piece =
+        summa3d<SR>(grid, a.local, local_b_batch, batch_opts, splits);
     if (opts.memory != nullptr)
       rec.sample_memory(*opts.memory, "memory.live_bytes");
 
@@ -348,7 +365,15 @@ BatchedResult batched_summa3d_rowwise(Grid3D& grid, const DistMat3D& a,
           *opts.memory, static_cast<Bytes>(a_batch.nnz()) * kBytesPerNonzero,
           "A batch slice");
 
-    CscMat c_piece = summa3d<SR>(grid, a_batch, b.local, opts);
+    // Row batches keep B (and hence the output column set) intact, and a
+    // row subset can only shrink each column, so the full-run symbolic
+    // counts remain valid upper bounds as-is.
+    SummaOptions batch_opts = opts;
+    if (!result.symbolic.col_nnz.empty() &&
+        static_cast<Index>(result.symbolic.col_nnz.size()) == b.local.ncols())
+      batch_opts.symbolic_col_nnz = result.symbolic.col_nnz;
+
+    CscMat c_piece = summa3d<SR>(grid, a_batch, b.local, batch_opts);
 
     BatchInfo info;
     info.batch_index = bi;

@@ -1,0 +1,306 @@
+#include "summa/sparse_comm.hpp"
+
+#include <cstring>
+#include <type_traits>
+
+#include "common/error.hpp"
+#include "model/costs.hpp"
+#include "sparse/serialize.hpp"
+
+namespace casp {
+
+namespace {
+
+constexpr std::size_t kWord = sizeof(std::uint64_t);
+static_assert(sizeof(Index) == kWord && sizeof(Value) == kWord,
+              "the sparse-exchange wire protocol assumes 8-byte elements");
+
+/// Byte offsets of the three CSC arrays inside a packed block (mirrors the
+/// wire layout of sparse/serialize.cpp: 24-byte header, then colptr,
+/// rowids, vals — all 8-byte elements, so every offset is 8-aligned).
+struct BlockLayout {
+  std::size_t colptr = 0;
+  std::size_t rowids = 0;
+  std::size_t vals = 0;
+};
+
+BlockLayout block_layout(Index ncols, Index nnz) {
+  BlockLayout l;
+  l.colptr = 3 * sizeof(Index);  // Header{nrows, ncols, nnz}
+  l.rowids = l.colptr + (static_cast<std::size_t>(ncols) + 1) * sizeof(Index);
+  l.vals = l.rowids + static_cast<std::size_t>(nnz) * sizeof(Index);
+  return l;
+}
+
+void append_u64(std::vector<std::byte>& buf, std::uint64_t v) {
+  static_assert(std::is_trivially_copyable_v<std::uint64_t>);
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(v));
+}
+
+std::uint64_t read_u64(const std::byte* base, std::size_t word) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, base + word * kWord, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::vector<Index> row_support(const CscConstRef& b) {
+  std::vector<bool> seen(static_cast<std::size_t>(b.nrows()), false);
+  for (Index r : b.rowids()) seen[static_cast<std::size_t>(r)] = true;
+  std::vector<Index> support;
+  for (Index r = 0; r < b.nrows(); ++r)
+    if (seen[static_cast<std::size_t>(r)]) support.push_back(r);
+  return support;
+}
+
+std::vector<ColRange> coalesce_cols(std::span<const Index> cols,
+                                    Index max_gap) {
+  std::vector<ColRange> ranges;
+  for (Index c : cols) {
+    if (!ranges.empty() && c - ranges.back().end <= max_gap) {
+      ranges.back().end = c + 1;
+    } else {
+      ranges.push_back({c, c + 1});
+    }
+  }
+  return ranges;
+}
+
+Payload pack_need_request(std::span<const ColRange> ranges) {
+  std::vector<std::byte> buf;
+  buf.reserve((1 + 2 * ranges.size()) * kWord);
+  append_u64(buf, ranges.size());
+  for (const ColRange& r : ranges) {
+    append_u64(buf, static_cast<std::uint64_t>(r.begin));
+    append_u64(buf, static_cast<std::uint64_t>(r.end));
+  }
+  return Payload::wrap(std::move(buf));
+}
+
+std::vector<ColRange> unpack_need_request(const Payload& request) {
+  CASP_CHECK_MSG(request.size() >= kWord && request.size() % kWord == 0,
+                 "unpack_need_request: malformed request");
+  const std::byte* base = request.data();
+  const std::uint64_t nranges = read_u64(base, 0);
+  CASP_CHECK_MSG(request.size() == (1 + 2 * nranges) * kWord,
+                 "unpack_need_request: size does not match range count");
+  std::vector<ColRange> ranges(nranges);
+  Index prev_end = 0;
+  for (std::size_t i = 0; i < nranges; ++i) {
+    ranges[i].begin = static_cast<Index>(read_u64(base, 1 + 2 * i));
+    ranges[i].end = static_cast<Index>(read_u64(base, 2 + 2 * i));
+    CASP_CHECK_MSG(ranges[i].begin >= prev_end &&
+                       ranges[i].begin < ranges[i].end,
+                   "unpack_need_request: ranges not ascending half-open");
+    prev_end = ranges[i].end;
+  }
+  return ranges;
+}
+
+vmpi::SparseReply make_sparse_reply(const Payload& packed_block,
+                                    const Payload& request,
+                                    const Machine* machine) {
+  const CscView block = unpack_csc_view(packed_block);
+  const std::vector<ColRange> ranges = unpack_need_request(request);
+  const std::span<const Index> colptr = block.colptr();
+
+  vmpi::SparseReply reply;
+  reply.dense_equivalent_bytes = static_cast<Bytes>(packed_block.size());
+
+  // Size the sparse reply before building anything: descriptor words plus
+  // the rowids/vals volume of the requested ranges.
+  std::size_t desc_words = 4;  // kind, nrows, ncols, nranges
+  Index range_nnz = 0;
+  for (const ColRange& r : ranges) {
+    CASP_CHECK_MSG(r.end <= block.ncols(),
+                   "make_sparse_reply: range past block width");
+    desc_words += 2 + static_cast<std::size_t>(r.end - r.begin) + 1;
+    range_nnz += colptr[static_cast<std::size_t>(r.end)] -
+                 colptr[static_cast<std::size_t>(r.begin)];
+  }
+  const Bytes sparse_bytes =
+      static_cast<Bytes>(desc_words * kWord) +
+      static_cast<Bytes>(range_nnz) * (sizeof(Index) + sizeof(Value));
+
+  bool go_sparse = sparse_bytes < reply.dense_equivalent_bytes;
+  if (go_sparse && machine != nullptr)
+    go_sparse = sparse_exchange_pays_off(
+        *machine, reply.dense_equivalent_bytes, sparse_bytes,
+        2 * static_cast<std::uint64_t>(ranges.size()));
+
+  if (!go_sparse) {
+    // Dense fallback: a one-word descriptor plus the whole packed block as
+    // a single subview handle — no worse than the dense broadcast path
+    // beyond the fixed metadata.
+    std::vector<std::byte> desc;
+    append_u64(desc, 0);
+    reply.messages.push_back(Payload::wrap(std::move(desc)));
+    reply.messages.push_back(packed_block.subview(0, packed_block.size()));
+    return reply;
+  }
+
+  const BlockLayout layout = block_layout(block.ncols(), block.nnz());
+  std::vector<std::byte> desc;
+  desc.reserve(desc_words * kWord);
+  append_u64(desc, 1);
+  append_u64(desc, static_cast<std::uint64_t>(block.nrows()));
+  append_u64(desc, static_cast<std::uint64_t>(block.ncols()));
+  append_u64(desc, ranges.size());
+  for (const ColRange& r : ranges) {
+    append_u64(desc, static_cast<std::uint64_t>(r.begin));
+    append_u64(desc, static_cast<std::uint64_t>(r.end));
+  }
+  static_assert(std::is_trivially_copyable_v<Index>);
+  for (const ColRange& r : ranges) {
+    const auto* p = reinterpret_cast<const std::byte*>(
+        colptr.data() + static_cast<std::size_t>(r.begin));
+    desc.insert(desc.end(), p,
+                p + (static_cast<std::size_t>(r.end - r.begin) + 1) * kWord);
+  }
+  reply.messages.reserve(1 + 2 * ranges.size());
+  reply.messages.push_back(Payload::wrap(std::move(desc)));
+  for (const ColRange& r : ranges) {
+    const auto lo =
+        static_cast<std::size_t>(colptr[static_cast<std::size_t>(r.begin)]);
+    const auto hi =
+        static_cast<std::size_t>(colptr[static_cast<std::size_t>(r.end)]);
+    reply.messages.push_back(packed_block.subview(
+        layout.rowids + lo * sizeof(Index), (hi - lo) * sizeof(Index)));
+    reply.messages.push_back(packed_block.subview(
+        layout.vals + lo * sizeof(Value), (hi - lo) * sizeof(Value)));
+  }
+  return reply;
+}
+
+CscView assemble_sparse_block(std::span<const Payload> messages) {
+  CASP_CHECK_MSG(!messages.empty(), "assemble_sparse_block: empty reply");
+  const Payload& desc = messages[0];
+  CASP_CHECK_MSG(desc.size() >= kWord && desc.size() % kWord == 0,
+                 "assemble_sparse_block: malformed descriptor");
+  const std::byte* base = desc.data();
+  const std::uint64_t kind = read_u64(base, 0);
+  if (kind == 0) {
+    CASP_CHECK_MSG(messages.size() == 2,
+                   "assemble_sparse_block: dense reply needs the block");
+    return unpack_csc_view(messages[1]);
+  }
+  CASP_CHECK_MSG(kind == 1, "assemble_sparse_block: unknown reply kind");
+  CASP_CHECK_MSG(desc.size() >= 4 * kWord,
+                 "assemble_sparse_block: descriptor too short");
+  const auto nrows = static_cast<Index>(read_u64(base, 1));
+  const auto ncols = static_cast<Index>(read_u64(base, 2));
+  const std::uint64_t nranges = read_u64(base, 3);
+  CASP_CHECK_MSG(messages.size() == 1 + 2 * nranges,
+                 "assemble_sparse_block: range message count mismatch");
+
+  std::vector<ColRange> ranges(nranges);
+  std::size_t w = 4;
+  for (auto& r : ranges) {
+    r.begin = static_cast<Index>(read_u64(base, w++));
+    r.end = static_cast<Index>(read_u64(base, w++));
+  }
+  std::vector<std::size_t> slice_word(nranges);
+  Index total_nnz = 0;
+  for (std::size_t i = 0; i < nranges; ++i) {
+    slice_word[i] = w;
+    const auto width =
+        static_cast<std::size_t>(ranges[i].end - ranges[i].begin) + 1;
+    CASP_CHECK_MSG(desc.size() >= (w + width) * kWord,
+                   "assemble_sparse_block: truncated colptr slices");
+    total_nnz += static_cast<Index>(read_u64(base, w + width - 1)) -
+                 static_cast<Index>(read_u64(base, w));
+    w += width;
+  }
+  CASP_CHECK_MSG(desc.size() == w * kWord,
+                 "assemble_sparse_block: trailing descriptor bytes");
+
+  // Splice the shipped ranges into one fresh full-width packed block:
+  // colptr rebased to the shipped nnz (unrequested columns empty), the
+  // rowids/vals bytes copied verbatim so every requested column is
+  // bit-identical to the sender's.
+  const BlockLayout layout = block_layout(ncols, total_nnz);
+  std::vector<std::byte> buf(layout.vals +
+                             static_cast<std::size_t>(total_nnz) *
+                                 sizeof(Value));
+  const Index header[3] = {nrows, ncols, total_nnz};
+  std::memcpy(buf.data(), header, sizeof(header));
+  static_assert(std::is_trivially_copyable_v<Index>);
+  auto* out_colptr = reinterpret_cast<Index*>(buf.data() + layout.colptr);
+  out_colptr[0] = 0;
+  Index running = 0;
+  Index col = 0;
+  for (std::size_t i = 0; i < nranges; ++i) {
+    const ColRange& r = ranges[i];
+    CASP_CHECK_MSG(r.begin >= col && r.begin < r.end && r.end <= ncols,
+                   "assemble_sparse_block: ranges not ascending half-open");
+    for (; col < r.begin; ++col)
+      out_colptr[static_cast<std::size_t>(col) + 1] = running;
+    const Index start = running;
+    const std::size_t sw = slice_word[i];
+    const auto first = static_cast<Index>(read_u64(base, sw));
+    for (Index c = r.begin; c < r.end; ++c) {
+      const auto off = static_cast<std::size_t>(c - r.begin);
+      const auto lo = static_cast<Index>(read_u64(base, sw + off));
+      const auto hi = static_cast<Index>(read_u64(base, sw + off + 1));
+      CASP_CHECK_MSG(hi >= lo && lo >= first,
+                     "assemble_sparse_block: corrupt colptr slice");
+      running += hi - lo;
+      out_colptr[static_cast<std::size_t>(c) + 1] = running;
+    }
+    col = r.end;
+    const auto nnz_i = static_cast<std::size_t>(running - start);
+    const Payload& rowids = messages[1 + 2 * i];
+    const Payload& vals = messages[2 + 2 * i];
+    CASP_CHECK_MSG(rowids.size() == nnz_i * sizeof(Index) &&
+                       vals.size() == nnz_i * sizeof(Value),
+                   "assemble_sparse_block: range payload size mismatch");
+    if (nnz_i != 0) {
+      std::memcpy(buf.data() + layout.rowids +
+                      static_cast<std::size_t>(start) * sizeof(Index),
+                  rowids.data(), rowids.size());
+      std::memcpy(buf.data() + layout.vals +
+                      static_cast<std::size_t>(start) * sizeof(Value),
+                  vals.data(), vals.size());
+    }
+  }
+  for (; col < ncols; ++col)
+    out_colptr[static_cast<std::size_t>(col) + 1] = running;
+  CASP_CHECK(running == total_nnz);
+  return unpack_csc_view(Payload::wrap(std::move(buf)));
+}
+
+SparseAExchange::SparseAExchange(vmpi::Comm& row_comm, const CscMat& local_a,
+                                 const Machine* machine)
+    : row_comm_(row_comm), local_a_(local_a), machine_(machine) {}
+
+void SparseAExchange::post(int stage, const CscConstRef& b_view) {
+  Payload request;
+  if (row_comm_.rank() != stage) {
+    const std::vector<Index> support = row_support(b_view);
+    const std::vector<ColRange> ranges =
+        coalesce_cols(support, kSparseCoalesceGap);
+    request = pack_need_request(ranges);
+  }
+  pending_ = row_comm_.isparse_exchange(stage, std::move(request));
+  posted_stage_ = stage;
+}
+
+CscView SparseAExchange::wait(int stage) {
+  CASP_CHECK_MSG(stage == posted_stage_,
+                 "SparseAExchange: wait(" << stage << ") but stage "
+                                          << posted_stage_ << " is posted");
+  auto serve = [this](int /*src*/, Payload req) {
+    return make_sparse_reply(packed_, req, machine_);
+  };
+  if (row_comm_.rank() == stage) {
+    if (packed_.size() == 0) packed_ = pack_csc_payload(local_a_);
+    (void)row_comm_.sparse_wait(pending_, serve);
+    return unpack_csc_view(packed_);
+  }
+  std::vector<Payload> messages = row_comm_.sparse_wait(pending_, serve);
+  return assemble_sparse_block(messages);
+}
+
+}  // namespace casp

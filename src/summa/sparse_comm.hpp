@@ -1,0 +1,115 @@
+// Sparsity-aware A-block exchange for the SUMMA stage loop (SpComm3D
+// direction, Abubaker & Hoefler).
+//
+// In stage s, rank (i,j) multiplies A_is x B_sj, and the only columns of
+// A_is the Gustavson kernel dereferences are the *row support* of B_sj —
+// on skewed inputs a small fraction of the block. Instead of broadcasting
+// the whole CSC block, each receiver sends the stage root a need-list of
+// coalesced column ranges (metadata round), and the root replies with only
+// those ranges (data round), packed as Payload::subviews of its
+// already-packed block so no block bytes are ever copied on the sender.
+// The receiver splices the ranges back into a full-width CscView-compatible
+// block, so the kernels are untouched and the result is bit-identical to
+// the dense path. B stays dense: its dead weight is *rows* of B_sj (those
+// hitting empty A columns), which is not expressible as contiguous
+// subviews of a CSC payload without sender-side copies.
+//
+// Wire protocol (all fields 8-byte words, so every subview stays 8-aligned):
+//   request  = [u64 nranges] [i64 begin, i64 end]*nranges      (half-open)
+//   reply    = descriptor message + range messages:
+//     kind 0 (dense fallback): [u64 0], then the full packed block (one
+//       subview handle of the whole payload — still zero-copy).
+//     kind 1 (sparse):  [u64 1][i64 nrows][i64 ncols][u64 nranges]
+//       [i64 begin, i64 end]*nranges
+//       [colptr[begin..end] slices, (end-begin+1) words each]
+//       then per range: the rowids subview and the vals subview of the
+//       packed block.
+// The root falls back to kind 0 whenever the sparse reply would ship at
+// least as many bytes as the dense block, and additionally (when a Machine
+// is supplied) when the cost model says the extra per-range messages cost
+// more latency than the saved bandwidth is worth.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/payload.hpp"
+#include "model/machine.hpp"
+#include "sparse/csc_ref.hpp"
+#include "sparse/csc_view.hpp"
+#include "vmpi/comm.hpp"
+
+namespace casp {
+
+/// Half-open needed-column range [begin, end) of the sender's block.
+struct ColRange {
+  Index begin = 0;
+  Index end = 0;
+};
+
+/// Receiver-side gap bridging: ranges separated by at most this many
+/// unneeded columns merge into one. Bridging a gap ships its columns as
+/// dead weight (their colptr words plus whatever nnz they hold) while
+/// splitting costs a fixed ~3 descriptor words and two extra messages, so
+/// the break-even gap is small; a large value degenerates scattered
+/// supports into one whole-block range and the dense fallback. 2 keeps
+/// nearly all of the volume savings while bounding the range count on
+/// supports with many single-column holes.
+inline constexpr Index kSparseCoalesceGap = 2;
+
+/// Distinct row indices of `b`, ascending: exactly the A columns the
+/// stage's local multiply will dereference.
+std::vector<Index> row_support(const CscConstRef& b);
+
+/// Coalesce an ascending column list into half-open ranges, bridging gaps
+/// of at most `max_gap` columns.
+std::vector<ColRange> coalesce_cols(std::span<const Index> cols,
+                                    Index max_gap);
+
+/// Request payload for a need-list (see wire protocol above).
+Payload pack_need_request(std::span<const ColRange> ranges);
+std::vector<ColRange> unpack_need_request(const Payload& request);
+
+/// Root side: build the reply for one peer from the root's packed CSC
+/// block. All block bytes are subviews of `packed_block`; only the small
+/// descriptor is freshly built. `machine` null = byte-count fallback rule
+/// only (the in-process transport has no per-message latency); non-null
+/// additionally applies sparse_exchange_pays_off.
+vmpi::SparseReply make_sparse_reply(const Payload& packed_block,
+                                    const Payload& request,
+                                    const Machine* machine = nullptr);
+
+/// Receiver side: reassemble a reply into a full-width block whose
+/// requested columns are bit-identical to the sender's. Unrequested
+/// columns are empty, which the multiply never observes (it only touches
+/// the row support the request covered).
+CscView assemble_sparse_block(std::span<const Payload> messages);
+
+/// Stage-loop driver shared by summa2d and symbolic3d: posts the stage's
+/// exchange from the received B block's row support and completes it on
+/// either side. One exchange in flight at a time (post s, wait s, post
+/// s+1, ...), matching the pipeline order of the callers.
+class SparseAExchange {
+ public:
+  /// `local_a` must outlive *this; `machine` (optional, not owned) enables
+  /// the latency-aware fallback predicate on root replies.
+  SparseAExchange(vmpi::Comm& row_comm, const CscMat& local_a,
+                  const Machine* machine = nullptr);
+
+  /// Post the stage-s exchange. `b_view` is the received stage-s B block.
+  void post(int stage, const CscConstRef& b_view);
+  /// Complete the stage-s exchange: the root serves every peer, then reads
+  /// its own packed block; peers reassemble their reply. Returns the
+  /// full-width A view for the stage's multiply.
+  CscView wait(int stage);
+
+ private:
+  vmpi::Comm& row_comm_;
+  const CscMat& local_a_;
+  const Machine* machine_;
+  Payload packed_;  ///< my block, packed once on first root duty
+  vmpi::PendingSparse pending_;
+  int posted_stage_ = -1;
+};
+
+}  // namespace casp

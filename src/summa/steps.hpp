@@ -5,6 +5,7 @@
 // breakdown the paper's figures use.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "common/memory_tracker.hpp"
@@ -59,6 +60,17 @@ struct SummaOptions {
   /// modes send exactly the same messages in the same phases, so Table II
   /// traffic accounting is unchanged.
   bool pipeline = true;
+  /// Sparsity-aware A exchange (summa/sparse_comm.hpp): replace the dense
+  /// A-Bcast with a need-list request round plus need-only replies shipped
+  /// as zero-copy subviews. Results are bit-identical either way; the
+  /// traffic ledger's shipped-vs-logical columns expose the savings. B
+  /// stays dense (its dead weight is row-filtered, not subview-shaped).
+  bool sparse_comm = false;
+  /// Per-local-output-column unmerged nnz from a prior symbolic pass
+  /// (SymbolicResult::col_nnz, sliced per batch); when non-empty, the
+  /// local kernels pre-size their hash tables from it instead of growing
+  /// from the flops upper bound. Borrowed, not owned.
+  std::span<const Index> symbolic_col_nnz = {};
   /// OpenMP threads for local kernels within each rank.
   int threads = 1;
   /// Optional per-rank memory budget enforcement. Not owned.

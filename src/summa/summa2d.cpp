@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "obs/recorder.hpp"
 #include "sparse/serialize.hpp"
+#include "summa/sparse_comm.hpp"
 
 namespace casp {
 
@@ -17,11 +18,98 @@ struct StageBcasts {
   vmpi::PendingBcast b;
 };
 
+/// Sparse-comm stage loop: B keeps the dense ibcast schedule, but A ships
+/// via the need-list exchange — each stage's request is derived from the
+/// row support of the B block received for that stage, so the B wait moves
+/// ahead of the A exchange (prepare_stage) while the reply round and the
+/// request for s+1 overlap the multiplies around them. Bit-identical to
+/// the dense loop: shipped A columns cover exactly the row support the
+/// multiply dereferences.
+template <typename SR>
+CscMat summa2d_sparse(Grid3D& grid, const CscMat& local_a,
+                      const CscMat& local_b, const SummaOptions& opts) {
+  vmpi::Comm& row_comm = grid.row_comm();
+  vmpi::Comm& col_comm = grid.col_comm();
+  obs::Recorder& rec = row_comm.recorder();
+  obs::ScopedTag layer_tag(rec, obs::ScopedTag::Kind::kLayer, grid.layer());
+  const int stages = grid.q();
+
+  std::vector<CscMat> partials;
+  partials.reserve(static_cast<std::size_t>(stages));
+  std::vector<MemoryCharge> partial_charges;
+  partial_charges.reserve(static_cast<std::size_t>(stages));
+
+  SparseAExchange a_exchange(row_comm, local_a);
+
+  auto post_b = [&](int s) {
+    obs::PhaseSpan span(rec, steps::kBBcast);
+    Payload buf =
+        col_comm.rank() == s ? pack_csc_payload(local_b) : Payload{};
+    return col_comm.ibcast_payload(s, std::move(buf));
+  };
+  // Wait the stage's B, then post the A need-list it induces.
+  auto prepare_stage = [&](int s, vmpi::PendingBcast& b_pending) {
+    CscView b_view;
+    {
+      obs::PhaseSpan span(rec, steps::kBBcast);
+      b_view = unpack_csc_view(col_comm.bcast_wait(b_pending));
+    }
+    {
+      obs::PhaseSpan span(rec, steps::kABcast);
+      a_exchange.post(s, b_view);
+    }
+    return b_view;
+  };
+
+  vmpi::PendingBcast b_pending = post_b(0);
+  CscView b_view = prepare_stage(0, b_pending);
+  for (int s = 0; s < stages; ++s) {
+    obs::ScopedTag stage_tag(rec, obs::ScopedTag::Kind::kStage, s);
+    if (opts.pipeline && s + 1 < stages) b_pending = post_b(s + 1);
+    CscView a_view;
+    {
+      obs::PhaseSpan span(rec, steps::kABcast);
+      a_view = a_exchange.wait(s);
+    }
+    CASP_CHECK_MSG(a_view.ncols() == b_view.nrows(),
+                   "summa2d stage " << s << ": inner dim mismatch "
+                                    << a_view.ncols() << " vs "
+                                    << b_view.nrows());
+    {
+      obs::Span span(rec, steps::kLocalMultiply);
+      partials.push_back(local_spgemm<SR>(a_view, b_view, opts.local_kind,
+                                          opts.threads,
+                                          opts.symbolic_col_nnz));
+    }
+    if (opts.memory != nullptr) {
+      partial_charges.emplace_back(
+          *opts.memory,
+          static_cast<Bytes>(partials.back().nnz()) * kBytesPerNonzero,
+          "unmerged stage output");
+      rec.sample_memory(*opts.memory, "memory.live_bytes");
+    }
+    if (s + 1 < stages) {
+      if (!opts.pipeline) b_pending = post_b(s + 1);
+      b_view = prepare_stage(s + 1, b_pending);
+    }
+  }
+
+  CscMat merged;
+  {
+    obs::Span span(rec, steps::kMergeLayer);
+    merged =
+        merge_matrices<SR>(csc_refs(partials), opts.merge_kind, opts.threads);
+  }
+  return merged;
+}
+
 }  // namespace
 
 template <typename SR>
 CscMat summa2d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
                const SummaOptions& opts) {
+  if (opts.sparse_comm)
+    return summa2d_sparse<SR>(grid, local_a, local_b, opts);
   vmpi::Comm& row_comm = grid.row_comm();
   vmpi::Comm& col_comm = grid.col_comm();
   // Split communicators share the world's recorder, so spans opened through
@@ -84,7 +172,8 @@ CscMat summa2d(Grid3D& grid, const CscMat& local_a, const CscMat& local_b,
     {
       obs::Span span(rec, steps::kLocalMultiply);
       partials.push_back(local_spgemm<SR>(a_view, b_view, opts.local_kind,
-                                          opts.threads));
+                                          opts.threads,
+                                          opts.symbolic_col_nnz));
     }
     if (opts.memory != nullptr) {
       // Unmerged per-stage results are exactly the mem(C) term of Eq. 1:

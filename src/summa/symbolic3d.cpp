@@ -9,6 +9,7 @@
 #include "obs/recorder.hpp"
 #include "sparse/serialize.hpp"
 #include "sparse/stats.hpp"
+#include "summa/sparse_comm.hpp"
 
 namespace casp {
 
@@ -44,19 +45,64 @@ SymbolicResult symbolic3d(Grid3D& grid, const CscMat& local_a,
 
   Index my_unmerged = 0;
   Index my_flops = 0;
-  StageBcasts current = post_stage(0);
-  for (int s = 0; s < stages; ++s) {
-    obs::ScopedTag stage_tag(rec, obs::ScopedTag::Kind::kStage, s);
-    CscView a_view = unpack_csc_view(row_comm.bcast_wait(current.a));
-    CscView b_view = unpack_csc_view(col_comm.bcast_wait(current.b));
-    if (opts.pipeline && s + 1 < stages) current = post_stage(s + 1);
-
-    my_unmerged += symbolic_nnz(a_view, b_view);
+  std::vector<Index> my_col_nnz;
+  // Per-stage column counts accumulate into the whole-multiplication
+  // per-column totals; their sum is exactly the old symbolic_nnz term.
+  auto tally_stage = [&](const CscConstRef& a_view,
+                         const CscConstRef& b_view) {
+    const std::vector<Index> stage_cols = symbolic_column_nnz(a_view, b_view);
+    if (my_col_nnz.empty()) my_col_nnz.assign(stage_cols.size(), 0);
+    CASP_CHECK_MSG(my_col_nnz.size() == stage_cols.size(),
+                   "symbolic3d: stage B widths disagree within a block "
+                   "column");
+    for (std::size_t j = 0; j < stage_cols.size(); ++j) {
+      my_col_nnz[j] += stage_cols[j];
+      my_unmerged += stage_cols[j];
+    }
     my_flops += multiply_flops(a_view, b_view);
-    if (!opts.pipeline && s + 1 < stages) current = post_stage(s + 1);
+  };
+
+  if (opts.sparse_comm) {
+    // Same need-list A exchange as the numeric loop (summa2d_sparse): B
+    // keeps its ibcast schedule, each stage's A request is derived from
+    // the row support of that stage's B block.
+    SparseAExchange a_exchange(row_comm, local_a);
+    auto post_b = [&](int s) {
+      return col_comm.ibcast_payload(
+          s, col_comm.rank() == s ? pack_csc_payload(local_b) : Payload{});
+    };
+    auto prepare_stage = [&](int s, vmpi::PendingBcast& b_pending) {
+      CscView view = unpack_csc_view(col_comm.bcast_wait(b_pending));
+      a_exchange.post(s, view);
+      return view;
+    };
+    vmpi::PendingBcast b_pending = post_b(0);
+    CscView b_view = prepare_stage(0, b_pending);
+    for (int s = 0; s < stages; ++s) {
+      obs::ScopedTag stage_tag(rec, obs::ScopedTag::Kind::kStage, s);
+      if (opts.pipeline && s + 1 < stages) b_pending = post_b(s + 1);
+      CscView a_view = a_exchange.wait(s);
+      tally_stage(a_view, b_view);
+      if (s + 1 < stages) {
+        if (!opts.pipeline) b_pending = post_b(s + 1);
+        b_view = prepare_stage(s + 1, b_pending);
+      }
+    }
+  } else {
+    StageBcasts current = post_stage(0);
+    for (int s = 0; s < stages; ++s) {
+      obs::ScopedTag stage_tag(rec, obs::ScopedTag::Kind::kStage, s);
+      CscView a_view = unpack_csc_view(row_comm.bcast_wait(current.a));
+      CscView b_view = unpack_csc_view(col_comm.bcast_wait(current.b));
+      if (opts.pipeline && s + 1 < stages) current = post_stage(s + 1);
+
+      tally_stage(a_view, b_view);
+      if (!opts.pipeline && s + 1 < stages) current = post_stage(s + 1);
+    }
   }
 
   SymbolicResult result;
+  result.col_nnz = std::move(my_col_nnz);
   result.max_nnz_c = world.allreduce_max<Index>(my_unmerged);
   result.max_nnz_a = world.allreduce_max<Index>(local_a.nnz());
   result.max_nnz_b = world.allreduce_max<Index>(local_b.nnz());

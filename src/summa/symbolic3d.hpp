@@ -9,6 +9,8 @@
 // process can exhaust its memory, at the cost of possibly more batches.
 #pragma once
 
+#include <vector>
+
 #include "grid/grid3d.hpp"
 #include "sparse/csc_mat.hpp"
 #include "summa/steps.hpp"
@@ -27,6 +29,13 @@ struct SymbolicResult {
   /// Global totals (AllReduce-sum), reported for the experiments.
   Index total_unmerged_nnz = 0;
   Index total_flops = 0;
+  /// This process's per-local-output-column unmerged nnz, summed over the
+  /// SUMMA stages (so it upper-bounds any single stage's column). Feed it
+  /// to SummaOptions::symbolic_col_nnz — sliced per batch with the same
+  /// column ranges as the B batch split — so the numeric kernels pre-size
+  /// their hash tables. sum(col_nnz) equals the my_unmerged term behind
+  /// max_nnz_c.
+  std::vector<Index> col_nnz;
 };
 
 /// Collective over the whole grid. total_memory is M, the aggregate memory

@@ -20,6 +20,8 @@ const char* collective_op_name(CollectiveOp op) {
       return "alltoall";
     case CollectiveOp::kSplit:
       return "split";
+    case CollectiveOp::kSparseExchange:
+      return "sparse-exchange";
   }
   return "unknown";
 }

@@ -31,6 +31,7 @@ enum class CollectiveOp : std::uint8_t {
   kAllgather,
   kAlltoall,
   kSplit,
+  kSparseExchange,
 };
 
 const char* collective_op_name(CollectiveOp op);

@@ -472,6 +472,113 @@ Payload Comm::bcast_wait(PendingBcast& pending) {
   return pending.data_;
 }
 
+PendingSparse Comm::isparse_exchange(int root, Payload request) {
+  CASP_CHECK(root >= 0 && root < size_);
+  PendingSparse pending;
+  pending.root_ = root;
+  // SPMD-consistent counter, like ibcast_counter_: every rank posts the
+  // same exchanges in the same order, so all ranks derive the same pair.
+  const int slot = static_cast<int>(sparse_counter_++ % kSparseTagSlots);
+  pending.req_tag_ = kSparseReqTagBase - slot;
+  pending.data_tag_ = kSparseDataTagBase - slot;
+  if (size_ == 1) {
+    pending.done_ = true;
+    return pending;
+  }
+#ifdef CASP_VMPI_CHECK
+  {
+    CollectiveStamp stamp;
+    stamp.op = CollectiveOp::kSparseExchange;
+    stamp.seq = ++collective_seq_;
+    stamp.root = root;
+    stamp.payload = 0;
+    pending.stamp_ = stamp;
+    const int my_world = members_[static_cast<std::size_t>(rank_)];
+    detail::RankStatus& st =
+        world_->status[static_cast<std::size_t>(my_world)];
+    std::lock_guard<std::mutex> lock(st.mutex);
+    st.history[st.history_count % st.history.size()] = stamp;
+    ++st.history_count;
+  }
+#endif
+  if (rank_ != root) {
+    // The need-list goes into the root's mailbox now; the root drains all
+    // requests when it reaches its own sparse_wait, so the metadata round
+    // overlaps whatever either side computes in between.
+#ifdef CASP_VMPI_CHECK
+    const CollectiveStamp saved = current_collective_;
+    current_collective_ = pending.stamp_;
+#endif
+    post_message(root, pending.req_tag_, std::move(request),
+                 /*fire_and_forget=*/false);
+#ifdef CASP_VMPI_CHECK
+    current_collective_ = saved;
+#endif
+  }
+  return pending;
+}
+
+std::vector<Payload> Comm::sparse_wait(PendingSparse& pending,
+                                       const SparseServeFn& serve) {
+  CASP_CHECK_MSG(pending.valid(), "sparse_wait on an unposted PendingSparse");
+  std::vector<Payload> received;
+  if (pending.done_) return received;  // size-1 communicator or repeat wait
+  pending.done_ = true;
+#ifdef CASP_VMPI_CHECK
+  const CollectiveStamp saved = current_collective_;
+  current_collective_ = pending.stamp_;
+#endif
+  if (rank_ == pending.root_) {
+    // Serve every peer in rank order: the caller builds each reply as
+    // subview handles into its packed block (no block-byte copies here),
+    // the exchange frames them with a message-count header, and the dense
+    // volume the reply avoided is charged as logical-only traffic.
+    for (int r = 0; r < size_; ++r) {
+      if (r == rank_) continue;
+      detail::Message req = take_message(r, pending.req_tag_);
+#ifdef CASP_VMPI_CHECK
+      verify_stamp_against(req, r, pending.stamp_);
+#endif
+      SparseReply reply = serve(r, std::move(req.payload));
+      const std::uint64_t count = reply.messages.size();
+      std::vector<std::byte> head(sizeof(count));
+      std::memcpy(head.data(), &count, sizeof(count));
+      Bytes shipped = static_cast<Bytes>(head.size());
+      post_message(r, pending.data_tag_, Payload::wrap(std::move(head)),
+                   /*fire_and_forget=*/false);
+      for (Payload& m : reply.messages) {
+        shipped += static_cast<Bytes>(m.size());
+        post_message(r, pending.data_tag_, std::move(m),
+                     /*fire_and_forget=*/false);
+      }
+      if (reply.dense_equivalent_bytes > shipped)
+        traffic().record_unshipped(reply.dense_equivalent_bytes - shipped,
+                                   members_[static_cast<std::size_t>(r)]);
+    }
+  } else {
+    detail::Message head = take_message(pending.root_, pending.data_tag_);
+#ifdef CASP_VMPI_CHECK
+    verify_stamp_against(head, pending.root_, pending.stamp_);
+#endif
+    CASP_CHECK_MSG(head.payload.size() == sizeof(std::uint64_t),
+                   "sparse_wait: malformed reply count header");
+    std::uint64_t count = 0;
+    std::memcpy(&count, head.payload.data(), sizeof(count));
+    received.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t k = 0; k < count; ++k) {
+      detail::Message msg = take_message(pending.root_, pending.data_tag_);
+#ifdef CASP_VMPI_CHECK
+      verify_stamp_against(msg, pending.root_, pending.stamp_);
+#endif
+      received.push_back(std::move(msg.payload));
+    }
+  }
+#ifdef CASP_VMPI_CHECK
+  current_collective_ = saved;
+#endif
+  return received;
+}
+
 std::vector<Payload> Comm::allgather_payload(Payload mine) {
   std::vector<Payload> gathered(static_cast<std::size_t>(size_));
   if (size_ == 1) {

@@ -242,6 +242,43 @@ class PendingBcast {
 #endif
 };
 
+/// One peer's reply in a sparse exchange: the messages to ship (built as
+/// subview handles into the sender's packed block, so no block bytes are
+/// copied) plus the byte volume a dense full-block send to this peer would
+/// have carried. The comm layer ships the messages and charges
+/// max(0, dense_equivalent - shipped) as logical-only traffic
+/// (TrafficStats::record_unshipped), so run reports expose the measured
+/// savings against the dense Table II accounting.
+struct SparseReply {
+  std::vector<Payload> messages;
+  Bytes dense_equivalent_bytes = 0;
+};
+
+/// Root-side serve callback of a sparse exchange: invoked once per peer
+/// with the peer's communicator-local rank and its request payload.
+using SparseServeFn = std::function<SparseReply(int src, Payload request)>;
+
+/// Handle for a sparse request/reply exchange posted with
+/// Comm::isparse_exchange. Non-roots send their need-list at post time; the
+/// root serves every peer (and peers receive their replies) in sparse_wait.
+/// Each post draws a distinct (request, data) tag pair so exchanges of
+/// adjacent pipeline stages can be in flight on the same communicator.
+class PendingSparse {
+ public:
+  PendingSparse() = default;
+  bool valid() const { return root_ >= 0; }
+
+ private:
+  friend class Comm;
+  int root_ = -1;
+  int req_tag_ = 0;
+  int data_tag_ = 0;
+  bool done_ = false;
+#ifdef CASP_VMPI_CHECK
+  CollectiveStamp stamp_;  ///< created at post, verified at wait
+#endif
+};
+
 /// Per-rank communicator handle. Not thread-safe; each rank owns its own.
 class Comm {
  public:
@@ -307,6 +344,19 @@ class Comm {
   /// Completes a pending broadcast: non-roots receive and forward to their
   /// tree children here. Returns the broadcast payload on every rank.
   Payload bcast_wait(PendingBcast& pending);
+
+  /// Sparse request/reply exchange ("sparse-exchange" collective): every
+  /// rank posts with the same root in SPMD order. Non-roots send `request`
+  /// (their app-defined need-list) to the root immediately so the metadata
+  /// round overlaps whatever the root is still computing; `request` is
+  /// ignored on the root.
+  PendingSparse isparse_exchange(int root, Payload request);
+  /// Completes the exchange. The root calls `serve` once per peer (in
+  /// ascending rank order), ships each reply's messages, and returns an
+  /// empty vector (the root reads its own block locally). Every non-root
+  /// returns its reply's messages in sent order; `serve` is not invoked.
+  std::vector<Payload> sparse_wait(PendingSparse& pending,
+                                   const SparseServeFn& serve);
 
   template <typename T>
   T bcast_value(int root, T v) {
@@ -552,6 +602,12 @@ class Comm {
   /// trees (pipeline stage s and s+1) can never cross-match in the mailbox.
   static constexpr int kIbcastTagBase = -200;
   static constexpr int kIbcastTagSlots = 1024;
+  /// Sparse exchanges draw a (request, data) tag pair per post from two
+  /// reserved spaces below the ibcast range, so in-flight exchanges can
+  /// never cross-match each other or any broadcast tree.
+  static constexpr int kSparseReqTagBase = -2000;
+  static constexpr int kSparseDataTagBase = -3100;
+  static constexpr int kSparseTagSlots = 1024;
 
   std::shared_ptr<detail::World> world_;
   std::uint64_t context_;
@@ -563,6 +619,9 @@ class Comm {
   /// the per-call tag. Identical across ranks because every rank posts the
   /// same broadcasts in the same order.
   std::uint64_t ibcast_counter_ = 0;
+  /// SPMD-consistent count of sparse-exchange posts; mirrors
+  /// ibcast_counter_ for the sparse tag spaces.
+  std::uint64_t sparse_counter_ = 0;
 #ifdef CASP_VMPI_CHECK
   CollectiveStamp current_collective_;
   std::uint64_t collective_seq_ = 0;

@@ -21,6 +21,7 @@ TrafficSummary RunResult::traffic_summary() const {
       PhaseTraffic& mx = summary.max_per_phase[phase];
       mx.messages = std::max(mx.messages, t.messages);
       mx.bytes = std::max(mx.bytes, t.bytes);
+      mx.shipped = std::max(mx.shipped, t.shipped);
     }
   }
   return summary;

@@ -19,11 +19,18 @@ namespace casp::vmpi {
 
 struct PhaseTraffic {
   std::uint64_t messages = 0;
+  /// Logical bytes: what the dense Table II accounting charges. For plain
+  /// sends this equals `shipped`; the sparse exchange plane additionally
+  /// charges the dense-equivalent volume here (via record_unshipped) so the
+  /// ledger exposes measured savings as `bytes - shipped`.
   Bytes bytes = 0;
+  /// Bytes that actually crossed the wire. Invariant: shipped <= bytes.
+  Bytes shipped = 0;
 
   PhaseTraffic& operator+=(const PhaseTraffic& other) {
     messages += other.messages;
     bytes += other.bytes;
+    shipped += other.shipped;
     return *this;
   }
 };
@@ -46,11 +53,22 @@ class TrafficStats {
     PhaseTraffic& t = per_phase_[phase_];
     ++t.messages;
     t.bytes += bytes;
+    t.shipped += bytes;
     if (dest_world >= 0) {
       PhaseTraffic& d = per_dest_[phase_][dest_world];
       ++d.messages;
       d.bytes += bytes;
+      d.shipped += bytes;
     }
+  }
+
+  /// Charge logical-only bytes: volume the dense path *would* have sent but
+  /// the sparse exchange avoided. No message and no shipped bytes are
+  /// counted, so dense-path ledgers (which never call this) are unchanged
+  /// and `shipped <= bytes` holds per phase and per destination.
+  void record_unshipped(Bytes logical, int dest_world = -1) {
+    per_phase_[phase_].bytes += logical;
+    if (dest_world >= 0) per_dest_[phase_][dest_world].bytes += logical;
   }
 
   const std::map<std::string, PhaseTraffic>& per_phase() const {

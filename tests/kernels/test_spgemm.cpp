@@ -2,9 +2,13 @@
 // kernel kinds, shapes, densities, and semirings.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 #include "gen/rmat.hpp"
 #include "kernels/reference.hpp"
 #include "kernels/spgemm.hpp"
+#include "kernels/symbolic.hpp"
 #include "test_util.hpp"
 
 namespace casp {
@@ -154,6 +158,42 @@ TEST(SpGemm, MultithreadedMatchesSerial) {
   const CscMat parallel =
       local_spgemm<PlusTimes>(a, a, SpGemmKind::kUnsortedHash, /*threads=*/4);
   testing::expect_mat_near(parallel, serial, 1e-12);
+}
+
+TEST(SpGemm, SymbolicHintsPreserveResultsExactly) {
+  // Pre-sizing the hash tables from symbolic per-column counts must not
+  // change a single byte of the output: emit order is first-touch order,
+  // independent of table capacity.
+  const CscMat a = testing::random_matrix(90, 90, 4.0, 17);
+  const std::vector<Index> hints = symbolic_column_nnz(a, a);
+  for (SpGemmKind kind :
+       {SpGemmKind::kUnsortedHash, SpGemmKind::kSortedHash,
+        SpGemmKind::kHybrid}) {
+    const CscMat plain = local_spgemm<PlusTimes>(a, a, kind, /*threads=*/1);
+    const CscMat hinted =
+        local_spgemm<PlusTimes>(a, a, kind, /*threads=*/1, hints);
+    testing::expect_mat_near(hinted, plain, 0.0);
+  }
+}
+
+TEST(SpGemm, UndersizedHintsStillProduceCorrectResults) {
+  // A wrong (too small) hint must cost a rehash, never correctness: the
+  // accumulator grows on load instead of looping on a full table.
+  const CscMat a = testing::random_matrix(60, 60, 5.0, 18);
+  const std::vector<Index> ones(static_cast<std::size_t>(a.ncols()), 1);
+  const CscMat plain =
+      local_spgemm<PlusTimes>(a, a, SpGemmKind::kUnsortedHash);
+  const CscMat hinted = local_spgemm<PlusTimes>(
+      a, a, SpGemmKind::kUnsortedHash, /*threads=*/1, ones);
+  testing::expect_mat_near(hinted, plain, 1e-12);
+}
+
+TEST(SpGemm, HintSpanOfWrongLengthIsRejected) {
+  const CscMat a = testing::random_matrix(12, 12, 2.0, 19);
+  const std::vector<Index> short_hints(3, 5);
+  EXPECT_THROW((void)local_spgemm<PlusTimes>(
+                   a, a, SpGemmKind::kUnsortedHash, 1, short_hints),
+               std::logic_error);
 }
 
 TEST(SpGemm, KindNames) {

@@ -53,5 +53,36 @@ TEST(Serialize, RejectsTrailingBytes) {
   EXPECT_THROW(unpack_csc(buf), std::logic_error);
 }
 
+TEST(Serialize, RepeatedViewsOfOnePayloadStayConsistent) {
+  // unpack_csc_view memoizes validation per payload generation (the SUMMA
+  // loop re-views each forwarded block every stage); repeated views of the
+  // same payload must be identical, and a *different* corrupt payload must
+  // still hit the strict first-contact path and be rejected.
+  const CscMat m = testing::random_matrix(30, 20, 3.0, 13);
+  const Payload payload = pack_csc_payload(m);
+  const CscView first = unpack_csc_view(payload);
+  for (int i = 0; i < 5; ++i) {
+    const CscView again = unpack_csc_view(payload);
+    EXPECT_EQ(again.colptr().data(), first.colptr().data());
+    EXPECT_EQ(again.nnz(), m.nnz());
+  }
+  Payload truncated = pack_csc_payload(m);
+  truncated = truncated.subview(0, truncated.size() - 8);
+  EXPECT_THROW((void)unpack_csc_view(truncated), std::logic_error);
+}
+
+TEST(Serialize, MemoKeysOnBufferIdentityNotJustShape) {
+  // Two equal-shaped payloads are distinct generations: corruption in the
+  // second must be caught even right after the first validated cleanly.
+  const CscMat m = testing::random_matrix(16, 16, 2.0, 14);
+  const Payload good = pack_csc_payload(m);
+  (void)unpack_csc_view(good);
+  std::vector<std::byte> bytes = pack_csc(m);
+  // Corrupt colptr[0] (first word after the 24-byte header).
+  bytes[24] = std::byte{0x7f};
+  EXPECT_THROW((void)unpack_csc_view(Payload::wrap(std::move(bytes))),
+               std::logic_error);
+}
+
 }  // namespace
 }  // namespace casp

@@ -54,6 +54,14 @@ test (see tests/CMakeLists.txt). Rules:
                   the crash-safety the subsystem exists to provide. The
                   open expression must mention kTmpSuffix on the same
                   line (route writes through atomic_write_file).
+  sparse-subview-pack
+                  In the sparse-exchange packer (src/**/sparse_comm.*),
+                  no `Payload::copy_of` or `.materialize(` — every reply
+                  the sender builds must carry block bytes as
+                  `Payload::subview` handles of the already-packed block
+                  (descriptors may be built fresh with `Payload::wrap`).
+                  A deep copy here silently voids the zero-copy send
+                  guarantee that bench_sparse_exchange gates on.
   rank-divergent-collective
                   In src/, no collective call (barrier, bcast*/ibcast*,
                   allreduce*, allgather*, alltoall*, reduce_to_root,
@@ -103,6 +111,11 @@ CAST_SCOPE_LINES = 40
 
 CONST_CAST_RE = re.compile(r"\bconst_cast\b")
 PAYLOAD_TYPE_RE = re.compile(r"\b(Payload|CscView)\b")
+
+# Deep-copy constructions banned in the sparse-exchange packer: the only
+# sanctioned ways to put block bytes on the wire there are subview handles
+# of the packed block (descriptors may be wrapped fresh).
+SPARSE_DEEP_COPY_RE = re.compile(r"\bPayload::copy_of\s*\(|\.\s*materialize\s*\(")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"][^>"]+[>"])')
 
@@ -281,6 +294,8 @@ class Linter:
         self.check_cast_pairing(rel, code_lines, waived)
         self.check_empty_catch(rel, code_text, waived)
         self.check_payload_ownership(rel, code_lines, waived)
+        if in_src and "sparse_comm" in rel:
+            self.check_sparse_subview_pack(rel, code_lines, waived)
         if rel.endswith(".hpp"):
             self.check_pragma_once(rel, code_lines, waived)
         self.check_include_order(rel, raw_lines, waived)
@@ -440,6 +455,18 @@ class Linter:
                     "copy out (materialize()/release_or_copy()) before "
                     "mutating")
 
+    def check_sparse_subview_pack(self, rel, code_lines, waived):
+        for idx, line in enumerate(code_lines):
+            if SPARSE_DEEP_COPY_RE.search(line) and not waived(
+                    "sparse-subview-pack", idx):
+                self.error(
+                    rel, idx + 1, "sparse-subview-pack",
+                    "payload deep copy in the sparse-exchange packer — "
+                    "sends must ship Payload::subview handles of the "
+                    "packed block (Payload::wrap for fresh descriptors); "
+                    "a copy_of/materialize here breaks the zero-copy "
+                    "guarantee bench_sparse_exchange gates on")
+
     def check_pragma_once(self, rel, code_lines, waived):
         for idx, line in enumerate(code_lines):
             stripped = line.strip()
@@ -501,11 +528,18 @@ class Linter:
         return 0
 
 
+FIXTURE_RULES_RE = re.compile(r"lint-rules:\s*([a-z, -]+)")
+
+
 def self_test(root: Path) -> int:
     """Lint the fixture corpus (tests/lint/fixtures/*.cpp.txt) under a
     pretend src/ path and compare against the `// expect-violation` line
     markers. Positive fixtures prove the rule fires where it must; negative
-    fixtures prove the allowlist and the non-rank branches stay silent."""
+    fixtures prove the allowlist and benign shapes stay silent. Each
+    fixture declares the rule(s) it exercises with a `// lint-rules: a,b`
+    header line — errors from other rules are ignored, so a fixture only
+    tests what it claims to. Fixtures without the header default to
+    rank-divergent-collective (the original corpus)."""
     fixtures = sorted((root / "tests" / "lint" / "fixtures").glob("*.cpp.txt"))
     if not fixtures:
         print("casp_lint --self-test: no fixtures found", file=sys.stderr)
@@ -518,12 +552,16 @@ def self_test(root: Path) -> int:
             for idx, line in enumerate(text.splitlines())
             if "expect-violation" in line
         }
+        rules = {"rank-divergent-collective"}
+        m = FIXTURE_RULES_RE.search(text)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
         linter = Linter(root)
         linter.lint_text(f"src/{path.stem}", text)
         got = {
             int(e.split(":")[1])
             for e in linter.errors
-            if "[rank-divergent-collective]" in e
+            if any(f"[{rule}]" in e for rule in rules)
         }
         if got == expected:
             print(f"self-test PASS {path.name} "

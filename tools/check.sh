@@ -121,6 +121,13 @@ else
   # codegen fails the hook-laden ops here; deep-copy counts (the steal
   # and transport ops must stay copy-free) are compared exactly.
   perf_bench bench_sched_overhead BENCH_sched_overhead.json
+  # Sparse A-exchange gate: the binary itself asserts >= 30% A-Bcast byte
+  # savings and zero added deep copies (exit nonzero otherwise); perf_diff
+  # then compares the snapshot. End-to-end SUMMA walls swing hard on an
+  # oversubscribed core, so the time band is wide — the byte and copy
+  # comparisons don't depend on it.
+  perf_bench bench_sparse_exchange BENCH_sparse_exchange.json \
+    --threshold "${CASP_SPARSE_THRESHOLD:-1.0}"
 fi
 
 if [ "$SKIP_FAULTS" = 1 ]; then
