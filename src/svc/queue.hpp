@@ -1,0 +1,66 @@
+// JobQueue: the service's pending-job order — strict priority, FIFO within
+// a priority, O(n) operations over a small deterministic vector. Higher
+// priority runs first; ties break on submission sequence, never on clock or
+// pointer identity, so two runs of the same submission sequence schedule
+// identically (the property the check.sh soak compares).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace casp::svc {
+
+class JobQueue {
+ public:
+  void push(std::string job_id, int priority) {
+    entries_.push_back(Entry{std::move(job_id), priority, next_seq_++});
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Remove and return the id of the highest-priority (earliest-submitted
+  /// within the priority) job. Precondition: !empty().
+  std::string pop() {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].priority > entries_[best].priority ||
+          (entries_[i].priority == entries_[best].priority &&
+           entries_[i].seq < entries_[best].seq))
+        best = i;
+    }
+    std::string id = std::move(entries_[best].job_id);
+    entries_.erase(entries_.begin() +
+                   static_cast<std::ptrdiff_t>(best));
+    return id;
+  }
+
+  /// Remove a queued job (cancellation). False if not queued.
+  bool remove(const std::string& job_id) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].job_id == job_id) {
+        entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool contains(const std::string& job_id) const {
+    for (const Entry& e : entries_)
+      if (e.job_id == job_id) return true;
+    return false;
+  }
+
+ private:
+  struct Entry {
+    std::string job_id;
+    int priority;
+    std::uint64_t seq;
+  };
+  std::vector<Entry> entries_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace casp::svc

@@ -1,0 +1,99 @@
+// Per-tenant accounting: memory reservations and cumulative traffic bills.
+//
+// Each tenant of the job service gets one TenantLedger. Memory is tracked
+// with the same MemoryTracker the numeric kernels use — the ledger's budget
+// is the tenant's memory quota, and every admitted job holds a reservation
+// (the Eq. (2)-derived footprint) from submit until its terminal state, so
+// a tenant cannot queue more aggregate work than its quota covers. Traffic
+// is billed after each executed job from the run's TrafficStats ledgers:
+// cumulative logical bytes (the Table II accounting) are compared against
+// the traffic quota, and a tenant that exhausts it has its remaining jobs
+// throttled while other tenants proceed.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/memory_tracker.hpp"
+#include "common/types.hpp"
+#include "obs/job_report.hpp"
+#include "obs/json.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace casp::svc {
+
+/// Limits for one tenant; 0 means unlimited on either axis.
+struct TenantQuota {
+  Bytes memory_bytes = 0;   ///< max aggregate reserved bytes at any time
+  Bytes traffic_bytes = 0;  ///< max cumulative billed logical bytes
+};
+
+/// Mutable per-tenant state: live reservations, cumulative bills, and the
+/// per-phase logical-byte breakdown that reconciles against the paper's
+/// Table II volumes.
+class TenantLedger {
+ public:
+  TenantLedger() = default;
+  TenantLedger(std::string name, TenantQuota quota)
+      : name_(std::move(name)), quota_(quota), memory_(quota.memory_bytes) {}
+
+  const std::string& name() const { return name_; }
+  const TenantQuota& quota() const { return quota_; }
+
+  // -- Memory reservations ---------------------------------------------------
+
+  /// True iff a reservation of `bytes` could ever fit the quota (ignores
+  /// what is currently live): the submit-time reject test.
+  bool within_memory_quota(Bytes bytes) const {
+    return quota_.memory_bytes == 0 || bytes <= quota_.memory_bytes;
+  }
+  /// Take a reservation; false when the quota is currently exhausted (the
+  /// job stays queued unreserved and the scheduler retries).
+  bool reserve(Bytes bytes) {
+    try {
+      memory_.allocate(bytes, "job reservation");
+    } catch (const MemoryError&) {
+      return false;
+    }
+    return true;
+  }
+  void release(Bytes bytes) { memory_.release(bytes); }
+  Bytes reserved() const { return memory_.live(); }
+  Bytes peak_reserved() const { return memory_.peak(); }
+
+  // -- Traffic billing -------------------------------------------------------
+
+  /// Fold one executed job's bill into the cumulative totals.
+  void bill(const obs::JobBilling& bill, const vmpi::RunResult& run);
+  Bytes traffic_billed() const { return logical_billed_; }
+  /// True once the cumulative logical bytes meet the quota: subsequent
+  /// jobs of this tenant are throttled.
+  bool traffic_exhausted() const {
+    return quota_.traffic_bytes != 0 && logical_billed_ >= quota_.traffic_bytes;
+  }
+
+  // -- Job counters ----------------------------------------------------------
+
+  void count_job(const std::string& terminal_state) {
+    ++jobs_by_state_[terminal_state];
+  }
+
+  /// "casp.tenant_report.v1": quotas, live/peak reservations, cumulative
+  /// billing totals, the per-phase logical breakdown, and the job counts by
+  /// terminal state. Deterministic for a deterministic job sequence.
+  obs::Json report() const;
+
+ private:
+  std::string name_;
+  TenantQuota quota_;
+  MemoryTracker memory_;
+  std::uint64_t messages_billed_ = 0;
+  Bytes logical_billed_ = 0;
+  Bytes shipped_billed_ = 0;
+  int restarts_billed_ = 0;
+  /// Phase name -> cumulative logical bytes (Table II rows).
+  std::map<std::string, Bytes> logical_by_phase_;
+  std::map<std::string, std::uint64_t> jobs_by_state_;
+};
+
+}  // namespace casp::svc

@@ -1,0 +1,334 @@
+#include "svc/server.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "apps/triangle.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "common/error.hpp"
+#include "grid/dist.hpp"
+#include "grid/grid3d.hpp"
+#include "kernels/semiring.hpp"
+#include "obs/report.hpp"
+#include "summa/batched.hpp"
+#include "svc/admission.hpp"
+#include "vmpi/faults.hpp"
+
+namespace casp::svc {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kRejected:
+      return "rejected";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kThrottled:
+      return "throttled";
+  }
+  return "unknown";
+}
+
+Server::Server(ServerOptions options)
+    : options_(options), pool_(options.pool_ranks) {}
+
+TenantLedger& Server::tenant(const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    TenantQuota quota;
+    auto qi = options_.quotas.find(name);
+    if (qi != options_.quotas.end()) quota = qi->second;
+    it = tenants_
+             .emplace(std::piecewise_construct, std::forward_as_tuple(name),
+                      std::forward_as_tuple(name, quota))
+             .first;
+  }
+  return it->second;
+}
+
+obs::Json Server::tenant_report(const std::string& name) {
+  return tenant(name).report();
+}
+
+obs::Json Server::job_reports_json(bool deterministic) const {
+  obs::Json arr = obs::Json::array();
+  for (const std::string& id : order_) {
+    const obs::JobReport& rep = jobs_.at(id)->report;
+    arr.push_back(deterministic ? rep.deterministic_json() : rep.to_json());
+  }
+  return arr;
+}
+
+std::string Server::submit(JobSpec spec) {
+  spec.validate();
+  if (spec.ranks > options_.pool_ranks) {
+    std::ostringstream os;
+    os << "svc: job wants " << spec.ranks << " ranks but the pool has "
+       << options_.pool_ranks;
+    throw InvalidArgument(os.str());
+  }
+  if (spec.job_id.empty())
+    spec.job_id = "job-" + std::to_string(next_job_);
+  ++next_job_;
+  if (jobs_.count(spec.job_id) != 0)
+    throw InvalidArgument("svc: duplicate job id \"" + spec.job_id + "\"");
+
+  auto holder = std::make_unique<JobRecord>();
+  JobRecord& rec = *holder;
+  rec.spec = std::move(spec);
+  rec.in_a = rec.spec.a.materialize();
+  switch (rec.spec.op) {
+    case JobOp::kSpGemm:
+      if (rec.spec.aat)
+        rec.in_b = rec.in_a.transpose();
+      else if (rec.spec.b.empty())
+        rec.in_b = rec.in_a;
+      else
+        rec.in_b = rec.spec.b.materialize();
+      break;
+    case JobOp::kMcl:
+    case JobOp::kTriangleCount:
+      if (rec.in_a.nrows() != rec.in_a.ncols())
+        throw InvalidArgument(std::string("svc: ") + to_string(rec.spec.op) +
+                              " requires a square input matrix");
+      rec.in_b = rec.in_a;
+      break;
+  }
+
+  const std::string id = rec.spec.job_id;
+  jobs_.emplace(id, std::move(holder));
+  order_.push_back(id);
+  JobRecord& job = *jobs_.at(id);
+
+  // Eq. (2) estimate on a fault-free scratch job (outside the pool).
+  AdmissionEstimate est = estimate_admission(job.spec, job.in_a, job.in_b);
+  job.admission = est.admission;
+  if (!est.fits()) {
+    finish(job, JobState::kRejected, est.reason);
+    return id;
+  }
+  job.reserved_bytes = reservation_bytes(job.spec, job.admission);
+  job.admission.reserved_bytes = job.reserved_bytes;
+
+  TenantLedger& ledger = tenant(job.spec.tenant);
+  if (!ledger.within_memory_quota(job.reserved_bytes)) {
+    std::ostringstream os;
+    os << "svc: reservation " << job.reserved_bytes
+       << " B exceeds tenant \"" << job.spec.tenant << "\" memory quota "
+       << ledger.quota().memory_bytes << " B";
+    finish(job, JobState::kRejected, os.str());
+    return id;
+  }
+  if (ledger.traffic_exhausted()) {
+    std::ostringstream os;
+    os << "svc: tenant \"" << job.spec.tenant
+       << "\" traffic quota exhausted (" << ledger.traffic_billed()
+       << " B logical billed >= quota " << ledger.quota().traffic_bytes
+       << " B)";
+    finish(job, JobState::kThrottled, os.str());
+    return id;
+  }
+  // Take the reservation now when the quota allows; otherwise the job
+  // queues unreserved and the scheduler retries as earlier jobs release.
+  if (ledger.reserve(job.reserved_bytes)) job.holds_reservation = true;
+  queue_.push(id, job.spec.priority);
+  return id;
+}
+
+bool Server::cancel(const std::string& job_id) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return false;
+  if (!queue_.remove(job_id)) return false;  // running or already terminal
+  finish(*it->second, JobState::kCancelled, "cancelled by client");
+  return true;
+}
+
+const JobRecord& Server::wait(const std::string& job_id) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end())
+    throw InvalidArgument("svc: unknown job id \"" + job_id + "\"");
+  while (!it->second->terminal() && step()) {
+  }
+  return *it->second;
+}
+
+void Server::drain() {
+  while (!queue_.empty() && step()) {
+  }
+}
+
+const JobRecord* Server::find(const std::string& job_id) const {
+  auto it = jobs_.find(job_id);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+bool Server::step() {
+  std::vector<std::string> deferred;
+  bool progressed = false;
+  while (!queue_.empty()) {
+    const std::string id = queue_.pop();
+    JobRecord& rec = *jobs_.at(id);
+    TenantLedger& ledger = tenant(rec.spec.tenant);
+    if (ledger.traffic_exhausted()) {
+      std::ostringstream os;
+      os << "svc: tenant \"" << rec.spec.tenant
+         << "\" traffic quota exhausted (" << ledger.traffic_billed()
+         << " B logical billed >= quota " << ledger.quota().traffic_bytes
+         << " B)";
+      finish(rec, JobState::kThrottled, os.str());
+      progressed = true;
+      continue;  // other tenants' jobs keep going
+    }
+    if (!rec.holds_reservation) {
+      if (ledger.reserve(rec.reserved_bytes)) {
+        rec.holds_reservation = true;
+      } else {
+        deferred.push_back(id);
+        continue;
+      }
+    }
+    execute(rec);
+    progressed = true;
+    break;
+  }
+  for (const std::string& id : deferred)
+    queue_.push(id, jobs_.at(id)->spec.priority);
+  if (!progressed && !deferred.empty()) {
+    // Defensive: every reservation is held by a queued job, so a full
+    // no-progress pass means these reservations can never be satisfied.
+    for (const std::string& id : deferred) {
+      JobRecord& rec = *jobs_.at(id);
+      queue_.remove(id);
+      finish(rec, JobState::kRejected,
+             "svc: reservation cannot be satisfied under the tenant's "
+             "memory quota");
+    }
+    progressed = true;
+  }
+  return progressed;
+}
+
+void Server::execute(JobRecord& rec) {
+  rec.state = JobState::kRunning;
+  const int job_ranks = rec.spec.ranks;
+  auto body = [this, &rec, job_ranks](vmpi::Comm& world) {
+    if (world.size() == job_ranks) {
+      run_body(rec, world);
+      return;
+    }
+    // Sub-sized job: the first job_ranks pool ranks form its world, the
+    // rest split off and idle (the split itself is collective).
+    vmpi::Comm sub =
+        world.split(world.rank() < job_ranks ? 0 : 1, world.rank());
+    if (world.rank() >= job_ranks) return;
+    run_body(rec, sub);
+  };
+
+  TenantLedger& ledger = tenant(rec.spec.tenant);
+  if (rec.spec.supervised()) {
+    vmpi::SupervisedResult sup =
+        pool_.run_supervised(body, rec.spec.supervisor_options());
+    obs::JobBilling bill = obs::bill_traffic(sup.result);
+    bill.restarts = sup.restarts;
+    for (const vmpi::FailureReport& f : sup.recovered_failures)
+      bill.recovered_failure_kinds.push_back(f.kind);
+    rec.report.billing = bill;
+    rec.report.run = obs::build_report(sup);
+    ledger.bill(bill, sup.result);
+    const bool failed = sup.result.failed();
+    const std::string why = failed ? sup.result.failure->describe() : "";
+    rec.run_result = std::move(sup.result);
+    finish(rec, failed ? JobState::kFailed : JobState::kDone, why);
+  } else {
+    vmpi::RunResult res = pool_.run_job(body, rec.spec.run_options());
+    obs::JobBilling bill = obs::bill_traffic(res);
+    rec.report.billing = bill;
+    rec.report.run = obs::build_report(res);
+    ledger.bill(bill, res);
+    const bool failed = res.failed();
+    const std::string why = failed ? res.failure->describe() : "";
+    rec.run_result = std::move(res);
+    finish(rec, failed ? JobState::kFailed : JobState::kDone, why);
+  }
+}
+
+void Server::run_body(JobRecord& rec, vmpi::Comm& world) {
+  const JobSpec& spec = rec.spec;
+  // Enforce each rank's share of the declared aggregate budget, exactly
+  // like the standalone CLIs (Symbolic3D only estimates; adaptive
+  // re-batching recovers when the estimate is wrong).
+  MemoryTracker tracker(
+      spec.memory_bytes == 0
+          ? 0
+          : std::max<Bytes>(1, spec.memory_bytes /
+                                   static_cast<Bytes>(world.size())));
+  vmpi::arm_alloc_faults(world, tracker);
+  SummaOptions opts = spec.summa_options();
+  if (spec.memory_bytes != 0) opts.memory = &tracker;
+  ckpt::Checkpointer ck;
+  if (!spec.ckpt_dir.empty()) {
+    ck = ckpt::Checkpointer(spec.ckpt_dir, world.rank(), spec.ckpt_every,
+                            &world.recorder());
+    opts.ckpt = &ck;
+  }
+  Grid3D grid(world, spec.layers);
+  switch (spec.op) {
+    case JobOp::kSpGemm: {
+      const DistMat3D da = distribute_a_style(grid, rec.in_a);
+      const DistMat3D db = distribute_b_style(grid, rec.in_b);
+      BatchedResult r = batched_summa3d<PlusTimes>(
+          grid, da, db, spec.memory_bytes, opts, BatchCallback{},
+          /*keep_output=*/true);
+      CscMat full = gather_dist(grid, r.c);
+      if (world.rank() == 0) {
+        rec.c = std::move(full);
+        rec.batches = r.batches;
+        rec.final_batches = r.final_batches;
+      }
+      break;
+    }
+    case JobOp::kMcl: {
+      MclResult r = mcl_cluster_distributed(grid, rec.in_a, spec.mcl,
+                                            spec.memory_bytes, opts);
+      if (world.rank() == 0) rec.mcl = std::move(r);
+      break;
+    }
+    case JobOp::kTriangleCount: {
+      const Index t = count_triangles_distributed(grid, rec.in_a,
+                                                  spec.memory_bytes, opts);
+      if (world.rank() == 0) rec.triangles = t;
+      break;
+    }
+  }
+}
+
+void Server::finish(JobRecord& rec, JobState state, std::string reason) {
+  release_reservation(rec);
+  rec.state = state;
+  rec.reason = reason;
+  obs::JobReport& rep = rec.report;
+  rep.job_id = rec.spec.job_id;
+  rep.tenant = rec.spec.tenant;
+  rep.op = to_string(rec.spec.op);
+  rep.priority = rec.spec.priority;
+  rep.state = to_string(state);
+  rep.reason = std::move(reason);
+  rep.admission = rec.admission;
+  tenant(rec.spec.tenant).count_job(rep.state);
+}
+
+void Server::release_reservation(JobRecord& rec) {
+  if (!rec.holds_reservation) return;
+  tenant(rec.spec.tenant).release(rec.reserved_bytes);
+  rec.holds_reservation = false;
+}
+
+}  // namespace casp::svc

@@ -1,0 +1,154 @@
+// The multi-tenant job service: a JobQueue of JobSpecs executed on one
+// resident vmpi::RankPool, with admission control, per-tenant quotas, and
+// per-job reports.
+//
+// Lifecycle of a submitted job:
+//
+//   submit ── validate ── materialize inputs ── Eq. (2) admission estimate
+//     ├─ estimate says the declared budget cannot hold the inputs → REJECTED
+//     ├─ reservation exceeds the tenant's memory quota outright   → REJECTED
+//     ├─ tenant's traffic quota already exhausted                 → THROTTLED
+//     └─ else: reserve memory (or queue unreserved and retry) and QUEUE
+//   schedule (priority order, FIFO within priority; re-checks throttling)
+//   execute on the resident pool (supervised when the spec asks for it;
+//     one tenant's injected crash is scoped to its own job — the pool
+//     survives and the next job runs on the same resident threads)
+//   DONE / FAILED ── bill traffic ── release reservation
+//
+// The server is deliberately single-threaded: submit() only admits and
+// queues; the queue drains on the caller's thread inside wait()/drain().
+// Concurrency lives below, in the pool's resident ranks. This keeps every
+// scheduling decision deterministic — the property the soak test compares
+// across runs — and keeps std::thread ownership inside src/vmpi (the
+// repo's threading lint boundary).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/mcl.hpp"
+#include "obs/job_report.hpp"
+#include "sparse/csc_mat.hpp"
+#include "svc/jobspec.hpp"
+#include "svc/queue.hpp"
+#include "svc/quota.hpp"
+#include "vmpi/pool.hpp"
+
+namespace casp::svc {
+
+/// Lifecycle states. Terminal: everything except kQueued/kRunning.
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,     ///< executed, ended with a FailureReport
+  kRejected,   ///< refused at submit (admission or quota), never ran
+  kCancelled,  ///< removed from the queue before running
+  kThrottled,  ///< tenant's traffic quota exhausted; never ran
+};
+
+const char* to_string(JobState s);
+
+inline bool is_terminal(JobState s) {
+  return s != JobState::kQueued && s != JobState::kRunning;
+}
+
+/// Everything the server knows about one submitted job.
+struct JobRecord {
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  /// Structured reason for rejected/cancelled/throttled/failed states.
+  std::string reason;
+  obs::JobAdmission admission;
+  /// Reservation charged to the tenant while queued/running (0 after a
+  /// terminal state releases it).
+  Bytes reserved_bytes = 0;
+  bool holds_reservation = false;
+
+  /// Operands materialized at submit (admission needs them; execution
+  /// reuses them so the estimate and the run see identical inputs).
+  CscMat in_a;
+  CscMat in_b;
+
+  // Outputs (valid in state kDone, per op):
+  CscMat c;                  ///< kSpGemm: the gathered product
+  Index batches = 1;         ///< kSpGemm: Eq. (2) batch count used
+  Index final_batches = 1;   ///< kSpGemm: after adaptive re-batching
+  MclResult mcl;             ///< kMcl
+  Index triangles = 0;       ///< kTriangleCount
+
+  /// Per-job "casp.job_report.v1" document; complete once terminal.
+  obs::JobReport report;
+
+  /// Raw run telemetry (timers, traffic, fault events) for jobs that
+  /// executed; lets clients write Chrome traces without re-running.
+  vmpi::RunResult run_result;
+
+  bool terminal() const { return is_terminal(state); }
+};
+
+struct ServerOptions {
+  /// Resident pool width. Jobs may use fewer ranks (the pool splits);
+  /// a spec asking for more is rejected at submit.
+  int pool_ranks = 4;
+  /// Per-tenant limits; tenants not listed run unlimited.
+  std::map<std::string, TenantQuota> quotas;
+};
+
+/// In-process service front end. Not thread-safe: one client drives it.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+
+  /// Admit and queue a job; returns its id (assigned "job-<n>" when the
+  /// spec left job_id empty). Structural errors (bad spec, unreadable
+  /// input, duplicate id, ranks > pool) throw InvalidArgument; policy
+  /// refusals (admission, quota) come back as a terminal kRejected /
+  /// kThrottled record, never as an exception.
+  std::string submit(JobSpec spec);
+
+  /// Remove a queued job before it runs. False when the job is already
+  /// running, terminal, or unknown.
+  bool cancel(const std::string& job_id);
+
+  /// Drive the queue until `job_id` reaches a terminal state; returns its
+  /// record. Throws InvalidArgument for an unknown id.
+  const JobRecord& wait(const std::string& job_id);
+
+  /// Drive the queue until empty.
+  void drain();
+
+  const JobRecord* find(const std::string& job_id) const;
+  /// Ids in submission order (includes terminal jobs).
+  const std::vector<std::string>& job_ids() const { return order_; }
+
+  TenantLedger& tenant(const std::string& name);
+  /// "casp.tenant_report.v1" for one tenant.
+  obs::Json tenant_report(const std::string& name);
+  /// All per-job reports (submission order) as a JSON array.
+  obs::Json job_reports_json(bool deterministic) const;
+
+  vmpi::RankPool& pool() { return pool_; }
+
+ private:
+  /// Execute the best runnable queued job, if any. Returns false when the
+  /// queue made no progress (empty).
+  bool step();
+  void execute(JobRecord& rec);
+  void run_body(JobRecord& rec, vmpi::Comm& world);
+  void finish(JobRecord& rec, JobState state, std::string reason);
+  void release_reservation(JobRecord& rec);
+
+  ServerOptions options_;
+  vmpi::RankPool pool_;
+  JobQueue queue_;
+  std::map<std::string, std::unique_ptr<JobRecord>> jobs_;
+  std::vector<std::string> order_;
+  std::map<std::string, TenantLedger> tenants_;
+  std::uint64_t next_job_ = 0;
+};
+
+}  // namespace casp::svc

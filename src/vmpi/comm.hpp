@@ -21,9 +21,8 @@
 //
 // Payload handles are the primary surface; the typed helpers (send_vec,
 // allgather_vec, allreduce, …) are thin wrappers over them. The byte-vector
-// forms predating the Payload transport survive only as compat wrappers in
-// the clearly-marked section at the bottom of Comm — new non-test code
-// should not use them (casp_lint's comm-compat rule enforces this).
+// forms that predated the Payload transport (send_bytes and friends) are
+// gone — casp_lint's comm-compat rule forbids reintroducing them anywhere.
 #pragma once
 
 #include <array>
@@ -472,59 +471,6 @@ class Comm {
   /// The job's fault-injection state, or null when faults are disabled.
   /// Used by arm_alloc_faults to hook a MemoryTracker into the plan.
   detail::FaultState* fault_state() const { return world_->faults.get(); }
-
-  // -- Byte-vector compat wrappers ------------------------------------------
-  //
-  // Pre-Payload API kept for existing tests; everything below is a thin
-  // inline wrapper over the payload surface above. Do not use in new
-  // non-test code (casp_lint rule: comm-compat).
-
-  void send_bytes(int dest, int tag, const std::byte* data, std::size_t size,
-                  bool fire_and_forget = false) {
-    send_payload(dest, tag, Payload::copy_of(data, size), fire_and_forget);
-  }
-
-  std::vector<std::byte> recv_bytes(int src, int tag) {
-    return recv_payload(src, tag).release_or_copy();
-  }
-
-  std::vector<std::byte> bcast_bytes(int root, std::vector<std::byte> data) {
-    return bcast_payload(root, Payload::wrap(std::move(data)))
-        .release_or_copy();
-  }
-
-  PendingBcast ibcast_bytes(int root, std::vector<std::byte> data) {
-    return ibcast_payload(root, Payload::wrap(std::move(data)));
-  }
-
-  template <typename T>
-  std::vector<T> bcast_vec(int root, std::vector<T> data) {
-    Payload p;
-    if (rank_ == root) p = pack_vec<T>(data);
-    return unpack_vec<T>(bcast_payload(root, std::move(p)));
-  }
-
-  std::vector<std::vector<std::byte>> allgather_bytes(
-      std::vector<std::byte> mine) {
-    std::vector<Payload> all =
-        allgather_payload(Payload::wrap(std::move(mine)));
-    std::vector<std::vector<std::byte>> out(all.size());
-    for (std::size_t r = 0; r < all.size(); ++r)
-      out[r] = std::move(all[r]).release_or_copy();
-    return out;
-  }
-
-  std::vector<std::vector<std::byte>> alltoall_bytes(
-      std::vector<std::vector<std::byte>> buffers) {
-    std::vector<Payload> outgoing(buffers.size());
-    for (std::size_t d = 0; d < buffers.size(); ++d)
-      outgoing[d] = Payload::wrap(std::move(buffers[d]));
-    std::vector<Payload> incoming = alltoall_payload(std::move(outgoing));
-    std::vector<std::vector<std::byte>> received(incoming.size());
-    for (std::size_t s = 0; s < incoming.size(); ++s)
-      received[s] = std::move(incoming[s]).release_or_copy();
-    return received;
-  }
 
  private:
   /// Pack a trivially-copyable vector into a fresh payload (the one deep

@@ -1,0 +1,84 @@
+#include "vmpi/pool.hpp"
+
+#include "common/error.hpp"
+#include "vmpi/job_exec.hpp"
+
+namespace casp::vmpi {
+
+RankPool::RankPool(int size) : size_(size) {
+  CASP_CHECK_MSG(size >= 1, "rank pool needs at least one rank");
+  done_generation_.assign(static_cast<std::size_t>(size), 0);
+  workers_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r)
+    workers_.emplace_back([this, r]() { worker_main(r); });
+}
+
+RankPool::~RankPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  dispatch_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void RankPool::worker_main(int rank) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    dispatch_cv_.wait(lock, [&]() {
+      return stop_ ||
+             done_generation_[static_cast<std::size_t>(rank)] <
+                 job_generation_;
+    });
+    if (stop_) return;
+    const std::uint64_t gen = job_generation_;
+    detail::JobExec* job = job_;
+    const std::function<void(Comm&)>* body = body_;
+    lock.unlock();
+    // rank_main never throws: job errors are captured into the JobExec and
+    // surfaced by finalize() on the launcher thread, so a crashing tenant
+    // cannot take the resident worker down with it.
+    job->rank_main(rank, *body);
+    lock.lock();
+    done_generation_[static_cast<std::size_t>(rank)] = gen;
+    ++ranks_done_;
+    if (ranks_done_ == size_) done_cv_.notify_all();
+  }
+}
+
+RunResult RankPool::run_job(const std::function<void(Comm&)>& body,
+                            const RunOptions& options) {
+  // Fresh world per job: mailboxes, fault state, and sched state must not
+  // leak between tenants (an aborted job strands queued messages by
+  // design).
+  detail::JobExec job(size_, options);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    body_ = &body;
+    ranks_done_ = 0;
+    ++job_generation_;
+  }
+  dispatch_cv_.notify_all();
+  job.start_watchdog();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&]() { return ranks_done_ == size_; });
+    job_ = nullptr;
+    body_ = nullptr;
+  }
+  job.stop_watchdog();
+  ++jobs_run_;
+  return job.finalize(options.capture_failure);
+}
+
+SupervisedResult RankPool::run_supervised(
+    const std::function<void(Comm&)>& body, const SupervisorOptions& options) {
+  return detail::supervise(
+      [this, &body](const RunOptions& attempt_opts) {
+        return run_job(body, attempt_opts);
+      },
+      options);
+}
+
+}  // namespace casp::vmpi

@@ -1,0 +1,78 @@
+// Resident rank pool: runs a sequence of virtual jobs on one long-lived
+// gang of rank threads instead of paying thread setup/teardown per
+// vmpi::run. The service layer (src/svc) keeps one pool alive across a
+// whole multi-tenant job queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "vmpi/runtime.hpp"
+
+namespace casp::vmpi {
+
+namespace detail {
+class JobExec;
+}
+
+/// A gang of `size` resident worker threads, one per rank. Each run_job
+/// builds a fresh detail::World (mailboxes, fault state, sched state are
+/// per job — a crashed job legitimately strands messages, and nothing of
+/// it may leak into the next tenant's job), dispatches the body to the
+/// resident threads, and finalizes exactly like vmpi::run: same watchdog,
+/// same failure classification, same CASP_VMPI_CHECK leak sweeps. Results
+/// are bit-identical to a standalone vmpi::run of the same body.
+///
+/// Jobs run one at a time; run_job/run_supervised must be called from one
+/// launcher thread (the pool serializes tenants, it does not multiplex
+/// them). A job that fails with capture_failure leaves the pool healthy —
+/// the next run_job starts from a clean world.
+class RankPool {
+ public:
+  explicit RankPool(int size);
+  ~RankPool();
+
+  RankPool(const RankPool&) = delete;
+  RankPool& operator=(const RankPool&) = delete;
+
+  int size() const { return size_; }
+  /// Jobs dispatched so far (supervised restarts count per attempt).
+  std::uint64_t jobs_run() const { return jobs_run_; }
+
+  /// Run one virtual job on the resident ranks. Semantics match
+  /// vmpi::run(size(), body, options) exactly, including capture_failure
+  /// and rethrow behaviour.
+  RunResult run_job(const std::function<void(Comm&)>& body,
+                    const RunOptions& options = {});
+
+  /// Supervised restart loop on the resident ranks; semantics match
+  /// vmpi::run_supervised(size(), body, options).
+  SupervisedResult run_supervised(const std::function<void(Comm&)>& body,
+                                  const SupervisorOptions& options = {});
+
+ private:
+  void worker_main(int rank);
+
+  int size_;
+  std::uint64_t jobs_run_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable dispatch_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  /// Bumped once per dispatched job; workers run when their per-rank done
+  /// generation lags it.
+  std::uint64_t job_generation_ = 0;
+  std::vector<std::uint64_t> done_generation_;
+  int ranks_done_ = 0;
+  detail::JobExec* job_ = nullptr;
+  const std::function<void(Comm&)>* body_ = nullptr;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace casp::vmpi

@@ -1,15 +1,13 @@
 #include "vmpi/runtime.hpp"
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdlib>
-#include <exception>
-#include <mutex>
 #include <set>
 #include <sstream>
 #include <thread>
 
 #include "common/error.hpp"
+#include "vmpi/job_exec.hpp"
 
 namespace casp::vmpi {
 
@@ -214,83 +212,76 @@ std::string diagnose_comm_order(detail::World& world, int size) {
 
 }  // namespace
 
-RunResult run(int size, const std::function<void(Comm&)>& body,
-              const RunOptions& options) {
+namespace detail {
+
+JobExec::JobExec(int size, const RunOptions& options) : size_(size) {
   CASP_CHECK_MSG(size >= 1, "virtual job needs at least one rank");
-  auto world = std::make_shared<detail::World>(size);
+  world_ = std::make_shared<World>(size);
   const FaultPlan plan =
       options.faults.has_value() ? *options.faults : FaultPlan::from_env();
   if (plan.enabled())
-    world->faults = std::make_shared<detail::FaultState>(plan, size);
+    world_->faults = std::make_shared<FaultState>(plan, size);
 
 #ifdef CASP_VMPI_SCHED
   const std::optional<SchedPlan> sched_plan =
       options.sched.has_value() ? options.sched : SchedPlan::from_env();
   if (sched_plan.has_value() && sched_plan->enabled()) {
-    world->sched = std::make_shared<SchedState>(*sched_plan, size);
+    world_->sched = std::make_shared<SchedState>(*sched_plan, size);
     // Scheduler deadlock verdicts reuse the watchdog's per-rank formatter
     // (collective backtraces included) before appending their own
     // happens-before annotations and the replay line.
-    world->sched->scheduler().set_report_builder(
+    std::shared_ptr<World> world = world_;
+    world_->sched->scheduler().set_report_builder(
         [world, size]() { return build_deadlock_report(*world, size); });
   }
 #endif
 
-  RunResult result;
-  result.size = size;
-  result.recorders.resize(static_cast<std::size_t>(size));
-  result.traffic.resize(static_cast<std::size_t>(size));
-  result.times.resize(static_cast<std::size_t>(size));
+  result_.size = size;
+  result_.recorders.resize(static_cast<std::size_t>(size));
+  result_.traffic.resize(static_cast<std::size_t>(size));
+  result_.times.resize(static_cast<std::size_t>(size));
+}
 
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  int failed_rank = -1;
-  std::string failed_phase;
-
-  Stopwatch watch;
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(size));
-  for (int r = 0; r < size; ++r) {
-    threads.emplace_back([&, r]() {
-      Comm comm(world, r, size);
+void JobExec::rank_main(int r, const std::function<void(Comm&)>& body) {
+  Comm comm(world_, r, size_);
 #ifdef CASP_VMPI_SCHED
-      // Bind the thread-local rank id and wait for the scheduler token
-      // before any hook can fire on this thread.
-      if (world->sched != nullptr) world->sched->attach_thread(r);
+  // Bind the thread-local rank id and wait for the scheduler token
+  // before any hook can fire on this thread.
+  if (world_->sched != nullptr) world_->sched->attach_thread(r);
 #endif
-      try {
-        body(comm);
-      } catch (const Aborted&) {
-        // Secondary casualty of another rank's failure; the primary
-        // exception is already recorded.
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) {
-            first_error = std::current_exception();
-            // The failure report names the *first* casualty and the phase
-            // its traffic ledger was in when it died.
-            failed_rank = r;
-            failed_phase = comm.traffic().phase();
-          }
-        }
-        world->abort_all();
+  try {
+    body(comm);
+  } catch (const Aborted&) {
+    // Secondary casualty of another rank's failure; the primary
+    // exception is already recorded.
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+        // The failure report names the *first* casualty and the phase
+        // its traffic ledger was in when it died.
+        failed_rank_ = r;
+        failed_phase_ = comm.traffic().phase();
       }
-#ifdef CASP_VMPI_SCHED
-      if (world->sched != nullptr) world->sched->detach_thread(r);
-#endif
-      world->finished.fetch_add(1, std::memory_order_relaxed);
-      {
-        detail::RankStatus& st = world->status[static_cast<std::size_t>(r)];
-        std::lock_guard<std::mutex> lock(st.mutex);
-        st.finished = true;
-      }
-      result.recorders[static_cast<std::size_t>(r)] = comm.recorder();
-      result.traffic[static_cast<std::size_t>(r)] = comm.traffic();
-      result.times[static_cast<std::size_t>(r)] = comm.times();
-    });
+    }
+    world_->abort_all();
   }
+#ifdef CASP_VMPI_SCHED
+  if (world_->sched != nullptr) world_->sched->detach_thread(r);
+#endif
+  world_->finished.fetch_add(1, std::memory_order_relaxed);
+  {
+    RankStatus& st = world_->status[static_cast<std::size_t>(r)];
+    std::lock_guard<std::mutex> lock(st.mutex);
+    st.finished = true;
+  }
+  result_.recorders[static_cast<std::size_t>(r)] = comm.recorder();
+  result_.traffic[static_cast<std::size_t>(r)] = comm.traffic();
+  result_.times[static_cast<std::size_t>(r)] = comm.times();
+}
 
+void JobExec::start_watchdog() {
   // Deadlock watchdog: a stalled virtual job has every live rank inside
   // Mailbox::pop with no deliverable message — once true it stays true, so
   // sampling is sound. Two consecutive quiet samples (no delivery between
@@ -299,109 +290,107 @@ RunResult run(int size, const std::function<void(Comm&)>& body,
 #ifdef CASP_VMPI_SCHED
   // A scheduled run detects deadlocks exactly (empty runnable set); the
   // sampling watchdog would misread token-parked threads as a stall.
-  if (world->sched != nullptr) interval_ms = 0;
+  if (world_->sched != nullptr) interval_ms = 0;
 #endif
-  std::mutex wd_mutex;
-  std::condition_variable wd_cv;
-  bool wd_stop = false;
-  std::thread watchdog;
-  if (interval_ms > 0) {
-    watchdog = std::thread([&]() {
-      std::uint64_t last_progress = ~std::uint64_t{0};
-      int quiet_samples = 0;
-      std::unique_lock<std::mutex> lk(wd_mutex);
-      while (!wd_stop) {
-        wd_cv.wait_for(lk, std::chrono::milliseconds(interval_ms));
-        if (wd_stop) break;
-        const int blocked = world->blocked.load(std::memory_order_relaxed);
-        const int finished = world->finished.load(std::memory_order_relaxed);
-        const std::uint64_t progress =
-            world->progress.load(std::memory_order_relaxed);
-        if (blocked == 0 || blocked + finished != size ||
-            progress != last_progress) {
-          last_progress = progress;
-          quiet_samples = 0;
-          continue;
-        }
-        bool live = false;  // a match exists or a rank moved under us
-        for (int r = 0; r < size && !live; ++r) {
-          detail::RankStatus& st =
-              world->status[static_cast<std::size_t>(r)];
-          std::lock_guard<std::mutex> slock(st.mutex);
-          if (st.finished) continue;
-          if (!st.blocked) {
-            live = true;
-            break;
-          }
-          live = world->mailboxes[static_cast<std::size_t>(r)].has_match(
-              st.wait_context, st.wait_src_world, st.wait_tag);
-        }
-        if (live) {
-          quiet_samples = 0;
-          continue;
-        }
-        if (++quiet_samples < 2) continue;
-        const std::string report = build_deadlock_report(*world, size);
-        std::exception_ptr diagnosis;
-#ifdef CASP_VMPI_CHECK
-        const std::string order = diagnose_comm_order(*world, size);
-        if (!order.empty())
-          diagnosis = std::make_exception_ptr(
-              CommunicatorOrderViolation(order + "\n" + report));
-#endif
-        if (!diagnosis)
-          diagnosis = std::make_exception_ptr(DeadlockDetected(report));
-        {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = diagnosis;
-        }
-        world->abort_all();
-        break;
+  if (interval_ms <= 0) return;
+  watchdog_ = std::thread([this, interval_ms]() {
+    std::uint64_t last_progress = ~std::uint64_t{0};
+    int quiet_samples = 0;
+    std::unique_lock<std::mutex> lk(wd_mutex_);
+    while (!wd_stop_) {
+      wd_cv_.wait_for(lk, std::chrono::milliseconds(interval_ms));
+      if (wd_stop_) break;
+      const int blocked = world_->blocked.load(std::memory_order_relaxed);
+      const int finished = world_->finished.load(std::memory_order_relaxed);
+      const std::uint64_t progress =
+          world_->progress.load(std::memory_order_relaxed);
+      if (blocked == 0 || blocked + finished != size_ ||
+          progress != last_progress) {
+        last_progress = progress;
+        quiet_samples = 0;
+        continue;
       }
-    });
-  }
-
-  for (std::thread& t : threads) t.join();
-  if (watchdog.joinable()) {
-    {
-      std::lock_guard<std::mutex> lock(wd_mutex);
-      wd_stop = true;
+      bool live = false;  // a match exists or a rank moved under us
+      for (int r = 0; r < size_ && !live; ++r) {
+        RankStatus& st = world_->status[static_cast<std::size_t>(r)];
+        std::lock_guard<std::mutex> slock(st.mutex);
+        if (st.finished) continue;
+        if (!st.blocked) {
+          live = true;
+          break;
+        }
+        live = world_->mailboxes[static_cast<std::size_t>(r)].has_match(
+            st.wait_context, st.wait_src_world, st.wait_tag);
+      }
+      if (live) {
+        quiet_samples = 0;
+        continue;
+      }
+      if (++quiet_samples < 2) continue;
+      const std::string report = build_deadlock_report(*world_, size_);
+      std::exception_ptr diagnosis;
+#ifdef CASP_VMPI_CHECK
+      const std::string order = diagnose_comm_order(*world_, size_);
+      if (!order.empty())
+        diagnosis = std::make_exception_ptr(
+            CommunicatorOrderViolation(order + "\n" + report));
+#endif
+      if (!diagnosis)
+        diagnosis = std::make_exception_ptr(DeadlockDetected(report));
+      {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!first_error_) first_error_ = diagnosis;
+      }
+      world_->abort_all();
+      break;
     }
-    wd_cv.notify_all();
-    watchdog.join();
+  });
+}
+
+void JobExec::stop_watchdog() {
+  if (!watchdog_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(wd_mutex_);
+    wd_stop_ = true;
   }
-  result.wall_seconds = watch.seconds();
+  wd_cv_.notify_all();
+  watchdog_.join();
+}
+
+RunResult JobExec::finalize(bool capture_failure) {
+  result_.wall_seconds = watch_.seconds();
 
 #ifdef CASP_VMPI_SCHED
-  if (world->sched != nullptr) {
-    // All rank threads joined: stop reacting to stray hook events (e.g.
+  if (world_->sched != nullptr) {
+    // All rank mains returned: stop reacting to stray hook events (e.g.
     // launcher-thread payload teardown) and collect the run's verdicts.
-    world->sched->deactivate();
-    result.sched = world->sched->summary();
-    if (!result.sched->findings.empty() && !first_error) {
+    world_->sched->deactivate();
+    result_.sched = world_->sched->summary();
+    if (!result_.sched->findings.empty() && !first_error_) {
       std::ostringstream os;
-      os << "casp-verify schedule violation: " << result.sched->findings.size()
+      os << "casp-verify schedule violation: "
+         << result_.sched->findings.size()
          << " happens-before finding(s):\n";
-      for (const SchedFinding& f : result.sched->findings)
+      for (const SchedFinding& f : result_.sched->findings)
         os << "  [" << f.kind << "] " << f.detail << "\n";
-      os << "  schedule: " << result.sched->schedule << "\n"
-         << "  replay: CASP_VMPI_SCHED=\"replay=" << result.sched->schedule
+      os << "  schedule: " << result_.sched->schedule << "\n"
+         << "  replay: CASP_VMPI_SCHED=\"replay=" << result_.sched->schedule
          << "\"";
-      first_error = std::make_exception_ptr(ScheduleViolation(os.str()));
-      failed_rank = result.sched->findings.front().rank;
+      first_error_ = std::make_exception_ptr(ScheduleViolation(os.str()));
+      failed_rank_ = result_.sched->findings.front().rank;
     }
   }
 #endif
 
-  if (first_error) {
-    if (options.capture_failure) {
+  if (first_error_) {
+    if (capture_failure) {
       // The leftover-traffic sweeps below are skipped on purpose: an
       // aborted job legitimately strands queued messages.
-      result.failure =
-          classify_failure(first_error, failed_rank, failed_phase);
-      return result;
+      result_.failure =
+          classify_failure(first_error_, failed_rank_, failed_phase_);
+      return std::move(result_);
     }
-    std::rethrow_exception(first_error);
+    std::rethrow_exception(first_error_);
   }
 
 #ifdef CASP_VMPI_CHECK
@@ -411,9 +400,9 @@ RunResult run(int size, const std::function<void(Comm&)>& body,
   // silent divergence that produced no mismatch and no deadlock.
   std::ostringstream leak;
   bool leaked = false;
-  for (int r = 0; r < size; ++r) {
-    for (const detail::LeftoverCollective& l :
-         world->mailboxes[static_cast<std::size_t>(r)].stamped_leftovers()) {
+  for (int r = 0; r < size_; ++r) {
+    for (const LeftoverCollective& l :
+         world_->mailboxes[static_cast<std::size_t>(r)].stamped_leftovers()) {
       leak << "  rank " << r << " never received " << describe_stamp(l.stamp)
            << " sent by rank " << l.src_world << " (tag " << l.tag << ")\n";
       leaked = true;
@@ -431,9 +420,9 @@ RunResult run(int size, const std::function<void(Comm&)>& body,
   // it opt out per message with fire_and_forget.
   std::ostringstream tag_leak;
   bool tag_leaked = false;
-  for (int r = 0; r < size; ++r) {
-    for (const detail::LeftoverMessage& l :
-         world->mailboxes[static_cast<std::size_t>(r)].user_tag_leftovers()) {
+  for (int r = 0; r < size_; ++r) {
+    for (const LeftoverMessage& l :
+         world_->mailboxes[static_cast<std::size_t>(r)].user_tag_leftovers()) {
       tag_leak << "  rank " << r << " never received tag " << l.tag << " ("
                << l.bytes << " bytes) sent by rank " << l.src_world << "\n";
       tag_leaked = true;
@@ -446,7 +435,49 @@ RunResult run(int size, const std::function<void(Comm&)>& body,
         "fire_and_forget):\n" +
         tag_leak.str());
 #endif
-  return result;
+  return std::move(result_);
+}
+
+SupervisedResult supervise(
+    const std::function<RunResult(const RunOptions&)>& attempt,
+    const SupervisorOptions& options) {
+  FaultPlan plan =
+      options.faults.has_value() ? *options.faults : FaultPlan::from_env();
+  SupervisedResult sup;
+  sup.max_restarts = options.max_restarts;
+  for (;;) {
+    RunOptions attempt_opts;
+    attempt_opts.faults = plan;
+    attempt_opts.capture_failure = true;
+    RunResult result = attempt(attempt_opts);
+    if (!result.failed() || !recoverable_failure(*result.failure) ||
+        sup.restarts >= options.max_restarts) {
+      sup.result = std::move(result);
+      return sup;
+    }
+    sup.wasted_seconds += result.wall_seconds;
+    // Disarm the fault that just fired so the deterministic plan does not
+    // kill the relaunch at the same op; every other configured fault stays
+    // live, mirroring "replace the dead node, keep the flaky network".
+    plan = plan.disarmed(result.failure->kind);
+    sup.recovered_failures.push_back(*std::move(result.failure));
+    ++sup.restarts;
+  }
+}
+
+}  // namespace detail
+
+RunResult run(int size, const std::function<void(Comm&)>& body,
+              const RunOptions& options) {
+  detail::JobExec job(size, options);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r)
+    threads.emplace_back([&job, &body, r]() { job.rank_main(r, body); });
+  job.start_watchdog();
+  for (std::thread& t : threads) t.join();
+  job.stop_watchdog();
+  return job.finalize(options.capture_failure);
 }
 
 RunResult run(int size, const std::function<void(Comm&)>& body) {
@@ -461,28 +492,11 @@ bool recoverable_failure(const FailureReport& report) {
 SupervisedResult run_supervised(int size,
                                 const std::function<void(Comm&)>& body,
                                 const SupervisorOptions& options) {
-  FaultPlan plan =
-      options.faults.has_value() ? *options.faults : FaultPlan::from_env();
-  SupervisedResult sup;
-  sup.max_restarts = options.max_restarts;
-  for (;;) {
-    RunOptions attempt_opts;
-    attempt_opts.faults = plan;
-    attempt_opts.capture_failure = true;
-    RunResult attempt = run(size, body, attempt_opts);
-    if (!attempt.failed() || !recoverable_failure(*attempt.failure) ||
-        sup.restarts >= options.max_restarts) {
-      sup.result = std::move(attempt);
-      return sup;
-    }
-    sup.wasted_seconds += attempt.wall_seconds;
-    // Disarm the fault that just fired so the deterministic plan does not
-    // kill the relaunch at the same op; every other configured fault stays
-    // live, mirroring "replace the dead node, keep the flaky network".
-    plan = plan.disarmed(attempt.failure->kind);
-    sup.recovered_failures.push_back(*std::move(attempt.failure));
-    ++sup.restarts;
-  }
+  return detail::supervise(
+      [size, &body](const RunOptions& attempt_opts) {
+        return run(size, body, attempt_opts);
+      },
+      options);
 }
 
 SupervisedResult run_supervised(int size,

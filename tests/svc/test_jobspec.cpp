@@ -1,0 +1,183 @@
+// JobSpec: the unified job-description value type. Deterministic JSON
+// round-trip (byte-identical dump after parse), strict parsing, structural
+// validation, and the thin views over the legacy option structs.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "svc/jobspec.hpp"
+
+namespace casp::svc {
+namespace {
+
+JobSpec full_spec() {
+  JobSpec s;
+  s.job_id = "j1";
+  s.tenant = "acme";
+  s.priority = 3;
+  s.op = JobOp::kMcl;
+  s.a = MatrixSource::er_square(32, 3.0, 5);
+  s.ranks = 4;
+  s.layers = 1;
+  s.memory_bytes = 1 << 20;
+  s.kernel = "hybrid";
+  s.sort_final = false;
+  s.pipeline = false;
+  s.sparse_comm = true;
+  s.threads = 2;
+  s.force_batches = 2;
+  s.adaptive_rebatch = false;
+  s.ckpt_dir = "/tmp/ckpt";
+  s.ckpt_every = 2;
+  s.ckpt_job_tag = "tag";
+  s.mcl.inflation = 2.5;
+  s.mcl.prune_threshold = 1e-5;
+  s.mcl.keep_per_col = 40;
+  s.mcl.max_iterations = 7;
+  s.fault_spec = "seed=2;crash_rank=1;crash_op=9";
+  s.max_restarts = 2;
+  return s;
+}
+
+TEST(JobSpec, JsonRoundTripIsByteIdentical) {
+  const JobSpec s = full_spec();
+  const std::string once = s.dump();
+  const std::string twice = JobSpec::parse(once).dump();
+  EXPECT_EQ(once, twice);
+  // And again through the Json object API.
+  EXPECT_EQ(JobSpec::from_json(s.to_json()).to_json().dump(), once);
+}
+
+TEST(JobSpec, RoundTripPreservesEveryField) {
+  const JobSpec s = full_spec();
+  const JobSpec r = JobSpec::parse(s.dump());
+  EXPECT_EQ(r.job_id, "j1");
+  EXPECT_EQ(r.tenant, "acme");
+  EXPECT_EQ(r.priority, 3);
+  EXPECT_EQ(r.op, JobOp::kMcl);
+  EXPECT_EQ(r.a.kind, MatrixSource::Kind::kEr);
+  EXPECT_EQ(r.a.er.nrows, 32);
+  EXPECT_TRUE(r.b.empty());
+  EXPECT_EQ(r.memory_bytes, Bytes{1} << 20);
+  EXPECT_EQ(r.kernel, "hybrid");
+  EXPECT_FALSE(r.sort_final);
+  EXPECT_FALSE(r.pipeline);
+  EXPECT_TRUE(r.sparse_comm);
+  EXPECT_EQ(r.threads, 2);
+  EXPECT_EQ(r.force_batches, 2);
+  EXPECT_FALSE(r.adaptive_rebatch);
+  EXPECT_EQ(r.ckpt_dir, "/tmp/ckpt");
+  EXPECT_EQ(r.ckpt_every, 2u);
+  EXPECT_EQ(r.ckpt_job_tag, "tag");
+  EXPECT_DOUBLE_EQ(r.mcl.inflation, 2.5);
+  EXPECT_EQ(r.mcl.keep_per_col, 40);
+  EXPECT_EQ(r.fault_spec, "seed=2;crash_rank=1;crash_op=9");
+  EXPECT_EQ(r.max_restarts, 2);
+}
+
+TEST(JobSpec, StrictParseRejectsUnknownKeys) {
+  EXPECT_THROW(JobSpec::parse(R"({"bogus": 1})"), InvalidArgument);
+  EXPECT_THROW(JobSpec::parse(R"({"a": {"kind": "er", "er": {"zzz": 1}}})"),
+               InvalidArgument);
+}
+
+TEST(JobSpec, ValidateCatchesStructuralErrors) {
+  JobSpec ok;
+  ok.a = MatrixSource::er_square(16, 2.0, 1);
+  ok.ranks = 4;
+  ok.layers = 1;
+  EXPECT_NO_THROW(ok.validate());
+
+  JobSpec s = ok;
+  s.ranks = 6;  // ranks/layers must form a square grid
+  EXPECT_THROW(s.validate(), InvalidArgument);
+
+  s = ok;
+  s.kernel = "bogus";
+  EXPECT_THROW(s.validate(), InvalidArgument);
+
+  s = ok;
+  s.a = MatrixSource{};  // no input operand
+  EXPECT_THROW(s.validate(), InvalidArgument);
+
+  s = ok;
+  s.aat = true;
+  s.b = MatrixSource::er_square(16, 2.0, 2);  // aat and b are exclusive
+  EXPECT_THROW(s.validate(), InvalidArgument);
+
+  s = ok;
+  s.op = JobOp::kMcl;
+  s.b = MatrixSource::er_square(16, 2.0, 2);  // b is SpGEMM-only
+  EXPECT_THROW(s.validate(), InvalidArgument);
+
+  s = ok;
+  s.threads = 0;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+
+  s = ok;
+  s.op = JobOp::kMcl;
+  s.mcl.inflation = 0.0;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+
+  s = ok;
+  s.fault_spec = "not-a-fault-spec";
+  EXPECT_THROW(s.validate(), InvalidArgument);
+}
+
+TEST(JobSpec, SummaOptionsViewMapsKernelAndKnobs) {
+  JobSpec s = full_spec();
+  s.kernel = "hash";
+  SummaOptions hash = s.summa_options();
+  EXPECT_EQ(hash.local_kind, SpGemmKind::kUnsortedHash);
+  EXPECT_EQ(hash.merge_kind, MergeKind::kUnsortedHash);
+  s.kernel = "hybrid";
+  SummaOptions hybrid = s.summa_options();
+  EXPECT_EQ(hybrid.local_kind, SpGemmKind::kHybrid);
+  EXPECT_EQ(hybrid.merge_kind, MergeKind::kSortedHeap);
+  EXPECT_FALSE(hybrid.sort_final);
+  EXPECT_FALSE(hybrid.pipeline);
+  EXPECT_TRUE(hybrid.sparse_comm);
+  EXPECT_EQ(hybrid.threads, 2);
+  EXPECT_EQ(hybrid.force_batches, 2);
+  EXPECT_FALSE(hybrid.adaptive_rebatch);
+  EXPECT_EQ(hybrid.ckpt_job_tag, "tag");
+  // Non-owning pointers are wired by the executor, never by the view.
+  EXPECT_EQ(hybrid.memory, nullptr);
+  EXPECT_EQ(hybrid.ckpt, nullptr);
+}
+
+TEST(JobSpec, RunOptionsNeverInheritEnvFaults) {
+  JobSpec s;
+  s.a = MatrixSource::er_square(16, 2.0, 1);
+  // Empty fault_spec must pin an explicitly *disabled* plan (not "unset",
+  // which would make vmpi::run consult CASP_VMPI_FAULTS) — one tenant's
+  // environment chaos must never leak into another tenant's job.
+  vmpi::RunOptions quiet = s.run_options();
+  ASSERT_TRUE(quiet.faults.has_value());
+  EXPECT_FALSE(quiet.faults->enabled());
+  EXPECT_TRUE(quiet.capture_failure);
+
+  s.fault_spec = "seed=7;crash_rank=2;crash_op=11";
+  vmpi::RunOptions chaos = s.run_options();
+  ASSERT_TRUE(chaos.faults.has_value());
+  EXPECT_TRUE(chaos.faults->enabled());
+  EXPECT_EQ(chaos.faults->crash_rank, 2);
+  EXPECT_EQ(chaos.faults->crash_op, 11u);
+
+  s.max_restarts = 5;
+  vmpi::SupervisorOptions sup = s.supervisor_options();
+  EXPECT_EQ(sup.max_restarts, 5);
+  ASSERT_TRUE(sup.faults.has_value());
+  EXPECT_TRUE(sup.faults->enabled());
+  EXPECT_TRUE(s.supervised());
+}
+
+TEST(MatrixSource, GeneratorMaterializationIsDeterministic) {
+  const MatrixSource src = MatrixSource::er_square(48, 3.0, 11);
+  const CscMat a = src.materialize();
+  const CscMat b = src.materialize();
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.nrows(), 48);
+}
+
+}  // namespace
+}  // namespace casp::svc

@@ -1,0 +1,237 @@
+// svc::Server: admission control (Eq. (2)), per-tenant quotas, priority
+// scheduling with cancellation, and crash containment on the resident pool.
+//
+// The FaultSvc suite reads CASP_FAULT_SEED (default 1) so check.sh stage
+// (f) sweeps the injected-crash scenarios over several seeds.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+#include "svc/server.hpp"
+
+namespace casp::svc {
+namespace {
+
+std::uint64_t fault_seed() {
+  const char* env = std::getenv("CASP_FAULT_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 1;
+}
+
+JobSpec small_spgemm(std::string tenant, std::uint64_t seed = 7) {
+  JobSpec s;
+  s.tenant = std::move(tenant);
+  s.op = JobOp::kSpGemm;
+  s.a = MatrixSource::er_square(48, 3.0, seed);
+  s.ranks = 4;
+  s.layers = 1;
+  return s;
+}
+
+TEST(Server, OverBudgetJobRejectedAtSubmitNamingEq2) {
+  Server server(ServerOptions{});
+  JobSpec spec = small_spgemm("alice");
+  // 4 KiB aggregate = 1 KiB per process: far below the r*(maxA+maxB) input
+  // footprint, so Eq. (2)'s denominator is non-positive and no batch count
+  // can make the job fit. Must be refused before it ever reaches the pool.
+  spec.memory_bytes = 4096;
+  const std::string id = server.submit(std::move(spec));
+  const JobRecord* job = server.find(id);
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->state, JobState::kRejected);
+  EXPECT_FALSE(job->admission.fits);
+  // The structured reason names the Eq. (2) estimate that refused the job.
+  EXPECT_NE(job->reason.find("Eq. (2)"), std::string::npos) << job->reason;
+  EXPECT_NE(job->reason.find("r=24"), std::string::npos) << job->reason;
+  EXPECT_FALSE(job->holds_reservation);
+  // A rejected job never reserves tenant memory.
+  EXPECT_EQ(server.tenant("alice").reserved(), 0u);
+}
+
+TEST(Server, AdmissionEstimatesBatchesForFittingJobs) {
+  Server server(ServerOptions{});
+  JobSpec spec = small_spgemm("alice");
+  spec.memory_bytes = Bytes{64} << 20;
+  const std::string id = server.submit(std::move(spec));
+  const JobRecord& job = server.wait(id);
+  EXPECT_EQ(job.state, JobState::kDone) << job.reason;
+  EXPECT_TRUE(job.admission.fits);
+  EXPECT_GE(job.admission.batches, 1);
+  EXPECT_GT(job.admission.max_nnz_c, 0);
+  EXPECT_EQ(job.admission.reserved_bytes, Bytes{64} << 20);
+  // Terminal states release the reservation.
+  EXPECT_EQ(server.tenant("alice").reserved(), 0u);
+  EXPECT_GT(server.tenant("alice").peak_reserved(), 0u);
+}
+
+TEST(Server, MemoryQuotaRejectsOversizedReservationOutright) {
+  ServerOptions opts;
+  opts.quotas["alice"].memory_bytes = 1 << 20;
+  Server server(opts);
+  JobSpec spec = small_spgemm("alice");
+  spec.memory_bytes = Bytes{8} << 20;  // declared budget > tenant quota
+  const std::string id = server.submit(std::move(spec));
+  const JobRecord* job = server.find(id);
+  EXPECT_EQ(job->state, JobState::kRejected);
+  EXPECT_NE(job->reason.find("memory quota"), std::string::npos)
+      << job->reason;
+}
+
+TEST(Server, TrafficQuotaThrottlesOneTenantWhileAnotherProceeds) {
+  ServerOptions opts;
+  opts.quotas["noisy"].traffic_bytes = 1;  // exhausted by any real job
+  Server server(opts);
+
+  // Both noisy jobs queue before anything runs: billing happens at
+  // execution, so the second must be throttled by the scheduler's re-check,
+  // not at submit.
+  const std::string n1 = server.submit(small_spgemm("noisy", 7));
+  const std::string n2 = server.submit(small_spgemm("noisy", 8));
+  const std::string q1 = server.submit(small_spgemm("quiet", 9));
+  server.drain();
+
+  EXPECT_EQ(server.find(n1)->state, JobState::kDone)
+      << server.find(n1)->reason;
+  EXPECT_EQ(server.find(n2)->state, JobState::kThrottled);
+  EXPECT_NE(server.find(n2)->reason.find("traffic quota"), std::string::npos);
+  EXPECT_EQ(server.find(q1)->state, JobState::kDone)
+      << server.find(q1)->reason;
+
+  // Now that the ledger shows the overdraft, later submits refuse upfront.
+  const std::string n3 = server.submit(small_spgemm("noisy", 10));
+  EXPECT_EQ(server.find(n3)->state, JobState::kThrottled);
+  EXPECT_TRUE(server.tenant("noisy").traffic_exhausted());
+  EXPECT_FALSE(server.tenant("quiet").traffic_exhausted());
+}
+
+TEST(Server, CancelledJobReleasesItsReservation) {
+  Server server(ServerOptions{});
+  JobSpec first = small_spgemm("alice", 7);
+  first.memory_bytes = Bytes{32} << 20;
+  JobSpec second = small_spgemm("alice", 8);
+  second.memory_bytes = Bytes{16} << 20;
+  const std::string id1 = server.submit(std::move(first));
+  const std::string id2 = server.submit(std::move(second));
+  EXPECT_EQ(server.tenant("alice").reserved(), Bytes{48} << 20);
+
+  EXPECT_TRUE(server.cancel(id2));
+  EXPECT_EQ(server.find(id2)->state, JobState::kCancelled);
+  EXPECT_EQ(server.tenant("alice").reserved(), Bytes{32} << 20);
+  EXPECT_FALSE(server.cancel(id2));  // already terminal
+
+  const JobRecord& job1 = server.wait(id1);
+  EXPECT_EQ(job1.state, JobState::kDone) << job1.reason;
+  EXPECT_EQ(server.tenant("alice").reserved(), 0u);
+  EXPECT_FALSE(server.cancel(id1));  // ran to completion, nothing to cancel
+}
+
+TEST(Server, PrioritySchedulingRunsHigherFirstFifoWithin) {
+  Server server(ServerOptions{});
+  const std::string low = server.submit(small_spgemm("t", 1));
+  JobSpec hi = small_spgemm("t", 2);
+  hi.priority = 5;
+  const std::string high = server.submit(std::move(hi));
+  JobSpec hi2 = small_spgemm("t", 3);
+  hi2.priority = 5;
+  const std::string high2 = server.submit(std::move(hi2));
+
+  // Waiting on the low-priority job must drain both higher ones first —
+  // observable through every record being terminal afterwards.
+  const JobRecord& job = server.wait(high2);
+  EXPECT_EQ(job.state, JobState::kDone);
+  EXPECT_EQ(server.find(high)->state, JobState::kDone);
+  EXPECT_EQ(server.find(low)->state, JobState::kQueued);
+  server.drain();
+  EXPECT_EQ(server.find(low)->state, JobState::kDone);
+}
+
+TEST(Server, SubSizedJobRunsOnASplitOfThePool) {
+  ServerOptions opts;
+  opts.pool_ranks = 8;
+  Server server(opts);
+  JobSpec spec = small_spgemm("alice");
+  spec.ranks = 4;  // half the pool idles through the split
+  const std::string id = server.submit(std::move(spec));
+  const JobRecord& job = server.wait(id);
+  EXPECT_EQ(job.state, JobState::kDone) << job.reason;
+  EXPECT_GT(job.c.nnz(), 0);
+}
+
+TEST(Server, StructuralErrorsThrowInsteadOfRecording) {
+  Server server(ServerOptions{});
+  JobSpec too_wide = small_spgemm("alice");
+  too_wide.ranks = 16;  // pool has 4
+  EXPECT_THROW(server.submit(std::move(too_wide)), InvalidArgument);
+
+  JobSpec invalid;  // no input operand
+  EXPECT_THROW(server.submit(std::move(invalid)), InvalidArgument);
+
+  JobSpec dup = small_spgemm("alice");
+  dup.job_id = "same";
+  server.submit(std::move(dup));
+  JobSpec dup2 = small_spgemm("alice");
+  dup2.job_id = "same";
+  EXPECT_THROW(server.submit(std::move(dup2)), InvalidArgument);
+}
+
+// One tenant's injected crash is recovered by per-job supervision: the pool
+// survives, the job restarts (disarming the fired fault) and completes.
+TEST(FaultSvc, SupervisedCrashRecoversOnTheResidentPool) {
+  Server server(ServerOptions{});
+  JobSpec chaos = small_spgemm("chaos");
+  chaos.fault_spec =
+      "seed=" + std::to_string(fault_seed()) + ";crash_rank=2;crash_op=10";
+  chaos.max_restarts = 3;
+  const std::string id = server.submit(std::move(chaos));
+  const JobRecord& job = server.wait(id);
+  EXPECT_EQ(job.state, JobState::kDone) << job.reason;
+  EXPECT_EQ(job.report.billing.restarts, 1u);
+  ASSERT_EQ(job.report.billing.recovered_failure_kinds.size(), 1u);
+  EXPECT_EQ(job.report.billing.recovered_failure_kinds[0], "rank_crash");
+
+  // The pool is not poisoned: a clean tenant's job runs right after.
+  const std::string clean = server.submit(small_spgemm("clean"));
+  EXPECT_EQ(server.wait(clean).state, JobState::kDone);
+}
+
+// A crash-loop tenant: two independent fault kinds, restart budget of one.
+// Attempt 1 dies (say retry_exhausted), the supervisor disarms that fault
+// and spends the only restart, attempt 2 dies on the other fault
+// (rank_crash) with the budget exhausted — the job fails, the pool and the
+// other tenants don't.
+TEST(FaultSvc, CrashLoopExhaustsRestartsWithoutPoisoningThePool) {
+  Server server(ServerOptions{});
+  JobSpec loop = small_spgemm("chaos");
+  loop.fault_spec = "seed=" + std::to_string(fault_seed()) +
+                    ";send_fail=1.0;crash_rank=1;crash_op=15";
+  loop.max_restarts = 1;
+  const std::string id = server.submit(std::move(loop));
+  const JobRecord& job = server.wait(id);
+  EXPECT_EQ(job.state, JobState::kFailed);
+  EXPECT_EQ(job.report.billing.restarts, 1u);
+  EXPECT_FALSE(job.reason.empty());
+  EXPECT_EQ(server.tenant("chaos").reserved(), 0u);
+
+  const std::string clean = server.submit(small_spgemm("clean"));
+  EXPECT_EQ(server.wait(clean).state, JobState::kDone);
+}
+
+// Unsupervised fault: the failure is captured as a structured kFailed
+// record (never an exception, never a poisoned pool).
+TEST(FaultSvc, UnsupervisedCrashBecomesAFailedRecord) {
+  Server server(ServerOptions{});
+  JobSpec chaos = small_spgemm("chaos");
+  chaos.fault_spec =
+      "seed=" + std::to_string(fault_seed()) + ";crash_rank=1;crash_op=10";
+  const std::string id = server.submit(std::move(chaos));
+  const JobRecord& job = server.wait(id);
+  EXPECT_EQ(job.state, JobState::kFailed);
+  EXPECT_NE(job.reason.find("rank_crash"), std::string::npos) << job.reason;
+
+  const std::string clean = server.submit(small_spgemm("clean"));
+  EXPECT_EQ(server.wait(clean).state, JobState::kDone);
+}
+
+}  // namespace
+}  // namespace casp::svc

@@ -3,11 +3,33 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 #include "gen/er.hpp"
 #include "sparse/csc_mat.hpp"
 #include "sparse/triple_mat.hpp"
+#include "vmpi/comm.hpp"
 
 namespace casp::testing {
+
+/// Typed broadcast over the payload-first Comm surface, for tests that
+/// exercise the collective machinery with small typed vectors. (The old
+/// Comm::bcast_vec compat wrapper this replaces is gone; production code
+/// broadcasts Payload handles directly.)
+template <typename T>
+std::vector<T> bcast_typed(vmpi::Comm& comm, int root, std::vector<T> data) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  Payload p;
+  if (comm.rank() == root)
+    p = Payload::copy_of(
+        reinterpret_cast<const std::byte*>(data.data()),
+        data.size() * sizeof(T));
+  p = comm.bcast_payload(root, std::move(p));
+  std::vector<T> out(p.size() / sizeof(T));
+  if (p.size() != 0) std::memcpy(out.data(), p.data(), p.size());
+  return out;
+}
 
 /// Assert mathematical equality of two sparse matrices: same shape, same
 /// canonical structure, values within tol.

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "test_util.hpp"
 #include "vmpi/runtime.hpp"
 
 namespace casp::vmpi {
@@ -49,11 +50,11 @@ TEST(CollectiveChecker, SkippedCollectiveTripsSequenceMismatch) {
       capture_failure<CollectiveMismatch>(2, [](Comm& comm) {
         std::vector<int> payload = {42};
         if (comm.rank() == 0) {
-          payload = comm.bcast_vec<int>(0, std::move(payload));
+          payload = testing::bcast_typed<int>(comm, 0, std::move(payload));
           comm.barrier();
         } else {
           comm.barrier();
-          payload = comm.bcast_vec<int>(0, {});
+          payload = testing::bcast_typed<int>(comm, 0, {});
         }
       });
   EXPECT_NE(what.find("collective mismatch"), std::string::npos) << what;
@@ -74,7 +75,7 @@ TEST(CollectiveChecker, DivergentBcastRootsTripRootMismatch) {
         const int root = comm.rank() == 3 ? 2 : 0;
         std::vector<int> payload;
         if (comm.rank() == root) payload = {7};
-        (void)comm.bcast_vec<int>(root, std::move(payload));
+        (void)testing::bcast_typed<int>(comm, root, std::move(payload));
       });
   EXPECT_NE(what.find("collective mismatch"), std::string::npos) << what;
   EXPECT_NE(what.find("root"), std::string::npos) << what;
@@ -109,7 +110,8 @@ TEST(CollectiveChecker, CompetingBcastRootsAreCaughtAsLeftoverTraffic) {
   const std::string what =
       capture_failure<CollectiveMismatch>(2, [](Comm& comm) {
         std::vector<int> payload = {comm.rank()};
-        (void)comm.bcast_vec<int>(comm.rank(), std::move(payload));
+        (void)testing::bcast_typed<int>(comm, comm.rank(),
+                                        std::move(payload));
       });
   EXPECT_NE(what.find("unconsumed"), std::string::npos) << what;
   EXPECT_NE(what.find("bcast"), std::string::npos) << what;
@@ -140,9 +142,11 @@ TEST(MessageLeakSweep, FireAndForgetSendsAreExempt) {
     if (comm.rank() == 0) {
       const int v = 7;
       static_assert(std::is_trivially_copyable_v<int>);
-      comm.send_bytes(1, /*tag=*/42,
-                      reinterpret_cast<const std::byte*>(&v), sizeof(v),
-                      /*fire_and_forget=*/true);
+      comm.send_payload(
+          1, /*tag=*/42,
+          Payload::copy_of(reinterpret_cast<const std::byte*>(&v),
+                           sizeof(v)),
+          /*fire_and_forget=*/true);
     }
     comm.barrier();
   });
@@ -186,7 +190,7 @@ TEST(DeadlockWatchdog, BarrierAgainstBcastIsReportedWithCollectiveNames) {
         if (comm.rank() == 0) {
           comm.barrier();
         } else {
-          (void)comm.bcast_vec<int>(0, {});
+          (void)testing::bcast_typed<int>(comm, 0, {});
         }
       });
   EXPECT_NE(what.find("deadlock"), std::string::npos) << what;

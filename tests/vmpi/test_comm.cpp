@@ -5,6 +5,7 @@
 
 #include <numeric>
 
+#include "test_util.hpp"
 #include "vmpi/runtime.hpp"
 
 namespace casp::vmpi {
@@ -43,7 +44,8 @@ TEST_P(CommCollectives, BcastFromEveryRoot) {
     for (int root = 0; root < p; ++root) {
       std::vector<std::int64_t> data;
       if (comm.rank() == root) data = {10 + root, 20 + root, 30 + root};
-      data = comm.bcast_vec<std::int64_t>(root, std::move(data));
+      data = testing::bcast_typed<std::int64_t>(comm, root,
+                                                 std::move(data));
       ASSERT_EQ(data.size(), 3u);
       EXPECT_EQ(data[0], 10 + root);
       EXPECT_EQ(data[2], 30 + root);
@@ -90,13 +92,13 @@ TEST_P(CommCollectives, AllgatherVariableSizes) {
     // Rank r contributes r bytes, each with value r.
     std::vector<std::byte> mine(static_cast<std::size_t>(comm.rank()),
                                 static_cast<std::byte>(comm.rank()));
-    auto all = comm.allgather_bytes(std::move(mine));
+    auto all = comm.allgather_payload(Payload::wrap(std::move(mine)));
     ASSERT_EQ(static_cast<int>(all.size()), p);
     for (int r = 0; r < p; ++r) {
-      EXPECT_EQ(all[static_cast<std::size_t>(r)].size(),
-                static_cast<std::size_t>(r));
-      for (std::byte v : all[static_cast<std::size_t>(r)])
-        EXPECT_EQ(v, static_cast<std::byte>(r));
+      const Payload& piece = all[static_cast<std::size_t>(r)];
+      EXPECT_EQ(piece.size(), static_cast<std::size_t>(r));
+      for (std::size_t i = 0; i < piece.size(); ++i)
+        EXPECT_EQ(piece.data()[i], static_cast<std::byte>(r));
     }
   });
 }
@@ -122,18 +124,19 @@ TEST_P(CommCollectives, AlltoallPersonalizedExchange) {
   const int p = GetParam();
   run(p, [p](Comm& comm) {
     // buffers[d] = [rank, d] so the receiver can verify provenance.
-    std::vector<std::vector<std::byte>> buffers(static_cast<std::size_t>(p));
+    std::vector<Payload> buffers(static_cast<std::size_t>(p));
     for (int d = 0; d < p; ++d) {
-      buffers[static_cast<std::size_t>(d)] = {
-          static_cast<std::byte>(comm.rank()), static_cast<std::byte>(d)};
+      std::vector<std::byte> msg = {static_cast<std::byte>(comm.rank()),
+                                    static_cast<std::byte>(d)};
+      buffers[static_cast<std::size_t>(d)] = Payload::wrap(std::move(msg));
     }
-    auto got = comm.alltoall_bytes(std::move(buffers));
+    auto got = comm.alltoall_payload(std::move(buffers));
     ASSERT_EQ(static_cast<int>(got.size()), p);
     for (int s = 0; s < p; ++s) {
-      ASSERT_EQ(got[static_cast<std::size_t>(s)].size(), 2u);
-      EXPECT_EQ(got[static_cast<std::size_t>(s)][0], static_cast<std::byte>(s));
-      EXPECT_EQ(got[static_cast<std::size_t>(s)][1],
-                static_cast<std::byte>(comm.rank()));
+      const Payload& piece = got[static_cast<std::size_t>(s)];
+      ASSERT_EQ(piece.size(), 2u);
+      EXPECT_EQ(piece.data()[0], static_cast<std::byte>(s));
+      EXPECT_EQ(piece.data()[1], static_cast<std::byte>(comm.rank()));
     }
   });
 }

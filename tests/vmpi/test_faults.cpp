@@ -47,12 +47,8 @@ int ring_workload(Comm& comm, int rounds) {
   static_assert(std::is_trivially_copyable_v<int>);
   for (int r = 0; r < rounds; ++r) {
     const int payload = comm.rank() * 1000 + r;
-    comm.send_bytes(next, /*tag=*/7,
-                    reinterpret_cast<const std::byte*>(&payload),
-                    sizeof(payload));
-    const std::vector<std::byte> bytes = comm.recv_bytes(prev, /*tag=*/7);
-    int received = 0;
-    std::memcpy(&received, bytes.data(), sizeof(received));
+    comm.send_value<int>(next, /*tag=*/7, payload);
+    const int received = comm.recv_value<int>(prev, /*tag=*/7);
     EXPECT_EQ(received, prev * 1000 + r);
     checksum += comm.allreduce_sum<int>(received);
   }
@@ -335,12 +331,9 @@ TEST(FaultMatrix, RecvOnCrashedPeerAbortsCleanly) {
       [&](Comm& comm) {
         comm.set_phase("Handshake");
         if (comm.rank() == 0) {
-          (void)comm.recv_bytes(1, /*tag=*/3);
+          (void)comm.recv_value<int>(1, /*tag=*/3);
         } else {
-          static_assert(std::is_trivially_copyable_v<int>);
-          const int v = 99;
-          comm.send_bytes(0, /*tag=*/3,
-                          reinterpret_cast<const std::byte*>(&v), sizeof(v));
+          comm.send_value<int>(0, /*tag=*/3, 99);
         }
       },
       opts);

@@ -117,18 +117,20 @@ TEST(PayloadTransport, BcastForwardsOneAllocationToEveryRank) {
   for (const std::byte* p : ptrs) EXPECT_EQ(p, ptrs[0]);
 }
 
-TEST(PayloadTransport, SendBytesCopiesAtTheApiBoundary) {
-  // Legacy API isolation: the sender may scribble on its buffer the moment
-  // send_bytes returns without the receiver ever noticing.
+TEST(PayloadTransport, CopyOfIsolatesTheSenderBuffer) {
+  // Payload::copy_of snapshots at the API boundary: the sender may
+  // scribble on its buffer the moment send_payload returns without the
+  // receiver ever noticing.
   vmpi::run(2, [](vmpi::Comm& comm) {
     if (comm.rank() == 0) {
       std::vector<std::byte> buf = make_bytes(256, 3);
-      comm.send_bytes(1, 5, buf.data(), buf.size());
+      comm.send_payload(1, 5, Payload::copy_of(buf.data(), buf.size()));
       for (std::byte& b : buf) b = std::byte{0xee};  // post-send scribble
       comm.barrier();
     } else {
       comm.barrier();  // ensure the scribble happened before the receive
-      const std::vector<std::byte> got = comm.recv_bytes(0, 5);
+      const std::vector<std::byte> got =
+          comm.recv_payload(0, 5).release_or_copy();
       EXPECT_EQ(got, make_bytes(256, 3));
     }
   });

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "vmpi/pool.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace casp::vmpi {
+namespace {
+
+TEST(Pool, RunsEveryRankOnResidentThreads) {
+  RankPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+
+  std::mutex mu;
+  std::vector<std::vector<std::thread::id>> ids_per_job;
+  for (int job = 0; job < 3; ++job) {
+    std::vector<std::thread::id> ids(4);
+    std::atomic<int> count{0};
+    auto result = pool.run_job([&](Comm& comm) {
+      count.fetch_add(1);
+      std::lock_guard<std::mutex> lock(mu);
+      ids[static_cast<std::size_t>(comm.rank())] = std::this_thread::get_id();
+    });
+    EXPECT_EQ(count.load(), 4);
+    EXPECT_EQ(result.size, 4);
+    ids_per_job.push_back(ids);
+  }
+  EXPECT_EQ(pool.jobs_run(), 3u);
+  // Residency: every job ran rank r on the same pool thread.
+  for (int job = 1; job < 3; ++job)
+    for (int r = 0; r < 4; ++r)
+      EXPECT_EQ(ids_per_job[static_cast<std::size_t>(job)]
+                           [static_cast<std::size_t>(r)],
+                ids_per_job[0][static_cast<std::size_t>(r)])
+          << "job " << job << " rank " << r << " migrated threads";
+}
+
+TEST(Pool, ResultsMatchStandaloneRun) {
+  const auto body = [](Comm& comm) {
+    comm.set_phase("work");
+    const std::vector<double> mine = {1.5 * comm.rank(), 2.5};
+    const std::vector<double> all = comm.allgather_vec<double>(mine);
+    double sum = 0;
+    for (double v : all) sum += v;
+    comm.recorder().set_counter("sum_x10",
+                               static_cast<std::int64_t>(sum * 10));
+  };
+  RankPool pool(6);
+  const RunResult pooled = pool.run_job(body);
+  const RunResult standalone = run(6, body);
+
+  ASSERT_EQ(pooled.recorders.size(), standalone.recorders.size());
+  for (std::size_t r = 0; r < pooled.recorders.size(); ++r)
+    EXPECT_EQ(pooled.recorders[r].counters().at("sum_x10"),
+              standalone.recorders[r].counters().at("sum_x10"));
+  const auto pt = pooled.traffic_summary();
+  const auto st = standalone.traffic_summary();
+  EXPECT_EQ(pt.total_per_phase.at("work").bytes,
+            st.total_per_phase.at("work").bytes);
+  EXPECT_EQ(pt.total_per_phase.at("work").messages,
+            st.total_per_phase.at("work").messages);
+}
+
+TEST(Pool, FailedJobDoesNotPoisonPool) {
+  RankPool pool(3);
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.crash_rank = 1;
+  plan.crash_op = 2;
+
+  RunOptions opts;
+  opts.faults = plan;
+  opts.capture_failure = true;
+  const RunResult crashed = pool.run_job(
+      [](Comm& comm) {
+        comm.barrier();
+        comm.barrier();
+        comm.barrier();
+      },
+      opts);
+  ASSERT_TRUE(crashed.failed());
+  EXPECT_EQ(crashed.failure->kind, "rank_crash");
+  EXPECT_EQ(crashed.failure->rank, 1);
+
+  // The next tenant's job starts from a clean world on the same threads.
+  const RunResult clean = pool.run_job([](Comm& comm) {
+    const int total = comm.allreduce_sum<int>(comm.rank() + 1);
+    EXPECT_EQ(total, 6);
+  });
+  EXPECT_FALSE(clean.failed());
+  EXPECT_EQ(pool.jobs_run(), 2u);
+}
+
+TEST(Pool, RethrowsWithoutCaptureAndStaysUsable) {
+  RankPool pool(2);
+  try {
+    pool.run_job([](Comm& comm) {
+      if (comm.rank() == 1) throw std::runtime_error("tenant bug");
+      comm.barrier();
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "tenant bug");
+  }
+  const RunResult ok = pool.run_job([](Comm& comm) { comm.barrier(); });
+  EXPECT_FALSE(ok.failed());
+}
+
+TEST(Pool, SupervisedRecoversInjectedCrash) {
+  RankPool pool(4);
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.crash_rank = 2;
+  plan.crash_op = 4;
+
+  SupervisorOptions opts;
+  opts.faults = plan;
+  opts.max_restarts = 2;
+  std::atomic<int> attempts{0};
+  const SupervisedResult sup = pool.run_supervised(
+      [&](Comm& comm) {
+        if (comm.rank() == 0) attempts.fetch_add(1);
+        for (int i = 0; i < 6; ++i) comm.barrier();
+        const int total = comm.allreduce_sum<int>(1);
+        EXPECT_EQ(total, 4);
+      },
+      opts);
+  EXPECT_TRUE(sup.recovered());
+  EXPECT_EQ(sup.restarts, 1);
+  ASSERT_EQ(sup.recovered_failures.size(), 1u);
+  EXPECT_EQ(sup.recovered_failures[0].kind, "rank_crash");
+  EXPECT_FALSE(sup.result.failed());
+  EXPECT_EQ(attempts.load(), 2);
+  // Both attempts ran on the one resident gang.
+  EXPECT_EQ(pool.jobs_run(), 2u);
+}
+
+TEST(Pool, InvalidSizeThrows) {
+  EXPECT_THROW(RankPool(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace casp::vmpi

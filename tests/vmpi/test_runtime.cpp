@@ -50,12 +50,12 @@ TEST(Runtime, TrafficSummaryMaxAndTotal) {
     comm.set_phase("p");
     // Ranks 1, 2 send different volumes to rank 0.
     if (comm.rank() == 0) {
-      (void)comm.recv_bytes(1, 1);
-      (void)comm.recv_bytes(2, 1);
+      (void)comm.recv_payload(1, 1);
+      (void)comm.recv_payload(2, 1);
     } else {
       std::vector<std::byte> payload(
           static_cast<std::size_t>(comm.rank() * 100));
-      comm.send_bytes(0, 1, payload.data(), payload.size());
+      comm.send_payload(0, 1, Payload::wrap(std::move(payload)));
     }
   });
   const auto summary = result.traffic_summary();

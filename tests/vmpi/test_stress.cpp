@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "test_util.hpp"
 #include "vmpi/runtime.hpp"
 
 namespace casp::vmpi {
@@ -97,9 +98,10 @@ TEST(VmpiStress, ManyCollectiveRoundsStayConsistent) {
     for (int round = 0; round < 50; ++round) {
       const std::int64_t sum = comm.allreduce_sum<std::int64_t>(round);
       EXPECT_EQ(sum, 7 * round);
-      auto data = comm.bcast_vec<int>(round % 7, comm.rank() == round % 7
-                                                     ? std::vector<int>{round}
-                                                     : std::vector<int>{});
+      auto data = testing::bcast_typed<int>(
+          comm, round % 7,
+          comm.rank() == round % 7 ? std::vector<int>{round}
+                                   : std::vector<int>{});
       ASSERT_EQ(data.size(), 1u);
       EXPECT_EQ(data[0], round);
     }
@@ -109,19 +111,21 @@ TEST(VmpiStress, ManyCollectiveRoundsStayConsistent) {
 TEST(VmpiStress, AlltoallWithEmptyAndFatBuffers) {
   const int p = 5;
   run(p, [p](Comm& comm) {
-    std::vector<std::vector<std::byte>> buffers(static_cast<std::size_t>(p));
+    std::vector<Payload> buffers(static_cast<std::size_t>(p));
     for (int d = 0; d < p; ++d) {
       // Rank r sends (r + d) % p bytes to rank d (some zero-length).
-      buffers[static_cast<std::size_t>(d)].assign(
+      std::vector<std::byte> msg(
           static_cast<std::size_t>((comm.rank() + d) % p),
           static_cast<std::byte>(comm.rank()));
+      buffers[static_cast<std::size_t>(d)] = Payload::wrap(std::move(msg));
     }
-    const auto got = comm.alltoall_bytes(std::move(buffers));
+    const auto got = comm.alltoall_payload(std::move(buffers));
     for (int s = 0; s < p; ++s) {
-      EXPECT_EQ(got[static_cast<std::size_t>(s)].size(),
+      const Payload& piece = got[static_cast<std::size_t>(s)];
+      EXPECT_EQ(piece.size(),
                 static_cast<std::size_t>((s + comm.rank()) % p));
-      for (std::byte v : got[static_cast<std::size_t>(s)])
-        EXPECT_EQ(v, static_cast<std::byte>(s));
+      for (std::size_t i = 0; i < piece.size(); ++i)
+        EXPECT_EQ(piece.data()[i], static_cast<std::byte>(s));
     }
   });
 }

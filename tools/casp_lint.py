@@ -39,12 +39,24 @@ test (see tests/CMakeLists.txt). Rules:
                   record) or let it propagate to vmpi::run's classifier.
   comm-compat     The byte-vector Comm wrappers (send_bytes, recv_bytes,
                   bcast_bytes, ibcast_bytes, bcast_vec, allgather_bytes,
-                  alltoall_bytes) are a compat shim for existing tests.
-                  New non-test code must use the payload-first surface
-                  (send_payload / Payload::copy_of, recv_payload,
-                  bcast_payload, allgather_vec, ...). Enforced in src/,
-                  tools/, bench/, examples/; tests/ is exempt, as is the
-                  wrapper section in src/vmpi/comm.hpp itself.
+                  alltoall_bytes) were removed from Comm; this rule keeps
+                  them from coming back anywhere — tests included. All
+                  code uses the payload-first surface (send_payload /
+                  Payload::copy_of, recv_payload, bcast_payload,
+                  allgather_vec, ...); tests that want a typed broadcast
+                  use testing::bcast_typed from tests/test_util.hpp.
+  jobspec-single-source
+                  SummaOptions is a thin view derived from svc::JobSpec
+                  (JobSpec::summa_options()). In src/ and tools/, outside
+                  src/svc/ itself, constructing a fresh SummaOptions
+                  (`SummaOptions o;` / `SummaOptions{...}`) is forbidden —
+                  build a JobSpec and derive the view, so every knob stays
+                  serializable, quota-checkable and covered by the one job
+                  API. Copying an existing value (`SummaOptions b = a;`)
+                  stays allowed: the batching loop and MCL iterations
+                  specialize a caller-provided view per step. tests/,
+                  bench/ and examples/ are exempt (they exercise the
+                  library layer directly).
   ckpt-atomic-write
                   In src/ckpt/, every file-writing open (std::ofstream,
                   std::fstream, fopen) must write to the kTmpSuffix temp
@@ -130,6 +142,13 @@ EMPTY_CATCH_RE = re.compile(
 COMM_COMPAT_RE = re.compile(
     r"\b(send_bytes|recv_bytes|bcast_bytes|ibcast_bytes|bcast_vec|"
     r"allgather_bytes|alltoall_bytes)\s*[(<]"
+)
+
+# A fresh SummaOptions construction: declaration with default init or a
+# braced temporary. Copy-initialization from an existing value
+# (`SummaOptions b = a;`) deliberately does not match.
+JOBSPEC_SINGLE_SOURCE_RE = re.compile(
+    r"(?<!struct )\bSummaOptions\s*\{|\bSummaOptions\s+\w+\s*[;{]"
 )
 
 # File-writing opens in src/ckpt/: an ofstream/fstream construction or
@@ -284,8 +303,10 @@ class Linter:
         self.check_new_delete(rel, code_lines, waived)
         if in_src and not in_vmpi:
             self.check_threading(rel, code_lines, waived)
-        if not rel.startswith("tests/") and rel != "src/vmpi/comm.hpp":
-            self.check_comm_compat(rel, code_lines, waived)
+        self.check_comm_compat(rel, code_lines, waived)
+        if (in_src or rel.startswith("tools/")) and not rel.startswith(
+                "src/svc/"):
+            self.check_jobspec_single_source(rel, code_lines, waived)
         if rel.startswith("src/ckpt/"):
             self.check_ckpt_atomic_write(rel, code_lines, waived)
         if in_src:
@@ -329,10 +350,21 @@ class Linter:
             if m and not waived("comm-compat", idx):
                 self.error(
                     rel, idx + 1, "comm-compat",
-                    f"{m.group(1)} is a byte-vector compat wrapper — "
-                    "non-test code must use the payload-first Comm API "
-                    "(send_payload/recv_payload/bcast_payload/"
-                    "allgather_vec/...)")
+                    f"{m.group(1)} is a removed byte-vector compat wrapper "
+                    "— use the payload-first Comm API (send_payload/"
+                    "recv_payload/bcast_payload/allgather_vec/...; tests: "
+                    "testing::bcast_typed)")
+
+    def check_jobspec_single_source(self, rel, code_lines, waived):
+        for idx, line in enumerate(code_lines):
+            if JOBSPEC_SINGLE_SOURCE_RE.search(line) and not waived(
+                    "jobspec-single-source", idx):
+                self.error(
+                    rel, idx + 1, "jobspec-single-source",
+                    "fresh SummaOptions construction outside src/svc/ — "
+                    "build a svc::JobSpec and derive the view with "
+                    "JobSpec::summa_options() (copying an existing value "
+                    "is fine)")
 
     def check_ckpt_atomic_write(self, rel, code_lines, waived):
         for idx, line in enumerate(code_lines):

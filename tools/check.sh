@@ -16,9 +16,14 @@
 #                          schedules plus fault seeds 1-3 — known bugs must
 #                          be rediscovered with a replayable schedule, good
 #                          programs must stay clean on every schedule
+#   (i) service soak       spgemm_serve drains a mixed SpGEMM/MCL multi-
+#                          tenant queue (one crashing tenant) twice on a
+#                          resident pool; the per-job deterministic reports
+#                          must be byte-identical across the two runs
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-perf]
 #                       [--skip-faults] [--skip-recovery] [--skip-sched]
+#                       [--skip-serve]
 # CASP_PERF_THRESHOLD tunes stage (e)'s allowed slowdown (default 0.25).
 set -euo pipefail
 
@@ -30,6 +35,7 @@ SKIP_PERF=0
 SKIP_FAULTS=0
 SKIP_RECOVERY=0
 SKIP_SCHED=0
+SKIP_SERVE=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
@@ -38,7 +44,8 @@ for arg in "$@"; do
     --skip-faults) SKIP_FAULTS=1 ;;
     --skip-recovery) SKIP_RECOVERY=1 ;;
     --skip-sched) SKIP_SCHED=1 ;;
-    *) echo "usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-perf] [--skip-faults] [--skip-recovery] [--skip-sched]" >&2; exit 2 ;;
+    --skip-serve) SKIP_SERVE=1 ;;
+    *) echo "usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-perf] [--skip-faults] [--skip-recovery] [--skip-sched] [--skip-serve]" >&2; exit 2 ;;
   esac
 done
 
@@ -177,6 +184,53 @@ else
     --faults="send_fail=0.05" --fault-seeds=1,2,3 \
     bcast_tree pipeline_ibcast ckpt_consensus rebatch_consensus \
     sole_owner_handoff
+fi
+
+if [ "$SKIP_SERVE" = 1 ]; then
+  echo "skipping service-soak stage (--skip-serve)"
+else
+  step "(i) service soak: deterministic multi-job queue, double-run byte-compare"
+  # A mixed SpGEMM/MCL queue from three tenants on one resident pool: one
+  # tenant injects a crash (supervised, must recover without taking the
+  # pool down), one runs under a tight traffic quota (its second job must
+  # be throttled while the others proceed). Drained twice; the per-job
+  # deterministic reports must be byte-identical across the two runs.
+  SERVE_DIR=$(mktemp -d)
+  trap 'rm -rf "${PERF_DIR:-}" "$SERVE_DIR"' EXIT
+  cat > "$SERVE_DIR/jobs.json" <<'EOF'
+[
+  {"tenant": "alice", "op": "spgemm",
+   "a": {"kind": "er", "er": {"nrows": 56, "ncols": 56, "nnz_per_col": 3.0, "seed": 100}},
+   "ranks": 4, "memory_bytes": 16777216},
+  {"tenant": "alice", "op": "spgemm", "aat": true,
+   "a": {"kind": "er", "er": {"nrows": 56, "ncols": 56, "nnz_per_col": 3.0, "seed": 101}},
+   "ranks": 4},
+  {"tenant": "bob", "op": "mcl", "priority": 2,
+   "a": {"kind": "protein", "protein": {"n": 40, "seed": 200}},
+   "ranks": 4, "mcl": {"max_iterations": 5}},
+  {"tenant": "bob", "op": "mcl",
+   "a": {"kind": "protein", "protein": {"n": 40, "seed": 201}},
+   "ranks": 4, "mcl": {"max_iterations": 5}},
+  {"tenant": "alice", "op": "triangle",
+   "a": {"kind": "rmat", "rmat": {"scale": 6, "edge_factor": 4.0, "seed": 300}},
+   "ranks": 4},
+  {"tenant": "chaos", "op": "spgemm",
+   "a": {"kind": "er", "er": {"nrows": 48, "ncols": 48, "nnz_per_col": 3.0, "seed": 400}},
+   "ranks": 4, "fault_spec": "seed=1;crash_rank=2;crash_op=15", "max_restarts": 2}
+]
+EOF
+  for pass in 1 2; do
+    ./build/release/tools/spgemm_serve "$SERVE_DIR/jobs.json" \
+      --quota 'bob:0:100000' \
+      --reports "$SERVE_DIR/reports.$pass.json" \
+      --tenant-reports "$SERVE_DIR/tenants.$pass.json" \
+      --deterministic
+  done
+  cmp "$SERVE_DIR/reports.1.json" "$SERVE_DIR/reports.2.json"
+  # The crashing tenant recovered (restarts billed) and bob's quota bit.
+  grep -q '"restarts": 1' "$SERVE_DIR/reports.1.json"
+  grep -q '"state": "throttled"' "$SERVE_DIR/reports.1.json"
+  echo "service soak: reports byte-identical across runs"
 fi
 
 step "all gates passed"

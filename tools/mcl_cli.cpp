@@ -1,170 +1,55 @@
 // mcl — cluster a similarity network from a Matrix Market file with the
 // distributed, memory-constrained Markov clustering of apps/mcl.
 //
+// A thin wrapper over the job service: flags build one svc::JobSpec
+// (op = mcl), the spec runs on an in-process svc::Server, and the
+// clustering plus the per-job "casp.job_report.v1" report come back from
+// the job record.
+//
 // Usage:
-//   mcl network.mtx [--ranks N] [--layers L] [--memory-mb M]
-//       [--inflation R] [--prune T] [--keep K] [--max-iters I]
-//       [--out clusters.txt] [--report report.json] [--trace trace.json]
-//       [--ckpt-dir DIR] [--ckpt-every N] [--max-restarts R]
+//   mcl network.mtx [flags]   (see --help for the shared JobSpec flags)
 //
 // Output: one line per vertex, "<vertex> <cluster-id>". --report writes the
-// RunReport JSON (per-phase traffic, timings, counters, memory); --trace
-// writes a Chrome trace-event timeline loadable in Perfetto. --ckpt-dir
-// checkpoints the iterate at iteration boundaries; with --max-restarts the
-// job is supervised and relaunches (resuming from the newest valid
-// generation) after recoverable injected failures.
-#include <cstdint>
+// job report JSON (admission estimate, billing, per-phase traffic,
+// timings); --trace writes a Chrome trace-event timeline loadable in
+// Perfetto. --ckpt-dir checkpoints the iterate at iteration boundaries;
+// with --max-restarts the job is supervised and relaunches (resuming from
+// the newest valid generation) after recoverable injected failures.
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 
-#include "apps/mcl.hpp"
-#include "ckpt/checkpoint.hpp"
-#include "obs/report.hpp"
-#include "sparse/mm_io.hpp"
+#include "cli_common.hpp"
 #include "sparse/stats.hpp"
-#include "vmpi/runtime.hpp"
 
 int main(int argc, char** argv) {
   using namespace casp;
-  std::string in_path, out_path, report_path, trace_path, ckpt_dir;
-  int ranks = 4, layers = 1;
-  Bytes memory_mb = 0;
-  std::uint64_t ckpt_every = 1;
-  int max_restarts = -1;  // -1: unsupervised single attempt
-  MclParams params;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&](const char* what) -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << "missing value for " << what << "\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--ranks") {
-      ranks = std::stoi(next("--ranks"));
-    } else if (arg == "--layers") {
-      layers = std::stoi(next("--layers"));
-    } else if (arg == "--memory-mb") {
-      memory_mb = static_cast<Bytes>(std::stoll(next("--memory-mb")));
-    } else if (arg == "--inflation") {
-      params.inflation = std::stod(next("--inflation"));
-    } else if (arg == "--prune") {
-      params.prune_threshold = std::stod(next("--prune"));
-    } else if (arg == "--keep") {
-      params.keep_per_col = std::stoll(next("--keep"));
-    } else if (arg == "--max-iters") {
-      params.max_iterations = std::stoi(next("--max-iters"));
-    } else if (arg == "--out") {
-      out_path = next("--out");
-    } else if (arg == "--report") {
-      report_path = next("--report");
-    } else if (arg == "--trace") {
-      trace_path = next("--trace");
-    } else if (arg == "--ckpt-dir") {
-      ckpt_dir = next("--ckpt-dir");
-    } else if (arg == "--ckpt-every") {
-      ckpt_every = std::stoull(next("--ckpt-every"));
-      if (ckpt_every == 0) {
-        std::cerr << "--ckpt-every must be >= 1\n";
-        return 2;
-      }
-    } else if (arg == "--max-restarts") {
-      max_restarts = std::stoi(next("--max-restarts"));
-      if (max_restarts < 0) {
-        std::cerr << "--max-restarts must be >= 0\n";
-        return 2;
-      }
-    } else if (arg == "--help" || arg == "-h") {
-      std::cerr << "usage: mcl network.mtx [--ranks N] [--layers L] "
-                   "[--memory-mb M]\n           [--inflation R] [--prune T] "
-                   "[--keep K] [--max-iters I] [--out F]\n           "
-                   "[--report report.json] [--trace trace.json]\n           "
-                   "[--ckpt-dir DIR] [--ckpt-every N] [--max-restarts R]\n";
-      return 0;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "unknown option " << arg << "\n";
-      return 2;
-    } else if (in_path.empty()) {
-      in_path = arg;
-    } else {
-      std::cerr << "unexpected argument " << arg << "\n";
-      return 2;
-    }
+  cli::CommonArgs args;
+  args.spec.ranks = 4;
+  args.spec.layers = 1;
+  const int rc = cli::parse_common(argc, argv, args);
+  if (rc != 0 || args.help || args.positional.size() != 1) {
+    std::cerr << "usage: mcl network.mtx [flags]\n"
+              << cli::common_flags_help();
+    return rc != 0 ? rc : (args.help ? 0 : 2);
   }
-  if (in_path.empty()) {
-    std::cerr << "usage: mcl network.mtx [options]; --help for details\n";
-    return 2;
-  }
-  if (!Grid3D::valid_shape(ranks, layers)) {
-    std::cerr << "invalid (ranks, layers) grid\n";
-    return 2;
-  }
+  svc::JobSpec& spec = args.spec;
+  spec.op = svc::JobOp::kMcl;
+  spec.a = svc::MatrixSource::file(args.positional[0]);
 
   try {
-    const CscMat network =
-        CscMat::from_triples(read_matrix_market_file(in_path));
-    if (network.nrows() != network.ncols()) {
-      std::cerr << "error: similarity network must be square\n";
-      return 1;
-    }
-    std::cout << describe("network", network) << "\n";
+    svc::ServerOptions server_opts;
+    server_opts.pool_ranks = spec.ranks;
+    svc::Server server(std::move(server_opts));
+    const std::string id = server.submit(std::move(spec));
+    std::cout << describe("network", server.find(id)->in_a) << "\n";
 
-    MclResult result;
-    // Capture failures (injected faults, budget exhaustion) as a structured
-    // FailureReport in the run report instead of a bare abort.
-    auto body = [&](vmpi::Comm& world) {
-      ckpt::Checkpointer ck;
-      SummaOptions summa_opts;
-      if (!ckpt_dir.empty()) {
-        ck = ckpt::Checkpointer(ckpt_dir, world.rank(), ckpt_every,
-                                &world.recorder());
-        summa_opts.ckpt = &ck;
-      }
-      Grid3D grid(world, layers);
-      MclResult r = mcl_cluster_distributed(
-          grid, network, params, memory_mb * 1024 * 1024, summa_opts);
-      if (world.rank() == 0) result = std::move(r);
-    };
+    const svc::JobRecord& job = server.wait(id);
+    const int out_rc = cli::report_outcome(job, args);
+    if (out_rc != 0) return out_rc;
 
-    // --ckpt-dir / --max-restarts turn on supervision: recoverable
-    // failures relaunch the job, which fast-forwards from the newest valid
-    // checkpoint generation (iteration-boundary snapshots).
-    const bool supervise = !ckpt_dir.empty() || max_restarts >= 0;
-    vmpi::RunResult job;
-    obs::RunReport report;
-    if (supervise) {
-      vmpi::SupervisorOptions sup_opts;
-      if (max_restarts >= 0) sup_opts.max_restarts = max_restarts;
-      vmpi::SupervisedResult sup = vmpi::run_supervised(ranks, body, sup_opts);
-      report = obs::build_report(sup);
-      if (sup.restarts > 0) {
-        std::cout << "supervisor: " << sup.restarts << " restart(s)";
-        if (sup.recovered()) std::cout << ", recovered";
-        std::cout << "\n";
-      }
-      job = std::move(sup.result);
-    } else {
-      vmpi::RunOptions run_opts;
-      run_opts.capture_failure = true;
-      job = vmpi::run(ranks, body, run_opts);
-      report = obs::build_report(job);
-    }
-    if (!report_path.empty()) {
-      obs::write_report_json(report, report_path);
-      std::cout << "wrote " << report_path << "\n";
-    }
-    if (!trace_path.empty()) {
-      obs::write_chrome_trace(job, trace_path);
-      std::cout << "wrote " << trace_path << "\n";
-    }
-    if (job.failed()) {
-      std::cerr << job.failure->describe() << "\n";
-      return 1;
-    }
-
+    const MclResult& result = job.mcl;
     std::cout << "converged after " << result.iterations << " iterations; "
               << result.num_clusters << " clusters\n";
     for (std::size_t i = 0; i < result.per_iteration.size(); ++i)
@@ -175,17 +60,17 @@ int main(int argc, char** argv) {
 
     std::ostream* out = &std::cout;
     std::ofstream file;
-    if (!out_path.empty()) {
-      file.open(out_path);
+    if (!args.out_path.empty()) {
+      file.open(args.out_path);
       if (!file) {
-        std::cerr << "cannot open " << out_path << "\n";
+        std::cerr << "cannot open " << args.out_path << "\n";
         return 1;
       }
       out = &file;
     }
     for (std::size_t v = 0; v < result.cluster_of.size(); ++v)
       *out << v << ' ' << result.cluster_of[v] << '\n';
-    if (!out_path.empty()) std::cout << "wrote " << out_path << "\n";
+    if (!args.out_path.empty()) std::cout << "wrote " << args.out_path << "\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

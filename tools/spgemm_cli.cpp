@@ -1,34 +1,28 @@
 // spgemm — multiply Matrix Market files with BatchedSUMMA3D.
 //
+// A thin wrapper over the job service: flags build one svc::JobSpec, the
+// spec is submitted to an in-process svc::Server, and the product plus the
+// per-job "casp.job_report.v1" report come back from the job record. The
+// only direct-run path left is --batch-dir, which streams batches to disk
+// through a callback the service API deliberately does not carry.
+//
 // Usage:
 //   spgemm A.mtx [B.mtx]            multiply two files (omit B to square A)
 //     --aat                         multiply A by its transpose instead
-//     --ranks N (16)  --layers L (4)
-//     --memory-mb M                 aggregate budget (0 = unlimited)
-//     --batches B                   pin the batch count (0 = symbolic)
-//     --kernel hash|hybrid          this paper's / prior-work kernels
-//     --out C.mtx                   write the product
-//     --batch-dir DIR               stream batches to DIR instead of RAM
 //     --stats                       print flops / nnz / cf before running
-//     --report report.json          write the RunReport (traffic/timings)
-//     --trace trace.json            write a Chrome trace-event timeline
-//     --ckpt-dir DIR                checkpoint batches to DIR (enables
-//                                   restart from the newest valid snapshot)
-//     --ckpt-every N (1)            save every N finished batches
-//     --max-restarts R (3)          supervise the job: relaunch up to R
-//                                   times after recoverable failures
+//     --batch-dir DIR               stream batches to DIR instead of RAM
+//   plus the shared JobSpec flags (see --help).
 //
 // Exit status 0 on success; a short per-step breakdown is always printed.
 #include <algorithm>
-#include <cstdint>
-#include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "apps/batch_io.hpp"
 #include "ckpt/checkpoint.hpp"
+#include "cli_common.hpp"
 #include "grid/dist.hpp"
-#include "obs/report.hpp"
 #include "sparse/mm_io.hpp"
 #include "sparse/stats.hpp"
 #include "summa/batched.hpp"
@@ -36,225 +30,142 @@
 
 namespace {
 void usage() {
-  std::cerr
-      << "usage: spgemm A.mtx [B.mtx] [--aat] [--ranks N] [--layers L]\n"
-         "              [--memory-mb M] [--batches B] [--kernel hash|hybrid]\n"
-         "              [--out C.mtx] [--batch-dir DIR] [--stats]\n"
-         "              [--report report.json] [--trace trace.json]\n"
-         "              [--ckpt-dir DIR] [--ckpt-every N] "
-         "[--max-restarts R]\n";
+  std::cerr << "usage: spgemm A.mtx [B.mtx] [--aat] [--stats] "
+               "[--batch-dir DIR] [flags]\n"
+            << casp::cli::common_flags_help();
+}
+
+/// Direct-run escape hatch for --batch-dir: the service keeps gathered
+/// results in the job record, but batch streaming wants a per-rank disk
+/// writer callback, so this path drives vmpi::run itself — still deriving
+/// every option from the same JobSpec views the service uses.
+int run_streaming(const casp::svc::JobSpec& spec, const casp::CscMat& a,
+                  const casp::CscMat& b, const std::string& batch_dir,
+                  const casp::cli::CommonArgs& args) {
+  using namespace casp;
+  auto body = [&](vmpi::Comm& world) {
+    MemoryTracker tracker(
+        spec.memory_bytes == 0
+            ? 0
+            : std::max<Bytes>(1, spec.memory_bytes /
+                                     static_cast<Bytes>(world.size())));
+    vmpi::arm_alloc_faults(world, tracker);
+    SummaOptions my_opts = spec.summa_options();
+    if (spec.memory_bytes != 0) my_opts.memory = &tracker;
+    ckpt::Checkpointer ck;
+    if (!spec.ckpt_dir.empty()) {
+      ck = ckpt::Checkpointer(spec.ckpt_dir, world.rank(), spec.ckpt_every,
+                              &world.recorder());
+      my_opts.ckpt = &ck;
+    }
+    Grid3D grid(world, spec.layers);
+    const DistMat3D da = distribute_a_style(grid, a);
+    const DistMat3D db = distribute_b_style(grid, b);
+    (void)batched_summa3d<PlusTimes>(
+        grid, da, db, spec.memory_bytes, my_opts,
+        make_disk_batch_writer(batch_dir, world.rank()),
+        /*keep_output=*/false);
+  };
+
+  vmpi::RunResult result;
+  if (spec.supervised()) {
+    vmpi::SupervisedResult sup =
+        vmpi::run_supervised(spec.ranks, body, spec.supervisor_options());
+    if (sup.restarts > 0) {
+      std::cout << "supervisor: " << sup.restarts << " restart(s)";
+      if (sup.recovered()) std::cout << ", recovered";
+      std::cout << "\n";
+    }
+    result = std::move(sup.result);
+  } else {
+    result = vmpi::run(spec.ranks, body, spec.run_options());
+  }
+  if (!args.trace_path.empty()) {
+    obs::write_chrome_trace(result, args.trace_path);
+    std::cout << "wrote " << args.trace_path << "\n";
+  }
+  if (result.failed()) {
+    std::cerr << result.failure->describe() << "\n";
+    return 1;
+  }
+  std::cout << "batches streamed to " << batch_dir << "\n";
+  return 0;
 }
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace casp;
-  std::string a_path, b_path, out_path, batch_dir, report_path, trace_path;
-  std::string ckpt_dir;
-  bool aat = false, stats = false;
-  int ranks = 16, layers = 4;
-  Bytes memory_mb = 0;
-  Index batches = 0;
-  std::uint64_t ckpt_every = 1;
-  int max_restarts = -1;  // -1: unsupervised single attempt
-  SummaOptions opts;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&](const char* what) -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << "missing value for " << what << "\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--aat") {
-      aat = true;
-    } else if (arg == "--stats") {
-      stats = true;
-    } else if (arg == "--ranks") {
-      ranks = std::stoi(next("--ranks"));
-    } else if (arg == "--layers") {
-      layers = std::stoi(next("--layers"));
-    } else if (arg == "--memory-mb") {
-      memory_mb = static_cast<Bytes>(std::stoll(next("--memory-mb")));
-    } else if (arg == "--batches") {
-      batches = std::stoll(next("--batches"));
-    } else if (arg == "--kernel") {
-      const std::string kernel = next("--kernel");
-      if (kernel == "hash") {
-        opts.local_kind = SpGemmKind::kUnsortedHash;
-        opts.merge_kind = MergeKind::kUnsortedHash;
-      } else if (kernel == "hybrid") {
-        opts.local_kind = SpGemmKind::kHybrid;
-        opts.merge_kind = MergeKind::kSortedHeap;
-      } else {
-        std::cerr << "unknown kernel '" << kernel << "'\n";
-        return 2;
-      }
-    } else if (arg == "--out") {
-      out_path = next("--out");
-    } else if (arg == "--batch-dir") {
-      batch_dir = next("--batch-dir");
-    } else if (arg == "--report") {
-      report_path = next("--report");
-    } else if (arg == "--trace") {
-      trace_path = next("--trace");
-    } else if (arg == "--ckpt-dir") {
-      ckpt_dir = next("--ckpt-dir");
-    } else if (arg == "--ckpt-every") {
-      ckpt_every = std::stoull(next("--ckpt-every"));
-      if (ckpt_every == 0) {
-        std::cerr << "--ckpt-every must be >= 1\n";
-        return 2;
-      }
-    } else if (arg == "--max-restarts") {
-      max_restarts = std::stoi(next("--max-restarts"));
-      if (max_restarts < 0) {
-        std::cerr << "--max-restarts must be >= 0\n";
-        return 2;
-      }
-    } else if (arg == "--help" || arg == "-h") {
-      usage();
-      return 0;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "unknown option " << arg << "\n";
-      usage();
-      return 2;
-    } else if (a_path.empty()) {
-      a_path = arg;
-    } else if (b_path.empty()) {
-      b_path = arg;
-    } else {
-      usage();
-      return 2;
-    }
-  }
-  if (a_path.empty()) {
+  cli::CommonArgs args;
+  args.spec.ranks = 16;
+  args.spec.layers = 4;
+  bool stats = false;
+  std::string batch_dir;
+  const int rc = cli::parse_common(
+      argc, argv, args,
+      [&](const std::string& arg,
+          const std::function<std::string(const char*)>& next) {
+        if (arg == "--aat") {
+          args.spec.aat = true;
+        } else if (arg == "--stats") {
+          stats = true;
+        } else if (arg == "--batch-dir") {
+          batch_dir = next("--batch-dir");
+        } else {
+          return false;
+        }
+        return true;
+      });
+  if (rc != 0 || args.help || args.positional.empty() ||
+      args.positional.size() > 2) {
     usage();
-    return 2;
+    return rc != 0 ? rc : (args.help ? 0 : 2);
   }
-  if (!Grid3D::valid_shape(ranks, layers)) {
-    std::cerr << "ranks=" << ranks << " layers=" << layers
-              << " is not a valid grid (ranks/layers must be a perfect "
-                 "square)\n";
-    return 2;
-  }
+  svc::JobSpec& spec = args.spec;
+  spec.op = svc::JobOp::kSpGemm;
+  spec.a = svc::MatrixSource::file(args.positional[0]);
+  if (args.positional.size() == 2)
+    spec.b = svc::MatrixSource::file(args.positional[1]);
 
   try {
-    const CscMat a = CscMat::from_triples(read_matrix_market_file(a_path));
-    CscMat b;
-    if (aat) {
-      b = a.transpose();
-    } else if (!b_path.empty()) {
-      b = CscMat::from_triples(read_matrix_market_file(b_path));
-    } else {
-      b = a;
+    if (!batch_dir.empty()) {
+      spec.validate();
+      const CscMat a = spec.a.materialize();
+      const CscMat b = spec.aat ? a.transpose()
+                                : (spec.b.empty() ? a : spec.b.materialize());
+      std::cout << describe("A", a) << "\n" << describe("B", b) << "\n";
+      return run_streaming(spec, a, b, batch_dir, args);
     }
-    std::cout << describe("A", a) << "\n" << describe("B", b) << "\n";
+
+    svc::ServerOptions server_opts;
+    server_opts.pool_ranks = spec.ranks;
+    svc::Server server(std::move(server_opts));
+    const std::string id = server.submit(std::move(spec));
+    const svc::JobRecord* queued = server.find(id);
+    std::cout << describe("A", queued->in_a) << "\n"
+              << describe("B", queued->in_b) << "\n";
     if (stats) {
-      const MultiplyStats ms = multiply_stats(a, b);
+      const MultiplyStats ms = multiply_stats(queued->in_a, queued->in_b);
       std::cout << "flops=" << ms.flops << " nnz(C)=" << ms.nnz_c
                 << " cf=" << ms.compression_factor << "\n";
     }
 
-    opts.force_batches = batches;
-    const Bytes total_memory = memory_mb * 1024 * 1024;
-    CscMat product;
-    Index chosen_b = 1;
-    Index final_b = 1;
-    // Capture failures instead of letting them propagate as a bare abort:
-    // injected faults (CASP_VMPI_FAULTS) and budget exhaustion surface as a
-    // structured FailureReport in the run report and on stderr.
-    auto body = [&](vmpi::Comm& world) {
-      // With an aggregate budget, enforce each rank's share exactly
-      // (Symbolic3D only *estimates*; adaptive re-batching recovers
-      // when the estimate is wrong).
-      MemoryTracker tracker(total_memory == 0
-                                ? 0
-                                : std::max<Bytes>(1, total_memory /
-                                                         world.size()));
-      vmpi::arm_alloc_faults(world, tracker);
-      SummaOptions my_opts = opts;
-      if (total_memory != 0) my_opts.memory = &tracker;
-      ckpt::Checkpointer ck;
-      if (!ckpt_dir.empty()) {
-        ck = ckpt::Checkpointer(ckpt_dir, world.rank(), ckpt_every,
-                                &world.recorder());
-        my_opts.ckpt = &ck;
-      }
-      Grid3D grid(world, layers);
-      const DistMat3D da = distribute_a_style(grid, a);
-      const DistMat3D db = distribute_b_style(grid, b);
-      const bool stream = !batch_dir.empty();
-      BatchedResult r = batched_summa3d<PlusTimes>(
-          grid, da, db, total_memory, my_opts,
-          stream ? make_disk_batch_writer(batch_dir, world.rank())
-                 : BatchCallback{},
-          /*keep_output=*/!stream);
-      if (!stream) {
-        CscMat full = gather_dist(grid, r.c);
-        if (world.rank() == 0) product = std::move(full);
-      }
-      if (world.rank() == 0) {
-        chosen_b = r.batches;
-        final_b = r.final_batches;
-      }
-    };
+    const svc::JobRecord& job = server.wait(id);
+    const int out = cli::report_outcome(job, args);
+    if (out != 0) return out;
 
-    // --ckpt-dir / --max-restarts turn on supervision: recoverable
-    // failures (rank crash, retry exhaustion, deadlock) relaunch the job,
-    // which fast-forwards from the newest valid checkpoint generation.
-    const bool supervise = !ckpt_dir.empty() || max_restarts >= 0;
-    vmpi::RunResult result;
-    obs::RunReport report;
-    if (supervise) {
-      vmpi::SupervisorOptions sup_opts;
-      if (max_restarts >= 0) sup_opts.max_restarts = max_restarts;
-      vmpi::SupervisedResult sup =
-          vmpi::run_supervised(ranks, body, sup_opts);
-      report = obs::build_report(sup);
-      if (sup.restarts > 0) {
-        std::cout << "supervisor: " << sup.restarts << " restart(s)";
-        if (sup.recovered()) std::cout << ", recovered";
-        std::cout << "\n";
-      }
-      result = std::move(sup.result);
-    } else {
-      vmpi::RunOptions run_opts;
-      run_opts.capture_failure = true;
-      result = vmpi::run(ranks, body, run_opts);
-      report = obs::build_report(result);
-    }
-
-    if (!report_path.empty()) {
-      obs::write_report_json(report, report_path);
-      std::cout << "wrote " << report_path << "\n";
-    }
-    if (!trace_path.empty()) {
-      obs::write_chrome_trace(result, trace_path);
-      std::cout << "wrote " << trace_path << "\n";
-    }
-    if (result.failed()) {
-      std::cerr << result.failure->describe() << "\n";
-      return 1;
-    }
-
-    std::cout << "ran on " << ranks << " virtual ranks, " << layers
-              << " layer(s), " << chosen_b << " batch(es)";
-    if (final_b != chosen_b)
-      std::cout << " (re-batched to " << final_b << ")";
+    std::cout << "ran on " << job.spec.ranks << " virtual ranks, "
+              << job.spec.layers << " layer(s), " << job.batches
+              << " batch(es)";
+    if (job.final_batches != job.batches)
+      std::cout << " (re-batched to " << job.final_batches << ")";
     std::cout << "\n";
-    for (const std::string& name : result.time_names())
-      std::cout << "  " << name << ": " << result.max_time(name) * 1e3
+    for (const std::string& name : job.run_result.time_names())
+      std::cout << "  " << name << ": " << job.run_result.max_time(name) * 1e3
                 << " ms\n";
-    if (!batch_dir.empty()) {
-      std::cout << "batches streamed to " << batch_dir << "\n";
-    } else {
-      std::cout << describe("C", product) << "\n";
-      if (!out_path.empty()) {
-        write_matrix_market_file(out_path, product.to_triples());
-        std::cout << "wrote " << out_path << "\n";
-      }
+    std::cout << describe("C", job.c) << "\n";
+    if (!args.out_path.empty()) {
+      write_matrix_market_file(args.out_path, job.c.to_triples());
+      std::cout << "wrote " << args.out_path << "\n";
     }
     return 0;
   } catch (const std::exception& e) {
