@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/hash.hpp"
 #include "sparse/serialize.hpp"
 
 namespace casp::ckpt {
@@ -11,15 +12,6 @@ namespace {
 constexpr char kMagic[8] = {'C', 'A', 'S', 'P', 'C', 'K', 'P', '1'};
 constexpr std::size_t kMagicSize = sizeof(kMagic);
 constexpr std::size_t kChecksumSize = sizeof(std::uint64_t);
-
-std::uint64_t fnv1a64(const std::byte* data, std::size_t size) {
-  std::uint64_t hash = 1469598103934665603ull;
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= static_cast<std::uint64_t>(data[i]);
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
 
 void append_u64(std::vector<std::byte>& out, std::uint64_t v) {
   std::byte raw[sizeof(v)];

@@ -62,6 +62,7 @@ DistMat3D distribute_a_style(const Grid3D& grid, const CscMat& global) {
   DistMat3D d;
   d.global_rows = global.nrows();
   d.global_cols = global.ncols();
+  d.global_nnz = global.nnz();
   d.rows = a_style_row_range(grid, global.nrows());
   d.cols = a_style_col_range(grid, global.ncols());
   d.local = extract_block(global, d.rows.start, d.rows.start + d.rows.count,
@@ -73,6 +74,7 @@ DistMat3D distribute_b_style(const Grid3D& grid, const CscMat& global) {
   DistMat3D d;
   d.global_rows = global.nrows();
   d.global_cols = global.ncols();
+  d.global_nnz = global.nnz();
   d.rows = b_style_row_range(grid, global.nrows());
   d.cols = b_style_col_range(grid, global.ncols());
   d.local = extract_block(global, d.rows.start, d.rows.start + d.rows.count,

@@ -35,6 +35,10 @@ struct DistMat3D {
   CscMat local;
   Index global_rows = 0;
   Index global_cols = 0;
+  /// Total nonzeros of the *global* matrix. Grid-independent (both styles
+  /// partition every nonzero exactly once), so checkpoint job identities
+  /// built from it survive a resume on a different grid shape.
+  Index global_nnz = 0;
   LocalRange rows;
   LocalRange cols;
 };

@@ -55,9 +55,38 @@ Json JobReport::deterministic_json() const {
   Json j = header_json(*this);
   if (state == "failed") {
     // A failed run's traffic measures how far each rank happened to get
-    // before teardown — schedule-dependent, like wall clock. The failure
-    // classification (state/reason/admission) stays; the attempt-shaped
-    // billing and run sub-report go.
+    // before teardown — schedule-dependent, like wall clock. So is the
+    // free-text reason (FailureReport::describe names the phase/op the
+    // latched rank was in); only the closed-set failure kind is stable.
+    // The classification (state/kind/admission) stays; the attempt-shaped
+    // reason, billing and run sub-report go.
+    j.set("reason",
+          run.has_value() && run->failure.has_value() ? run->failure->kind
+                                                      : std::string());
+    j.set("billing", Json());
+    j.set("run", Json());
+    return j;
+  }
+  // A recovered job's surviving traffic depends on where the crash landed
+  // relative to its checkpoints (and, for degraded-grid jobs, on how much
+  // of the dead grid's progress the redistributed cache covered) — all
+  // thread-schedule-dependent. The outcome (done, admission) is
+  // deterministic; the recovery-shaped billing and run sub-report are not.
+  const bool recovered =
+      run.has_value() && run->recovery.has_value() &&
+      (run->recovery->restarts > 0 || run->recovery->resumed_generation >= 0 ||
+       run->recovery->degraded_to_ranks > 0);
+  if (recovered) {
+    // What recovery *happened* is fault-plan-determined and survives:
+    // relaunch count and the shrink shape. What it *cost* (backoff waits,
+    // resumed generation, traffic) does not.
+    Json rec;
+    rec.set("restarts", run->recovery->restarts);
+    if (run->recovery->degraded_to_ranks > 0) {
+      rec.set("degraded_from_ranks", run->recovery->degraded_from_ranks);
+      rec.set("degraded_to_ranks", run->recovery->degraded_to_ranks);
+    }
+    j.set("recovery", rec);
     j.set("billing", Json());
     j.set("run", Json());
     return j;

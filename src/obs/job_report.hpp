@@ -64,9 +64,16 @@ struct JobReport {
   /// and the RunReport's deterministic subset. Free-text failure messages
   /// and the `reason` string are included only when they are themselves
   /// deterministic (reasons are built from admission numbers, not timings).
-  /// Failed jobs drop their billing and run sub-reports entirely: a
-  /// torn-down attempt's traffic depends on how far each rank got before
-  /// teardown, which is thread-schedule-dependent.
+  /// Failed jobs drop their billing and run sub-reports entirely and
+  /// collapse `reason` to the closed-set failure kind: a torn-down
+  /// attempt's traffic — and which rank's describe() latched first — depend
+  /// on how far each rank got before teardown, which is
+  /// thread-schedule-dependent. Done jobs that restarted, resumed from
+  /// checkpoints, or ran degraded likewise drop billing and run: the
+  /// surviving traffic depends on where the fault landed relative to the
+  /// checkpoints. The outcome itself stays — done + admission plus a
+  /// `recovery` stub with the fault-plan-determined facts (restart count,
+  /// shrink shape) but none of the schedule-dependent costs.
   Json deterministic_json() const;
 };
 

@@ -128,6 +128,7 @@ RunReport build_report(const vmpi::SupervisedResult& supervised) {
   for (const vmpi::FailureReport& f : supervised.recovered_failures)
     rec.failure_kinds.push_back(f.kind);
   rec.wasted_seconds = supervised.wasted_seconds;
+  rec.backoff_us = supervised.backoff_us;
   for (const obs::Recorder& r : supervised.result.recorders) {
     const auto it = r.counters().find("ckpt.resumed_generation");
     if (it != r.counters().end())
@@ -170,6 +171,20 @@ Json RunReport::to_json() const {
     r.set("resumed_generation",
           static_cast<std::int64_t>(recovery->resumed_generation));
     r.set("wasted_seconds", recovery->wasted_seconds);
+    Json backoff = Json::array();
+    for (const std::int64_t us : recovery->backoff_us) backoff.push_back(us);
+    r.set("backoff_us", std::move(backoff));
+    if (recovery->degraded_to_ranks > 0) {
+      Json d = Json::object();
+      d.set("from_ranks", recovery->degraded_from_ranks);
+      d.set("from_layers", recovery->degraded_from_layers);
+      d.set("to_ranks", recovery->degraded_to_ranks);
+      d.set("to_layers", recovery->degraded_to_layers);
+      Json dead = Json::array();
+      for (const int dr : recovery->dead_ranks) dead.push_back(dr);
+      d.set("dead_ranks", std::move(dead));
+      r.set("degraded", std::move(d));
+    }
     doc.set("recovery", std::move(r));
   }
   return doc;

@@ -78,6 +78,18 @@ struct RecoveryReport {
   /// attempt; -1 when the job restarted cold (no valid snapshot).
   std::int64_t resumed_generation = -1;
   double wasted_seconds = 0.0;
+  /// Microseconds slept before each relaunch: bounded exponential,
+  /// min(base << k, cap) per SupervisorOptions::restart_backoff_*. One
+  /// entry per restart; 0 entries when backoff is disabled (base == 0).
+  std::vector<std::int64_t> backoff_us;
+  /// Degraded-grid recovery (svc elastic jobs): the grid shape before the
+  /// first shrink and after the last, plus the pool ranks declared
+  /// permanently dead. degraded_to_ranks == 0 <=> the job never shrank.
+  int degraded_from_ranks = 0;
+  int degraded_from_layers = 0;
+  int degraded_to_ranks = 0;
+  int degraded_to_layers = 0;
+  std::vector<int> dead_ranks;
 };
 
 struct RunReport {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ckpt/checkpoint.hpp"
+#include "ckpt/redistribute.hpp"
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "obs/recorder.hpp"
@@ -16,22 +17,21 @@
 
 namespace casp {
 
-namespace {
-
-constexpr const char* kSummaScope = "summa";
-
-/// Per-emitted-batch coordinates stored in the "summa" snapshot alongside
-/// the piece matrix: enough to rebuild the BatchInfo and the loop state
-/// (next batch = batch_index+1 at num_batches granularity) at any prefix
-/// of the emission sequence.
-struct PieceMeta {
-  Index batch_index;
-  Index num_batches;
-  Index rebatch_events;  ///< cumulative re-batch count at emission time
-};
+// The on-disk layout lives with its reader: ckpt::SummaPieceMeta in
+// ckpt/redistribute.hpp carries batch coordinates (same-grid resume) plus
+// global piece coordinates (cross-grid redistribution).
+using PieceMeta = ckpt::SummaPieceMeta;
 static_assert(std::is_trivially_copyable_v<PieceMeta>);
 
-}  // namespace
+std::string summa_ckpt_job_id(Index rows, Index inner, Index cols,
+                              Index global_nnz_a, Index global_nnz_b,
+                              const std::string& tag) {
+  std::ostringstream id;
+  id << "batched_summa3d|" << rows << 'x' << inner << 'x' << cols
+     << "|gnnzA=" << global_nnz_a << "|gnnzB=" << global_nnz_b
+     << "|tag=" << tag;
+  return id.str();
+}
 
 template <typename SR>
 BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
@@ -94,21 +94,44 @@ BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
   std::vector<PieceMeta> emitted_meta;
   std::vector<CscMat> emitted_mats;
   std::string ckpt_job;
+  const auto save_ckpt = [&]() {
+    ckpt::Snapshot snap;
+    snap.set_u64("pieces", emitted_meta.size());
+    // Grid facts guard the per-rank resume path: rank r of a *different*
+    // grid shape holds ranges that do not match rank r's old pieces, so a
+    // mismatch routes recovery through redistribute_for_grid instead. The
+    // global shape lets that reader rebuild coverage without the inputs.
+    snap.set_u64("grid_ranks",
+                 static_cast<std::uint64_t>(grid.world().size()));
+    snap.set_u64("grid_layers", static_cast<std::uint64_t>(l));
+    snap.set_u64("global_rows", static_cast<std::uint64_t>(a.global_rows));
+    snap.set_u64("global_cols", static_cast<std::uint64_t>(b.global_cols));
+    snap.set_array("piece_meta", emitted_meta);
+    for (std::size_t k = 0; k < emitted_mats.size(); ++k)
+      snap.set_matrix("piece" + std::to_string(k), emitted_mats[k]);
+    ck->save(ckpt::kSummaCkptScope, ckpt_job, std::move(snap));
+  };
   if (ckpt_on) {
-    // Job identity: per-rank deterministic, so a snapshot can only resume
-    // the run (and, via ckpt_job_tag, the outer-loop iteration) that wrote
-    // it. Stale snapshots in the same directory are skipped by load_all.
-    std::ostringstream id;
-    id << "batched_summa3d|" << a.global_rows << 'x' << a.global_cols << 'x'
-       << b.global_cols << "|nnzA=" << a.local.nnz()
-       << "|nnzB=" << b.local.nnz() << "|l=" << l << "|b0=" << num_batches
-       << "|tag=" << opts.ckpt_job_tag;
-    ckpt_job = id.str();
-    auto loaded = ck->load_all(kSummaScope, ckpt_job);
+    // Job identity: deterministic and grid-independent, so a snapshot can
+    // resume the run (and, via ckpt_job_tag, the outer-loop iteration) that
+    // wrote it even when the relaunch uses a different grid shape. Stale
+    // snapshots in the same directory are skipped by load_all.
+    ckpt_job = summa_ckpt_job_id(a.global_rows, a.global_cols, b.global_cols,
+                                 a.global_nnz, b.global_nnz,
+                                 opts.ckpt_job_tag);
+    auto loaded = ck->load_all(ckpt::kSummaCkptScope, ckpt_job);
+    // A snapshot written by a different grid shape is useless to the
+    // per-rank fast-forward (this rank's ranges changed); contribute 0 to
+    // the consensus and let the caller's ResumeCache recover the pieces.
+    const bool same_grid =
+        !loaded.empty() && loaded.front().snap.has("grid_ranks") &&
+        loaded.front().snap.u64("grid_ranks") ==
+            static_cast<std::uint64_t>(grid.world().size()) &&
+        loaded.front().snap.u64("grid_layers") ==
+            static_cast<std::uint64_t>(l);
     const std::int64_t mine =
-        loaded.empty() ? 0
-                       : static_cast<std::int64_t>(
-                             loaded.front().snap.u64("pieces"));
+        same_grid ? static_cast<std::int64_t>(loaded.front().snap.u64("pieces"))
+                  : 0;
     // Resume consensus: a crash is not a barrier, so ranks may hold
     // snapshots a save apart. Every rank's pieces are a prefix of the same
     // deterministic emission sequence, so the job-wide minimum available
@@ -129,17 +152,13 @@ BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
         obs::ScopedTag replay_tag(rec, obs::ScopedTag::Kind::kBatch,
                                   static_cast<int>(pm.batch_index));
         CscMat piece = snap.matrix("piece" + std::to_string(k));
-        const Index pblocks = l * pm.num_batches;
-        const Index pblock = pm.batch_index +
-                             static_cast<Index>(grid.layer()) * pm.num_batches;
         BatchInfo info;
         info.batch_index = pm.batch_index;
         info.num_batches = pm.num_batches;
         info.global_nrows = a.global_rows;
         info.global_ncols = b.global_cols;
-        info.global_rows = a.rows;
-        info.global_cols = {b.cols.start + part_low(pblock, pblocks, psize),
-                            part_size(pblock, pblocks, psize)};
+        info.global_rows = {pm.row_start, pm.row_count};
+        info.global_cols = {pm.col_start, pm.col_count};
         CASP_CHECK(piece.ncols() == info.global_cols.count);
         emitted_meta.push_back(pm);
         emitted_mats.push_back(piece);
@@ -156,10 +175,74 @@ BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
     }
   }
 
+  // Degraded-grid resume: a shared ResumeCache built from another grid's
+  // snapshots. Armed only when its global shape matches this product (the
+  // cache is job-keyed upstream; the shape check makes a mis-wired cache
+  // inert instead of fatal).
+  const ckpt::ResumeCache* resume = opts.resume;
+  if (resume != nullptr &&
+      (resume->empty() || resume->global_rows() != a.global_rows ||
+       resume->global_cols() != b.global_cols))
+    resume = nullptr;
+
   while (bi < eff_batches) {
     obs::ScopedTag batch_tag(rec, obs::ScopedTag::Kind::kBatch,
                              static_cast<int>(bi));
     const Index nblocks = l * eff_batches;
+    const Index my_block =
+        bi + static_cast<Index>(grid.layer()) * eff_batches;
+    BatchInfo info;
+    info.batch_index = bi;
+    info.num_batches = eff_batches;
+    info.global_nrows = a.global_rows;
+    info.global_ncols = b.global_cols;
+    info.global_rows = a.rows;
+    info.global_cols = {b.cols.start + part_low(my_block, nblocks, psize),
+                        part_size(my_block, nblocks, psize)};
+    const auto emit = [&](CscMat piece) {
+      CASP_CHECK(piece.ncols() == info.global_cols.count);
+      if (keep_output) kept_pieces.push_back(piece);
+      if (ckpt_on) {
+        emitted_meta.push_back(PieceMeta{
+            bi, eff_batches, result.rebatch_events, info.global_rows.start,
+            info.global_rows.count, info.global_cols.start,
+            info.global_cols.count});
+        emitted_mats.push_back(piece);
+      }
+      if (on_batch) on_batch(std::move(piece), info);
+      ++bi;
+      if (ckpt_on && ck->due(emitted_meta.size())) save_ckpt();
+    };
+
+    if (resume != nullptr) {
+      // Per-batch coverage consensus. Verdicts could skew across ranks when
+      // the old grid's ranks saved a generation apart (my columns recovered,
+      // a peer's not), and summa3d is collective — every rank must take the
+      // same branch, so the job-wide minimum decides.
+      const int mine_covered =
+          resume->cols_covered(info.global_cols.start,
+                               info.global_cols.start +
+                                   info.global_cols.count)
+              ? 1
+              : 0;
+      int all_covered = 0;
+      {
+        vmpi::ScopedPhase resume_phase(grid.world().traffic(),
+                                       steps::kCkptResume);
+        all_covered = grid.world().allreduce_min<int>(mine_covered);
+      }
+      if (all_covered != 0) {
+        // Every value is copied from the saved pieces, never recomputed —
+        // the redistributed batch is bit-exact regardless of grid shape.
+        rec.add_counter("summa.cached_batches", 1);
+        emit(resume->extract(a.rows.start, a.rows.start + a.rows.count,
+                             info.global_cols.start,
+                             info.global_cols.start +
+                                 info.global_cols.count));
+        continue;
+      }
+    }
+
     // Line 4, Alg. 4 + Fig. 1(i): batch bi = blocks {bi + m*b : m < l} of
     // the (l*b)-way block-cyclic column split of my local B part.
     std::vector<std::pair<Index, Index>> ranges(static_cast<std::size_t>(l));
@@ -242,32 +325,7 @@ BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
       }
     }
 
-    const Index my_block = bi + static_cast<Index>(grid.layer()) * eff_batches;
-    BatchInfo info;
-    info.batch_index = bi;
-    info.num_batches = eff_batches;
-    info.global_nrows = a.global_rows;
-    info.global_ncols = b.global_cols;
-    info.global_rows = a.rows;
-    info.global_cols = {b.cols.start + part_low(my_block, nblocks, psize),
-                        part_size(my_block, nblocks, psize)};
-    CASP_CHECK(c_piece.ncols() == info.global_cols.count);
-
-    if (keep_output) kept_pieces.push_back(c_piece);
-    if (ckpt_on) {
-      emitted_meta.push_back(PieceMeta{bi, eff_batches, result.rebatch_events});
-      emitted_mats.push_back(c_piece);
-    }
-    if (on_batch) on_batch(std::move(c_piece), info);
-    ++bi;
-    if (ckpt_on && ck->due(emitted_meta.size())) {
-      ckpt::Snapshot snap;
-      snap.set_u64("pieces", emitted_meta.size());
-      snap.set_array("piece_meta", emitted_meta);
-      for (std::size_t k = 0; k < emitted_mats.size(); ++k)
-        snap.set_matrix("piece" + std::to_string(k), emitted_mats[k]);
-      ck->save(kSummaScope, ckpt_job, std::move(snap));
-    }
+    emit(std::move(c_piece));
   }
   result.final_batches = eff_batches;
   rec.set_counter("summa.final_batches", eff_batches);

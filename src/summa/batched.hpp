@@ -66,6 +66,17 @@ struct BatchedResult {
   Index rebatch_events = 0;
 };
 
+/// The checkpoint job identity batched_summa3d stamps into its snapshots
+/// (ckpt scope "summa", see ckpt/redistribute.hpp). Built from global facts
+/// only — dimensions, *global* nonzero counts, and the caller's tag — never
+/// from the grid shape or local partitions, so a job relaunched on a shrunk
+/// survivor grid still matches the snapshots the full grid wrote. The
+/// service's degraded-resume path rebuilds the id from the replicated
+/// inputs to locate a job's checkpoints without its DistMat3D views.
+std::string summa_ckpt_job_id(Index rows, Index inner, Index cols,
+                              Index global_nnz_a, Index global_nnz_b,
+                              const std::string& tag);
+
 /// Collective over the whole grid. `a` must be A-style distributed and `b`
 /// B-style distributed (see grid/dist.hpp); inner dimensions must agree.
 /// total_memory: aggregate byte budget M across all ranks (0 = unlimited).

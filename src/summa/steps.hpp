@@ -17,6 +17,7 @@ namespace casp {
 
 namespace ckpt {
 class Checkpointer;
+class ResumeCache;
 }  // namespace ckpt
 
 namespace steps {
@@ -94,6 +95,13 @@ struct SummaOptions {
   /// "mcl-iter-<k>") use it so a stale snapshot from another iteration
   /// can never be resumed.
   std::string ckpt_job_tag;
+  /// Redistributed checkpoint state from a *previous grid shape*
+  /// (ckpt::redistribute_for_grid). When set, every batch whose output
+  /// columns the cache fully covers is emitted from the cached pieces
+  /// instead of recomputed — the degraded-grid resume path. Must be set
+  /// uniformly across ranks (coverage is agreed by consensus per batch).
+  /// Borrowed, not owned.
+  const ckpt::ResumeCache* resume = nullptr;
 };
 
 }  // namespace casp

@@ -298,6 +298,7 @@ vmpi::RunOptions JobSpec::run_options() const {
   opts.faults = fault_spec.empty() ? vmpi::FaultPlan{}
                                    : vmpi::FaultPlan::parse(fault_spec);
   opts.capture_failure = true;
+  opts.deadline_ms = deadline_ms;
   return opts;
 }
 
@@ -306,6 +307,7 @@ vmpi::SupervisorOptions JobSpec::supervisor_options() const {
   opts.faults = fault_spec.empty() ? vmpi::FaultPlan{}
                                    : vmpi::FaultPlan::parse(fault_spec);
   if (max_restarts >= 0) opts.max_restarts = max_restarts;
+  opts.deadline_ms = deadline_ms;
   return opts;
 }
 
@@ -336,6 +338,8 @@ void JobSpec::validate() const {
     if (mcl.max_iterations < 1)
       throw InvalidArgument("jobspec: mcl max_iterations must be >= 1");
   }
+  if (deadline_ms < 0)
+    throw InvalidArgument("jobspec: deadline_ms must be >= 0");
   if (!fault_spec.empty()) {
     // Parse for the error only: a typoed plan must fail at submit, not
     // silently run fault-free at execution.
@@ -368,6 +372,8 @@ obs::Json JobSpec::to_json() const {
   j.set("mcl", mcl_json(mcl));
   j.set("fault_spec", fault_spec);
   j.set("max_restarts", max_restarts);
+  j.set("deadline_ms", deadline_ms);
+  j.set("elastic", elastic);
   return j;
 }
 
@@ -401,6 +407,8 @@ JobSpec JobSpec::from_json(const obs::Json& j) {
     else if (key == "fault_spec") spec.fault_spec = v.as_string();
     else if (key == "max_restarts")
       spec.max_restarts = static_cast<int>(v.as_int());
+    else if (key == "deadline_ms") spec.deadline_ms = v.as_int();
+    else if (key == "elastic") spec.elastic = v.as_bool();
     else unknown_key("jobspec", key);
   }
   return spec;

@@ -121,6 +121,19 @@ struct JobSpec {
   /// attempt (a non-empty ckpt_dir also turns supervision on, with the
   /// default bound).
   int max_restarts = -1;
+  /// Wall-clock budget for the job in milliseconds; 0 = none. Spans the
+  /// whole supervised chain (each restart attempt gets what is left).
+  /// Enforced cooperatively by the vmpi watchdog: on expiry every rank is
+  /// cancelled and the job fails with kind "deadline_exceeded", releasing
+  /// its tenant reservation. Not enforced under the deterministic
+  /// scheduler (virtual time).
+  std::int64_t deadline_ms = 0;
+  /// Permit degraded-grid recovery: when a rank dies for good
+  /// (permanent_crash, or restarts exhausted), the service re-runs Eq. (2)
+  /// admission for the largest survivor grid, redistributes the job's
+  /// checkpoints onto it (ckpt/redistribute.hpp), and finishes there —
+  /// bit-identically. Off = a permanent loss fails the job.
+  bool elastic = false;
 
   // -- Thin views over the legacy option structs ---------------------------
   /// SummaOptions value fields filled from this spec; the pointer fields

@@ -216,51 +216,240 @@ bool Server::step() {
   return progressed;
 }
 
-void Server::execute(JobRecord& rec) {
-  rec.state = JobState::kRunning;
-  const int job_ranks = rec.spec.ranks;
-  auto body = [this, &rec, job_ranks](vmpi::Comm& world) {
-    if (world.size() == job_ranks) {
-      run_body(rec, world);
-      return;
-    }
-    // Sub-sized job: the first job_ranks pool ranks form its world, the
-    // rest split off and idle (the split itself is collective).
-    vmpi::Comm sub =
-        world.split(world.rank() < job_ranks ? 0 : 1, world.rank());
-    if (world.rank() >= job_ranks) return;
-    run_body(rec, sub);
-  };
+namespace {
 
-  TenantLedger& ledger = tenant(rec.spec.tenant);
-  if (rec.spec.supervised()) {
-    vmpi::SupervisedResult sup =
-        pool_.run_supervised(body, rec.spec.supervisor_options());
-    obs::JobBilling bill = obs::bill_traffic(sup.result);
-    bill.restarts = sup.restarts;
-    for (const vmpi::FailureReport& f : sup.recovered_failures)
-      bill.recovered_failure_kinds.push_back(f.kind);
-    rec.report.billing = bill;
-    rec.report.run = obs::build_report(sup);
-    ledger.bill(bill, sup.result);
-    const bool failed = sup.result.failed();
-    const std::string why = failed ? sup.result.failure->describe() : "";
-    rec.run_result = std::move(sup.result);
-    finish(rec, failed ? JobState::kFailed : JobState::kDone, why);
-  } else {
-    vmpi::RunResult res = pool_.run_job(body, rec.spec.run_options());
-    obs::JobBilling bill = obs::bill_traffic(res);
-    rec.report.billing = bill;
-    rec.report.run = obs::build_report(res);
-    ledger.bill(bill, res);
-    const bool failed = res.failed();
-    const std::string why = failed ? res.failure->describe() : "";
-    rec.run_result = std::move(res);
-    finish(rec, failed ? JobState::kFailed : JobState::kDone, why);
+/// Largest valid grid on at most `avail` ranks, preferring the requested
+/// layer count, then the tallest stack that still divides. {0, 0} when not
+/// even a 1x1x1 grid fits (avail < 1).
+std::pair<int, int> best_shrink(int avail, int want_layers) {
+  for (int p = avail; p >= 1; --p) {
+    if (want_layers >= 1 && want_layers <= p &&
+        Grid3D::valid_shape(p, want_layers))
+      return {p, want_layers};
+    for (int l = std::min(want_layers, p); l >= 1; --l)
+      if (Grid3D::valid_shape(p, l)) return {p, l};
   }
+  return {0, 0};
 }
 
-void Server::run_body(JobRecord& rec, vmpi::Comm& world) {
+/// Fold one executed attempt's traffic into the job's cumulative bill (a
+/// degraded job pays for the failed full-grid attempt too).
+void fold_billing(obs::JobBilling& total, const obs::JobBilling& attempt) {
+  total.messages += attempt.messages;
+  total.logical_bytes += attempt.logical_bytes;
+  total.shipped_bytes += attempt.shipped_bytes;
+  total.restarts += attempt.restarts;
+  for (const std::string& k : attempt.recovered_failure_kinds)
+    total.recovered_failure_kinds.push_back(k);
+}
+
+}  // namespace
+
+void Server::execute(JobRecord& rec) {
+  rec.state = JobState::kRunning;
+  TenantLedger& ledger = tenant(rec.spec.tenant);
+  const JobSpec& spec = rec.spec;
+
+  // Grid the current attempt runs on; shrinks after a permanent loss.
+  int run_ranks = spec.ranks;
+  int run_layers = spec.layers;
+  // Degraded-resume state: the redistributed checkpoint cache (owned here,
+  // borrowed by the attempt through SummaOptions::resume).
+  ckpt::ResumeCache cache;
+  const ckpt::ResumeCache* resume = nullptr;
+  // Fault kinds that already fired a shrink are disarmed on relaunch — a
+  // permanent crash is one event, not a property of every future attempt.
+  std::vector<std::string> disarm;
+
+  obs::JobBilling bill;
+  obs::RecoveryReport recovery;
+  bool track_recovery = false;
+  bool shrank = false;
+
+  // The loop terminates: every shrink disarms "permanent_crash", so a
+  // second round cannot fire it again; the round cap is defense in depth.
+  for (int round = 0; round < 5; ++round) {
+    // Run on the first run_ranks ALIVE pool ranks. Dead ranks stay
+    // resident (they are threads whose death is logical) but are never
+    // scheduled onto again.
+    const std::vector<int> alive = pool_.alive_ranks();
+    if (static_cast<int>(alive.size()) < run_ranks) {
+      if (!spec.elastic) {
+        std::ostringstream os;
+        os << "svc: job wants " << run_ranks << " ranks but only "
+           << alive.size() << " of " << options_.pool_ranks
+           << " pool ranks are alive and the job is not elastic";
+        finish(rec, JobState::kFailed, os.str());
+        return;
+      }
+      const auto [p2, l2] =
+          best_shrink(static_cast<int>(alive.size()), spec.layers);
+      if (p2 == 0) {
+        finish(rec, JobState::kFailed,
+               "svc: no pool ranks left alive to run the job on");
+        return;
+      }
+      // Re-run Eq. (2) admission for the survivor grid: fewer ranks means
+      // a smaller per-process share, and a budget that fit p ranks may not
+      // fit p'.
+      JobSpec shrunk = spec;
+      shrunk.ranks = p2;
+      shrunk.layers = l2;
+      AdmissionEstimate est = estimate_admission(shrunk, rec.in_a, rec.in_b);
+      if (!est.fits()) {
+        std::ostringstream os;
+        os << "svc: degraded grid " << p2 << " ranks x " << l2
+           << " layers cannot hold the job under its declared budget: "
+           << est.reason;
+        finish(rec, JobState::kFailed, os.str());
+        return;
+      }
+      track_recovery = true;
+      if (!shrank) {
+        recovery.degraded_from_ranks = run_ranks;
+        recovery.degraded_from_layers = run_layers;
+      }
+      shrank = true;
+      recovery.degraded_to_ranks = p2;
+      recovery.degraded_to_layers = l2;
+      run_ranks = p2;
+      run_layers = l2;
+      // Redistribute the dead grid's checkpoints onto the survivor grid.
+      // MCL resumes natively (its snapshot holds the re-replicated global
+      // iterate under a grid-independent id); SpGEMM needs the pieces
+      // re-sharded by global coordinates.
+      if (spec.op == JobOp::kSpGemm && !spec.ckpt_dir.empty()) {
+        cache = ckpt::redistribute_for_grid(
+            spec.ckpt_dir,
+            summa_ckpt_job_id(rec.in_a.nrows(), rec.in_a.ncols(),
+                              rec.in_b.ncols(), rec.in_a.nnz(),
+                              rec.in_b.nnz(), spec.ckpt_job_tag));
+        resume = cache.empty() ? nullptr : &cache;
+      }
+    }
+
+    std::vector<int> members(alive.begin(),
+                             alive.begin() + static_cast<std::size_t>(
+                                                 std::min<int>(
+                                                     run_ranks,
+                                                     static_cast<int>(
+                                                         alive.size()))));
+    const int layers = run_layers;
+    const ckpt::ResumeCache* attempt_resume = resume;
+    auto body = [this, &rec, &members, layers,
+                 attempt_resume](vmpi::Comm& world) {
+      if (static_cast<int>(members.size()) == world.size()) {
+        run_body(rec, world, layers, attempt_resume);
+        return;
+      }
+      // Sub-sized job: the member pool ranks form its world, the rest
+      // split off and idle (the split itself is collective).
+      const bool member =
+          std::binary_search(members.begin(), members.end(), world.rank());
+      vmpi::Comm sub = world.split(member ? 0 : 1, world.rank());
+      if (!member) return;
+      run_body(rec, sub, layers, attempt_resume);
+    };
+
+    vmpi::RunResult res;
+    if (spec.supervised()) {
+      vmpi::SupervisorOptions sopts = spec.supervisor_options();
+      for (const std::string& kind : disarm)
+        if (sopts.faults.has_value())
+          sopts.faults = sopts.faults->disarmed(kind);
+      vmpi::SupervisedResult sup = pool_.run_supervised(body, sopts);
+      track_recovery = true;
+      recovery.restarts += sup.restarts;
+      recovery.max_restarts = sup.max_restarts;
+      recovery.wasted_seconds += sup.wasted_seconds;
+      for (const vmpi::FailureReport& f : sup.recovered_failures)
+        recovery.failure_kinds.push_back(f.kind);
+      for (const std::int64_t us : sup.backoff_us)
+        recovery.backoff_us.push_back(us);
+      obs::JobBilling abill = obs::bill_traffic(sup.result);
+      abill.restarts = sup.restarts;
+      for (const vmpi::FailureReport& f : sup.recovered_failures)
+        abill.recovered_failure_kinds.push_back(f.kind);
+      ledger.bill(abill, sup.result);
+      fold_billing(bill, abill);
+      rec.report.run = obs::build_report(sup);
+      res = std::move(sup.result);
+    } else {
+      vmpi::RunOptions ropts = spec.run_options();
+      for (const std::string& kind : disarm)
+        if (ropts.faults.has_value())
+          ropts.faults = ropts.faults->disarmed(kind);
+      res = pool_.run_job(body, ropts);
+      obs::JobBilling abill = obs::bill_traffic(res);
+      ledger.bill(abill, res);
+      fold_billing(bill, abill);
+      rec.report.run = obs::build_report(res);
+    }
+
+    if (!res.failed()) {
+      // A clean run vouches for every rank that took part: watchdog
+      // suspicion (no-culprit deadlock verdicts) does not outlive it.
+      pool_.clear_suspects();
+      if (track_recovery) {
+        if (!rec.report.run->recovery.has_value())
+          rec.report.run->recovery = recovery;
+        else {
+          // Keep the final attempt's resumed_generation; everything else
+          // aggregates over the whole chain (including prior grids).
+          recovery.resumed_generation =
+              rec.report.run->recovery->resumed_generation;
+          rec.report.run->recovery = recovery;
+        }
+      }
+      rec.report.billing = bill;
+      rec.run_result = std::move(res);
+      finish(rec, JobState::kDone, "");
+      return;
+    }
+
+    const std::string kind = res.failure->kind;
+    if (kind == "permanent_crash") {
+      // The culprit rank is a pool-world rank: jobs arm their fault plan
+      // on the pool world, and sub-sized jobs split with key world.rank().
+      pool_.mark_dead(res.failure->rank);
+      recovery.dead_ranks.push_back(res.failure->rank);
+      track_recovery = true;
+    } else if (kind == "deadlock" && res.failure->rank < 0) {
+      // A watchdog verdict without a culprit taints every participant.
+      for (const int r : members) pool_.mark_suspect(r);
+    }
+    const bool retryable =
+        spec.elastic && kind == "permanent_crash" &&
+        pool_.alive_count() >= 1;
+    if (!retryable) {
+      if (track_recovery) {
+        if (rec.report.run->recovery.has_value())
+          recovery.resumed_generation =
+              rec.report.run->recovery->resumed_generation;
+        rec.report.run->recovery = recovery;
+      }
+      rec.report.billing = bill;
+      const std::string why = res.failure->describe();
+      rec.run_result = std::move(res);
+      finish(rec, JobState::kFailed, why);
+      return;
+    }
+    recovery.failure_kinds.push_back(kind);
+    disarm.push_back(kind);
+    // Next round: if enough alive ranks remain, the job re-runs at full
+    // width on spare pool ranks (same-grid checkpoints resume natively —
+    // snapshot ranks are sub-world ranks, not pool ranks). Only when the
+    // survivors cannot fill the requested width does the loop-top shrink
+    // path re-run admission and redistribute the checkpoints.
+  }
+  // Round cap exhausted (defensive; unreachable with a sane fault plan).
+  rec.report.billing = bill;
+  finish(rec, JobState::kFailed,
+         "svc: elastic recovery did not converge within the round cap");
+}
+
+void Server::run_body(JobRecord& rec, vmpi::Comm& world, int layers,
+                      const ckpt::ResumeCache* resume) {
   const JobSpec& spec = rec.spec;
   // Enforce each rank's share of the declared aggregate budget, exactly
   // like the standalone CLIs (Symbolic3D only estimates; adaptive
@@ -279,9 +468,10 @@ void Server::run_body(JobRecord& rec, vmpi::Comm& world) {
                             &world.recorder());
     opts.ckpt = &ck;
   }
-  Grid3D grid(world, spec.layers);
+  Grid3D grid(world, layers);
   switch (spec.op) {
     case JobOp::kSpGemm: {
+      opts.resume = resume;
       const DistMat3D da = distribute_a_style(grid, rec.in_a);
       const DistMat3D db = distribute_b_style(grid, rec.in_b);
       BatchedResult r = batched_summa3d<PlusTimes>(

@@ -13,6 +13,14 @@
 //   execute on the resident pool (supervised when the spec asks for it;
 //     one tenant's injected crash is scoped to its own job — the pool
 //     survives and the next job runs on the same resident threads)
+//     ├─ permanent_crash: the rank is marked dead in the pool's health map.
+//     │  Elastic jobs re-run Eq. (2) admission for the largest survivor
+//     │  grid, redistribute their checkpoints onto it
+//     │  (ckpt/redistribute.hpp) and finish there — bit-identically;
+//     │  non-elastic jobs fail with the classified reason.
+//     └─ deadline_exceeded: the watchdog cancelled the job at its
+//        JobSpec::deadline_ms budget; the reservation is released and the
+//        next job runs immediately.
 //   DONE / FAILED ── bill traffic ── release reservation
 //
 // The server is deliberately single-threaded: submit() only admits and
@@ -30,6 +38,7 @@
 #include <vector>
 
 #include "apps/mcl.hpp"
+#include "ckpt/redistribute.hpp"
 #include "obs/job_report.hpp"
 #include "sparse/csc_mat.hpp"
 #include "svc/jobspec.hpp"
@@ -138,7 +147,11 @@ class Server {
   /// queue made no progress (empty).
   bool step();
   void execute(JobRecord& rec);
-  void run_body(JobRecord& rec, vmpi::Comm& world);
+  /// One attempt's rank-local body. `layers` and `resume` override the
+  /// spec's grid shape and inject redistributed checkpoint state on
+  /// degraded relaunches (resume is null on the normal path).
+  void run_body(JobRecord& rec, vmpi::Comm& world, int layers,
+                const ckpt::ResumeCache* resume);
   void finish(JobRecord& rec, JobState state, std::string reason);
   void release_reservation(JobRecord& rec);
 

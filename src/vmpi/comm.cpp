@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/hash.hpp"
 #include "vmpi/sched.hpp"
 
 namespace casp::vmpi {
@@ -216,6 +217,10 @@ void Comm::post_message(int dest, int tag, Payload payload,
     if (faults == nullptr) break;
     try {
       faults->check_send(my_world, op, attempt, *recorder_);
+      // Seeded byte-flip model: the link-layer frame checksum catches the
+      // corrupted attempt before delivery, so it retries exactly like a
+      // dropped packet (and exhausts the same retry budget).
+      faults->check_corrupt(my_world, op, attempt, *recorder_);
       break;
     } catch (const TransientCommError& e) {
       if (attempt + 1 >= faults->plan().retry.max_attempts) {
@@ -238,6 +243,12 @@ void Comm::post_message(int dest, int tag, Payload payload,
   msg.fire_and_forget = fire_and_forget;
 #ifdef CASP_VMPI_CHECK
   msg.stamp = current_collective_;
+  if (faults != nullptr) {
+    // End-to-end integrity cover for fault runs only: fault-free runs (the
+    // perf-gated path) never pay for the hash.
+    msg.checksum = fnv1a64(msg.payload.data(), msg.payload.size());
+    msg.has_checksum = true;
+  }
 #endif
 #ifdef CASP_VMPI_SCHED
   SchedState* sched = world_->sched.get();
@@ -322,6 +333,17 @@ detail::Message Comm::take_message(int src, int tag) {
     st.blocked = false;
   }
   world_->progress.fetch_add(1, std::memory_order_relaxed);
+#ifdef CASP_VMPI_CHECK
+  if (msg.has_checksum &&
+      fnv1a64(msg.payload.data(), msg.payload.size()) != msg.checksum) {
+    recorder_->add_counter("vmpi.checksum_rejects", 1);
+    std::ostringstream os;
+    os << "payload checksum mismatch on delivery: rank " << my_world
+       << " received " << msg.payload.size() << " corrupted bytes from rank "
+       << src_world << " (tag " << tag << ")";
+    throw TransientCommError(os.str());
+  }
+#endif
   return msg;
 }
 

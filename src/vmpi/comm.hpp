@@ -76,6 +76,14 @@ struct Message {
   /// Fingerprint of the collective the sender was executing (op == kNone
   /// for plain point-to-point traffic).
   CollectiveStamp stamp;
+  /// End-to-end FNV-1a64 payload checksum. Stamped by post_message and
+  /// re-verified on delivery *only when a fault plan is armed* — fault-free
+  /// runs (and therefore the release perf gates) never hash a byte. A
+  /// mismatch on delivery counts vmpi.checksum_rejects and raises
+  /// TransientCommError: corruption must surface as a transport fault, not
+  /// as wrong C.
+  std::uint64_t checksum = 0;
+  bool has_checksum = false;
 #endif
 #ifdef CASP_VMPI_SCHED
   /// Happens-before analyzer message id (0 outside scheduled runs): the

@@ -35,6 +35,7 @@ double uniform(std::uint64_t seed, std::uint64_t salt, int rank,
 
 constexpr std::uint64_t kSendSalt = 0x73656e64ULL;    // "send"
 constexpr std::uint64_t kAllocSalt = 0x616c6c6fULL;   // "allo"
+constexpr std::uint64_t kCorruptSalt = 0x63727074ULL; // "crpt"
 
 [[noreturn]] void bad_spec(const std::string& detail) {
   throw InvalidArgument("CASP_VMPI_FAULTS: " + detail);
@@ -77,7 +78,8 @@ int RetryPolicy::backoff_us(int attempt) const {
 }
 
 bool FaultPlan::enabled() const {
-  return send_fail > 0.0 || alloc_fail > 0.0 || crash_rank >= 0 ||
+  return send_fail > 0.0 || alloc_fail > 0.0 || corrupt_prob > 0.0 ||
+         crash_rank >= 0 || perm_crash_rank >= 0 ||
          (delay_us > 0 && delay_every > 0);
 }
 
@@ -85,6 +87,12 @@ bool FaultPlan::send_attempt_fails(int rank, std::uint64_t op,
                                    int attempt) const {
   if (send_fail <= 0.0) return false;
   return uniform(seed, kSendSalt, rank, op, attempt) < send_fail;
+}
+
+bool FaultPlan::send_attempt_corrupts(int rank, std::uint64_t op,
+                                      int attempt) const {
+  if (corrupt_prob <= 0.0) return false;
+  return uniform(seed, kCorruptSalt, rank, op, attempt) < corrupt_prob;
 }
 
 bool FaultPlan::alloc_fails(int rank, std::uint64_t alloc_index) const {
@@ -126,6 +134,12 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       plan.crash_rank = static_cast<int>(parse_int(key, value));
     } else if (key == "crash_op") {
       plan.crash_op = static_cast<std::uint64_t>(parse_int(key, value));
+    } else if (key == "perm_crash_rank") {
+      plan.perm_crash_rank = static_cast<int>(parse_int(key, value));
+    } else if (key == "perm_crash_op") {
+      plan.perm_crash_op = static_cast<std::uint64_t>(parse_int(key, value));
+    } else if (key == "corrupt_prob") {
+      plan.corrupt_prob = parse_double(key, value);
     } else if (key == "retry_max") {
       plan.retry.max_attempts = static_cast<int>(parse_int(key, value));
     } else if (key == "retry_base_us") {
@@ -144,6 +158,9 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
   if (plan.delay_every < 0) bad_spec("delay_every must be >= 0");
   if (plan.delay_rank < -1) bad_spec("delay_rank must be >= -1");
   if (plan.crash_rank < -1) bad_spec("crash_rank must be >= -1");
+  if (plan.perm_crash_rank < -1) bad_spec("perm_crash_rank must be >= -1");
+  if (plan.corrupt_prob < 0.0 || plan.corrupt_prob > 1.0)
+    bad_spec("corrupt_prob must be in [0, 1]");
   if (plan.retry.max_attempts < 1) bad_spec("retry_max must be >= 1");
   if (plan.retry.base_delay_us < 0) bad_spec("retry_base_us must be >= 0");
   if (plan.retry.cap_delay_us < plan.retry.base_delay_us)
@@ -161,6 +178,12 @@ FaultPlan FaultPlan::disarmed(const std::string& failure_kind) const {
     plan.crash_rank = -1;
   } else if (failure_kind == "retry_exhausted") {
     plan.send_fail = 0.0;
+    plan.corrupt_prob = 0.0;
+  } else if (failure_kind == "permanent_crash") {
+    // Only meaningful when the relaunch excludes the dead rank (the service's
+    // shrunk-grid resume); a same-grid relaunch would just die again, which
+    // is why "permanent_crash" is classified non-recoverable.
+    plan.perm_crash_rank = -1;
   }
   return plan;
 }
@@ -182,6 +205,10 @@ std::string FaultPlan::describe() const {
   }
   if (crash_rank >= 0)
     os << ";crash_rank=" << crash_rank << ";crash_op=" << crash_op;
+  if (perm_crash_rank >= 0)
+    os << ";perm_crash_rank=" << perm_crash_rank
+       << ";perm_crash_op=" << perm_crash_op;
+  if (corrupt_prob > 0.0) os << ";corrupt_prob=" << corrupt_prob;
   os << ";retry_max=" << retry.max_attempts
      << ";retry_base_us=" << retry.base_delay_us
      << ";retry_cap_us=" << retry.cap_delay_us;
@@ -209,6 +236,14 @@ std::uint64_t FaultState::enter_op(int rank, obs::Recorder& rec) {
        << " (fault plan " << plan_.describe() << ")";
     throw InjectedRankCrash(os.str());
   }
+  if (plan_.perm_crashes_at(rank, op)) {
+    rec.add_counter("vmpi.faults_injected", 1);
+    std::ostringstream os;
+    os << "injected permanent crash: rank " << rank
+       << " dead for good at vmpi op " << op << " (fault plan "
+       << plan_.describe() << ")";
+    throw PermanentRankCrash(os.str());
+  }
   return op;
 }
 
@@ -219,6 +254,17 @@ void FaultState::check_send(int rank, std::uint64_t op, int attempt,
   std::ostringstream os;
   os << "injected transient send failure: rank " << rank << ", vmpi op "
      << op << ", attempt " << (attempt + 1);
+  throw TransientCommError(os.str());
+}
+
+void FaultState::check_corrupt(int rank, std::uint64_t op, int attempt,
+                               obs::Recorder& rec) {
+  if (!plan_.send_attempt_corrupts(rank, op, attempt)) return;
+  rec.add_counter("vmpi.faults_injected", 1);
+  rec.add_counter("vmpi.checksum_rejects", 1);
+  std::ostringstream os;
+  os << "payload checksum mismatch (injected corruption): rank " << rank
+     << ", vmpi op " << op << ", attempt " << (attempt + 1);
   throw TransientCommError(os.str());
 }
 

@@ -16,8 +16,9 @@
 // CASP_VMPI_FAULTS environment spec, a semicolon/comma-separated key=value
 // list, e.g.
 //   CASP_VMPI_FAULTS="seed=42;send_fail=0.01;crash_rank=3;crash_op=120"
-// Keys: seed, send_fail, alloc_fail, delay_us, delay_every, delay_rank,
-// crash_rank, crash_op, retry_max, retry_base_us, retry_cap_us.
+// Keys: seed, send_fail, alloc_fail, corrupt_prob, delay_us, delay_every,
+// delay_rank, crash_rank, crash_op, perm_crash_rank, perm_crash_op,
+// retry_max, retry_base_us, retry_cap_us.
 #pragma once
 
 #include <atomic>
@@ -60,6 +61,17 @@ class RetryExhausted : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// A rank died for good: unlike InjectedRankCrash, the failure persists
+/// across supervisor relaunches — the node is gone, not rebooting. vmpi::run
+/// classifies it as "permanent_crash" (non-recoverable on the same grid);
+/// the service layer marks the rank dead in the RankPool health map and may
+/// re-admit the job on a shrunk survivor grid (DESIGN.md §5j).
+class PermanentRankCrash : public std::runtime_error {
+ public:
+  explicit PermanentRankCrash(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 /// How the transport retries transient send failures: up to max_attempts
 /// tries per message, sleeping min(base_delay_us << attempt, cap_delay_us)
 /// between them. Every attempt retransmits, so every attempt is charged to
@@ -94,6 +106,17 @@ struct FaultPlan {
   /// (1-based). crash_rank == -1 disables crashes.
   int crash_rank = -1;
   std::uint64_t crash_op = 1;
+  /// perm_crash_rank throws PermanentRankCrash at its perm_crash_op-th vmpi
+  /// op: the rank is dead for good and a same-grid relaunch cannot help.
+  /// perm_crash_rank == -1 disables permanent crashes.
+  int perm_crash_rank = -1;
+  std::uint64_t perm_crash_op = 1;
+  /// Probability any single send attempt delivers a corrupted payload
+  /// (seeded byte flip). With a fault state armed the transport checksums
+  /// every message, detects the flip at the link, and retries it as a
+  /// TransientCommError (counter vmpi.checksum_rejects) — silent corruption
+  /// must never become wrong C.
+  double corrupt_prob = 0.0;
   RetryPolicy retry;
 
   /// True iff any injection is configured (a disabled plan costs the
@@ -110,9 +133,11 @@ struct FaultPlan {
   static FaultPlan parse(const std::string& spec);
   /// Copy of this plan with the fault behind an already-fired failure
   /// removed: "rank_crash"/"deadlock" clear crash_rank, "retry_exhausted"
-  /// clears send_fail. The supervisor (vmpi::run_supervised) applies this
-  /// between attempts so the same deterministic fault does not kill every
-  /// relaunch.
+  /// clears send_fail, "permanent_crash" clears perm_crash_rank (applied by
+  /// the *service* when relaunching on a shrunk grid — the dead rank is no
+  /// longer part of the job). The supervisor (vmpi::run_supervised) applies
+  /// this between attempts so the same deterministic fault does not kill
+  /// every relaunch.
   FaultPlan disarmed(const std::string& failure_kind) const;
   /// Canonical spec string (round-trips through parse); used in failure
   /// reports so a crash names the plan that produced it.
@@ -120,9 +145,13 @@ struct FaultPlan {
 
   // -- Pure per-(rank, op) decisions ---------------------------------------
   bool send_attempt_fails(int rank, std::uint64_t op, int attempt) const;
+  bool send_attempt_corrupts(int rank, std::uint64_t op, int attempt) const;
   bool alloc_fails(int rank, std::uint64_t alloc_index) const;
   bool crashes_at(int rank, std::uint64_t op) const {
     return rank == crash_rank && op == crash_op;
+  }
+  bool perm_crashes_at(int rank, std::uint64_t op) const {
+    return rank == perm_crash_rank && op == perm_crash_op;
   }
   bool delays_at(int rank, std::uint64_t op) const {
     return delay_us > 0 && delay_every > 0 &&
@@ -150,6 +179,13 @@ class FaultState {
   /// Throws TransientCommError when the plan fails this send attempt.
   void check_send(int rank, std::uint64_t op, int attempt,
                   obs::Recorder& rec);
+
+  /// Throws TransientCommError when the plan corrupts this send attempt and
+  /// the transport's checksum catches it (counters vmpi.checksum_rejects and
+  /// vmpi.faults_injected). Modeled at the link layer: the corrupted frame
+  /// is rejected before delivery and the sender's retry loop retransmits.
+  void check_corrupt(int rank, std::uint64_t op, int attempt,
+                     obs::Recorder& rec);
 
   /// Next 1-based allocation index for `rank` (alloc-fault decisions).
   std::uint64_t next_alloc(int rank);

@@ -49,6 +49,7 @@ class JobExec {
   std::shared_ptr<World> world_;
   RunResult result_;
   Stopwatch watch_;
+  std::int64_t deadline_ms_ = 0;
 
   std::mutex error_mutex_;
   std::exception_ptr first_error_;

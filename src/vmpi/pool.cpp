@@ -5,12 +5,65 @@
 
 namespace casp::vmpi {
 
+const char* to_string(RankHealth health) {
+  switch (health) {
+    case RankHealth::kAlive: return "alive";
+    case RankHealth::kSuspect: return "suspect";
+    case RankHealth::kDead: return "dead";
+  }
+  return "unknown";
+}
+
 RankPool::RankPool(int size) : size_(size) {
   CASP_CHECK_MSG(size >= 1, "rank pool needs at least one rank");
   done_generation_.assign(static_cast<std::size_t>(size), 0);
+  health_.assign(static_cast<std::size_t>(size), RankHealth::kAlive);
   workers_.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r)
     workers_.emplace_back([this, r]() { worker_main(r); });
+}
+
+RankHealth RankPool::health(int rank) const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  if (rank < 0 || rank >= size_) return RankHealth::kDead;
+  return health_[static_cast<std::size_t>(rank)];
+}
+
+void RankPool::mark_dead(int rank) {
+  if (rank < 0 || rank >= size_) return;
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  health_[static_cast<std::size_t>(rank)] = RankHealth::kDead;
+}
+
+void RankPool::mark_suspect(int rank) {
+  if (rank < 0 || rank >= size_) return;
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  // Dead is sticky: a suspect verdict never resurrects a dead rank.
+  if (health_[static_cast<std::size_t>(rank)] != RankHealth::kDead)
+    health_[static_cast<std::size_t>(rank)] = RankHealth::kSuspect;
+}
+
+void RankPool::clear_suspects() {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  for (RankHealth& h : health_)
+    if (h == RankHealth::kSuspect) h = RankHealth::kAlive;
+}
+
+std::vector<int> RankPool::alive_ranks() const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  std::vector<int> alive;
+  for (int r = 0; r < size_; ++r)
+    if (health_[static_cast<std::size_t>(r)] != RankHealth::kDead)
+      alive.push_back(r);
+  return alive;
+}
+
+int RankPool::alive_count() const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  int n = 0;
+  for (const RankHealth& h : health_)
+    if (h != RankHealth::kDead) ++n;
+  return n;
 }
 
 RankPool::~RankPool() {

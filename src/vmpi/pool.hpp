@@ -19,6 +19,16 @@ namespace detail {
 class JobExec;
 }
 
+/// Health of one pool rank, as believed by the service layer. The pool
+/// itself keeps running every thread (a "dead" rank is a *modeled* dead
+/// node); the map exists so schedulers can stop placing work on ranks whose
+/// jobs reported a permanent crash and shrink the grid instead (DESIGN.md
+/// §5j). `kSuspect` marks ranks implicated in watchdog verdicts (deadlock /
+/// deadline) that have no proven culprit; a clean finished job clears them.
+enum class RankHealth { kAlive, kSuspect, kDead };
+
+const char* to_string(RankHealth health);
+
 /// A gang of `size` resident worker threads, one per rank. Each run_job
 /// builds a fresh detail::World (mailboxes, fault state, sched state are
 /// per job — a crashed job legitimately strands messages, and nothing of
@@ -54,11 +64,31 @@ class RankPool {
   SupervisedResult run_supervised(const std::function<void(Comm&)>& body,
                                   const SupervisorOptions& options = {});
 
+  // -- Health map ----------------------------------------------------------
+  // Maintained by the service layer from per-job FailureReports: a
+  // "permanent_crash" marks its rank dead; watchdog verdicts without a
+  // culprit mark every participating rank suspect until a clean job clears
+  // them. All calls are thread-safe and rank-bounds-checked (out-of-range
+  // ranks are ignored — failure reports use -1 for job-level verdicts).
+
+  RankHealth health(int rank) const;
+  void mark_dead(int rank);
+  void mark_suspect(int rank);
+  /// Demote every kSuspect rank back to kAlive (dead stays dead).
+  void clear_suspects();
+  /// World ranks currently kAlive or kSuspect (suspects are still
+  /// schedulable — only proven-dead ranks are excluded), ascending.
+  std::vector<int> alive_ranks() const;
+  int alive_count() const;
+
  private:
   void worker_main(int rank);
 
   int size_;
   std::uint64_t jobs_run_ = 0;
+
+  mutable std::mutex health_mutex_;
+  std::vector<RankHealth> health_;
 
   std::mutex mutex_;
   std::condition_variable dispatch_cv_;

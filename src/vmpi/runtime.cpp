@@ -61,8 +61,14 @@ FailureReport classify_failure(const std::exception_ptr& error, int rank,
   } catch (const InjectedRankCrash& e) {
     report.kind = "rank_crash";
     report.what = e.what();
+  } catch (const PermanentRankCrash& e) {
+    report.kind = "permanent_crash";
+    report.what = e.what();
   } catch (const RetryExhausted& e) {
     report.kind = "retry_exhausted";
+    report.what = e.what();
+  } catch (const DeadlineExceeded& e) {
+    report.kind = "deadline_exceeded";
     report.what = e.what();
   } catch (const DeadlockDetected& e) {
     report.kind = "deadlock";
@@ -99,6 +105,34 @@ FailureReport classify_failure(const std::exception_ptr& error, int rank,
   }
   return report;
 }
+
+/// The recoverable/non-recoverable verdict for every FailureReport kind the
+/// runtime can emit — the supervisor's single source of truth. Recoverable
+/// means a relaunch can plausibly survive: the fault was external to the
+/// program logic and the disarmed plan removes it. Everything else recurs
+/// identically on every attempt ("permanent_crash": the node stays dead on
+/// this grid; "deadline_exceeded": the budget is already spent). The
+/// failure-kind-classified lint rule checks that every kind string assigned
+/// anywhere in src/ has an entry here.
+struct KindClass {
+  const char* kind;
+  bool recoverable;
+};
+constexpr KindClass kKindTable[] = {
+    {"rank_crash", true},
+    {"retry_exhausted", true},
+    {"deadlock", true},
+    {"permanent_crash", false},
+    {"deadline_exceeded", false},
+    {"communicator_order_violation", false},
+    {"collective_mismatch", false},
+    {"message_leak", false},
+    {"schedule_violation", false},
+    {"memory_budget", false},
+    {"input_error", false},
+    {"invalid_argument", false},
+    {"exception", false},
+};
 
 /// Watchdog sampling period. 0 disables the watchdog entirely; tests that
 /// provoke deadlocks on purpose dial it down to fail fast.
@@ -214,7 +248,8 @@ std::string diagnose_comm_order(detail::World& world, int size) {
 
 namespace detail {
 
-JobExec::JobExec(int size, const RunOptions& options) : size_(size) {
+JobExec::JobExec(int size, const RunOptions& options)
+    : size_(size), deadline_ms_(options.deadline_ms) {
   CASP_CHECK_MSG(size >= 1, "virtual job needs at least one rank");
   world_ = std::make_shared<World>(size);
   const FaultPlan plan =
@@ -287,19 +322,46 @@ void JobExec::start_watchdog() {
   // sampling is sound. Two consecutive quiet samples (no delivery between
   // them) plus an exact queue scan rule out the in-flight wakeup race.
   int interval_ms = watchdog_interval_ms();
+  bool deadline_armed = deadline_ms_ > 0;
 #ifdef CASP_VMPI_SCHED
   // A scheduled run detects deadlocks exactly (empty runnable set); the
-  // sampling watchdog would misread token-parked threads as a stall.
-  if (world_->sched != nullptr) interval_ms = 0;
+  // sampling watchdog would misread token-parked threads as a stall, and
+  // wall-clock deadlines are meaningless under a token-serialized schedule.
+  if (world_->sched != nullptr) {
+    interval_ms = 0;
+    deadline_armed = false;
+  }
 #endif
+  if (deadline_armed) {
+    // Deadline enforcement rides the same sampler: keep at least ~4 samples
+    // per deadline so overshoot stays a fraction of the budget, and arm the
+    // thread even when the deadlock watchdog is disabled via env.
+    const int cap = static_cast<int>(std::min<std::int64_t>(
+        std::max<std::int64_t>(deadline_ms_ / 4, 1), 1000));
+    interval_ms = interval_ms <= 0 ? cap : std::min(interval_ms, cap);
+  }
   if (interval_ms <= 0) return;
-  watchdog_ = std::thread([this, interval_ms]() {
+  watchdog_ = std::thread([this, interval_ms, deadline_armed]() {
     std::uint64_t last_progress = ~std::uint64_t{0};
     int quiet_samples = 0;
     std::unique_lock<std::mutex> lk(wd_mutex_);
     while (!wd_stop_) {
       wd_cv_.wait_for(lk, std::chrono::milliseconds(interval_ms));
       if (wd_stop_) break;
+      if (deadline_armed &&
+          watch_.seconds() * 1000.0 > static_cast<double>(deadline_ms_)) {
+        std::ostringstream os;
+        os << "job deadline exceeded: ran " << watch_.seconds() * 1000.0
+           << " ms against a " << deadline_ms_
+           << " ms budget; cancelling all ranks";
+        {
+          std::lock_guard<std::mutex> lock(error_mutex_);
+          if (!first_error_)
+            first_error_ = std::make_exception_ptr(DeadlineExceeded(os.str()));
+        }
+        world_->abort_all();
+        break;
+      }
       const int blocked = world_->blocked.load(std::memory_order_relaxed);
       const int finished = world_->finished.load(std::memory_order_relaxed);
       const std::uint64_t progress =
@@ -445,10 +507,20 @@ SupervisedResult supervise(
       options.faults.has_value() ? *options.faults : FaultPlan::from_env();
   SupervisedResult sup;
   sup.max_restarts = options.max_restarts;
+  Stopwatch chain;  // whole-chain clock: attempts + backoff waits
   for (;;) {
     RunOptions attempt_opts;
     attempt_opts.faults = plan;
     attempt_opts.capture_failure = true;
+    if (options.deadline_ms > 0) {
+      // Each attempt runs under what is left of the chain budget (never 0:
+      // a spent budget still gets one fast-failing probe so the failure
+      // classifies as deadline_exceeded instead of hanging here).
+      const auto elapsed =
+          static_cast<std::int64_t>(chain.seconds() * 1000.0);
+      attempt_opts.deadline_ms =
+          std::max<std::int64_t>(options.deadline_ms - elapsed, 1);
+    }
     RunResult result = attempt(attempt_opts);
     if (!result.failed() || !recoverable_failure(*result.failure) ||
         sup.restarts >= options.max_restarts) {
@@ -461,6 +533,19 @@ SupervisedResult supervise(
     // live, mirroring "replace the dead node, keep the flaky network".
     plan = plan.disarmed(result.failure->kind);
     sup.recovered_failures.push_back(*std::move(result.failure));
+    // Capped exponential backoff before the relaunch (mirrors the
+    // transport's retry ladder): a crash-looping job must not hammer the
+    // pool back-to-back. The wait is surfaced per attempt in the report.
+    std::int64_t wait_us = 0;
+    if (options.restart_backoff_base_us > 0) {
+      wait_us = options.restart_backoff_base_us;
+      for (int i = 0;
+           i < sup.restarts && wait_us < options.restart_backoff_cap_us; ++i)
+        wait_us *= 2;
+      wait_us = std::min(wait_us, options.restart_backoff_cap_us);
+      std::this_thread::sleep_for(std::chrono::microseconds(wait_us));
+    }
+    sup.backoff_us.push_back(wait_us);
     ++sup.restarts;
   }
 }
@@ -485,8 +570,9 @@ RunResult run(int size, const std::function<void(Comm&)>& body) {
 }
 
 bool recoverable_failure(const FailureReport& report) {
-  return report.kind == "rank_crash" || report.kind == "retry_exhausted" ||
-         report.kind == "deadlock";
+  for (const KindClass& k : kKindTable)
+    if (report.kind == k.kind) return k.recoverable;
+  return false;  // unknown kinds never auto-relaunch
 }
 
 SupervisedResult run_supervised(int size,

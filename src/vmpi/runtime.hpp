@@ -16,6 +16,15 @@
 
 namespace casp::vmpi {
 
+/// The job ran past RunOptions::deadline_ms: the watchdog raised this on
+/// the slowest rank's behalf and woke everyone else with Aborted. Classified
+/// as "deadline_exceeded" (non-recoverable — the budget is spent).
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 /// Structured classification of why a virtual job died: which rank failed
 /// first, which traffic phase it was in, and what kind of fault killed it.
 /// Built by vmpi::run for every failed job and either attached to the
@@ -23,11 +32,13 @@ namespace casp::vmpi {
 /// exception; the run report embeds it so `--report` JSON names the
 /// failure instead of a bare abort.
 struct FailureReport {
-  /// Machine-readable class: "rank_crash", "retry_exhausted", "deadlock",
+  /// Machine-readable class: "rank_crash", "permanent_crash",
+  /// "retry_exhausted", "deadline_exceeded", "deadlock",
   /// "communicator_order_violation", "collective_mismatch", "message_leak",
   /// "memory_budget", "input_error", "invalid_argument",
   /// "schedule_violation" (casp-verify happens-before findings), or
-  /// "exception".
+  /// "exception". Every kind must appear in runtime.cpp's kKindTable
+  /// (casp_lint: failure-kind-classified).
   std::string kind;
   /// First failing world rank; -1 for job-level failures (watchdog
   /// deadlock verdicts have no single culprit rank).
@@ -53,6 +64,13 @@ struct RunOptions {
   /// exception is rethrown as before, so callers' catch sites keep
   /// working.
   bool capture_failure = false;
+  /// Wall-clock deadline for the whole job in milliseconds; 0 = none.
+  /// Enforced cooperatively by the watchdog thread: past the deadline every
+  /// rank is woken with vmpi::Aborted and the job classifies as
+  /// "deadline_exceeded" (non-recoverable — more attempts cannot make the
+  /// same budget fit). Not enforced under the deterministic scheduler,
+  /// which runs without a watchdog.
+  std::int64_t deadline_ms = 0;
 #ifdef CASP_VMPI_SCHED
   /// casp-verify schedule plan. Unset = parse the CASP_VMPI_SCHED
   /// environment variable ("seed=<n>" or "replay=<schedule>"; absent means
@@ -117,6 +135,16 @@ struct SupervisorOptions {
   std::optional<FaultPlan> faults;
   /// Upper bound on relaunches (not counting the first attempt).
   int max_restarts = 3;
+  /// Capped exponential backoff between relaunches, mirroring the
+  /// transport's retry_base_us/retry_cap_us: attempt k sleeps
+  /// min(restart_backoff_base_us << k, restart_backoff_cap_us) before
+  /// relaunching. 0 disables the wait (tests that sweep many restarts).
+  std::int64_t restart_backoff_base_us = 1000;
+  std::int64_t restart_backoff_cap_us = 100000;
+  /// Deadline for the whole supervised chain (all attempts plus backoff
+  /// waits), milliseconds; 0 = none. Each attempt runs under the remaining
+  /// budget, and a chain that exhausts it classifies "deadline_exceeded".
+  std::int64_t deadline_ms = 0;
 };
 
 /// Outcome of run_supervised: the final attempt's RunResult plus the
@@ -131,6 +159,9 @@ struct SupervisedResult {
   std::vector<FailureReport> recovered_failures;
   /// Wall-clock seconds burned by failed attempts (recovery overhead).
   double wasted_seconds = 0.0;
+  /// Backoff microseconds slept before each relaunch, in order (one entry
+  /// per restart; surfaced in the report's "recovery" section).
+  std::vector<std::int64_t> backoff_us;
 
   bool recovered() const { return restarts > 0 && !result.failed(); }
 };

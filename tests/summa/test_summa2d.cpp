@@ -77,7 +77,7 @@ TEST(Summa2DRectangular, TallTimesWide) {
     const DistMat3D da = distribute_a_style(grid, a);
     const DistMat3D db = distribute_b_style(grid, b);
     CscMat local_d = summa2d<PlusTimes>(grid, da.local, db.local, {});
-    DistMat3D dc{std::move(local_d), m, n, da.rows, db.cols};
+    DistMat3D dc{std::move(local_d), m, n, /*global_nnz=*/0, da.rows, db.cols};
     testing::expect_mat_near(gather_dist(grid, dc), expected);
   });
 }
@@ -91,7 +91,7 @@ TEST(Summa2DSemiring, MinPlusShortestPathStep) {
     const DistMat3D da = distribute_a_style(grid, a);
     const DistMat3D db = distribute_b_style(grid, a);
     CscMat local_d = summa2d<MinPlus>(grid, da.local, db.local, {});
-    DistMat3D dc{std::move(local_d), n, n, da.rows, db.cols};
+    DistMat3D dc{std::move(local_d), n, n, /*global_nnz=*/0, da.rows, db.cols};
     testing::expect_mat_near(gather_dist(grid, dc), expected);
   });
 }

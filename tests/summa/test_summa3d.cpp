@@ -79,8 +79,8 @@ TEST(Summa3DSemiring, OrAndReachability) {
     const DistMat3D da = distribute_a_style(grid, a);
     const DistMat3D db = distribute_b_style(grid, a);
     CscMat local_c = summa3d<OrAnd>(grid, da.local, db.local, {});
-    DistMat3D dc{std::move(local_c), n, n, a_style_row_range(grid, n),
-                 a_style_col_range(grid, n)};
+    DistMat3D dc{std::move(local_c), n, n, /*global_nnz=*/0,
+                 a_style_row_range(grid, n), a_style_col_range(grid, n)};
     testing::expect_mat_near(gather_dist(grid, dc), expected);
   });
 }

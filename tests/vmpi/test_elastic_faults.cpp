@@ -1,0 +1,306 @@
+// The fault classes and supervision mechanics behind elastic degraded-grid
+// recovery (DESIGN.md §5j): permanent rank crashes (non-recoverable on the
+// same grid), payload corruption caught by the transport checksum and
+// retried as a transient, per-job wall-clock deadlines enforced by the
+// watchdog, the supervisor's bounded exponential restart backoff, and the
+// RankPool health map the service layer drives from failure reports.
+//
+// NO_SCHED: deadlines measure wall clock (disabled under the deterministic
+// scheduler) and the backoff assertions time real sleeps.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vmpi/faults.hpp"
+#include "vmpi/pool.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace casp {
+namespace {
+
+std::int64_t counter_sum(const vmpi::RunResult& result,
+                         const std::string& name) {
+  std::int64_t sum = 0;
+  for (const auto& rec : result.recorders) {
+    const auto it = rec.counters().find(name);
+    if (it != rec.counters().end()) sum += it->second;
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// permanent_crash: classified, carries the rank, and is never retried.
+
+TEST(FaultPermanentCrash, ClassifiedWithRankAndNotRetried) {
+  vmpi::FaultPlan plan;
+  plan.seed = 7;
+  plan.perm_crash_rank = 1;
+  plan.perm_crash_op = 3;
+  vmpi::RunOptions opts;
+  opts.faults = plan;
+  opts.capture_failure = true;
+  vmpi::RunResult res = vmpi::run(
+      4,
+      [](vmpi::Comm& comm) {
+        for (int i = 0; i < 6; ++i)
+          (void)comm.allreduce_sum<int>(comm.rank() + i);
+      },
+      opts);
+  ASSERT_TRUE(res.failed());
+  EXPECT_EQ(res.failure->kind, "permanent_crash");
+  EXPECT_EQ(res.failure->rank, 1);
+
+  // The supervisor must not burn restarts on a dead-for-good rank: the
+  // same grid cannot come back, only the service's shrink path can.
+  vmpi::SupervisorOptions sup_opts;
+  sup_opts.faults = plan;
+  sup_opts.max_restarts = 3;
+  vmpi::SupervisedResult sup = vmpi::run_supervised(
+      4,
+      [](vmpi::Comm& comm) {
+        for (int i = 0; i < 6; ++i)
+          (void)comm.allreduce_sum<int>(comm.rank() + i);
+      },
+      sup_opts);
+  ASSERT_TRUE(sup.result.failed());
+  EXPECT_EQ(sup.result.failure->kind, "permanent_crash");
+  EXPECT_EQ(sup.restarts, 0);
+
+  // Disarming the kind removes exactly the permanent crash.
+  const vmpi::FaultPlan off = plan.disarmed("permanent_crash");
+  EXPECT_EQ(off.perm_crash_rank, -1);
+  EXPECT_FALSE(off.enabled());
+}
+
+// ---------------------------------------------------------------------------
+// corrupt_prob: every corrupted frame is caught by the link checksum and
+// surfaces as a transient the retry ladder handles — never as wrong data.
+
+TEST(FaultCorrupt, AlwaysCorruptExhaustsRetriesAndCounts) {
+  vmpi::FaultPlan plan;
+  plan.seed = 11;
+  plan.corrupt_prob = 1.0;
+  vmpi::RunOptions opts;
+  opts.faults = plan;
+  opts.capture_failure = true;
+  vmpi::RunResult res = vmpi::run(
+      2,
+      [](vmpi::Comm& comm) {
+        (void)comm.allreduce_sum<int>(comm.rank());
+      },
+      opts);
+  ASSERT_TRUE(res.failed());
+  EXPECT_EQ(res.failure->kind, "retry_exhausted");
+  // Every attempt of the first doomed send was rejected at the checksum.
+  EXPECT_GE(counter_sum(res, "vmpi.checksum_rejects"),
+            static_cast<std::int64_t>(plan.retry.max_attempts));
+}
+
+TEST(FaultCorrupt, ModerateCorruptionRidesTheRetryLadder) {
+  // Per-attempt corruption probability 0.35: an op needs 4 consecutive bad
+  // draws to die, so the run overwhelmingly survives on retries — and when
+  // a specific seed does exhaust one op, the failure still classifies.
+  vmpi::FaultPlan plan;
+  plan.seed = 5;
+  plan.corrupt_prob = 0.35;
+  vmpi::RunOptions opts;
+  opts.faults = plan;
+  opts.capture_failure = true;
+  int expected = 0;
+  for (int r = 0; r < 2; ++r) expected += r;
+  std::vector<int> sums(2, -1);
+  vmpi::RunResult res = vmpi::run(
+      2,
+      [&sums](vmpi::Comm& comm) {
+        int total = 0;
+        for (int i = 0; i < 8; ++i)
+          total = comm.allreduce_sum<int>(comm.rank());
+        sums[static_cast<std::size_t>(comm.rank())] = total;
+      },
+      opts);
+  if (res.failed()) {
+    EXPECT_EQ(res.failure->kind, "retry_exhausted");
+  } else {
+    // Corruption was detected (else the checksum never fired) and repaired:
+    // the delivered values are correct.
+    for (const int s : sums) EXPECT_EQ(s, expected);
+  }
+  EXPECT_GE(counter_sum(res, "vmpi.checksum_rejects"), 1);
+  // Rejected frames count as injected faults too.
+  EXPECT_GE(counter_sum(res, "vmpi.faults_injected"),
+            counter_sum(res, "vmpi.checksum_rejects"));
+}
+
+TEST(FaultCorrupt, SpecRoundTripsAndDisarms) {
+  const vmpi::FaultPlan plan =
+      vmpi::FaultPlan::parse("seed=3;corrupt_prob=0.25");
+  EXPECT_DOUBLE_EQ(plan.corrupt_prob, 0.25);
+  EXPECT_TRUE(plan.enabled());
+  const vmpi::FaultPlan back = vmpi::FaultPlan::parse(plan.describe());
+  EXPECT_DOUBLE_EQ(back.corrupt_prob, 0.25);
+  // retry_exhausted disarms the transient *sources*: send_fail and
+  // corrupt_prob both.
+  const vmpi::FaultPlan off = plan.disarmed("retry_exhausted");
+  EXPECT_DOUBLE_EQ(off.corrupt_prob, 0.0);
+  EXPECT_THROW((void)vmpi::FaultPlan::parse("corrupt_prob=1.5"),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines: the watchdog cancels every rank once the budget is spent.
+
+TEST(FaultDeadline, ExpiredDeadlineCancelsAllRanks) {
+  vmpi::RunOptions opts;
+  opts.capture_failure = true;
+  opts.deadline_ms = 60;
+  vmpi::RunResult res = vmpi::run(
+      2,
+      [](vmpi::Comm& comm) {
+        for (int i = 0; i < 400; ++i) {
+          (void)comm.allreduce_sum<int>(i);
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      },
+      opts);
+  ASSERT_TRUE(res.failed());
+  EXPECT_EQ(res.failure->kind, "deadline_exceeded");
+
+  // deadline_exceeded is final: rerunning an over-budget job cannot make
+  // it fit, so the supervisor hands it straight back.
+  vmpi::SupervisorOptions sup_opts;
+  sup_opts.max_restarts = 3;
+  sup_opts.deadline_ms = 60;
+  vmpi::SupervisedResult sup = vmpi::run_supervised(
+      2,
+      [](vmpi::Comm& comm) {
+        for (int i = 0; i < 400; ++i) {
+          (void)comm.allreduce_sum<int>(i);
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      },
+      sup_opts);
+  ASSERT_TRUE(sup.result.failed());
+  EXPECT_EQ(sup.result.failure->kind, "deadline_exceeded");
+  EXPECT_EQ(sup.restarts, 0);
+}
+
+TEST(FaultDeadline, GenerousDeadlineDoesNotFire) {
+  vmpi::RunOptions opts;
+  opts.capture_failure = true;
+  opts.deadline_ms = 60000;
+  vmpi::RunResult res = vmpi::run(
+      2,
+      [](vmpi::Comm& comm) {
+        (void)comm.allreduce_sum<int>(comm.rank());
+      },
+      opts);
+  EXPECT_FALSE(res.failed());
+}
+
+// ---------------------------------------------------------------------------
+// Restart backoff: capped exponential, surfaced per attempt.
+
+TEST(FaultBackoff, LadderDoublesFromBaseAndCaps) {
+  // Two distinct recoverable failures in one chain: the transient send
+  // storm exhausts retries first (disarmed), then the injected crash kills
+  // the relaunch (disarmed), then the third attempt completes.
+  vmpi::FaultPlan plan;
+  plan.seed = 2;
+  plan.send_fail = 1.0;
+  plan.crash_rank = 0;
+  plan.crash_op = 2;
+  vmpi::SupervisorOptions sup_opts;
+  sup_opts.faults = plan;
+  sup_opts.max_restarts = 4;
+  sup_opts.restart_backoff_base_us = 500;
+  sup_opts.restart_backoff_cap_us = 100000;
+  vmpi::SupervisedResult sup = vmpi::run_supervised(
+      2,
+      [](vmpi::Comm& comm) {
+        for (int i = 0; i < 3; ++i)
+          (void)comm.allreduce_sum<int>(comm.rank() + i);
+      },
+      sup_opts);
+  ASSERT_FALSE(sup.result.failed()) << sup.result.failure->describe();
+  ASSERT_EQ(sup.restarts, 2);
+  ASSERT_EQ(sup.backoff_us.size(), 2u);
+  EXPECT_EQ(sup.backoff_us[0], 500);
+  EXPECT_EQ(sup.backoff_us[1], 1000);
+}
+
+TEST(FaultBackoff, CapClampsAndZeroBaseDisables) {
+  vmpi::FaultPlan plan;
+  plan.seed = 2;
+  plan.send_fail = 1.0;
+  plan.crash_rank = 0;
+  plan.crash_op = 2;
+  vmpi::SupervisorOptions sup_opts;
+  sup_opts.faults = plan;
+  sup_opts.max_restarts = 4;
+  sup_opts.restart_backoff_base_us = 1000;
+  sup_opts.restart_backoff_cap_us = 1500;
+  vmpi::SupervisedResult sup = vmpi::run_supervised(
+      2,
+      [](vmpi::Comm& comm) {
+        for (int i = 0; i < 3; ++i)
+          (void)comm.allreduce_sum<int>(comm.rank() + i);
+      },
+      sup_opts);
+  ASSERT_FALSE(sup.result.failed()) << sup.result.failure->describe();
+  ASSERT_EQ(sup.backoff_us.size(), 2u);
+  EXPECT_EQ(sup.backoff_us[0], 1000);
+  EXPECT_EQ(sup.backoff_us[1], 1500);  // clamped, not 2000
+
+  sup_opts.restart_backoff_base_us = 0;  // disabled: no sleep, entries 0
+  vmpi::SupervisedResult fast = vmpi::run_supervised(
+      2,
+      [](vmpi::Comm& comm) {
+        for (int i = 0; i < 3; ++i)
+          (void)comm.allreduce_sum<int>(comm.rank() + i);
+      },
+      sup_opts);
+  ASSERT_FALSE(fast.result.failed());
+  ASSERT_EQ(fast.backoff_us.size(), 2u);
+  EXPECT_EQ(fast.backoff_us[0], 0);
+  EXPECT_EQ(fast.backoff_us[1], 0);
+}
+
+// ---------------------------------------------------------------------------
+// RankPool health map: the service-layer view of permanent losses.
+
+TEST(PoolHealth, DeadIsStickySuspectIsNot) {
+  vmpi::RankPool pool(4);
+  EXPECT_EQ(pool.alive_count(), 4);
+  for (int r = 0; r < 4; ++r)
+    EXPECT_EQ(pool.health(r), vmpi::RankHealth::kAlive);
+
+  pool.mark_suspect(1);
+  pool.mark_dead(2);
+  EXPECT_EQ(pool.health(1), vmpi::RankHealth::kSuspect);
+  EXPECT_EQ(pool.health(2), vmpi::RankHealth::kDead);
+  // Suspect ranks still count as schedulable; dead ones never do.
+  EXPECT_EQ(pool.alive_count(), 3);
+  const std::vector<int> alive = pool.alive_ranks();
+  EXPECT_EQ(alive, (std::vector<int>{0, 1, 3}));
+
+  // A clean job vouches for suspects — but cannot resurrect the dead.
+  pool.mark_suspect(2);  // dead stays dead
+  pool.clear_suspects();
+  EXPECT_EQ(pool.health(1), vmpi::RankHealth::kAlive);
+  EXPECT_EQ(pool.health(2), vmpi::RankHealth::kDead);
+  EXPECT_EQ(pool.alive_count(), 3);
+
+  // Out-of-range queries degrade safely.
+  EXPECT_EQ(pool.health(-1), vmpi::RankHealth::kDead);
+  EXPECT_EQ(pool.health(99), vmpi::RankHealth::kDead);
+  EXPECT_STREQ(vmpi::to_string(vmpi::RankHealth::kAlive), "alive");
+  EXPECT_STREQ(vmpi::to_string(vmpi::RankHealth::kSuspect), "suspect");
+  EXPECT_STREQ(vmpi::to_string(vmpi::RankHealth::kDead), "dead");
+}
+
+}  // namespace
+}  // namespace casp

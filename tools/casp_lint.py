@@ -84,6 +84,17 @@ test (see tests/CMakeLists.txt). Rules:
                   allowlisted with `// lint: collective-ok` on the same
                   or preceding line. The `else` branch of a rank guard
                   counts too: it is equally rank-divergent.
+  failure-kind-classified
+                  In src/, every FailureReport kind string assigned
+                  (`kind = "<name>"`) must have an entry in the
+                  supervisor's recoverable/non-recoverable classification
+                  table (kKindTable in src/vmpi/runtime.cpp). The table is
+                  the supervisor's single source of truth: an unclassified
+                  kind silently falls through recoverable_failure() as
+                  non-recoverable, so a fault class someone meant to be
+                  retried would quietly stop being retried. Comparisons
+                  (`kind == "..."`) are reads, not introductions, and do
+                  not count.
 
 Waivers (use sparingly, justify in a comment on the same line):
   // casp-lint: allow(<rule>)        — waives <rule> on this or next line
@@ -158,6 +169,17 @@ CKPT_WRITE_OPEN_RE = re.compile(
 )
 CKPT_TMP_TOKEN_RE = re.compile(r"\bkTmpSuffix\b")
 
+# A FailureReport kind introduction: `kind = "<name>"` (assignment, not
+# the `==`/`!=` comparisons, which only read an existing kind). Scanned on
+# comment-stripped-but-string-preserving text, so prose in comments never
+# trips it.
+KIND_ASSIGN_RE = re.compile(r'\bkind\s*=(?!=)\s*"([a-z_]+)"')
+# One entry of the supervisor's classification table:
+# {"<kind>", true|false}.
+KIND_TABLE_ENTRY_RE = re.compile(r'\{\s*"([a-z_]+)"\s*,\s*(?:true|false)\s*\}')
+KIND_TABLE_NAME = "kKindTable"
+KIND_TABLE_FILE = "src/vmpi/runtime.cpp"
+
 # A collective call on a Comm (or sub-Comm): receiver-dotted so plain
 # helper functions named e.g. `barrier_us` don't trip the rule.
 COLLECTIVE_CALL_RE = re.compile(
@@ -170,9 +192,12 @@ RANK_COND_RE = re.compile(r"\b\w*rank\w*\b|[.>]\s*rank\s*\(")
 COLLECTIVE_OK_RE = re.compile(r"lint:\s*collective-ok")
 
 
-def strip_code(text: str) -> str:
-    """Blank out comments, string and char literals, preserving line
-    structure, so token scans don't trip on prose or paths."""
+def strip_code(text: str, keep_strings: bool = False) -> str:
+    """Blank out comments — and, unless keep_strings, string and char
+    literals — preserving line structure, so token scans don't trip on
+    prose or paths. keep_strings=True serves the rules that inspect
+    literal contents (failure-kind-classified) but must still ignore
+    commented-out code."""
     out = []
     i, n = 0, len(text)
     mode = "code"  # code | line_comment | block_comment | string | char | raw
@@ -196,17 +221,17 @@ def strip_code(text: str) -> str:
                 if m:
                     raw_delim = ")" + m.group(1) + '"'
                     mode = "raw"
-                    out.append(" " * m.end())
+                    out.append(m.group(0) if keep_strings else " " * m.end())
                     i += m.end()
                     continue
             if c == '"':
                 mode = "string"
-                out.append(" ")
+                out.append('"' if keep_strings else " ")
                 i += 1
                 continue
             if c == "'":
                 mode = "char"
-                out.append(" ")
+                out.append("'" if keep_strings else " ")
                 i += 1
                 continue
             out.append(c)
@@ -228,33 +253,33 @@ def strip_code(text: str) -> str:
                 i += 1
         elif mode == "string":
             if c == "\\":
-                out.append("  ")
+                out.append(text[i:i + 2] if keep_strings else "  ")
                 i += 2
             elif c == '"':
                 mode = "code"
-                out.append(" ")
+                out.append('"' if keep_strings else " ")
                 i += 1
             else:
-                out.append(c if c == "\n" else " ")
+                out.append(c if (keep_strings or c == "\n") else " ")
                 i += 1
         elif mode == "char":
             if c == "\\":
-                out.append("  ")
+                out.append(text[i:i + 2] if keep_strings else "  ")
                 i += 2
             elif c == "'":
                 mode = "code"
-                out.append(" ")
+                out.append("'" if keep_strings else " ")
                 i += 1
             else:
-                out.append(c if c == "\n" else " ")
+                out.append(c if (keep_strings or c == "\n") else " ")
                 i += 1
         elif mode == "raw":
             if text.startswith(raw_delim, i):
                 mode = "code"
-                out.append(" " * len(raw_delim))
+                out.append(raw_delim if keep_strings else " " * len(raw_delim))
                 i += len(raw_delim)
             else:
-                out.append(c if c == "\n" else " ")
+                out.append(c if (keep_strings or c == "\n") else " ")
                 i += 1
     return "".join(out)
 
@@ -263,6 +288,7 @@ class Linter:
     def __init__(self, root: Path):
         self.root = root
         self.errors = []
+        self._repo_kind_table = None  # lazily parsed from KIND_TABLE_FILE
 
     def error(self, rel: str, line_no: int, rule: str, msg: str):
         self.errors.append(f"{rel}:{line_no}: [{rule}] {msg}")
@@ -312,6 +338,8 @@ class Linter:
         if in_src:
             self.check_rank_divergent_collective(rel, code_text, raw_lines,
                                                  waived)
+            self.check_failure_kind_classified(
+                rel, strip_code(text, keep_strings=True), waived)
         self.check_cast_pairing(rel, code_lines, waived)
         self.check_empty_catch(rel, code_text, waived)
         self.check_payload_ownership(rel, code_lines, waived)
@@ -447,6 +475,58 @@ class Linter:
                 regions.append(
                     (body, semi if semi != -1 else len(code_text)))
         return regions
+
+    def _kind_table(self, code_with_strings):
+        """Classification entries in scope for this file: a kKindTable the
+        text defines itself (runtime.cpp, self-test fixtures), else the
+        repo's table in src/vmpi/runtime.cpp, parsed once."""
+        pos = code_with_strings.find(KIND_TABLE_NAME)
+        if pos != -1:
+            region = code_with_strings[pos:]
+            end = region.find("};")
+            if end != -1:
+                region = region[:end]
+            entries = {m.group(1)
+                       for m in KIND_TABLE_ENTRY_RE.finditer(region)}
+            if entries:
+                return entries
+        if self._repo_kind_table is None:
+            self._repo_kind_table = set()
+            table_path = self.root / KIND_TABLE_FILE
+            if table_path.exists():
+                text = strip_code(
+                    table_path.read_text(encoding="utf-8", errors="replace"),
+                    keep_strings=True)
+                pos = text.find(KIND_TABLE_NAME)
+                if pos != -1:
+                    region = text[pos:]
+                    end = region.find("};")
+                    if end != -1:
+                        region = region[:end]
+                    self._repo_kind_table = {
+                        m.group(1)
+                        for m in KIND_TABLE_ENTRY_RE.finditer(region)
+                    }
+        return self._repo_kind_table
+
+    def check_failure_kind_classified(self, rel, code_with_strings, waived):
+        matches = list(KIND_ASSIGN_RE.finditer(code_with_strings))
+        if not matches:
+            return
+        table = self._kind_table(code_with_strings)
+        for m in matches:
+            kind = m.group(1)
+            if kind in table:
+                continue
+            idx = code_with_strings.count("\n", 0, m.start())
+            if waived("failure-kind-classified", idx):
+                continue
+            self.error(
+                rel, idx + 1, "failure-kind-classified",
+                f'FailureReport kind "{kind}" has no entry in '
+                f"{KIND_TABLE_NAME} ({KIND_TABLE_FILE}) — "
+                "recoverable_failure() silently treats unlisted kinds as "
+                "non-recoverable; add it to the classification table")
 
     def check_cast_pairing(self, rel, code_lines, waived):
         for idx, line in enumerate(code_lines):

@@ -20,10 +20,16 @@
 #                          tenant queue (one crashing tenant) twice on a
 #                          resident pool; the per-job deterministic reports
 #                          must be byte-identical across the two runs
+#   (j) chaos soak         casp_chaos: >= 20 jobs from 3 tenants under
+#                          sustained seeded faults (delays, transient sends,
+#                          corruption, transient + permanent crashes, alloc
+#                          faults, a deadline storm) — zero wedges,
+#                          degraded-grid bit-identity, reconciled billing,
+#                          double-drain determinism byte-compare
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-perf]
 #                       [--skip-faults] [--skip-recovery] [--skip-sched]
-#                       [--skip-serve]
+#                       [--skip-serve] [--skip-chaos]
 # CASP_PERF_THRESHOLD tunes stage (e)'s allowed slowdown (default 0.25).
 set -euo pipefail
 
@@ -36,6 +42,7 @@ SKIP_FAULTS=0
 SKIP_RECOVERY=0
 SKIP_SCHED=0
 SKIP_SERVE=0
+SKIP_CHAOS=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
@@ -45,7 +52,8 @@ for arg in "$@"; do
     --skip-recovery) SKIP_RECOVERY=1 ;;
     --skip-sched) SKIP_SCHED=1 ;;
     --skip-serve) SKIP_SERVE=1 ;;
-    *) echo "usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-perf] [--skip-faults] [--skip-recovery] [--skip-sched] [--skip-serve]" >&2; exit 2 ;;
+    --skip-chaos) SKIP_CHAOS=1 ;;
+    *) echo "usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-perf] [--skip-faults] [--skip-recovery] [--skip-sched] [--skip-serve] [--skip-chaos]" >&2; exit 2 ;;
   esac
 done
 
@@ -140,13 +148,16 @@ fi
 if [ "$SKIP_FAULTS" = 1 ]; then
   echo "skipping fault-matrix stage (--skip-faults)"
 else
-  step "(f) fault matrix: Fault* suites across seeds"
+  step "(f) fault matrix: Fault*/ElasticSvc suites across seeds"
   # Same binaries, different deterministic fault schedules. Every seed must
   # classify each injected fault (never hang — CTest timeouts bound it).
+  # ElasticSvc moves the crashed rank / crash op with the seed too: each
+  # seed kills a different rank and the elastic job must still finish
+  # bit-identically on the survivor grid.
   for seed in 1 2 3; do
     echo "-- CASP_FAULT_SEED=$seed"
-    CASP_FAULT_SEED=$seed ctest --test-dir build/release -R '^Fault' \
-      --output-on-failure -j "$JOBS"
+    CASP_FAULT_SEED=$seed ctest --test-dir build/release \
+      -R '^Fault|^ElasticSvc' --output-on-failure -j "$JOBS"
   done
 fi
 
@@ -231,6 +242,22 @@ EOF
   grep -q '"restarts": 1' "$SERVE_DIR/reports.1.json"
   grep -q '"state": "throttled"' "$SERVE_DIR/reports.1.json"
   echo "service soak: reports byte-identical across runs"
+fi
+
+if [ "$SKIP_CHAOS" = 1 ]; then
+  echo "skipping chaos-soak stage (--skip-chaos)"
+else
+  step "(j) chaos soak: casp_chaos, 24 jobs / 3 tenants under sustained faults"
+  # The tool drains the chaos queue twice internally (double-drain
+  # determinism) plus once fault-free (the bit-identity reference), and
+  # exits nonzero on any violated gate: a wedged job, an unclassified
+  # failure, a degraded elastic job whose product diverged, a tenant whose
+  # billing does not reconcile, or reports that differ across drains.
+  CHAOS_DIR=$(mktemp -d)
+  trap 'rm -rf "${PERF_DIR:-}" "${SERVE_DIR:-}" "$CHAOS_DIR"' EXIT
+  ./build/release/tools/casp_chaos --jobs 24 --tenants 3 \
+    --seed "${CASP_FAULT_SEED:-1}" --ckpt-root "$CHAOS_DIR/ckpt" \
+    --reports "$CHAOS_DIR/reports.json"
 fi
 
 step "all gates passed"
