@@ -75,17 +75,27 @@ Json JobReport::deterministic_json() const {
   const bool recovered =
       run.has_value() && run->recovery.has_value() &&
       (run->recovery->restarts > 0 || run->recovery->resumed_generation >= 0 ||
-       run->recovery->degraded_to_ranks > 0);
+       run->recovery->degraded_to_ranks > 0 ||
+       run->recovery->regrown_to_ranks > 0);
   if (recovered) {
     // What recovery *happened* is fault-plan-determined and survives:
-    // relaunch count and the shrink shape. What it *cost* (backoff waits,
-    // resumed generation, traffic) does not.
+    // relaunch count, the shrink/regrow shapes, and the planned backoff
+    // ladder (a pure function of the attempt index). What it *cost*
+    // (measured backoff waits, resumed generation, traffic) does not.
     Json rec;
     rec.set("restarts", run->recovery->restarts);
     if (run->recovery->degraded_to_ranks > 0) {
       rec.set("degraded_from_ranks", run->recovery->degraded_from_ranks);
       rec.set("degraded_to_ranks", run->recovery->degraded_to_ranks);
     }
+    if (run->recovery->regrown_to_ranks > 0) {
+      rec.set("regrown_from_ranks", run->recovery->regrown_from_ranks);
+      rec.set("regrown_to_ranks", run->recovery->regrown_to_ranks);
+    }
+    Json plan = Json::array();
+    for (const std::int64_t us : run->recovery->backoff_plan_us)
+      plan.push_back(us);
+    rec.set("backoff_plan_us", std::move(plan));
     j.set("recovery", rec);
     j.set("billing", Json());
     j.set("run", Json());

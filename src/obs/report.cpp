@@ -129,6 +129,7 @@ RunReport build_report(const vmpi::SupervisedResult& supervised) {
     rec.failure_kinds.push_back(f.kind);
   rec.wasted_seconds = supervised.wasted_seconds;
   rec.backoff_us = supervised.backoff_us;
+  rec.backoff_plan_us = supervised.backoff_plan_us;
   for (const obs::Recorder& r : supervised.result.recorders) {
     const auto it = r.counters().find("ckpt.resumed_generation");
     if (it != r.counters().end())
@@ -174,6 +175,10 @@ Json RunReport::to_json() const {
     Json backoff = Json::array();
     for (const std::int64_t us : recovery->backoff_us) backoff.push_back(us);
     r.set("backoff_us", std::move(backoff));
+    Json plan = Json::array();
+    for (const std::int64_t us : recovery->backoff_plan_us)
+      plan.push_back(us);
+    r.set("backoff_plan_us", std::move(plan));
     if (recovery->degraded_to_ranks > 0) {
       Json d = Json::object();
       d.set("from_ranks", recovery->degraded_from_ranks);
@@ -184,6 +189,17 @@ Json RunReport::to_json() const {
       for (const int dr : recovery->dead_ranks) dead.push_back(dr);
       d.set("dead_ranks", std::move(dead));
       r.set("degraded", std::move(d));
+    }
+    if (recovery->regrown_to_ranks > 0) {
+      Json g = Json::object();
+      g.set("from_ranks", recovery->regrown_from_ranks);
+      g.set("from_layers", recovery->regrown_from_layers);
+      g.set("to_ranks", recovery->regrown_to_ranks);
+      g.set("to_layers", recovery->regrown_to_layers);
+      Json rj = Json::array();
+      for (const int rr : recovery->rejoined_ranks) rj.push_back(rr);
+      g.set("rejoined_ranks", std::move(rj));
+      r.set("regrown", std::move(g));
     }
     doc.set("recovery", std::move(r));
   }

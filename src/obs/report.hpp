@@ -78,10 +78,15 @@ struct RecoveryReport {
   /// attempt; -1 when the job restarted cold (no valid snapshot).
   std::int64_t resumed_generation = -1;
   double wasted_seconds = 0.0;
-  /// Microseconds slept before each relaunch: bounded exponential,
-  /// min(base << k, cap) per SupervisorOptions::restart_backoff_*. One
-  /// entry per restart; 0 entries when backoff is disabled (base == 0).
+  /// Microseconds *measured* asleep before each relaunch (wall clock, so
+  /// to_json() only). One entry per restart, zero when backoff is disabled.
   std::vector<std::int64_t> backoff_us;
+  /// The *planned* sleep per relaunch: the deterministic bounded-exponential
+  /// ladder min(base << k, cap) per SupervisorOptions::restart_backoff_*.
+  /// Same length as backoff_us; this half of the backoff evidence is a pure
+  /// function of the attempt index, so it belongs to the deterministic
+  /// subset (JobReport::deterministic_json).
+  std::vector<std::int64_t> backoff_plan_us;
   /// Degraded-grid recovery (svc elastic jobs): the grid shape before the
   /// first shrink and after the last, plus the pool ranks declared
   /// permanently dead. degraded_to_ranks == 0 <=> the job never shrank.
@@ -90,6 +95,16 @@ struct RecoveryReport {
   int degraded_to_ranks = 0;
   int degraded_to_layers = 0;
   std::vector<int> dead_ranks;
+  /// Grid regrowth (svc elastic jobs with membership enabled): the shape the
+  /// job was paused at and the larger shape it resumed on after probationary
+  /// ranks rejoined. regrown_to_ranks == 0 <=> the job never regrew.
+  int regrown_from_ranks = 0;
+  int regrown_from_layers = 0;
+  int regrown_to_ranks = 0;
+  int regrown_to_layers = 0;
+  /// Pool ranks that passed probation and were folded back into this job's
+  /// grid at the regrow boundary.
+  std::vector<int> rejoined_ranks;
 };
 
 struct RunReport {

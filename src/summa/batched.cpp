@@ -185,6 +185,12 @@ BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
        resume->global_cols() != b.global_cols))
     resume = nullptr;
 
+  // Cooperative pause (regrow support): counts freshly computed batches —
+  // cache-recovered ones are free and don't consume the allowance. Every
+  // input to the decision is SPMD-consistent, so all ranks pause together.
+  const Index pause_after = opts.pause_after_batches;
+  Index fresh_batches = 0;
+
   while (bi < eff_batches) {
     obs::ScopedTag batch_tag(rec, obs::ScopedTag::Kind::kBatch,
                              static_cast<int>(bi));
@@ -326,11 +332,20 @@ BatchedResult batched_summa3d(Grid3D& grid, const DistMat3D& a,
     }
 
     emit(std::move(c_piece));
+    if (pause_after > 0 && ++fresh_batches >= pause_after &&
+        bi < eff_batches) {
+      // Park at the boundary: a forced save makes the pause durable even
+      // off the regular cadence, so the resumed attempt (possibly on a
+      // different grid via redistribute_for_grid) loses nothing.
+      if (ckpt_on) save_ckpt();
+      result.paused = true;
+      break;
+    }
   }
   result.final_batches = eff_batches;
   rec.set_counter("summa.final_batches", eff_batches);
 
-  if (keep_output) {
+  if (keep_output && !result.paused) {
     // Line 7, Alg. 4: batch pieces are blocks layer*b .. layer*b + b - 1 in
     // ascending global order, so plain concatenation restores the A-style
     // layer slice of C exactly (part_low nesting: see common/math.hpp).

@@ -64,6 +64,11 @@ struct BatchedResult {
   /// Number of overrun-consensus events that forced a split. Mirrored in
   /// the run report as the `summa.rebatch_events` counter.
   Index rebatch_events = 0;
+  /// True when SummaOptions::pause_after_batches stopped the run at a batch
+  /// boundary with batches still outstanding. A forced checkpoint holds all
+  /// emitted progress; `c` is left empty. Re-running the job against the
+  /// same checkpoint directory fast-forwards past the emitted prefix.
+  bool paused = false;
 };
 
 /// The checkpoint job identity batched_summa3d stamps into its snapshots

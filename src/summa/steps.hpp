@@ -102,6 +102,14 @@ struct SummaOptions {
   /// uniformly across ranks (coverage is agreed by consensus per batch).
   /// Borrowed, not owned.
   const ckpt::ResumeCache* resume = nullptr;
+  /// Batched algorithm only: when > 0, stop after this many freshly
+  /// *computed* batches (cache-recovered batches don't count) at the next
+  /// batch boundary — force a checkpoint of everything emitted so far, set
+  /// BatchedResult::paused, and return without assembling the kept output.
+  /// The service's regrow path uses this to park an elastic job so the grid
+  /// can change shape between attempts. Must be set uniformly across ranks
+  /// (the pause decision reads only SPMD-consistent state).
+  Index pause_after_batches = 0;
 };
 
 }  // namespace casp

@@ -1,8 +1,13 @@
-// JobQueue: the service's pending-job order — strict priority, FIFO within
-// a priority, O(n) operations over a small deterministic vector. Higher
-// priority runs first; ties break on submission sequence, never on clock or
-// pointer identity, so two runs of the same submission sequence schedule
-// identically (the property the check.sh soak compares).
+// JobQueue: the service's pending-job order — deadline-aware EDF over
+// strict priority, O(n) operations over a small deterministic vector.
+//
+// Jobs carrying a deadline (JobSpec::deadline_ms > 0) form the urgent
+// class and always run before deadline-free jobs; within the class the
+// earliest deadline wins (EDF), ties break on priority then submission
+// sequence. Deadline-free jobs keep the legacy order: strict priority,
+// FIFO within a priority. Nothing breaks ties on clock or pointer
+// identity, so two runs of the same submission sequence schedule
+// identically (the property the check.sh double-drain compares).
 #pragma once
 
 #include <cstdint>
@@ -13,22 +18,22 @@ namespace casp::svc {
 
 class JobQueue {
  public:
-  void push(std::string job_id, int priority) {
-    entries_.push_back(Entry{std::move(job_id), priority, next_seq_++});
+  /// `deadline_ms` is the job's JobSpec::deadline_ms (0 = no deadline; the
+  /// job schedules in the legacy priority/FIFO class).
+  void push(std::string job_id, int priority, std::int64_t deadline_ms = 0) {
+    entries_.push_back(
+        Entry{std::move(job_id), priority, deadline_ms, next_seq_++});
   }
 
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }
 
-  /// Remove and return the id of the highest-priority (earliest-submitted
-  /// within the priority) job. Precondition: !empty().
+  /// Remove and return the id of the next job under the EDF-over-priority
+  /// order described above. Precondition: !empty().
   std::string pop() {
     std::size_t best = 0;
     for (std::size_t i = 1; i < entries_.size(); ++i) {
-      if (entries_[i].priority > entries_[best].priority ||
-          (entries_[i].priority == entries_[best].priority &&
-           entries_[i].seq < entries_[best].seq))
-        best = i;
+      if (before(entries_[i], entries_[best])) best = i;
     }
     std::string id = std::move(entries_[best].job_id);
     entries_.erase(entries_.begin() +
@@ -57,8 +62,20 @@ class JobQueue {
   struct Entry {
     std::string job_id;
     int priority;
+    std::int64_t deadline_ms;
     std::uint64_t seq;
   };
+
+  static bool before(const Entry& a, const Entry& b) {
+    const bool a_urgent = a.deadline_ms > 0;
+    const bool b_urgent = b.deadline_ms > 0;
+    if (a_urgent != b_urgent) return a_urgent;  // deadline class first
+    if (a_urgent && a.deadline_ms != b.deadline_ms)
+      return a.deadline_ms < b.deadline_ms;  // EDF within the class
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.seq < b.seq;
+  }
+
   std::vector<Entry> entries_;
   std::uint64_t next_seq_ = 0;
 };

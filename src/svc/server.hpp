@@ -23,12 +23,27 @@
 //        next job runs immediately.
 //   DONE / FAILED ── bill traffic ── release reservation
 //
-// The server is deliberately single-threaded: submit() only admits and
-// queues; the queue drains on the caller's thread inside wait()/drain().
-// Concurrency lives below, in the pool's resident ranks. This keeps every
-// scheduling decision deterministic — the property the soak test compares
-// across runs — and keeps std::thread ownership inside src/vmpi (the
-// repo's threading lint boundary).
+// Scheduling is deadline-aware EDF over priority (see svc/queue.hpp) and,
+// with ServerOptions::concurrency > 1, independent jobs dispatch onto
+// DISJOINT pool splits concurrently: drain() keeps up to K jobs in flight,
+// each on its own member set, and collects them oldest-first. Every
+// scheduling decision still happens on the caller's thread from
+// launcher-deterministic state (queue order, health map, the launcher's own
+// busy-set — never a racy "is that thread done yet" probe), so two drains
+// of the same submission sequence schedule identically — the property the
+// soak and double-drain checks compare. Health is per split: a permanent
+// crash marks only ranks of the owning job's split dead, and that job
+// shrinks onto its own survivors while its neighbours run untouched.
+//
+// With ServerOptions::auto_rejoin, membership self-heals (DESIGN.md §5k):
+// a crashed rank's replacement enters probation immediately, elastic
+// SpGEMM jobs that shrank pause at a batch boundary so the probationers
+// can handshake back in, and the next round regrows the grid — re-running
+// Eq. (2) admission for the larger shape and redistributing checkpoints
+// onto it — recording regrown_from/to evidence in the recovery report.
+//
+// std::thread ownership stays inside src/vmpi (the repo's threading lint
+// boundary); the server only launches and collects pool tickets.
 #pragma once
 
 #include <cstdint>
@@ -96,6 +111,13 @@ struct JobRecord {
   /// executed; lets clients write Chrome traces without re-running.
   vmpi::RunResult run_result;
 
+  /// Transient per-attempt pause plumbing (kSpGemm regrow path): the
+  /// scheduler arms attempt_pause before dispatching an attempt that should
+  /// park after that many fresh batches (0 = run to completion); rank 0 of
+  /// the attempt acknowledges in attempt_paused. Reset every round.
+  Index attempt_pause = 0;
+  bool attempt_paused = false;
+
   bool terminal() const { return is_terminal(state); }
 };
 
@@ -105,6 +127,17 @@ struct ServerOptions {
   int pool_ranks = 4;
   /// Per-tenant limits; tenants not listed run unlimited.
   std::map<std::string, TenantQuota> quotas;
+  /// Max jobs in flight on disjoint pool splits during drain(). 1 = the
+  /// legacy serial drain. Clamped to 1 while a CASP_VMPI_SCHED plan is
+  /// active (one deterministic-scheduler state exists per process).
+  int concurrency = 1;
+  /// Self-healing membership: a permanent crash's rank automatically
+  /// requests re-join (kDead -> kProbation), shrunk elastic SpGEMM jobs
+  /// pause at a batch boundary to handshake probationers back in, and the
+  /// grid regrows onto the admitted ranks.
+  bool auto_rejoin = false;
+  /// Probation handshake knobs used by the regrow path.
+  vmpi::MembershipOptions membership;
 };
 
 /// In-process service front end. Not thread-safe: one client drives it.
@@ -143,10 +176,33 @@ class Server {
   vmpi::RankPool& pool() { return pool_; }
 
  private:
+  /// Per-job execution state: the grid the next round runs on, the
+  /// redistributed-resume cache, the cumulative bill/recovery evidence, and
+  /// the in-flight attempt's ticket + supervision-chain accumulators.
+  /// Defined in server.cpp; the serial execute() and the concurrent drain
+  /// share it.
+  struct Exec;
+  enum class RoundStart {
+    kStarted,     ///< attempt dispatched (Exec::ticket set)
+    kTerminal,    ///< the job reached a terminal state at the round top
+    kNoCapacity,  ///< enough ranks alive, but busy on other splits — retry
+  };
+
   /// Execute the best runnable queued job, if any. Returns false when the
   /// queue made no progress (empty).
   bool step();
   void execute(JobRecord& rec);
+  /// Top-of-round grid decision (shrink / regrow / fail) + dispatch.
+  RoundStart begin_round(Exec& e);
+  /// Dispatch one attempt of the current round as an async pool ticket.
+  void start_attempt(Exec& e);
+  /// Collect the in-flight ticket and advance: relaunch the supervision
+  /// chain, start the next round, or finish the job. Leaves Exec::ticket
+  /// null exactly when the job is terminal or waiting for capacity.
+  void complete_attempt(Exec& e);
+  /// Concurrent drain: up to `width` jobs in flight on disjoint splits.
+  void drain_concurrent(int width);
+  int effective_concurrency() const;
   /// One attempt's rank-local body. `layers` and `resume` override the
   /// spec's grid shape and inject redistributed checkpoint state on
   /// degraded relaunches (resume is null on the normal path).
@@ -162,6 +218,11 @@ class Server {
   std::vector<std::string> order_;
   std::map<std::string, TenantLedger> tenants_;
   std::uint64_t next_job_ = 0;
+  /// Pool ranks held by a dispatched-but-uncollected attempt. Kept by the
+  /// launcher (not read back from slot state) so capacity decisions depend
+  /// only on launcher-visible history, never on how far a worker thread
+  /// happens to have gotten — the determinism invariant of the drain.
+  std::vector<char> busy_;
 };
 
 }  // namespace casp::svc

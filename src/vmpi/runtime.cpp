@@ -264,10 +264,21 @@ JobExec::JobExec(int size, const RunOptions& options)
     world_->sched = std::make_shared<SchedState>(*sched_plan, size);
     // Scheduler deadlock verdicts reuse the watchdog's per-rank formatter
     // (collective backtraces included) before appending their own
-    // happens-before annotations and the replay line.
-    std::shared_ptr<World> world = world_;
-    world_->sched->scheduler().set_report_builder(
-        [world, size]() { return build_deadlock_report(*world, size); });
+    // happens-before annotations and the replay line. The capture must be
+    // weak: the builder lives inside the Scheduler, which lives inside the
+    // World — a shared_ptr capture is a reference cycle and the World (rank
+    // states, payload arenas) never frees.
+    std::weak_ptr<World> world = world_;
+    world_->sched->scheduler().set_report_builder([world, size]() {
+      const std::shared_ptr<World> w = world.lock();
+      return w ? build_deadlock_report(*w, size) : std::string();
+    });
+    // Under a schedule plan the wall-clock watchdog stays off (see
+    // start_watchdog) and RunOptions::deadline_ms is enforced against the
+    // scheduler's deterministic virtual clock instead, so deadline-expiry
+    // interleavings are explorable and replay exactly.
+    if (deadline_ms_ > 0)
+      world_->sched->scheduler().arm_virtual_deadline(deadline_ms_ * 1000);
   }
 #endif
 
@@ -428,6 +439,21 @@ RunResult JobExec::finalize(bool capture_failure) {
     // launcher-thread payload teardown) and collect the run's verdicts.
     world_->sched->deactivate();
     result_.sched = world_->sched->summary();
+    // A virtual-deadline expiry is the primary verdict even when every rank
+    // limped to a clean return after the abort (yield() goes free-running
+    // instead of throwing — it sits on noexcept teardown paths). Synthesize
+    // the failure before the findings check: findings from a truncated run
+    // are secondary evidence.
+    if (result_.sched->deadline_hit && !first_error_) {
+      std::ostringstream os;
+      os << "job deadline exceeded under the deterministic scheduler: "
+         << result_.sched->virtual_us << " virtual us against a "
+         << deadline_ms_ * 1000 << " us budget\n"
+         << "  schedule: " << result_.sched->schedule << "\n"
+         << "  replay: CASP_VMPI_SCHED=\"replay=" << result_.sched->schedule
+         << "\"";
+      first_error_ = std::make_exception_ptr(DeadlineExceeded(os.str()));
+    }
     if (!result_.sched->findings.empty() && !first_error_) {
       std::ostringstream os;
       os << "casp-verify schedule violation: "
@@ -535,17 +561,26 @@ SupervisedResult supervise(
     sup.recovered_failures.push_back(*std::move(result.failure));
     // Capped exponential backoff before the relaunch (mirrors the
     // transport's retry ladder): a crash-looping job must not hammer the
-    // pool back-to-back. The wait is surfaced per attempt in the report.
-    std::int64_t wait_us = 0;
+    // pool back-to-back. Two ledgers per attempt: the deterministic PLAN
+    // (the ladder value this restart was asked to wait — schedule evidence,
+    // reproducible across runs) and the MEASURED wall-clock sleep (timing
+    // evidence, never deterministic).
+    std::int64_t plan_us = 0;
     if (options.restart_backoff_base_us > 0) {
-      wait_us = options.restart_backoff_base_us;
+      plan_us = options.restart_backoff_base_us;
       for (int i = 0;
-           i < sup.restarts && wait_us < options.restart_backoff_cap_us; ++i)
-        wait_us *= 2;
-      wait_us = std::min(wait_us, options.restart_backoff_cap_us);
-      std::this_thread::sleep_for(std::chrono::microseconds(wait_us));
+           i < sup.restarts && plan_us < options.restart_backoff_cap_us; ++i)
+        plan_us *= 2;
+      plan_us = std::min(plan_us, options.restart_backoff_cap_us);
     }
-    sup.backoff_us.push_back(wait_us);
+    std::int64_t measured_us = 0;
+    if (plan_us > 0) {
+      Stopwatch slept;
+      std::this_thread::sleep_for(std::chrono::microseconds(plan_us));
+      measured_us = static_cast<std::int64_t>(slept.seconds() * 1e6);
+    }
+    sup.backoff_plan_us.push_back(plan_us);
+    sup.backoff_us.push_back(measured_us);
     ++sup.restarts;
   }
 }

@@ -68,8 +68,11 @@ struct RunOptions {
   /// Enforced cooperatively by the watchdog thread: past the deadline every
   /// rank is woken with vmpi::Aborted and the job classifies as
   /// "deadline_exceeded" (non-recoverable — more attempts cannot make the
-  /// same budget fit). Not enforced under the deterministic scheduler,
-  /// which runs without a watchdog.
+  /// same budget fit). Under the deterministic scheduler (CASP_VMPI_SCHED
+  /// plan active) the watchdog is off and the deadline is enforced against
+  /// the scheduler's VIRTUAL clock instead — every scheduling decision
+  /// advances virtual time by a fixed quantum, so deadline-expiry
+  /// interleavings replay exactly (see Scheduler::arm_virtual_deadline).
   std::int64_t deadline_ms = 0;
 #ifdef CASP_VMPI_SCHED
   /// casp-verify schedule plan. Unset = parse the CASP_VMPI_SCHED
@@ -159,9 +162,16 @@ struct SupervisedResult {
   std::vector<FailureReport> recovered_failures;
   /// Wall-clock seconds burned by failed attempts (recovery overhead).
   double wasted_seconds = 0.0;
-  /// Backoff microseconds slept before each relaunch, in order (one entry
-  /// per restart; surfaced in the report's "recovery" section).
+  /// Wall-clock microseconds MEASURED sleeping before each relaunch, in
+  /// order (one entry per restart; surfaced in the report's "recovery"
+  /// section). Timing-dependent — never part of deterministic evidence.
   std::vector<std::int64_t> backoff_us;
+  /// The deterministic backoff *schedule*: the computed ladder value
+  /// min(base << k, cap) each restart was asked to wait, independent of how
+  /// long the sleep actually took. One entry per restart (0 when backoff is
+  /// disabled). This is the half of the backoff evidence stable enough for
+  /// JobReport::deterministic_json.
+  std::vector<std::int64_t> backoff_plan_us;
 
   bool recovered() const { return restarts > 0 && !result.failed(); }
 };

@@ -8,6 +8,7 @@
 
 #include "vmpi/check.hpp"
 #include "vmpi/comm.hpp"
+#include "vmpi/runtime.hpp"  // DeadlineExceeded (virtual-clock expiry)
 
 namespace casp::vmpi {
 
@@ -15,6 +16,12 @@ namespace {
 
 constexpr char kSchedPrefix[] = "casp-sched.v1:p";
 constexpr char kDigits[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+
+/// Virtual cost of one scheduling decision. The virtual clock is a pure
+/// decision counter — deterministic across replays by construction — scaled
+/// so RunOptions::deadline_ms budgets translate directly: a 1 ms deadline
+/// buys 10 decisions.
+constexpr std::int64_t kVirtualUsPerDecision = 100;
 
 /// Same mixer the fault plane uses: decisions depend only on (seed,
 /// decision ordinal), never on wall-clock or pointer values.
@@ -166,6 +173,28 @@ std::vector<int> Scheduler::runnable_locked() const {
 }
 
 void Scheduler::choose_locked(const std::vector<int>& runnable, int prev) {
+  // Every decision point — forced moves included — burns one quantum of
+  // virtual time. Expiry aborts the run like an error would, except blocked
+  // receivers throw DeadlineExceeded and finalize() synthesizes the same
+  // for runs that limp to completion; detach() is noexcept, so expiry can
+  // only ever be signalled through the abort reason, never thrown here.
+  virtual_us_ += kVirtualUsPerDecision;
+  if (deadline_budget_us_ >= 0 && !deadline_hit_ &&
+      virtual_us_ > deadline_budget_us_ &&
+      abort_reason_ == AbortReason::kNone) {
+    deadline_hit_ = true;
+    abort_reason_ = AbortReason::kDeadline;
+    std::ostringstream os;
+    os << "casp-verify virtual deadline exceeded: " << virtual_us_
+       << " virtual us against a " << deadline_budget_us_
+       << " us budget (" << kVirtualUsPerDecision
+       << " us per scheduling decision)\n"
+       << "  schedule: " << trace_.to_string() << "\n"
+       << "  replay: CASP_VMPI_SCHED=\"replay=" << trace_.to_string()
+       << "\"";
+    deadlock_report_ = os.str();
+    cv_.notify_all();
+  }
   int chosen;
   if (runnable.size() == 1) {
     // Forced move: not a decision, not recorded, consumes no replay choice.
@@ -261,6 +290,8 @@ void Scheduler::block_recv(int rank, std::uint64_t context, int src_world,
                            int tag) {
   std::unique_lock<std::mutex> lock(mu_);
   if (abort_reason_ == AbortReason::kError) throw Aborted();
+  if (abort_reason_ == AbortReason::kDeadline)
+    throw DeadlineExceeded(deadlock_report_);
   if (abort_reason_ == AbortReason::kDeadlock)
     throw DeadlockDetected(deadlock_report_);
   const std::size_t r = static_cast<std::size_t>(rank);
@@ -280,6 +311,8 @@ void Scheduler::block_recv(int rank, std::uint64_t context, int src_world,
            (states_[r] == RankState::kRunnable && current_ == rank);
   });
   if (abort_reason_ == AbortReason::kError) throw Aborted();
+  if (abort_reason_ == AbortReason::kDeadline)
+    throw DeadlineExceeded(deadlock_report_);
   if (abort_reason_ == AbortReason::kDeadlock)
     throw DeadlockDetected(deadlock_report_);
 }
@@ -308,6 +341,21 @@ void Scheduler::abort_all() noexcept {
 bool Scheduler::aborted() const {
   std::lock_guard<std::mutex> lock(mu_);
   return abort_reason_ != AbortReason::kNone;
+}
+
+void Scheduler::arm_virtual_deadline(std::int64_t budget_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  deadline_budget_us_ = budget_us < 0 ? -1 : budget_us;
+}
+
+std::int64_t Scheduler::virtual_now_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return virtual_us_;
+}
+
+bool Scheduler::deadline_hit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deadline_hit_;
 }
 
 void Scheduler::set_report_builder(std::function<std::string()> builder) {
@@ -432,6 +480,8 @@ SchedSummary SchedState::summary() const {
   out.trace = sched_.trace_copy();
   out.schedule = out.trace.to_string();
   out.findings = hb_.findings();
+  out.deadline_hit = sched_.deadline_hit();
+  out.virtual_us = sched_.virtual_now_us();
   return out;
 }
 

@@ -103,6 +103,13 @@ struct SchedSummary {
   std::string schedule;                 ///< replayable string for this run
   SchedTrace trace;                     ///< full decision log (exploration)
   std::vector<SchedFinding> findings;   ///< happens-before verdicts
+  /// Virtual-clock deadline verdict (arm_virtual_deadline): the run burned
+  /// its budget mid-schedule. JobExec::finalize turns this into a
+  /// "deadline_exceeded" failure when no rank error won first.
+  bool deadline_hit = false;
+  /// Virtual microseconds of scheduler time consumed
+  /// (kVirtualUsPerDecision per decision point, forced moves included).
+  std::int64_t virtual_us = 0;
 };
 
 /// The token-passing scheduler. All methods are called from rank threads;
@@ -141,6 +148,19 @@ class Scheduler {
 
   bool aborted() const;
 
+  /// Arm the VIRTUAL deadline: every scheduling decision advances a virtual
+  /// clock by kVirtualUsPerDecision microseconds, and a run whose clock
+  /// passes `budget_us` aborts with reason kDeadline — blocked receivers
+  /// throw DeadlineExceeded, running ranks free-run to teardown, and the
+  /// summary records deadline_hit. Because the clock depends only on the
+  /// decision count, deadline-expiry interleavings replay exactly (the
+  /// wall-clock watchdog stays off under a schedule plan).
+  void arm_virtual_deadline(std::int64_t budget_us);
+  /// Virtual microseconds consumed so far.
+  std::int64_t virtual_now_us() const;
+  /// True iff the armed virtual deadline expired.
+  bool deadline_hit() const;
+
   void set_analyzer(hb::Analyzer* analyzer) { analyzer_ = analyzer; }
   /// Optional richer deadlock-report body (runtime.cpp wires the PR-1
   /// watchdog formatter, which adds per-rank collective backtraces). The
@@ -152,7 +172,7 @@ class Scheduler {
 
  private:
   enum class RankState { kUnstarted, kRunnable, kBlocked, kFinished };
-  enum class AbortReason { kNone, kDeadlock, kError };
+  enum class AbortReason { kNone, kDeadlock, kError, kDeadline };
 
   struct Wait {
     std::uint64_t context = 0;
@@ -182,6 +202,9 @@ class Scheduler {
   std::size_t decision_index_ = 0;  ///< consumed replay choices
   SchedTrace trace_;
   AbortReason abort_reason_ = AbortReason::kNone;
+  std::int64_t virtual_us_ = 0;           ///< decision-count virtual clock
+  std::int64_t deadline_budget_us_ = -1;  ///< armed when >= 0
+  bool deadline_hit_ = false;
   std::string deadlock_report_;
   std::function<std::string()> report_builder_;
 };

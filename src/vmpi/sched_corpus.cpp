@@ -162,6 +162,32 @@ Program ownership_leak_program() {
   return p;
 }
 
+/// Deadline-budget program: a correct but long ping-pong whose decision
+/// count always outruns the 1 ms virtual budget (10 scheduling decisions at
+/// 100 virtual us each). Every schedule must flag "deadline_exceeded" — the
+/// deterministic analogue of a tenant blowing its JobSpec::deadline_ms.
+Program deadline_budget_program() {
+  Program p;
+  p.name = "deadline_budget";
+  p.size = 2;
+  p.buggy = true;
+  p.expected = "deadline_exceeded";
+  p.deadline_ms = 1;
+  p.body = [](Comm& c) {
+    int token = 0;
+    for (int round = 0; round < 16; ++round) {
+      if (c.rank() == 0) {
+        c.send_value<int>(1, 900 + round, token);
+        token = c.recv_value<int>(1, 940 + round);
+      } else {
+        token = c.recv_value<int>(0, 900 + round) + 1;
+        c.send_value<int>(0, 940 + round, token);
+      }
+    }
+  };
+  return p;
+}
+
 Program make(std::string name, int size, bool buggy, std::string expected,
              void (*body)(Comm&)) {
   Program p;
@@ -189,6 +215,7 @@ std::vector<Program> programs() {
                      &mutation_after_send));
   out.push_back(make("racing_sends", 3, true, "racing_send", &racing_sends));
   out.push_back(ownership_leak_program());
+  out.push_back(deadline_budget_program());
   return out;
 }
 

@@ -36,9 +36,13 @@ struct Program {
   /// (findings or a deadlock) on at least one schedule.
   bool buggy = false;
   /// What the analyzer should report, for the harness to assert on:
-  /// a finding kind ("sole_owner_race", …) or "deadlock". Empty for good
-  /// programs.
+  /// a finding kind ("sole_owner_race", …), "deadlock", or
+  /// "deadline_exceeded". Empty for good programs.
   std::string expected;
+  /// Virtual-clock deadline armed on every explored run of this program
+  /// (milliseconds; 0 = none). Programs with a deadline exercise the
+  /// scheduler's deterministic deadline-expiry interleavings.
+  std::int64_t deadline_ms = 0;
   std::function<void(Comm&)> body;
 };
 

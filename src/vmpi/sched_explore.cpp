@@ -50,10 +50,12 @@ ScheduleOutcome run_schedule(int size,
                              const std::function<void(Comm&)>& body,
                              const SchedPlan& plan,
                              const std::optional<FaultPlan>& faults,
-                             std::uint64_t fault_seed) {
+                             std::uint64_t fault_seed,
+                             std::int64_t deadline_ms) {
   RunOptions options;
   options.capture_failure = true;
   options.sched = plan;
+  options.deadline_ms = deadline_ms;  // virtual clock under a sched plan
   if (faults.has_value()) {
     FaultPlan fp = *faults;
     if (fault_seed != 0) fp.seed = fault_seed;
@@ -97,7 +99,7 @@ ExploreResult explore(const std::function<void(Comm&)>& body,
       record(run_schedule(
           options.size, body,
           SchedPlan::seeded(options.base_seed + static_cast<std::uint64_t>(i)),
-          options.faults, fs));
+          options.faults, fs, options.deadline_ms));
     }
   }
 
@@ -120,8 +122,9 @@ ExploreResult explore(const std::function<void(Comm&)>& body,
     plan.mode = SchedPlan::Mode::kReplay;
     plan.replay_size = options.size;
     plan.choices = prefix;
-    ScheduleOutcome outcome =
-        run_schedule(options.size, body, plan, std::nullopt, 0);
+    ScheduleOutcome outcome = run_schedule(options.size, body, plan,
+                                           std::nullopt, 0,
+                                           options.deadline_ms);
     const std::vector<SchedDecision>& ds = outcome.trace.decisions;
     std::vector<int> digits(ds.size(), 0);
     std::vector<int> preemptions_before(ds.size() + 1, 0);

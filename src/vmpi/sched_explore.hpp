@@ -45,6 +45,11 @@ struct ExploreOptions {
   /// empty fault_seeds runs the plan as given (or fault-free when unset).
   std::optional<FaultPlan> faults;
   std::vector<std::uint64_t> fault_seeds;
+  /// Virtual-clock deadline armed on every explored run, milliseconds
+  /// (0 = none). Expiry surfaces as a flagged "deadline_exceeded" outcome —
+  /// the budget is burned by scheduling decisions, not wall time, so the
+  /// expiring interleavings replay exactly.
+  std::int64_t deadline_ms = 0;
 };
 
 /// One explored schedule and what it produced.
@@ -76,7 +81,8 @@ struct ExploreResult {
 ScheduleOutcome run_schedule(int size, const std::function<void(Comm&)>& body,
                              const SchedPlan& plan,
                              const std::optional<FaultPlan>& faults,
-                             std::uint64_t fault_seed);
+                             std::uint64_t fault_seed,
+                             std::int64_t deadline_ms = 0);
 
 /// Full sweep per ExploreOptions. Stops early when the schedule budget is
 /// exhausted; never throws on flagged runs (they land in `flagged`).

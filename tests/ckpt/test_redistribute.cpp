@@ -1,10 +1,11 @@
 // Degraded-grid recovery: checkpoints written by one grid shape, consumed
-// by a smaller one (DESIGN.md §5j). The ResumeCache unit tests pin the
-// exact-coverage and reindexing contracts; the shrink matrix proves the
-// headline guarantee — a job relaunched on a survivor grid with
-// redistributed checkpoints produces C bit-identically (tolerance 0.0),
-// whether every batch comes from the cache (fault-free full coverage) or
-// only a prefix does (permanent crash mid-run).
+// by another (DESIGN.md §5j shrink, §5k regrow). The ResumeCache unit
+// tests pin the exact-coverage and reindexing contracts; the regrid
+// matrices prove the headline guarantee in both directions — a job
+// relaunched on a survivor OR regrown grid with redistributed checkpoints
+// produces C bit-identically (tolerance 0.0), whether every batch comes
+// from the cache (fault-free full coverage) or only a prefix does
+// (permanent crash mid-run).
 //
 // Cross-grid bit-identity of *computed* batches only holds when summation
 // order cannot matter, so these tests use integer-valued inputs (exact in
@@ -223,10 +224,12 @@ TEST(RedistributeScan, MissingOrForeignDirectoryYieldsEmptyCache) {
 }
 
 // ---------------------------------------------------------------------------
-// Fault-free shrink matrix: full coverage => every batch served from the
-// cache, zero recomputation, bit-identical output on every survivor shape.
+// Fault-free regrid matrix: full coverage => every batch served from the
+// cache, zero recomputation, bit-identical output on every target shape.
+// The cache stores global coordinates, so the same helper proves both
+// directions — shrink onto a survivor grid and regrow onto a larger one.
 
-void expect_full_coverage_shrink(int p_from, int p_to,
+void expect_full_coverage_regrid(int p_from, int p_to,
                                  const SummaOptions& base_opts,
                                  const std::string& tag) {
   const Index n = 24;
@@ -251,33 +254,33 @@ void expect_full_coverage_shrink(int p_from, int p_to,
 TEST(RedistributeShrink, SixteenToNine) {
   SummaOptions opts;
   opts.force_batches = 3;
-  expect_full_coverage_shrink(16, 9, opts, "16to9");
+  expect_full_coverage_regrid(16, 9, opts, "16to9");
 }
 
 TEST(RedistributeShrink, NineToFour) {
   SummaOptions opts;
   opts.force_batches = 3;
-  expect_full_coverage_shrink(9, 4, opts, "9to4");
+  expect_full_coverage_regrid(9, 4, opts, "9to4");
 }
 
 TEST(RedistributeShrink, FourToOne) {
   SummaOptions opts;
   opts.force_batches = 3;
-  expect_full_coverage_shrink(4, 1, opts, "4to1");
+  expect_full_coverage_regrid(4, 1, opts, "4to1");
 }
 
 TEST(RedistributeShrink, SparseCommVariant) {
   SummaOptions opts;
   opts.force_batches = 3;
   opts.sparse_comm = true;
-  expect_full_coverage_shrink(9, 4, opts, "sparse");
+  expect_full_coverage_regrid(9, 4, opts, "sparse");
 }
 
 TEST(RedistributeShrink, BlockingScheduleVariant) {
   SummaOptions opts;
   opts.force_batches = 3;
   opts.pipeline = false;
-  expect_full_coverage_shrink(9, 4, opts, "blocking");
+  expect_full_coverage_regrid(9, 4, opts, "blocking");
 }
 
 TEST(RedistributeShrink, LayeredWriterGrid) {
@@ -317,6 +320,61 @@ TEST(RedistributeShrink, MismatchedShapeCacheIsIgnored) {
   const GridRun with_cache = run_spgemm(4, 1, a, opts, "", &cache);
   testing::expect_mat_near(with_cache.c, plain.c, 0.0);
   EXPECT_EQ(counter_sum(with_cache.result, "summa.cached_batches"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Expand direction: the regrow path (DESIGN.md §5k) replays a degraded
+// grid's banked batches onto a LARGER grid — the cache coordinates are
+// global, so nothing in redistribute is direction-aware. Full coverage
+// still means zero recomputation on the bigger shape.
+
+TEST(RedistributeExpand, OneToFour) {
+  SummaOptions opts;
+  opts.force_batches = 3;
+  expect_full_coverage_regrid(1, 4, opts, "1to4");
+}
+
+TEST(RedistributeExpand, FourToNine) {
+  SummaOptions opts;
+  opts.force_batches = 3;
+  expect_full_coverage_regrid(4, 9, opts, "4to9");
+}
+
+TEST(RedistributeExpand, NineToSixteen) {
+  SummaOptions opts;
+  opts.force_batches = 3;
+  expect_full_coverage_regrid(9, 16, opts, "9to16");
+}
+
+TEST(RedistributeExpand, SixteenToFourToSixteenRoundTrip) {
+  // Shrink-then-regrow round trip: 16 banks the run, 4 consumes it while
+  // re-banking every (cached) batch into its own directory, and 16 consumes
+  // THAT. Cached batches flow through the same emit path as computed ones,
+  // so the second directory is a complete bank in the 4-grid's shape and
+  // the regrown run is fully cache-served and bit-identical.
+  SummaOptions opts;
+  opts.force_batches = 3;
+  const Index n = 24;
+  const CscMat a = integer_matrix(n, n, 3.0, 165);
+  const std::string job = summa_ckpt_job_id(n, n, n, a.nnz(), a.nnz(), "");
+  const std::string dir16 = fresh_dir("roundtrip_16");
+  const std::string dir4 = fresh_dir("roundtrip_4");
+
+  const GridRun full = run_spgemm(16, 1, a, opts, dir16, nullptr);
+  const ckpt::ResumeCache cache16 = ckpt::redistribute_for_grid(dir16, job);
+  ASSERT_TRUE(cache16.cols_covered(0, n));
+
+  const GridRun mid = run_spgemm(4, 1, a, opts, dir4, &cache16);
+  testing::expect_mat_near(mid.c, full.c, 0.0);
+  EXPECT_EQ(counter_sum(mid.result, "summa.cached_batches"),
+            static_cast<std::int64_t>(4) * mid.final_batches);
+
+  const ckpt::ResumeCache cache4 = ckpt::redistribute_for_grid(dir4, job);
+  ASSERT_TRUE(cache4.cols_covered(0, n));
+  const GridRun regrown = run_spgemm(16, 1, a, opts, "", &cache4);
+  testing::expect_mat_near(regrown.c, full.c, 0.0);
+  EXPECT_EQ(counter_sum(regrown.result, "summa.cached_batches"),
+            static_cast<std::int64_t>(16) * regrown.final_batches);
 }
 
 // ---------------------------------------------------------------------------
@@ -377,6 +435,52 @@ TEST(RecoveryRedistribute, PermCrashThenShrinkIsBitIdentical) {
   const GridRun shrunk =
       run_spgemm(p_to, 1, a, opts, "", cache.empty() ? nullptr : &cache);
   testing::expect_mat_near(shrunk.c, reference.c, 0.0);
+}
+
+TEST(RecoveryRedistribute, PermCrashThenRegrowIsBitIdentical) {
+  // The mirror drill: the SMALL grid dies mid-run and a healed pool offers
+  // a LARGER one. Partial coverage regrows — covered batches are copied,
+  // the tail recomputes on the 9-grid — and the result still equals the
+  // 4-grid's fault-free output bit-for-bit.
+  const int p_from = 4, p_to = 9;
+  const Index n = 24;
+  const CscMat a = integer_matrix(n, n, 3.0, 166);
+  SummaOptions opts;
+  opts.force_batches = 4;
+
+  const GridRun reference = run_spgemm(p_from, 1, a, opts, "", nullptr);
+
+  const std::string ck_dir = fresh_dir("perm_regrow");
+  vmpi::FaultPlan plan;
+  plan.seed = sweep_seed();
+  plan.perm_crash_rank =
+      static_cast<int>(sweep_seed() % static_cast<std::uint64_t>(p_from));
+  plan.perm_crash_op = 12 + 3 * (sweep_seed() % 5);
+  vmpi::RunOptions ropts;
+  ropts.faults = plan;
+  ropts.capture_failure = true;
+  vmpi::RunResult crashed = vmpi::run(
+      p_from,
+      [&](vmpi::Comm& world) {
+        ckpt::Checkpointer ck(ck_dir, world.rank(), /*every=*/1,
+                              &world.recorder());
+        SummaOptions copts = opts;
+        copts.ckpt = &ck;
+        Grid3D grid(world, 1);
+        const DistMat3D da = distribute_a_style(grid, a);
+        const DistMat3D db = distribute_b_style(grid, a);
+        (void)batched_summa3d<PlusTimes>(grid, da, db, 0, copts, nullptr,
+                                         /*keep_output=*/false);
+      },
+      ropts);
+  ASSERT_TRUE(crashed.failed());
+  EXPECT_EQ(crashed.failure->kind, "permanent_crash");
+
+  const ckpt::ResumeCache cache = ckpt::redistribute_for_grid(
+      ck_dir, summa_ckpt_job_id(n, n, n, a.nnz(), a.nnz(), ""));
+  const GridRun regrown =
+      run_spgemm(p_to, 1, a, opts, "", cache.empty() ? nullptr : &cache);
+  testing::expect_mat_near(regrown.c, reference.c, 0.0);
 }
 
 // ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "sparse/mm_io.hpp"
@@ -273,6 +274,177 @@ TEST(ElasticSvc, DegradedGridRefusedWhenBudgetCannotHoldIt) {
 }
 
 // ---------------------------------------------------------------------------
+// Self-healing membership (DESIGN.md §5k): with auto_rejoin the crashed
+// rank's replacement handshakes back in at a batch-boundary pause and the
+// SAME job regrows onto the healed grid, with evidence.
+
+TEST(ElasticSvc, AutoRejoinRegrowsGridWithEvidence) {
+  const int victim = static_cast<int>(fault_seed() % 9);
+
+  CscMat reference;
+  {
+    ServerOptions opts;
+    opts.pool_ranks = 9;
+    Server ref_server(opts);
+    JobSpec ref = elastic_spgemm("alice", "");
+    ref.elastic = false;
+    const JobRecord& job = ref_server.wait(ref_server.submit(std::move(ref)));
+    ASSERT_EQ(job.state, JobState::kDone) << job.reason;
+    reference = job.c;
+  }
+
+  ServerOptions opts;
+  opts.pool_ranks = 9;
+  opts.auto_rejoin = true;
+  Server server(opts);
+  JobSpec chaos = elastic_spgemm("alice", fresh_dir("regrow"));
+  chaos.fault_spec = perm_crash_spec(9, /*op_base=*/20);
+  const JobRecord& job = server.wait(server.submit(std::move(chaos)));
+  ASSERT_EQ(job.state, JobState::kDone) << job.reason;
+
+  // The victim handshook back through probation: alive again, not merely
+  // tolerated, and the pool is whole.
+  EXPECT_EQ(server.pool().health(victim), vmpi::RankHealth::kAlive);
+  EXPECT_EQ(server.pool().alive_count(), 9);
+  EXPECT_TRUE(server.pool().quarantined_ranks().empty());
+
+  // Evidence chain: shrank 9 -> 4, then regrew 4 -> 9 absorbing the
+  // rejoined rank, and both transitions are in the recovery report.
+  ASSERT_TRUE(job.report.run.has_value());
+  ASSERT_TRUE(job.report.run->recovery.has_value());
+  const obs::RecoveryReport& rec = *job.report.run->recovery;
+  EXPECT_EQ(rec.degraded_from_ranks, 9);
+  EXPECT_EQ(rec.degraded_to_ranks, 4);
+  EXPECT_EQ(rec.regrown_from_ranks, 4);
+  EXPECT_EQ(rec.regrown_to_ranks, 9);
+  EXPECT_EQ(rec.rejoined_ranks, (std::vector<int>{victim}));
+  const std::string json = job.report.run->to_json().dump();
+  EXPECT_NE(json.find("\"regrown\""), std::string::npos);
+  EXPECT_NE(json.find("\"rejoined_ranks\""), std::string::npos);
+
+  // Output promise survives the shrink/regrow round trip exactly.
+  casp::testing::expect_mat_near(job.c, reference, 0.0);
+  EXPECT_EQ(server.tenant("alice").reserved(), 0u);
+
+  // The healed pool serves the next full-width, non-elastic job.
+  JobSpec next = elastic_spgemm("bob", "");
+  next.elastic = false;
+  EXPECT_EQ(server.wait(server.submit(std::move(next))).state,
+            JobState::kDone);
+}
+
+// ---------------------------------------------------------------------------
+// Split isolation: two elastic jobs on disjoint splits of one pool; a
+// permanent crash in the second split is invisible to the first job.
+
+TEST(ElasticSvc, CrashInOneSplitDegradesOnlyThatJob) {
+  const int victim_jr = static_cast<int>(fault_seed() % 4);
+
+  CscMat reference;
+  {
+    Server ref_server(ServerOptions{});  // pool of 4
+    JobSpec ref;
+    ref.tenant = "alice";
+    ref.op = JobOp::kSpGemm;
+    ref.a = ones_er(36, 3.0, 27);
+    ref.ranks = 4;
+    const JobRecord& job = ref_server.wait(ref_server.submit(std::move(ref)));
+    ASSERT_EQ(job.state, JobState::kDone) << job.reason;
+    reference = job.c;
+  }
+
+  ServerOptions opts;
+  opts.pool_ranks = 8;
+  opts.concurrency = 2;
+  Server server(opts);
+
+  // Same priority => FIFO: "calm" takes pool ranks {0..3}, "storm" takes
+  // {4..7}, so the storm's job-world victim maps to pool rank 4 + jr.
+  JobSpec calm;
+  calm.tenant = "alice";
+  calm.op = JobOp::kSpGemm;
+  calm.a = ones_er(36, 3.0, 27);
+  calm.ranks = 4;
+  const std::string calm_id = server.submit(std::move(calm));
+
+  JobSpec storm;
+  storm.tenant = "bob";
+  storm.op = JobOp::kSpGemm;
+  storm.a = ones_er(36, 3.0, 27);
+  storm.ranks = 4;
+  storm.elastic = true;
+  storm.fault_spec = perm_crash_spec(4, /*op_base=*/10);
+  const std::string storm_id = server.submit(std::move(storm));
+
+  server.drain();
+
+  const JobRecord* calm_rec = server.find(calm_id);
+  const JobRecord* storm_rec = server.find(storm_id);
+  ASSERT_NE(calm_rec, nullptr);
+  ASSERT_NE(storm_rec, nullptr);
+
+  // The calm job never noticed: done, no recovery evidence, exact output.
+  ASSERT_EQ(calm_rec->state, JobState::kDone) << calm_rec->reason;
+  ASSERT_TRUE(calm_rec->report.run.has_value());
+  EXPECT_FALSE(calm_rec->report.run->recovery.has_value());
+  casp::testing::expect_mat_near(calm_rec->c, reference, 0.0);
+
+  // The storm job survived its own crash elastically, with the same bits.
+  ASSERT_EQ(storm_rec->state, JobState::kDone) << storm_rec->reason;
+  casp::testing::expect_mat_near(storm_rec->c, reference, 0.0);
+
+  // Exactly one pool rank died, and it is in the storm's split.
+  EXPECT_EQ(server.pool().alive_count(), 7);
+  EXPECT_EQ(server.pool().health(4 + victim_jr), vmpi::RankHealth::kDead);
+  for (int r = 0; r < 4; ++r)
+    EXPECT_EQ(server.pool().health(r), vmpi::RankHealth::kAlive) << r;
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent drain determinism: the K=2 drain is byte-identical run to run
+// AND byte-identical to the serial drain (launcher-deterministic
+// scheduling; reports keyed by submission order, not completion order).
+
+void submit_mixed_fleet(Server& server) {
+  for (int i = 0; i < 6; ++i) {
+    JobSpec s;
+    s.tenant = (i % 2 == 0) ? "alice" : "bob";
+    s.op = JobOp::kSpGemm;
+    s.a = ones_er(36, 3.0, 31 + static_cast<std::uint64_t>(i % 3));
+    s.ranks = 4;
+    s.priority = i % 3;
+    if (i == 2) s.deadline_ms = 60000;  // urgent class, generous budget
+    if (i == 4) {
+      s.fault_spec = "seed=5;crash_rank=1;crash_op=15";
+      s.max_restarts = 2;  // supervised: one transient crash, then done
+    }
+    server.submit(std::move(s));
+  }
+}
+
+TEST(ConcurrentSvc, DoubleDrainByteIdenticalAndMatchesSerial) {
+  const auto drain_to_json = [](int concurrency) {
+    ServerOptions opts;
+    opts.pool_ranks = 9;
+    opts.concurrency = concurrency;
+    Server server(opts);
+    submit_mixed_fleet(server);
+    server.drain();
+    for (const std::string& id : server.job_ids())
+      EXPECT_EQ(server.find(id)->state, JobState::kDone)
+          << id << ": " << server.find(id)->reason;
+    return server.job_reports_json(/*deterministic=*/true).dump();
+  };
+  const std::string k2_first = drain_to_json(2);
+  const std::string k2_second = drain_to_json(2);
+  const std::string serial = drain_to_json(1);
+  EXPECT_EQ(k2_first, k2_second) << "K=2 drain must be deterministic";
+  EXPECT_EQ(k2_first, serial) << "concurrency must not change the reports";
+  // The supervised job's restart survived the concurrent path.
+  EXPECT_NE(k2_first.find("\"restarts\":1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 
 TEST(DeadlineSvc, ExpiredDeadlineFailsJobAndReleasesReservation) {
   Server server(ServerOptions{});
@@ -324,6 +496,22 @@ TEST(DeadlineSvc, NegativeDeadlineIsAValidationError) {
   spec.a = ones_er(36, 3.0, 30);
   spec.deadline_ms = -1;
   EXPECT_THROW(server.submit(std::move(spec)), InvalidArgument);
+}
+
+TEST(DeadlineSvc, QueueOrderIsEdfOverPriority) {
+  // The full order: urgent class (deadline > 0) first, EDF within it,
+  // priority breaking deadline ties; then the legacy strict-priority /
+  // FIFO order for deadline-free jobs.
+  JobQueue q;
+  q.push("a", /*priority=*/0);
+  q.push("b", /*priority=*/2);
+  q.push("c", /*priority=*/0, /*deadline_ms=*/500);
+  q.push("d", /*priority=*/1, /*deadline_ms=*/100);
+  q.push("e", /*priority=*/5, /*deadline_ms=*/500);
+  q.push("f", /*priority=*/0);
+  std::vector<std::string> popped;
+  while (!q.empty()) popped.push_back(q.pop());
+  EXPECT_EQ(popped, (std::vector<std::string>{"d", "e", "c", "b", "a", "f"}));
 }
 
 }  // namespace

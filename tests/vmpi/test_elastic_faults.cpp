@@ -227,9 +227,15 @@ TEST(FaultBackoff, LadderDoublesFromBaseAndCaps) {
       sup_opts);
   ASSERT_FALSE(sup.result.failed()) << sup.result.failure->describe();
   ASSERT_EQ(sup.restarts, 2);
+  // The PLAN ladder is exact (deterministic evidence); the MEASURED sleep
+  // is wall clock and only bounded below (sleep_for sleeps at least the
+  // requested time).
+  ASSERT_EQ(sup.backoff_plan_us.size(), 2u);
+  EXPECT_EQ(sup.backoff_plan_us[0], 500);
+  EXPECT_EQ(sup.backoff_plan_us[1], 1000);
   ASSERT_EQ(sup.backoff_us.size(), 2u);
-  EXPECT_EQ(sup.backoff_us[0], 500);
-  EXPECT_EQ(sup.backoff_us[1], 1000);
+  EXPECT_GE(sup.backoff_us[0], 500);
+  EXPECT_GE(sup.backoff_us[1], 1000);
 }
 
 TEST(FaultBackoff, CapClampsAndZeroBaseDisables) {
@@ -251,9 +257,12 @@ TEST(FaultBackoff, CapClampsAndZeroBaseDisables) {
       },
       sup_opts);
   ASSERT_FALSE(sup.result.failed()) << sup.result.failure->describe();
+  ASSERT_EQ(sup.backoff_plan_us.size(), 2u);
+  EXPECT_EQ(sup.backoff_plan_us[0], 1000);
+  EXPECT_EQ(sup.backoff_plan_us[1], 1500);  // clamped, not 2000
   ASSERT_EQ(sup.backoff_us.size(), 2u);
-  EXPECT_EQ(sup.backoff_us[0], 1000);
-  EXPECT_EQ(sup.backoff_us[1], 1500);  // clamped, not 2000
+  EXPECT_GE(sup.backoff_us[0], 1000);
+  EXPECT_GE(sup.backoff_us[1], 1500);
 
   sup_opts.restart_backoff_base_us = 0;  // disabled: no sleep, entries 0
   vmpi::SupervisedResult fast = vmpi::run_supervised(
@@ -264,6 +273,9 @@ TEST(FaultBackoff, CapClampsAndZeroBaseDisables) {
       },
       sup_opts);
   ASSERT_FALSE(fast.result.failed());
+  ASSERT_EQ(fast.backoff_plan_us.size(), 2u);
+  EXPECT_EQ(fast.backoff_plan_us[0], 0);
+  EXPECT_EQ(fast.backoff_plan_us[1], 0);
   ASSERT_EQ(fast.backoff_us.size(), 2u);
   EXPECT_EQ(fast.backoff_us[0], 0);
   EXPECT_EQ(fast.backoff_us[1], 0);

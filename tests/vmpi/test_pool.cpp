@@ -143,5 +143,139 @@ TEST(Pool, InvalidSizeThrows) {
   EXPECT_THROW(RankPool(0), std::logic_error);
 }
 
+// -- Membership lifecycle (DESIGN.md §5k) ------------------------------------
+
+TEST(Pool, MembershipEdgesAndRejoinGuards) {
+  RankPool pool(4);
+  EXPECT_EQ(pool.health(2), RankHealth::kAlive);
+  // Re-join is only legal from the dead state.
+  EXPECT_FALSE(pool.request_rejoin(2));
+  pool.mark_dead(2);
+  EXPECT_EQ(pool.health(2), RankHealth::kDead);
+  EXPECT_EQ(pool.alive_count(), 3);
+  EXPECT_TRUE(pool.request_rejoin(2));
+  EXPECT_EQ(pool.health(2), RankHealth::kProbation);
+  // Probationary ranks are not yet schedulable.
+  EXPECT_EQ(pool.alive_count(), 3);
+  EXPECT_EQ(pool.probation_ranks(), (std::vector<int>{2}));
+  // A second request while already in probation is refused, and
+  // out-of-range ranks are ignored.
+  EXPECT_FALSE(pool.request_rejoin(2));
+  EXPECT_FALSE(pool.request_rejoin(17));
+}
+
+TEST(Pool, ProbationHandshakeAdmitsHealthyReplacement) {
+  RankPool pool(4);
+  pool.mark_dead(1);
+  ASSERT_TRUE(pool.request_rejoin(1));
+  const std::vector<int> admitted = pool.admit_probationers();
+  EXPECT_EQ(admitted, (std::vector<int>{1}));
+  EXPECT_EQ(pool.health(1), RankHealth::kAlive);
+  EXPECT_EQ(pool.alive_count(), 4);
+  EXPECT_EQ(pool.probation_failures(1), 0);
+  // The readmitted rank does real work again on the full gang.
+  const RunResult ok = pool.run_job(
+      [](Comm& comm) { EXPECT_EQ(comm.allreduce_sum<int>(1), 4); });
+  EXPECT_FALSE(ok.failed());
+}
+
+TEST(Pool, FlappingReplacementQuarantinedAfterMaxFailures) {
+  RankPool pool(4);
+  MembershipOptions membership;
+  membership.max_failures = 3;
+  membership.corrupt = [](int rank, int) { return rank == 3; };
+  pool.mark_dead(3);
+  ASSERT_TRUE(pool.request_rejoin(3));
+  for (int strike = 1; strike <= 3; ++strike) {
+    EXPECT_TRUE(pool.admit_probationers(membership).empty());
+    EXPECT_EQ(pool.probation_failures(3), strike);
+  }
+  EXPECT_EQ(pool.health(3), RankHealth::kQuarantined);
+  EXPECT_EQ(pool.quarantined_ranks(), (std::vector<int>{3}));
+  // Quarantine is terminal: no way back through rejoin, and the admit
+  // sweep no longer considers the rank.
+  EXPECT_FALSE(pool.request_rejoin(3));
+  EXPECT_TRUE(pool.admit_probationers(membership).empty());
+  EXPECT_EQ(pool.health(3), RankHealth::kQuarantined);
+  EXPECT_EQ(pool.alive_count(), 3);
+}
+
+TEST(Pool, FlakyReplacementAdmittedOnceCorruptionStops) {
+  // Two strikes, then a clean handshake: the rank re-enters below the
+  // quarantine threshold, with its strike history retained.
+  RankPool pool(4);
+  MembershipOptions membership;
+  membership.max_failures = 3;
+  int flaky_attempts = 2;
+  membership.corrupt = [&flaky_attempts](int, int) {
+    return flaky_attempts-- > 0;
+  };
+  pool.mark_dead(0);
+  ASSERT_TRUE(pool.request_rejoin(0));
+  EXPECT_TRUE(pool.admit_probationers(membership).empty());
+  EXPECT_TRUE(pool.admit_probationers(membership).empty());
+  EXPECT_EQ(pool.admit_probationers(membership), (std::vector<int>{0}));
+  EXPECT_EQ(pool.health(0), RankHealth::kAlive);
+  EXPECT_EQ(pool.probation_failures(0), 2);
+}
+
+// -- Disjoint split dispatch -------------------------------------------------
+
+TEST(Pool, DisjointSplitsRunConcurrently) {
+  RankPool pool(4);
+  std::atomic<bool> a_ready{false};
+  std::atomic<bool> b_ready{false};
+  // Each split's job rendezvouses with the OTHER split's job before its
+  // own barrier: only possible when both splits genuinely run at once.
+  const JobTicketPtr ticket_a = pool.start_job_on({0, 1}, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 2);
+    if (comm.rank() == 0) a_ready.store(true);
+    while (!b_ready.load()) std::this_thread::yield();
+    comm.barrier();
+  });
+  const JobTicketPtr ticket_b = pool.start_job_on({2, 3}, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 2);
+    if (comm.rank() == 0) b_ready.store(true);
+    while (!a_ready.load()) std::this_thread::yield();
+    comm.barrier();
+  });
+  const RunResult ra = pool.finish_job(ticket_a);
+  const RunResult rb = pool.finish_job(ticket_b);
+  EXPECT_FALSE(ra.failed());
+  EXPECT_FALSE(rb.failed());
+  EXPECT_EQ(ra.size, 2);
+  EXPECT_EQ(rb.size, 2);
+}
+
+TEST(Pool, SplitJobSeesDenseJobWorld) {
+  // members[i] backs job-world rank i: a job on pool ranks {1, 3} runs a
+  // 2-rank world, bit-identical to the same body on any other split.
+  RankPool pool(4);
+  const auto body = [](Comm& comm) {
+    const std::vector<int> all = comm.allgather_vec<int>({comm.rank() * 10});
+    EXPECT_EQ(all, (std::vector<int>{0, 10}));
+  };
+  const RunResult high = pool.finish_job(pool.start_job_on({1, 3}, body));
+  const RunResult low = pool.finish_job(pool.start_job_on({0, 1}, body));
+  EXPECT_FALSE(high.failed());
+  EXPECT_FALSE(low.failed());
+}
+
+TEST(Pool, OverlappingSplitDispatchThrows) {
+  RankPool pool(4);
+  std::atomic<bool> release{false};
+  const JobTicketPtr ticket = pool.start_job_on({1, 2}, [&](Comm&) {
+    while (!release.load()) std::this_thread::yield();
+  });
+  // Rank 2 is mid-job on the first split: dispatching onto it must fail,
+  // as must unsorted or duplicated member lists.
+  EXPECT_THROW(pool.start_job_on({2, 3}, [](Comm&) {}), std::logic_error);
+  EXPECT_THROW(pool.start_job_on({3, 0}, [](Comm&) {}), std::logic_error);
+  EXPECT_THROW(pool.start_job_on({0, 0}, [](Comm&) {}), std::logic_error);
+  release.store(true);
+  EXPECT_FALSE(pool.finish_job(ticket).failed());
+  EXPECT_EQ(pool.idle_ranks(), (std::vector<int>{0, 1, 2, 3}));
+}
+
 }  // namespace
 }  // namespace casp::vmpi

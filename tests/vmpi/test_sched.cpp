@@ -187,6 +187,49 @@ TEST(SchedExplore, GoodTwinStaysCleanOnEverySchedule) {
   EXPECT_TRUE(r.clean()) << r.flagged.front().failure_what;
 }
 
+// -- virtual-clock deadlines -------------------------------------------------
+
+TEST(SchedDeadline, BudgetProgramFlagsOnExploredSchedules) {
+  // The corpus program burns more virtual time than its 1 ms budget on any
+  // interleaving, so exploration must surface deadline_exceeded — the
+  // deterministic analogue of a tenant blowing JobSpec::deadline_ms.
+  const corpus::Program p = prog("deadline_budget");
+  ASSERT_EQ(p.expected, "deadline_exceeded");
+  ASSERT_GT(p.deadline_ms, 0);
+  ExploreOptions opt;
+  opt.size = p.size;
+  opt.random_schedules = 16;
+  opt.max_schedules = 32;
+  opt.deadline_ms = p.deadline_ms;
+  const ExploreResult r = explore(p.body, opt);
+  const ScheduleOutcome* hit = r.first_with("deadline_exceeded");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_FALSE(hit->schedule.empty());
+}
+
+TEST(SchedDeadline, VirtualExpiryReplaysExactly) {
+  // The virtual clock advances per scheduling decision, not per wall-clock
+  // tick: replaying the recorded schedule string expires the deadline at
+  // the same decision and reproduces the diagnostic byte for byte.
+  const corpus::Program p = prog("deadline_budget");
+  const ScheduleOutcome first = run_schedule(
+      p.size, p.body, SchedPlan::seeded(9), std::nullopt, 0, p.deadline_ms);
+  EXPECT_EQ(first.failure_kind, "deadline_exceeded");
+  const ScheduleOutcome again =
+      run_schedule(p.size, p.body, SchedPlan::parse(first.schedule),
+                   std::nullopt, 0, p.deadline_ms);
+  EXPECT_EQ(again.schedule, first.schedule);
+  EXPECT_EQ(again.failure_kind, first.failure_kind);
+  EXPECT_EQ(again.failure_what, first.failure_what);
+}
+
+TEST(SchedDeadline, UnarmedClockNeverExpires) {
+  const corpus::Program p = prog("deadline_budget");
+  const ScheduleOutcome o =
+      run_schedule(p.size, p.body, SchedPlan::seeded(9), std::nullopt, 0);
+  EXPECT_NE(o.failure_kind, "deadline_exceeded") << o.failure_what;
+}
+
 TEST(SchedExplore, LostWakeupDeadlockNamesConsumedMessages) {
   // Receiving the same message twice: the second receive can never be
   // satisfied, and the analyzer should say WHY — the matching message was

@@ -22,8 +22,21 @@
 //   5. double-drain determinism: two independent servers fed the same specs
 //      produce byte-identical deterministic per-job reports.
 //
+// --churn turns the soak into the ISSUE-10 membership storm: the server
+// runs with auto_rejoin, so every permanent crash immediately requests
+// re-join (kill -> replace -> probation), and the membership corrupt hook
+// models one flapping replacement — the rank `seed % 9`, whose handshake
+// echo is corrupted on every probation attempt. Extra gates:
+//
+//   6. at least one elastic job healed all the way: paused at a batch
+//      boundary, re-admitted its crashed rank, and REGREW its grid
+//      (recovery.regrown_to_ranks > regrown_from_ranks), still finishing
+//      bit-identical to the fault-free reference under gate 3;
+//   7. the flapping rank failed probation max_failures times and sits in
+//      quarantine when the drain ends — and nothing else does.
+//
 // Usage:
-//   casp_chaos [--jobs N] [--tenants T] [--seed S]
+//   casp_chaos [--jobs N] [--tenants T] [--seed S] [--churn]
 //              [--ckpt-root DIR] [--reports FILE]
 //
 // Defaults: 24 jobs, 3 tenants, seed 1 (check.sh stage (j) sweeps seeds).
@@ -58,7 +71,8 @@ void check(bool ok, const std::string& what) {
 
 void usage() {
   std::cerr << "usage: casp_chaos [--jobs N] [--tenants T] [--seed S]\n"
-               "                  [--ckpt-root DIR] [--reports FILE]\n";
+               "                  [--churn] [--ckpt-root DIR] "
+               "[--reports FILE]\n";
 }
 
 std::string tenant_name(int k) {
@@ -233,6 +247,7 @@ int main(int argc, char** argv) {
   int jobs = 24;
   int tenants = 3;
   std::uint64_t seed = 1;
+  bool churn = false;
   std::string ckpt_root, reports_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -251,6 +266,8 @@ int main(int argc, char** argv) {
         tenants = std::stoi(next("--tenants"));
       } else if (arg == "--seed") {
         seed = static_cast<std::uint64_t>(std::stoull(next("--seed")));
+      } else if (arg == "--churn") {
+        churn = true;
       } else if (arg == "--ckpt-root") {
         ckpt_root = next("--ckpt-root");
       } else if (arg == "--reports") {
@@ -288,6 +305,19 @@ int main(int argc, char** argv) {
   try {
     svc::ServerOptions server_opts;
     server_opts.pool_ranks = 9;
+    // Membership storm: permanent crashes auto-request re-join, and the
+    // rank `seed % 9` flaps — its probation handshake echo is corrupted on
+    // every attempt, so it must end the drain quarantined. The fault plan
+    // guarantees that rank is the first shape-6 job's crash victim, and the
+    // second shape-6 victim (a different rank mod 9) re-joins cleanly and
+    // lets its job regrow.
+    const int flap_rank = static_cast<int>(seed % 9);
+    if (churn) {
+      server_opts.auto_rejoin = true;
+      server_opts.membership.corrupt = [flap_rank](int rank, int) {
+        return rank == flap_rank;
+      };
+    }
 
     // ---- Drain 1: the chaos queue whose outcomes we inspect. -------------
     ChaosPlan plan =
@@ -299,7 +329,7 @@ int main(int argc, char** argv) {
 
     // Gate 1: zero wedges — every job terminal, failures classified.
     int done = 0, failed = 0;
-    int restarts = 0, degraded = 0;
+    int restarts = 0, degraded = 0, regrown = 0;
     std::int64_t checksum_rejects = 0;
     for (const std::string& id : ids) {
       const svc::JobRecord* job = server.find(id);
@@ -318,6 +348,9 @@ int main(int argc, char** argv) {
       if (job->report.run && job->report.run->recovery &&
           job->report.run->recovery->degraded_to_ranks > 0)
         ++degraded;
+      if (job->report.run && job->report.run->recovery &&
+          job->report.run->recovery->regrown_to_ranks > 0)
+        ++regrown;
       std::cout << id << " tenant=" << job->spec.tenant
                 << " op=" << to_string(job->spec.op)
                 << " state=" << to_string(job->state);
@@ -327,6 +360,11 @@ int main(int argc, char** argv) {
           job->report.run->recovery->degraded_to_ranks > 0)
         std::cout << " degraded_to="
                   << job->report.run->recovery->degraded_to_ranks;
+      if (job->report.run && job->report.run->recovery &&
+          job->report.run->recovery->regrown_to_ranks > 0)
+        std::cout << " regrown="
+                  << job->report.run->recovery->regrown_from_ranks << "->"
+                  << job->report.run->recovery->regrown_to_ranks;
       if (!job->reason.empty()) std::cout << " (" << job->reason << ")";
       std::cout << "\n";
     }
@@ -360,6 +398,33 @@ int main(int argc, char** argv) {
     }
     if (!plan.corrupt_id.empty())
       check(checksum_rejects >= 1, "checksum caught no corrupted payload");
+
+    // Gates 6 + 7 (churn only): the membership storm must have produced a
+    // full kill -> replace -> rejoin -> regrow cycle, and the flapping
+    // replacement must sit in quarantine — alone.
+    if (churn && plan.perm_ids.size() >= 2) {
+      check(regrown >= 1,
+            "churn: no job re-admitted its crashed rank and regrew its grid");
+      for (const std::string& id : plan.perm_ids) {
+        const svc::JobRecord* job = server.find(id);
+        if (job == nullptr || !job->report.run || !job->report.run->recovery)
+          continue;
+        const obs::RecoveryReport& rec = *job->report.run->recovery;
+        if (rec.regrown_to_ranks > 0) {
+          check(rec.regrown_to_ranks > rec.regrown_from_ranks,
+                id + " regrow evidence is not an expansion");
+          check(!rec.rejoined_ranks.empty(),
+                id + " regrew without recording the re-joined ranks");
+        }
+      }
+      const std::vector<int> quarantined = server.pool().quarantined_ranks();
+      check(quarantined == std::vector<int>{flap_rank},
+            "churn: expected exactly rank " + std::to_string(flap_rank) +
+                " (the flapping replacement) in quarantine");
+      check(server.pool().probation_failures(flap_rank) >=
+                server_opts.membership.max_failures,
+            "churn: flapping rank quarantined before max_failures strikes");
+    }
 
     // Gate 3: surviving-output bit-identity against stripped specs on a
     // fresh healthy server (tolerance 0.0 — integer inputs make this
@@ -429,9 +494,10 @@ int main(int argc, char** argv) {
 
     fs::remove_all(ckpt_root);
     std::cout << "casp_chaos: " << jobs << " jobs, " << tenants
-              << " tenants, seed " << seed << " — " << done << " done, "
-              << failed << " failed (classified), " << restarts
-              << " restarts, " << degraded << " degraded, "
+              << " tenants, seed " << seed << (churn ? " (churn)" : "")
+              << " — " << done << " done, " << failed
+              << " failed (classified), " << restarts << " restarts, "
+              << degraded << " degraded, " << regrown << " regrown, "
               << checksum_rejects << " checksum rejects\n";
     if (failures == 0) {
       std::cout << "CHAOS SOAK: PASS\n";

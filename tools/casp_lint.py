@@ -95,6 +95,22 @@ test (see tests/CMakeLists.txt). Rules:
                   retried would quietly stop being retried. Comparisons
                   (`kind == "..."`) are reads, not introductions, and do
                   not count.
+  health-transition-classified
+                  In src/, every RankHealth state write
+                  (`... = RankHealth::k<State>`) must happen inside
+                  RankPool::transition — the single write site that
+                  validates the membership state machine's legal edges
+                  (alive->suspect/dead, suspect->alive/dead,
+                  dead->probation, probation->alive/dead/probation/
+                  quarantined; quarantine terminal). A bare assignment
+                  anywhere else can fabricate an illegal edge — e.g.
+                  resurrect a quarantined flapper straight to alive,
+                  skipping the probation handshake. Comparisons
+                  (`== / !=`) are reads and do not count, and the
+                  whole-vector construction reset
+                  `health_.assign(n, RankHealth::kAlive)` (before any
+                  edge exists) stays allowed: it carries no `=` into the
+                  enum token.
 
 Waivers (use sparingly, justify in a comment on the same line):
   // casp-lint: allow(<rule>)        — waives <rule> on this or next line
@@ -179,6 +195,14 @@ KIND_ASSIGN_RE = re.compile(r'\bkind\s*=(?!=)\s*"([a-z_]+)"')
 KIND_TABLE_ENTRY_RE = re.compile(r'\{\s*"([a-z_]+)"\s*,\s*(?:true|false)\s*\}')
 KIND_TABLE_NAME = "kKindTable"
 KIND_TABLE_FILE = "src/vmpi/runtime.cpp"
+
+# A RankHealth state write: `= RankHealth::k<State>` where the `=` is a
+# plain assignment (the lookarounds drop `==`, `!=`, `<=`, `>=`). The
+# `.assign(n, RankHealth::kAlive)` construction reset never matches: the
+# enum token there follows a comma, not an `=`.
+HEALTH_ASSIGN_RE = re.compile(r"(?<![=!<>])=(?!=)\s*RankHealth::k\w+")
+# The one sanctioned write site; its brace-matched body is exempt.
+TRANSITION_DEF_RE = re.compile(r"\bRankPool::transition\s*\(")
 
 # A collective call on a Comm (or sub-Comm): receiver-dotted so plain
 # helper functions named e.g. `barrier_us` don't trip the rule.
@@ -340,6 +364,7 @@ class Linter:
                                                  waived)
             self.check_failure_kind_classified(
                 rel, strip_code(text, keep_strings=True), waived)
+            self.check_health_transition_classified(rel, code_text, waived)
         self.check_cast_pairing(rel, code_lines, waived)
         self.check_empty_catch(rel, code_text, waived)
         self.check_payload_ownership(rel, code_lines, waived)
@@ -527,6 +552,49 @@ class Linter:
                 f"{KIND_TABLE_NAME} ({KIND_TABLE_FILE}) — "
                 "recoverable_failure() silently treats unlisted kinds as "
                 "non-recoverable; add it to the classification table")
+
+    @staticmethod
+    def _transition_bodies(code_text):
+        """[start, end) character ranges of RankPool::transition definition
+        bodies — the sanctioned RankHealth write site. Declarations and the
+        unqualified calls inside pool.cpp don't match the qualified name."""
+        regions = []
+        for m in TRANSITION_DEF_RE.finditer(code_text):
+            brace = code_text.find("{", m.end())
+            if brace == -1:
+                continue
+            depth = 0
+            end = len(code_text)
+            for j in range(brace, len(code_text)):
+                if code_text[j] == "{":
+                    depth += 1
+                elif code_text[j] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        end = j
+                        break
+            regions.append((brace, end))
+        return regions
+
+    def check_health_transition_classified(self, rel, code_text, waived):
+        matches = list(HEALTH_ASSIGN_RE.finditer(code_text))
+        if not matches:
+            return
+        bodies = self._transition_bodies(code_text)
+        for m in matches:
+            if any(lo <= m.start() < hi for lo, hi in bodies):
+                continue
+            idx = code_text.count("\n", 0, m.start())
+            if waived("health-transition-classified", idx):
+                continue
+            self.error(
+                rel, idx + 1, "health-transition-classified",
+                "RankHealth state written outside RankPool::transition — "
+                "the transition function is the single write site that "
+                "validates the membership state machine's legal edges; a "
+                "bare assignment can fabricate an illegal edge (e.g. "
+                "resurrect a quarantined rank past the probation "
+                "handshake)")
 
     def check_cast_pairing(self, rel, code_lines, waived):
         for idx, line in enumerate(code_lines):

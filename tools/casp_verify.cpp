@@ -178,8 +178,8 @@ int main(int argc, char** argv) {
       const casp::vmpi::corpus::Program p =
           casp::vmpi::corpus::find(names[0]);
       const SchedPlan plan = SchedPlan::parse(replay);
-      const ScheduleOutcome o =
-          casp::vmpi::run_schedule(p.size, p.body, plan, faults, 0);
+      const ScheduleOutcome o = casp::vmpi::run_schedule(
+          p.size, p.body, plan, faults, 0, p.deadline_ms);
       std::printf("%s under %s:\n", p.name.c_str(), plan.describe().c_str());
       print_outcome(o, "  ");
       return o.flagged() ? 1 : 0;
@@ -204,6 +204,7 @@ int main(int argc, char** argv) {
       opt.max_schedules = static_cast<int>(max_schedules);
       opt.faults = faults;
       opt.fault_seeds = fault_seeds;
+      opt.deadline_ms = p.deadline_ms;  // virtual-clock budget, if any
       const ExploreResult r = casp::vmpi::explore(p.body, opt);
 
       if (p.buggy) {

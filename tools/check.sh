@@ -19,13 +19,19 @@
 #   (i) service soak       spgemm_serve drains a mixed SpGEMM/MCL multi-
 #                          tenant queue (one crashing tenant) twice on a
 #                          resident pool; the per-job deterministic reports
-#                          must be byte-identical across the two runs
+#                          must be byte-identical across the two runs.
+#                          Then a mixed-deadline queue drains at
+#                          --concurrency 2 (EDF over disjoint 9-rank pool
+#                          splits) twice plus once serially — all three
+#                          report files must be byte-identical
 #   (j) chaos soak         casp_chaos: >= 20 jobs from 3 tenants under
 #                          sustained seeded faults (delays, transient sends,
 #                          corruption, transient + permanent crashes, alloc
 #                          faults, a deadline storm) — zero wedges,
 #                          degraded-grid bit-identity, reconciled billing,
-#                          double-drain determinism byte-compare
+#                          double-drain determinism byte-compare; then the
+#                          --churn membership storm (auto-rejoin, regrow,
+#                          flapper quarantine) swept over seeds 1-3
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-perf]
 #                       [--skip-faults] [--skip-recovery] [--skip-sched]
@@ -242,6 +248,48 @@ EOF
   grep -q '"restarts": 1' "$SERVE_DIR/reports.1.json"
   grep -q '"state": "throttled"' "$SERVE_DIR/reports.1.json"
   echo "service soak: reports byte-identical across runs"
+
+  # Deadline-aware concurrent drain: a mixed-deadline 3-tenant queue on a
+  # 9-rank pool with up to 2 jobs in flight on disjoint splits. EDF
+  # ordering is exercised by the deadline_ms jobs (budgets generous enough
+  # that the watchdog never fires); the supervised crash job recovers on
+  # its own split. Drained twice at K=2 (byte-identical deterministic
+  # reports) and once serially — the concurrent drain must reproduce the
+  # serial drain's reports byte-for-byte, billing included.
+  cat > "$SERVE_DIR/jobs_edf.json" <<'EOF'
+[
+  {"tenant": "alice", "op": "spgemm",
+   "a": {"kind": "er", "er": {"nrows": 56, "ncols": 56, "nnz_per_col": 3.0, "seed": 100}},
+   "ranks": 4, "memory_bytes": 16777216},
+  {"tenant": "bob", "op": "mcl", "priority": 2,
+   "a": {"kind": "protein", "protein": {"n": 40, "seed": 200}},
+   "ranks": 4, "mcl": {"max_iterations": 5}},
+  {"tenant": "chaos", "op": "spgemm", "deadline_ms": 60000,
+   "a": {"kind": "er", "er": {"nrows": 48, "ncols": 48, "nnz_per_col": 3.0, "seed": 400}},
+   "ranks": 4},
+  {"tenant": "alice", "op": "spgemm", "deadline_ms": 120000, "priority": 2,
+   "a": {"kind": "er", "er": {"nrows": 56, "ncols": 56, "nnz_per_col": 3.0, "seed": 101}},
+   "ranks": 4},
+  {"tenant": "bob", "op": "triangle",
+   "a": {"kind": "rmat", "rmat": {"scale": 6, "edge_factor": 4.0, "seed": 300}},
+   "ranks": 4},
+  {"tenant": "chaos", "op": "spgemm",
+   "a": {"kind": "er", "er": {"nrows": 48, "ncols": 48, "nnz_per_col": 3.0, "seed": 401}},
+   "ranks": 4, "fault_spec": "seed=1;crash_rank=2;crash_op=15", "max_restarts": 2}
+]
+EOF
+  for pass in 1 2; do
+    ./build/release/tools/spgemm_serve "$SERVE_DIR/jobs_edf.json" \
+      --pool-ranks 9 --concurrency 2 \
+      --reports "$SERVE_DIR/edf.k2.$pass.json" --deterministic
+  done
+  cmp "$SERVE_DIR/edf.k2.1.json" "$SERVE_DIR/edf.k2.2.json"
+  ./build/release/tools/spgemm_serve "$SERVE_DIR/jobs_edf.json" \
+    --pool-ranks 9 --concurrency 1 \
+    --reports "$SERVE_DIR/edf.serial.json" --deterministic
+  cmp "$SERVE_DIR/edf.k2.1.json" "$SERVE_DIR/edf.serial.json"
+  grep -q '"restarts": 1' "$SERVE_DIR/edf.k2.1.json"
+  echo "concurrent drain: K=2 reports byte-identical to the serial drain"
 fi
 
 if [ "$SKIP_CHAOS" = 1 ]; then
@@ -258,6 +306,17 @@ else
   ./build/release/tools/casp_chaos --jobs 24 --tenants 3 \
     --seed "${CASP_FAULT_SEED:-1}" --ckpt-root "$CHAOS_DIR/ckpt" \
     --reports "$CHAOS_DIR/reports.json"
+  # Membership-churn storm (DESIGN.md §5k): the same queue with
+  # auto-rejoin — every permanent crash's replacement enters probation,
+  # one seeded flapper corrupts its handshake on every attempt. Swept over
+  # seeds 1-3 so the crash victim / flapping rank rotate: every seed must
+  # show a regrown job, a quarantined flapper, zero wedges, and keep the
+  # bit-identity + double-drain gates.
+  for seed in 1 2 3; do
+    echo "-- churn seed $seed"
+    ./build/release/tools/casp_chaos --jobs 24 --tenants 3 --churn \
+      --seed "$seed" --ckpt-root "$CHAOS_DIR/churn$seed"
+  done
 fi
 
 step "all gates passed"

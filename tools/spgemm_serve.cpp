@@ -9,6 +9,9 @@
 // Usage:
 //   spgemm_serve jobs.json
 //     --pool-ranks N                resident pool width (default 4)
+//     --concurrency K               jobs in flight on disjoint pool splits
+//                                   during the drain (default 1 = serial;
+//                                   clamped to 1 under CASP_VMPI_SCHED)
 //     --quota T:MEM_B:TRAFFIC_B     per-tenant quotas in bytes (0 =
 //                                   unlimited); repeatable, one per flag
 //     --reports FILE                write the per-job report array
@@ -33,6 +36,7 @@
 namespace {
 void usage() {
   std::cerr << "usage: spgemm_serve jobs.json [--pool-ranks N]\n"
+               "                    [--concurrency K] [--auto-rejoin]\n"
                "                    [--quota TENANT:MEM_B:TRAFFIC_B]...\n"
                "                    [--reports FILE] [--tenant-reports FILE]\n"
                "                    [--deterministic]\n";
@@ -86,6 +90,10 @@ int main(int argc, char** argv) {
     };
     if (arg == "--pool-ranks") {
       server_opts.pool_ranks = std::stoi(next("--pool-ranks"));
+    } else if (arg == "--concurrency") {
+      server_opts.concurrency = std::stoi(next("--concurrency"));
+    } else if (arg == "--auto-rejoin") {
+      server_opts.auto_rejoin = true;
     } else if (arg == "--quota") {
       std::string tenant;
       svc::TenantQuota quota;
